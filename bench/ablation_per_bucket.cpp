@@ -1,0 +1,68 @@
+// §3.2 extension ablation: per-bucket conflict indicators vs the paper's
+// single map-wide tblVer ("Concurrency could be improved by using multiple
+// version numbers, say one for each HashMap bucket. We have not yet
+// experimented with this option.") — we did.
+//
+// Workload: SWOpt readers hammer one key while a mutator churns *other*
+// buckets. With a single indicator every churn step can invalidate the
+// readers; with per-bucket indicators remote churn is invisible to them.
+// On this 1-core host invalidation needs a preemption inside the read
+// window, so failure counts are small — the relative difference is the
+// signal (the unit test PerBucketTest.RemoteMutationDoesNotInvalidateReader
+// asserts the per-bucket side is exactly zero).
+#include "bench_util.hpp"
+#include "hashmap/hashmap.hpp"
+#include "policy/static_policy.hpp"
+
+int main() {
+  using namespace ale;
+  using namespace ale::bench;
+  set_profile("t2");
+
+  std::printf("=== Ablation: per-bucket conflict indicators (§3.2 "
+              "extension) ===\n\n");
+  std::printf("  %-22s%14s%16s%16s\n", "config", "ops/s (4thr)",
+              "swopt fails", "swopt succ");
+
+  StaticPolicyConfig pcfg;
+  pcfg.use_htm = false;
+  pcfg.y = 50;
+  set_global_policy(std::make_unique<StaticPolicy>(pcfg));
+
+  for (const bool per_bucket : {false, true}) {
+    AleHashMap::Options opts;
+    opts.per_bucket_indicators = per_bucket;
+    AleHashMap map(256, per_bucket ? "pb.on" : "pb.off", opts);
+    constexpr std::uint64_t kKeys = 1024;
+    for (std::uint64_t k = 0; k < kKeys; ++k) map.insert(k, k);
+
+    const double rate = timed_run(4, 1.0, [&](unsigned t, Xoshiro256& rng) {
+      if (t == 0) {  // churn thread: remote buckets only
+        const std::uint64_t k = 512 + rng.next_below(512);
+        if (rng.next_bool(0.5)) {
+          map.remove(k);
+        } else {
+          map.insert(k, k);
+        }
+      } else {  // readers: a disjoint key range
+        std::uint64_t v = 0;
+        map.get(rng.next_below(256), v);
+      }
+    });
+
+    std::uint64_t fails = 0, succ = 0;
+    map.lock_md().for_each_granule([&](GranuleMd& g) {
+      fails += g.stats.swopt_failures.read();
+      succ += g.stats.of(ExecMode::kSwOpt).successes.read();
+    });
+    std::printf("  %-22s%14.0f%16llu%16llu\n",
+                per_bucket ? "per-bucket indicators" : "single tblVer",
+                rate, static_cast<unsigned long long>(fails),
+                static_cast<unsigned long long>(succ));
+  }
+  set_global_policy(nullptr);
+  std::printf("\n  (per-bucket readers cannot be invalidated by remote-"
+              "bucket churn; on multicore\n   hardware the gap widens with "
+              "mutation rate)\n");
+  return 0;
+}

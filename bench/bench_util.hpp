@@ -1,0 +1,109 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every figure bench prints two blocks:
+//  * SIM  — the virtual-time simulator series across the platform's full
+//           thread range (the *shape* reproduction; deterministic), and
+//  * REAL — the actual ALE library driven by real threads on this host
+//           with the emulated-HTM profile of the figure's platform (the
+//           end-to-end validation; host has few cores, so this block uses
+//           small thread counts and reports host ops/s).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "htm/config.hpp"
+#include "policy/install.hpp"
+#include "sim/simulator.hpp"
+
+namespace ale::bench {
+
+struct PolicyRow {
+  std::string label;     // paper-style name, e.g. "Static-All-5:3"
+  std::string spec;      // make_policy() spec for the REAL block
+  sim::SimPolicy sim;    // simulator policy for the SIM block
+};
+
+inline std::vector<PolicyRow> standard_policy_rows(bool htm_platform) {
+  std::vector<PolicyRow> rows;
+  rows.push_back({"Instrumented", "lockonly", sim::SimPolicy::lock_only()});
+  if (htm_platform) {
+    rows.push_back({"Static-HL-5", "static-hl-5", sim::SimPolicy::static_hl(5)});
+  }
+  rows.push_back({"Static-SL-3", "static-sl-3", sim::SimPolicy::static_sl(3)});
+  if (htm_platform) {
+    rows.push_back(
+        {"Static-All-5:3", "static-all-5:3", sim::SimPolicy::static_all(5, 3)});
+  }
+  rows.push_back({"Adaptive", "adaptive", sim::SimPolicy::adaptive()});
+  return rows;
+}
+
+inline std::vector<unsigned> pow2_threads(unsigned max) {
+  std::vector<unsigned> v;
+  for (unsigned n = 1; n <= max; n *= 2) v.push_back(n);
+  return v;
+}
+
+inline void print_sim_series(const sim::SimPlatform& platform,
+                             const sim::SimWorkload& workload,
+                             const std::vector<PolicyRow>& rows,
+                             std::uint64_t ops = 30000) {
+  const auto threads = pow2_threads(platform.hw_threads);
+  std::printf("  %-16s", "threads");
+  for (const unsigned n : threads) std::printf("%10u", n);
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("  %-16s", row.label.c_str());
+    for (const unsigned n : threads) {
+      const auto r = sim::simulate(platform, workload, row.sim, n, 42, ops);
+      std::printf("%10.1f", r.throughput);
+    }
+    std::printf("\n");
+  }
+  std::printf("  (SIM: ops per million virtual cycles)\n");
+}
+
+// Timed real-thread run of `op(thread_index, rng)`; returns ops/sec.
+inline double timed_run(unsigned threads, double seconds,
+                        const std::function<void(unsigned, Xoshiro256&)>& op) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(t * 7919 + 1);
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        op(t, rng);
+        ++n;
+      }
+      total.fetch_add(n);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  return static_cast<double>(total.load()) / seconds;
+}
+
+inline void set_profile(const char* profile_name) {
+  htm::Config c;
+  c.backend = htm::BackendKind::kEmulated;
+  if (auto p = htm::profile_by_name(profile_name)) c.profile = *p;
+  htm::configure(c);
+}
+
+inline void install_policy_spec(const std::string& spec) {
+  auto policy = make_policy(spec);
+  set_global_policy(std::move(policy));  // nullptr → LockOnly fallback
+}
+
+}  // namespace ale::bench

@@ -1,0 +1,8 @@
+// Figure 2 reproduction: HashMap throughput vs threads on Rock
+// (16-core SPARC with quirky best-effort HTM).
+#include "hashmap_figure.hpp"
+
+int main() {
+  ale::bench::run_hashmap_figure("Figure 2", "rock");
+  return 0;
+}

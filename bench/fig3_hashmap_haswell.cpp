@@ -1,0 +1,8 @@
+// Figure 3 reproduction: HashMap throughput vs threads on Haswell
+// (4-core x 2 SMT x86 with Intel RTM).
+#include "hashmap_figure.hpp"
+
+int main() {
+  ale::bench::run_hashmap_figure("Figure 3", "haswell");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 4 reproduction: HashMap throughput vs threads on the T2-2
+// (2-socket, 128-thread SPARC with no HTM — SWOpt and Lock only).
+#include "hashmap_figure.hpp"
+
+int main() {
+  ale::bench::run_hashmap_figure("Figure 4", "t2");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "hashmap_figure.hpp"
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "hashmap/hashmap.hpp"
+
+namespace ale::bench {
+
+namespace {
+
+sim::SimPlatform platform_by_name(const char* name) {
+  if (std::strcmp(name, "rock") == 0) return sim::rock_platform();
+  if (std::strcmp(name, "haswell") == 0) return sim::haswell_platform();
+  return sim::t2_platform();
+}
+
+// One REAL-block measurement: mixed workload against the actual AleHashMap
+// under the named policy and emulated platform profile.
+double real_hashmap_run(const std::string& policy_spec, unsigned threads,
+                        double mutate, std::uint64_t key_range,
+                        double seconds) {
+  install_policy_spec(policy_spec);
+  AleHashMap map(1024, "fig.tblLock");
+  for (std::uint64_t k = 0; k < key_range; k += 2) map.insert(k, k);
+  const double rate = timed_run(
+      threads, seconds, [&](unsigned, Xoshiro256& rng) {
+        const std::uint64_t k = rng.next_below(key_range);
+        const double roll = rng.next_double();
+        std::uint64_t v = 0;
+        if (roll < mutate / 2) {
+          map.insert(k, k);
+        } else if (roll < mutate) {
+          map.remove(k);
+        } else {
+          map.get(k, v);
+        }
+      });
+  set_global_policy(nullptr);
+  return rate;
+}
+
+}  // namespace
+
+void run_hashmap_figure(const char* figure_id, const char* platform_name) {
+  const auto platform = platform_by_name(platform_name);
+  set_profile(platform_name);
+  const auto rows = standard_policy_rows(platform.htm);
+  constexpr std::uint64_t kKeyRange = 4096;
+
+  std::printf("=== %s: HashMap microbenchmark on %s (%u hw threads, HTM %s) "
+              "===\n",
+              figure_id, platform.name.c_str(), platform.hw_threads,
+              platform.htm ? "yes" : "no");
+
+  for (const double mutate : {0.02, 0.20, 0.60}) {
+    std::printf("\n--- %.0f%% mutating operations, %llu keys ---\n",
+                mutate * 100, static_cast<unsigned long long>(kKeyRange));
+    std::printf(" SIM (platform model, full thread range):\n");
+    print_sim_series(platform, sim::hashmap_workload(mutate, kKeyRange, 1024),
+                     rows);
+  }
+
+  // REAL block: end-to-end run of the actual library at host scale.
+  std::printf("\n--- REAL: ALE library, emulated-HTM profile '%s', host "
+              "threads ---\n",
+              platform_name);
+  std::printf("  %-16s%12s%12s%12s\n", "policy (20%mut)", "1 thr", "2 thr",
+              "4 thr");
+  for (const auto& row : rows) {
+    std::printf("  %-16s", row.label.c_str());
+    for (const unsigned n : {1u, 2u, 4u}) {
+      const double rate = real_hashmap_run(row.spec, n, 0.20, kKeyRange, 0.2);
+      std::printf("%12.0f", rate);
+    }
+    std::printf("\n");
+  }
+  std::printf("  (REAL: operations per second on this host)\n");
+}
+
+}  // namespace ale::bench

@@ -1,0 +1,11 @@
+// Shared driver for Figures 2-4: the HashMap microbenchmark on one
+// platform (rock / haswell / t2), swept over mutation rates, for every
+// policy the paper plots.
+#pragma once
+
+namespace ale::bench {
+
+// `platform_name` ∈ {"rock", "haswell", "t2"}. Prints the full figure.
+void run_hashmap_figure(const char* figure_id, const char* platform_name);
+
+}  // namespace ale::bench

@@ -1,0 +1,149 @@
+// Multi-lock nesting in a realistic shape: bank accounts sharded across
+// branches, each branch protected by its own ALE-enabled lock. A transfer
+// between branches nests one branch's critical section inside the other's
+// — when both run under HTM the whole transfer is a single transaction
+// (§4.1's flattening); under Lock mode the ordered acquisition prevents
+// deadlock; audits read every branch.
+//
+//   usage: bank_transfer [threads] [seconds]
+//   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/ale.hpp"
+#include "policy/install.hpp"
+#include "policy/static_policy.hpp"
+
+namespace {
+
+constexpr std::size_t kBranches = 8;
+constexpr std::size_t kAccountsPerBranch = 64;
+constexpr std::uint64_t kInitialBalance = 1000;
+
+struct Branch {
+  ale::TatasLock lock;
+  ale::LockMd md;
+  alignas(64) std::uint64_t accounts[kAccountsPerBranch];
+
+  Branch() : md("bank.branch") {
+    for (auto& a : accounts) a = kInitialBalance;
+  }
+};
+
+Branch g_branches[kBranches];
+
+// Deposit/withdraw inside one branch.
+void deposit(std::size_t branch, std::size_t account, std::int64_t delta) {
+  static ale::ScopeInfo scope("deposit");
+  Branch& b = g_branches[branch];
+  ale::execute_cs(ale::lock_api<ale::TatasLock>(), &b.lock, b.md, scope,
+                  [&](ale::CsExec&) {
+                    auto& cell = b.accounts[account];
+                    ale::tx_store(
+                        cell, static_cast<std::uint64_t>(
+                                  static_cast<std::int64_t>(
+                                      ale::tx_load(cell)) +
+                                  delta));
+                  });
+}
+
+// Transfer across branches: nested critical sections, ordered by branch
+// index so Lock-mode fallback cannot deadlock.
+void transfer(std::size_t from_b, std::size_t from_a, std::size_t to_b,
+              std::size_t to_a, std::uint64_t amount) {
+  static ale::ScopeInfo outer("transfer.outer");
+  static ale::ScopeInfo inner("transfer.inner");
+  const std::size_t first = std::min(from_b, to_b);
+  const std::size_t second = std::max(from_b, to_b);
+  Branch& b1 = g_branches[first];
+  Branch& b2 = g_branches[second];
+  ale::execute_cs(
+      ale::lock_api<ale::TatasLock>(), &b1.lock, b1.md, outer,
+      [&](ale::CsExec&) {
+        ale::execute_cs(
+            ale::lock_api<ale::TatasLock>(), &b2.lock, b2.md, inner,
+            [&](ale::CsExec&) {
+              auto& src = g_branches[from_b].accounts[from_a];
+              auto& dst = g_branches[to_b].accounts[to_a];
+              const std::uint64_t balance = ale::tx_load(src);
+              const std::uint64_t take = std::min(balance, amount);
+              ale::tx_store(src, balance - take);
+              ale::tx_store(dst, ale::tx_load(dst) + take);
+            });
+      });
+}
+
+// Audit: total money is invariant. Reads every branch under its lock.
+std::uint64_t audit() {
+  static ale::ScopeInfo scope("audit");
+  std::uint64_t total = 0;
+  for (auto& b : g_branches) {
+    // Per-attempt subtotal: the body may re-execute after an HTM abort, so
+    // it must not accumulate into `total` directly.
+    std::uint64_t branch_total = 0;
+    ale::execute_cs(ale::lock_api<ale::TatasLock>(), &b.lock, b.md, scope,
+                    [&](ale::CsExec&) {
+                      branch_total = 0;
+                      for (const auto& a : b.accounts) {
+                        branch_total += ale::tx_load(a);
+                      }
+                    });
+    total += branch_total;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+  if (!ale::install_policy_from_env()) {
+    ale::set_global_policy(std::make_unique<ale::StaticPolicy>(
+        ale::StaticPolicyConfig{.x = 5, .y = 0, .use_swopt = false}));
+  }
+
+  const std::uint64_t expected =
+      kBranches * kAccountsPerBranch * kInitialBalance;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ale::Xoshiro256 rng(t * 17 + 3);
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto b1 = rng.next_below(kBranches);
+        const auto b2 = rng.next_below(kBranches);
+        const auto a1 = rng.next_below(kAccountsPerBranch);
+        const auto a2 = rng.next_below(kAccountsPerBranch);
+        if (rng.next_bool(0.7) && b1 != b2) {
+          transfer(b1, a1, b2, a2, rng.next_below(50));
+        } else {
+          deposit(b1, a1, 1);
+          deposit(b1, a1, -1);
+        }
+        ++n;
+      }
+      ops.fetch_add(n);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  const std::uint64_t total = audit();
+  std::printf("ops: %.0f/s, audit: %llu (expected %llu) — %s\n",
+              static_cast<double>(ops.load()) / seconds,
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(expected),
+              total == expected ? "BALANCED" : "MONEY LEAKED!");
+  std::printf("\n--- per-branch / per-context report ---\n");
+  ale::print_lock_report(std::cout, g_branches[0].md);
+  return total == expected ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// The paper's HashMap microbenchmark (§5) as a standalone tool.
+//
+// Runs a mixed Get/Insert/Remove workload against the single-lock ALE
+// HashMap and prints throughput plus the ALE statistics report.
+//
+//   usage: hashmap_workload [threads] [seconds] [mutate%] [key-range]
+//   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE
+//
+//   $ ALE_POLICY=adaptive ALE_HTM_PROFILE=haswell ./hashmap_workload 4 2 20
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "hashmap/hashmap.hpp"
+#include "policy/install.hpp"
+#include "policy/static_policy.hpp"
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const double mutate = (argc > 3 ? std::atof(argv[3]) : 20.0) / 100.0;
+  const std::uint64_t key_range = argc > 4 ? std::atoll(argv[4]) : 4096;
+
+  if (!ale::install_policy_from_env()) {
+    ale::set_global_policy(std::make_unique<ale::StaticPolicy>(
+        ale::StaticPolicyConfig{.x = 5, .y = 3}));
+  }
+
+  ale::AleHashMap map(1024, "hashmap.tblLock");
+  // Pre-fill half the key range.
+  for (std::uint64_t k = 0; k < key_range; k += 2) map.insert(k, k);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ale::Xoshiro256 rng(t * 0x9e37 + 11);
+      std::uint64_t ops = 0;
+      std::uint64_t v = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = rng.next_below(key_range);
+        const double roll = rng.next_double();
+        if (roll < mutate / 2) {
+          map.insert(k, k);
+        } else if (roll < mutate) {
+          map.remove(k);
+        } else {
+          map.get(k, v);
+        }
+        ++ops;
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  std::printf(
+      "threads=%u mutate=%.0f%% keys=%llu policy=%s profile=%s backend=%s\n",
+      threads, mutate * 100, static_cast<unsigned long long>(key_range),
+      ale::global_policy().name(), ale::htm::config().profile.name,
+      ale::htm::to_string(ale::htm::config().backend));
+  std::printf("throughput: %.0f ops/s (%llu ops in %.1fs)\n",
+              static_cast<double>(total_ops.load()) / seconds,
+              static_cast<unsigned long long>(total_ops.load()), seconds);
+  std::printf("\n--- ALE report (guidance for which CSes to optimize) ---\n");
+  ale::print_report(std::cout);
+  return 0;
+}

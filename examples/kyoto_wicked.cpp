@@ -1,0 +1,75 @@
+// The Kyoto Cabinet "wicked" benchmark analog (§5, Figure 5) as a tool:
+// a ShardedDb (method RW lock + slot locks, ALE-enabled and nested) under
+// a randomized mixed workload, or the paper's `nomutate` variant.
+//
+//   usage: kyoto_wicked [threads] [seconds] [nomutate(0|1)] [key-range]
+//   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "kvdb/wicked.hpp"
+#include "policy/install.hpp"
+#include "policy/static_policy.hpp"
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const bool nomutate = argc > 3 && std::atoi(argv[3]) != 0;
+  const std::uint64_t key_range = argc > 4 ? std::atoll(argv[4]) : 10000;
+
+  if (!ale::install_policy_from_env()) {
+    ale::set_global_policy(std::make_unique<ale::StaticPolicy>(
+        ale::StaticPolicyConfig{.x = 5, .y = 5}));
+  }
+
+  ale::kvdb::ShardedDb db;
+  ale::kvdb::WickedConfig cfg;
+  cfg.key_range = key_range;
+  cfg.nomutate = nomutate;
+  ale::kvdb::wicked_prefill(db, cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::array<std::atomic<std::uint64_t>, ale::kvdb::kNumWickedOps> histo{};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ale::Xoshiro256 rng(t * 131 + 7);
+      std::string k, v;
+      std::uint64_t ops = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto op = ale::kvdb::wicked_step(db, cfg, rng, k, v);
+        histo[static_cast<std::size_t>(op)].fetch_add(
+            1, std::memory_order_relaxed);
+        ++ops;
+      }
+      total_ops.fetch_add(ops);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  std::printf("wicked%s threads=%u policy=%s profile=%s\n",
+              nomutate ? " (nomutate)" : "", threads,
+              ale::global_policy().name(), ale::htm::config().profile.name);
+  std::printf("throughput: %.0f ops/s, db count=%llu\n",
+              static_cast<double>(total_ops.load()) / seconds,
+              static_cast<unsigned long long>(db.count()));
+  for (std::size_t i = 0; i < histo.size(); ++i) {
+    const auto n = histo[i].load();
+    if (n > 0) {
+      std::printf("  %-9s %llu\n",
+                  ale::kvdb::to_string(static_cast<ale::kvdb::WickedOp>(i)),
+                  static_cast<unsigned long long>(n));
+    }
+  }
+  std::printf("\n--- ALE report ---\n");
+  ale::print_report(std::cout);
+  return 0;
+}

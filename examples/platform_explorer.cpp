@@ -1,0 +1,66 @@
+// Platform explorer: run the virtual-time simulator across platforms,
+// policies, and workloads, and print the throughput-vs-threads series the
+// paper's figures are built from. Useful for exploring "what if" questions
+// (different mutation rates, capacities, policies) in milliseconds.
+//
+//   usage: platform_explorer [platform] [mutate%] [key-range]
+//          platform ∈ {rock, haswell, t2, all}
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+void run_series(const ale::sim::SimPlatform& platform, double mutate,
+                std::uint64_t key_range) {
+  using namespace ale::sim;
+  const auto workload = hashmap_workload(mutate, key_range, 1024);
+  std::vector<SimPolicy> policies = {
+      SimPolicy::lock_only(),   SimPolicy::static_hl(5),
+      SimPolicy::static_sl(3),  SimPolicy::static_all(5, 3),
+      SimPolicy::adaptive(),
+  };
+  std::vector<unsigned> thread_counts;
+  for (unsigned n = 1; n <= platform.hw_threads; n *= 2) {
+    thread_counts.push_back(n);
+  }
+
+  std::printf("\n# %s — HashMap, %.0f%% mutate, %llu keys\n",
+              platform.name.c_str(), mutate * 100,
+              static_cast<unsigned long long>(key_range));
+  std::printf("%-16s", "threads");
+  for (const unsigned n : thread_counts) std::printf("%10u", n);
+  std::printf("\n");
+  for (const auto& pol : policies) {
+    std::printf("%-16s", pol.label().c_str());
+    for (const unsigned n : thread_counts) {
+      const auto r = simulate(platform, workload, pol, n, 42, 30000);
+      std::printf("%10.1f", r.throughput);
+    }
+    std::printf("\n");
+  }
+  std::printf("(ops per million virtual cycles)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* which = argc > 1 ? argv[1] : "all";
+  const double mutate = (argc > 2 ? std::atof(argv[2]) : 20.0) / 100.0;
+  const std::uint64_t key_range = argc > 3 ? std::atoll(argv[3]) : 4096;
+
+  using namespace ale::sim;
+  if (std::strcmp(which, "rock") == 0 || std::strcmp(which, "all") == 0) {
+    run_series(rock_platform(), mutate, key_range);
+  }
+  if (std::strcmp(which, "haswell") == 0 || std::strcmp(which, "all") == 0) {
+    run_series(haswell_platform(), mutate, key_range);
+  }
+  if (std::strcmp(which, "t2") == 0 || std::strcmp(which, "all") == 0) {
+    run_series(t2_platform(), mutate, key_range);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: ALE in ~60 lines.
+//
+// A shared counter protected by one lock; ALE elides the lock via HTM
+// (emulated by default — set ALE_HTM_BACKEND/ALE_HTM_PROFILE to change),
+// and the report at the end shows per-(lock, context) statistics.
+//
+//   $ ./quickstart
+//   $ ALE_POLICY=adaptive ALE_HTM_PROFILE=rock ./quickstart
+#include <cstdio>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/ale.hpp"
+#include "policy/install.hpp"
+#include "policy/static_policy.hpp"
+
+int main() {
+  // Policy: ALE_POLICY env var if set, else Static-All-5:3.
+  if (!ale::install_policy_from_env()) {
+    ale::set_global_policy(std::make_unique<ale::StaticPolicy>(
+        ale::StaticPolicyConfig{.x = 5, .y = 3}));
+  }
+
+  // 1. A lock and its ALE metadata ("label").
+  ale::TatasLock lock;
+  ale::LockMd md("quickstart.lock");
+
+  // 2. Shared data, accessed via tx_load/tx_store inside critical sections.
+  alignas(64) std::uint64_t counter = 0;
+
+  // 3. A critical-section scope (one per source-level CS).
+  static ale::ScopeInfo scope("increment");
+
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ale::execute_cs(ale::lock_api<ale::TatasLock>(), &lock, md, scope,
+                        [&](ale::CsExec&) {
+                          ale::tx_store(counter, ale::tx_load(counter) + 1);
+                        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::printf("counter = %llu (expected %llu)\n",
+              static_cast<unsigned long long>(counter),
+              static_cast<unsigned long long>(kThreads) * kPerThread);
+  std::printf("policy  = %s, backend = %s, profile = %s\n",
+              ale::global_policy().name(),
+              ale::htm::to_string(ale::htm::config().backend),
+              ale::htm::config().profile.name);
+  std::printf("\n--- ALE report ---\n");
+  ale::print_report(std::cout);
+  return counter == kThreads * static_cast<std::uint64_t>(kPerThread) ? 0 : 1;
+}

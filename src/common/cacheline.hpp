@@ -1,0 +1,44 @@
+// Cache-line geometry and false-sharing avoidance helpers.
+//
+// Everything that is written concurrently by different threads in ALE's hot
+// paths (granule counters, SNZI nodes, lock words, versioned-lock table
+// entries) is padded to a cache line to avoid false sharing, per the paper's
+// emphasis on low-overhead statistics collection.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ale {
+
+// std::hardware_destructive_interference_size is 64 on every platform we
+// target; pin it so ABI does not drift with compiler flags.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// A value of T padded out to occupy (a multiple of) a full cache line, so
+// adjacent array elements never share a line.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  static_assert(!std::is_reference_v<T>);
+
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+// Returns the index of the cache line containing `p` — the conflict
+// granularity used by the emulated HTM backend (real HTMs detect conflicts
+// at cache-line granularity).
+inline std::size_t cache_line_of(const void* p) noexcept {
+  return reinterpret_cast<std::size_t>(p) / kCacheLineSize;
+}
+
+}  // namespace ale

@@ -1,0 +1,20 @@
+#include "common/cpu.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace ale {
+
+bool cpu_has_rtm() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_max(0, nullptr) < 7) return false;
+  __cpuid_count(7, 0, eax, ebx, ecx, edx);
+  return (ebx & (1u << 11)) != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace ale

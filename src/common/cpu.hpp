@@ -1,0 +1,29 @@
+// CPU-level primitives: spin-wait hint and RTM feature detection.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace ale {
+
+// Polite spin-wait hint (PAUSE on x86, YIELD elsewhere). Used inside all
+// spin loops so hyperthread siblings and the memory pipeline are not
+// hammered while waiting.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Runtime check for Intel RTM (Restricted Transactional Memory) support.
+// CPUID.07H:EBX.RTM[bit 11]. Returns false on non-x86 builds.
+bool cpu_has_rtm() noexcept;
+
+}  // namespace ale

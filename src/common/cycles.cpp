@@ -1,0 +1,37 @@
+#include "common/cycles.hpp"
+
+#include <chrono>
+#include <mutex>
+
+namespace ale {
+
+namespace {
+
+double calibrate() {
+#if defined(__x86_64__)
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const std::uint64_t c0 = now_ticks();
+  // Busy-wait ~2ms: long enough for a stable ratio, short enough to be
+  // invisible at startup.
+  while (clock::now() - t0 < std::chrono::milliseconds(2)) {
+  }
+  const std::uint64_t c1 = now_ticks();
+  const auto t1 = clock::now();
+  const double ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  const double ratio = static_cast<double>(c1 - c0) / ns;
+  return ratio > 0 ? ratio : 1.0;
+#else
+  return 1.0;  // now_ticks() already returns nanoseconds.
+#endif
+}
+
+}  // namespace
+
+double ticks_per_ns() noexcept {
+  static const double ratio = calibrate();
+  return ratio;
+}
+
+}  // namespace ale

@@ -1,0 +1,37 @@
+// Cheap time measurement for the statistics layer.
+//
+// The paper samples ~3% of events and records elapsed times; that requires a
+// timestamp source much cheaper than clock_gettime. On x86 we use RDTSC
+// (invariant TSC on every CPU from the last decade); elsewhere we fall back
+// to std::chrono::steady_clock. cycles_per_ns() is calibrated once at
+// startup so reports can print nanoseconds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace ale {
+
+// Raw timestamp in "ticks" (TSC cycles on x86, nanoseconds otherwise).
+inline std::uint64_t now_ticks() noexcept {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+// Ticks per nanosecond, calibrated lazily (thread-safe, measured once).
+double ticks_per_ns() noexcept;
+
+// Convert a tick delta to nanoseconds.
+inline double ticks_to_ns(std::uint64_t ticks) noexcept {
+  return static_cast<double>(ticks) / ticks_per_ns();
+}
+
+}  // namespace ale

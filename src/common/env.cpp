@@ -1,0 +1,45 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace ale {
+
+std::optional<std::string> env_string(std::string_view name) {
+  const std::string key(name);
+  const char* v = std::getenv(key.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(std::string_view name, std::int64_t def) {
+  auto v = env_string(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || (end != nullptr && *end != '\0')) return def;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double env_double(std::string_view name, double def) {
+  auto v = env_string(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || (end != nullptr && *end != '\0')) return def;
+  return parsed;
+}
+
+bool env_bool(std::string_view name, bool def) {
+  auto v = env_string(name);
+  if (!v) return def;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return def;
+}
+
+}  // namespace ale

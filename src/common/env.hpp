@@ -1,0 +1,26 @@
+// Environment-variable configuration helpers.
+//
+// ALE's runtime knobs (HTM backend/profile selection, policy parameters,
+// report verbosity) can all be set through ALE_* environment variables so
+// that unmodified binaries can be re-pointed at a different simulated
+// platform — mirroring the paper's "enable HTM mode with compilation flags"
+// convenience.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ale {
+
+// Raw lookup; empty optional when unset.
+std::optional<std::string> env_string(std::string_view name);
+
+// Integer / double / bool lookups with defaults. Malformed values fall back
+// to the default (configuration must never crash a host application).
+std::int64_t env_int(std::string_view name, std::int64_t def);
+double env_double(std::string_view name, double def);
+bool env_bool(std::string_view name, bool def);
+
+}  // namespace ale

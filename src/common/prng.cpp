@@ -1,0 +1,18 @@
+#include "common/prng.hpp"
+
+#include <atomic>
+
+namespace ale {
+
+namespace {
+std::atomic<std::uint64_t> g_thread_seed{0x5eed5eed5eed5eedULL};
+}  // namespace
+
+Xoshiro256& thread_prng() noexcept {
+  thread_local Xoshiro256 prng(
+      g_thread_seed.fetch_add(0x9e3779b97f4a7c15ULL,
+                              std::memory_order_relaxed));
+  return prng;
+}
+
+}  // namespace ale

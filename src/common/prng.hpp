@@ -1,0 +1,76 @@
+// Small, fast pseudo-random number generators.
+//
+// ALE uses randomness on hot paths (3% sampling of timing events, BFP
+// counter update probabilities, emulated-HTM quirk injection, workload
+// generators). std::mt19937 is too heavy and not per-thread by default; we
+// use SplitMix64 for seeding and xoshiro256** for generation — both are
+// public-domain algorithms with excellent statistical quality.
+#pragma once
+
+#include <cstdint>
+
+namespace ale {
+
+// SplitMix64: used to expand a single seed into stream state. Also a decent
+// standalone generator for deterministic tests.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: the workhorse generator.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Rejection-free (tiny modulo bias is irrelevant
+  // for sampling/workload purposes; bounds here are << 2^32).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+// Per-thread generator seeded from the thread id; cheap to access and never
+// shared, so no synchronization is needed.
+Xoshiro256& thread_prng() noexcept;
+
+}  // namespace ale

@@ -1,0 +1,99 @@
+// Conflict indicator: the paper's tblVer pattern (§3.2).
+//
+// A version number that is odd exactly while some thread is inside a
+// *conflicting region* — the explicitly identified part of a critical
+// section that can interfere with concurrent SWOpt executions. SWOpt paths
+// snapshot an even value and re-validate before using anything read since
+// ("validate before using any value that was read since the last
+// validation").
+//
+// All accesses go through the tx accessors, so:
+//  * in HTM mode the increments are transactional (and should be guarded by
+//    ALE_COULD_SWOPT_BE_RUNNING to avoid needless HTM-vs-HTM conflicts,
+//    §3.3),
+//  * in Lock mode they are version-bracketed plain stores visible to
+//    emulated transactions,
+//  * SWOpt readers get plain acquire loads.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cpu.hpp"
+#include "htm/access.hpp"
+#include "htm/htm.hpp"
+#include "sync/backoff.hpp"
+
+namespace ale {
+
+class ConflictIndicator {
+ public:
+  ConflictIndicator() = default;
+  ConflictIndicator(const ConflictIndicator&) = delete;
+  ConflictIndicator& operator=(const ConflictIndicator&) = delete;
+
+  // Bracket a conflicting region (paper's BeginConflictingAction /
+  // EndConflictingAction — both "simply increment tblVer").
+  void begin_conflicting_action() { bump(); }
+  void end_conflicting_action() { bump(); }
+
+  // Paper's GetVer: read the version, optionally waiting until it is even
+  // (no conflicting region in progress). Backs off (eventually yielding)
+  // while waiting: on an oversubscribed host the thread inside the
+  // conflicting region may need our core.
+  std::uint64_t get_ver(bool wait_even) const {
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t v = tx_load(ver_);
+      if (!wait_even || (v & 1) == 0) return v;
+      backoff.pause();
+    }
+  }
+
+  // `v != GetVer(false)` from Figure 1.
+  bool changed_since(std::uint64_t snapshot) const {
+    return tx_load(ver_) != snapshot;
+  }
+
+ private:
+  void bump() { tx_store(ver_, tx_load(ver_) + 1); }
+
+  std::uint64_t ver_ = 0;
+};
+
+// RAII conflicting-region bracket that honors §3.3's optimization: "This
+// allows executions in HTM mode to elide the conflict indication when no
+// SWOpt path is running". The elision is applied only inside a transaction:
+// there the presence query is subscribed (hardware read set / emulated
+// read-set tracking), so a SWOpt arrival before our commit aborts us and
+// the retry sees it. A Lock-mode execution has no such safety net — nothing
+// aborts it — so it always bumps.
+template <typename LockMdT>
+class ConflictingAction {
+ public:
+  ConflictingAction(ConflictIndicator& ind, LockMdT& md)
+      : ind_(ind),
+        began_in_txn_(htm::in_txn()),
+        active_(!began_in_txn_ || md.could_swopt_be_running()) {
+    if (active_) ind_.begin_conflicting_action();
+  }
+  ~ConflictingAction() {
+    if (!active_) return;
+    // Abort-unwind hazard: if we began inside a transaction that has since
+    // aborted (a TxAbortException is unwinding through us), the buffered
+    // begin-increment died with the redo log — memory was never touched.
+    // Emitting the end-increment now would land in real memory and leave
+    // the indicator odd forever, wedging every SWOpt reader in
+    // get_ver(true). Skip it; the retry re-creates the guard.
+    if (began_in_txn_ && !htm::in_txn()) return;
+    ind_.end_conflicting_action();
+  }
+  ConflictingAction(const ConflictingAction&) = delete;
+  ConflictingAction& operator=(const ConflictingAction&) = delete;
+
+ private:
+  ConflictIndicator& ind_;
+  bool began_in_txn_;
+  bool active_;
+};
+
+}  // namespace ale

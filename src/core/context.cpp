@@ -1,0 +1,40 @@
+#include "core/context.hpp"
+
+namespace ale {
+
+std::uint32_t ScopeInfo::next_id() noexcept {
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+ContextNode::~ContextNode() {
+  for (ContextNode* c : children_) delete c;
+}
+
+ContextNode* ContextNode::child(const ScopeInfo* scope) {
+  children_lock_.lock();
+  for (ContextNode* c : children_) {
+    if (c->scope_ == scope) {
+      children_lock_.unlock();
+      return c;
+    }
+  }
+  auto* node = new ContextNode(scope, this);
+  children_.push_back(node);
+  children_lock_.unlock();
+  return node;
+}
+
+std::string ContextNode::path() const {
+  if (parent_ == nullptr) return "<root>";
+  std::string prefix = parent_->parent_ == nullptr ? "" : parent_->path() + "/";
+  return prefix + (scope_ != nullptr ? scope_->label : "?");
+}
+
+ContextNode& context_root() {
+  // Leaked: must outlive thread-local contexts during static teardown.
+  static ContextNode* root = new ContextNode(nullptr, nullptr);
+  return *root;
+}
+
+}  // namespace ale

@@ -1,0 +1,78 @@
+// Scopes and contexts (§3.4).
+//
+// "Each critical section integrated with the ALE library defines a scope. A
+// thread's context is an initially-empty sequence of scopes"; statistics are
+// collected per (lock, context) pair, so the same source-level critical
+// section can adapt differently per calling context (the scoped-locking
+// idiom, BEGIN_CS_NAMED, explicit BEGIN_SCOPE).
+//
+// Contexts are interned in a calling-context tree: a context is identified
+// by its tree node, making context push/pop O(1) amortized and granule
+// lookup a pointer-keyed hash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sync/spinlock.hpp"
+
+namespace ale {
+
+// One static per use-site of an ALE macro (the macros declare these).
+// Distinct use sites — including the two arms of BEGIN_CS_NAMED in an
+// if/else — are distinct scopes.
+struct ScopeInfo {
+  const char* label;
+  bool has_swopt = false;  // a SWOpt path exists at this site
+  bool allow_htm = true;   // programmer may prohibit HTM here
+  std::uint32_t id;
+
+  explicit ScopeInfo(const char* label_in, bool has_swopt_in = false,
+                     bool allow_htm_in = true) noexcept
+      : label(label_in),
+        has_swopt(has_swopt_in),
+        allow_htm(allow_htm_in),
+        id(next_id()) {}
+
+ private:
+  static std::uint32_t next_id() noexcept;
+};
+
+class ContextNode {
+ public:
+  ContextNode(const ScopeInfo* scope, ContextNode* parent) noexcept
+      : scope_(scope), parent_(parent) {}
+  ~ContextNode();
+
+  ContextNode(const ContextNode&) = delete;
+  ContextNode& operator=(const ContextNode&) = delete;
+
+  const ScopeInfo* scope() const noexcept { return scope_; }
+  ContextNode* parent() const noexcept { return parent_; }
+
+  // Child for `scope`, created on first use. Creation is rare (bounded by
+  // the number of distinct contexts); lookup scans a small vector.
+  ContextNode* child(const ScopeInfo* scope);
+
+  // Human-readable path, e.g. "<root>/wicked.outer/slotCS".
+  std::string path() const;
+
+  std::size_t depth() const noexcept {
+    std::size_t d = 0;
+    for (const ContextNode* n = parent_; n != nullptr; n = n->parent_) ++d;
+    return d;
+  }
+
+ private:
+  const ScopeInfo* scope_;
+  ContextNode* parent_;
+  mutable TatasLock children_lock_;
+  std::vector<ContextNode*> children_;  // owned
+};
+
+// The empty context every thread starts in.
+ContextNode& context_root();
+
+}  // namespace ale

@@ -1,0 +1,316 @@
+#include "core/engine.hpp"
+
+#include <cassert>
+
+#include "common/cycles.hpp"
+#include "htm/emulated.hpp"
+#include "sync/backoff.hpp"
+
+namespace ale {
+
+ThreadCtx& thread_ctx() noexcept {
+  thread_local ThreadCtx ctx;
+  return ctx;
+}
+
+bool thread_holds_lock(const void* lock) noexcept {
+  const ThreadCtx& tc = thread_ctx();
+  for (const CsExec* f : tc.frames) {
+    if (f->lock_ptr() == lock && f->holds_lock_here()) return true;
+  }
+  return false;
+}
+
+ExecMode current_exec_mode() noexcept {
+  if (htm::in_txn()) return ExecMode::kHtm;
+  const ThreadCtx& tc = thread_ctx();
+  if (!tc.frames.empty()) return tc.frames.back()->exec_mode();
+  return ExecMode::kLock;
+}
+
+CsExec::CsExec(const LockApi* api, void* lock, LockMd& md,
+               const ScopeInfo& scope)
+    : api_(api), lock_(lock), md_(md), scope_(scope) {
+  // §4.1: a CS nested within an HTM-mode CS runs in the same transaction;
+  // "to minimize the duration of hardware transactions, and to reduce the
+  // amount of data written within them, a frame is pushed onto the stack
+  // only for the outermost critical section executed in HTM mode" — so we
+  // skip the frame, the context push, and all statistics here.
+  nested_in_htm_ = htm::in_txn();
+  already_held_ = thread_holds_lock(lock);
+  if (nested_in_htm_) return;
+
+  ThreadCtx& tc = thread_ctx();
+  saved_ctx_ = tc.context();
+  tc.ctx = saved_ctx_->child(&scope_);
+  granule_ = &md.granule_for(tc.ctx);
+  policy_ = &md.policy();
+  tc.frames.push_back(this);
+
+  saved_swopt_lock_ = tc.swopt_lock;
+  st_.lock_already_held = already_held_;
+  st_.htm_eligible = scope_.allow_htm && htm::htm_available();
+  // §4.1: no SWOpt when the thread holds the lock, or when it is already in
+  // SWOpt mode for a critical section of a *different* lock.
+  st_.swopt_eligible = scope_.has_swopt && !already_held_ &&
+                       (tc.swopt_lock == nullptr || tc.swopt_lock == &md_);
+
+  exec_start_ticks_ = now_ticks();
+  granule_->stats.executions.inc();
+}
+
+CsExec::~CsExec() {
+  if (nested_in_htm_) return;
+  if (!done_) cleanup_abandoned();
+  ThreadCtx& tc = thread_ctx();
+  if (!tc.frames.empty() && tc.frames.back() == this) tc.frames.pop_back();
+  tc.ctx = saved_ctx_;
+}
+
+void CsExec::cleanup_abandoned() noexcept {
+  // A non-transactional exception escaped the body: unwind whatever this
+  // frame owns so the exception can propagate safely.
+  if (mode_ == ExecMode::kLock && lock_acquired_) {
+    api_->release(lock_);
+    lock_acquired_ = false;
+  }
+  if (mode_ == ExecMode::kHtm) {
+    // Emulated transactions can be cancelled cleanly. (A real RTM
+    // transaction cannot survive C++ unwinding anyway; the hardware will
+    // have aborted it.)
+    auto& desc = htm::detail::tls_desc();
+    if (desc.active()) desc.cancel();
+  }
+  leave_swopt_sets();
+  if (mode_ == ExecMode::kSwOpt) thread_ctx().swopt_lock = saved_swopt_lock_;
+}
+
+void CsExec::leave_swopt_sets() noexcept {
+  if (swopt_retry_arrived_) {
+    policy_->on_swopt_retry_end(md_);
+    swopt_retry_arrived_ = false;
+  }
+  if (swopt_present_arrived_) {
+    md_.swopt_present_depart();
+    swopt_present_arrived_ = false;
+  }
+}
+
+ExecMode CsExec::sanitize(ExecMode m) const noexcept {
+  if (m == ExecMode::kHtm && !st_.htm_eligible) m = ExecMode::kLock;
+  if (m == ExecMode::kSwOpt && (!st_.swopt_eligible || swopt_given_up_)) {
+    m = ExecMode::kLock;
+  }
+  return m;
+}
+
+void CsExec::wait_until_lock_free() const noexcept {
+  // §4: HTM mode "first waits for the lock to be free" — beginning a
+  // transaction while the lock is held would abort immediately and waste
+  // the attempt. Bounded so a long-held lock cannot stall us forever (the
+  // subscription check turns any residue into a kLockedByOther abort).
+  Backoff backoff;
+  for (int i = 0; i < 64 && api_->is_locked(lock_); ++i) backoff.pause();
+}
+
+bool CsExec::arm() {
+  if (done_) return false;
+
+  if (nested_in_htm_) {
+    if (armed_nested_once_) return false;
+    armed_nested_once_ = true;
+    if (!scope_.allow_htm) {
+      // §4.1: "If a nested critical section does not allow HTM mode, the
+      // hardware transaction is aborted."
+      htm::tx_abort(htm::AbortCause::kNested);
+    }
+    htm::tx_subscribe_lock(api_, lock_, already_held_);
+    mode_ = ExecMode::kHtm;
+    body_running_ = true;
+    return true;
+  }
+
+  for (;;) {
+    st_.attempt_no++;
+    const ExecMode m = sanitize(policy_->choose_mode(st_, md_, *granule_));
+
+    switch (m) {
+      case ExecMode::kHtm: {
+        // Leaving SWOpt-retrier membership before a potentially
+        // conflicting attempt; otherwise grouping would wait on ourselves.
+        if (swopt_retry_arrived_) {
+          policy_->on_swopt_retry_end(md_);
+          swopt_retry_arrived_ = false;
+        }
+        // §3.3 nesting pattern: a CS nested inside this thread's own SWOpt
+        // execution of the same lock must not defer to SWOpt retriers (it
+        // would be waiting for itself); grouping is skipped in that case.
+        if (thread_ctx().swopt_lock != &md_) {
+          policy_->before_potentially_conflicting(md_);
+        }
+        if (!already_held_) wait_until_lock_free();
+        fail_sample_ = granule_->stats.of(ExecMode::kHtm).fail_time
+                           .maybe_start();
+        const htm::BeginStatus bs = htm::tx_begin();
+        // NOTE: with the RTM backend, a hardware abort during the body
+        // resumes here with bs.state == kAborted (rollback revives this
+        // frame as of the tx_begin call).
+        if (bs.state == htm::BeginState::kStarted) {
+          // arm() runs outside the macro's try-block, so an emulated
+          // subscription abort (lock currently held) is caught here.
+          try {
+            htm::tx_subscribe_lock(api_, lock_, already_held_);
+          } catch (const htm::TxAbortException& e) {
+            record_htm_abort(e.cause);
+            continue;
+          }
+          mode_ = ExecMode::kHtm;
+          body_running_ = true;
+          return true;
+        }
+        if (bs.state == htm::BeginState::kAborted) {
+          record_htm_abort(bs.cause);
+          continue;
+        }
+        st_.htm_eligible = false;  // kUnavailable: stop asking
+        continue;
+      }
+
+      case ExecMode::kSwOpt: {
+        st_.swopt_attempts++;
+        granule_->stats.of(ExecMode::kSwOpt).attempts.inc();
+        if (!swopt_present_arrived_) {
+          md_.swopt_present_arrive();
+          swopt_present_arrived_ = true;
+        }
+        thread_ctx().swopt_lock = &md_;
+        mode_ = ExecMode::kSwOpt;
+        body_running_ = true;
+        return true;
+      }
+
+      case ExecMode::kLock: {
+        if (swopt_retry_arrived_) {
+          policy_->on_swopt_retry_end(md_);
+          swopt_retry_arrived_ = false;
+        }
+        granule_->stats.of(ExecMode::kLock).attempts.inc();
+        if (!already_held_) {
+          if (thread_ctx().swopt_lock != &md_) {
+            policy_->before_potentially_conflicting(md_);
+          }
+          const auto wait_sample = granule_->stats.lock_wait.maybe_start();
+          api_->acquire(lock_);
+          lock_acquired_ = true;
+          if (wait_sample) granule_->stats.lock_wait.record_since(*wait_sample);
+        }
+        mode_ = ExecMode::kLock;
+        body_running_ = true;
+        return true;
+      }
+    }
+  }
+}
+
+void CsExec::record_htm_abort(htm::AbortCause cause) {
+  st_.last_abort = cause;
+  if (cause == htm::AbortCause::kLockedByOther) {
+    // §4: aborts caused by a concurrent lock acquisition are accounted "in
+    // a much lighter way" to avoid cascades — tracked separately so
+    // policies can weight them down.
+    st_.htm_locked_aborts++;
+  } else {
+    st_.htm_attempts++;
+  }
+  granule_->stats.of(ExecMode::kHtm).attempts.inc();
+  granule_->stats.abort_cause[static_cast<std::size_t>(cause)].inc();
+  if (fail_sample_) {
+    granule_->stats.of(ExecMode::kHtm).fail_time.record_since(*fail_sample_);
+    fail_sample_.reset();
+  }
+  policy_->on_htm_abort(md_, *granule_, cause);
+}
+
+void CsExec::on_abort_exception(const htm::TxAbortException& e) {
+  if (nested_in_htm_) throw e;  // the enclosing transaction owns retries
+
+  body_running_ = false;
+  switch (mode_) {
+    case ExecMode::kHtm:
+      record_htm_abort(e.cause);
+      break;
+    case ExecMode::kSwOpt: {
+      granule_->stats.swopt_failures.inc();
+      st_.last_abort = e.cause;
+      thread_ctx().swopt_lock = saved_swopt_lock_;
+      if (e.cause == htm::AbortCause::kExplicit && e.user_code == 1) {
+        // swopt_self_abort(): no further SWOpt attempts this execution.
+        swopt_given_up_ = true;
+      }
+      if (!swopt_retry_arrived_ && !swopt_given_up_) {
+        policy_->on_swopt_retry_begin(md_);
+        swopt_retry_arrived_ = true;
+      }
+      policy_->on_swopt_fail(md_, *granule_);
+      break;
+    }
+    case ExecMode::kLock:
+      // A transactional abort cannot originate in Lock mode; treat it as a
+      // user error and propagate after releasing the lock (destructor
+      // handles the release via cleanup_abandoned()).
+      throw e;
+  }
+}
+
+void CsExec::swopt_failed() {
+  assert(mode_ == ExecMode::kSwOpt);
+  throw htm::TxAbortException{htm::AbortCause::kConflict, 0};
+}
+
+void CsExec::swopt_self_abort() {
+  assert(mode_ == ExecMode::kSwOpt);
+  throw htm::TxAbortException{htm::AbortCause::kExplicit, 1};
+}
+
+void CsExec::finish() {
+  if (nested_in_htm_) {
+    // The enclosing transaction commits for us (§4.1); nothing to record —
+    // statistics writes inside a transaction would be rolled back and
+    // would inflate its write set.
+    done_ = true;
+    return;
+  }
+
+  switch (mode_) {
+    case ExecMode::kHtm:
+      htm::tx_commit();  // may throw; the catch re-enters arm()
+      fail_sample_.reset();
+      break;
+    case ExecMode::kLock:
+      if (lock_acquired_) {
+        api_->release(lock_);
+        lock_acquired_ = false;
+      }
+      break;
+    case ExecMode::kSwOpt:
+      thread_ctx().swopt_lock = saved_swopt_lock_;
+      break;
+  }
+
+  body_running_ = false;
+  const std::uint64_t elapsed = now_ticks() - exec_start_ticks_;
+  auto& mode_stats = granule_->stats.of(mode_);
+  mode_stats.successes.inc();
+  if (mode_ == ExecMode::kHtm) {
+    st_.htm_attempts++;  // the successful attempt
+    mode_stats.attempts.inc();
+  }
+  if (thread_prng().next_bool(SampledTime::kDefaultRate)) {
+    mode_stats.exec_time.record(elapsed);
+  }
+  leave_swopt_sets();
+  policy_->on_execution_complete(md_, *granule_, mode_, st_, elapsed);
+  done_ = true;
+}
+
+}  // namespace ale

@@ -1,0 +1,139 @@
+// The critical-section execution engine.
+//
+// One CsExec object lives on the stack per BEGIN_CS/END_CS pair (the macros
+// in core/macros.hpp and the lambda API in core/ale.hpp both expand to the
+// same arm()/finish()/on_abort_exception() protocol):
+//
+//   {
+//     CsExec cs(api, lock, md, scope);
+//     while (cs.arm()) {            // picks a mode; true => run the body
+//       try {
+//         <body>                    // may observe cs.exec_mode()
+//         cs.finish();              // commit / unlock / record success
+//       } catch (htm::TxAbortException& e) {
+//         cs.on_abort_exception(e); // record; next arm() retries
+//       }
+//     }
+//   }
+//
+// This one structure hosts all backends:
+//  * Lock mode: arm() acquires, finish() releases.
+//  * SWOpt mode: arm() returns with no lock; the body validates itself and
+//    calls swopt_failed() (throws) to retry under policy control.
+//  * Emulated HTM: aborts are TxAbortExceptions thrown by the instrumented
+//    accessors or by the commit inside finish(); the catch re-enters arm().
+//  * Real RTM: a hardware abort warps control back to the _xbegin inside
+//    arm() (whose frame the hardware revives), which sees the abort status
+//    and re-enters its mode-selection loop — the while/try structure is
+//    unaffected. All engine bookkeeping happens before tx-begin or after
+//    the abort/commit, so it is never rolled back.
+//
+// Nesting (§4.1): a CS nested inside an HTM-mode CS pushes no frame and
+// runs inside the enclosing transaction, subscribing to its own lock; all
+// other rules (no SWOpt when holding the lock or when in SWOpt for another
+// lock) are enforced in the constructor's eligibility computation.
+//
+// Lock-ordering contract: Lock-mode fallbacks acquire blockingly, so
+// programs must nest distinct locks in a consistent global order — the
+// same obligation plain locks impose. Elided modes use try-acquisition
+// (emulated commit) or hardware subscription and cannot deadlock, but the
+// fallback always can if the program's nesting order is cyclic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/granule.hpp"
+#include "core/lockmd.hpp"
+#include "core/policy_iface.hpp"
+#include "core/thread_ctx.hpp"
+#include "htm/htm.hpp"
+#include "sync/lockapi.hpp"
+
+namespace ale {
+
+// Body outcome for the lambda-style APIs (execute_cs, ScopedCs::run):
+// kDone commits/completes; kRetrySwOpt reports a SWOpt validation failure
+// and retries under policy control (equivalent to GetImp returning -1 in
+// the paper's Figure 1 wrapper loop).
+enum class CsBody : std::uint8_t { kDone, kRetrySwOpt };
+
+class CsExec {
+ public:
+  CsExec(const LockApi* api, void* lock, LockMd& md, const ScopeInfo& scope);
+  ~CsExec();
+  CsExec(const CsExec&) = delete;
+  CsExec& operator=(const CsExec&) = delete;
+
+  // Pick a mode and prepare the next attempt. Returns true to run the body,
+  // false when the execution has completed.
+  bool arm();
+
+  // Complete the current attempt: commit (HTM), release (Lock), and record
+  // the execution's success. May throw TxAbortException (emulated commit).
+  void finish();
+
+  // Handle an abort delivered by exception (emulated HTM, explicit aborts,
+  // SWOpt failures). Rethrows when the abort belongs to an enclosing
+  // transaction.
+  void on_abort_exception(const htm::TxAbortException& e);
+
+  // The paper's GET_EXEC_MODE for code holding the CsExec.
+  ExecMode exec_mode() const noexcept { return mode_; }
+  bool in_swopt() const noexcept { return mode_ == ExecMode::kSwOpt; }
+
+  // SWOpt path detected interference: record and retry under policy
+  // control (§3.2's "after notifying the library of the failed attempt").
+  [[noreturn]] void swopt_failed();
+
+  // §3.3 self-abort idiom: give up on SWOpt for this execution entirely
+  // (e.g. a conflicting region was reached), then retry in another mode.
+  [[noreturn]] void swopt_self_abort();
+
+  LockMd& lock_md() noexcept { return md_; }
+  GranuleMd* granule() noexcept { return granule_; }
+  const void* lock_ptr() const noexcept { return lock_; }
+  bool is_nested_in_htm() const noexcept { return nested_in_htm_; }
+  bool holds_lock_here() const noexcept {
+    return mode_ == ExecMode::kLock && lock_acquired_;
+  }
+  const AttemptState& attempt_state() const noexcept { return st_; }
+
+ private:
+  void record_htm_abort(htm::AbortCause cause);
+  void leave_swopt_sets() noexcept;
+  void cleanup_abandoned() noexcept;
+  ExecMode sanitize(ExecMode m) const noexcept;
+  void wait_until_lock_free() const noexcept;
+
+  const LockApi* api_;
+  void* lock_;
+  LockMd& md_;
+  const ScopeInfo& scope_;
+  GranuleMd* granule_ = nullptr;
+  Policy* policy_ = nullptr;
+
+  ContextNode* saved_ctx_ = nullptr;
+  LockMd* saved_swopt_lock_ = nullptr;
+  ExecMode mode_ = ExecMode::kLock;
+  AttemptState st_;
+
+  std::uint64_t exec_start_ticks_ = 0;
+  std::optional<std::uint64_t> fail_sample_;  // sampled failed-attempt timer
+
+  bool nested_in_htm_ = false;
+  bool already_held_ = false;
+  bool lock_acquired_ = false;
+  bool body_running_ = false;
+  bool swopt_present_arrived_ = false;
+  bool swopt_retry_arrived_ = false;
+  bool swopt_given_up_ = false;  // self-abort: no more SWOpt this execution
+  bool armed_nested_once_ = false;
+  bool done_ = false;
+};
+
+// The paper's GET_EXEC_MODE as a free function, for helper code (like
+// Figure 1's GetImp) that does not see the CsExec variable.
+ExecMode current_exec_mode() noexcept;
+
+}  // namespace ale

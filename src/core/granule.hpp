@@ -1,0 +1,79 @@
+// Granule metadata: "the library associates granule metadata with each
+// <lock, context> pair with which a critical section is executed, which is
+// used to record information and statistics about these executions" (§4).
+//
+// Counters are BFP statistical counters and timings are ~3%-sampled CAS
+// summaries, per §4.3, so granule updates stay cheap and scalable.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "core/context.hpp"
+#include "core/mode.hpp"
+#include "core/policy_iface.hpp"
+#include "htm/abort.hpp"
+#include "stats/bfp_counter.hpp"
+#include "stats/sampled_time.hpp"
+
+namespace ale {
+
+struct ModeStats {
+  BfpCounter attempts;
+  BfpCounter successes;
+  SampledTime exec_time;  // whole-execution time when this mode won
+  SampledTime fail_time;  // time burnt by failed attempts in this mode
+};
+
+struct GranuleStats {
+  BfpCounter executions;
+  ModeStats mode[kNumExecModes];
+  BfpCounter abort_cause[htm::kNumAbortCauses];
+  BfpCounter swopt_failures;
+  SampledTime lock_wait;
+
+  ModeStats& of(ExecMode m) noexcept {
+    return mode[static_cast<std::size_t>(m)];
+  }
+  const ModeStats& of(ExecMode m) const noexcept {
+    return mode[static_cast<std::size_t>(m)];
+  }
+};
+
+class GranuleMd {
+ public:
+  GranuleMd(LockMd& lock, const ContextNode* ctx) noexcept
+      : lock_(lock), ctx_(ctx) {}
+  GranuleMd(const GranuleMd&) = delete;
+  GranuleMd& operator=(const GranuleMd&) = delete;
+  ~GranuleMd() {
+    delete policy_state_.load(std::memory_order_acquire);
+  }
+
+  LockMd& lock_md() noexcept { return lock_; }
+  const ContextNode* context() const noexcept { return ctx_; }
+
+  GranuleStats stats;
+
+  // Policy-owned per-granule state, created lazily by the installed policy.
+  PolicyGranuleState* policy_state(Policy& policy) {
+    PolicyGranuleState* s = policy_state_.load(std::memory_order_acquire);
+    if (s != nullptr) return s;
+    auto fresh = policy.make_granule_state(*this);
+    if (fresh == nullptr) return nullptr;
+    PolicyGranuleState* expected = nullptr;
+    if (policy_state_.compare_exchange_strong(expected, fresh.get(),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      return fresh.release();
+    }
+    return expected;  // lost the race; `fresh` is discarded
+  }
+
+ private:
+  LockMd& lock_;
+  const ContextNode* ctx_;
+  std::atomic<PolicyGranuleState*> policy_state_{nullptr};
+};
+
+}  // namespace ale

@@ -1,0 +1,134 @@
+#include "core/lockmd.hpp"
+
+#include <mutex>
+
+namespace ale {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<LockMd*> locks;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static teardown
+  return *r;
+}
+
+}  // namespace
+
+LockMd::LockMd(std::string name) : name_(std::move(name)) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> guard(r.mutex);
+  r.locks.push_back(this);
+}
+
+LockMd::~LockMd() {
+  {
+    auto& r = registry();
+    std::lock_guard<std::mutex> guard(r.mutex);
+    std::erase(r.locks, this);
+  }
+  for (auto& slot : table_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+  delete policy_state_.load(std::memory_order_acquire);
+}
+
+GranuleMd& LockMd::granule_for(const ContextNode* ctx) {
+  const std::size_t h =
+      (reinterpret_cast<std::size_t>(ctx) * 0x9e3779b97f4a7c15ULL) >> 32;
+  for (std::size_t probe = 0; probe < kTableSize; ++probe) {
+    const std::size_t i = (h + probe) % kTableSize;
+    GranuleMd* g = table_[i].load(std::memory_order_acquire);
+    if (g == nullptr) {
+      // Claim the slot under the creation lock (rare path).
+      create_lock_.lock();
+      g = table_[i].load(std::memory_order_acquire);
+      if (g == nullptr) {
+        g = new GranuleMd(*this, ctx);
+        table_[i].store(g, std::memory_order_release);
+        create_lock_.unlock();
+        return *g;
+      }
+      create_lock_.unlock();
+    }
+    if (g->context() == ctx) return *g;
+  }
+  // Table exhausted (pathological context fan-out): fall back to a locked
+  // overflow list.
+  create_lock_.lock();
+  for (auto& g : overflow_) {
+    if (g->context() == ctx) {
+      GranuleMd& ref = *g;
+      create_lock_.unlock();
+      return ref;
+    }
+  }
+  overflow_.push_back(std::make_unique<GranuleMd>(*this, ctx));
+  GranuleMd& ref = *overflow_.back();
+  create_lock_.unlock();
+  return ref;
+}
+
+PolicyLockState* LockMd::policy_state(Policy& policy) {
+  PolicyLockState* s = policy_state_.load(std::memory_order_acquire);
+  if (s != nullptr) return s;
+  auto fresh = policy.make_lock_state(*this);
+  if (fresh == nullptr) return nullptr;
+  PolicyLockState* expected = nullptr;
+  if (policy_state_.compare_exchange_strong(expected, fresh.get(),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    return fresh.release();
+  }
+  return expected;
+}
+
+void LockMd::for_each_granule(const std::function<void(GranuleMd&)>& fn) {
+  for (auto& slot : table_) {
+    GranuleMd* g = slot.load(std::memory_order_acquire);
+    if (g != nullptr) fn(*g);
+  }
+  create_lock_.lock();
+  std::vector<GranuleMd*> extra;
+  extra.reserve(overflow_.size());
+  for (auto& g : overflow_) extra.push_back(g.get());
+  create_lock_.unlock();
+  for (GranuleMd* g : extra) fn(*g);
+}
+
+std::uint64_t LockMd::total_executions() {
+  std::uint64_t total = 0;
+  for_each_granule(
+      [&total](GranuleMd& g) { total += g.stats.executions.read(); });
+  return total;
+}
+
+void for_each_lock_md(const std::function<void(LockMd&)>& fn) {
+  auto& r = registry();
+  std::vector<LockMd*> snapshot;
+  {
+    std::lock_guard<std::mutex> guard(r.mutex);
+    snapshot = r.locks;
+  }
+  for (LockMd* l : snapshot) fn(*l);
+}
+
+namespace {
+std::unique_ptr<Policy>& global_policy_slot() {
+  static std::unique_ptr<Policy>* slot =
+      new std::unique_ptr<Policy>(std::make_unique<LockOnlyPolicy>());
+  return *slot;
+}
+}  // namespace
+
+Policy& global_policy() noexcept { return *global_policy_slot(); }
+
+void set_global_policy(std::unique_ptr<Policy> policy) {
+  if (policy == nullptr) policy = std::make_unique<LockOnlyPolicy>();
+  global_policy_slot() = std::move(policy);
+}
+
+}  // namespace ale

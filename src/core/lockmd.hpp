@@ -1,0 +1,99 @@
+// Per-lock metadata (§3.1, §4): "Each ALE-enabled lock has associated
+// metadata, which is allocated and initialized once... All communication
+// with the library for a given lock uses the lock's label."
+//
+// In this C++ rendering the "label" *is* the LockMd object. It owns:
+//  * the granule table — one GranuleMd per context the lock is used in,
+//  * the SWOpt *presence* indicator (backs COULD_SWOPT_BE_RUNNING, §3.3):
+//    a transaction-visible counter, so HTM-mode elision of conflict
+//    indication stays sound (see below),
+//  * a SNZI tracking SWOpt *retriers* (backs the grouping mechanism, §4.2),
+//  * policy-owned per-lock state, and an optional per-lock policy override.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/granule.hpp"
+#include "core/policy_iface.hpp"
+#include "htm/access.hpp"
+#include "sync/snzi.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ale {
+
+class LockMd {
+ public:
+  explicit LockMd(std::string name);
+  ~LockMd();
+  LockMd(const LockMd&) = delete;
+  LockMd& operator=(const LockMd&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  // Granule for the given context, created on first use. Lock-free lookup
+  // on the hot path (open-addressed table of immutable entries).
+  GranuleMd& granule_for(const ContextNode* ctx);
+
+  // §3.3: "possibly conservative indication" that SWOpt executions exist.
+  // The count is read through tx_load, so an HTM-mode execution that elides
+  // its conflict indication based on a false answer is subscribed to the
+  // word: a SWOpt arrival before its commit aborts it (on every backend),
+  // keeping the elision safe.
+  bool could_swopt_be_running() const {
+    return tx_load(swopt_present_count_) != 0;
+  }
+  void swopt_present_arrive() {
+    detail::versioned_fetch_add(swopt_present_count_, std::uint64_t{1});
+  }
+  void swopt_present_depart() {
+    detail::versioned_fetch_add(swopt_present_count_,
+                                ~std::uint64_t{0});  // += -1 (mod 2^64)
+  }
+
+  // §4.2 grouping: SWOpt executions that have failed at least once. SNZI
+  // keeps the grouping's wait-loop query a single cheap read; this
+  // indicator is heuristic (waiting is advisory), so it needs no
+  // transactional visibility.
+  Snzi& swopt_retriers() noexcept { return swopt_retriers_; }
+
+  // Policy resolution: per-lock override if set, else the global policy.
+  Policy& policy() noexcept {
+    Policy* p = policy_override_.load(std::memory_order_acquire);
+    return p != nullptr ? *p : global_policy();
+  }
+  // Caller keeps ownership; pass nullptr to revert to the global policy.
+  void set_policy(Policy* p) noexcept {
+    policy_override_.store(p, std::memory_order_release);
+  }
+
+  PolicyLockState* policy_state(Policy& policy);
+
+  // Snapshot iteration for reports (takes the creation lock briefly).
+  void for_each_granule(const std::function<void(GranuleMd&)>& fn);
+
+  // Total executions across granules (reads BFP estimates).
+  std::uint64_t total_executions();
+
+ private:
+  static constexpr std::size_t kTableSize = 256;  // granules per lock
+
+  std::string name_;
+  std::atomic<GranuleMd*> table_[kTableSize]{};
+  TatasLock create_lock_;
+  std::vector<std::unique_ptr<GranuleMd>> overflow_;  // beyond kTableSize
+
+  std::uint64_t swopt_present_count_ = 0;  // accessed via tx accessors
+  Snzi swopt_retriers_;
+
+  std::atomic<Policy*> policy_override_{nullptr};
+  std::atomic<PolicyLockState*> policy_state_{nullptr};
+};
+
+// Global registry of live LockMds, for report generation.
+void for_each_lock_md(const std::function<void(LockMd&)>& fn);
+
+}  // namespace ale

@@ -1,0 +1,75 @@
+// The paper's macro API (§3). Each BEGIN_CS* use site declares a static
+// ScopeInfo (so distinct sites are distinct scopes, §3.4) and opens the
+// engine's arm/try/finish/catch structure; ALE_END_CS closes it.
+//
+//   ALE_BEGIN_CS(&api, &lock, md);          // no SWOpt path at this site
+//     ... critical section body ...
+//   ALE_END_CS();
+//
+//   ALE_BEGIN_CS_SWOPT(&api, &lock, md);    // a SWOpt path exists
+//     if (ALE_GET_EXEC_MODE() == ale::ExecMode::kSwOpt) { ... validated ... }
+//     else { ... pessimistic ... }
+//   ALE_END_CS();
+//
+// Inside the section: ALE_GET_EXEC_MODE(), ALE_SWOPT_FAILED(),
+// ALE_SWOPT_SELF_ABORT(), ALE_CS_VAR (the engine object, e.g. for the
+// lambda helpers). ALE_BEGIN_SCOPE/ALE_END_SCOPE add explicit context
+// levels (scoped-locking idiom); ALE_BEGIN_CS_NAMED names the scope.
+//
+// Prefer the RAII/lambda API in core/ale.hpp for new C++ code; the macros
+// exist for paper fidelity and for retrofitting C-style code bases.
+#pragma once
+
+#include "core/engine.hpp"
+
+#define ALE_DETAIL_CAT2(a, b) a##b
+#define ALE_DETAIL_CAT(a, b) ALE_DETAIL_CAT2(a, b)
+
+#define ALE_CS_VAR _ale_cs_exec
+
+// Core expansion shared by every BEGIN_CS variant.
+#define ALE_DETAIL_BEGIN_CS(api, lockp, md, label, has_swopt, allow_htm)   \
+  {                                                                        \
+    static ale::ScopeInfo ALE_DETAIL_CAT(_ale_scope_, __LINE__){           \
+        (label), (has_swopt), (allow_htm)};                                \
+    ale::CsExec ALE_CS_VAR((api), (lockp), (md),                           \
+                           ALE_DETAIL_CAT(_ale_scope_, __LINE__));         \
+    while (ALE_CS_VAR.arm()) {                                             \
+      try {
+#define ALE_END_CS()                                                       \
+        ALE_CS_VAR.finish();                                               \
+      } catch (const ale::htm::TxAbortException& _ale_abort) {             \
+        ALE_CS_VAR.on_abort_exception(_ale_abort);                         \
+      }                                                                    \
+    }                                                                      \
+  }
+
+// Paper-shaped variants. `md` is the lock's ale::LockMd (the "label").
+#define ALE_BEGIN_CS(api, lockp, md) \
+  ALE_DETAIL_BEGIN_CS(api, lockp, md, #md, false, true)
+#define ALE_BEGIN_CS_SWOPT(api, lockp, md) \
+  ALE_DETAIL_BEGIN_CS(api, lockp, md, #md, true, true)
+#define ALE_BEGIN_CS_NAMED(api, lockp, md, name) \
+  ALE_DETAIL_BEGIN_CS(api, lockp, md, name, false, true)
+#define ALE_BEGIN_CS_SWOPT_NAMED(api, lockp, md, name) \
+  ALE_DETAIL_BEGIN_CS(api, lockp, md, name, true, true)
+// Programmer prohibits HTM at this site (§4.1's "unless the programmer
+// explicitly prohibits one or both").
+#define ALE_BEGIN_CS_NO_HTM(api, lockp, md) \
+  ALE_DETAIL_BEGIN_CS(api, lockp, md, #md, false, false)
+
+#define ALE_GET_EXEC_MODE() (ALE_CS_VAR.exec_mode())
+#define ALE_SWOPT_FAILED() (ALE_CS_VAR.swopt_failed())
+#define ALE_SWOPT_SELF_ABORT() (ALE_CS_VAR.swopt_self_abort())
+
+// §3.3: elide conflict-indication updates when no SWOpt path can observe
+// them.
+#define ALE_COULD_SWOPT_BE_RUNNING(md) ((md).could_swopt_be_running())
+
+// §3.4 explicit scopes.
+#define ALE_BEGIN_SCOPE(label)                                            \
+  {                                                                       \
+    static ale::ScopeInfo ALE_DETAIL_CAT(_ale_scope_, __LINE__){(label)}; \
+    ale::ScopeGuard _ale_scope_guard(                                     \
+        &ALE_DETAIL_CAT(_ale_scope_, __LINE__));
+#define ALE_END_SCOPE() }

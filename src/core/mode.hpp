@@ -1,0 +1,30 @@
+// The three execution modes a critical section can run in (§1):
+//   HTM   — transactional lock elision: hardware (or emulated) transaction
+//           subscribed to the lock,
+//   SWOpt — programmer-supplied software-optimistic path, validated against
+//           a conflict indicator,
+//   Lock  — acquire the lock (always succeeds; the fallback).
+#pragma once
+
+#include <cstdint>
+
+namespace ale {
+
+enum class ExecMode : std::uint8_t {
+  kLock = 0,
+  kHtm = 1,
+  kSwOpt = 2,
+};
+
+inline constexpr std::size_t kNumExecModes = 3;
+
+inline const char* to_string(ExecMode m) noexcept {
+  switch (m) {
+    case ExecMode::kLock: return "Lock";
+    case ExecMode::kHtm: return "HTM";
+    case ExecMode::kSwOpt: return "SWOpt";
+  }
+  return "?";
+}
+
+}  // namespace ale

@@ -1,0 +1,99 @@
+// The pluggable policy interface (§4): "The ALE library separates common,
+// policy-independent functionality from a pluggable policy... Each time a
+// critical section is attempted, the library invokes the policy to
+// determine the mode in which it should be executed."
+//
+// The engine calls choose_mode once per attempt and reports outcomes; the
+// policy may attach its own state to each lock and to each (lock, context)
+// granule through the factory hooks ("their structure may be
+// policy-dependent", §4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/mode.hpp"
+#include "htm/abort.hpp"
+
+namespace ale {
+
+class LockMd;
+class GranuleMd;
+
+// Everything the engine knows about the current execution attempt.
+struct AttemptState {
+  unsigned attempt_no = 0;       // 1-based, across all modes
+  unsigned htm_attempts = 0;     // HTM attempts excluding lock-acq aborts
+  unsigned htm_locked_aborts = 0;  // §4: accounted "in a much lighter way"
+  unsigned swopt_attempts = 0;
+  htm::AbortCause last_abort = htm::AbortCause::kNone;
+  bool htm_eligible = false;
+  bool swopt_eligible = false;
+  bool lock_already_held = false;  // reentrant nesting case (§4.1)
+};
+
+class PolicyLockState {
+ public:
+  virtual ~PolicyLockState() = default;
+};
+
+class PolicyGranuleState {
+ public:
+  virtual ~PolicyGranuleState() = default;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual const char* name() const = 0;
+
+  // Decide the next attempt's mode. The engine sanitizes the answer against
+  // eligibility (an ineligible choice degrades to Lock), so policies may
+  // express preference without re-checking every rule.
+  virtual ExecMode choose_mode(const AttemptState& st, LockMd& lock,
+                               GranuleMd& granule) = 0;
+
+  // ---- outcome notifications (always called outside any transaction) ----
+  virtual void on_htm_abort(LockMd&, GranuleMd&, htm::AbortCause) {}
+  virtual void on_swopt_fail(LockMd&, GranuleMd&) {}
+  // `elapsed_ticks` covers the whole execution (first attempt → success).
+  virtual void on_execution_complete(LockMd&, GranuleMd&,
+                                     ExecMode /*final_mode*/,
+                                     const AttemptState&,
+                                     std::uint64_t /*elapsed_ticks*/) {}
+
+  // ---- grouping hooks (§4.2) ----
+  // Called before an attempt that may execute conflicting regions (HTM or
+  // Lock mode); the adaptive policy waits here while SWOpt retriers exist.
+  virtual void before_potentially_conflicting(LockMd&) {}
+  // First failure of a SWOpt path in an execution / completion of that
+  // execution: brackets the thread's membership in the lock's retrier SNZI.
+  virtual void on_swopt_retry_begin(LockMd&) {}
+  virtual void on_swopt_retry_end(LockMd&) {}
+
+  // ---- per-lock / per-granule state factories ----
+  virtual std::unique_ptr<PolicyLockState> make_lock_state(LockMd&) {
+    return nullptr;
+  }
+  virtual std::unique_ptr<PolicyGranuleState> make_granule_state(GranuleMd&) {
+    return nullptr;
+  }
+};
+
+// Library-wide policy. The default is the core's built-in LockOnlyPolicy
+// (equivalent to the paper's "Instrumented" configuration: statistics are
+// collected but only the lock is used). Not thread-safe: install before
+// concurrent use. The returned reference stays valid for process lifetime.
+Policy& global_policy() noexcept;
+void set_global_policy(std::unique_ptr<Policy> policy);
+
+// Built-in fallback: always chooses Lock ("Instrumented" baseline, §5).
+class LockOnlyPolicy final : public Policy {
+ public:
+  const char* name() const override { return "lock-only"; }
+  ExecMode choose_mode(const AttemptState&, LockMd&, GranuleMd&) override {
+    return ExecMode::kLock;
+  }
+};
+
+}  // namespace ale

@@ -1,0 +1,204 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "core/lockmd.hpp"
+#include "stats/table.hpp"
+
+namespace ale {
+
+namespace {
+
+void add_granule_rows(TextTable& table, LockMd& lock, GranuleMd& g,
+                      const ReportOptions& opts) {
+  GranuleStats& s = g.stats;
+  const std::uint64_t execs = s.executions.read();
+  if (execs < opts.min_executions) return;
+
+  auto mode_cell = [&](ExecMode m) {
+    const ModeStats& ms = s.of(m);
+    const std::uint64_t att = ms.attempts.read();
+    const std::uint64_t suc = ms.successes.read();
+    if (att == 0 && suc == 0) return std::string("-");
+    std::string cell =
+        TextTable::fmt(suc) + "/" + TextTable::fmt(att);
+    if (opts.per_mode_times && ms.exec_time.sample_count() > 0) {
+      cell += " (" + TextTable::fmt(ms.exec_time.mean_ns() / 1000.0, 2) +
+              "us)";
+    }
+    return cell;
+  };
+
+  std::string aborts = "-";
+  if (opts.abort_breakdown) {
+    std::ostringstream ab;
+    bool any = false;
+    for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
+      const std::uint64_t n = s.abort_cause[c].read();
+      if (n == 0) continue;
+      if (any) ab << " ";
+      ab << htm::to_string(static_cast<htm::AbortCause>(c)) << ":" << n;
+      any = true;
+    }
+    if (any) aborts = ab.str();
+  }
+
+  table.add_row({lock.name(), g.context()->path(), TextTable::fmt(execs),
+                 mode_cell(ExecMode::kHtm), mode_cell(ExecMode::kSwOpt),
+                 mode_cell(ExecMode::kLock),
+                 TextTable::fmt(s.swopt_failures.read()), aborts});
+}
+
+TextTable make_table() {
+  return TextTable({"lock", "context", "execs", "HTM succ/att",
+                    "SWOpt succ/att", "Lock succ/att", "swopt-fails",
+                    "aborts"});
+}
+
+}  // namespace
+
+void print_lock_report(std::ostream& os, LockMd& lock,
+                       const ReportOptions& opts) {
+  TextTable table = make_table();
+  lock.for_each_granule(
+      [&](GranuleMd& g) { add_granule_rows(table, lock, g, opts); });
+  table.print(os);
+}
+
+void print_report(std::ostream& os, const ReportOptions& opts) {
+  TextTable table = make_table();
+  for_each_lock_md([&](LockMd& lock) {
+    lock.for_each_granule(
+        [&](GranuleMd& g) { add_granule_rows(table, lock, g, opts); });
+  });
+  table.print(os);
+}
+
+std::string report_string(const ReportOptions& opts) {
+  std::ostringstream ss;
+  print_report(ss, opts);
+  return ss.str();
+}
+
+void print_report_csv(std::ostream& os) {
+  os << "lock,context,executions";
+  for (const char* m : {"htm", "swopt", "lock"}) {
+    os << ',' << m << "_attempts," << m << "_successes," << m
+       << "_exec_mean_ns";
+  }
+  os << ",swopt_failures,lock_wait_mean_ns";
+  for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
+    os << ",abort_" << htm::to_string(static_cast<htm::AbortCause>(c));
+  }
+  os << '\n';
+  for_each_lock_md([&](LockMd& lock) {
+    lock.for_each_granule([&](GranuleMd& g) {
+      GranuleStats& s = g.stats;
+      os << lock.name() << ',' << g.context()->path() << ','
+         << s.executions.read();
+      for (const ExecMode m :
+           {ExecMode::kHtm, ExecMode::kSwOpt, ExecMode::kLock}) {
+        const ModeStats& ms = s.of(m);
+        os << ',' << ms.attempts.read() << ',' << ms.successes.read() << ','
+           << ms.exec_time.mean_ns();
+      }
+      os << ',' << s.swopt_failures.read() << ',' << s.lock_wait.mean_ns();
+      for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
+        os << ',' << s.abort_cause[c].read();
+      }
+      os << '\n';
+    });
+  });
+}
+
+namespace {
+
+void analyze_granule(LockMd& lock, GranuleMd& g, std::uint64_t min_execs,
+                     std::vector<GuidanceEntry>& out) {
+  GranuleStats& s = g.stats;
+  const std::uint64_t execs = s.executions.read();
+  if (execs < min_execs) return;
+
+  auto emit = [&](std::string advice) {
+    out.push_back(GuidanceEntry{lock.name(), g.context()->path(),
+                                std::move(advice)});
+  };
+
+  const std::uint64_t htm_att = s.of(ExecMode::kHtm).attempts.read();
+  const std::uint64_t htm_suc = s.of(ExecMode::kHtm).successes.read();
+  const std::uint64_t sw_att = s.of(ExecMode::kSwOpt).attempts.read();
+  const std::uint64_t sw_suc = s.of(ExecMode::kSwOpt).successes.read();
+  const std::uint64_t lock_suc = s.of(ExecMode::kLock).successes.read();
+  const double lock_share =
+      static_cast<double>(lock_suc) / static_cast<double>(execs);
+
+  const std::uint64_t capacity_aborts =
+      s.abort_cause[static_cast<std::size_t>(htm::AbortCause::kCapacity)]
+          .read();
+  const std::uint64_t locked_aborts =
+      s.abort_cause[static_cast<std::size_t>(
+                        htm::AbortCause::kLockedByOther)]
+          .read();
+
+  // Capacity-bound critical section: HTM is attempted but dies on size.
+  if (htm_att > 0 && capacity_aborts * 2 > htm_att) {
+    emit("HTM capacity aborts dominate: the critical section's footprint "
+         "exceeds this platform's transactional capacity — split it, "
+         "shrink it, or rely on a SWOpt path instead (§3.2)");
+  }
+  // Elision starved because the lock keeps being held.
+  if (htm_att > 0 && locked_aborts * 2 > htm_att) {
+    emit("most HTM attempts abort because the lock is held: other contexts "
+         "of this lock fall back to Lock mode often — investigate why "
+         "their elision fails");
+  }
+  // SWOpt path thrashes.
+  if (sw_suc > 0 && s.swopt_failures.read() > sw_suc) {
+    emit("the SWOpt path retries more often than it succeeds: conflicting "
+         "actions are too frequent or too long — consider finer-grained "
+         "conflict indicators (per-bucket versions, §3.2) or grouping "
+         "(§4.2)");
+  }
+  // Heavily serialized without any optimistic alternative at this site.
+  const bool has_swopt_path =
+      g.context()->scope() != nullptr && g.context()->scope()->has_swopt;
+  // "Contended" needs both a relative and an absolute signal — an
+  // uncontended micro-section's acquire cost is a large *fraction* of a
+  // near-empty body without meaning anything.
+  constexpr double kContendedWaitFloorNs = 2000.0;
+  if (!has_swopt_path && lock_share > 0.9 &&
+      (htm_att == 0 || htm_suc * 10 < htm_att) &&
+      s.lock_wait.sample_count() > 0 &&
+      s.lock_wait.mean_ns() > kContendedWaitFloorNs &&
+      s.lock_wait.mean_ns() >
+          s.of(ExecMode::kLock).exec_time.mean_ns() * 0.5) {
+    emit("this critical section serializes on a contended lock and HTM is "
+         "not helping: a good candidate for adding a SWOpt path (§3.2)");
+  }
+  (void)sw_att;
+}
+
+}  // namespace
+
+std::vector<GuidanceEntry> analyze_guidance(std::uint64_t min_executions) {
+  std::vector<GuidanceEntry> out;
+  for_each_lock_md([&](LockMd& lock) {
+    lock.for_each_granule([&](GranuleMd& g) {
+      analyze_granule(lock, g, min_executions, out);
+    });
+  });
+  return out;
+}
+
+void print_guidance(std::ostream& os, std::uint64_t min_executions) {
+  const auto entries = analyze_guidance(min_executions);
+  if (entries.empty()) {
+    os << "(no guidance: nothing suspicious in the collected statistics)\n";
+    return;
+  }
+  for (const auto& e : entries) {
+    os << "* [" << e.lock << " @ " << e.context << "] " << e.advice << '\n';
+  }
+}
+
+}  // namespace ale

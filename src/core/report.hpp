@@ -1,0 +1,59 @@
+// Statistics and profiling reports (§3.4): "Reports based on this
+// information are useful in their own right... these reports provide
+// insights into application behavior on a given platform or workload" and
+// guide which critical sections deserve a SWOpt path.
+//
+// One row per (lock, context) granule: execution counts, per-mode
+// attempts/successes/mean times, abort-cause breakdown, SWOpt failures.
+// Counts are BFP estimates; times are 3%-sampled means (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ale {
+
+class LockMd;
+
+struct ReportOptions {
+  bool per_mode_times = true;
+  bool abort_breakdown = true;
+  // Suppress granules with fewer executions than this (BFP estimate).
+  std::uint64_t min_executions = 1;
+};
+
+// Report on every registered lock.
+void print_report(std::ostream& os, const ReportOptions& opts = {});
+
+// Report on one lock.
+void print_lock_report(std::ostream& os, LockMd& lock,
+                       const ReportOptions& opts = {});
+
+// Convenience for tests/examples.
+std::string report_string(const ReportOptions& opts = {});
+
+// ---- guidance (§3.4) ----
+// "These insights provide guidance about which critical sections might
+// benefit from a SWOpt path, for example." analyze_guidance() inspects
+// every granule with enough executions and emits heuristic advice:
+// contended locks, capacity-bound critical sections, elision starved by
+// lock holders, SWOpt paths that thrash, sites that lack a SWOpt path.
+struct GuidanceEntry {
+  std::string lock;
+  std::string context;
+  std::string advice;
+};
+
+std::vector<GuidanceEntry> analyze_guidance(std::uint64_t min_executions =
+                                                256);
+void print_guidance(std::ostream& os,
+                    std::uint64_t min_executions = 256);
+
+// Machine-readable export: one CSV row per granule with the full counter
+// set (for offline analysis/plotting of the statistics the text report
+// summarizes). Includes a header row.
+void print_report_csv(std::ostream& os);
+
+}  // namespace ale

@@ -1,0 +1,65 @@
+// The C++ "scoped locking" idiom as a first-class ALE utility (§3.4).
+//
+// The paper discusses classes whose constructor/destructor acquire and
+// release a lock; ALE-enabling them means the critical section *begins* in
+// the constructor and *ends* in the destructor, with the body in between —
+// which does not fit a single lambda. ScopedCs packages the engine's
+// arm/finish/abort protocol for that shape:
+//
+//   void foo() {
+//     ALE_BEGIN_SCOPE("foo.CS1");           // distinguish this call site
+//     {
+//       ale::ScopedCs cs(api, &lock, md, scope);
+//       cs.run([&](ale::CsExec& ex) { ...body... });
+//     }
+//     ALE_END_SCOPE();
+//   }
+//
+// run() executes the body under the policy-chosen mode with full
+// retry/abort handling and may be called exactly once per ScopedCs. The
+// destructor asserts the section completed (or abandons it safely if the
+// body threw a non-transactional exception).
+#pragma once
+
+#include <type_traits>
+
+#include "core/engine.hpp"
+
+namespace ale {
+
+class ScopedCs {
+ public:
+  ScopedCs(const LockApi* api, void* lock, LockMd& md,
+           const ScopeInfo& scope)
+      : cs_(api, lock, md, scope) {}
+
+  ScopedCs(const ScopedCs&) = delete;
+  ScopedCs& operator=(const ScopedCs&) = delete;
+
+  // Execute the critical section body (void or CsBody-returning, as with
+  // execute_cs). Returns after the execution completed in some mode.
+  template <typename Body>
+  void run(Body&& body) {
+    while (cs_.arm()) {
+      try {
+        if constexpr (std::is_void_v<
+                          std::invoke_result_t<Body&, CsExec&>>) {
+          body(cs_);
+          cs_.finish();
+        } else {
+          if (body(cs_) == CsBody::kRetrySwOpt) cs_.swopt_failed();
+          cs_.finish();
+        }
+      } catch (const htm::TxAbortException& abort) {
+        cs_.on_abort_exception(abort);
+      }
+    }
+  }
+
+  CsExec& exec() noexcept { return cs_; }
+
+ private:
+  CsExec cs_;
+};
+
+}  // namespace ale

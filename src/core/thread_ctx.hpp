@@ -1,0 +1,58 @@
+// Per-thread execution state: "per-thread stacks of frames are used to
+// record information associated with the critical section executed at each
+// nesting level" (§4.1), plus the thread's calling-context-tree position
+// and SWOpt ownership (used by the §4.1 nesting restrictions).
+#pragma once
+
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace ale {
+
+class CsExec;
+class LockMd;
+
+struct ThreadCtx {
+  // Frames of in-flight ALE critical sections, innermost last. A critical
+  // section nested inside an HTM-mode one pushes no frame (§4.1).
+  std::vector<CsExec*> frames;
+
+  // Current position in the calling-context tree.
+  ContextNode* ctx = nullptr;
+
+  // The lock for which this thread is currently executing a SWOpt path,
+  // if any (§4.1: SWOpt is ineligible for a different lock's CS).
+  LockMd* swopt_lock = nullptr;
+
+  ContextNode* context() {
+    if (ctx == nullptr) ctx = &context_root();
+    return ctx;
+  }
+};
+
+ThreadCtx& thread_ctx() noexcept;
+
+// True iff some in-flight ALE frame of this thread holds `lock` in Lock
+// mode (the §4.1 "thread already holds the lock" test).
+bool thread_holds_lock(const void* lock) noexcept;
+
+// RAII explicit scope (BEGIN_SCOPE/END_SCOPE, §3.4): pushes a context level
+// without starting a critical section, so critical sections begun inside
+// (e.g. by a ScopedLock constructor) are distinguished per call site.
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(const ScopeInfo* scope) {
+    ThreadCtx& tc = thread_ctx();
+    saved_ = tc.context();
+    tc.ctx = saved_->child(scope);
+  }
+  ~ScopeGuard() { thread_ctx().ctx = saved_; }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+ private:
+  ContextNode* saved_;
+};
+
+}  // namespace ale

@@ -1,0 +1,343 @@
+#include "hashmap/hashmap.hpp"
+
+#include <bit>
+
+namespace ale {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  if (n < 2) return 2;
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+AleHashMap::AleHashMap(std::size_t num_buckets, std::string name,
+                       Options options)
+    : md_(std::move(name)),
+      options_(options),
+      buckets_(round_up_pow2(num_buckets)) {
+  shift_ = 64 - static_cast<unsigned>(std::countr_zero(buckets_.size()));
+  if (options_.per_bucket_indicators) {
+    bucket_vers_ = std::vector<CacheAligned<ConflictIndicator>>(
+        buckets_.size());
+  }
+}
+
+AleHashMap::~AleHashMap() {
+  // Single-threaded teardown: free live chains, then the retire list
+  // (disjoint by construction — unlinked nodes live only on the retire
+  // list).
+  for (Bucket& b : buckets_) {
+    Node* n = b.head;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+  Node* r = retired_head_;
+  while (r != nullptr) {
+    Node* next = r->next;
+    delete r;
+    r = next;
+  }
+}
+
+// ---- Figure 1: GetImp ----
+
+template <bool SWOptMode>
+std::int32_t AleHashMap::get_impl(Key key, Value& out) const {
+  const std::size_t idx = bucket_index(key);
+  const ConflictIndicator& ind = indicator_for(idx);
+  std::uint64_t v = 0;
+  if constexpr (SWOptMode) v = ind.get_ver(true);
+  Node* bp = tx_load(buckets_[idx].head);
+  if constexpr (SWOptMode) {
+    if (ind.changed_since(v)) return -1;
+  }
+  while (bp != nullptr && tx_load(bp->key) != key) {
+    bp = tx_load(bp->next);
+    if constexpr (SWOptMode) {
+      if (ind.changed_since(v)) return -1;
+    }
+  }
+  if (bp != nullptr) {
+    out = tx_load(bp->val);
+    if constexpr (SWOptMode) {
+      if (ind.changed_since(v)) return -1;
+    }
+    return 1;
+  }
+  return 0;
+}
+
+bool AleHashMap::get(Key key, Value& out) {
+  static ScopeInfo scope("HashMap.Get", /*has_swopt=*/true);
+  bool found = false;
+  execute_cs(lock_api<TatasLock>(), &lock_, md_, scope,
+             [&](CsExec& cs) -> CsBody {
+               const std::int32_t r = cs.in_swopt()
+                                          ? get_impl<true>(key, out)
+                                          : get_impl<false>(key, out);
+               if (r < 0) return CsBody::kRetrySwOpt;
+               found = (r == 1);
+               return CsBody::kDone;
+             });
+  return found;
+}
+
+// ---- pessimistic search / structural helpers ----
+
+AleHashMap::Node* AleHashMap::find(Key key, Node**& prev_cell) const {
+  const std::size_t idx = bucket_index(key);
+  Node** cell = const_cast<Node**>(&buckets_[idx].head);
+  Node* n = tx_load(*cell);
+  while (n != nullptr && tx_load(n->key) != key) {
+    cell = &n->next;
+    n = tx_load(*cell);
+  }
+  prev_cell = cell;
+  return n;
+}
+
+std::int32_t AleHashMap::find_validated(Key key, std::uint64_t snapshot,
+                                        Node**& prev_cell,
+                                        Node*& node) const {
+  const std::size_t idx = bucket_index(key);
+  const ConflictIndicator& ind = indicator_for(idx);
+  Node** cell = const_cast<Node**>(&buckets_[idx].head);
+  if (ind.changed_since(snapshot)) return -1;
+  Node* n = tx_load(*cell);
+  if (ind.changed_since(snapshot)) return -1;
+  while (n != nullptr) {
+    if (tx_load(n->key) == key) {
+      if (ind.changed_since(snapshot)) return -1;
+      prev_cell = cell;
+      node = n;
+      return 1;
+    }
+    cell = &n->next;
+    n = tx_load(*cell);
+    if (ind.changed_since(snapshot)) return -1;
+  }
+  prev_cell = cell;
+  node = nullptr;
+  return 0;
+}
+
+void AleHashMap::unlink_and_retire(Node** prev_cell, Node* node) {
+  tx_store(*prev_cell, tx_load(node->next));
+  // Repurpose node->next as the retire-list link. Optimistic readers that
+  // already hold `node` may follow this pointer into the retire list, but
+  // every such traversal step is validated against the conflict indicator
+  // (the caller brackets us in a conflicting region), so they retry.
+  tx_store(node->next, tx_load(retired_head_));
+  tx_store(retired_head_, node);
+}
+
+void AleHashMap::link_front(std::size_t bucket, Node* node) {
+  node->next = tx_load(buckets_[bucket].head);  // private until published
+  tx_store(buckets_[bucket].head, node);
+}
+
+// ---- §3 Insert / Remove (pessimistic bodies, all modes) ----
+
+bool AleHashMap::insert(Key key, Value value) {
+  static ScopeInfo scope("HashMap.Insert");
+  Node* fresh = new Node();  // allocated outside the CS: abort-safe
+  bool inserted = false;
+  execute_cs(lock_api<TatasLock>(), &lock_, md_, scope, [&](CsExec&) {
+    inserted = false;
+    Node** cell = nullptr;
+    Node* n = find(key, cell);
+    if (n != nullptr) {
+      tx_store(n->val, value);  // single-word overwrite: no conflict bump
+      return;
+    }
+    fresh->key = key;
+    fresh->val = value;
+    const std::size_t idx = bucket_index(key);
+    ConflictingAction guard(indicator_for(idx), md_);
+    link_front(idx, fresh);
+    inserted = true;
+  });
+  if (!inserted) delete fresh;
+  return inserted;
+}
+
+bool AleHashMap::remove(Key key) {
+  static ScopeInfo scope("HashMap.Remove");
+  bool removed = false;
+  execute_cs(lock_api<TatasLock>(), &lock_, md_, scope, [&](CsExec&) {
+    removed = false;
+    Node** cell = nullptr;
+    Node* n = find(key, cell);
+    if (n != nullptr) {
+      // §3.2: "Remove conflicts with concurrent SWOpt executions only
+      // briefly and only if it actually removes a node."
+      ConflictingAction guard(indicator_for(bucket_index(key)), md_);
+      unlink_and_retire(cell, n);
+      removed = true;
+    }
+  });
+  return removed;
+}
+
+// ---- §3.3 self-abort variant ----
+
+bool AleHashMap::remove_selfabort(Key key) {
+  static ScopeInfo scope("HashMap.RemoveSA", /*has_swopt=*/true);
+  bool removed = false;
+  execute_cs(lock_api<TatasLock>(), &lock_, md_, scope,
+             [&](CsExec& cs) -> CsBody {
+               removed = false;
+               if (cs.in_swopt()) {
+                 const std::uint64_t v =
+                     indicator_for(bucket_index(key)).get_ver(true);
+                 Node** cell = nullptr;
+                 Node* n = nullptr;
+                 const std::int32_t r = find_validated(key, v, cell, n);
+                 if (r < 0) return CsBody::kRetrySwOpt;
+                 if (r == 0) return CsBody::kDone;  // absent: completed
+                                                    // entirely in SWOpt
+                 cs.swopt_self_abort();  // conflicting action needed
+               }
+               Node** cell = nullptr;
+               Node* n = find(key, cell);
+               if (n != nullptr) {
+                 ConflictingAction guard(indicator_for(bucket_index(key)),
+                                         md_);
+                 unlink_and_retire(cell, n);
+                 removed = true;
+               }
+               return CsBody::kDone;
+             });
+  return removed;
+}
+
+// ---- §3.3 nested-critical-section variants ----
+
+bool AleHashMap::remove_optimistic(Key key) {
+  static ScopeInfo outer("HashMap.RemoveOpt", /*has_swopt=*/true);
+  static ScopeInfo inner("HashMap.RemoveOpt.unlink");
+  bool removed = false;
+  execute_cs(
+      lock_api<TatasLock>(), &lock_, md_, outer, [&](CsExec& cs) -> CsBody {
+        removed = false;
+        const ConflictIndicator& ind = indicator_for(bucket_index(key));
+        if (!cs.in_swopt()) {
+          Node** cell = nullptr;
+          Node* n = find(key, cell);
+          if (n != nullptr) {
+            ConflictingAction guard(indicator_for(bucket_index(key)), md_);
+            unlink_and_retire(cell, n);
+            removed = true;
+          }
+          return CsBody::kDone;
+        }
+        // SWOpt search phase ("while searching for the specified key,
+        // Insert and Remove do not interfere with SWOpt paths", §3.3).
+        const std::uint64_t v = ind.get_ver(true);
+        Node** cell = nullptr;
+        Node* n = nullptr;
+        const std::int32_t r = find_validated(key, v, cell, n);
+        if (r < 0) return CsBody::kRetrySwOpt;
+        if (r == 0) return CsBody::kDone;
+        // Conflicting action in a nested no-SWOpt critical section. "The
+        // nested critical section must first check if a conflict has
+        // occurred, and if so, the critical section should be ended
+        // without performing the conflicting action, and the whole
+        // operation should be retried."
+        bool invalidated = false;
+        execute_cs(lock_api<TatasLock>(), &lock_, md_, inner, [&](CsExec&) {
+          invalidated = ind.changed_since(v);
+          if (invalidated) return;
+          ConflictingAction guard(indicator_for(bucket_index(key)), md_);
+          unlink_and_retire(cell, n);
+        });
+        if (invalidated) return CsBody::kRetrySwOpt;
+        removed = true;
+        return CsBody::kDone;  // nothing after the nested CS that could be
+                               // invalidated (§3.3's closing advice)
+      });
+  return removed;
+}
+
+bool AleHashMap::insert_optimistic(Key key, Value value) {
+  static ScopeInfo outer("HashMap.InsertOpt", /*has_swopt=*/true);
+  static ScopeInfo inner("HashMap.InsertOpt.link");
+  Node* fresh = new Node();
+  bool inserted = false;
+  execute_cs(
+      lock_api<TatasLock>(), &lock_, md_, outer, [&](CsExec& cs) -> CsBody {
+        inserted = false;
+        const std::size_t idx = bucket_index(key);
+        const ConflictIndicator& ind = indicator_for(idx);
+        if (!cs.in_swopt()) {
+          Node** cell = nullptr;
+          Node* n = find(key, cell);
+          if (n != nullptr) {
+            tx_store(n->val, value);
+            return CsBody::kDone;
+          }
+          fresh->key = key;
+          fresh->val = value;
+          ConflictingAction guard(indicator_for(idx), md_);
+          link_front(idx, fresh);
+          inserted = true;
+          return CsBody::kDone;
+        }
+        const std::uint64_t v = ind.get_ver(true);
+        Node** cell = nullptr;
+        Node* n = nullptr;
+        const std::int32_t r = find_validated(key, v, cell, n);
+        if (r < 0) return CsBody::kRetrySwOpt;
+        bool invalidated = false;
+        execute_cs(lock_api<TatasLock>(), &lock_, md_, inner, [&](CsExec&) {
+          invalidated = ind.changed_since(v);
+          if (invalidated) return;
+          if (n != nullptr) {
+            // Key still present (validated above): plain overwrite.
+            tx_store(n->val, value);
+            return;
+          }
+          fresh->key = key;
+          fresh->val = value;
+          ConflictingAction guard(indicator_for(idx), md_);
+          link_front(idx, fresh);
+          inserted = true;
+        });
+        if (invalidated) return CsBody::kRetrySwOpt;
+        return CsBody::kDone;
+      });
+  if (!inserted) delete fresh;
+  return inserted;
+}
+
+// ---- sequential helpers ----
+
+std::size_t AleHashMap::size() {
+  static ScopeInfo scope("HashMap.Size");
+  std::size_t count = 0;
+  execute_cs(lock_api<TatasLock>(), &lock_, md_, scope, [&](CsExec&) {
+    count = 0;
+    for (const Bucket& b : buckets_) {
+      for (Node* n = tx_load(b.head); n != nullptr; n = tx_load(n->next)) {
+        ++count;
+      }
+    }
+  });
+  return count;
+}
+
+bool AleHashMap::contains(Key key) {
+  Value ignored;
+  return get(key, ignored);
+}
+
+template std::int32_t AleHashMap::get_impl<true>(Key, Value&) const;
+template std::int32_t AleHashMap::get_impl<false>(Key, Value&) const;
+
+}  // namespace ale

@@ -1,0 +1,131 @@
+// The paper's HashMap example (§3): a chained hash map protected by a
+// single lock (tblLock), integrated with ALE so that every operation can
+// execute in HTM, SWOpt, or Lock mode.
+//
+//  * Get has a SWOpt path: the templated get_impl<SWOptMode> below is a
+//    faithful port of Figure 1 — snapshot the version (waiting until even),
+//    validate before using any value read since the last validation, and
+//    report -1 on interference so the wrapper retries under policy control.
+//  * Insert / Remove bracket their structural changes (link / unlink) in a
+//    *conflicting region* on the map's ConflictIndicator, elided via
+//    COULD_SWOPT_BE_RUNNING when no SWOpt execution could observe it
+//    (§3.3).
+//  * The §3.3 advanced variants are provided too:
+//      - remove_selfabort(): SWOpt path that self-aborts when it reaches a
+//        conflicting action (absent keys complete entirely in SWOpt),
+//      - remove_optimistic() / insert_optimistic(): SWOpt search phase with
+//        a nested no-SWOpt critical section performing the conflicting
+//        action after re-validating (§3.3's nesting pattern).
+//
+// Memory reclamation follows the paper's assumption ("the application does
+// not deallocate memory during its lifetime"): removed nodes go onto a
+// retire list and are freed only by the destructor, so optimistic readers
+// never fault. All shared fields are accessed via tx_load/tx_store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "core/ale.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ale {
+
+// §3.2's untested suggestion, implemented here as an extension:
+// "Concurrency could be improved by using multiple version numbers, say one
+// for each HashMap bucket." With per-bucket indicators a conflicting action
+// invalidates only SWOpt readers of the same bucket, instead of every
+// reader of the map.
+struct HashMapOptions {
+  bool per_bucket_indicators = false;
+};
+
+class AleHashMap {
+ public:
+  using Key = std::uint64_t;
+  using Value = std::uint64_t;
+  using Options = HashMapOptions;
+
+  explicit AleHashMap(std::size_t num_buckets = 1024,
+                      std::string name = "tblLock", Options options = {});
+  ~AleHashMap();
+  AleHashMap(const AleHashMap&) = delete;
+  AleHashMap& operator=(const AleHashMap&) = delete;
+
+  // Copies the value for `key` into `out` and returns true if present
+  // (§3's Get). SWOpt-enabled.
+  bool get(Key key, Value& out);
+
+  // Inserts key→value, overwriting any existing mapping (§3's Insert).
+  // Returns true iff the key was newly inserted.
+  bool insert(Key key, Value value);
+
+  // Removes `key` if present (§3's Remove); returns true iff removed.
+  bool remove(Key key);
+
+  // §3.3 self-abort variant of Remove: runs in SWOpt until a conflicting
+  // action is actually needed, then self-aborts and retries without SWOpt.
+  bool remove_selfabort(Key key);
+
+  // §3.3 nested-critical-section variants: SWOpt search phase, conflicting
+  // action performed in a nested no-SWOpt critical section.
+  bool remove_optimistic(Key key);
+  bool insert_optimistic(Key key, Value value);
+
+  LockMd& lock_md() noexcept { return md_; }
+
+  // Sequential helpers for tests (run in Lock mode via a plain CS).
+  std::size_t size();
+  bool contains(Key key);
+
+ private:
+  struct Node {
+    Key key = 0;
+    Value val = 0;
+    Node* next = nullptr;
+  };
+  struct Bucket {
+    Node* head = nullptr;
+  };
+
+  std::size_t bucket_index(Key key) const noexcept {
+    return (key * 0x9e3779b97f4a7c15ULL) >> shift_;
+  }
+
+  // Figure 1: auxiliary method used by Get. Returns 1 = found, 0 = absent,
+  // -1 = SWOpt interference detected.
+  template <bool SWOptMode>
+  std::int32_t get_impl(Key key, Value& out) const;
+
+  // Search for key in its bucket: returns the node and the predecessor's
+  // next-pointer cell. Pessimistic-mode only (unvalidated traversal).
+  Node* find(Key key, Node**& prev_cell) const;
+
+  // Validated SWOpt search (§3.3 advanced variants). Returns -1 on
+  // interference, 0 absent, 1 found.
+  std::int32_t find_validated(Key key, std::uint64_t snapshot,
+                              Node**& prev_cell, Node*& node) const;
+
+  void unlink_and_retire(Node** prev_cell, Node* node);
+  void link_front(std::size_t bucket, Node* node);
+
+  // The conflict indicator guarding `bucket`: the single map-wide tblVer
+  // by default, or the bucket's own indicator with per_bucket_indicators.
+  ConflictIndicator& indicator_for(std::size_t bucket) const {
+    return options_.per_bucket_indicators ? bucket_vers_[bucket].value
+                                          : ver_;
+  }
+
+  mutable TatasLock lock_;
+  LockMd md_;
+  Options options_;
+  mutable ConflictIndicator ver_;  // the paper's tblVer
+  mutable std::vector<CacheAligned<ConflictIndicator>> bucket_vers_;
+  std::vector<Bucket> buckets_;
+  unsigned shift_;
+  Node* retired_head_ = nullptr;  // accessed via tx accessors
+};
+
+}  // namespace ale

@@ -1,0 +1,53 @@
+// Abort taxonomy shared by every HTM backend.
+//
+// The policies (static and adaptive) key decisions on *why* a transaction
+// aborted — most importantly §4's "the library estimates whether a hardware
+// transaction has been aborted due to a concurrent lock acquisition by
+// another thread [and] accounts for such aborts in a much lighter way" —
+// so the taxonomy is part of the backend-independent contract.
+#pragma once
+
+#include <cstdint>
+
+namespace ale::htm {
+
+enum class AbortCause : std::uint8_t {
+  kNone = 0,
+  kConflict,       // data conflict with a concurrent writer
+  kCapacity,       // read/write set exceeded the platform's tracking limits
+  kLockedByOther,  // the subscribed lock was (or became) held
+  kExplicit,       // user-requested abort (self-abort idiom, §3.3)
+  kEnvironmental,  // best-effort quirk: interrupt/TLB-miss/faulting analogs
+  kNested,         // nested critical section disallowed HTM (§4.1)
+  kUnavailable,    // no HTM on this platform/profile
+  kOther,
+};
+
+inline const char* to_string(AbortCause c) noexcept {
+  switch (c) {
+    case AbortCause::kNone: return "none";
+    case AbortCause::kConflict: return "conflict";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kLockedByOther: return "locked";
+    case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kEnvironmental: return "environmental";
+    case AbortCause::kNested: return "nested";
+    case AbortCause::kUnavailable: return "unavailable";
+    case AbortCause::kOther: return "other";
+  }
+  return "?";
+}
+
+inline constexpr std::size_t kNumAbortCauses = 9;
+
+// Thrown by the emulated backend's instrumented accessors / commit to unwind
+// back to the critical-section execution engine. Deliberately allocation-
+// free. User critical-section code must be abort-safe (no side effects other
+// than tx_store, which is buffered) — the same rule the paper imposes on
+// SWOpt paths.
+struct TxAbortException {
+  AbortCause cause = AbortCause::kOther;
+  std::uint8_t user_code = 0;  // for kExplicit, the user's abort code
+};
+
+}  // namespace ale::htm

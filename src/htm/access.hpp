@@ -1,0 +1,126 @@
+// Transactional memory accessors — ALE's substitute for compiler
+// instrumentation.
+//
+// The paper instruments SWOpt paths manually (Figure 1); the emulated HTM
+// backend additionally needs loads and stores inside critical sections to
+// be trackable without compiler support. The rule for code integrated with
+// this library is therefore:
+//
+//   All reads and writes of data shared under an ALE-enabled lock go
+//   through ale::tx_load / ale::tx_store.
+//
+// Dispatch per access:
+//  * emulated transaction active  → tracked read / buffered write (may
+//    throw TxAbortException — the engine catches it),
+//  * otherwise                    → plain std::atomic_ref access (acquire/
+//    release), so optimistic readers never race writers UB-style. A
+//    non-transactional store additionally bumps the address's version slot
+//    when the emulated backend is active, which is how Lock-mode critical
+//    sections become visible to concurrent emulated transactions.
+//
+// Locations must be word-sized (≤ 8 bytes, trivially copyable); larger
+// values are boxed behind immutable heap blobs and the *pointer* is stored
+// transactionally (see kvdb/).
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+
+#include "htm/config.hpp"
+#include "htm/emulated.hpp"
+#include "htm/version_table.hpp"
+#include "sync/backoff.hpp"
+
+namespace ale {
+
+template <typename T>
+[[nodiscard]] T tx_load(const T& loc) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+  auto& desc = htm::detail::tls_desc();
+  // atomic_ref requires a mutable lvalue; the const_cast is sound because
+  // the referenced object is never written through this path.
+  T& mutable_loc = const_cast<T&>(loc);
+  if (desc.active()) return desc.read(mutable_loc);
+  return std::atomic_ref<T>(mutable_loc).load(std::memory_order_acquire);
+}
+
+namespace detail {
+
+// Lock-mode / plain store visible to emulated transactions: bracket the
+// data store with a slot lock and publish a fresh version, so concurrent
+// transactions reading this line observe the interference and abort.
+template <typename T>
+void versioned_plain_store(T& loc, T value) {
+  using htm::detail::VersionTable;
+  auto& table = VersionTable::instance();
+  auto& slot = table.slot_for(&loc);
+  std::uint64_t s = slot.load(std::memory_order_relaxed);
+  Backoff backoff;
+  for (;;) {
+    if (!VersionTable::locked(s)) {
+      if (slot.compare_exchange_weak(
+              s, VersionTable::pack(VersionTable::version_of(s), true),
+              std::memory_order_acq_rel, std::memory_order_relaxed)) {
+        break;
+      }
+      continue;
+    }
+    backoff.pause();  // a transaction is committing through this slot
+    s = slot.load(std::memory_order_relaxed);
+  }
+  std::atomic_ref<T>(loc).store(value, std::memory_order_release);
+  slot.store(VersionTable::pack(table.next_write_version(), false),
+             std::memory_order_release);
+}
+
+// Non-transactional read-modify-write visible to emulated transactions:
+// the slot-version bump makes any transaction that read `loc` (via tx_load)
+// fail its commit validation. Must not be called inside a transaction.
+template <typename T>
+T versioned_fetch_add(T& loc, T delta) {
+  using htm::detail::VersionTable;
+  if (htm::config().backend != htm::BackendKind::kEmulated) {
+    return std::atomic_ref<T>(loc).fetch_add(delta,
+                                             std::memory_order_acq_rel);
+  }
+  auto& table = VersionTable::instance();
+  auto& slot = table.slot_for(&loc);
+  std::uint64_t s = slot.load(std::memory_order_relaxed);
+  Backoff backoff;
+  for (;;) {
+    if (!VersionTable::locked(s)) {
+      if (slot.compare_exchange_weak(
+              s, VersionTable::pack(VersionTable::version_of(s), true),
+              std::memory_order_acq_rel, std::memory_order_relaxed)) {
+        break;
+      }
+      continue;
+    }
+    backoff.pause();
+    s = slot.load(std::memory_order_relaxed);
+  }
+  const T old =
+      std::atomic_ref<T>(loc).fetch_add(delta, std::memory_order_acq_rel);
+  slot.store(VersionTable::pack(table.next_write_version(), false),
+             std::memory_order_release);
+  return old;
+}
+
+}  // namespace detail
+
+template <typename T>
+void tx_store(T& loc, T value) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+  auto& desc = htm::detail::tls_desc();
+  if (desc.active()) {
+    desc.write(loc, value);
+    return;
+  }
+  if (htm::config().backend == htm::BackendKind::kEmulated) {
+    detail::versioned_plain_store(loc, value);
+    return;
+  }
+  std::atomic_ref<T>(loc).store(value, std::memory_order_release);
+}
+
+}  // namespace ale

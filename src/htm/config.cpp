@@ -1,0 +1,114 @@
+#include "htm/config.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+#include "common/env.hpp"
+#include "htm/rtm.hpp"
+
+namespace ale::htm {
+
+const char* to_string(BackendKind k) noexcept {
+  switch (k) {
+    case BackendKind::kNone: return "none";
+    case BackendKind::kEmulated: return "emulated";
+    case BackendKind::kRtm: return "rtm";
+  }
+  return "?";
+}
+
+std::optional<PlatformProfile> profile_by_name(std::string_view name) {
+  if (name == "ideal") return ideal_profile();
+  if (name == "rock") return rock_profile();
+  if (name == "haswell") return haswell_profile();
+  if (name == "t2" || name == "none") return t2_profile();
+  return std::nullopt;
+}
+
+namespace {
+
+Config g_config;
+bool g_configured_explicitly = false;
+std::once_flag g_init_once;
+
+void init_from_env_locked() {
+  Config c;
+  if (auto prof = env_string("ALE_HTM_PROFILE")) {
+    if (auto p = profile_by_name(*prof)) {
+      c.profile = *p;
+    } else {
+      std::fprintf(stderr, "[ale] unknown ALE_HTM_PROFILE '%s', using ideal\n",
+                   prof->c_str());
+    }
+  }
+  const std::string backend =
+      env_string("ALE_HTM_BACKEND").value_or("emulated");
+  if (backend == "none") {
+    c.backend = BackendKind::kNone;
+  } else if (backend == "rtm") {
+    c.backend = BackendKind::kRtm;
+  } else if (backend == "auto") {
+    c.backend = rtm::supported_at_runtime() ? BackendKind::kRtm
+                                            : BackendKind::kEmulated;
+  } else {
+    if (backend != "emulated") {
+      std::fprintf(stderr,
+                   "[ale] unknown ALE_HTM_BACKEND '%s', using emulated\n",
+                   backend.c_str());
+    }
+    c.backend = BackendKind::kEmulated;
+  }
+  if (c.backend == BackendKind::kRtm && !rtm::supported_at_runtime()) {
+    std::fprintf(stderr,
+                 "[ale] RTM backend requested but not usable on this "
+                 "machine/build; falling back to emulated\n");
+    c.backend = BackendKind::kEmulated;
+  }
+  g_config = c;
+}
+
+void ensure_init() {
+  std::call_once(g_init_once, [] {
+    if (!g_configured_explicitly) init_from_env_locked();
+  });
+}
+
+}  // namespace
+
+void configure(const Config& config_in) {
+  Config c = config_in;
+  if (c.backend == BackendKind::kRtm && !rtm::supported_at_runtime()) {
+    std::fprintf(stderr,
+                 "[ale] RTM backend requested but not usable on this "
+                 "machine/build; falling back to emulated\n");
+    c.backend = BackendKind::kEmulated;
+  }
+  g_configured_explicitly = true;
+  std::call_once(g_init_once, [] {});  // consume the env-init slot
+  g_config = c;
+}
+
+void configure_from_env() {
+  g_configured_explicitly = false;
+  std::call_once(g_init_once, [] {});
+  init_from_env_locked();
+}
+
+const Config& config() noexcept {
+  ensure_init();
+  return g_config;
+}
+
+bool htm_available() noexcept {
+  const Config& c = config();
+  switch (c.backend) {
+    case BackendKind::kNone: return false;
+    case BackendKind::kEmulated: return c.profile.htm_available;
+    case BackendKind::kRtm: return true;
+  }
+  return false;
+}
+
+bool rtm_compiled_in() noexcept { return rtm::compiled_in(); }
+
+}  // namespace ale::htm

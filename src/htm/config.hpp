@@ -1,0 +1,45 @@
+// Global HTM configuration: which backend executes transactions, and (for
+// the emulated backend) which platform profile shapes its behaviour.
+//
+// Mirrors the paper's "enabling HTM mode is as simple as using appropriate
+// compilation flags": here it is the ALE_HTM_BACKEND / ALE_HTM_PROFILE
+// environment variables, or an explicit configure() call before spawning
+// threads.
+#pragma once
+
+#include "htm/profile.hpp"
+
+namespace ale::htm {
+
+enum class BackendKind : std::uint8_t {
+  kNone,      // HTM reported unavailable (T2+-like)
+  kEmulated,  // software-emulated best-effort HTM (default substrate)
+  kRtm,       // real Intel RTM (requires hardware + -mrtm build)
+};
+
+const char* to_string(BackendKind k) noexcept;
+
+struct Config {
+  BackendKind backend = BackendKind::kEmulated;
+  PlatformProfile profile = ideal_profile();
+};
+
+// Process-wide configuration. NOT thread-safe: call before any ALE-enabled
+// critical section runs (typically at startup). Selecting kRtm on a machine
+// without RTM falls back to kEmulated with a warning on stderr.
+void configure(const Config& config);
+
+// Convenience: backend from ALE_HTM_BACKEND (none|emulated|rtm|auto) and
+// profile from ALE_HTM_PROFILE (ideal|rock|haswell|t2). "auto" picks RTM if
+// the hardware has it, else emulated. Called implicitly on first use.
+void configure_from_env();
+
+const Config& config() noexcept;
+
+// True iff transactions can be attempted at all under the current config.
+bool htm_available() noexcept;
+
+// Whether this build contains the real RTM backend.
+bool rtm_compiled_in() noexcept;
+
+}  // namespace ale::htm

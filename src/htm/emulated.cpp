@@ -1,0 +1,152 @@
+#include "htm/emulated.hpp"
+
+#include <algorithm>
+
+namespace ale::htm::detail {
+
+namespace {
+
+// A committing transaction's slot locks are released on every exit path;
+// this little RAII set keeps the unwind paths honest.
+struct SlotLockSet {
+  struct Held {
+    std::atomic<std::uint64_t>* slot;
+    std::uint64_t prev;  // unlocked word we CASed away from
+  };
+  std::vector<Held> held;
+
+  bool owns(const std::atomic<std::uint64_t>* slot) const noexcept {
+    return std::any_of(held.begin(), held.end(),
+                       [slot](const Held& h) { return h.slot == slot; });
+  }
+
+  // Returns the pre-lock word for a slot we own.
+  std::uint64_t prev_of(const std::atomic<std::uint64_t>* slot) const {
+    for (const auto& h : held) {
+      if (h.slot == slot) return h.prev;
+    }
+    return 0;
+  }
+
+  bool try_lock(std::atomic<std::uint64_t>* slot) {
+    if (owns(slot)) return true;
+    std::uint64_t s = slot->load(std::memory_order_acquire);
+    for (;;) {
+      if (VersionTable::locked(s)) return false;
+      if (slot->compare_exchange_weak(
+              s, VersionTable::pack(VersionTable::version_of(s), true),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        held.push_back(Held{slot, s});
+        return true;
+      }
+    }
+  }
+
+  void release_all_at(std::uint64_t version) noexcept {
+    for (auto& h : held) {
+      h.slot->store(VersionTable::pack(version, false),
+                    std::memory_order_release);
+    }
+    held.clear();
+  }
+
+  void restore_all() noexcept {  // abort path: put the old words back
+    for (auto& h : held) {
+      h.slot->store(h.prev, std::memory_order_release);
+    }
+    held.clear();
+  }
+};
+
+}  // namespace
+
+void TxDesc::commit() {
+  if (!active_) return;
+
+  maybe_quirk(profile_->abort_prob_per_commit);
+
+  auto& table = VersionTable::instance();
+
+  if (redo_.empty()) {
+    // Read-only transaction: linearizes at this validation; no exclusion
+    // against lock holders is needed beyond the version checks (a holder's
+    // writes bump slot versions, so any overlap fails validation).
+    for (const auto& sub : subs_) {
+      if (!sub.already_held_by_self && sub.api->is_locked(sub.lock)) {
+        abort_now(AbortCause::kLockedByOther);
+      }
+    }
+    for (const auto& r : reads_) {
+      if (r.slot->load(std::memory_order_acquire) != r.observed) {
+        abort_now(AbortCause::kConflict);
+      }
+    }
+    active_ = false;
+    return;
+  }
+
+  // Writer transaction. Step 1: take the subscribed application locks with
+  // try_acquire — this stands in for the hardware's atomic commit by
+  // excluding Lock-mode holders while the redo log is applied. try (rather
+  // than blocking) acquisition makes cross-transaction lock ordering
+  // irrelevant: any contention is an abort, never a deadlock.
+  std::size_t acquired = 0;
+  auto release_app_locks = [&]() noexcept {
+    while (acquired > 0) {
+      --acquired;
+      if (!subs_[acquired].already_held_by_self) {
+        subs_[acquired].api->release(subs_[acquired].lock);
+      }
+    }
+  };
+  for (const auto& sub : subs_) {
+    if (sub.already_held_by_self) {
+      ++acquired;  // exclusion already guaranteed by our own holding
+      continue;
+    }
+    if (!sub.api->try_acquire(sub.lock)) {
+      release_app_locks();
+      abort_now(AbortCause::kLockedByOther);
+    }
+    ++acquired;
+  }
+
+  // Step 2: lock the write-set slots (try-lock; contention aborts).
+  SlotLockSet slots;
+  for (const auto& w : redo_) {
+    if (!slots.try_lock(w.slot)) {
+      slots.restore_all();
+      release_app_locks();
+      abort_now(AbortCause::kConflict);
+    }
+  }
+
+  // Step 3: validate the read set. A slot we locked ourselves validates
+  // against its pre-lock word.
+  for (const auto& r : reads_) {
+    const std::uint64_t now = slots.owns(r.slot)
+                                  ? slots.prev_of(r.slot)
+                                  : r.slot->load(std::memory_order_acquire);
+    if (now != r.observed) {
+      slots.restore_all();
+      release_app_locks();
+      abort_now(AbortCause::kConflict);
+    }
+  }
+
+  // Steps 4-7: get a commit version, apply the redo log in program order,
+  // publish the new slot versions, release the application locks.
+  const std::uint64_t wv = table.next_write_version();
+  for (const auto& w : redo_) w.apply(w.addr, w.bits);
+  slots.release_all_at(wv);
+  release_app_locks();
+
+  active_ = false;
+}
+
+TxDesc& tls_desc() noexcept {
+  thread_local TxDesc desc;
+  return desc;
+}
+
+}  // namespace ale::htm::detail

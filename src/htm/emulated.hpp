@@ -1,0 +1,196 @@
+// Emulated best-effort hardware transactional memory.
+//
+// DESIGN.md §2: real best-effort HTM (Rock, Haswell TSX) is substituted by a
+// TL2-style software engine that reproduces HTM's externally visible
+// behaviour — atomic commit, abort on data conflict / capacity / quirks, and
+// abort when a subscribed lock is acquired — so every ALE code path that
+// reacts to those events is exercised unchanged.
+//
+// Protocol summary:
+//  * begin: snapshot the global clock (rv); clear read/write sets.
+//  * read:  seqlock-style consistent read of (slot, value, slot); abort if
+//           the slot is locked, changed during the read, or newer than rv.
+//  * write: append to a redo log (program order preserved; reads see own
+//           writes by scanning the log backwards).
+//  * subscribe_lock: abort if held now; re-checked / acquired at commit.
+//  * commit (writer): try_acquire subscribed app locks (this serializes the
+//           redo application against Lock-mode holders, standing in for the
+//           atomicity a real HTM gets from hardware) → lock write-set slots
+//           → validate read set → bump clock → apply redo in order →
+//           release slots at the new version → release app locks.
+//  * commit (read-only): validate read set + subscribed locks; nothing to
+//           apply (the transaction linearizes at validation).
+//
+// Aborts unwind via TxAbortException, thrown only from these instrumented
+// operations; user code between them must be abort-safe (same rule the
+// paper imposes on SWOpt paths).
+//
+// Capacity limits and environmental aborts are injected per the platform
+// profile, with a per-thread deterministic PRNG.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <unordered_set>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "htm/abort.hpp"
+#include "htm/profile.hpp"
+#include "htm/version_table.hpp"
+#include "sync/lockapi.hpp"
+
+namespace ale::htm::detail {
+
+class TxDesc {
+ public:
+  bool active() const noexcept { return active_; }
+
+  void begin(const PlatformProfile* profile) noexcept {
+    auto& table = VersionTable::instance();
+    profile_ = profile;
+    rv_ = table.read_clock();
+    reads_.clear();
+    redo_.clear();
+    subs_.clear();
+    read_lines_.clear();
+    write_lines_.clear();
+    stats_reads_ = stats_writes_ = 0;
+    active_ = true;
+  }
+
+  // `already_held_by_self` implements §4.1: when the thread already holds
+  // the lock (an enclosing Lock-mode critical section), the library "does
+  // not check whether the lock is held", and the commit must not try to
+  // re-acquire it — the thread's own holding is the exclusion.
+  void subscribe_lock(const LockApi* api, void* lock,
+                      bool already_held_by_self) {
+    if (!already_held_by_self && api->is_locked(lock)) {
+      abort_now(AbortCause::kLockedByOther);
+    }
+    for (const auto& s : subs_) {
+      if (s.lock == lock) return;  // flattened nesting: already subscribed
+    }
+    subs_.push_back(Subscription{api, lock, already_held_by_self});
+  }
+
+  template <typename T>
+  T read(T& loc) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "emulated HTM tracks word-sized locations; box larger "
+                  "values behind a pointer");
+    // Read-own-write: the most recent redo entry for this address wins.
+    for (auto it = redo_.rbegin(); it != redo_.rend(); ++it) {
+      if (it->addr == static_cast<void*>(&loc)) {
+        return from_bits<T>(it->bits);
+      }
+    }
+    auto& table = VersionTable::instance();
+    auto& slot = table.slot_for(&loc);
+    const std::uint64_t s1 = slot.load(std::memory_order_acquire);
+    if (VersionTable::locked(s1)) abort_now(AbortCause::kConflict);
+    const T value = std::atomic_ref<T>(loc).load(std::memory_order_acquire);
+    const std::uint64_t s2 = slot.load(std::memory_order_acquire);
+    if (s1 != s2) abort_now(AbortCause::kConflict);
+    if (VersionTable::version_of(s1) > rv_) abort_now(AbortCause::kConflict);
+    reads_.push_back(ReadEntry{&slot, s1});
+    track_line(read_lines_, &loc, profile_->read_cap_lines);
+    ++stats_reads_;
+    maybe_quirk(profile_->abort_prob_per_access);
+    return value;
+  }
+
+  template <typename T>
+  void write(T& loc, T value) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "emulated HTM tracks word-sized locations; box larger "
+                  "values behind a pointer");
+    auto& table = VersionTable::instance();
+    redo_.push_back(RedoEntry{&loc, to_bits(value), &apply_bits<T>,
+                              &table.slot_for(&loc)});
+    track_line(write_lines_, &loc, profile_->write_cap_lines);
+    ++stats_writes_;
+    maybe_quirk(profile_->abort_prob_per_access +
+                profile_->abort_prob_per_write);
+  }
+
+  void commit();
+
+  [[noreturn]] void abort_now(AbortCause cause, std::uint8_t code = 0) {
+    active_ = false;
+    throw TxAbortException{cause, code};
+  }
+
+  // Abandon the transaction without side effects (used when an abort is
+  // delivered by other means, e.g. a nested-mode restriction detected by
+  // the core engine).
+  void cancel() noexcept { active_ = false; }
+
+  std::size_t read_set_size() const noexcept { return reads_.size(); }
+  std::size_t write_set_size() const noexcept { return redo_.size(); }
+
+ private:
+  struct ReadEntry {
+    std::atomic<std::uint64_t>* slot;
+    std::uint64_t observed;
+  };
+  struct RedoEntry {
+    void* addr;
+    std::uint64_t bits;
+    void (*apply)(void* addr, std::uint64_t bits);
+    std::atomic<std::uint64_t>* slot;
+  };
+  struct Subscription {
+    const LockApi* api;
+    void* lock;
+    bool already_held_by_self;
+  };
+
+  template <typename T>
+  static std::uint64_t to_bits(T v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(T));
+    return bits;
+  }
+  template <typename T>
+  static T from_bits(std::uint64_t bits) noexcept {
+    T v;
+    std::memcpy(&v, &bits, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  static void apply_bits(void* addr, std::uint64_t bits) {
+    std::atomic_ref<T>(*static_cast<T*>(addr))
+        .store(from_bits<T>(bits), std::memory_order_release);
+  }
+
+  void track_line(std::unordered_set<std::size_t>& lines, const void* addr,
+                  std::uint32_t cap) {
+    lines.insert(cache_line_of(addr));
+    if (lines.size() > cap) abort_now(AbortCause::kCapacity);
+  }
+
+  void maybe_quirk(double probability) {
+    if (probability > 0.0 && thread_prng().next_bool(probability)) {
+      abort_now(AbortCause::kEnvironmental);
+    }
+  }
+
+  const PlatformProfile* profile_ = nullptr;
+  std::uint64_t rv_ = 0;
+  bool active_ = false;
+  std::vector<ReadEntry> reads_;
+  std::vector<RedoEntry> redo_;
+  std::vector<Subscription> subs_;
+  std::unordered_set<std::size_t> read_lines_;
+  std::unordered_set<std::size_t> write_lines_;
+  std::uint64_t stats_reads_ = 0;
+  std::uint64_t stats_writes_ = 0;
+};
+
+TxDesc& tls_desc() noexcept;
+
+}  // namespace ale::htm::detail

@@ -1,0 +1,105 @@
+#include "htm/htm.hpp"
+
+#include "htm/emulated.hpp"
+#include "htm/rtm.hpp"
+
+namespace ale::htm {
+
+AbortCause map_rtm_status(unsigned status, std::uint8_t* user_code) noexcept {
+  if (status & rtm::kStatusExplicit) {
+    const unsigned code = rtm::code_of(status);
+    if (code == rtm::kAbortCodeLocked) return AbortCause::kLockedByOther;
+    if (user_code != nullptr) *user_code = static_cast<std::uint8_t>(code);
+    return AbortCause::kExplicit;
+  }
+  if (status & rtm::kStatusConflict) return AbortCause::kConflict;
+  if (status & rtm::kStatusCapacity) return AbortCause::kCapacity;
+  if (status & rtm::kStatusNested) return AbortCause::kNested;
+  return AbortCause::kEnvironmental;
+}
+
+BeginStatus tx_begin() {
+  const Config& c = config();
+  switch (c.backend) {
+    case BackendKind::kNone:
+      return BeginStatus{BeginState::kUnavailable, AbortCause::kUnavailable,
+                         0};
+    case BackendKind::kEmulated: {
+      if (!c.profile.htm_available) {
+        return BeginStatus{BeginState::kUnavailable,
+                           AbortCause::kUnavailable, 0};
+      }
+      detail::tls_desc().begin(&c.profile);
+      return BeginStatus{BeginState::kStarted, AbortCause::kNone, 0};
+    }
+    case BackendKind::kRtm: {
+      const unsigned status = rtm::begin();
+      if (status == rtm::kStarted) {
+        return BeginStatus{BeginState::kStarted, AbortCause::kNone, 0};
+      }
+      BeginStatus out{BeginState::kAborted, AbortCause::kNone, 0};
+      out.cause = map_rtm_status(status, &out.user_code);
+      return out;
+    }
+  }
+  return BeginStatus{BeginState::kUnavailable, AbortCause::kUnavailable, 0};
+}
+
+void tx_commit() {
+  switch (config().backend) {
+    case BackendKind::kEmulated:
+      detail::tls_desc().commit();
+      return;
+    case BackendKind::kRtm:
+      rtm::end();
+      return;
+    case BackendKind::kNone:
+      return;
+  }
+}
+
+void tx_abort(AbortCause cause, std::uint8_t user_code) {
+  if (config().backend == BackendKind::kRtm && rtm::test()) {
+    if (cause == AbortCause::kLockedByOther) {
+      rtm::abort_locked();
+    } else {
+      rtm::abort_user();
+    }
+    // _xabort inside a live transaction never returns; fall through only if
+    // the hardware state evaporated, in which case the throw below is still
+    // a correct abort delivery.
+  }
+  auto& desc = detail::tls_desc();
+  if (desc.active()) desc.abort_now(cause, user_code);
+  throw TxAbortException{cause, user_code};
+}
+
+void tx_subscribe_lock(const LockApi* api, void* lock,
+                       bool already_held_by_self) {
+  switch (config().backend) {
+    case BackendKind::kEmulated:
+      detail::tls_desc().subscribe_lock(api, lock, already_held_by_self);
+      return;
+    case BackendKind::kRtm:
+      // The transactional read of is_locked() keeps the lock word in the
+      // hardware read set: any later acquisition aborts us automatically.
+      if (!already_held_by_self && api->is_locked(lock)) rtm::abort_locked();
+      return;
+    case BackendKind::kNone:
+      return;
+  }
+}
+
+bool in_txn() noexcept {
+  switch (config().backend) {
+    case BackendKind::kEmulated:
+      return detail::tls_desc().active();
+    case BackendKind::kRtm:
+      return rtm::test();
+    case BackendKind::kNone:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace ale::htm

@@ -1,0 +1,54 @@
+// Backend-independent transaction facade used by the ALE core engine.
+//
+// The core never talks to a backend directly; it begins/commits/aborts
+// through these functions and reacts to the returned abort causes. Three
+// backends plug in underneath: kEmulated (default substrate; see
+// emulated.hpp), kRtm (real Intel TSX), kNone (HTM-less platform).
+#pragma once
+
+#include <cstdint>
+
+#include "htm/abort.hpp"
+#include "htm/config.hpp"
+#include "sync/lockapi.hpp"
+
+namespace ale::htm {
+
+enum class BeginState : std::uint8_t {
+  kStarted,      // transaction is live; run the critical section body
+  kAborted,      // (RTM) the hardware delivered an abort at the begin point
+  kUnavailable,  // no HTM under the current configuration
+};
+
+struct BeginStatus {
+  BeginState state = BeginState::kUnavailable;
+  AbortCause cause = AbortCause::kNone;
+  std::uint8_t user_code = 0;
+};
+
+// Begin a transaction attempt. Must not be called while in_txn() (the core
+// flattens nesting itself per §4.1). With the RTM backend, an abort during
+// the body resurfaces as a *second return* of this very call — the hardware
+// rolls the thread back to the _xbegin point — so callers must do their
+// bookkeeping before calling begin or after seeing the abort.
+BeginStatus tx_begin();
+
+// Commit. Emulated backend: may throw TxAbortException (validation or
+// commit-time lock contention). RTM: _xend.
+void tx_commit();
+
+// Abort the current transaction. Inside an RTM transaction this never
+// returns through C++ (hardware rollback); otherwise it throws.
+[[noreturn]] void tx_abort(AbortCause cause, std::uint8_t user_code = 0);
+
+// Subscribe the transaction to `lock`: abort now if it is held (unless the
+// thread itself holds it, §4.1), and keep monitoring it until commit.
+void tx_subscribe_lock(const LockApi* api, void* lock,
+                       bool already_held_by_self);
+
+bool in_txn() noexcept;
+
+// Map an RTM abort-status word to the shared taxonomy.
+AbortCause map_rtm_status(unsigned status, std::uint8_t* user_code) noexcept;
+
+}  // namespace ale::htm

@@ -1,0 +1,82 @@
+// Platform profiles for the emulated best-effort HTM.
+//
+// The paper evaluates on Rock (SPARC, best-effort HTM with severe
+// limitations), Haswell (Intel TSX/RTM), and a T2+ with no HTM. Real HTM
+// hardware is scarce today, so per DESIGN.md §2 the emulated backend
+// substitutes for it; a profile captures the externally visible differences
+// between those machines:
+//   * capacity — how much data a transaction may touch before a capacity
+//     abort (Rock: a tiny store queue; Haswell: the L1 for writes and a
+//     larger structure for reads),
+//   * environmental aborts — best-effort quirks (interrupts, TLB misses,
+//     mispredicted branches on Rock, unfriendly instructions) modeled as a
+//     per-access and per-commit abort probability,
+//   * availability — T2+ simply has none.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ale::htm {
+
+struct PlatformProfile {
+  const char* name = "ideal";
+  bool htm_available = true;
+
+  // Capacity limits in distinct cache lines tracked.
+  std::uint32_t read_cap_lines = 1u << 20;
+  std::uint32_t write_cap_lines = 1u << 20;
+
+  // Best-effort quirk injection (0 disables — used by deterministic tests).
+  double abort_prob_per_access = 0.0;
+  double abort_prob_per_commit = 0.0;
+
+  // Rock-style asymmetry: probability that a transactional *function call /
+  // store-queue* event kills the transaction, charged per write.
+  double abort_prob_per_write = 0.0;
+};
+
+// HTM with no limits or noise: used by unit tests for determinism.
+constexpr PlatformProfile ideal_profile() {
+  return PlatformProfile{};
+}
+
+// Rock (SPARC): best-effort HTM with a ~32-entry store queue and frequent
+// environmental aborts (TLB misses, save/restore, function calls).
+constexpr PlatformProfile rock_profile() {
+  PlatformProfile p;
+  p.name = "rock";
+  p.read_cap_lines = 512;
+  p.write_cap_lines = 32;
+  p.abort_prob_per_access = 2e-4;
+  p.abort_prob_per_write = 2e-3;
+  p.abort_prob_per_commit = 0.01;
+  return p;
+}
+
+// Haswell (Intel RTM): write set bounded by L1d (32 KiB = 512 lines), read
+// set tracked more loosely; occasional environmental aborts.
+constexpr PlatformProfile haswell_profile() {
+  PlatformProfile p;
+  p.name = "haswell";
+  p.read_cap_lines = 4096;
+  p.write_cap_lines = 512;
+  p.abort_prob_per_access = 1e-5;
+  p.abort_prob_per_write = 1e-4;
+  p.abort_prob_per_commit = 0.002;
+  return p;
+}
+
+// SPARC T2+: no HTM at all — TLE is unavailable; only SWOpt and Lock.
+constexpr PlatformProfile t2_profile() {
+  PlatformProfile p;
+  p.name = "t2";
+  p.htm_available = false;
+  return p;
+}
+
+// Lookup by name ("ideal", "rock", "haswell", "t2"/"none").
+std::optional<PlatformProfile> profile_by_name(std::string_view name);
+
+}  // namespace ale::htm

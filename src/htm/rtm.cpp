@@ -1,0 +1,43 @@
+#include "htm/rtm.hpp"
+
+#include "common/cpu.hpp"
+
+#if defined(ALE_HAVE_RTM)
+#include <immintrin.h>
+#endif
+
+namespace ale::htm::rtm {
+
+bool compiled_in() noexcept {
+#if defined(ALE_HAVE_RTM)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool supported_at_runtime() noexcept {
+  return compiled_in() && cpu_has_rtm();
+}
+
+#if defined(ALE_HAVE_RTM)
+
+unsigned begin() noexcept { return _xbegin(); }
+void end() noexcept { _xend(); }
+bool test() noexcept { return _xtest() != 0; }
+void abort_locked() noexcept { _xabort(kAbortCodeLocked); }
+void abort_user() noexcept { _xabort(kAbortCodeUser); }
+unsigned code_of(unsigned status) noexcept { return _XABORT_CODE(status); }
+
+#else
+
+unsigned begin() noexcept { return 0; /* immediate abort, no bits set */ }
+void end() noexcept {}
+bool test() noexcept { return false; }
+void abort_locked() noexcept {}
+void abort_user() noexcept {}
+unsigned code_of(unsigned) noexcept { return 0; }
+
+#endif
+
+}  // namespace ale::htm::rtm

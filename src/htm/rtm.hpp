@@ -1,0 +1,36 @@
+// Real Intel RTM backend (thin wrappers; the only TU compiled with -mrtm).
+//
+// These are out-of-line on purpose: returning from begin() while the
+// hardware transaction is live is fine (glibc's lock elision does the same)
+// because an abort rolls back all memory *and* registers to the _xbegin
+// point, reviving the frame. When the build lacks -mrtm support the
+// functions degrade to "unavailable" stubs.
+#pragma once
+
+namespace ale::htm::rtm {
+
+inline constexpr unsigned kStarted = ~0u;  // mirrors _XBEGIN_STARTED
+
+// Abort-status bit decoding (mirrors immintrin's _XABORT_* so callers do
+// not need the intrinsics header).
+inline constexpr unsigned kStatusExplicit = 1u << 0;
+inline constexpr unsigned kStatusRetry = 1u << 1;
+inline constexpr unsigned kStatusConflict = 1u << 2;
+inline constexpr unsigned kStatusCapacity = 1u << 3;
+inline constexpr unsigned kStatusNested = 1u << 5;
+
+// Explicit-abort codes used by ALE inside RTM transactions.
+inline constexpr unsigned kAbortCodeLocked = 1;
+inline constexpr unsigned kAbortCodeUser = 2;
+
+bool compiled_in() noexcept;
+bool supported_at_runtime() noexcept;
+
+unsigned begin() noexcept;       // kStarted or an abort status word
+void end() noexcept;             // commit
+bool test() noexcept;            // inside a transaction?
+void abort_locked() noexcept;    // _xabort(kAbortCodeLocked)
+void abort_user() noexcept;      // _xabort(kAbortCodeUser)
+unsigned code_of(unsigned status) noexcept;  // _XABORT_CODE
+
+}  // namespace ale::htm::rtm

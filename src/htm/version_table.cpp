@@ -1,0 +1,12 @@
+#include "htm/version_table.hpp"
+
+namespace ale::htm::detail {
+
+VersionTable& VersionTable::instance() noexcept {
+  // Leaked singleton (half a MiB): must outlive every thread's last access,
+  // including detached-thread teardown, so never destroyed.
+  static VersionTable* table = new VersionTable();
+  return *table;
+}
+
+}  // namespace ale::htm::detail

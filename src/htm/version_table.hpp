@@ -1,0 +1,66 @@
+// Global versioned-lock table and version clock for the emulated HTM
+// backend (TL2-style).
+//
+// Every shared address maps (by cache line, mirroring real HTM conflict
+// granularity) to one of 2^16 slots. A slot packs (version << 1) | locked.
+// Emulated transactions validate reads against slots and lock the slots of
+// their write set at commit; non-transactional writers (Lock-mode critical
+// sections) bump slot versions through a short slot-lock bracket so
+// concurrent transactions observe their interference. The version clock is
+// the TL2 global clock: a transaction's read snapshot rv is the clock at
+// begin, and any slot version > rv means the datum changed since.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+
+namespace ale::htm::detail {
+
+class VersionTable {
+ public:
+  static constexpr std::size_t kLogSlots = 16;
+  static constexpr std::size_t kNumSlots = std::size_t{1} << kLogSlots;
+
+  static VersionTable& instance() noexcept;
+
+  std::atomic<std::uint64_t>& slot_for(const void* addr) noexcept {
+    return slots_[slot_index(addr)];
+  }
+
+  static std::size_t slot_index(const void* addr) noexcept {
+    // Fibonacci hash of the cache-line index: adjacent lines spread out.
+    const std::uint64_t line = cache_line_of(addr);
+    return static_cast<std::size_t>((line * 0x9e3779b97f4a7c15ULL) >>
+                                    (64 - kLogSlots));
+  }
+
+  std::atomic<std::uint64_t>& clock() noexcept { return clock_; }
+
+  std::uint64_t next_write_version() noexcept {
+    return clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  std::uint64_t read_clock() const noexcept {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  // ---- slot word encoding ----
+  static constexpr bool locked(std::uint64_t s) noexcept { return s & 1; }
+  static constexpr std::uint64_t version_of(std::uint64_t s) noexcept {
+    return s >> 1;
+  }
+  static constexpr std::uint64_t pack(std::uint64_t version,
+                                      bool is_locked) noexcept {
+    return (version << 1) | (is_locked ? 1 : 0);
+  }
+
+ private:
+  VersionTable() = default;
+
+  std::atomic<std::uint64_t> slots_[kNumSlots]{};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> clock_{0};
+};
+
+}  // namespace ale::htm::detail

@@ -1,0 +1,59 @@
+// Immutable heap blobs for kvdb keys and values.
+//
+// The emulated HTM tracks word-sized locations only (htm/access.hpp), so
+// variable-length strings are boxed: a node stores a Blob* and mutation is
+// a single transactional pointer swap. Blob contents are written once,
+// before publication, and never change — so readers (including SWOpt paths
+// holding a stale pointer) can copy them with plain loads. Retired blobs
+// are freed only at database destruction, per the paper's no-deallocation
+// assumption.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string_view>
+
+namespace ale::kvdb {
+
+class Blob {
+ public:
+  static Blob* make(std::string_view s) {
+    void* mem = ::operator new(sizeof(Blob) + s.size());
+    return new (mem) Blob(s);
+  }
+  static void destroy(Blob* b) {
+    if (b != nullptr) {
+      b->~Blob();
+      ::operator delete(b);
+    }
+  }
+
+  std::string_view view() const noexcept {
+    return std::string_view(data(), len_);
+  }
+  bool equals(std::string_view s) const noexcept {
+    return len_ == s.size() && std::memcmp(data(), s.data(), len_) == 0;
+  }
+  std::uint32_t size() const noexcept { return len_; }
+
+  // Intrusive retire-list link (accessed via tx accessors).
+  Blob* next_retired = nullptr;
+
+ private:
+  explicit Blob(std::string_view s) : len_(static_cast<std::uint32_t>(s.size())) {
+    std::memcpy(data_start(), s.data(), s.size());
+  }
+  ~Blob() = default;
+
+  const char* data() const noexcept {
+    return reinterpret_cast<const char*>(this) + sizeof(Blob);
+  }
+  char* data_start() noexcept {
+    return reinterpret_cast<char*>(this) + sizeof(Blob);
+  }
+
+  std::uint32_t len_;
+};
+
+}  // namespace ale::kvdb

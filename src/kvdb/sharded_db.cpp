@@ -1,0 +1,394 @@
+#include "kvdb/sharded_db.hpp"
+
+namespace ale::kvdb {
+
+namespace {
+
+// Scope bundle per ShardedDb instance: flags depend on the instance config,
+// so these cannot be function-local statics.
+struct Scopes {
+  ScopeInfo set_outer, get_outer, remove_outer, append_outer;
+  ScopeInfo clear_outer, count_outer;
+  ScopeInfo iterate_outer, iterate_slot;
+  ScopeInfo set_slot, get_slot, remove_slot, append_slot, clear_slot;
+
+  explicit Scopes(const ShardedDb::Config& cfg)
+      : set_outer("kcdb.set.outer", cfg.outer_swopt, cfg.outer_htm),
+        get_outer("kcdb.get.outer", cfg.outer_swopt, cfg.outer_htm),
+        remove_outer("kcdb.remove.outer", cfg.outer_swopt, cfg.outer_htm),
+        append_outer("kcdb.append.outer", cfg.outer_swopt, cfg.outer_htm),
+        clear_outer("kcdb.clear.outer", false, cfg.outer_htm),
+        count_outer("kcdb.count.outer", false, cfg.outer_htm),
+        iterate_outer("kcdb.iterate.outer", false, cfg.outer_htm),
+        iterate_slot("kcdb.iterate.slot", false, cfg.inner_htm),
+        set_slot("kcdb.set.slot", false, cfg.inner_htm),
+        get_slot("kcdb.get.slot", cfg.inner_get_swopt, cfg.inner_htm),
+        remove_slot("kcdb.remove.slot", false, cfg.inner_htm),
+        // append allocates inside the critical section; prohibiting HTM
+        // here keeps aborts allocation-free (and exercises the §4.1
+        // nested-no-HTM abort path under real workloads).
+        append_slot("kcdb.append.slot", false, false),
+        clear_slot("kcdb.clear.slot", false, cfg.inner_htm) {}
+};
+
+}  // namespace
+
+// One Scopes bundle per live ShardedDb; stored via pimpl-lite map keyed by
+// instance would be overkill — we simply own it.
+struct ScopesHolder {
+  Scopes scopes;
+  explicit ScopesHolder(const ShardedDb::Config& cfg) : scopes(cfg) {}
+};
+
+std::uint64_t ShardedDb::hash_of(std::string_view key) noexcept {
+  // FNV-1a, then a finalizer mix.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+ShardedDb::ShardedDb(Config cfg, std::string name)
+    : cfg_(cfg), method_md_(name + ".methodLock") {
+  if (cfg_.num_slots == 0) cfg_.num_slots = 1;
+  slots_.reserve(cfg_.num_slots);
+  for (std::size_t i = 0; i < cfg_.num_slots; ++i) {
+    slots_.push_back(std::make_unique<Slot>(
+        cfg_.buckets_per_slot == 0 ? 1 : cfg_.buckets_per_slot,
+        name + ".slotLock"));
+  }
+  scopes_ = std::make_unique<ScopesHolder>(cfg_);
+}
+
+ShardedDb::~ShardedDb() {
+  for (auto& sp : slots_) {
+    Slot& s = *sp;
+    for (Bucket& b : s.buckets) {
+      Node* n = b.head;
+      while (n != nullptr) {
+        Node* next = n->next;
+        Blob::destroy(n->key);
+        Blob::destroy(n->val);
+        delete n;
+        n = next;
+      }
+    }
+    Node* rn = s.retired_nodes;
+    while (rn != nullptr) {
+      Node* next = rn->next;
+      delete rn;  // its blobs are on the retired-blob list
+      rn = next;
+    }
+    Blob* rb = s.retired_blobs;
+    while (rb != nullptr) {
+      Blob* next = rb->next_retired;
+      Blob::destroy(rb);
+      rb = next;
+    }
+  }
+}
+
+ShardedDb::Node* ShardedDb::find_in_slot(Slot& s, std::uint64_t hash,
+                                         std::string_view key,
+                                         Node**& prev_cell) const {
+  Node** cell = const_cast<Node**>(&s.buckets[bucket_of(s, hash)].head);
+  Node* n = tx_load(*cell);
+  while (n != nullptr) {
+    if (n->hash == hash && tx_load(n->key)->equals(key)) break;
+    cell = &n->next;
+    n = tx_load(*cell);
+  }
+  prev_cell = cell;
+  return n;
+}
+
+std::int32_t ShardedDb::find_validated(Slot& s, std::uint64_t hash,
+                                       std::string_view key,
+                                       std::uint64_t snapshot,
+                                       Node*& node) const {
+  const Bucket& b = s.buckets[bucket_of(s, hash)];
+  if (s.ver.changed_since(snapshot)) return -1;
+  Node* n = tx_load(b.head);
+  if (s.ver.changed_since(snapshot)) return -1;
+  while (n != nullptr) {
+    const std::uint64_t nh = n->hash;
+    Blob* kb = tx_load(n->key);
+    if (s.ver.changed_since(snapshot)) return -1;
+    if (nh == hash && kb != nullptr && kb->equals(key)) {
+      node = n;
+      return 1;
+    }
+    n = tx_load(n->next);
+    if (s.ver.changed_since(snapshot)) return -1;
+  }
+  node = nullptr;
+  return 0;
+}
+
+void ShardedDb::retire_blob(Slot& s, Blob* blob) {
+  if (blob == nullptr) return;
+  tx_store(blob->next_retired, tx_load(s.retired_blobs));
+  tx_store(s.retired_blobs, blob);
+}
+
+void ShardedDb::retire_node(Slot& s, Node** prev_cell, Node* node) {
+  tx_store(*prev_cell, tx_load(node->next));
+  retire_blob(s, tx_load(node->key));
+  retire_blob(s, tx_load(node->val));
+  tx_store(node->key, static_cast<Blob*>(nullptr));
+  tx_store(node->val, static_cast<Blob*>(nullptr));
+  tx_store(node->next, tx_load(s.retired_nodes));
+  tx_store(s.retired_nodes, node);
+  tx_store(s.live_count, tx_load(s.live_count) - 1);
+}
+
+template <typename Body>
+void ShardedDb::with_method_read_cs(const ScopeInfo& outer_scope,
+                                    Body&& body) {
+  const LockApi* api =
+      cfg_.trylockspin ? rw_read_trylockspin_api() : rw_read_api();
+  execute_cs(api, &method_lock_, method_md_, outer_scope,
+             [&](CsExec& cs) -> CsBody {
+               if (cs.in_swopt()) {
+                 // The external SWOpt path only needs to dodge whole-DB
+                 // operations (clear), which bump db_ver_; record-level
+                 // safety comes from the nested slot critical section.
+                 const std::uint64_t v = db_ver_.get_ver(true);
+                 if (db_ver_.changed_since(v)) return CsBody::kRetrySwOpt;
+               }
+               body(cs);
+               return CsBody::kDone;
+             });
+}
+
+bool ShardedDb::set(std::string_view key, std::string_view value) {
+  const std::uint64_t h = hash_of(key);
+  Blob* kblob = Blob::make(key);
+  Blob* vblob = Blob::make(value);
+  Node* fresh = new Node();
+  bool inserted = false;
+  bool consumed = false;
+  with_method_read_cs(scopes_->scopes.set_outer, [&](CsExec&) {
+    Slot& s = slot_for(h);
+    execute_cs(lock_api<TatasLock>(), &s.lock, s.md,
+               scopes_->scopes.set_slot, [&](CsExec&) {
+                 inserted = false;
+                 consumed = false;
+                 Node** cell = nullptr;
+                 Node* n = find_in_slot(s, h, key, cell);
+                 if (n != nullptr) {
+                   Blob* old = tx_load(n->val);
+                   tx_store(n->val, vblob);
+                   retire_blob(s, old);
+                   return;
+                 }
+                 fresh->hash = h;
+                 fresh->key = kblob;
+                 fresh->val = vblob;
+                 ConflictingAction guard(s.ver, s.md);
+                 fresh->next = tx_load(s.buckets[bucket_of(s, h)].head);
+                 tx_store(s.buckets[bucket_of(s, h)].head, fresh);
+                 tx_store(s.live_count, tx_load(s.live_count) + 1);
+                 inserted = true;
+                 consumed = true;
+               });
+  });
+  if (!consumed) {
+    Blob::destroy(kblob);
+    delete fresh;
+  }
+  return inserted;
+}
+
+bool ShardedDb::get(std::string_view key, std::string& out) {
+  const std::uint64_t h = hash_of(key);
+  bool found = false;
+  with_method_read_cs(scopes_->scopes.get_outer, [&](CsExec& outer) {
+    Slot& s = slot_for(h);
+    execute_cs(
+        lock_api<TatasLock>(), &s.lock, s.md, scopes_->scopes.get_slot,
+        [&](CsExec& ics) -> CsBody {
+          found = false;
+          if (ics.in_swopt()) {
+            const std::uint64_t v = s.ver.get_ver(true);
+            Node* n = nullptr;
+            const std::int32_t r = find_validated(s, h, key, v, n);
+            if (r < 0) return CsBody::kRetrySwOpt;
+            if (r == 0) return CsBody::kDone;  // miss: pure SWOpt success
+                                               // (the paper's nomutate 42%)
+            if (!cfg_.swopt_get_copies) ics.swopt_self_abort();
+            Blob* val = tx_load(n->val);
+            if (val == nullptr || s.ver.changed_since(v)) {
+              return CsBody::kRetrySwOpt;
+            }
+            const std::string_view sv = val->view();
+            out.assign(sv.data(), sv.size());
+            if (s.ver.changed_since(v)) return CsBody::kRetrySwOpt;
+            found = true;
+            return CsBody::kDone;
+          }
+          Node** cell = nullptr;
+          Node* n = find_in_slot(s, h, key, cell);
+          if (n != nullptr) {
+            const std::string_view sv = tx_load(n->val)->view();
+            out.assign(sv.data(), sv.size());
+            found = true;
+          }
+          return CsBody::kDone;
+        });
+    // §5 nomutate fidelity: a hit must hold the method read lock (Kyoto
+    // pins the record under it), so an externally-optimistic execution
+    // self-aborts and retries pessimistically; only misses complete in
+    // external SWOpt.
+    if (found && outer.in_swopt() && cfg_.outer_swopt_hit_requires_lock) {
+      outer.swopt_self_abort();
+    }
+  });
+  return found;
+}
+
+bool ShardedDb::remove(std::string_view key) {
+  const std::uint64_t h = hash_of(key);
+  bool removed = false;
+  with_method_read_cs(scopes_->scopes.remove_outer, [&](CsExec&) {
+    Slot& s = slot_for(h);
+    execute_cs(lock_api<TatasLock>(), &s.lock, s.md,
+               scopes_->scopes.remove_slot, [&](CsExec&) {
+                 removed = false;
+                 Node** cell = nullptr;
+                 Node* n = find_in_slot(s, h, key, cell);
+                 if (n != nullptr) {
+                   ConflictingAction guard(s.ver, s.md);
+                   retire_node(s, cell, n);
+                   removed = true;
+                 }
+               });
+  });
+  return removed;
+}
+
+void ShardedDb::append(std::string_view key, std::string_view suffix) {
+  const std::uint64_t h = hash_of(key);
+  // The fresh node/key are only needed when the key is absent.
+  Blob* kblob = Blob::make(key);
+  Node* fresh = new Node();
+  bool consumed = false;
+  with_method_read_cs(scopes_->scopes.append_outer, [&](CsExec&) {
+    Slot& s = slot_for(h);
+    execute_cs(
+        lock_api<TatasLock>(), &s.lock, s.md, scopes_->scopes.append_slot,
+        [&](CsExec&) {
+          consumed = false;
+          Node** cell = nullptr;
+          Node* n = find_in_slot(s, h, key, cell);
+          if (n != nullptr) {
+            // Read-modify-write: build the concatenation. The append slot
+            // scope prohibits HTM, so this allocation cannot leak via an
+            // emulated abort.
+            Blob* old = tx_load(n->val);
+            std::string next;
+            const std::string_view ov = old->view();
+            next.reserve(ov.size() + suffix.size());
+            next.assign(ov.data(), ov.size());
+            next.append(suffix.data(), suffix.size());
+            tx_store(n->val, Blob::make(next));
+            retire_blob(s, old);
+            return;
+          }
+          fresh->hash = h;
+          fresh->key = kblob;
+          fresh->val = Blob::make(suffix);
+          ConflictingAction guard(s.ver, s.md);
+          fresh->next = tx_load(s.buckets[bucket_of(s, h)].head);
+          tx_store(s.buckets[bucket_of(s, h)].head, fresh);
+          tx_store(s.live_count, tx_load(s.live_count) + 1);
+          consumed = true;
+        });
+  });
+  if (!consumed) {
+    Blob::destroy(kblob);
+    delete fresh;
+  }
+}
+
+void ShardedDb::clear() {
+  execute_cs(rw_write_api(), &method_lock_, method_md_,
+             scopes_->scopes.clear_outer, [&](CsExec&) {
+               ConflictingAction db_guard(db_ver_, method_md_);
+               for (auto& sp : slots_) {
+                 Slot& s = *sp;
+                 execute_cs(
+                     lock_api<TatasLock>(), &s.lock, s.md,
+                     scopes_->scopes.clear_slot, [&](CsExec&) {
+                       ConflictingAction guard(s.ver, s.md);
+                       for (Bucket& b : s.buckets) {
+                         Node* n = tx_load(b.head);
+                         while (n != nullptr) {
+                           Node* next = tx_load(n->next);
+                           retire_blob(s, tx_load(n->key));
+                           retire_blob(s, tx_load(n->val));
+                           tx_store(n->key, static_cast<Blob*>(nullptr));
+                           tx_store(n->val, static_cast<Blob*>(nullptr));
+                           tx_store(n->next, tx_load(s.retired_nodes));
+                           tx_store(s.retired_nodes, n);
+                           n = next;
+                         }
+                         tx_store(b.head, static_cast<Node*>(nullptr));
+                       }
+                       tx_store(s.live_count, std::uint64_t{0});
+                     });
+               }
+             });
+}
+
+std::uint64_t ShardedDb::iterate(
+    const std::function<void(std::string_view, std::string_view)>& fn) {
+  std::uint64_t total = 0;
+  const LockApi* api =
+      cfg_.trylockspin ? rw_read_trylockspin_api() : rw_read_api();
+  execute_cs(api, &method_lock_, method_md_,
+             scopes_->scopes.iterate_outer, [&](CsExec&) {
+               total = 0;
+               for (auto& sp : slots_) {
+                 Slot& s = *sp;
+                 std::uint64_t visited = 0;  // attempt-local tally
+                 execute_cs(
+                     lock_api<TatasLock>(), &s.lock, s.md,
+                     scopes_->scopes.iterate_slot, [&](CsExec&) {
+                       visited = 0;
+                       for (Bucket& b : s.buckets) {
+                         for (Node* n = tx_load(b.head); n != nullptr;
+                              n = tx_load(n->next)) {
+                           Blob* k = tx_load(n->key);
+                           Blob* v = tx_load(n->val);
+                           if (k != nullptr && v != nullptr) {
+                             fn(k->view(), v->view());
+                             ++visited;
+                           }
+                         }
+                       }
+                     });
+                 total += visited;
+               }
+             });
+  return total;
+}
+
+std::uint64_t ShardedDb::count() {
+  std::uint64_t total = 0;
+  const LockApi* api =
+      cfg_.trylockspin ? rw_read_trylockspin_api() : rw_read_api();
+  execute_cs(api, &method_lock_, method_md_, scopes_->scopes.count_outer,
+             [&](CsExec&) {
+               total = 0;
+               for (auto& sp : slots_) total += tx_load(sp->live_count);
+             });
+  return total;
+}
+
+}  // namespace ale::kvdb

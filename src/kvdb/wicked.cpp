@@ -1,0 +1,111 @@
+#include "kvdb/wicked.hpp"
+
+namespace ale::kvdb {
+
+const char* to_string(WickedOp op) noexcept {
+  switch (op) {
+    case WickedOp::kGetHit: return "get-hit";
+    case WickedOp::kGetMiss: return "get-miss";
+    case WickedOp::kSet: return "set";
+    case WickedOp::kRemove: return "remove";
+    case WickedOp::kAppend: return "append";
+    case WickedOp::kCount: return "count";
+    case WickedOp::kClear: return "clear";
+    case WickedOp::kIterate: return "iterate";
+  }
+  return "?";
+}
+
+void wicked_key(std::uint64_t i, std::string& out) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "k%012llu",
+                              static_cast<unsigned long long>(i));
+  out.assign(buf, static_cast<std::size_t>(n));
+}
+
+void wicked_value(std::uint64_t i, std::string& out) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "value-%llu",
+                              static_cast<unsigned long long>(i));
+  out.assign(buf, static_cast<std::size_t>(n));
+}
+
+namespace {
+
+// Deterministic membership predicate for the prefill: key i is present iff
+// a hash of i falls below the fill fraction. (Spreading by hash rather
+// than by prefix keeps hits and misses interleaved across the key space.)
+bool prefilled(std::uint64_t i, double fraction) {
+  SplitMix64 sm(i ^ 0xa5a5a5a5a5a5a5a5ULL);
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53 < fraction;
+}
+
+}  // namespace
+
+void wicked_prefill(ShardedDb& db, const WickedConfig& cfg) {
+  std::string key, value;
+  for (std::uint64_t i = 0; i < cfg.key_range; ++i) {
+    if (!cfg.nomutate && cfg.prefill_fraction >= 1.0) {
+      wicked_key(i, key);
+      wicked_value(i, value);
+      db.set(key, value);
+      continue;
+    }
+    if (prefilled(i, cfg.prefill_fraction)) {
+      wicked_key(i, key);
+      wicked_value(i, value);
+      db.set(key, value);
+    }
+  }
+}
+
+WickedOp wicked_step(ShardedDb& db, const WickedConfig& cfg, Xoshiro256& rng,
+                     std::string& scratch_key, std::string& scratch_val) {
+  const std::uint64_t i = rng.next_below(cfg.key_range);
+  wicked_key(i, scratch_key);
+
+  if (cfg.nomutate) {
+    return db.get(scratch_key, scratch_val) ? WickedOp::kGetHit
+                                            : WickedOp::kGetMiss;
+  }
+
+  double roll = rng.next_double();
+  if (roll < cfg.set_frac) {
+    wicked_value(i, scratch_val);
+    db.set(scratch_key, scratch_val);
+    return WickedOp::kSet;
+  }
+  roll -= cfg.set_frac;
+  if (roll < cfg.remove_frac) {
+    db.remove(scratch_key);
+    return WickedOp::kRemove;
+  }
+  roll -= cfg.remove_frac;
+  if (roll < cfg.append_frac) {
+    db.append(scratch_key, "+x");
+    return WickedOp::kAppend;
+  }
+  roll -= cfg.append_frac;
+  if (roll < cfg.count_frac) {
+    (void)db.count();
+    return WickedOp::kCount;
+  }
+  roll -= cfg.count_frac;
+  if (roll < cfg.iterate_frac) {
+    std::uint64_t checksum = 0;
+    db.iterate([&checksum](std::string_view key, std::string_view) {
+      checksum += key.size();
+    });
+    (void)checksum;
+    return WickedOp::kIterate;
+  }
+  roll -= cfg.iterate_frac;
+  if (roll < cfg.clear_frac) {
+    db.clear();
+    return WickedOp::kClear;
+  }
+  return db.get(scratch_key, scratch_val) ? WickedOp::kGetHit
+                                          : WickedOp::kGetMiss;
+}
+
+}  // namespace ale::kvdb

@@ -1,0 +1,56 @@
+// The "wicked" workload (Kyoto Cabinet's kccachetest wicked analog): a
+// randomized storm of mixed operations against a ShardedDb, plus the
+// paper's `nomutate` variant — a pure-get workload pre-filled so that ~42%
+// of lookups miss ("42% of the executions did not find the object they
+// were seeking, and hence succeeded using SWOpt", §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/prng.hpp"
+#include "kvdb/sharded_db.hpp"
+
+namespace ale::kvdb {
+
+enum class WickedOp : std::uint8_t {
+  kGetHit = 0,
+  kGetMiss,
+  kSet,
+  kRemove,
+  kAppend,
+  kCount,
+  kClear,
+  kIterate,
+};
+inline constexpr std::size_t kNumWickedOps = 8;
+const char* to_string(WickedOp op) noexcept;
+
+struct WickedConfig {
+  std::uint64_t key_range = 10000;
+  // Operation mix (fractions of 1; remainder goes to get).
+  double set_frac = 0.30;
+  double remove_frac = 0.14;
+  double append_frac = 0.05;
+  double count_frac = 0.005;
+  double iterate_frac = 0.001;  // full scans (Kyoto's iterator ops)
+  double clear_frac = 0.0;  // off by default: clear wipes the whole DB
+  // nomutate: only gets, against a 58%-filled key range (≈42% misses).
+  bool nomutate = false;
+  double prefill_fraction = 0.58;
+};
+
+// Render the canonical key / value strings for a slot in the key range.
+void wicked_key(std::uint64_t i, std::string& out);
+void wicked_value(std::uint64_t i, std::string& out);
+
+// Pre-fill the database per the config (every i with i/key_range below
+// prefill_fraction, spread deterministically).
+void wicked_prefill(ShardedDb& db, const WickedConfig& cfg);
+
+// Execute one random operation; returns what happened.
+WickedOp wicked_step(ShardedDb& db, const WickedConfig& cfg,
+                     Xoshiro256& rng, std::string& scratch_key,
+                     std::string& scratch_val);
+
+}  // namespace ale::kvdb

@@ -1,0 +1,435 @@
+#include "policy/adaptive_policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "htm/config.hpp"
+#include "policy/grouping.hpp"
+
+namespace ale {
+
+const char* to_string(Progression p) noexcept {
+  switch (p) {
+    case Progression::kLockOnly: return "Lock";
+    case Progression::kSL: return "SWOpt+Lock";
+    case Progression::kHL: return "HTM+Lock";
+    case Progression::kAll: return "HTM+SWOpt+Lock";
+  }
+  return "?";
+}
+
+unsigned estimate_best_x(const AttemptHistogram<64>& hist,
+                         double t_fail_attempt, double t_succ_attempt,
+                         double t_no_htm, double t_after_max_fail,
+                         unsigned x_max) {
+  const std::uint64_t total = hist.total();
+  if (total == 0 || x_max == 0) return 0;
+  t_fail_attempt = std::max(t_fail_attempt, 1.0);
+  t_succ_attempt = std::max(t_succ_attempt, 1.0);
+  t_no_htm = std::max(t_no_htm, 1.0);
+  t_after_max_fail = std::max(t_after_max_fail, 1.0);
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  unsigned best_x = 0;
+  double cost_of_successes = 0.0;  // Σ_{k≤x} p_k·((k-1)·t_fail + t_succ)
+  std::uint64_t successes_within = 0;
+  for (unsigned x = 0; x <= x_max; ++x) {
+    if (x >= 1) {
+      const double p_k = static_cast<double>(hist.successes_at(x)) /
+                         static_cast<double>(total);
+      cost_of_successes +=
+          p_k * ((x - 1) * t_fail_attempt + t_succ_attempt);
+      successes_within += hist.successes_at(x);
+    }
+    // §4.2: "we assume that the non-HTM execution time grows linearly from
+    // the lower bound to the upper bound as we reduce the number of HTM
+    // attempts from the maximum to zero".
+    const double frac = static_cast<double>(x) / static_cast<double>(x_max);
+    const double fallback =
+        t_no_htm + (t_after_max_fail - t_no_htm) * frac;
+    const double p_miss =
+        1.0 - static_cast<double>(successes_within) /
+                  static_cast<double>(total);
+    const double cost =
+        cost_of_successes + p_miss * (x * t_fail_attempt + fallback);
+    if (cost + 1e-9 < best_cost) {
+      best_cost = cost;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+namespace {
+
+constexpr std::uint32_t kDefaultX = 5;     // when a granule never learned
+constexpr std::uint32_t kMinMeasured = 8;  // samples to trust a mean
+
+bool is_htm_major(std::uint32_t major) noexcept {
+  return major == static_cast<std::uint32_t>(Progression::kHL) ||
+         major == static_cast<std::uint32_t>(Progression::kAll);
+}
+
+}  // namespace
+
+ExecMode AdaptivePolicy::choose_for_progression(Progression prog,
+                                                std::uint32_t x,
+                                                const AttemptState& st) const {
+  const bool htm_in = prog == Progression::kHL || prog == Progression::kAll;
+  const bool swopt_in = prog == Progression::kSL || prog == Progression::kAll;
+  const double effective_htm =
+      st.htm_attempts + st.htm_locked_aborts * cfg_.locked_abort_weight;
+  if (htm_in && st.htm_eligible && effective_htm < static_cast<double>(x)) {
+    return ExecMode::kHtm;
+  }
+  if (swopt_in && st.swopt_eligible && st.swopt_attempts < cfg_.y_large) {
+    return ExecMode::kSwOpt;
+  }
+  return ExecMode::kLock;
+}
+
+ExecMode AdaptivePolicy::choose_mode(const AttemptState& st, LockMd& md,
+                                     GranuleMd& g) {
+  AdaptiveLockState& ls = lock_state(md);
+  AdaptiveGranuleState& gs = granule_state(g);
+  const std::uint32_t ph = ls.phase.load(std::memory_order_acquire);
+  const std::uint32_t major = AdaptiveLockState::major_of(ph);
+
+  if (major < kNumProgressions) {  // learning phases
+    return choose_for_progression(
+        static_cast<Progression>(major),
+        gs.x_current.load(std::memory_order_relaxed), st);
+  }
+  if (major == AdaptiveLockState::kCustom || ls.use_custom.load()) {
+    return choose_for_progression(
+        static_cast<Progression>(gs.final_prog.load()),
+        gs.final_x.load(std::memory_order_relaxed), st);
+  }
+  // Converged on a uniform progression.
+  const auto best = static_cast<Progression>(ls.best_uniform.load());
+  std::uint32_t x =
+      gs.x_for[static_cast<std::size_t>(best)].load(std::memory_order_relaxed);
+  if (x == 0 &&
+      (best == Progression::kHL || best == Progression::kAll)) {
+    x = kDefaultX;
+  }
+  return choose_for_progression(best, x, st);
+}
+
+void AdaptivePolicy::on_htm_abort(LockMd&, GranuleMd&, htm::AbortCause) {}
+
+void AdaptivePolicy::on_execution_complete(LockMd& md, GranuleMd& g,
+                                           ExecMode final_mode,
+                                           const AttemptState& st,
+                                           std::uint64_t elapsed_ticks) {
+  AdaptiveLockState& ls = lock_state(md);
+  AdaptiveGranuleState& gs = granule_state(g);
+  const std::uint32_t ph = ls.phase.load(std::memory_order_acquire);
+  const std::uint32_t major = AdaptiveLockState::major_of(ph);
+  const std::uint32_t sub = AdaptiveLockState::sub_of(ph);
+
+  if (major == AdaptiveLockState::kConverged) {
+    // §6 extension: periodically discard the learned configuration so a
+    // workload that changed since convergence gets re-measured.
+    if (cfg_.relearn_after > 0) {
+      const std::uint32_t execs =
+          gs.phase_execs.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (execs >= cfg_.relearn_after) restart_learning(md, ls, ph);
+    }
+    return;
+  }
+
+  if (major < kNumProgressions) {
+    const bool htm_major = is_htm_major(major);
+    // Measurement windows: single-sub phases measure immediately; HTM
+    // phases measure in sub2 only (after X has been learned).
+    if (!htm_major || sub == 2) {
+      gs.prog_time[major].add(elapsed_ticks);
+      ls.lock_prog_time[major].add(elapsed_ticks);
+    }
+    if (htm_major) {
+      if (final_mode == ExecMode::kHtm) {
+        if (sub <= 1) gs.hist.record_success(st.htm_attempts);
+        gs.htm_succ_exec_time.add(elapsed_ticks);
+      } else if (st.htm_attempts + st.htm_locked_aborts > 0) {
+        if (sub == 1) {
+          gs.hist.record_failure();
+          gs.fallback_time.add(elapsed_ticks);
+        }
+      }
+    }
+  } else if (major == AdaptiveLockState::kCustom) {
+    ls.custom_time.add(elapsed_ticks);
+  }
+
+  const std::uint32_t execs =
+      gs.phase_execs.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (execs >= cfg_.phase_len) maybe_advance(md, ls, ph);
+}
+
+std::uint32_t AdaptivePolicy::first_major() const { return 0; }
+
+std::uint32_t AdaptivePolicy::next_major(std::uint32_t major) const {
+  std::uint32_t next = major + 1;
+  if (!htm::htm_available()) {
+    while (next < kNumProgressions && is_htm_major(next)) ++next;
+    if (next == kNumProgressions) return AdaptiveLockState::kCustom;
+  }
+  if (next > kNumProgressions) return AdaptiveLockState::kCustom;
+  if (next == kNumProgressions) return AdaptiveLockState::kCustom;
+  return next;
+}
+
+void AdaptivePolicy::reset_phase_counters(LockMd& md,
+                                          std::uint32_t new_x_current) {
+  md.for_each_granule([&](GranuleMd& g) {
+    AdaptiveGranuleState& gs = granule_state(g);
+    gs.phase_execs.store(0, std::memory_order_relaxed);
+    if (new_x_current != std::numeric_limits<std::uint32_t>::max()) {
+      gs.x_current.store(new_x_current, std::memory_order_relaxed);
+    }
+  });
+}
+
+void AdaptivePolicy::finalize_sub0(LockMd& md) {
+  md.for_each_granule([&](GranuleMd& g) {
+    AdaptiveGranuleState& gs = granule_state(g);
+    const std::size_t max_attempt = gs.hist.max_successful_attempt();
+    // "adjust its value to the maximal number of attempts so far required
+    // to complete executions of the critical section using HTM, plus a
+    // small constant"
+    const std::uint32_t x1 =
+        max_attempt == 0
+            ? std::min<std::uint32_t>(4, cfg_.x_discovery_cap)
+            : std::min<std::uint32_t>(
+                  static_cast<std::uint32_t>(max_attempt) + cfg_.x_slack,
+                  cfg_.x_discovery_cap);
+    gs.x_current.store(x1, std::memory_order_relaxed);
+    gs.hist.reset();
+    gs.fallback_time.reset();
+    gs.htm_succ_exec_time.reset();
+  });
+}
+
+void AdaptivePolicy::finalize_sub1(LockMd& md, AdaptiveLockState& ls,
+                                   Progression prog) {
+  md.for_each_granule([&](GranuleMd& g) {
+    AdaptiveGranuleState& gs = granule_state(g);
+    const std::uint32_t x1 = gs.x_current.load(std::memory_order_relaxed);
+
+    double t_fail = g.stats.of(ExecMode::kHtm).fail_time.mean_ticks();
+    if (!g.stats.of(ExecMode::kHtm).fail_time.is_reliable(4)) {
+      t_fail = 500.0;  // conservative prior, ~sub-microsecond attempts
+    }
+
+    // Mean successful execution time, discounted by the failed attempts
+    // folded into it, approximates the cost of the successful attempt.
+    double mean_attempts = 1.0;
+    const std::uint64_t total_succ = gs.hist.total_successes();
+    if (total_succ > 0) {
+      double weighted = 0.0;
+      for (std::size_t k = 1; k <= gs.hist.kMaxAttempts; ++k) {
+        weighted += static_cast<double>(k * gs.hist.successes_at(k));
+      }
+      mean_attempts = weighted / static_cast<double>(total_succ);
+    }
+    double t_succ = gs.htm_succ_exec_time.mean() -
+                    (mean_attempts - 1.0) * t_fail;
+    if (t_succ <= 0.0) t_succ = std::max(1.0, t_fail * 0.5);
+
+    // Upper bound: execution time "when HTM was not attempted" — the SL
+    // phase for the All progression (if measured), otherwise Lock.
+    double t_no_htm = 0.0;
+    if (prog == Progression::kAll &&
+        gs.prog_time[static_cast<std::size_t>(Progression::kSL)].n() >=
+            kMinMeasured) {
+      t_no_htm =
+          gs.prog_time[static_cast<std::size_t>(Progression::kSL)].mean();
+    } else if (gs.prog_time[static_cast<std::size_t>(
+                   Progression::kLockOnly)].n() >= kMinMeasured) {
+      t_no_htm = gs.prog_time[static_cast<std::size_t>(
+                                  Progression::kLockOnly)].mean();
+    } else if (ls.lock_prog_time[static_cast<std::size_t>(
+                   Progression::kLockOnly)].n() >= kMinMeasured) {
+      t_no_htm = ls.lock_prog_time[static_cast<std::size_t>(
+                                       Progression::kLockOnly)].mean();
+    } else {
+      t_no_htm = t_succ * 2.0;
+    }
+
+    // Lower bound: "the time taken after failing the maximum number of HTM
+    // attempts" — measured fallback executions minus their HTM attempts.
+    double t_after_max = t_no_htm;
+    if (gs.fallback_time.n() >= 4) {
+      t_after_max = gs.fallback_time.mean() - x1 * t_fail;
+    }
+    t_after_max = std::clamp(t_after_max, 1.0, t_no_htm);
+
+    const unsigned x2 =
+        estimate_best_x(gs.hist, t_fail, t_succ, t_no_htm, t_after_max, x1);
+    gs.x_current.store(x2, std::memory_order_relaxed);
+    gs.x_for[static_cast<std::size_t>(prog)].store(
+        x2, std::memory_order_relaxed);
+  });
+}
+
+void AdaptivePolicy::begin_custom(LockMd& md, AdaptiveLockState& ls) {
+  // Lock-level best uniform progression.
+  double best_mean = std::numeric_limits<double>::infinity();
+  std::uint8_t best = static_cast<std::uint8_t>(Progression::kLockOnly);
+  for (std::size_t p = 0; p < kNumProgressions; ++p) {
+    if (ls.lock_prog_time[p].n() < kMinMeasured) continue;
+    const double m = ls.lock_prog_time[p].mean();
+    if (m < best_mean) {
+      best_mean = m;
+      best = static_cast<std::uint8_t>(p);
+    }
+  }
+  ls.best_uniform.store(best, std::memory_order_relaxed);
+
+  // Per-granule best progression + its learned X.
+  md.for_each_granule([&](GranuleMd& g) {
+    AdaptiveGranuleState& gs = granule_state(g);
+    double gbest_mean = std::numeric_limits<double>::infinity();
+    std::uint8_t gbest = best;  // default to the lock-level winner
+    for (std::size_t p = 0; p < kNumProgressions; ++p) {
+      if (gs.prog_time[p].n() < kMinMeasured) continue;
+      const double m = gs.prog_time[p].mean();
+      if (m < gbest_mean) {
+        gbest_mean = m;
+        gbest = static_cast<std::uint8_t>(p);
+      }
+    }
+    gs.final_prog.store(gbest, std::memory_order_relaxed);
+    std::uint32_t x = gs.x_for[gbest].load(std::memory_order_relaxed);
+    if (x == 0 && is_htm_major(gbest)) x = kDefaultX;
+    gs.final_x.store(x, std::memory_order_relaxed);
+  });
+  ls.custom_time.reset();
+}
+
+void AdaptivePolicy::begin_converged(LockMd& md, AdaptiveLockState& ls) {
+  // "only use these local choices if they yield a lower average execution
+  // time than was measured during the learning phases".
+  const std::uint8_t best = ls.best_uniform.load(std::memory_order_relaxed);
+  const double best_mean = ls.lock_prog_time[best].n() >= kMinMeasured
+                               ? ls.lock_prog_time[best].mean()
+                               : std::numeric_limits<double>::infinity();
+  const bool custom_wins = ls.custom_time.n() >= kMinMeasured &&
+                           ls.custom_time.mean() <= best_mean;
+  ls.use_custom.store(custom_wins, std::memory_order_relaxed);
+  (void)md;
+}
+
+void AdaptivePolicy::maybe_advance(LockMd& md, AdaptiveLockState& ls,
+                                   std::uint32_t seen_phase) {
+  if (!ls.transition_lock.try_lock()) return;
+  if (ls.phase.load(std::memory_order_acquire) != seen_phase) {
+    ls.transition_lock.unlock();
+    return;
+  }
+  const std::uint32_t major = AdaptiveLockState::major_of(seen_phase);
+  const std::uint32_t sub = AdaptiveLockState::sub_of(seen_phase);
+  std::uint32_t next;
+
+  if (is_htm_major(major) && sub == 0) {
+    finalize_sub0(md);
+    reset_phase_counters(md, std::numeric_limits<std::uint32_t>::max());
+    next = AdaptiveLockState::pack(major, 1);
+  } else if (is_htm_major(major) && sub == 1) {
+    finalize_sub1(md, ls, static_cast<Progression>(major));
+    reset_phase_counters(md, std::numeric_limits<std::uint32_t>::max());
+    next = AdaptiveLockState::pack(major, 2);
+  } else if (major < kNumProgressions) {
+    const std::uint32_t nm = next_major(major);
+    if (nm == AdaptiveLockState::kCustom) {
+      begin_custom(md, ls);
+      reset_phase_counters(md, std::numeric_limits<std::uint32_t>::max());
+      next = AdaptiveLockState::pack(AdaptiveLockState::kCustom, 0);
+    } else {
+      const std::uint32_t new_x =
+          is_htm_major(nm) ? cfg_.x_discovery_cap
+                           : std::numeric_limits<std::uint32_t>::max();
+      // Entering a fresh HTM major: clear its discovery scratch.
+      if (is_htm_major(nm)) {
+        md.for_each_granule([&](GranuleMd& g) {
+          AdaptiveGranuleState& gs = granule_state(g);
+          gs.hist.reset();
+          gs.fallback_time.reset();
+          gs.htm_succ_exec_time.reset();
+        });
+      }
+      reset_phase_counters(md, new_x);
+      next = AdaptiveLockState::pack(nm, 0);
+    }
+  } else if (major == AdaptiveLockState::kCustom) {
+    begin_converged(md, ls);
+    reset_phase_counters(md, std::numeric_limits<std::uint32_t>::max());
+    next = AdaptiveLockState::pack(AdaptiveLockState::kConverged, 0);
+  } else {
+    next = seen_phase;
+  }
+
+  ls.phase.store(next, std::memory_order_release);
+  ls.transition_lock.unlock();
+}
+
+void AdaptivePolicy::restart_learning(LockMd& md, AdaptiveLockState& ls,
+                                      std::uint32_t seen_phase) {
+  if (!ls.transition_lock.try_lock()) return;
+  if (ls.phase.load(std::memory_order_acquire) != seen_phase) {
+    ls.transition_lock.unlock();
+    return;
+  }
+  for (auto& acc : ls.lock_prog_time) acc.reset();
+  ls.custom_time.reset();
+  ls.use_custom.store(false, std::memory_order_relaxed);
+  md.for_each_granule([&](GranuleMd& g) {
+    AdaptiveGranuleState& gs = granule_state(g);
+    gs.phase_execs.store(0, std::memory_order_relaxed);
+    gs.hist.reset();
+    gs.fallback_time.reset();
+    gs.htm_succ_exec_time.reset();
+    for (auto& acc : gs.prog_time) acc.reset();
+    for (auto& x : gs.x_for) x.store(0, std::memory_order_relaxed);
+    gs.x_current.store(0, std::memory_order_relaxed);
+  });
+  ls.relearn_count.fetch_add(1, std::memory_order_relaxed);
+  ls.phase.store(AdaptiveLockState::pack(0, 0), std::memory_order_release);
+  ls.transition_lock.unlock();
+}
+
+void AdaptivePolicy::before_potentially_conflicting(LockMd& md) {
+  if (cfg_.grouping) {
+    grouping_wait(md, cfg_.grouping_respect_probability);
+  }
+}
+void AdaptivePolicy::on_swopt_retry_begin(LockMd& md) {
+  if (cfg_.grouping) md.swopt_retriers().arrive();
+}
+void AdaptivePolicy::on_swopt_retry_end(LockMd& md) {
+  if (cfg_.grouping) md.swopt_retriers().depart();
+}
+
+std::uint32_t AdaptivePolicy::phase_of(LockMd& md) {
+  return lock_state(md).phase.load(std::memory_order_acquire);
+}
+bool AdaptivePolicy::converged(LockMd& md) {
+  return AdaptiveLockState::major_of(phase_of(md)) ==
+         AdaptiveLockState::kConverged;
+}
+Progression AdaptivePolicy::final_progression_of(LockMd& md, GranuleMd& g) {
+  AdaptiveLockState& ls = lock_state(md);
+  if (ls.use_custom.load()) {
+    return static_cast<Progression>(granule_state(g).final_prog.load());
+  }
+  return static_cast<Progression>(ls.best_uniform.load());
+}
+std::uint32_t AdaptivePolicy::final_x_of(GranuleMd& g) {
+  return granule_state(g).final_x.load(std::memory_order_relaxed);
+}
+std::uint64_t AdaptivePolicy::relearn_count_of(LockMd& md) {
+  return lock_state(md).relearn_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace ale

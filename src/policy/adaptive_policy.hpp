@@ -1,0 +1,214 @@
+// The adaptive policy (§4.2).
+//
+// Per lock, the policy walks one learning phase per *mode progression* —
+// Lock, SWOpt+Lock, HTM+Lock, HTM+SWOpt+Lock — then a *custom* phase that
+// tries the per-granule best choices, then converges:
+//
+//   Lock → SL → HL(sub0,sub1,sub2) → All(sub0,sub1,sub2) → Custom → Converged
+//
+// (HL/All are skipped when the platform has no HTM.) Phase transitions
+// "occur when some context of L completes a certain number of executions".
+//
+// For progressions that include HTM, X is learned per granule in three
+// sub-phases:
+//   sub0 (discovery)  : X starts large; at the end X ← max attempts any
+//                       successful HTM execution needed, plus a small
+//                       constant.
+//   sub1 (histogram)  : with that X, build the histogram of attempts-to-
+//                       success and the failure count; at the end pick the
+//                       X minimizing the expected-execution-time estimate
+//                       (estimate_best_x below — the paper's interpolated
+//                       cost model).
+//   sub2 (measurement): run with the learned X and measure the
+//                       progression's average execution time.
+//
+// The custom phase runs each granule with its own best progression; the
+// lock keeps those per-granule choices only if the measured custom average
+// beats the best uniform progression (§4.2's closing discussion).
+//
+// Y is always "a large value to ensure that (rare) livelocks do not persist
+// indefinitely"; the grouping mechanism makes SWOpt complete in far fewer
+// attempts in practice.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "core/lockmd.hpp"
+#include "core/policy_iface.hpp"
+#include "stats/histogram.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ale {
+
+// ---- mode progressions, in the paper's learning order ----
+enum class Progression : std::uint8_t {
+  kLockOnly = 0,
+  kSL = 1,   // SWOpt+Lock
+  kHL = 2,   // HTM+Lock
+  kAll = 3,  // HTM+SWOpt+Lock
+};
+inline constexpr std::size_t kNumProgressions = 4;
+const char* to_string(Progression p) noexcept;
+
+struct AdaptiveConfig {
+  // Executions of one granule that end a (sub-)phase.
+  std::uint32_t phase_len = 300;
+  // sub0's "large number" of HTM attempts, and the cap on any learned X.
+  std::uint32_t x_discovery_cap = 40;
+  // The "small constant" added to the observed max in sub0.
+  std::uint32_t x_slack = 2;
+  // The paper's "large value" for Y.
+  std::uint32_t y_large = 100;
+  double locked_abort_weight = 0.25;
+  bool grouping = true;
+  double grouping_respect_probability = 1.0;
+  // §6 future-work extension: adapt to workloads that change over time.
+  // After convergence, once some granule completes this many executions,
+  // discard the learned state and walk the phases again (0 = never).
+  std::uint32_t relearn_after = 0;
+};
+
+// The paper's expected-execution-time estimate: given the attempts-to-
+// success histogram, per-attempt costs, and the interpolated non-HTM
+// fallback time (upper bound t_no_htm at x=0, lower bound t_after_max_fail
+// at x=x_max), return the x in [0, x_max] with the lowest estimate.
+// Exposed for direct unit testing.
+unsigned estimate_best_x(const AttemptHistogram<64>& hist,
+                         double t_fail_attempt, double t_succ_attempt,
+                         double t_no_htm, double t_after_max_fail,
+                         unsigned x_max);
+
+// ---- policy-owned state ----
+
+struct MeanAccumulator {
+  std::atomic<std::uint64_t> sum_ticks{0};
+  std::atomic<std::uint64_t> count{0};
+
+  void add(std::uint64_t ticks) noexcept {
+    sum_ticks.fetch_add(ticks, std::memory_order_relaxed);
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t n() const noexcept {
+    return count.load(std::memory_order_relaxed);
+  }
+  double mean() const noexcept {
+    const std::uint64_t c = n();
+    if (c == 0) return 0.0;
+    return static_cast<double>(sum_ticks.load(std::memory_order_relaxed)) /
+           static_cast<double>(c);
+  }
+  void reset() noexcept {
+    sum_ticks.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+  }
+};
+
+class AdaptiveGranuleState final : public PolicyGranuleState {
+ public:
+  std::atomic<std::uint32_t> phase_execs{0};
+  AttemptHistogram<64> hist;
+  // Attempt budget in force for the current phase. Starts at the discovery
+  // cap so granules that first appear mid-HTM-phase still try HTM (it is
+  // ignored in the Lock/SL phases).
+  std::atomic<std::uint32_t> x_current{40};
+  // Learned X per progression (HL, All).
+  std::array<std::atomic<std::uint32_t>, kNumProgressions> x_for{};
+  // Measured mean execution time per progression (sub2 / single-sub
+  // phases), plus the fallback-time sample (executions that exhausted HTM).
+  std::array<MeanAccumulator, kNumProgressions> prog_time{};
+  MeanAccumulator fallback_time;
+  MeanAccumulator htm_fail_attempt_time;  // learning-phase exact timing
+  MeanAccumulator htm_succ_exec_time;
+  // Final per-granule choice (valid from the custom phase on).
+  std::atomic<std::uint8_t> final_prog{
+      static_cast<std::uint8_t>(Progression::kLockOnly)};
+  std::atomic<std::uint32_t> final_x{0};
+};
+
+class AdaptiveLockState final : public PolicyLockState {
+ public:
+  // Major phase ids: 0..3 = the progressions, 4 = custom, 5 = converged.
+  static constexpr std::uint32_t kCustom = 4;
+  static constexpr std::uint32_t kConverged = 5;
+
+  static constexpr std::uint32_t pack(std::uint32_t major,
+                                      std::uint32_t sub) noexcept {
+    return (major << 8) | sub;
+  }
+  static constexpr std::uint32_t major_of(std::uint32_t w) noexcept {
+    return w >> 8;
+  }
+  static constexpr std::uint32_t sub_of(std::uint32_t w) noexcept {
+    return w & 0xff;
+  }
+
+  std::atomic<std::uint32_t> phase{pack(0, 0)};
+  TatasLock transition_lock;
+  std::array<MeanAccumulator, kNumProgressions> lock_prog_time{};
+  MeanAccumulator custom_time;
+  std::atomic<std::uint8_t> best_uniform{
+      static_cast<std::uint8_t>(Progression::kLockOnly)};
+  std::atomic<bool> use_custom{false};
+  std::atomic<std::uint64_t> relearn_count{0};  // times learning restarted
+};
+
+class AdaptivePolicy final : public Policy {
+ public:
+  explicit AdaptivePolicy(AdaptiveConfig cfg = {}) noexcept : cfg_(cfg) {}
+
+  const char* name() const override { return "adaptive"; }
+  const AdaptiveConfig& config() const noexcept { return cfg_; }
+
+  ExecMode choose_mode(const AttemptState& st, LockMd& md,
+                       GranuleMd& g) override;
+  void on_htm_abort(LockMd&, GranuleMd&, htm::AbortCause) override;
+  void on_execution_complete(LockMd& md, GranuleMd& g, ExecMode final_mode,
+                             const AttemptState& st,
+                             std::uint64_t elapsed_ticks) override;
+
+  void before_potentially_conflicting(LockMd& md) override;
+  void on_swopt_retry_begin(LockMd& md) override;
+  void on_swopt_retry_end(LockMd& md) override;
+
+  std::unique_ptr<PolicyLockState> make_lock_state(LockMd&) override {
+    return std::make_unique<AdaptiveLockState>();
+  }
+  std::unique_ptr<PolicyGranuleState> make_granule_state(GranuleMd&) override {
+    return std::make_unique<AdaptiveGranuleState>();
+  }
+
+  // Introspection for tests/benches.
+  std::uint32_t phase_of(LockMd& md);
+  bool converged(LockMd& md);
+  Progression final_progression_of(LockMd& md, GranuleMd& g);
+  std::uint32_t final_x_of(GranuleMd& g);
+  std::uint64_t relearn_count_of(LockMd& md);
+
+ private:
+  AdaptiveLockState& lock_state(LockMd& md) {
+    return *static_cast<AdaptiveLockState*>(md.policy_state(*this));
+  }
+  AdaptiveGranuleState& granule_state(GranuleMd& g) {
+    return *static_cast<AdaptiveGranuleState*>(g.policy_state(*this));
+  }
+
+  ExecMode choose_for_progression(Progression prog, std::uint32_t x,
+                                  const AttemptState& st) const;
+  std::uint32_t first_major() const;
+  std::uint32_t next_major(std::uint32_t major) const;
+  void maybe_advance(LockMd& md, AdaptiveLockState& ls,
+                     std::uint32_t seen_phase);
+  void finalize_sub0(LockMd& md);
+  void finalize_sub1(LockMd& md, AdaptiveLockState& ls, Progression prog);
+  void begin_custom(LockMd& md, AdaptiveLockState& ls);
+  void begin_converged(LockMd& md, AdaptiveLockState& ls);
+  void reset_phase_counters(LockMd& md, std::uint32_t new_x_mode);
+  void restart_learning(LockMd& md, AdaptiveLockState& ls,
+                        std::uint32_t seen_phase);
+
+  AdaptiveConfig cfg_;
+};
+
+}  // namespace ale

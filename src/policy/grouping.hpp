@@ -1,0 +1,38 @@
+// The grouping mechanism (§4.2): "we employ a grouping mechanism that
+// attempts to run executions of SWOpt paths associated with the same lock
+// concurrently, while delaying the execution of critical sections that may
+// conflict with them. The grouping mechanism uses a scalable non-zero
+// indicator (SNZI) to track whether any threads executing SWOpt are
+// retrying. If so, executions that potentially conflict with SWOpt
+// executions wait for the SNZI to indicate that all such SWOpt executions
+// have completed."
+//
+// The wait is bounded (a misbehaving nest cannot stall the process) and can
+// be respected probabilistically — the paper sketches that as future work;
+// we expose the probability as a knob with the deterministic behaviour
+// (p = 1.0) as the default.
+#pragma once
+
+#include "common/prng.hpp"
+#include "core/lockmd.hpp"
+#include "sync/backoff.hpp"
+
+namespace ale {
+
+inline constexpr unsigned kGroupingMaxWaitRounds = 4096;
+
+inline void grouping_wait(LockMd& md, double respect_probability = 1.0) {
+  if (!md.swopt_retriers().query()) return;
+  if (respect_probability < 1.0 &&
+      !thread_prng().next_bool(respect_probability)) {
+    return;
+  }
+  Backoff backoff;
+  for (unsigned round = 0;
+       round < kGroupingMaxWaitRounds && md.swopt_retriers().query();
+       ++round) {
+    backoff.pause();
+  }
+}
+
+}  // namespace ale

@@ -1,0 +1,78 @@
+#include "policy/install.hpp"
+
+#include <charconv>
+#include <string>
+
+#include "common/env.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/static_policy.hpp"
+
+namespace ale {
+
+namespace {
+
+std::optional<unsigned> parse_uint(std::string_view s) {
+  unsigned v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::unique_ptr<Policy> make_policy(std::string_view spec) {
+  if (spec == "lockonly" || spec == "instrumented") {
+    return std::make_unique<LockOnlyPolicy>();
+  }
+  if (spec == "adaptive") {
+    AdaptiveConfig cfg;
+    cfg.phase_len = static_cast<std::uint32_t>(
+        env_int("ALE_ADAPTIVE_PHASE_LEN", cfg.phase_len));
+    cfg.grouping = env_bool("ALE_ADAPTIVE_GROUPING", cfg.grouping);
+    return std::make_unique<AdaptivePolicy>(cfg);
+  }
+  if (spec.starts_with("static-")) {
+    spec.remove_prefix(7);
+    StaticPolicyConfig cfg;
+    if (spec.starts_with("hl-")) {
+      const auto x = parse_uint(spec.substr(3));
+      if (!x) return nullptr;
+      cfg.use_swopt = false;
+      cfg.x = *x;
+      cfg.y = 0;
+      return std::make_unique<StaticPolicy>(cfg);
+    }
+    if (spec.starts_with("sl-")) {
+      const auto y = parse_uint(spec.substr(3));
+      if (!y) return nullptr;
+      cfg.use_htm = false;
+      cfg.x = 0;
+      cfg.y = *y;
+      return std::make_unique<StaticPolicy>(cfg);
+    }
+    if (spec.starts_with("all-")) {
+      const std::string_view rest = spec.substr(4);
+      const std::size_t colon = rest.find(':');
+      if (colon == std::string_view::npos) return nullptr;
+      const auto x = parse_uint(rest.substr(0, colon));
+      const auto y = parse_uint(rest.substr(colon + 1));
+      if (!x || !y) return nullptr;
+      cfg.x = *x;
+      cfg.y = *y;
+      return std::make_unique<StaticPolicy>(cfg);
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+bool install_policy_from_env() {
+  const auto spec = env_string("ALE_POLICY");
+  if (!spec) return false;
+  auto policy = make_policy(*spec);
+  if (policy == nullptr) return false;
+  set_global_policy(std::move(policy));
+  return true;
+}
+
+}  // namespace ale

@@ -1,0 +1,27 @@
+// Environment-driven policy installation, so unmodified binaries can be
+// re-run under different policies (mirrors §5's experiment naming):
+//
+//   ALE_POLICY=lockonly            → Instrumented baseline
+//   ALE_POLICY=static-hl-5         → Static, HTM only, X=5
+//   ALE_POLICY=static-sl-3         → Static, SWOpt only, Y=3
+//   ALE_POLICY=static-all-5:3      → Static, X=5, Y=3
+//   ALE_POLICY=adaptive            → Adaptive
+//
+// Unset/unrecognized values leave the current policy in place.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/policy_iface.hpp"
+
+namespace ale {
+
+// Parse a policy spec string (as above). Returns nullptr on parse failure.
+std::unique_ptr<Policy> make_policy(std::string_view spec);
+
+// Install from ALE_POLICY if set and valid; returns true if installed.
+bool install_policy_from_env();
+
+}  // namespace ale

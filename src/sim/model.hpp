@@ -1,0 +1,116 @@
+// Model parameters for the virtual-time platform simulator.
+//
+// DESIGN.md §2: the host is a single-core VM, so real-thread benchmarks
+// cannot show multi-core scalability. The simulator reruns the paper's
+// mode-progression logic on a discrete-event model of each platform —
+// M hardware contexts, a FIFO lock with cache-transfer handoff cost,
+// best-effort HTM with conflict/environment/capacity aborts, and seqlock-
+// style SWOpt invalidation — to regenerate the *shape* of the paper's
+// throughput-vs-threads figures deterministically.
+//
+// All durations are in abstract cycles; throughput is reported in
+// operations per million cycles of virtual time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ale::sim {
+
+struct SimPlatform {
+  std::string name = "generic";
+  unsigned hw_threads = 16;
+  bool htm = true;
+
+  // HTM behaviour.
+  double htm_begin_commit_cost = 60;   // fixed per-transaction overhead
+  double htm_env_abort_prob = 0.01;    // spontaneous best-effort aborts
+  std::uint32_t htm_write_cap = 64;    // cache lines; larger CSes abort
+  double htm_abort_penalty = 80;       // wasted cycles beyond partial work
+
+  // Lock behaviour.
+  double lock_acquire_cost = 40;       // uncontended CAS + fences
+  double lock_handoff_cost = 120;      // cache-line transfer between cores
+
+  // SWOpt behaviour.
+  double swopt_validation_cost_frac = 0.15;  // body inflation for checks
+  double swopt_retry_penalty = 30;
+
+  // Relative speed of one core (cycles scale); T2+ cores are slow.
+  double cycle_scale = 1.0;
+};
+
+SimPlatform rock_platform();     // 16-core SPARC, quirky best-effort HTM
+SimPlatform haswell_platform();  // 4-core x2 SMT x86, solid RTM
+SimPlatform t2_platform();       // 128-thread SPARC T2+, no HTM
+
+struct SimWorkload {
+  std::string name = "hashmap";
+  double mutate_frac = 0.2;     // fraction of operations that mutate
+  double cs_cycles = 300;       // mean critical-section body length
+  double noncs_cycles = 200;    // mean think time between operations
+  std::uint32_t cs_footprint_lines = 4;  // lines written by a mutating CS
+  // Probability that a committing mutator's footprint overlaps a
+  // concurrent transaction/optimistic reader (≈ 1/#buckets for the
+  // HashMap; higher for small key ranges).
+  double data_conflict_prob = 0.002;
+  // Whether the critical section has a SWOpt path at all.
+  bool has_swopt = true;
+};
+
+// The paper's HashMap microbenchmark sweep points.
+SimWorkload hashmap_workload(double mutate_frac, std::uint64_t key_range,
+                             std::uint64_t num_buckets);
+// The Kyoto wicked benchmark (nested CS structure folded into costs).
+SimWorkload wicked_workload(bool nomutate);
+
+enum class SimPolicyKind : std::uint8_t {
+  kLockOnly = 0,
+  kStatic,
+  kAdaptive,
+};
+
+struct SimPolicy {
+  SimPolicyKind kind = SimPolicyKind::kStatic;
+  unsigned x = 5;  // HTM attempts (static)
+  unsigned y = 3;  // SWOpt attempts (static)
+  bool use_htm = true;
+  bool use_swopt = true;
+  bool grouping = false;
+  // Adaptive: executions per learning (sub-)phase.
+  unsigned phase_len = 400;
+
+  static SimPolicy lock_only() {
+    SimPolicy p;
+    p.kind = SimPolicyKind::kLockOnly;
+    return p;
+  }
+  static SimPolicy static_hl(unsigned x) {
+    SimPolicy p;
+    p.x = x;
+    p.use_swopt = false;
+    return p;
+  }
+  static SimPolicy static_sl(unsigned y) {
+    SimPolicy p;
+    p.y = y;
+    p.use_htm = false;
+    return p;
+  }
+  static SimPolicy static_all(unsigned x, unsigned y) {
+    SimPolicy p;
+    p.x = x;
+    p.y = y;
+    return p;
+  }
+  static SimPolicy adaptive() {
+    SimPolicy p;
+    p.kind = SimPolicyKind::kAdaptive;
+    p.grouping = true;
+    return p;
+  }
+
+  std::string label() const;
+};
+
+}  // namespace ale::sim

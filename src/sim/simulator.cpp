@@ -1,0 +1,522 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "policy/adaptive_policy.hpp"  // estimate_best_x
+
+namespace ale::sim {
+
+SimPlatform rock_platform() {
+  SimPlatform p;
+  p.name = "rock";
+  p.hw_threads = 16;
+  p.htm = true;
+  p.htm_begin_commit_cost = 50;
+  p.htm_env_abort_prob = 0.05;  // Rock's best-effort quirks
+  p.htm_write_cap = 24;         // tiny store queue
+  p.htm_abort_penalty = 60;
+  p.lock_handoff_cost = 150;
+  return p;
+}
+
+SimPlatform haswell_platform() {
+  SimPlatform p;
+  p.name = "haswell";
+  p.hw_threads = 8;
+  p.htm = true;
+  p.htm_begin_commit_cost = 60;
+  p.htm_env_abort_prob = 0.005;
+  p.htm_write_cap = 448;  // L1d minus residue
+  p.htm_abort_penalty = 100;
+  p.lock_handoff_cost = 100;
+  return p;
+}
+
+SimPlatform t2_platform() {
+  SimPlatform p;
+  p.name = "t2";
+  p.hw_threads = 128;
+  p.htm = false;
+  p.cycle_scale = 2.5;  // slow simple cores
+  p.lock_handoff_cost = 220;  // two sockets
+  return p;
+}
+
+SimWorkload hashmap_workload(double mutate_frac, std::uint64_t key_range,
+                             std::uint64_t num_buckets) {
+  SimWorkload w;
+  w.name = "hashmap";
+  w.mutate_frac = mutate_frac;
+  // Body length tracks the expected chain traversal.
+  const double chain =
+      std::max(1.0, static_cast<double>(key_range) /
+                        static_cast<double>(std::max<std::uint64_t>(
+                            num_buckets, 1)));
+  w.cs_cycles = 120 + 40 * chain;
+  w.noncs_cycles = 150;
+  w.cs_footprint_lines = 3;
+  // Two operations conflict when they touch the same bucket (plus a small
+  // floor for the shared conflict indicator / bucket-array lines).
+  w.data_conflict_prob =
+      1.0 / static_cast<double>(std::max<std::uint64_t>(
+                std::min(key_range, num_buckets), 1)) +
+      0.0005;
+  w.has_swopt = true;
+  return w;
+}
+
+SimWorkload wicked_workload(bool nomutate) {
+  SimWorkload w;
+  w.name = nomutate ? "wicked-nomutate" : "wicked";
+  w.mutate_frac = nomutate ? 0.0 : 0.49;
+  // Outer RW lock + nested slot CS: longer bodies, pricier footprint.
+  w.cs_cycles = 700;
+  w.noncs_cycles = 250;
+  w.cs_footprint_lines = 12;
+  w.data_conflict_prob = 1.0 / 16.0 * 0.2;  // 16 slots, partial overlap
+  w.has_swopt = true;
+  return w;
+}
+
+std::string SimPolicy::label() const {
+  switch (kind) {
+    case SimPolicyKind::kLockOnly:
+      return "Instrumented";
+    case SimPolicyKind::kAdaptive:
+      if (!use_htm) return "Adaptive-SL";
+      if (!use_swopt) return "Adaptive-HL";
+      return "Adaptive-All";
+    case SimPolicyKind::kStatic:
+      if (!use_htm) return "Static-SL-" + std::to_string(y);
+      if (!use_swopt) return "Static-HL-" + std::to_string(x);
+      return "Static-All-" + std::to_string(x) + ":" + std::to_string(y);
+  }
+  return "?";
+}
+
+Simulator::Simulator(SimPlatform platform, SimWorkload workload,
+                     SimPolicy policy, unsigned threads, std::uint64_t seed)
+    : platform_(std::move(platform)),
+      workload_(std::move(workload)),
+      policy_cfg_(policy),
+      nthreads_(std::min(std::max(threads, 1u), platform_.hw_threads)),
+      rng_(seed) {
+  policy_.kind = policy.kind;
+  policy_.x = policy.x;
+  policy_.y = policy.y;
+  policy_.use_htm_now = policy.use_htm && platform_.htm;
+  policy_.use_swopt_now = policy.use_swopt;
+  policy_.grouping = policy.grouping;
+  th_.resize(nthreads_);
+  if (policy_.kind == SimPolicyKind::kAdaptive) {
+    // Start the phase walk at Lock-only (§4.2 ordering).
+    adaptive_.major = 0;
+  }
+}
+
+void Simulator::schedule(unsigned tid, double dt) {
+  events_.push(Ev{now_ + std::max(dt, 1.0) * platform_.cycle_scale, seq_++,
+                  tid});
+}
+
+double Simulator::exp_dur(double mean) {
+  const double u = std::max(rng_.next_double(), 1e-12);
+  return -std::log(u) * mean;
+}
+
+SimResult Simulator::run(std::uint64_t target_ops) {
+  for (unsigned t = 0; t < nthreads_; ++t) {
+    th_[t].phase = Phase::kThink;
+    schedule(t, exp_dur(workload_.noncs_cycles) * (t + 1) /
+                    static_cast<double>(nthreads_));
+  }
+  const bool adaptive = policy_.kind == SimPolicyKind::kAdaptive;
+  while (!events_.empty()) {
+    const std::uint64_t measured =
+        ops_completed_ - (adaptive ? measure_start_ops_ : 0);
+    if (measured >= target_ops && (!adaptive || adaptive_.converged)) break;
+    const Ev ev = events_.top();
+    events_.pop();
+    now_ = ev.t;
+    dispatch(ev.tid);
+  }
+  tally_.ops = ops_completed_ - measure_start_ops_;
+  tally_.htm_success -= measure_htm0_;
+  tally_.swopt_success -= measure_swopt0_;
+  tally_.lock_success -= measure_lock0_;
+  tally_.htm_aborts -= measure_htm_aborts0_;
+  tally_.htm_locked_aborts -= measure_locked0_;
+  tally_.swopt_fails -= measure_swfails0_;
+  tally_.virtual_cycles = now_ - measure_start_time_;
+  tally_.throughput = tally_.virtual_cycles > 0
+                          ? static_cast<double>(tally_.ops) * 1e6 /
+                                tally_.virtual_cycles
+                          : 0.0;
+  tally_.adaptive_final_progression = adaptive_.final_prog;
+  tally_.adaptive_final_x = adaptive_.final_x;
+  return tally_;
+}
+
+void Simulator::dispatch(unsigned tid) {
+  Th& th = th_[tid];
+  switch (th.phase) {
+    case Phase::kThink:
+      start_op(tid);
+      return;
+    case Phase::kRetry:
+      attempt(tid);
+      return;
+    case Phase::kHtmBody:
+      end_htm(tid);
+      return;
+    case Phase::kSwoptBody:
+      end_swopt(tid);
+      return;
+    case Phase::kLockBody:
+      release_lock(tid);
+      return;
+  }
+}
+
+void Simulator::start_op(unsigned tid) {
+  Th& th = th_[tid];
+  th.mutating = rng_.next_bool(workload_.mutate_frac);
+  th.htm_attempts = 0;
+  th.htm_locked_aborts = 0;
+  th.swopt_attempts = 0;
+  th.op_start = now_;
+  attempt(tid);
+}
+
+Simulator::Mode Simulator::choose_mode(const Th& th) {
+  if (policy_.kind == SimPolicyKind::kLockOnly) return Mode::kLock;
+  if (policy_.kind == SimPolicyKind::kAdaptive) return adaptive_choose(th);
+  const double eff_htm = th.htm_attempts + 0.25 * th.htm_locked_aborts;
+  if (policy_.use_htm_now && eff_htm < policy_.x) return Mode::kHtm;
+  if (swopt_eligible(th) && th.swopt_attempts < policy_.y) {
+    return Mode::kSwopt;
+  }
+  return Mode::kLock;
+}
+
+Simulator::Mode Simulator::adaptive_choose(const Th& th) {
+  const double eff_htm = th.htm_attempts + 0.25 * th.htm_locked_aborts;
+  unsigned prog;
+  unsigned x;
+  if (!adaptive_.converged && adaptive_.major < 4) {
+    prog = adaptive_.major;
+    x = adaptive_.sub <= 1 ? adaptive_.x_cap
+                           : adaptive_.x_for[adaptive_.major];
+  } else {
+    prog = adaptive_.final_prog;
+    x = adaptive_.final_x;
+  }
+  const bool htm_in =
+      policy_.use_htm_now && platform_.htm && (prog == 2 || prog == 3);
+  const bool swopt_in = prog == 1 || prog == 3;
+  if (htm_in && eff_htm < x) return Mode::kHtm;
+  if (swopt_in && swopt_eligible(th) && th.swopt_attempts < 100) {
+    return Mode::kSwopt;
+  }
+  return Mode::kLock;
+}
+
+void Simulator::attempt(unsigned tid) {
+  Th& th = th_[tid];
+  const Mode m = choose_mode(th);
+  switch (m) {
+    case Mode::kHtm: {
+      leave_retriers(tid);
+      if (policy_.grouping && retriers_ > 0) {
+        th.phase = Phase::kRetry;
+        group_waiters_.push_back(tid);
+        return;  // resumed when retriers drain
+      }
+      if (lock_holder_ >= 0) {
+        th.phase = Phase::kRetry;
+        htm_lock_waiters_.push_back(tid);  // §4: wait for the lock first
+        return;
+      }
+      begin_htm(tid);
+      return;
+    }
+    case Mode::kSwopt:
+      begin_swopt(tid);
+      return;
+    case Mode::kLock: {
+      leave_retriers(tid);
+      if (policy_.grouping && retriers_ > 0) {
+        th.phase = Phase::kRetry;
+        group_waiters_.push_back(tid);
+        return;
+      }
+      if (lock_holder_ < 0) {
+        acquire_lock(tid);
+      } else {
+        th.phase = Phase::kRetry;
+        lock_queue_.push_back(tid);
+      }
+      return;
+    }
+  }
+}
+
+void Simulator::begin_htm(unsigned tid) {
+  Th& th = th_[tid];
+  th.phase = Phase::kHtmBody;
+  th.txn_active = true;
+  th.txn_doomed = false;
+  th.txn_doom_by_lock = false;
+  if (th.mutating && workload_.cs_footprint_lines > platform_.htm_write_cap) {
+    th.txn_doomed = true;  // capacity: can never succeed
+  }
+  schedule(tid,
+           exp_dur(workload_.cs_cycles) + platform_.htm_begin_commit_cost);
+}
+
+void Simulator::end_htm(unsigned tid) {
+  Th& th = th_[tid];
+  th.txn_active = false;
+  bool doomed = th.txn_doomed;
+  if (!doomed && rng_.next_bool(platform_.htm_env_abort_prob)) doomed = true;
+  if (doomed) {
+    if (th.txn_doom_by_lock) {
+      th.htm_locked_aborts++;
+      tally_.htm_locked_aborts++;
+    } else {
+      th.htm_attempts++;
+      tally_.htm_aborts++;
+    }
+    th.phase = Phase::kRetry;
+    schedule(tid, platform_.htm_abort_penalty);
+    return;
+  }
+  th.htm_attempts++;
+  if (th.mutating) mutator_committed();
+  complete_op(tid, Mode::kHtm);
+}
+
+void Simulator::begin_swopt(unsigned tid) {
+  Th& th = th_[tid];
+  th.phase = Phase::kSwoptBody;
+  th.swopt_active = true;
+  th.swopt_doomed = false;
+  schedule(tid, exp_dur(workload_.cs_cycles) *
+                    (1.0 + platform_.swopt_validation_cost_frac));
+}
+
+void Simulator::end_swopt(unsigned tid) {
+  Th& th = th_[tid];
+  th.swopt_active = false;
+  th.swopt_attempts++;
+  if (th.swopt_doomed) {
+    tally_.swopt_fails++;
+    if (policy_.grouping && !th.is_retrier) {
+      th.is_retrier = true;
+      retriers_++;
+    }
+    th.phase = Phase::kRetry;
+    schedule(tid, platform_.swopt_retry_penalty);
+    return;
+  }
+  leave_retriers(tid);
+  complete_op(tid, Mode::kSwopt);
+}
+
+void Simulator::acquire_lock(unsigned tid) {
+  lock_holder_ = static_cast<int>(tid);
+  doom_for_lock_acquire();
+  Th& th = th_[tid];
+  th.phase = Phase::kLockBody;
+  schedule(tid, platform_.lock_acquire_cost + exp_dur(workload_.cs_cycles));
+}
+
+void Simulator::release_lock(unsigned tid) {
+  Th& th = th_[tid];
+  if (th.mutating) mutator_committed();
+  lock_holder_ = -1;
+  // Wake HTM waiters: they re-attempt (the lock is momentarily free).
+  for (const unsigned w : htm_lock_waiters_) {
+    th_[w].phase = Phase::kRetry;
+    schedule(w, 1);
+  }
+  htm_lock_waiters_.clear();
+  if (!lock_queue_.empty()) {
+    const unsigned next = lock_queue_.front();
+    lock_queue_.pop_front();
+    lock_holder_ = static_cast<int>(next);
+    doom_for_lock_acquire();
+    th_[next].phase = Phase::kLockBody;
+    schedule(next, platform_.lock_handoff_cost + exp_dur(workload_.cs_cycles));
+  }
+  complete_op(tid, Mode::kLock);
+}
+
+void Simulator::doom_for_lock_acquire() {
+  // Subscribed transactions abort when the lock is acquired.
+  for (unsigned t = 0; t < nthreads_; ++t) {
+    if (th_[t].txn_active && !th_[t].txn_doomed) {
+      th_[t].txn_doomed = true;
+      th_[t].txn_doom_by_lock = true;
+    }
+  }
+}
+
+void Simulator::mutator_committed() {
+  for (unsigned t = 0; t < nthreads_; ++t) {
+    if (th_[t].txn_active && !th_[t].txn_doomed &&
+        rng_.next_bool(workload_.data_conflict_prob)) {
+      th_[t].txn_doomed = true;
+    }
+    if (th_[t].swopt_active && !th_[t].swopt_doomed &&
+        rng_.next_bool(workload_.data_conflict_prob * 2.0)) {
+      th_[t].swopt_doomed = true;
+    }
+  }
+}
+
+void Simulator::wake_group_waiters() {
+  if (retriers_ != 0) return;
+  for (const unsigned w : group_waiters_) {
+    th_[w].phase = Phase::kRetry;
+    schedule(w, 1);
+  }
+  group_waiters_.clear();
+}
+
+void Simulator::leave_retriers(unsigned tid) {
+  Th& th = th_[tid];
+  if (th.is_retrier) {
+    th.is_retrier = false;
+    retriers_--;
+    wake_group_waiters();
+  }
+}
+
+void Simulator::complete_op(unsigned tid, Mode mode) {
+  Th& th = th_[tid];
+  switch (mode) {
+    case Mode::kHtm: tally_.htm_success++; break;
+    case Mode::kSwopt: tally_.swopt_success++; break;
+    case Mode::kLock: tally_.lock_success++; break;
+  }
+  ops_completed_++;
+  if (policy_.kind == SimPolicyKind::kAdaptive) {
+    adaptive_on_complete(tid, mode, now_ - th.op_start);
+  }
+  th.phase = Phase::kThink;
+  schedule(tid, exp_dur(workload_.noncs_cycles));
+}
+
+void Simulator::adaptive_on_complete(unsigned tid, Mode mode,
+                                     double elapsed) {
+  Th& th = th_[tid];
+  Adaptive& a = adaptive_;
+  if (a.converged) return;
+  const bool htm_major = a.major == 2 || a.major == 3;
+  if (a.major < 4) {
+    if (!htm_major || a.sub == 2) {
+      a.time_sum[a.major] += elapsed;
+      a.time_cnt[a.major]++;
+    }
+    if (htm_major && a.sub == 1) {
+      if (mode == Mode::kHtm) {
+        a.hist.record_success(th.htm_attempts);
+      } else if (th.htm_attempts + th.htm_locked_aborts > 0) {
+        a.hist.record_failure();
+        a.fail_time_sum += elapsed;
+        a.fail_time_cnt++;
+      }
+    }
+  }
+  if (++a.phase_ops >= policy_cfg_.phase_len) adaptive_advance_phase();
+}
+
+void Simulator::adaptive_advance_phase() {
+  Adaptive& a = adaptive_;
+  a.phase_ops = 0;
+  const bool htm_major = a.major == 2 || a.major == 3;
+  if (htm_major && a.sub == 0) {
+    const std::size_t max_attempt = a.hist.max_successful_attempt();
+    a.x_cap = max_attempt == 0
+                  ? 4
+                  : std::min<unsigned>(static_cast<unsigned>(max_attempt) + 2,
+                                       40);
+    a.hist.reset();
+    a.sub = 1;
+    return;
+  }
+  if (htm_major && a.sub == 1) {
+    const double t_fail = 50 + platform_.htm_abort_penalty;
+    const double t_succ = workload_.cs_cycles;
+    const double t_no_htm =
+        a.time_cnt[0] > 0 ? a.time_sum[0] / a.time_cnt[0] : t_succ * 3;
+    const double t_after =
+        a.fail_time_cnt > 0
+            ? std::clamp(a.fail_time_sum / a.fail_time_cnt -
+                             a.x_cap * t_fail,
+                         1.0, t_no_htm)
+            : t_no_htm;
+    a.x_for[a.major] =
+        estimate_best_x(a.hist, t_fail, t_succ, t_no_htm, t_after, a.x_cap);
+    a.sub = 2;
+    return;
+  }
+  // Leaving a measurement window.
+  if (htm_major && a.sub == 2) a.sub = 0;
+  // Walk to the next progression allowed by the platform and the policy's
+  // mode restrictions (Adaptive-HL / Adaptive-SL variants from §5).
+  auto allowed = [&](unsigned p) {
+    const bool is_htm = p == 2 || p == 3;
+    const bool is_swopt = p == 1 || p == 3;
+    if (is_htm && (!platform_.htm || !policy_.use_htm_now)) return false;
+    if (is_swopt && !policy_.use_swopt_now) return false;
+    return true;
+  };
+  unsigned next = a.major + 1;
+  while (next < 4 && !allowed(next)) ++next;
+  if (next < 4) {
+    a.major = next;
+    if (a.major == 2 || a.major == 3) {
+      a.x_cap = 40;
+      a.hist.reset();
+      a.fail_time_sum = 0;
+      a.fail_time_cnt = 0;
+    }
+    return;
+  }
+  // Converge: pick the best measured progression.
+  double best = 1e300;
+  unsigned best_p = 0;
+  for (unsigned p = 0; p < 4; ++p) {
+    if (a.time_cnt[p] == 0) continue;
+    const double m = a.time_sum[p] / a.time_cnt[p];
+    if (m < best) {
+      best = m;
+      best_p = p;
+    }
+  }
+  a.final_prog = best_p;
+  a.final_x = (best_p == 2 || best_p == 3) ? std::max(1u, a.x_for[best_p])
+                                           : 0;
+  a.converged = true;
+  // Measure throughput (and the per-mode tallies) from here on.
+  measure_start_time_ = now_;
+  measure_start_ops_ = ops_completed_;
+  measure_htm0_ = tally_.htm_success;
+  measure_swopt0_ = tally_.swopt_success;
+  measure_lock0_ = tally_.lock_success;
+  measure_htm_aborts0_ = tally_.htm_aborts;
+  measure_locked0_ = tally_.htm_locked_aborts;
+  measure_swfails0_ = tally_.swopt_fails;
+}
+
+SimResult simulate(const SimPlatform& platform, const SimWorkload& workload,
+                   const SimPolicy& policy, unsigned threads,
+                   std::uint64_t seed, std::uint64_t target_ops) {
+  Simulator s(platform, workload, policy, threads, seed);
+  return s.run(target_ops);
+}
+
+}  // namespace ale::sim

@@ -1,0 +1,173 @@
+// Discrete-event virtual-time simulator of ALE's execution modes on the
+// paper's platforms (see model.hpp for why this exists).
+//
+// Mechanics: N simulated threads (clamped to the platform's hardware
+// contexts) loop { think → attempt critical section per policy → complete }.
+// A FIFO lock with handoff cost serializes Lock mode; HTM transactions are
+// doomed by lock acquisitions (subscription), by committing mutators
+// (probabilistic data conflict), by capacity (mutating footprint above the
+// platform's write cap), and by environmental rolls; SWOpt windows are
+// invalidated by committing/releasing mutators. The adaptive policy variant
+// replays the real policy's structure — one learning phase per progression,
+// three sub-phases of X learning reusing ale::estimate_best_x — and the
+// result reports post-convergence throughput.
+//
+// Fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "sim/model.hpp"
+#include "stats/histogram.hpp"
+
+namespace ale::sim {
+
+struct SimResult {
+  double virtual_cycles = 0;
+  std::uint64_t ops = 0;
+  // Operations per million cycles of virtual time.
+  double throughput = 0;
+  std::uint64_t htm_success = 0;
+  std::uint64_t swopt_success = 0;
+  std::uint64_t lock_success = 0;
+  std::uint64_t htm_aborts = 0;
+  std::uint64_t htm_locked_aborts = 0;
+  std::uint64_t swopt_fails = 0;
+  // Adaptive introspection.
+  unsigned adaptive_final_progression = 0;  // Progression-compatible index
+  unsigned adaptive_final_x = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(SimPlatform platform, SimWorkload workload, SimPolicy policy,
+            unsigned threads, std::uint64_t seed = 1);
+
+  // Run until `target_ops` operations complete (post-convergence ops for
+  // the adaptive policy) and return the tallies.
+  SimResult run(std::uint64_t target_ops = 60000);
+
+ private:
+  enum class Phase : std::uint8_t {
+    kThink,
+    kRetry,  // re-attempt the current operation (counters preserved)
+    kHtmBody,
+    kSwoptBody,
+    kLockBody,
+  };
+  enum class Mode : std::uint8_t { kLock, kHtm, kSwopt };
+
+  struct Th {
+    Phase phase = Phase::kThink;
+    bool mutating = false;
+    unsigned htm_attempts = 0;
+    unsigned htm_locked_aborts = 0;
+    unsigned swopt_attempts = 0;
+    bool txn_active = false;
+    bool txn_doomed = false;
+    bool txn_doom_by_lock = false;
+    bool swopt_active = false;
+    bool swopt_doomed = false;
+    bool is_retrier = false;
+    double op_start = 0;
+  };
+
+  struct Ev {
+    double t;
+    std::uint64_t seq;
+    unsigned tid;
+    bool operator>(const Ev& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  // --- adaptive-lite state (mirrors §4.2's phase machine) ---
+  struct Adaptive {
+    // 0..3 = progression under test, 4 = converged.
+    unsigned major = 0;
+    unsigned sub = 0;  // X-learning sub-phase for HTM majors
+    std::uint64_t phase_ops = 0;
+    AttemptHistogram<64> hist;
+    unsigned x_cap = 40;
+    unsigned x_for[4] = {0, 0, 0, 0};
+    double time_sum[4] = {0, 0, 0, 0};
+    std::uint64_t time_cnt[4] = {0, 0, 0, 0};
+    double fail_time_sum = 0;
+    std::uint64_t fail_time_cnt = 0;
+    unsigned final_prog = 0;
+    unsigned final_x = 0;
+    bool converged = false;
+  };
+
+  void schedule(unsigned tid, double dt);
+  double exp_dur(double mean);
+  void start_op(unsigned tid);
+  void attempt(unsigned tid);
+  void dispatch(unsigned tid);
+  void begin_htm(unsigned tid);
+  void end_htm(unsigned tid);
+  void begin_swopt(unsigned tid);
+  void end_swopt(unsigned tid);
+  void acquire_lock(unsigned tid);
+  void release_lock(unsigned tid);
+  void complete_op(unsigned tid, Mode mode);
+  void doom_for_lock_acquire();
+  void mutator_committed();
+  void wake_group_waiters();
+  void leave_retriers(unsigned tid);
+
+  Mode choose_mode(const Th& th);
+  Mode adaptive_choose(const Th& th);
+  void adaptive_on_complete(unsigned tid, Mode mode, double elapsed);
+  void adaptive_advance_phase();
+
+  bool swopt_eligible(const Th& th) const {
+    return workload_.has_swopt && !th.mutating && policy_.use_swopt_now;
+  }
+
+  struct PolicyState {
+    SimPolicyKind kind;
+    unsigned x, y;
+    bool use_htm_now, use_swopt_now, grouping;
+  };
+
+  SimPlatform platform_;
+  SimWorkload workload_;
+  SimPolicy policy_cfg_;
+  PolicyState policy_;
+  Adaptive adaptive_;
+  unsigned nthreads_;
+  Xoshiro256 rng_;
+
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0;
+  std::vector<Th> th_;
+
+  int lock_holder_ = -1;
+  std::deque<unsigned> lock_queue_;
+  std::vector<unsigned> htm_lock_waiters_;
+  std::vector<unsigned> group_waiters_;
+  unsigned retriers_ = 0;
+
+  SimResult tally_;
+  std::uint64_t ops_completed_ = 0;
+  double measure_start_time_ = 0;
+  std::uint64_t measure_start_ops_ = 0;
+  // Tally snapshots at adaptive convergence, so the result reports
+  // post-convergence numbers consistently.
+  std::uint64_t measure_htm0_ = 0, measure_swopt0_ = 0, measure_lock0_ = 0;
+  std::uint64_t measure_htm_aborts0_ = 0, measure_locked0_ = 0;
+  std::uint64_t measure_swfails0_ = 0;
+};
+
+// Convenience: one full run.
+SimResult simulate(const SimPlatform& platform, const SimWorkload& workload,
+                   const SimPolicy& policy, unsigned threads,
+                   std::uint64_t seed = 1, std::uint64_t target_ops = 60000);
+
+}  // namespace ale::sim

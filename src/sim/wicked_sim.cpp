@@ -1,0 +1,387 @@
+#include "sim/wicked_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ale::sim {
+
+const char* to_string(WickedPolicyKind k) noexcept {
+  switch (k) {
+    case WickedPolicyKind::kInstrumented: return "Instrumented";
+    case WickedPolicyKind::kStaticSL: return "Static:SWOpt";
+    case WickedPolicyKind::kStaticHL: return "Static:HTM";
+    case WickedPolicyKind::kStaticAll: return "Static:All";
+    case WickedPolicyKind::kAdaptiveSL: return "Adaptive:SWOpt";
+    case WickedPolicyKind::kAdaptiveAll: return "Adaptive:All";
+  }
+  return "?";
+}
+
+namespace {
+
+// Probability that a Lock-mode RW read acquisition (a write to the shared
+// lock word's cache line) kills a concurrently elided execution whose
+// hardware read set contains that line.
+constexpr double kRwLineConflictProb = 0.75;
+// Probability that a mutating commit dooms a concurrent same-slot txn.
+constexpr double kSlotCommitConflictProb = 0.5;
+
+enum class OpKind : std::uint8_t { kGetMiss, kGetHit, kMutate };
+
+// Mode progressions, encoded as ordered mode lists.
+enum class OuterMode : std::uint8_t { kHtm, kSwopt, kLock };
+
+struct Progression {
+  bool htm = false;
+  bool swopt = false;
+};
+
+Progression progression_for(WickedPolicyKind p) {
+  switch (p) {
+    case WickedPolicyKind::kInstrumented: return {false, false};
+    case WickedPolicyKind::kStaticSL: return {false, true};
+    case WickedPolicyKind::kStaticHL: return {true, false};
+    case WickedPolicyKind::kStaticAll: return {true, true};
+    default: return {false, false};  // adaptive: resolved dynamically
+  }
+}
+
+class WickedSim {
+ public:
+  WickedSim(const WickedSimConfig& cfg, WickedPolicyKind policy,
+            unsigned threads, std::uint64_t seed)
+      : cfg_(cfg),
+        policy_(policy),
+        nthreads_(std::min(std::max(threads, 1u), cfg.platform.hw_threads)),
+        rng_(seed) {
+    th_.resize(nthreads_);
+    slots_.resize(cfg_.num_slots);
+    const bool adaptive = policy == WickedPolicyKind::kAdaptiveSL ||
+                          policy == WickedPolicyKind::kAdaptiveAll;
+    if (adaptive) {
+      candidates_.push_back(WickedPolicyKind::kInstrumented);
+      candidates_.push_back(WickedPolicyKind::kStaticSL);
+      if (policy == WickedPolicyKind::kAdaptiveAll && cfg_.platform.htm) {
+        candidates_.push_back(WickedPolicyKind::kStaticHL);
+        candidates_.push_back(WickedPolicyKind::kStaticAll);
+      }
+      current_ = candidates_[0];
+    } else {
+      current_ = policy;
+      converged_ = true;
+    }
+  }
+
+  WickedSimResult run(std::uint64_t target_ops) {
+    for (unsigned t = 0; t < nthreads_; ++t) {
+      th_[t].phase = Phase::kThink;
+      schedule(t, exp_dur(cfg_.noncs_cycles) * (t + 1) /
+                      static_cast<double>(nthreads_));
+    }
+    while (!events_.empty()) {
+      if (converged_ && ops_ - measure_ops0_ >= target_ops) break;
+      const Ev ev = events_.top();
+      events_.pop();
+      now_ = ev.t;
+      dispatch(ev.tid);
+    }
+    WickedSimResult r;
+    r.ops = ops_ - measure_ops0_;
+    r.virtual_cycles = now_ - measure_t0_;
+    r.throughput = r.virtual_cycles > 0
+                       ? static_cast<double>(r.ops) * 1e6 / r.virtual_cycles
+                       : 0;
+    r.outer_htm = outer_htm_;
+    r.outer_swopt = outer_swopt_;
+    r.outer_lock = outer_lock_;
+    r.htm_aborts = htm_aborts_;
+    const std::uint64_t gets = get_ops_;
+    r.swopt_success_share =
+        gets > 0 ? static_cast<double>(get_swopt_succ_) /
+                       static_cast<double>(gets)
+                 : 0;
+    r.converged_to = current_;
+    return r;
+  }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kThink,
+    kRetry,
+    kHtmBody,
+    kSlotBody,
+  };
+
+  struct Th {
+    Phase phase = Phase::kThink;
+    OpKind op = OpKind::kGetMiss;
+    unsigned slot = 0;
+    unsigned htm_attempts = 0;
+    bool tried_swopt = false;
+    OuterMode outer = OuterMode::kLock;
+    bool holds_rw = false;
+    bool txn_active = false;
+    bool txn_doomed = false;
+    double op_start = 0;
+  };
+  struct Slot {
+    int holder = -1;
+    std::deque<unsigned> queue;
+  };
+  struct Ev {
+    double t;
+    std::uint64_t seq;
+    unsigned tid;
+    bool operator>(const Ev& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void schedule(unsigned tid, double dt) {
+    events_.push(
+        Ev{now_ + std::max(dt, 1.0) * cfg_.platform.cycle_scale, seq_++,
+           tid});
+  }
+  double exp_dur(double mean) {
+    return -std::log(std::max(rng_.next_double(), 1e-12)) * mean;
+  }
+
+  void dispatch(unsigned tid) {
+    switch (th_[tid].phase) {
+      case Phase::kThink: start_op(tid); return;
+      case Phase::kRetry: attempt_outer(tid); return;
+      case Phase::kHtmBody: end_htm(tid); return;
+      case Phase::kSlotBody: end_slot_body(tid); return;
+    }
+  }
+
+  void start_op(unsigned tid) {
+    Th& th = th_[tid];
+    if (cfg_.nomutate) {
+      th.op = rng_.next_bool(cfg_.hit_rate) ? OpKind::kGetHit
+                                            : OpKind::kGetMiss;
+    } else if (rng_.next_bool(cfg_.mutate_frac)) {
+      th.op = OpKind::kMutate;
+    } else {
+      th.op = rng_.next_bool(cfg_.hit_rate) ? OpKind::kGetHit
+                                            : OpKind::kGetMiss;
+    }
+    th.slot = static_cast<unsigned>(rng_.next_below(cfg_.num_slots));
+    th.htm_attempts = 0;
+    th.tried_swopt = false;
+    th.op_start = now_;
+    attempt_outer(tid);
+  }
+
+  void attempt_outer(unsigned tid) {
+    Th& th = th_[tid];
+    const Progression prog = progression_for(current_);
+    if (prog.htm && cfg_.platform.htm &&
+        th.htm_attempts < cfg_.htm_attempts) {
+      begin_htm(tid);
+      return;
+    }
+    if (prog.swopt && !th.tried_swopt) {
+      // External SWOpt: skip the RW lock entirely; the slot CS still runs
+      // under the slot lock.
+      th.tried_swopt = true;
+      th.outer = OuterMode::kSwopt;
+      request_slot(tid);
+      return;
+    }
+    // Lock mode: pay the RW read acquisition; its cost grows with the
+    // number of readers concurrently inside (shared-counter cache line).
+    th.outer = OuterMode::kLock;
+    th.holds_rw = true;
+    const double cost =
+        cfg_.rw_acquire_base + cfg_.rw_contention_per_acq * rw_inside_;
+    rw_inside_++;
+    // The acquisition writes the RW word: elided executions subscribed to
+    // that cache line abort.
+    for (unsigned t = 0; t < nthreads_; ++t) {
+      if (th_[t].txn_active && !th_[t].txn_doomed &&
+          rng_.next_bool(kRwLineConflictProb)) {
+        th_[t].txn_doomed = true;
+      }
+    }
+    rw_cost_pending_[tid] = cost;
+    request_slot(tid);
+  }
+
+  // ---- external HTM: the whole operation in one transaction ----
+
+  void begin_htm(unsigned tid) {
+    Th& th = th_[tid];
+    th.outer = OuterMode::kHtm;
+    th.txn_active = true;
+    // Doomed immediately if the slot lock is currently held (subscription).
+    th.txn_doomed = slots_[th.slot].holder >= 0;
+    th.phase = Phase::kHtmBody;
+    double body = cfg_.search_cycles;
+    if (th.op == OpKind::kMutate) body += cfg_.slot_mutate_cycles;
+    schedule(tid, cfg_.platform.htm_begin_commit_cost + exp_dur(body));
+  }
+
+  void end_htm(unsigned tid) {
+    Th& th = th_[tid];
+    th.txn_active = false;
+    bool doomed = th.txn_doomed;
+    if (!doomed && rng_.next_bool(cfg_.platform.htm_env_abort_prob)) {
+      doomed = true;
+    }
+    if (doomed) {
+      th.htm_attempts++;
+      htm_aborts_++;
+      th.phase = Phase::kRetry;
+      schedule(tid, cfg_.platform.htm_abort_penalty);
+      return;
+    }
+    if (th.op == OpKind::kMutate) {
+      for (unsigned t = 0; t < nthreads_; ++t) {
+        if (t != tid && th_[t].txn_active && !th_[t].txn_doomed &&
+            th_[t].slot == th.slot &&
+            rng_.next_bool(kSlotCommitConflictProb)) {
+          th_[t].txn_doomed = true;
+        }
+      }
+    }
+    outer_htm_++;
+    complete(tid);
+  }
+
+  // ---- nested slot critical section (SWOpt / Lock external modes) ----
+
+  void request_slot(unsigned tid) {
+    Th& th = th_[tid];
+    Slot& s = slots_[th.slot];
+    if (s.holder < 0) {
+      acquire_slot(tid);
+    } else {
+      th.phase = Phase::kRetry;  // placeholder; resumed by release
+      s.queue.push_back(tid);
+    }
+  }
+
+  void acquire_slot(unsigned tid) {
+    Th& th = th_[tid];
+    Slot& s = slots_[th.slot];
+    s.holder = static_cast<int>(tid);
+    // A slot-lock acquisition aborts same-slot elided executions.
+    for (unsigned t = 0; t < nthreads_; ++t) {
+      if (th_[t].txn_active && !th_[t].txn_doomed &&
+          th_[t].slot == th.slot) {
+        th_[t].txn_doomed = true;
+      }
+    }
+    th.phase = Phase::kSlotBody;
+    double body = cfg_.search_cycles;
+    if (th.op == OpKind::kMutate) body += cfg_.slot_mutate_cycles;
+    if (th.outer == OuterMode::kSwopt) {
+      body *= 1.0 + cfg_.swopt_validation_frac;
+    }
+    schedule(tid, rw_cost_pending_[tid] + exp_dur(body));
+    rw_cost_pending_[tid] = 0;
+  }
+
+  void end_slot_body(unsigned tid) {
+    Th& th = th_[tid];
+    Slot& s = slots_[th.slot];
+    s.holder = -1;
+    if (!s.queue.empty()) {
+      const unsigned next = s.queue.front();
+      s.queue.pop_front();
+      acquire_slot(next);
+    }
+    if (th.outer == OuterMode::kSwopt && th.op == OpKind::kGetHit) {
+      // §5 fidelity: a hit cannot complete in external SWOpt — self-abort
+      // and retry (the next mode in the progression, i.e. Lock).
+      th.phase = Phase::kRetry;
+      schedule(tid, 1);
+      return;
+    }
+    if (th.outer == OuterMode::kSwopt) {
+      outer_swopt_++;
+    } else {
+      outer_lock_++;
+      rw_inside_--;
+      th.holds_rw = false;
+    }
+    complete(tid);
+  }
+
+  // ---- completion + adaptive measurement ----
+
+  void complete(unsigned tid) {
+    Th& th = th_[tid];
+    ops_++;
+    if (th.op != OpKind::kMutate) {
+      get_ops_++;
+      if (th.outer == OuterMode::kSwopt) get_swopt_succ_++;
+    }
+    if (!converged_) {
+      phase_time_sum_ += now_ - th.op_start;
+      if (++phase_ops_ >= cfg_.adaptive_phase_ops) advance_adaptive();
+    }
+    th.phase = Phase::kThink;
+    schedule(tid, exp_dur(cfg_.noncs_cycles));
+  }
+
+  void advance_adaptive() {
+    means_.push_back(phase_time_sum_ / static_cast<double>(phase_ops_));
+    phase_time_sum_ = 0;
+    phase_ops_ = 0;
+    if (means_.size() < candidates_.size()) {
+      current_ = candidates_[means_.size()];
+      return;
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < means_.size(); ++i) {
+      if (means_[i] < means_[best]) best = i;
+    }
+    current_ = candidates_[best];
+    converged_ = true;
+    measure_t0_ = now_;
+    measure_ops0_ = ops_;
+  }
+
+  WickedSimConfig cfg_;
+  WickedPolicyKind policy_;
+  unsigned nthreads_;
+  Xoshiro256 rng_;
+
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> events_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0;
+  std::vector<Th> th_;
+  std::vector<Slot> slots_;
+  std::vector<double> rw_cost_pending_ = std::vector<double>(256, 0.0);
+  unsigned rw_inside_ = 0;
+
+  // Adaptive state.
+  std::vector<WickedPolicyKind> candidates_;
+  WickedPolicyKind current_ = WickedPolicyKind::kInstrumented;
+  bool converged_ = false;
+  std::vector<double> means_;
+  double phase_time_sum_ = 0;
+  std::uint32_t phase_ops_ = 0;
+
+  // Tallies.
+  std::uint64_t ops_ = 0;
+  std::uint64_t outer_htm_ = 0, outer_swopt_ = 0, outer_lock_ = 0;
+  std::uint64_t htm_aborts_ = 0;
+  std::uint64_t get_ops_ = 0, get_swopt_succ_ = 0;
+  double measure_t0_ = 0;
+  std::uint64_t measure_ops0_ = 0;
+};
+
+}  // namespace
+
+WickedSimResult simulate_wicked(const WickedSimConfig& cfg,
+                                WickedPolicyKind policy, unsigned threads,
+                                std::uint64_t seed,
+                                std::uint64_t target_ops) {
+  WickedSim sim(cfg, policy, threads, seed);
+  return sim.run(target_ops);
+}
+
+}  // namespace ale::sim

@@ -1,0 +1,79 @@
+// Structure-faithful virtual-time model of the Figure-5 benchmark: the
+// Kyoto-style two-level locking (method readers-writer lock over per-slot
+// locks) rather than the generic single-lock model in simulator.hpp.
+//
+// What it captures that the generic model cannot:
+//  * RW read-acquisition contention: every Lock-mode record operation
+//    updates the shared reader count, so its cost grows with the number of
+//    concurrent acquirers (the T2-2 scalability limiter the paper's
+//    trylockspin discussion is about);
+//  * the hit/miss split: a get that misses completes in external SWOpt
+//    without touching the RW lock (the 42% statistic); a hit self-aborts
+//    and retries — under SL that means paying the RW acquisition, under
+//    All the preceding HTM attempt usually absorbs it ("using HTM for the
+//    external critical section reduces the number of acquisition trials
+//    for the RW-Lock, which reduces contention at higher thread counts");
+//  * per-slot lock queueing and same-slot HTM dooming for the nested
+//    critical section;
+//  * Lock-mode readers aborting concurrent elided executions through the
+//    shared RW-lock cache line (real HTM subscribes the line, not the
+//    predicate).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "sim/model.hpp"
+
+namespace ale::sim {
+
+enum class WickedPolicyKind : std::uint8_t {
+  kInstrumented,  // RW read lock + slot lock, no elision
+  kStaticSL,      // external SWOpt → Lock
+  kStaticHL,      // external HTM → Lock
+  kStaticAll,     // external HTM → SWOpt → Lock (inner HTM-only)
+  kAdaptiveSL,    // measures {Lock, SL}, converges to the best
+  kAdaptiveAll,   // measures {Lock, SL, HL, All}, converges to the best
+};
+const char* to_string(WickedPolicyKind k) noexcept;
+
+struct WickedSimConfig {
+  SimPlatform platform = t2_platform();
+  bool nomutate = true;
+  double hit_rate = 0.58;      // nomutate: fraction of gets that hit
+  double mutate_frac = 0.49;   // mixed wicked: sets/removes
+  unsigned num_slots = 16;
+
+  // Costs (cycles).
+  double rw_acquire_base = 50;        // uncontended read acquire+release
+  double rw_contention_per_acq = 45;  // extra per concurrent acquirer
+  double search_cycles = 180;         // bucket search inside the slot
+  double slot_mutate_cycles = 120;    // extra work for a mutation
+  double noncs_cycles = 140;
+  double swopt_validation_frac = 0.15;
+
+  unsigned htm_attempts = 5;  // X for static HTM-bearing policies
+  std::uint32_t adaptive_phase_ops = 2000;
+};
+
+struct WickedSimResult {
+  std::uint64_t ops = 0;
+  double virtual_cycles = 0;
+  double throughput = 0;  // ops per million cycles
+  std::uint64_t outer_htm = 0;    // ops completed with elided RW lock (HTM)
+  std::uint64_t outer_swopt = 0;  // ops completed in external SWOpt
+  std::uint64_t outer_lock = 0;   // ops that acquired the RW read lock
+  std::uint64_t htm_aborts = 0;
+  double swopt_success_share = 0;  // of get operations (the 42% statistic)
+  WickedPolicyKind converged_to = WickedPolicyKind::kInstrumented;
+};
+
+WickedSimResult simulate_wicked(const WickedSimConfig& cfg,
+                                WickedPolicyKind policy, unsigned threads,
+                                std::uint64_t seed = 1,
+                                std::uint64_t target_ops = 40000);
+
+}  // namespace ale::sim

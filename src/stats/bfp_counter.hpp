@@ -1,0 +1,108 @@
+// BFP statistical counter [Dice, Lev, Moir — "Scalable Statistics
+// Counters", SPAA 2013], used by ALE for event counting (§4.3): "a
+// statistical counter algorithm which gradually reduces the probability of
+// updating shared data, while maintaining high accuracy even after
+// relatively small numbers of events. This algorithm supports counters that
+// are incremented only by one."
+//
+// Representation: one 64-bit word holding a binary-floating-point pair
+// (mantissa m, exponent e); the projected value is m·2^e. An increment
+// updates the word with probability 2^-e, and each physical update adds 2^e
+// to the projected value, so the estimate is unbiased. When the mantissa
+// reaches the threshold T, it is halved and the exponent bumped (projected
+// value unchanged), which halves the future update rate. The relative
+// standard error is ≈ sqrt(2/T) once the counter is in the probabilistic
+// regime; below T the counter is exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/prng.hpp"
+#include "sync/backoff.hpp"
+
+namespace ale {
+
+class BfpCounter {
+ public:
+  // T = 512 gives ≈ 6% relative standard error and exact counts up to 511.
+  static constexpr std::uint64_t kDefaultThreshold = 512;
+
+  explicit BfpCounter(std::uint64_t threshold = kDefaultThreshold) noexcept
+      : threshold_(threshold < 2 ? 2 : threshold) {}
+
+  BfpCounter(const BfpCounter&) = delete;
+  BfpCounter& operator=(const BfpCounter&) = delete;
+
+  // Statistically increment by one.
+  void inc() noexcept {
+    // `debt` is the number of logical increments one physical update is
+    // worth if we commit it at the exponent we sampled against. If a CAS
+    // fails and the exponent has advanced meanwhile, we re-roll with the
+    // ratio so the update stays unbiased.
+    std::uint64_t s = state_.load(std::memory_order_relaxed);
+    std::uint64_t sampled_exp = exponent_of(s);
+    if (sampled_exp > 0 &&
+        !thread_prng().next_bool(update_probability(sampled_exp))) {
+      return;  // This increment is represented statistically.
+    }
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t e = exponent_of(s);
+      if (e > sampled_exp) {
+        // Exponent advanced under us; keep the update with probability
+        // 2^(sampled_exp - e) so expected contribution stays 1.
+        if (!thread_prng().next_bool(
+                static_cast<double>(1ULL << sampled_exp) /
+                static_cast<double>(1ULL << e))) {
+          return;
+        }
+        sampled_exp = e;
+      }
+      const std::uint64_t m = mantissa_of(s) + 1;
+      const std::uint64_t next =
+          (m >= threshold_) ? pack(m / 2, e + 1) : pack(m, e);
+      if (state_.compare_exchange_weak(s, next, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      backoff.pause();  // §4.3: exponential backoff on update contention.
+    }
+  }
+
+  // Projected (estimated) count.
+  std::uint64_t read() const noexcept {
+    const std::uint64_t s = state_.load(std::memory_order_relaxed);
+    return mantissa_of(s) << exponent_of(s);
+  }
+
+  // True while the counter is still exact (no probabilistic updates yet).
+  bool is_exact() const noexcept {
+    return exponent_of(state_.load(std::memory_order_relaxed)) == 0;
+  }
+
+  void reset() noexcept { state_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static constexpr unsigned kExpBits = 8;
+  static constexpr std::uint64_t kExpMask = (1ULL << kExpBits) - 1;
+
+  static constexpr std::uint64_t pack(std::uint64_t m,
+                                      std::uint64_t e) noexcept {
+    return (m << kExpBits) | (e & kExpMask);
+  }
+  static constexpr std::uint64_t mantissa_of(std::uint64_t s) noexcept {
+    return s >> kExpBits;
+  }
+  static constexpr std::uint64_t exponent_of(std::uint64_t s) noexcept {
+    return s & kExpMask;
+  }
+  static double update_probability(std::uint64_t e) noexcept {
+    return 1.0 / static_cast<double>(1ULL << e);
+  }
+
+  std::atomic<std::uint64_t> state_{0};
+  std::uint64_t threshold_;
+};
+
+}  // namespace ale

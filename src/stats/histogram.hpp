@@ -1,0 +1,79 @@
+// Fixed-bucket attempt histogram.
+//
+// The adaptive policy's second learning sub-phase (§4.2) builds "a histogram
+// of the number of attempts required to succeed in HTM mode" plus a count of
+// executions that never succeeded in HTM. Buckets are plain relaxed atomics:
+// the histogram is only populated during (bounded) learning phases, so
+// contention is not a concern and exactness helps the estimator.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace ale {
+
+template <std::size_t MaxAttempts = 64>
+class AttemptHistogram {
+ public:
+  static constexpr std::size_t kMaxAttempts = MaxAttempts;
+
+  // Record an execution that succeeded on attempt `k` (1-based).
+  void record_success(std::size_t k) noexcept {
+    if (k == 0) k = 1;
+    if (k > MaxAttempts) k = MaxAttempts;
+    buckets_[k - 1].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Record an execution that exhausted its attempts without succeeding.
+  void record_failure() noexcept {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t successes_at(std::size_t k) const noexcept {
+    if (k == 0 || k > MaxAttempts) return 0;
+    return buckets_[k - 1].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t total_successes() const noexcept {
+    std::uint64_t t = 0;
+    for (const auto& b : buckets_) t += b.load(std::memory_order_relaxed);
+    return t;
+  }
+
+  std::uint64_t total() const noexcept {
+    return total_successes() + failures();
+  }
+
+  // Number of executions that would succeed within a budget of `x` attempts.
+  std::uint64_t successes_within(std::size_t x) const noexcept {
+    std::uint64_t t = 0;
+    for (std::size_t k = 1; k <= x && k <= MaxAttempts; ++k) {
+      t += successes_at(k);
+    }
+    return t;
+  }
+
+  // Largest attempt index with a recorded success (0 if none).
+  std::size_t max_successful_attempt() const noexcept {
+    for (std::size_t k = MaxAttempts; k >= 1; --k) {
+      if (successes_at(k) > 0) return k;
+    }
+    return 0;
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    failures_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, MaxAttempts> buckets_{};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace ale

@@ -1,0 +1,125 @@
+// Sampled timing summaries (§4.3): "For time intervals, we measure the time
+// period of interest for approximately 3% of events, and use CAS to update
+// summary variables. Exponential backoff is employed to mitigate any
+// remaining contention."
+//
+// Usage pattern on a hot path:
+//   auto t = stats.maybe_start();          // cheap PRNG roll ~97% of the time
+//   ... event ...
+//   if (t) stats.record_since(*t);         // CAS-updated sum/count/min/max
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "common/cycles.hpp"
+#include "common/prng.hpp"
+#include "sync/backoff.hpp"
+
+namespace ale {
+
+class SampledTime {
+ public:
+  static constexpr double kDefaultRate = 0.03;
+
+  explicit SampledTime(double rate = kDefaultRate) noexcept : rate_(rate) {}
+  SampledTime(const SampledTime&) = delete;
+  SampledTime& operator=(const SampledTime&) = delete;
+
+  // Returns the start timestamp iff this event was selected for sampling.
+  std::optional<std::uint64_t> maybe_start() noexcept {
+    if (!thread_prng().next_bool(rate_)) return std::nullopt;
+    return now_ticks();
+  }
+
+  void record_since(std::uint64_t start_ticks) noexcept {
+    record(now_ticks() - start_ticks);
+  }
+
+  void record(std::uint64_t elapsed_ticks) noexcept {
+    cas_add(sum_ticks_, elapsed_ticks);
+    cas_add(count_, 1);
+    cas_max(max_ticks_, elapsed_ticks);
+    cas_min(min_ticks_, elapsed_ticks);
+  }
+
+  std::uint64_t sample_count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  // Mean over the sampled events, in ticks / nanoseconds. The sampling is
+  // uniform, so the sampled mean is an unbiased estimate of the event mean.
+  double mean_ticks() const noexcept {
+    const std::uint64_t n = count_.load(std::memory_order_relaxed);
+    if (n == 0) return 0.0;
+    return static_cast<double>(sum_ticks_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n);
+  }
+  double mean_ns() const noexcept { return ticks_to_ns_safe(mean_ticks()); }
+
+  double max_ns() const noexcept {
+    const std::uint64_t m = max_ticks_.load(std::memory_order_relaxed);
+    return ticks_to_ns_safe(static_cast<double>(m));
+  }
+  double min_ns() const noexcept {
+    const std::uint64_t m = min_ticks_.load(std::memory_order_relaxed);
+    if (m == kNoMin) return 0.0;
+    return ticks_to_ns_safe(static_cast<double>(m));
+  }
+
+  // "Does not provide a reliable level of accuracy until many hundreds of
+  // events have been measured" — callers (the adaptive policy) gate on this.
+  bool is_reliable(std::uint64_t min_samples = 16) const noexcept {
+    return sample_count() >= min_samples;
+  }
+
+  void reset() noexcept {
+    sum_ticks_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    max_ticks_.store(0, std::memory_order_relaxed);
+    min_ticks_.store(kNoMin, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint64_t kNoMin = ~0ULL;
+
+  static double ticks_to_ns_safe(double ticks) noexcept {
+    return ticks / ticks_per_ns();
+  }
+
+  static void cas_add(std::atomic<std::uint64_t>& v,
+                      std::uint64_t delta) noexcept {
+    std::uint64_t cur = v.load(std::memory_order_relaxed);
+    Backoff backoff;
+    while (!v.compare_exchange_weak(cur, cur + delta,
+                                    std::memory_order_relaxed,
+                                    std::memory_order_relaxed)) {
+      backoff.pause();
+    }
+  }
+  static void cas_max(std::atomic<std::uint64_t>& v,
+                      std::uint64_t x) noexcept {
+    std::uint64_t cur = v.load(std::memory_order_relaxed);
+    while (cur < x && !v.compare_exchange_weak(cur, x,
+                                               std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  static void cas_min(std::atomic<std::uint64_t>& v,
+                      std::uint64_t x) noexcept {
+    std::uint64_t cur = v.load(std::memory_order_relaxed);
+    while (cur > x && !v.compare_exchange_weak(cur, x,
+                                               std::memory_order_relaxed,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
+  double rate_;
+  std::atomic<std::uint64_t> sum_ticks_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> max_ticks_{0};
+  std::atomic<std::uint64_t> min_ticks_{kNoMin};
+};
+
+}  // namespace ale

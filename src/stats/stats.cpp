@@ -1,0 +1,9 @@
+// Header-only module; this TU anchors the static library.
+#include "stats/bfp_counter.hpp"
+#include "stats/histogram.hpp"
+#include "stats/sampled_time.hpp"
+#include "stats/table.hpp"
+
+namespace ale {
+template class AttemptHistogram<64>;
+}  // namespace ale

@@ -1,0 +1,71 @@
+// Minimal aligned-column table formatter for ALE's statistics reports
+// (§3.4): the library's reports are plain text tables, one row per
+// (lock, context) granule.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ale {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, headers_, widths);
+    std::string sep;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      sep += std::string(widths[c], '-');
+      if (c + 1 < widths.size()) sep += "-+-";
+    }
+    os << sep << '\n';
+    for (const auto& row : rows_) print_row(os, row, widths);
+  }
+
+  static std::string fmt(double v, int precision = 1) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+  }
+  static std::string fmt(std::uint64_t v) { return std::to_string(v); }
+  static std::string fmt_pct(double fraction) {
+    return fmt(fraction * 100.0, 1) + "%";
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < widths.size()) os << " | ";
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ale

@@ -1,0 +1,49 @@
+// Bounded exponential backoff with jitter.
+//
+// Used by every spin loop in the library (lock acquisition, CAS retry for
+// sampled statistics per §4.3, HTM retry pacing). Jitter desynchronizes
+// threads that fail together.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "common/cpu.hpp"
+#include "common/prng.hpp"
+
+namespace ale {
+
+class Backoff {
+ public:
+  static constexpr std::uint32_t kMinSpins = 4;
+  static constexpr std::uint32_t kMaxSpins = 4096;
+
+  constexpr Backoff() noexcept = default;
+  constexpr explicit Backoff(std::uint32_t max_spins) noexcept
+      : max_spins_(max_spins) {}
+
+  // Spin for the current bound (with ±50% jitter), then double the bound.
+  // Once saturated, also yield the CPU: on an oversubscribed host the
+  // thread we are waiting for (lock owner, ticket holder, committing
+  // transaction) may need our core to make progress.
+  void pause() noexcept {
+    const std::uint64_t jitter = thread_prng().next_below(limit_);
+    const std::uint64_t spins = limit_ / 2 + jitter;
+    for (std::uint64_t i = 0; i < spins; ++i) cpu_pause();
+    if (limit_ < max_spins_) {
+      limit_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  constexpr void reset() noexcept { limit_ = kMinSpins; }
+
+  constexpr std::uint32_t current_limit() const noexcept { return limit_; }
+
+ private:
+  std::uint32_t limit_ = kMinSpins;
+  std::uint32_t max_spins_ = kMaxSpins;
+};
+
+}  // namespace ale

@@ -1,0 +1,133 @@
+// The paper's LockAPI: "a structure that identifies methods used to acquire
+// and release this lock, as well as an is_locked method that is used to
+// check and monitor a lock when an associated critical section is executed
+// in HTM mode" (§3.2). This lets ALE elide any lock type.
+//
+// We add two members beyond the paper's three:
+//  * try_acquire — used by the emulated-HTM commit protocol to serialize
+//    redo-log application against Lock-mode holders (a real HTM commits
+//    atomically in hardware; the emulation briefly holds the lock instead),
+//    and by the trylockspin acquisition pattern.
+//  * subscription_word — the address an elided transaction monitors, so the
+//    emulated backend can also detect acquisitions by value.
+//
+// A readers-writer lock exposes *two* LockApi views (read/write) over one
+// object; their is_locked predicates differ because concurrent readers do
+// not conflict with an elided reader.
+#pragma once
+
+#include <mutex>
+
+#include "sync/rwlock.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticketlock.hpp"
+
+namespace ale {
+
+struct LockApi {
+  void (*acquire)(void* lock) = nullptr;
+  void (*release)(void* lock) = nullptr;
+  bool (*try_acquire)(void* lock) = nullptr;
+  // True iff a holder exists that conflicts with an elided execution of a
+  // critical section using this view of the lock.
+  bool (*is_locked)(const void* lock) = nullptr;
+  const void* (*subscription_word)(const void* lock) = nullptr;
+  const char* name = "lock";
+};
+
+// Generic LockApi for any lock with lock/unlock/try_lock/is_locked/
+// subscription_word members (TatasLock, TicketLock, RwSpinLock write side).
+template <class L>
+const LockApi* lock_api() noexcept {
+  static const LockApi api{
+      [](void* l) { static_cast<L*>(l)->lock(); },
+      [](void* l) { static_cast<L*>(l)->unlock(); },
+      [](void* l) { return static_cast<L*>(l)->try_lock(); },
+      [](const void* l) { return static_cast<const L*>(l)->is_locked(); },
+      [](const void* l) {
+        return static_cast<const L*>(l)->subscription_word();
+      },
+      "lock"};
+  return &api;
+}
+
+// Write view of a readers-writer lock: conflicts with readers and writers.
+inline const LockApi* rw_write_api() noexcept {
+  static const LockApi api{
+      [](void* l) { static_cast<RwSpinLock*>(l)->lock(); },
+      [](void* l) { static_cast<RwSpinLock*>(l)->unlock(); },
+      [](void* l) { return static_cast<RwSpinLock*>(l)->try_lock(); },
+      [](const void* l) {
+        return static_cast<const RwSpinLock*>(l)->is_locked();
+      },
+      [](const void* l) {
+        return static_cast<const RwSpinLock*>(l)->subscription_word();
+      },
+      "rw-write"};
+  return &api;
+}
+
+// Read view: an elided reader conflicts only with a writer.
+inline const LockApi* rw_read_api() noexcept {
+  static const LockApi api{
+      [](void* l) { static_cast<RwSpinLock*>(l)->lock_shared(); },
+      [](void* l) { static_cast<RwSpinLock*>(l)->unlock_shared(); },
+      [](void* l) { return static_cast<RwSpinLock*>(l)->try_lock_shared(); },
+      [](const void* l) {
+        return static_cast<const RwSpinLock*>(l)->is_write_locked();
+      },
+      [](const void* l) {
+        return static_cast<const RwSpinLock*>(l)->subscription_word();
+      },
+      "rw-read"};
+  return &api;
+}
+
+// Read view using Kyoto Cabinet's trylockspin acquisition (§5).
+inline const LockApi* rw_read_trylockspin_api() noexcept {
+  static const LockApi api{
+      [](void* l) {
+        static_cast<RwSpinLock*>(l)->lock_shared_trylockspin();
+      },
+      [](void* l) { static_cast<RwSpinLock*>(l)->unlock_shared(); },
+      [](void* l) { return static_cast<RwSpinLock*>(l)->try_lock_shared(); },
+      [](const void* l) {
+        return static_cast<const RwSpinLock*>(l)->is_write_locked();
+      },
+      [](const void* l) {
+        return static_cast<const RwSpinLock*>(l)->subscription_word();
+      },
+      "rw-read-trylockspin"};
+  return &api;
+}
+
+// std::mutex adapter. std::mutex lacks an is_locked query, so we shadow it
+// with a flag. The flag is advisory (used for HTM-mode pre-checks); the
+// emulated commit protocol's correctness rests on try_acquire and on data
+// version validation, not on this flag.
+class TrackedMutex {
+ public:
+  void lock() {
+    mutex_.lock();
+    held_.store(true, std::memory_order_release);
+  }
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    held_.store(true, std::memory_order_release);
+    return true;
+  }
+  void unlock() {
+    held_.store(false, std::memory_order_release);
+    mutex_.unlock();
+  }
+  bool is_locked() const noexcept {
+    return held_.load(std::memory_order_acquire);
+  }
+  const void* subscription_word() const noexcept { return &held_; }
+
+ private:
+  std::mutex mutex_;
+  std::atomic<bool> held_{false};
+};
+
+}  // namespace ale

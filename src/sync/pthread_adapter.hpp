@@ -1,0 +1,89 @@
+// LockApi adapter for raw pthread_mutex_t — the paper's motivating case is
+// "legacy lock-based applications", and those are usually pthreads code.
+//
+// pthread_mutex_t exposes no is_locked query, so the adapter shadows the
+// mutex with an atomic flag (same approach as TrackedMutex for std::mutex).
+// The flag is advisory: correctness of elision rests on try_acquire (the
+// emulated commit protocol) or the hardware read-set (RTM); the flag only
+// powers pre-checks and subscription hints.
+//
+// Usage for code that owns its mutexes:
+//     ale::PthreadLock lock;            // drop-in wrapper, owns the mutex
+//     ALE_BEGIN_CS(ale::lock_api<ale::PthreadLock>(), &lock, md);
+//
+// Usage for mutexes owned elsewhere (no code changes to the owner):
+//     ale::PthreadLockRef ref(&their_mutex);
+//     ALE_BEGIN_CS(ale::lock_api<ale::PthreadLockRef>(), &ref, md);
+// NOTE: every acquire/release of the foreign mutex must then go through
+// the same PthreadLockRef, or the shadow flag drifts.
+#pragma once
+
+#include <pthread.h>
+
+#include <atomic>
+
+namespace ale {
+
+class PthreadLock {
+ public:
+  PthreadLock() { pthread_mutex_init(&mutex_, nullptr); }
+  ~PthreadLock() { pthread_mutex_destroy(&mutex_); }
+  PthreadLock(const PthreadLock&) = delete;
+  PthreadLock& operator=(const PthreadLock&) = delete;
+
+  void lock() {
+    pthread_mutex_lock(&mutex_);
+    held_.store(true, std::memory_order_release);
+  }
+  bool try_lock() {
+    if (pthread_mutex_trylock(&mutex_) != 0) return false;
+    held_.store(true, std::memory_order_release);
+    return true;
+  }
+  void unlock() {
+    held_.store(false, std::memory_order_release);
+    pthread_mutex_unlock(&mutex_);
+  }
+  bool is_locked() const noexcept {
+    return held_.load(std::memory_order_acquire);
+  }
+  const void* subscription_word() const noexcept { return &held_; }
+
+  pthread_mutex_t* native_handle() noexcept { return &mutex_; }
+
+ private:
+  pthread_mutex_t mutex_;
+  std::atomic<bool> held_{false};
+};
+
+class PthreadLockRef {
+ public:
+  explicit PthreadLockRef(pthread_mutex_t* mutex) noexcept
+      : mutex_(mutex) {}
+  PthreadLockRef(const PthreadLockRef&) = delete;
+  PthreadLockRef& operator=(const PthreadLockRef&) = delete;
+
+  void lock() {
+    pthread_mutex_lock(mutex_);
+    held_.store(true, std::memory_order_release);
+  }
+  bool try_lock() {
+    if (pthread_mutex_trylock(mutex_) != 0) return false;
+    held_.store(true, std::memory_order_release);
+    return true;
+  }
+  void unlock() {
+    held_.store(false, std::memory_order_release);
+    pthread_mutex_unlock(mutex_);
+  }
+  bool is_locked() const noexcept {
+    return held_.load(std::memory_order_acquire);
+  }
+  const void* subscription_word() const noexcept { return &held_; }
+
+ private:
+  pthread_mutex_t* mutex_;
+  std::atomic<bool> held_{false};
+};
+
+}  // namespace ale

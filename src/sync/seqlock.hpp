@@ -1,0 +1,82 @@
+// Sequence lock (seqlock) [Corbet '03, Lameter '05].
+//
+// The paper's software-optimistic (SWOpt) mode detects interference with a
+// seqlock variant: a sequence number that is even while no conflicting
+// action is in progress. Readers snapshot an even value, read optimistically,
+// and re-check; writers make the value odd for the duration of the
+// conflicting region. ALE's ConflictIndicator (core/) builds on this class,
+// adding transactional increments for HTM mode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sync/backoff.hpp"
+
+namespace ale {
+
+class SeqLock {
+ public:
+  SeqLock() = default;
+  SeqLock(const SeqLock&) = delete;
+  SeqLock& operator=(const SeqLock&) = delete;
+
+  // -- writer protocol --
+
+  // Enter a conflicting region: sequence becomes odd.
+  void write_begin() noexcept {
+    seq_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Leave a conflicting region: sequence becomes even again (and differs
+  // from every snapshot taken before write_begin()).
+  void write_end() noexcept {
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+  // -- reader protocol --
+
+  // Snapshot the sequence; if `wait_even`, spin until no writer is inside a
+  // conflicting region (paper's GetVer(true)). Backs off while waiting so a
+  // descheduled writer can finish on an oversubscribed host.
+  std::uint64_t read_begin(bool wait_even = true) const noexcept {
+    Backoff backoff;
+    for (;;) {
+      const std::uint64_t s = seq_.load(std::memory_order_acquire);
+      if (!wait_even || (s & 1) == 0) return s;
+      backoff.pause();
+    }
+  }
+
+  // True iff no conflicting region began since the snapshot; pairs with
+  // the paper's `v != GetVer(false)` checks.
+  bool validate(std::uint64_t snapshot) const noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) == snapshot;
+  }
+
+  std::uint64_t raw() const noexcept {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  bool write_active() const noexcept { return (raw() & 1) != 0; }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+// RAII writer bracket for a conflicting region.
+class SeqLockWriteGuard {
+ public:
+  explicit SeqLockWriteGuard(SeqLock& sl) noexcept : sl_(sl) {
+    sl_.write_begin();
+  }
+  ~SeqLockWriteGuard() { sl_.write_end(); }
+  SeqLockWriteGuard(const SeqLockWriteGuard&) = delete;
+  SeqLockWriteGuard& operator=(const SeqLockWriteGuard&) = delete;
+
+ private:
+  SeqLock& sl_;
+};
+
+}  // namespace ale

@@ -1,0 +1,161 @@
+// SNZI — Scalable Non-Zero Indicator [Ellen, Lev, Luchangco, Moir, PODC'07].
+//
+// A SNZI supports Arrive/Depart/Query where Query answers "is the surplus
+// (arrivals minus departures) non-zero?". Unlike a shared counter, queries
+// read a single word and updates are filtered through a tree, so under heavy
+// arrive/depart traffic most updates never reach the root.
+//
+// The paper's adaptive policy uses a SNZI for its *grouping mechanism*
+// (§4.2): threads retrying a SWOpt path arrive; executions that could
+// conflict with SWOpt wait until the SNZI reads zero.
+//
+// Implementation notes: we implement the paper's non-root node algorithm
+// verbatim (including the ½-surplus handshake that makes the hierarchy
+// linearizable), over a two-level tree (leaves → root). The root is a plain
+// padded counter: queries load one word, preserving the SNZI's O(1)-read
+// property; the intermediate nodes provide the update filtering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "common/cacheline.hpp"
+#include "common/cpu.hpp"
+
+namespace ale {
+
+class Snzi {
+ public:
+  // `num_leaves` bounds update contention; threads hash onto leaves.
+  explicit Snzi(unsigned num_leaves = 16)
+      : num_leaves_(num_leaves == 0 ? 1 : num_leaves),
+        leaves_(std::make_unique<CacheAligned<Node>[]>(num_leaves_)) {}
+
+  Snzi(const Snzi&) = delete;
+  Snzi& operator=(const Snzi&) = delete;
+
+  // Arrive/depart must be paired per thread; a thread's leaf assignment is
+  // stable, so its depart hits the same leaf it arrived at.
+  void arrive() noexcept { leaf_arrive(my_leaf()); }
+  void depart() noexcept { leaf_depart(my_leaf()); }
+
+  // The single-word query (grouping reads this on every potentially
+  // conflicting execution, so it must stay cheap).
+  bool query() const noexcept {
+    return root_.value.load(std::memory_order_acquire) != 0;
+  }
+
+  std::int64_t root_surplus_for_test() const noexcept {
+    return root_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Node word layout: low 32 bits = surplus in HALF units (½ == 1, 1 == 2),
+  // high 32 bits = version (bumped on each 0 → ½ transition).
+  struct Node {
+    std::atomic<std::uint64_t> word{0};
+  };
+
+  static constexpr std::uint64_t kHalf = 1;
+  static constexpr std::uint64_t kOne = 2;
+
+  static constexpr std::uint64_t pack(std::uint64_t c,
+                                      std::uint64_t v) noexcept {
+    return (v << 32) | (c & 0xffffffffULL);
+  }
+  static constexpr std::uint64_t count_of(std::uint64_t w) noexcept {
+    return w & 0xffffffffULL;
+  }
+  static constexpr std::uint64_t version_of(std::uint64_t w) noexcept {
+    return w >> 32;
+  }
+
+  Node& my_leaf() noexcept {
+    thread_local const unsigned slot = next_slot_.fetch_add(
+        1, std::memory_order_relaxed);
+    return leaves_[slot % num_leaves_].value;
+  }
+
+  void root_arrive() noexcept {
+    root_.value.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void root_depart() noexcept {
+    root_.value.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  // Non-root Arrive from the PODC'07 paper, in half units.
+  void leaf_arrive(Node& n) noexcept {
+    bool succ = false;
+    unsigned undo_arrivals = 0;
+    while (!succ) {
+      std::uint64_t x = n.word.load(std::memory_order_acquire);
+      std::uint64_t c = count_of(x);
+      std::uint64_t v = version_of(x);
+      if (c >= kOne) {
+        if (n.word.compare_exchange_weak(x, pack(c + kOne, v),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          succ = true;
+        }
+        continue;
+      }
+      if (c == 0) {
+        if (n.word.compare_exchange_weak(x, pack(kHalf, v + 1),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          succ = true;
+          c = kHalf;
+          v = v + 1;
+          x = pack(c, v);
+        } else {
+          continue;
+        }
+      }
+      if (c == kHalf) {
+        // Whether we installed the ½ or are helping another arriver: push a
+        // surplus to the root, then try to promote ½ → 1. A failed
+        // promotion means someone else consumed our root arrival slot, so
+        // it must be undone.
+        root_arrive();
+        if (!n.word.compare_exchange_strong(x, pack(kOne, v),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+          ++undo_arrivals;
+        }
+      }
+    }
+    while (undo_arrivals > 0) {
+      root_depart();
+      --undo_arrivals;
+    }
+  }
+
+  // Non-root Depart. The surplus is ≥ 1 (caller arrived), but we may
+  // transiently observe a ½ installed by a concurrent arriver — wait for
+  // its promotion rather than going negative.
+  void leaf_depart(Node& n) noexcept {
+    for (;;) {
+      std::uint64_t x = n.word.load(std::memory_order_acquire);
+      const std::uint64_t c = count_of(x);
+      const std::uint64_t v = version_of(x);
+      if (c < kOne) {  // ½ in flight; promoter will move it to 1.
+        cpu_pause();
+        continue;
+      }
+      if (n.word.compare_exchange_weak(x, pack(c - kOne, v),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        if (c == kOne) root_depart();
+        return;
+      }
+    }
+  }
+
+  unsigned num_leaves_;
+  std::unique_ptr<CacheAligned<Node>[]> leaves_;
+  CacheAligned<std::atomic<std::int64_t>> root_{};
+  std::atomic<unsigned> next_slot_{0};
+};
+
+}  // namespace ale

@@ -1,0 +1,49 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// This is the default lock for ALE-enabled critical sections: it exposes the
+// three operations the paper's LockAPI requires — acquire, release, and the
+// is_locked predicate that HTM mode uses to subscribe to the lock.
+#pragma once
+
+#include <atomic>
+
+#include "sync/backoff.hpp"
+
+namespace ale {
+
+class TatasLock {
+ public:
+  TatasLock() = default;
+  TatasLock(const TatasLock&) = delete;
+  TatasLock& operator=(const TatasLock&) = delete;
+
+  void lock() noexcept {
+    if (try_lock()) return;
+    Backoff backoff;
+    for (;;) {
+      while (word_.load(std::memory_order_relaxed) != 0) backoff.pause();
+      if (word_.exchange(1, std::memory_order_acquire) == 0) return;
+    }
+  }
+
+  bool try_lock() noexcept {
+    return word_.load(std::memory_order_relaxed) == 0 &&
+           word_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void unlock() noexcept { word_.store(0, std::memory_order_release); }
+
+  // HTM lock subscription reads this inside the transaction: any writer that
+  // acquires the lock will invalidate the transaction's read of word_.
+  bool is_locked() const noexcept {
+    return word_.load(std::memory_order_acquire) != 0;
+  }
+
+  // Address of the lock word, for emulated-HTM read-set subscription.
+  const void* subscription_word() const noexcept { return &word_; }
+
+ private:
+  std::atomic<std::uint32_t> word_{0};
+};
+
+}  // namespace ale

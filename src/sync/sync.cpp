@@ -1,0 +1,17 @@
+// The sync substrates are header-only; this TU anchors the static library
+// and pins vtable-free template instantiations used across the project.
+#include "sync/backoff.hpp"
+#include "sync/lockapi.hpp"
+#include "sync/rwlock.hpp"
+#include "sync/seqlock.hpp"
+#include "sync/snzi.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticketlock.hpp"
+
+namespace ale {
+
+template const LockApi* lock_api<TatasLock>() noexcept;
+template const LockApi* lock_api<TicketLock>() noexcept;
+template const LockApi* lock_api<TrackedMutex>() noexcept;
+
+}  // namespace ale

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/cacheline.hpp"
+#include "common/cpu.hpp"
+#include "common/env.hpp"
+
+namespace ale {
+namespace {
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) {}
+  ~EnvGuard() { unsetenv(name_); }
+  void set(const char* v) { setenv(name_, v, 1); }
+  const char* name_;
+};
+
+TEST(Env, StringLookup) {
+  EnvGuard g("ALE_TEST_STR");
+  EXPECT_FALSE(env_string("ALE_TEST_STR").has_value());
+  g.set("hello");
+  EXPECT_EQ(env_string("ALE_TEST_STR").value(), "hello");
+}
+
+TEST(Env, IntParsingAndFallback) {
+  EnvGuard g("ALE_TEST_INT");
+  EXPECT_EQ(env_int("ALE_TEST_INT", 7), 7);
+  g.set("42");
+  EXPECT_EQ(env_int("ALE_TEST_INT", 7), 42);
+  g.set("-13");
+  EXPECT_EQ(env_int("ALE_TEST_INT", 7), -13);
+  g.set("not-a-number");
+  EXPECT_EQ(env_int("ALE_TEST_INT", 7), 7);
+  g.set("12abc");
+  EXPECT_EQ(env_int("ALE_TEST_INT", 7), 7);
+}
+
+TEST(Env, DoubleParsing) {
+  EnvGuard g("ALE_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env_double("ALE_TEST_DBL", 0.5), 0.5);
+  g.set("0.25");
+  EXPECT_DOUBLE_EQ(env_double("ALE_TEST_DBL", 0.5), 0.25);
+  g.set("oops");
+  EXPECT_DOUBLE_EQ(env_double("ALE_TEST_DBL", 0.5), 0.5);
+}
+
+TEST(Env, BoolParsing) {
+  EnvGuard g("ALE_TEST_BOOL");
+  EXPECT_TRUE(env_bool("ALE_TEST_BOOL", true));
+  for (const char* v : {"1", "true", "YES", "On"}) {
+    g.set(v);
+    EXPECT_TRUE(env_bool("ALE_TEST_BOOL", false)) << v;
+  }
+  for (const char* v : {"0", "false", "NO", "Off"}) {
+    g.set(v);
+    EXPECT_FALSE(env_bool("ALE_TEST_BOOL", true)) << v;
+  }
+  g.set("maybe");
+  EXPECT_TRUE(env_bool("ALE_TEST_BOOL", true));
+}
+
+TEST(CacheLine, LineIndexing) {
+  alignas(kCacheLineSize) char buf[3 * kCacheLineSize];
+  EXPECT_EQ(cache_line_of(&buf[0]), cache_line_of(&buf[63]));
+  EXPECT_NE(cache_line_of(&buf[0]), cache_line_of(&buf[64]));
+  EXPECT_EQ(cache_line_of(&buf[64]) - cache_line_of(&buf[0]), 1u);
+}
+
+TEST(CacheLine, CacheAlignedSpacing) {
+  CacheAligned<int> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i]);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1]);
+    EXPECT_GE(b - a, kCacheLineSize);
+    EXPECT_EQ(a % kCacheLineSize, 0u);
+  }
+  CacheAligned<int> v(42);
+  EXPECT_EQ(*v, 42);
+  *v = 7;
+  EXPECT_EQ(v.value, 7);
+}
+
+TEST(Cpu, RtmDetectionDoesNotCrash) {
+  // Value is machine-dependent; just exercise the CPUID path.
+  (void)cpu_has_rtm();
+  cpu_pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ale

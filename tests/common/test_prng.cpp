@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/prng.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextBelowInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.01);  // covers the interval
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Xoshiro256, BernoulliRateApproximatelyCorrect) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.next_bool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.25, 0.01);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Xoshiro256, UniformityChiSquaredish) {
+  Xoshiro256 rng(13);
+  constexpr int kBuckets = 16;
+  int counts[kBuckets] = {};
+  constexpr int kN = 160000;
+  for (int i = 0; i < kN; ++i) counts[rng.next_below(kBuckets)]++;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kN / kBuckets, kN / kBuckets * 0.05) << b;
+  }
+}
+
+TEST(ThreadPrng, DistinctStreamsPerThread) {
+  std::uint64_t first[4] = {};
+  test::run_threads(4, [&](unsigned idx) { first[idx] = thread_prng().next(); });
+  std::set<std::uint64_t> uniq(first, first + 4);
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ale

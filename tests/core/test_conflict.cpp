@@ -1,0 +1,171 @@
+// ConflictIndicator (the paper's tblVer) and the §3.3 elision guard.
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct ConflictTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+TEST_F(ConflictTest, VersionStartsEven) {
+  ConflictIndicator ind;
+  EXPECT_EQ(ind.get_ver(false), 0u);
+  EXPECT_EQ(ind.get_ver(true), 0u);
+}
+
+TEST_F(ConflictTest, BracketChangesVersion) {
+  ConflictIndicator ind;
+  const auto v = ind.get_ver(true);
+  ind.begin_conflicting_action();
+  EXPECT_TRUE(ind.changed_since(v));
+  EXPECT_EQ(ind.get_ver(false) & 1, 1u);  // odd while inside
+  ind.end_conflicting_action();
+  EXPECT_EQ(ind.get_ver(false) & 1, 0u);
+  EXPECT_TRUE(ind.changed_since(v));  // permanently different
+}
+
+TEST_F(ConflictTest, LockModeAlwaysBumps) {
+  // In Lock mode the guard must bump even when no SWOpt is running —
+  // nothing can abort a lock holder, so elision would be unsound.
+  TatasLock lock;
+  LockMd md("conflict.lockmode");
+  ConflictIndicator ind;
+  static ScopeInfo scope("cs");
+  const auto before = ind.get_ver(false);
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kLock);
+    ConflictingAction guard(ind, md);
+    EXPECT_EQ(ind.get_ver(false) & 1, 1u);
+  });
+  EXPECT_EQ(ind.get_ver(false), before + 2);
+}
+
+TEST_F(ConflictTest, HtmModeElidesWhenNoSwOpt) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("conflict.htmelide");
+  ConflictIndicator ind;
+  static ScopeInfo scope("cs");
+  const auto before = ind.get_ver(false);
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kHtm);
+    ConflictingAction guard(ind, md);
+  });
+  EXPECT_EQ(ind.get_ver(false), before);  // elided: no increments at all
+}
+
+TEST_F(ConflictTest, HtmModeBumpsWhenSwOptPresent) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("conflict.htmbump");
+  ConflictIndicator ind;
+  static ScopeInfo scope("cs");
+  md.swopt_present_arrive();  // simulate a SWOpt execution in flight
+  const auto before = ind.get_ver(false);
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kHtm);
+    ConflictingAction guard(ind, md);
+  });
+  EXPECT_EQ(ind.get_ver(false), before + 2);
+  md.swopt_present_depart();
+}
+
+TEST_F(ConflictTest, SwOptArrivalAbortsElidingTransaction) {
+  // The §3.3 elision safety net: a transaction that read "no SWOpt
+  // running" is subscribed to the presence word, so an arrival before its
+  // commit aborts it.
+  using htm::AbortCause;
+  using htm::TxAbortException;
+  LockMd md("conflict.racesafe");
+  const auto bs = htm::tx_begin();
+  ASSERT_EQ(bs.state, htm::BeginState::kStarted);
+  AbortCause cause = AbortCause::kNone;
+  std::uint64_t data = 0;
+  try {
+    if (!md.could_swopt_be_running()) {
+      // A SWOpt execution arrives between our check and our commit.
+      std::thread([&md] { md.swopt_present_arrive(); }).join();
+      tx_store(data, std::uint64_t{1});
+    }
+    htm::tx_commit();
+  } catch (const TxAbortException& e) {
+    cause = e.cause;
+  }
+  EXPECT_EQ(cause, AbortCause::kConflict);
+  EXPECT_EQ(data, 0u);
+  md.swopt_present_depart();
+}
+
+TEST_F(ConflictTest, AbortUnwindDoesNotWedgeIndicator) {
+  // Regression: an emulated-HTM abort unwinding through a live
+  // ConflictingAction guard must not emit the end-increment into real
+  // memory (the begin-increment was buffered and died with the redo log);
+  // doing so left the indicator odd forever and wedged get_ver(true).
+  using htm::AbortCause;
+  using htm::TxAbortException;
+  LockMd md("conflict.unwind");
+  md.swopt_present_arrive();  // gate open: the guard really increments
+  ConflictIndicator ind;
+  std::uint64_t data = 0;
+  AbortCause cause = AbortCause::kNone;
+  const auto bs = htm::tx_begin();
+  ASSERT_EQ(bs.state, htm::BeginState::kStarted);
+  try {
+    ConflictingAction guard(ind, md);
+    tx_store(data, std::uint64_t{1});
+    htm::tx_abort(AbortCause::kConflict);  // unwinds through the guard
+  } catch (const TxAbortException& e) {
+    cause = e.cause;
+  }
+  md.swopt_present_depart();
+  EXPECT_EQ(cause, AbortCause::kConflict);
+  EXPECT_EQ(data, 0u);
+  EXPECT_EQ(ind.get_ver(false) & 1, 0u);  // even: reader wait terminates
+  EXPECT_EQ(ind.get_ver(true), 0u);       // and indeed untouched
+}
+
+TEST_F(ConflictTest, CommitPathStillBracketsCorrectly) {
+  // The abort fix must not break the normal transactional path: a
+  // committed guard publishes exactly two increments.
+  using htm::TxAbortException;
+  LockMd md("conflict.commitpath");
+  md.swopt_present_arrive();
+  ConflictIndicator ind;
+  std::uint64_t data = 0;
+  const auto bs = htm::tx_begin();
+  ASSERT_EQ(bs.state, htm::BeginState::kStarted);
+  try {
+    {
+      ConflictingAction guard(ind, md);
+      tx_store(data, std::uint64_t{1});
+    }
+    htm::tx_commit();
+  } catch (const TxAbortException&) {
+    FAIL() << "unexpected abort";
+  }
+  md.swopt_present_depart();
+  EXPECT_EQ(data, 1u);
+  EXPECT_EQ(ind.get_ver(false), 2u);
+}
+
+TEST_F(ConflictTest, GetVerWaitsForEven) {
+  ConflictIndicator ind;
+  ind.begin_conflicting_action();
+  std::thread finisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ind.end_conflicting_action();
+  });
+  const auto v = ind.get_ver(true);  // must block until even
+  EXPECT_EQ(v & 1, 0u);
+  EXPECT_EQ(v, 2u);
+  finisher.join();
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/context.hpp"
+#include "core/thread_ctx.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(Context, RootPath) {
+  EXPECT_EQ(context_root().path(), "<root>");
+  EXPECT_EQ(context_root().depth(), 0u);
+}
+
+TEST(Context, ChildInterning) {
+  static ScopeInfo s1("ctx.a");
+  static ScopeInfo s2("ctx.b");
+  ContextNode* a = context_root().child(&s1);
+  EXPECT_EQ(a, context_root().child(&s1));  // interned
+  ContextNode* b = context_root().child(&s2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->parent(), &context_root());
+  EXPECT_EQ(a->path(), "ctx.a");
+  ContextNode* ab = a->child(&s2);
+  EXPECT_EQ(ab->path(), "ctx.a/ctx.b");
+  EXPECT_EQ(ab->depth(), 2u);
+}
+
+TEST(Context, ScopeIdsAreUnique) {
+  static ScopeInfo s1("ctx.id1");
+  static ScopeInfo s2("ctx.id2");
+  EXPECT_NE(s1.id, s2.id);
+}
+
+TEST(Context, ScopeGuardPushesAndPops) {
+  static ScopeInfo s("ctx.guard");
+  ContextNode* before = thread_ctx().context();
+  {
+    ScopeGuard g(&s);
+    EXPECT_EQ(thread_ctx().context()->scope(), &s);
+    EXPECT_EQ(thread_ctx().context()->parent(), before);
+  }
+  EXPECT_EQ(thread_ctx().context(), before);
+}
+
+TEST(Context, ConcurrentChildCreationIsRaceFree) {
+  static ScopeInfo s("ctx.race");
+  std::atomic<ContextNode*> seen{nullptr};
+  std::atomic<int> mismatches{0};
+  test::run_threads(8, [&](unsigned) {
+    for (int i = 0; i < 1000; ++i) {
+      ContextNode* n = context_root().child(&s);
+      ContextNode* expected = nullptr;
+      if (!seen.compare_exchange_strong(expected, n)) {
+        if (expected != n) mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Context, ThreadsHaveIndependentContexts) {
+  static ScopeInfo s("ctx.tls");
+  test::run_threads(2, [&](unsigned idx) {
+    if (idx == 0) {
+      ScopeGuard g(&s);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      EXPECT_EQ(thread_ctx().context()->scope(), &s);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      EXPECT_EQ(thread_ctx().context(), &context_root());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,236 @@
+// Execution-engine behaviour: mode selection, retries, fallback, stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct Fixture : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+using EngineTest = Fixture;
+
+TEST_F(EngineTest, LockOnlyPolicyExecutesInLockMode) {
+  TatasLock lock;
+  LockMd md("engine.lockonly");
+  static ScopeInfo scope("cs");
+  ExecMode seen = ExecMode::kHtm;
+  bool was_locked = false;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+    seen = cs.exec_mode();
+    was_locked = lock.is_locked();
+  });
+  EXPECT_EQ(seen, ExecMode::kLock);
+  EXPECT_TRUE(was_locked);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(EngineTest, StaticPolicyUsesHtmFirst) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("engine.htmfirst");
+  static ScopeInfo scope("cs");
+  ExecMode seen = ExecMode::kLock;
+  std::uint64_t x = 0;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+    seen = cs.exec_mode();
+    tx_store(x, std::uint64_t{1});
+    EXPECT_FALSE(lock.is_locked());  // elided: lock never taken
+  });
+  EXPECT_EQ(seen, ExecMode::kHtm);
+  EXPECT_EQ(x, 1u);
+}
+
+TEST_F(EngineTest, FallsBackToLockAfterXAttempts) {
+  StaticPolicyConfig cfg;
+  cfg.x = 3;
+  cfg.use_swopt = false;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("engine.fallback");
+  static ScopeInfo scope("cs");
+  int htm_attempts = 0;
+  ExecMode final_mode = ExecMode::kHtm;
+  std::uint64_t x = 0;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+    final_mode = cs.exec_mode();
+    if (cs.exec_mode() == ExecMode::kHtm) {
+      ++htm_attempts;
+      htm::tx_abort(htm::AbortCause::kExplicit, 9);  // force failure
+    }
+    tx_store(x, std::uint64_t{1});
+  });
+  EXPECT_EQ(htm_attempts, 3);
+  EXPECT_EQ(final_mode, ExecMode::kLock);
+  EXPECT_EQ(x, 1u);
+}
+
+TEST_F(EngineTest, SwOptRetriesThenLock) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 2;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("engine.swopt");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  int swopt_attempts = 0;
+  ExecMode final_mode = ExecMode::kHtm;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) -> CsBody {
+               final_mode = cs.exec_mode();
+               if (cs.in_swopt()) {
+                 ++swopt_attempts;
+                 return CsBody::kRetrySwOpt;  // always "invalidated"
+               }
+               return CsBody::kDone;
+             });
+  EXPECT_EQ(swopt_attempts, 2);
+  EXPECT_EQ(final_mode, ExecMode::kLock);
+}
+
+TEST_F(EngineTest, SwOptSucceedsFirstTry) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("engine.swoptok");
+  static ScopeInfo scope("cs", true);
+  bool locked_during = true;
+  ExecMode seen = ExecMode::kLock;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+    seen = cs.exec_mode();
+    locked_during = lock.is_locked();
+  });
+  EXPECT_EQ(seen, ExecMode::kSwOpt);
+  EXPECT_FALSE(locked_during);
+}
+
+TEST_F(EngineTest, ScopeWithoutSwOptNeverRunsSwOpt) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 100;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("engine.noswopt");
+  static ScopeInfo scope("cs", /*has_swopt=*/false);
+  ExecMode seen = ExecMode::kSwOpt;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) { seen = cs.exec_mode(); });
+  EXPECT_EQ(seen, ExecMode::kLock);
+}
+
+TEST_F(EngineTest, HtmDisabledScopeFallsThrough) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("engine.nohtm");
+  static ScopeInfo scope("cs", false, /*allow_htm=*/false);
+  ExecMode seen = ExecMode::kHtm;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) { seen = cs.exec_mode(); });
+  EXPECT_EQ(seen, ExecMode::kLock);
+}
+
+TEST_F(EngineTest, NoHtmPlatformFallsThrough) {
+  test::use_no_htm();
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("engine.t2");
+  static ScopeInfo scope("cs");
+  ExecMode seen = ExecMode::kHtm;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) { seen = cs.exec_mode(); });
+  EXPECT_EQ(seen, ExecMode::kLock);
+}
+
+TEST_F(EngineTest, UserExceptionReleasesLock) {
+  TatasLock lock;
+  LockMd md("engine.exception");
+  static ScopeInfo scope("cs");
+  EXPECT_THROW(
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec&) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  EXPECT_FALSE(lock.is_locked());
+  // Engine state fully unwound: a fresh CS still works.
+  bool ran = false;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec&) { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(EngineTest, StatsRecordExecutionsAndModes) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("engine.stats");
+  static ScopeInfo scope("cs");
+  std::uint64_t x = 0;
+  for (int i = 0; i < 200; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+               [&](CsExec&) { tx_store(x, tx_load(x) + 1); });
+  }
+  EXPECT_EQ(x, 200u);
+  EXPECT_EQ(md.total_executions(), 200u);  // BFP exact below threshold
+  bool found = false;
+  md.for_each_granule([&](GranuleMd& g) {
+    found = true;
+    EXPECT_EQ(g.stats.of(ExecMode::kHtm).successes.read(), 200u);
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST_F(EngineTest, GranulesDistinguishContexts) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("engine.granules");
+  static ScopeInfo scope("cs");
+  static ScopeInfo outer_a("callerA");
+  static ScopeInfo outer_b("callerB");
+  auto run = [&] {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {});
+  };
+  {
+    ScopeGuard g(&outer_a);
+    run();
+    run();
+  }
+  {
+    ScopeGuard g(&outer_b);
+    run();
+  }
+  int granules = 0;
+  md.for_each_granule([&](GranuleMd&) { ++granules; });
+  EXPECT_EQ(granules, 2);
+}
+
+TEST_F(EngineTest, ConcurrentMixedModesKeepCounterExact) {
+  StaticPolicyConfig cfg;
+  cfg.x = 4;
+  cfg.y = 2;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("engine.concurrent");
+  static ScopeInfo scope("cs");
+  alignas(64) std::uint64_t counter = 0;
+  constexpr int kPer = 4000;
+  test::run_threads(4, [&](unsigned) {
+    for (int i = 0; i < kPer; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec&) { tx_store(counter, tx_load(counter) + 1); });
+    }
+  });
+  EXPECT_EQ(counter, 4u * kPer);
+}
+
+TEST_F(EngineTest, CurrentExecModeOutsideCsIsLock) {
+  EXPECT_EQ(current_exec_mode(), ExecMode::kLock);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,128 @@
+// Randomized engine fuzz: arbitrary nesting shapes, random abort/exception
+// behaviour, random policy switching — the engine must never leak a lock,
+// corrupt the thread context, or lose an update.
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/install.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct EngineFuzz : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+struct FuzzWorld {
+  static constexpr unsigned kLocks = 3;
+  TatasLock locks[kLocks];
+  LockMd mds[kLocks] = {LockMd("fuzz.0"), LockMd("fuzz.1"), LockMd("fuzz.2")};
+  alignas(64) std::uint64_t cells[kLocks] = {};
+};
+
+// One random critical section on lock `L`, possibly nesting another.
+void random_cs(FuzzWorld& w, Xoshiro256& rng, unsigned lock_idx,
+               unsigned depth) {
+  static ScopeInfo scopes[3] = {ScopeInfo("fuzz.csA", true),
+                                ScopeInfo("fuzz.csB"),
+                                ScopeInfo("fuzz.csC", true, false)};
+  ScopeInfo& scope = scopes[rng.next_below(3)];
+  const bool nest = depth < 2 && rng.next_bool(0.3);
+  // Respect a global lock order (inner index >= outer index): Lock-mode
+  // fallbacks acquire blockingly, so — exactly as with plain locks — an
+  // unordered nest can ABBA-deadlock. ALE does not change that contract
+  // (elided modes use try-acquisition and would dodge it, which only makes
+  // the deadlock rarer, not acceptable).
+  const unsigned inner_idx =
+      lock_idx + static_cast<unsigned>(
+                     rng.next_below(FuzzWorld::kLocks - lock_idx));
+  const bool self_abort_roll = rng.next_bool(0.2);
+  const bool user_throw = depth == 0 && rng.next_bool(0.02);
+
+  execute_cs(lock_api<TatasLock>(), &w.locks[lock_idx], w.mds[lock_idx],
+             scope, [&](CsExec& cs) -> CsBody {
+               if (cs.in_swopt()) {
+                 (void)tx_load(w.cells[lock_idx]);
+                 if (self_abort_roll) cs.swopt_self_abort();
+                 return CsBody::kRetrySwOpt;  // always bounce out of SWOpt
+               }
+               tx_store(w.cells[lock_idx], tx_load(w.cells[lock_idx]) + 1);
+               if (nest) {
+                 random_cs(w, rng, inner_idx, depth + 1);
+               }
+               if (user_throw) throw std::runtime_error("fuzz");
+               return CsBody::kDone;
+             });
+}
+
+TEST_F(EngineFuzz, SingleThreadRandomNestingNeverWedges) {
+  for (const char* spec :
+       {"lockonly", "static-all-3:2", "static-hl-2", "adaptive"}) {
+    set_global_policy(make_policy(spec));
+    FuzzWorld w;
+    Xoshiro256 rng(1234);
+    int user_exceptions = 0;
+    for (int i = 0; i < 3000; ++i) {
+      try {
+        random_cs(w, rng, static_cast<unsigned>(rng.next_below(3)), 0);
+      } catch (const std::runtime_error&) {
+        ++user_exceptions;
+      }
+    }
+    for (unsigned l = 0; l < FuzzWorld::kLocks; ++l) {
+      EXPECT_FALSE(w.locks[l].is_locked()) << spec << " lock " << l;
+    }
+    EXPECT_TRUE(thread_ctx().frames.empty()) << spec;
+    EXPECT_EQ(thread_ctx().swopt_lock, nullptr) << spec;
+    EXPECT_EQ(thread_ctx().context(), &context_root()) << spec;
+    (void)user_exceptions;
+  }
+}
+
+TEST_F(EngineFuzz, ConcurrentRandomNestingKeepsLocksHealthy) {
+  set_global_policy(make_policy("static-all-3:2"));
+  FuzzWorld w;
+  test::run_threads(4, [&](unsigned idx) {
+    Xoshiro256 rng(idx * 99 + 1);
+    for (int i = 0; i < 2000; ++i) {
+      try {
+        random_cs(w, rng, static_cast<unsigned>(rng.next_below(3)), 0);
+      } catch (const std::runtime_error&) {
+      }
+    }
+  });
+  for (unsigned l = 0; l < FuzzWorld::kLocks; ++l) {
+    EXPECT_FALSE(w.locks[l].is_locked());
+    // Locks still usable after the storm.
+    w.locks[l].lock();
+    w.locks[l].unlock();
+  }
+}
+
+TEST_F(EngineFuzz, OuterCountsExactWhenNoUserExceptions) {
+  // Each top-level call commits exactly once (counted after the CS returns
+  // — a counter inside the body would double-count across HTM retries),
+  // and every committed body incremented some cell, so the cell total must
+  // be at least the number of top-level operations.
+  set_global_policy(make_policy("static-all-3:2"));
+  FuzzWorld w;
+  Xoshiro256 rng(777);
+  std::uint64_t committed = 0;
+  constexpr int kOps = 2000;
+  for (int i = 0; i < kOps; ++i) {
+    try {
+      random_cs(w, rng, static_cast<unsigned>(rng.next_below(3)), 0);
+      ++committed;
+    } catch (const std::runtime_error&) {
+    }
+  }
+  EXPECT_GT(committed, 0u);
+  std::uint64_t total = 0;
+  for (const auto& c : w.cells) total += c;
+  EXPECT_GE(total, committed);  // nested CSes add extra increments
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,103 @@
+// §3.4 guidance: heuristic advice derived from the collected statistics.
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct GuidanceTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+
+  static bool has_advice_for(const std::vector<GuidanceEntry>& entries,
+                             const std::string& lock,
+                             const std::string& needle) {
+    for (const auto& e : entries) {
+      if (e.lock == lock && e.advice.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+TEST_F(GuidanceTest, QuietSystemYieldsNoGuidance) {
+  TatasLock lock;
+  LockMd md("guide.quiet.unique");
+  static ScopeInfo scope("cs");
+  for (int i = 0; i < 400; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {});
+  }
+  const auto entries = analyze_guidance();
+  EXPECT_FALSE(has_advice_for(entries, "guide.quiet.unique", ""));
+}
+
+TEST_F(GuidanceTest, CapacityBoundCsIsFlagged) {
+  htm::Config c;
+  c.backend = htm::BackendKind::kEmulated;
+  c.profile = htm::ideal_profile();
+  c.profile.write_cap_lines = 2;
+  htm::configure(c);
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(
+      StaticPolicyConfig{.x = 2, .y = 0, .use_swopt = false}));
+  TatasLock lock;
+  LockMd md("guide.capacity.unique");
+  static ScopeInfo scope("bigcs");
+  std::vector<std::uint64_t> big(512, 0);
+  for (int i = 0; i < 400; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {
+      for (std::size_t k = 0; k < big.size(); k += 8) {
+        tx_store(big[k], tx_load(big[k]) + 1);
+      }
+    });
+  }
+  const auto entries = analyze_guidance();
+  EXPECT_TRUE(has_advice_for(entries, "guide.capacity.unique", "capacity"));
+  std::ostringstream ss;
+  print_guidance(ss);
+  EXPECT_NE(ss.str().find("guide.capacity.unique"), std::string::npos);
+}
+
+TEST_F(GuidanceTest, ThrashingSwOptIsFlagged) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 3;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("guide.thrash.unique");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 600; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+               [&](CsExec& cs) -> CsBody {
+                 if (cs.in_swopt() && rng.next_bool(0.8)) {
+                   return CsBody::kRetrySwOpt;  // mostly invalidated
+                 }
+                 return CsBody::kDone;
+               });
+  }
+  const auto entries = analyze_guidance();
+  EXPECT_TRUE(has_advice_for(entries, "guide.thrash.unique", "retries"));
+}
+
+TEST_F(GuidanceTest, MinExecutionFilterApplies) {
+  TatasLock lock;
+  LockMd md("guide.rare.unique");
+  static ScopeInfo scope("cs");
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {});
+  for (const auto& e : analyze_guidance(/*min_executions=*/100)) {
+    EXPECT_NE(e.lock, "guide.rare.unique");
+  }
+}
+
+TEST_F(GuidanceTest, EmptyGuidancePrintsPlaceholder) {
+  std::ostringstream ss;
+  print_guidance(ss, /*min_executions=*/std::uint64_t{1} << 60);
+  EXPECT_NE(ss.str().find("no guidance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,151 @@
+// The paper-shaped macro API (§3).
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct MacroTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+TEST_F(MacroTest, BeginEndRoundTrip) {
+  TatasLock lock;
+  LockMd md("macro.basic");
+  std::uint64_t x = 0;
+  ALE_BEGIN_CS(lock_api<TatasLock>(), &lock, md);
+  tx_store(x, tx_load(x) + 1);
+  ALE_END_CS();
+  EXPECT_EQ(x, 1u);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(MacroTest, HtmModeViaMacros) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("macro.htm");
+  ExecMode seen = ExecMode::kLock;
+  ALE_BEGIN_CS(lock_api<TatasLock>(), &lock, md);
+  seen = ALE_GET_EXEC_MODE();
+  ALE_END_CS();
+  EXPECT_EQ(seen, ExecMode::kHtm);
+}
+
+TEST_F(MacroTest, SwOptFailedRetries) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 3;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("macro.swopt");
+  int swopt_tries = 0;
+  ExecMode final_mode = ExecMode::kSwOpt;
+  ALE_BEGIN_CS_SWOPT(lock_api<TatasLock>(), &lock, md);
+  final_mode = ALE_GET_EXEC_MODE();
+  if (ALE_GET_EXEC_MODE() == ExecMode::kSwOpt) {
+    ++swopt_tries;
+    ALE_SWOPT_FAILED();
+  }
+  ALE_END_CS();
+  EXPECT_EQ(swopt_tries, 3);
+  EXPECT_EQ(final_mode, ExecMode::kLock);
+}
+
+TEST_F(MacroTest, SelfAbortSkipsFurtherSwOpt) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 10;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("macro.selfabort");
+  int swopt_tries = 0;
+  ALE_BEGIN_CS_SWOPT(lock_api<TatasLock>(), &lock, md);
+  if (ALE_GET_EXEC_MODE() == ExecMode::kSwOpt) {
+    ++swopt_tries;
+    ALE_SWOPT_SELF_ABORT();
+  }
+  ALE_END_CS();
+  EXPECT_EQ(swopt_tries, 1);  // self-abort forgoes the remaining Y budget
+}
+
+TEST_F(MacroTest, NamedScopesSeparateStatistics) {
+  TatasLock lock;
+  LockMd md("macro.named");
+  for (int i = 0; i < 3; ++i) {
+    const bool flag = i % 2 == 0;
+    if (flag) {
+      ALE_BEGIN_CS_NAMED(lock_api<TatasLock>(), &lock, md,
+                         "condition is true");
+      ALE_END_CS();
+    } else {
+      ALE_BEGIN_CS_NAMED(lock_api<TatasLock>(), &lock, md,
+                         "condition is false");
+      ALE_END_CS();
+    }
+  }
+  int granules = 0;
+  std::uint64_t execs = 0;
+  md.for_each_granule([&](GranuleMd& g) {
+    ++granules;
+    execs += g.stats.executions.read();
+  });
+  EXPECT_EQ(granules, 2);
+  EXPECT_EQ(execs, 3u);
+}
+
+TEST_F(MacroTest, ExplicitScopesSeparateCallers) {
+  // §3.4 scoped-locking idiom: same CS site, different BEGIN_SCOPE labels.
+  TatasLock lock;
+  LockMd md("macro.scoped");
+  auto scoped_cs = [&] {
+    ALE_BEGIN_CS(lock_api<TatasLock>(), &lock, md);
+    ALE_END_CS();
+  };
+  ALE_BEGIN_SCOPE("foo.CS1");
+  scoped_cs();
+  ALE_END_SCOPE();
+  ALE_BEGIN_SCOPE("bar.CS1");
+  scoped_cs();
+  scoped_cs();
+  ALE_END_SCOPE();
+  int granules = 0;
+  md.for_each_granule([&](GranuleMd&) { ++granules; });
+  EXPECT_EQ(granules, 2);
+}
+
+TEST_F(MacroTest, CouldSwoptBeRunningFalseWhenIdle) {
+  LockMd md("macro.presence");
+  EXPECT_FALSE(ALE_COULD_SWOPT_BE_RUNNING(md));
+}
+
+TEST_F(MacroTest, CouldSwoptBeRunningTrueDuringSwOpt) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("macro.presence2");
+  bool during = false;
+  ALE_BEGIN_CS_SWOPT(lock_api<TatasLock>(), &lock, md);
+  during = ALE_COULD_SWOPT_BE_RUNNING(md);
+  ALE_END_CS();
+  EXPECT_TRUE(during);
+  EXPECT_FALSE(ALE_COULD_SWOPT_BE_RUNNING(md));
+}
+
+TEST_F(MacroTest, NoHtmVariantProhibitsHtm) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("macro.nohtm");
+  ExecMode seen = ExecMode::kHtm;
+  ALE_BEGIN_CS_NO_HTM(lock_api<TatasLock>(), &lock, md);
+  seen = ALE_GET_EXEC_MODE();
+  ALE_END_CS();
+  EXPECT_EQ(seen, ExecMode::kLock);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,209 @@
+// §4.1 nesting rules.
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct NestingTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+
+  TatasLock lock_a, lock_b;
+};
+
+TEST_F(NestingTest, NestedInsideHtmSharesTransaction) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  LockMd md_a("nest.htm.outer");
+  LockMd md_b("nest.htm.inner");
+  static ScopeInfo outer("outer");
+  static ScopeInfo inner("inner");
+  std::uint64_t x = 0, y = 0;
+  ExecMode inner_mode = ExecMode::kLock;
+  std::size_t frames_inside = 99;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md_a, outer, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kHtm);
+    tx_store(x, std::uint64_t{1});
+    execute_cs(lock_api<TatasLock>(), &lock_b, md_b, inner,
+               [&](CsExec& ics) {
+                 inner_mode = ics.exec_mode();
+                 EXPECT_TRUE(ics.is_nested_in_htm());
+                 tx_store(y, std::uint64_t{2});
+               });
+    // §4.1: no frame is pushed for a CS nested in an HTM-mode CS.
+    frames_inside = thread_ctx().frames.size();
+    // Inner writes are part of OUR transaction: already readable...
+    EXPECT_EQ(tx_load(y), 2u);
+    // ...but not yet committed to memory.
+    EXPECT_EQ(std::atomic_ref<std::uint64_t>(y).load(), 0u);
+  });
+  EXPECT_EQ(inner_mode, ExecMode::kHtm);
+  EXPECT_EQ(frames_inside, 1u);
+  EXPECT_EQ(x, 1u);
+  EXPECT_EQ(y, 2u);  // committed together
+}
+
+TEST_F(NestingTest, NestedLockHeldByInnerAbortsOuterTxn) {
+  // Inner lock already held by another thread: the nested subscription
+  // aborts the enclosing transaction, which retries and eventually takes
+  // the outer lock.
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(
+      StaticPolicyConfig{.x = 2, .y = 0, .use_swopt = false}));
+  LockMd md_a("nest.abort.outer");
+  LockMd md_b("nest.abort.inner");
+  static ScopeInfo outer("outer");
+  static ScopeInfo inner("inner");
+  lock_b.lock();  // antagonist holds the inner lock
+  std::thread release([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    lock_b.unlock();
+  });
+  std::uint64_t done = 0;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md_a, outer, [&](CsExec&) {
+    execute_cs(lock_api<TatasLock>(), &lock_b, md_b, inner,
+               [&](CsExec&) { tx_store(done, std::uint64_t{1}); });
+  });
+  release.join();
+  EXPECT_EQ(done, 1u);
+}
+
+TEST_F(NestingTest, NestedNoHtmScopeAbortsEnclosingTransaction) {
+  // §4.1: "If a nested critical section does not allow HTM mode, the
+  // hardware transaction is aborted." The outer then retries in Lock mode.
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(
+      StaticPolicyConfig{.x = 2, .y = 0, .use_swopt = false}));
+  LockMd md_a("nest.nohtm.outer");
+  LockMd md_b("nest.nohtm.inner");
+  static ScopeInfo outer("outer");
+  static ScopeInfo inner("inner", false, /*allow_htm=*/false);
+  ExecMode outer_final = ExecMode::kHtm;
+  ExecMode inner_final = ExecMode::kHtm;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md_a, outer, [&](CsExec& cs) {
+    outer_final = cs.exec_mode();
+    execute_cs(lock_api<TatasLock>(), &lock_b, md_b, inner,
+               [&](CsExec& ics) { inner_final = ics.exec_mode(); });
+  });
+  EXPECT_EQ(outer_final, ExecMode::kLock);
+  EXPECT_EQ(inner_final, ExecMode::kLock);
+}
+
+TEST_F(NestingTest, ReentrantLockRunsWithoutReacquire) {
+  // §4.1: thread already holds the lock → no SWOpt, and Lock mode must not
+  // re-acquire (the TATAS lock is not reentrant; re-acquiring would
+  // deadlock).
+  LockMd md("nest.reentrant");
+  static ScopeInfo outer("outer");
+  static ScopeInfo inner("inner", /*has_swopt=*/true);
+  ExecMode inner_mode = ExecMode::kSwOpt;
+  bool ran = false;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md, outer, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kLock);  // default LockOnlyPolicy
+    execute_cs(lock_api<TatasLock>(), &lock_a, md, inner, [&](CsExec& ics) {
+      inner_mode = ics.exec_mode();
+      EXPECT_TRUE(ics.attempt_state().lock_already_held);
+      ran = true;
+    });
+    EXPECT_TRUE(lock_a.is_locked());  // inner must not have released it
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(inner_mode, ExecMode::kLock);
+  EXPECT_FALSE(lock_a.is_locked());
+}
+
+TEST_F(NestingTest, ReentrantHtmSkipsLockCheck) {
+  // Same case but with HTM allowed: "HTM mode may be chosen but, to avoid
+  // an unnecessary abort, the library does not check whether the lock is
+  // held."
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(
+      StaticPolicyConfig{.x = 1, .y = 0, .use_swopt = false}));
+  LockMd md("nest.reentrant.htm");
+  static ScopeInfo outer("outer", false, /*allow_htm=*/false);
+  static ScopeInfo inner("inner");
+  ExecMode inner_mode = ExecMode::kLock;
+  std::uint64_t x = 0;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md, outer, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kLock);
+    execute_cs(lock_api<TatasLock>(), &lock_a, md, inner, [&](CsExec& ics) {
+      inner_mode = ics.exec_mode();
+      tx_store(x, std::uint64_t{5});
+    });
+  });
+  EXPECT_EQ(inner_mode, ExecMode::kHtm);
+  EXPECT_EQ(x, 5u);
+  EXPECT_FALSE(lock_a.is_locked());
+}
+
+TEST_F(NestingTest, SwOptIneligibleForDifferentLock) {
+  // §4.1: "SWOpt mode is not eligible if the thread is already executing in
+  // SWOpt mode for a critical section associated with a different lock."
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 5;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  LockMd md_a("nest.swopt.a");
+  LockMd md_b("nest.swopt.b");
+  static ScopeInfo outer("outer", true);
+  static ScopeInfo inner("inner", true);
+  ExecMode inner_mode = ExecMode::kSwOpt;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md_a, outer, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kSwOpt);
+    execute_cs(lock_api<TatasLock>(), &lock_b, md_b, inner,
+               [&](CsExec& ics) { inner_mode = ics.exec_mode(); });
+  });
+  EXPECT_EQ(inner_mode, ExecMode::kLock);
+}
+
+TEST_F(NestingTest, SwOptEligibleForSameLock) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 5;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  LockMd md("nest.swopt.same");
+  static ScopeInfo outer("outer", true);
+  static ScopeInfo inner("inner", true);
+  ExecMode inner_mode = ExecMode::kLock;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md, outer, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kSwOpt);
+    execute_cs(lock_api<TatasLock>(), &lock_a, md, inner,
+               [&](CsExec& ics) { inner_mode = ics.exec_mode(); });
+    EXPECT_EQ(thread_ctx().swopt_lock, &md);  // restored after inner CS
+  });
+  EXPECT_EQ(inner_mode, ExecMode::kSwOpt);
+}
+
+TEST_F(NestingTest, LockModeNestingAcquiresBoth) {
+  LockMd md_a("nest.lock.a");
+  LockMd md_b("nest.lock.b");
+  static ScopeInfo outer("outer");
+  static ScopeInfo inner("inner");
+  execute_cs(lock_api<TatasLock>(), &lock_a, md_a, outer, [&](CsExec&) {
+    EXPECT_TRUE(lock_a.is_locked());
+    execute_cs(lock_api<TatasLock>(), &lock_b, md_b, inner, [&](CsExec&) {
+      EXPECT_TRUE(lock_a.is_locked());
+      EXPECT_TRUE(lock_b.is_locked());
+      EXPECT_EQ(thread_ctx().frames.size(), 2u);
+    });
+    EXPECT_FALSE(lock_b.is_locked());
+  });
+  EXPECT_FALSE(lock_a.is_locked());
+}
+
+TEST_F(NestingTest, ContextPathReflectsNesting) {
+  LockMd md_a("nest.path.a");
+  LockMd md_b("nest.path.b");
+  static ScopeInfo outer("outerScope");
+  static ScopeInfo inner("innerScope");
+  std::string path;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md_a, outer, [&](CsExec&) {
+    execute_cs(lock_api<TatasLock>(), &lock_b, md_b, inner, [&](CsExec&) {
+      path = thread_ctx().context()->path();
+    });
+  });
+  EXPECT_EQ(path, "outerScope/innerScope");
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct ReportTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+TEST_F(ReportTest, LockReportContainsGranuleRows) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("report.lock");
+  static ScopeInfo scope("reportedCS");
+  for (int i = 0; i < 50; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {});
+  }
+  std::ostringstream ss;
+  print_lock_report(ss, md);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("report.lock"), std::string::npos);
+  EXPECT_NE(out.find("reportedCS"), std::string::npos);
+  EXPECT_NE(out.find("50"), std::string::npos);
+}
+
+TEST_F(ReportTest, GlobalReportIncludesRegisteredLocks) {
+  TatasLock lock;
+  LockMd md("report.global.unique");
+  static ScopeInfo scope("cs");
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {});
+  const std::string out = report_string();
+  EXPECT_NE(out.find("report.global.unique"), std::string::npos);
+}
+
+TEST_F(ReportTest, MinExecutionsFilters) {
+  TatasLock lock;
+  LockMd md("report.filtered.unique");
+  static ScopeInfo scope("cs");
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {});
+  ReportOptions opts;
+  opts.min_executions = 1000;
+  std::ostringstream ss;
+  print_lock_report(ss, md, opts);
+  EXPECT_EQ(ss.str().find("report.filtered.unique"), std::string::npos);
+}
+
+TEST_F(ReportTest, DestroyedLockLeavesRegistry) {
+  {
+    LockMd md("report.ephemeral.unique");
+  }
+  const std::string out = report_string();
+  EXPECT_EQ(out.find("report.ephemeral.unique"), std::string::npos);
+}
+
+TEST_F(ReportTest, AbortBreakdownAppears) {
+  StaticPolicyConfig cfg;
+  cfg.x = 1;
+  cfg.use_swopt = false;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("report.aborts");
+  static ScopeInfo scope("cs");
+  for (int i = 0; i < 20; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+      if (cs.exec_mode() == ExecMode::kHtm) {
+        htm::tx_abort(htm::AbortCause::kExplicit, 3);
+      }
+    });
+  }
+  std::ostringstream ss;
+  print_lock_report(ss, md);
+  EXPECT_NE(ss.str().find("explicit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct CsvTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : line) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+TEST_F(CsvTest, HeaderAndRowFieldCountsAgree) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 3, .y = 3}));
+  TatasLock lock;
+  LockMd md("csv.basic.unique");
+  static ScopeInfo scope("cs");
+  for (int i = 0; i < 100; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {});
+  }
+  std::ostringstream ss;
+  print_report_csv(ss);
+  std::istringstream in(ss.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const auto cols = split(header);
+  EXPECT_EQ(cols[0], "lock");
+  EXPECT_EQ(cols[1], "context");
+  bool found = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto cells = split(line);
+    ASSERT_EQ(cells.size(), cols.size()) << line;
+    if (cells[0] == "csv.basic.unique") {
+      found = true;
+      EXPECT_EQ(cells[1], "cs");
+      EXPECT_EQ(std::stoull(cells[2]), 100u);  // executions (exact < 512)
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CsvTest, AbortColumnsPresent) {
+  std::ostringstream ss;
+  print_report_csv(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("abort_conflict"), std::string::npos);
+  EXPECT_NE(out.find("abort_capacity"), std::string::npos);
+  EXPECT_NE(out.find("abort_locked"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ale

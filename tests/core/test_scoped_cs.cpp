@@ -1,0 +1,108 @@
+// ScopedCs: the §3.4 scoped-locking idiom utility.
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct ScopedCsTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+
+  TatasLock lock;
+};
+
+TEST_F(ScopedCsTest, BasicRun) {
+  LockMd md("scopedcs.basic");
+  static ScopeInfo scope("cs");
+  std::uint64_t x = 0;
+  {
+    ScopedCs cs(lock_api<TatasLock>(), &lock, md, scope);
+    cs.run([&](CsExec&) { tx_store(x, std::uint64_t{1}); });
+  }
+  EXPECT_EQ(x, 1u);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(ScopedCsTest, HtmModeWithRetries) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(
+      StaticPolicyConfig{.x = 3, .y = 0, .use_swopt = false}));
+  LockMd md("scopedcs.htm");
+  static ScopeInfo scope("cs");
+  int htm_attempts = 0;
+  ExecMode final_mode = ExecMode::kHtm;
+  ScopedCs cs(lock_api<TatasLock>(), &lock, md, scope);
+  cs.run([&](CsExec& ex) {
+    final_mode = ex.exec_mode();
+    if (ex.exec_mode() == ExecMode::kHtm) {
+      ++htm_attempts;
+      htm::tx_abort(htm::AbortCause::kExplicit, 1);
+    }
+  });
+  EXPECT_EQ(htm_attempts, 3);
+  EXPECT_EQ(final_mode, ExecMode::kLock);
+}
+
+TEST_F(ScopedCsTest, SwOptBodyResult) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 2;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  LockMd md("scopedcs.swopt");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  int swopt_tries = 0;
+  ScopedCs cs(lock_api<TatasLock>(), &lock, md, scope);
+  cs.run([&](CsExec& ex) -> CsBody {
+    if (ex.in_swopt()) {
+      ++swopt_tries;
+      return CsBody::kRetrySwOpt;
+    }
+    return CsBody::kDone;
+  });
+  EXPECT_EQ(swopt_tries, 2);
+}
+
+TEST_F(ScopedCsTest, DistinguishesCallersViaExplicitScopes) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  LockMd md("scopedcs.callers");
+  static ScopeInfo scope("ScopedCs");
+  auto use_from = [&](const ScopeInfo& caller) {
+    ScopeGuard g(&caller);
+    ScopedCs cs(lock_api<TatasLock>(), &lock, md, scope);
+    cs.run([&](CsExec&) {});
+  };
+  static ScopeInfo caller_a("siteA");
+  static ScopeInfo caller_b("siteB");
+  use_from(caller_a);
+  use_from(caller_a);
+  use_from(caller_b);
+  int granules = 0;
+  std::vector<std::string> paths;
+  md.for_each_granule([&](GranuleMd& g) {
+    ++granules;
+    paths.push_back(g.context()->path());
+  });
+  EXPECT_EQ(granules, 2);
+  for (const auto& path : paths) {
+    EXPECT_NE(path.find("/ScopedCs"), std::string::npos) << path;
+  }
+}
+
+TEST_F(ScopedCsTest, AbandonedByUserExceptionStaysSafe) {
+  LockMd md("scopedcs.exc");
+  static ScopeInfo scope("cs");
+  EXPECT_THROW(
+      {
+        ScopedCs cs(lock_api<TatasLock>(), &lock, md, scope);
+        cs.run([&](CsExec&) { throw std::logic_error("boom"); });
+      },
+      std::logic_error);
+  EXPECT_FALSE(lock.is_locked());
+  EXPECT_TRUE(thread_ctx().frames.empty());
+}
+
+}  // namespace
+}  // namespace ale

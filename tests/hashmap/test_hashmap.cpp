@@ -1,0 +1,172 @@
+// Functional tests of the §3 HashMap under every policy/mode combination.
+#include <gtest/gtest.h>
+
+#include "hashmap/hashmap.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct HashMapTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+void basic_battery(AleHashMap& map) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(map.get(1, v));
+  EXPECT_TRUE(map.insert(1, 100));
+  EXPECT_TRUE(map.get(1, v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_FALSE(map.insert(1, 200));  // overwrite, not insert
+  EXPECT_TRUE(map.get(1, v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_TRUE(map.insert(2, 300));
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_TRUE(map.remove(1));
+  EXPECT_FALSE(map.remove(1));
+  EXPECT_FALSE(map.get(1, v));
+  EXPECT_TRUE(map.get(2, v));
+  EXPECT_EQ(v, 300u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST_F(HashMapTest, BasicOpsLockOnly) {
+  AleHashMap map(64, "hm.lockonly");
+  basic_battery(map);
+}
+
+TEST_F(HashMapTest, BasicOpsStaticAll) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 5, .y = 3}));
+  AleHashMap map(64, "hm.staticall");
+  basic_battery(map);
+}
+
+TEST_F(HashMapTest, BasicOpsSwOptOnly) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 10;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(64, "hm.sl");
+  basic_battery(map);
+}
+
+TEST_F(HashMapTest, BasicOpsNoHtmPlatform) {
+  test::use_no_htm();
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 5, .y = 3}));
+  AleHashMap map(64, "hm.t2");
+  basic_battery(map);
+  test::use_emulated_ideal();
+}
+
+TEST_F(HashMapTest, BasicOpsAdaptive) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 20;
+  test::PolicyInstaller p(std::make_unique<AdaptivePolicy>(cfg));
+  AleHashMap map(64, "hm.adaptive");
+  basic_battery(map);
+}
+
+TEST_F(HashMapTest, CollidingKeysShareBucket) {
+  AleHashMap map(2, "hm.collide");  // tiny table forces chains
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(map.insert(k, k * 10));
+  }
+  EXPECT_EQ(map.size(), 100u);
+  std::uint64_t v = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(map.get(k, v)) << k;
+    EXPECT_EQ(v, k * 10);
+  }
+  for (std::uint64_t k = 0; k < 100; k += 2) EXPECT_TRUE(map.remove(k));
+  EXPECT_EQ(map.size(), 50u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(map.get(k, v), k % 2 == 1) << k;
+  }
+}
+
+TEST_F(HashMapTest, SelfAbortVariant) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 5;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(64, "hm.selfabort");
+  map.insert(7, 70);
+  EXPECT_TRUE(map.remove_selfabort(7));    // present → self-abort → lock path
+  EXPECT_FALSE(map.remove_selfabort(7));   // absent → completes in SWOpt
+  EXPECT_FALSE(map.remove_selfabort(42));  // absent
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST_F(HashMapTest, OptimisticVariants) {
+  StaticPolicyConfig cfg;
+  cfg.y = 5;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(64, "hm.opt");
+  EXPECT_TRUE(map.insert_optimistic(1, 10));
+  EXPECT_FALSE(map.insert_optimistic(1, 11));  // overwrite
+  std::uint64_t v = 0;
+  EXPECT_TRUE(map.get(1, v));
+  EXPECT_EQ(v, 11u);
+  EXPECT_TRUE(map.remove_optimistic(1));
+  EXPECT_FALSE(map.remove_optimistic(1));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST_F(HashMapTest, OptimisticVariantsSwOptOnlyPlatform) {
+  test::use_no_htm();
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 10;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(64, "hm.opt.t2");
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    EXPECT_TRUE(map.insert_optimistic(k, k));
+  }
+  for (std::uint64_t k = 0; k < 50; k += 2) {
+    EXPECT_TRUE(map.remove_optimistic(k));
+  }
+  EXPECT_EQ(map.size(), 25u);
+  test::use_emulated_ideal();
+}
+
+TEST_F(HashMapTest, GetImpModesAgree) {
+  // The SWOpt and pessimistic code paths must return identical results.
+  StaticPolicyConfig sl;
+  sl.use_htm = false;
+  sl.y = 10;
+  AleHashMap map(64, "hm.agree");
+  for (std::uint64_t k = 0; k < 64; k += 3) map.insert(k, k + 1);
+  for (int pass = 0; pass < 2; ++pass) {
+    if (pass == 0) {
+      set_global_policy(std::make_unique<StaticPolicy>(sl));  // SWOpt gets
+    } else {
+      set_global_policy(nullptr);  // Lock-mode gets
+    }
+    std::uint64_t v = 0;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      EXPECT_EQ(map.get(k, v), k % 3 == 0) << "pass=" << pass << " k=" << k;
+      if (k % 3 == 0) EXPECT_EQ(v, k + 1);
+    }
+  }
+}
+
+TEST_F(HashMapTest, StatsAttributePerOperationContexts) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 5, .y = 3}));
+  AleHashMap map(64, "hm.stats");
+  std::uint64_t v = 0;
+  map.insert(1, 2);
+  map.get(1, v);
+  map.remove(1);
+  int granules = 0;
+  map.lock_md().for_each_granule([&](GranuleMd&) { ++granules; });
+  EXPECT_EQ(granules, 3);  // Insert, Get, Remove scopes
+}
+
+}  // namespace
+}  // namespace ale

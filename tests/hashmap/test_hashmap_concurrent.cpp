@@ -1,0 +1,218 @@
+// Concurrent stress tests: linearizability-style invariants under mixed
+// workloads, policies, and platform profiles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/prng.hpp"
+#include "hashmap/hashmap.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct HashMapStress : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+// Each thread owns a disjoint key range; per-thread sequential semantics
+// must hold exactly even though all threads share the lock.
+void disjoint_keys_stress(AleHashMap& map, unsigned threads, int ops) {
+  std::atomic<std::uint64_t> errors{0};
+  test::run_threads(threads, [&](unsigned idx) {
+    const std::uint64_t base = static_cast<std::uint64_t>(idx) << 32;
+    Xoshiro256 rng(idx * 7919 + 13);
+    std::vector<bool> present(64, false);
+    for (int i = 0; i < ops; ++i) {
+      const std::uint64_t k = base + rng.next_below(64);
+      const std::size_t slot = static_cast<std::size_t>(k & 63);
+      std::uint64_t v = 0;
+      switch (rng.next_below(3)) {
+        case 0:
+          if (map.insert(k, k + 1) != !present[slot]) errors.fetch_add(1);
+          present[slot] = true;
+          break;
+        case 1:
+          if (map.remove(k) != present[slot]) errors.fetch_add(1);
+          present[slot] = false;
+          break;
+        default:
+          if (map.get(k, v) != present[slot]) {
+            errors.fetch_add(1);
+          } else if (present[slot] && v != k + 1) {
+            errors.fetch_add(1);
+          }
+          break;
+      }
+    }
+  });
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+TEST_F(HashMapStress, DisjointKeysStaticAll) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 5, .y = 3}));
+  AleHashMap map(128, "hms.static");
+  disjoint_keys_stress(map, 4, 4000);
+}
+
+TEST_F(HashMapStress, DisjointKeysSwOptOnly) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 50;
+  cfg.grouping = true;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(128, "hms.sl");
+  disjoint_keys_stress(map, 4, 3000);
+}
+
+TEST_F(HashMapStress, DisjointKeysAdaptive) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 200;
+  test::PolicyInstaller p(std::make_unique<AdaptivePolicy>(cfg));
+  AleHashMap map(128, "hms.adaptive");
+  disjoint_keys_stress(map, 4, 4000);
+}
+
+TEST_F(HashMapStress, DisjointKeysRockProfile) {
+  htm::Config c;
+  c.backend = htm::BackendKind::kEmulated;
+  c.profile = htm::rock_profile();
+  htm::configure(c);
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 5, .y = 3}));
+  AleHashMap map(128, "hms.rock");
+  disjoint_keys_stress(map, 4, 2000);
+}
+
+// Readers validate invariants while writers churn a shared key range:
+// every key is always either absent or maps to one of its legal values.
+TEST_F(HashMapStress, ReadersSeeOnlyLegalValues) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 5, .y = 10}));
+  AleHashMap map(64, "hms.legal");
+  constexpr std::uint64_t kKeys = 16;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> illegal{0};
+  std::atomic<std::uint64_t> reads_done{0};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      Xoshiro256 rng(w * 31 + 7);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = rng.next_below(kKeys);
+        if (rng.next_bool(0.5)) {
+          map.insert(k, k * 1000 + rng.next_below(10));
+        } else {
+          map.remove(k);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Xoshiro256 rng(r * 101 + 3);
+      while (reads_done.fetch_add(1, std::memory_order_relaxed) < 60000) {
+        const std::uint64_t k = rng.next_below(kKeys);
+        std::uint64_t v = 0;
+        if (map.get(k, v)) {
+          if (v / 1000 != k || v % 1000 >= 10) illegal.fetch_add(1);
+        }
+      }
+      stop.store(true);
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(illegal.load(), 0u);
+}
+
+// The self-abort and nested-optimistic variants under concurrency, with
+// per-thread key ownership for exact semantics.
+TEST_F(HashMapStress, OptimisticVariantsConcurrent) {
+  StaticPolicyConfig cfg;
+  cfg.x = 3;
+  cfg.y = 20;
+  cfg.grouping = true;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(128, "hms.optvar");
+  std::atomic<std::uint64_t> errors{0};
+  test::run_threads(4, [&](unsigned idx) {
+    const std::uint64_t base = static_cast<std::uint64_t>(idx) << 32;
+    Xoshiro256 rng(idx + 1);
+    std::vector<bool> present(32, false);
+    for (int i = 0; i < 2500; ++i) {
+      const std::uint64_t k = base + rng.next_below(32);
+      const std::size_t slot = static_cast<std::size_t>(k & 31);
+      switch (rng.next_below(3)) {
+        case 0:
+          if (map.insert_optimistic(k, k) != !present[slot]) {
+            errors.fetch_add(1);
+          }
+          present[slot] = true;
+          break;
+        case 1:
+          if (map.remove_optimistic(k) != present[slot]) errors.fetch_add(1);
+          present[slot] = false;
+          break;
+        default:
+          if (map.remove_selfabort(k) != present[slot]) errors.fetch_add(1);
+          present[slot] = false;
+          break;
+      }
+    }
+  });
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+// Final-state check: after a churn, the map's contents equal a sequential
+// replay of each thread's last write per key (threads own disjoint keys).
+TEST_F(HashMapStress, FinalStateMatchesOwnership) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 4, .y = 4}));
+  AleHashMap map(256, "hms.final");
+  constexpr unsigned kThreads = 4;
+  constexpr int kOps = 3000;
+  std::vector<std::vector<std::int64_t>> last(
+      kThreads, std::vector<std::int64_t>(32, -1));
+  test::run_threads(kThreads, [&](unsigned idx) {
+    const std::uint64_t base = static_cast<std::uint64_t>(idx + 1) << 40;
+    Xoshiro256 rng(idx * 977 + 5);
+    for (int i = 0; i < kOps; ++i) {
+      const std::uint64_t slot = rng.next_below(32);
+      const std::uint64_t k = base + slot;
+      if (rng.next_bool(0.6)) {
+        map.insert(k, i);
+        last[idx][slot] = i;
+      } else {
+        map.remove(k);
+        last[idx][slot] = -1;
+      }
+    }
+  });
+  std::size_t expected_size = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    const std::uint64_t base = static_cast<std::uint64_t>(t + 1) << 40;
+    for (std::uint64_t slot = 0; slot < 32; ++slot) {
+      std::uint64_t v = 0;
+      const bool found = map.get(base + slot, v);
+      if (last[t][slot] < 0) {
+        EXPECT_FALSE(found) << "t=" << t << " slot=" << slot;
+      } else {
+        ++expected_size;
+        ASSERT_TRUE(found) << "t=" << t << " slot=" << slot;
+        EXPECT_EQ(v, static_cast<std::uint64_t>(last[t][slot]));
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), expected_size);
+}
+
+}  // namespace
+}  // namespace ale

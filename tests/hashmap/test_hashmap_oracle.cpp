@@ -1,0 +1,106 @@
+// Property test: random operation sequences against a std::unordered_map
+// oracle, parameterized over policy × profile × operation variant. Single-
+// threaded, so results must match the oracle exactly — this catches any
+// semantic divergence introduced by retries, mode switches, or the
+// optimistic variants.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/prng.hpp"
+#include "hashmap/hashmap.hpp"
+#include "policy/install.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct OracleParam {
+  const char* policy_spec;
+  const char* profile;
+  int variant;  // 0 = basic ops, 1 = self-abort remove, 2 = optimistic ops
+};
+
+std::string oracle_name(const ::testing::TestParamInfo<OracleParam>& info) {
+  std::string s = std::string(info.param.policy_spec) + "_" +
+                  info.param.profile + "_v" +
+                  std::to_string(info.param.variant);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class HashMapOracle : public ::testing::TestWithParam<OracleParam> {
+ protected:
+  void SetUp() override {
+    htm::Config c;
+    c.backend = htm::BackendKind::kEmulated;
+    c.profile = *htm::profile_by_name(GetParam().profile);
+    htm::configure(c);
+    auto p = make_policy(GetParam().policy_spec);
+    ASSERT_NE(p, nullptr);
+    set_global_policy(std::move(p));
+  }
+  void TearDown() override {
+    set_global_policy(nullptr);
+    test::use_emulated_ideal();
+  }
+};
+
+TEST_P(HashMapOracle, MatchesUnorderedMap) {
+  AleHashMap map(32, "oracle.map");
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(0xabcdef);
+  const int variant = GetParam().variant;
+
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t k = rng.next_below(96);
+    const std::uint64_t val = rng.next();
+    switch (rng.next_below(3)) {
+      case 0: {
+        const bool inserted = variant == 2 ? map.insert_optimistic(k, val)
+                                           : map.insert(k, val);
+        EXPECT_EQ(inserted, oracle.find(k) == oracle.end()) << "op " << i;
+        oracle[k] = val;
+        break;
+      }
+      case 1: {
+        bool removed = false;
+        switch (variant) {
+          case 0: removed = map.remove(k); break;
+          case 1: removed = map.remove_selfabort(k); break;
+          default: removed = map.remove_optimistic(k); break;
+        }
+        EXPECT_EQ(removed, oracle.erase(k) > 0) << "op " << i;
+        break;
+      }
+      default: {
+        std::uint64_t got = 0;
+        const bool found = map.get(k, got);
+        const auto it = oracle.find(k);
+        ASSERT_EQ(found, it != oracle.end()) << "op " << i;
+        if (found) EXPECT_EQ(got, it->second) << "op " << i;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, HashMapOracle,
+    ::testing::Values(OracleParam{"lockonly", "ideal", 0},
+                      OracleParam{"static-all-5:3", "ideal", 0},
+                      OracleParam{"static-all-5:3", "rock", 0},
+                      OracleParam{"static-all-5:3", "haswell", 1},
+                      OracleParam{"static-sl-5", "t2", 0},
+                      OracleParam{"static-sl-5", "t2", 2},
+                      OracleParam{"static-all-3:3", "ideal", 2},
+                      OracleParam{"static-hl-4", "rock", 1},
+                      OracleParam{"adaptive", "ideal", 0},
+                      OracleParam{"adaptive", "rock", 2}),
+    oracle_name);
+
+}  // namespace
+}  // namespace ale

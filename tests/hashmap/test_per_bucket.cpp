@@ -1,0 +1,151 @@
+// §3.2 extension: per-bucket conflict indicators ("Concurrency could be
+// improved by using multiple version numbers, say one for each HashMap
+// bucket").
+#include <gtest/gtest.h>
+
+#include "hashmap/hashmap.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct PerBucketTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+
+  static AleHashMap::Options per_bucket() {
+    AleHashMap::Options o;
+    o.per_bucket_indicators = true;
+    return o;
+  }
+};
+
+TEST_F(PerBucketTest, FunctionalBatteryAllVariants) {
+  StaticPolicyConfig cfg;
+  cfg.x = 3;
+  cfg.y = 5;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(64, "pb.map", per_bucket());
+  std::uint64_t v = 0;
+  EXPECT_TRUE(map.insert(1, 10));
+  EXPECT_TRUE(map.get(1, v));
+  EXPECT_EQ(v, 10u);
+  EXPECT_TRUE(map.remove(1));
+  EXPECT_TRUE(map.insert_optimistic(2, 20));
+  EXPECT_TRUE(map.remove_optimistic(2));
+  map.insert(3, 30);
+  EXPECT_TRUE(map.remove_selfabort(3));
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST_F(PerBucketTest, ConcurrentStressDisjointKeys) {
+  StaticPolicyConfig cfg;
+  cfg.x = 4;
+  cfg.y = 10;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(128, "pb.stress", per_bucket());
+  std::atomic<std::uint64_t> errors{0};
+  test::run_threads(4, [&](unsigned idx) {
+    const std::uint64_t base = static_cast<std::uint64_t>(idx) << 32;
+    Xoshiro256 rng(idx * 31 + 3);
+    std::vector<bool> present(32, false);
+    for (int i = 0; i < 3000; ++i) {
+      const std::uint64_t k = base + rng.next_below(32);
+      const std::size_t slot = static_cast<std::size_t>(k & 31);
+      std::uint64_t v = 0;
+      switch (rng.next_below(3)) {
+        case 0:
+          if (map.insert(k, k + 1) != !present[slot]) errors.fetch_add(1);
+          present[slot] = true;
+          break;
+        case 1:
+          if (map.remove(k) != present[slot]) errors.fetch_add(1);
+          present[slot] = false;
+          break;
+        default:
+          if (map.get(k, v) != present[slot]) errors.fetch_add(1);
+          break;
+      }
+    }
+  });
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+TEST_F(PerBucketTest, RemoteMutationDoesNotInvalidateReader) {
+  // The whole point: a conflicting action in bucket A must not bump the
+  // indicator a bucket-B SWOpt reader validates against. We verify through
+  // the statistics: with per-bucket indicators, disjoint-bucket churn
+  // produces (essentially) no SWOpt failures, while the single-indicator
+  // map records plenty under the same deterministic schedule.
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 50;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+
+  auto run = [](AleHashMap& map) -> std::uint64_t {
+    // Key 0 and key 1 land in different buckets of a 64-bucket map.
+    map.insert(0, 0);
+    std::atomic<bool> stop{false};
+    std::thread mutator([&] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        map.insert(1, i++);
+        map.remove(1);
+      }
+    });
+    std::uint64_t v = 0;
+    for (int i = 0; i < 30000; ++i) map.get(0, v);
+    stop.store(true);
+    mutator.join();
+    std::uint64_t fails = 0;
+    map.lock_md().for_each_granule(
+        [&](GranuleMd& g) { fails += g.stats.swopt_failures.read(); });
+    return fails;
+  };
+
+  AleHashMap pb(64, "pb.remote.on", per_bucket());
+  AleHashMap global(64, "pb.remote.off");
+  ASSERT_NE(pb.lock_md().name(), global.lock_md().name());
+  const std::uint64_t fails_pb = run(pb);
+  const std::uint64_t fails_global = run(global);
+  // Per-bucket readers of key 0 never observe key 1's churn.
+  EXPECT_EQ(fails_pb, 0u);
+  // The single-indicator map is exposed to it (preemption-dependent on a
+  // 1-core host, so only assert it is not *less* exposed).
+  EXPECT_GE(fails_global, fails_pb);
+}
+
+TEST_F(PerBucketTest, OracleSequence) {
+  StaticPolicyConfig cfg;
+  cfg.x = 3;
+  cfg.y = 5;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  AleHashMap map(16, "pb.oracle", per_bucket());
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = rng.next_below(64);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const bool ins = map.insert(k, i);
+        EXPECT_EQ(ins, oracle.find(k) == oracle.end());
+        oracle[k] = static_cast<std::uint64_t>(i);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(map.remove(k), oracle.erase(k) > 0);
+        break;
+      default: {
+        std::uint64_t v = 0;
+        const auto it = oracle.find(k);
+        ASSERT_EQ(map.get(k, v), it != oracle.end());
+        if (it != oracle.end()) EXPECT_EQ(v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(map.size(), oracle.size());
+}
+
+}  // namespace
+}  // namespace ale

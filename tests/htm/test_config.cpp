@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "htm/config.hpp"
+#include "htm/htm.hpp"
+#include "htm/rtm.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(HtmConfig, ProfileLookup) {
+  EXPECT_TRUE(htm::profile_by_name("ideal").has_value());
+  EXPECT_TRUE(htm::profile_by_name("rock").has_value());
+  EXPECT_TRUE(htm::profile_by_name("haswell").has_value());
+  EXPECT_TRUE(htm::profile_by_name("t2").has_value());
+  EXPECT_TRUE(htm::profile_by_name("none").has_value());
+  EXPECT_FALSE(htm::profile_by_name("vax").has_value());
+}
+
+TEST(HtmConfig, ProfileShapes) {
+  const auto rock = htm::rock_profile();
+  const auto haswell = htm::haswell_profile();
+  const auto t2 = htm::t2_profile();
+  EXPECT_TRUE(rock.htm_available);
+  EXPECT_TRUE(haswell.htm_available);
+  EXPECT_FALSE(t2.htm_available);
+  // Rock's store queue is far smaller than Haswell's L1-backed write set.
+  EXPECT_LT(rock.write_cap_lines, haswell.write_cap_lines);
+  // Rock is quirkier than Haswell.
+  EXPECT_GT(rock.abort_prob_per_access, haswell.abort_prob_per_access);
+}
+
+TEST(HtmConfig, NoneBackendReportsUnavailable) {
+  htm::Config c;
+  c.backend = htm::BackendKind::kNone;
+  htm::configure(c);
+  EXPECT_FALSE(htm::htm_available());
+  const auto bs = htm::tx_begin();
+  EXPECT_EQ(bs.state, htm::BeginState::kUnavailable);
+  test::use_emulated_ideal();
+}
+
+TEST(HtmConfig, T2ProfileDisablesHtm) {
+  test::use_no_htm();
+  EXPECT_FALSE(htm::htm_available());
+  EXPECT_EQ(htm::tx_begin().state, htm::BeginState::kUnavailable);
+  test::use_emulated_ideal();
+  EXPECT_TRUE(htm::htm_available());
+}
+
+TEST(HtmConfig, BackendNames) {
+  EXPECT_STREQ(htm::to_string(htm::BackendKind::kNone), "none");
+  EXPECT_STREQ(htm::to_string(htm::BackendKind::kEmulated), "emulated");
+  EXPECT_STREQ(htm::to_string(htm::BackendKind::kRtm), "rtm");
+}
+
+TEST(HtmConfig, AbortCauseNames) {
+  EXPECT_STREQ(htm::to_string(htm::AbortCause::kConflict), "conflict");
+  EXPECT_STREQ(htm::to_string(htm::AbortCause::kCapacity), "capacity");
+  EXPECT_STREQ(htm::to_string(htm::AbortCause::kLockedByOther), "locked");
+}
+
+TEST(HtmConfig, RtmFallsBackWhenUnusable) {
+  htm::Config c;
+  c.backend = htm::BackendKind::kRtm;
+  htm::configure(c);
+  if (!htm::rtm::supported_at_runtime()) {
+    EXPECT_EQ(htm::config().backend, htm::BackendKind::kEmulated);
+  } else {
+    EXPECT_EQ(htm::config().backend, htm::BackendKind::kRtm);
+  }
+  test::use_emulated_ideal();
+}
+
+TEST(RtmStatusMapping, DecodesBits) {
+  std::uint8_t code = 0;
+  EXPECT_EQ(htm::map_rtm_status(htm::rtm::kStatusConflict, &code),
+            htm::AbortCause::kConflict);
+  EXPECT_EQ(htm::map_rtm_status(htm::rtm::kStatusCapacity, &code),
+            htm::AbortCause::kCapacity);
+  // Explicit with the lock code.
+  const unsigned locked_status =
+      htm::rtm::kStatusExplicit | (htm::rtm::kAbortCodeLocked << 24);
+  if (htm::rtm::compiled_in()) {
+    EXPECT_EQ(htm::map_rtm_status(locked_status, &code),
+              htm::AbortCause::kLockedByOther);
+  }
+  EXPECT_EQ(htm::map_rtm_status(0, &code), htm::AbortCause::kEnvironmental);
+}
+
+}  // namespace
+}  // namespace ale

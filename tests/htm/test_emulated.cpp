@@ -1,0 +1,322 @@
+// Tests for the emulated best-effort HTM backend: atomicity, isolation,
+// abort causes, capacity/quirk injection, lock subscription.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "htm/access.hpp"
+#include "htm/emulated.hpp"
+#include "htm/htm.hpp"
+#include "sync/spinlock.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+using htm::AbortCause;
+using htm::BeginState;
+using htm::TxAbortException;
+
+class EmulatedHtm : public ::testing::Test {
+ protected:
+  void SetUp() override { test::use_emulated_ideal(); }
+};
+
+// Helper: run fn inside a transaction; returns abort cause or kNone.
+template <typename Fn>
+AbortCause run_txn(Fn&& fn) {
+  const auto bs = htm::tx_begin();
+  EXPECT_EQ(bs.state, BeginState::kStarted);
+  try {
+    fn();
+    htm::tx_commit();
+    return AbortCause::kNone;
+  } catch (const TxAbortException& e) {
+    return e.cause;
+  }
+}
+
+TEST_F(EmulatedHtm, CommitPublishesWrites) {
+  std::uint64_t x = 0, y = 0;
+  const auto cause = run_txn([&] {
+    tx_store(x, std::uint64_t{7});
+    tx_store(y, std::uint64_t{9});
+    // Buffered: not yet visible through plain memory.
+    EXPECT_EQ(std::atomic_ref<std::uint64_t>(x).load(), 0u);
+  });
+  EXPECT_EQ(cause, AbortCause::kNone);
+  EXPECT_EQ(x, 7u);
+  EXPECT_EQ(y, 9u);
+}
+
+TEST_F(EmulatedHtm, ReadOwnWrites) {
+  std::uint64_t x = 1;
+  const auto cause = run_txn([&] {
+    tx_store(x, std::uint64_t{2});
+    EXPECT_EQ(tx_load(x), 2u);
+    tx_store(x, std::uint64_t{3});
+    EXPECT_EQ(tx_load(x), 3u);
+  });
+  EXPECT_EQ(cause, AbortCause::kNone);
+  EXPECT_EQ(x, 3u);
+}
+
+TEST_F(EmulatedHtm, ExplicitAbortRollsBack) {
+  std::uint64_t x = 5;
+  const auto cause = run_txn([&] {
+    tx_store(x, std::uint64_t{99});
+    htm::tx_abort(AbortCause::kExplicit, 7);
+  });
+  EXPECT_EQ(cause, AbortCause::kExplicit);
+  EXPECT_EQ(x, 5u);  // nothing leaked out of the redo log
+  EXPECT_FALSE(htm::in_txn());
+}
+
+TEST_F(EmulatedHtm, StaleReadAborts) {
+  // A location modified after the transaction began must not be readable.
+  std::uint64_t x = 1;
+  const auto bs = htm::tx_begin();
+  ASSERT_EQ(bs.state, BeginState::kStarted);
+  // Simulate another thread's lock-mode store (bumps version past rv).
+  detail::versioned_fetch_add(x, std::uint64_t{1});
+  AbortCause cause = AbortCause::kNone;
+  try {
+    (void)tx_load(x);
+    htm::tx_commit();
+  } catch (const TxAbortException& e) {
+    cause = e.cause;
+  }
+  EXPECT_EQ(cause, AbortCause::kConflict);
+}
+
+TEST_F(EmulatedHtm, WriteWriteConflictDetectedAtCommit) {
+  std::uint64_t x = 0;
+  // T1 reads x then writes; an interleaved writer invalidates T1's read.
+  const auto bs = htm::tx_begin();
+  ASSERT_EQ(bs.state, BeginState::kStarted);
+  AbortCause cause = AbortCause::kNone;
+  try {
+    const auto v = tx_load(x);
+    detail::versioned_fetch_add(x, std::uint64_t{10});  // interloper
+    tx_store(x, v + 1);
+    htm::tx_commit();
+  } catch (const TxAbortException& e) {
+    cause = e.cause;
+  }
+  EXPECT_EQ(cause, AbortCause::kConflict);
+  EXPECT_EQ(std::atomic_ref<std::uint64_t>(x).load(), 10u);  // interloper won
+}
+
+TEST_F(EmulatedHtm, CapacityAbort) {
+  htm::Config c;
+  c.backend = htm::BackendKind::kEmulated;
+  c.profile = htm::ideal_profile();
+  c.profile.write_cap_lines = 4;
+  htm::configure(c);
+
+  std::vector<std::uint64_t> data(1024, 0);
+  const auto cause = run_txn([&] {
+    for (std::size_t i = 0; i < data.size(); i += 8) {  // one line apart
+      tx_store(data[i], std::uint64_t{1});
+    }
+  });
+  EXPECT_EQ(cause, AbortCause::kCapacity);
+  for (const auto& v : data) EXPECT_EQ(v, 0u);
+}
+
+TEST_F(EmulatedHtm, ReadCapacityAbort) {
+  htm::Config c;
+  c.backend = htm::BackendKind::kEmulated;
+  c.profile = htm::ideal_profile();
+  c.profile.read_cap_lines = 4;
+  htm::configure(c);
+
+  std::vector<std::uint64_t> data(1024, 0);
+  const auto cause = run_txn([&] {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < data.size(); i += 8) sum += tx_load(data[i]);
+    EXPECT_EQ(sum, 0u);
+  });
+  EXPECT_EQ(cause, AbortCause::kCapacity);
+}
+
+TEST_F(EmulatedHtm, EnvironmentalQuirksFire) {
+  htm::Config c;
+  c.backend = htm::BackendKind::kEmulated;
+  c.profile = htm::ideal_profile();
+  c.profile.abort_prob_per_access = 0.5;
+  htm::configure(c);
+
+  std::uint64_t x = 0;
+  int environmental = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto cause = run_txn([&] {
+      for (int j = 0; j < 16; ++j) (void)tx_load(x);
+    });
+    if (cause == AbortCause::kEnvironmental) ++environmental;
+  }
+  EXPECT_GT(environmental, 32);  // p(survive 16 accesses) = 2^-16
+}
+
+TEST_F(EmulatedHtm, LockSubscriptionAbortsWhenHeld) {
+  TatasLock lock;
+  lock.lock();
+  const auto cause = run_txn([&] {
+    htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+  });
+  EXPECT_EQ(cause, AbortCause::kLockedByOther);
+  lock.unlock();
+}
+
+TEST_F(EmulatedHtm, LockAcquiredMidTxnAbortsWriterCommit) {
+  TatasLock lock;
+  std::uint64_t x = 0;
+  const auto cause = run_txn([&] {
+    htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+    tx_store(x, std::uint64_t{1});
+    lock.lock();  // stand-in for a concurrent Lock-mode acquisition
+  });
+  EXPECT_EQ(cause, AbortCause::kLockedByOther);
+  EXPECT_EQ(x, 0u);
+  lock.unlock();
+}
+
+TEST_F(EmulatedHtm, AlreadyHeldLockIsNotChecked) {
+  TatasLock lock;
+  lock.lock();
+  std::uint64_t x = 0;
+  const auto cause = run_txn([&] {
+    htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock,
+                           /*already_held_by_self=*/true);
+    tx_store(x, std::uint64_t{1});
+  });
+  EXPECT_EQ(cause, AbortCause::kNone);
+  EXPECT_EQ(x, 1u);
+  EXPECT_TRUE(lock.is_locked());  // commit must not release our lock
+  lock.unlock();
+}
+
+TEST_F(EmulatedHtm, CommitHoldsSubscribedLockBriefly) {
+  // After a writer commit, the subscribed lock must be free again.
+  TatasLock lock;
+  std::uint64_t x = 0;
+  const auto cause = run_txn([&] {
+    htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+    tx_store(x, std::uint64_t{3});
+  });
+  EXPECT_EQ(cause, AbortCause::kNone);
+  EXPECT_EQ(x, 3u);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(EmulatedHtm, ReadOnlyTxnSucceedsWithoutLocking) {
+  TatasLock lock;
+  std::uint64_t x = 17;
+  const auto cause = run_txn([&] {
+    htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+    EXPECT_EQ(tx_load(x), 17u);
+  });
+  EXPECT_EQ(cause, AbortCause::kNone);
+}
+
+TEST_F(EmulatedHtm, ConcurrentDisjointWritersBothCommit) {
+  // TLE's raison d'être: two critical sections on the same lock with
+  // disjoint write sets must both succeed transactionally.
+  TatasLock lock;
+  alignas(64) std::uint64_t a = 0;
+  alignas(64) std::uint64_t b = 0;
+  std::atomic<int> aborts{0};
+  test::run_threads(2, [&](unsigned idx) {
+    for (int i = 0; i < 2000; ++i) {
+      for (;;) {
+        const auto bs = htm::tx_begin();
+        ASSERT_EQ(bs.state, BeginState::kStarted);
+        try {
+          htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+          if (idx == 0) {
+            tx_store(a, tx_load(a) + 1);
+          } else {
+            tx_store(b, tx_load(b) + 1);
+          }
+          htm::tx_commit();
+          break;
+        } catch (const TxAbortException&) {
+          aborts.fetch_add(1);
+        }
+      }
+    }
+  });
+  EXPECT_EQ(a, 2000u);
+  EXPECT_EQ(b, 2000u);
+}
+
+TEST_F(EmulatedHtm, ConcurrentConflictingIncrementsNeverLost) {
+  alignas(64) std::uint64_t counter = 0;
+  constexpr unsigned kThreads = 4;
+  constexpr int kPer = 3000;
+  test::run_threads(kThreads, [&](unsigned) {
+    for (int i = 0; i < kPer; ++i) {
+      for (;;) {
+        const auto bs = htm::tx_begin();
+        ASSERT_EQ(bs.state, BeginState::kStarted);
+        try {
+          tx_store(counter, tx_load(counter) + 1);
+          htm::tx_commit();
+          break;
+        } catch (const TxAbortException&) {
+        }
+      }
+    }
+  });
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+TEST_F(EmulatedHtm, MixedTxnAndLockModeIncrements) {
+  // Transactions racing versioned plain stores (Lock-mode writers): the
+  // count must still be exact.
+  alignas(64) std::uint64_t counter = 0;
+  TatasLock lock;
+  constexpr int kPer = 3000;
+  test::run_threads(4, [&](unsigned idx) {
+    for (int i = 0; i < kPer; ++i) {
+      if (idx % 2 == 0) {
+        for (;;) {
+          const auto bs = htm::tx_begin();
+          ASSERT_EQ(bs.state, BeginState::kStarted);
+          try {
+            htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+            tx_store(counter, tx_load(counter) + 1);
+            htm::tx_commit();
+            break;
+          } catch (const TxAbortException&) {
+          }
+        }
+      } else {
+        lock.lock();
+        tx_store(counter, tx_load(counter) + 1);
+        lock.unlock();
+      }
+    }
+  });
+  EXPECT_EQ(counter, 4u * kPer);
+}
+
+TEST_F(EmulatedHtm, VersionedFetchAddReturnsOld) {
+  std::uint64_t x = 10;
+  EXPECT_EQ(detail::versioned_fetch_add(x, std::uint64_t{5}), 10u);
+  EXPECT_EQ(x, 15u);
+}
+
+TEST_F(EmulatedHtm, PointerValuesRoundTrip) {
+  int dummy = 0;
+  int* p = nullptr;
+  const auto cause = run_txn([&] {
+    tx_store(p, &dummy);
+    EXPECT_EQ(tx_load(p), &dummy);
+  });
+  EXPECT_EQ(cause, AbortCause::kNone);
+  EXPECT_EQ(p, &dummy);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,146 @@
+// Facade edge cases and abort-safety properties of the emulated engine.
+#include <gtest/gtest.h>
+
+#include "htm/access.hpp"
+#include "htm/emulated.hpp"
+#include "htm/htm.hpp"
+#include "sync/spinlock.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+using htm::AbortCause;
+using htm::TxAbortException;
+
+struct FacadeEdges : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+};
+
+TEST_F(FacadeEdges, AbortOutsideTxnStillThrows) {
+  EXPECT_FALSE(htm::in_txn());
+  bool threw = false;
+  try {
+    htm::tx_abort(AbortCause::kExplicit, 3);
+  } catch (const TxAbortException& e) {
+    threw = true;
+    EXPECT_EQ(e.cause, AbortCause::kExplicit);
+    EXPECT_EQ(e.user_code, 3);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(FacadeEdges, CommitOutsideTxnIsNoop) {
+  htm::tx_commit();
+  SUCCEED();
+}
+
+TEST_F(FacadeEdges, SubscribeOutsideTxnIsHarmless) {
+  TatasLock lock;
+  htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+  SUCCEED();
+}
+
+TEST_F(FacadeEdges, DoubleSubscriptionDedupes) {
+  TatasLock lock;
+  std::uint64_t x = 0;
+  const auto bs = htm::tx_begin();
+  ASSERT_EQ(bs.state, htm::BeginState::kStarted);
+  AbortCause cause = AbortCause::kNone;
+  try {
+    htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+    htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+    tx_store(x, std::uint64_t{1});
+    htm::tx_commit();
+  } catch (const TxAbortException& e) {
+    cause = e.cause;
+  }
+  EXPECT_EQ(cause, AbortCause::kNone);
+  EXPECT_EQ(x, 1u);
+  EXPECT_FALSE(lock.is_locked());  // released exactly once
+}
+
+TEST_F(FacadeEdges, OpacityMultiWordInvariantNeverTorn) {
+  // A writer maintains a == b inside transactions; readers (also
+  // transactional) must never observe a != b — the emulated engine's
+  // per-read validation plus commit validation must provide this.
+  alignas(64) std::uint64_t a = 0;
+  alignas(64) std::uint64_t b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  test::run_threads(4, [&](unsigned idx) {
+    if (idx == 0) {
+      for (int i = 1; i <= 20000; ++i) {
+        for (;;) {
+          (void)htm::tx_begin();
+          try {
+            tx_store(a, static_cast<std::uint64_t>(i));
+            tx_store(b, static_cast<std::uint64_t>(i));
+            htm::tx_commit();
+            break;
+          } catch (const TxAbortException&) {
+          }
+        }
+      }
+      stop.store(true);
+      return;
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)htm::tx_begin();
+      try {
+        const std::uint64_t ra = tx_load(a);
+        const std::uint64_t rb = tx_load(b);
+        htm::tx_commit();
+        if (ra != rb) torn.fetch_add(1);
+      } catch (const TxAbortException&) {
+      }
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(a, 20000u);
+  EXPECT_EQ(b, 20000u);
+}
+
+TEST_F(FacadeEdges, AbortedWriterLeavesNoPartialState) {
+  // Fuzz: random multi-word writes, randomly self-aborted. Memory must
+  // reflect only committed transactions (all-or-nothing per txn).
+  alignas(64) std::uint64_t cells[8] = {};
+  Xoshiro256 rng(5);
+  std::uint64_t committed_sum = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const bool will_abort = rng.next_bool(0.4);
+    (void)htm::tx_begin();
+    try {
+      const unsigned n = 1 + static_cast<unsigned>(rng.next_below(8));
+      for (unsigned k = 0; k < n; ++k) {
+        auto& c = cells[rng.next_below(8)];
+        tx_store(c, tx_load(c) + 1);
+      }
+      if (will_abort) htm::tx_abort(AbortCause::kExplicit);
+      htm::tx_commit();
+      committed_sum += n;
+    } catch (const TxAbortException&) {
+      EXPECT_TRUE(will_abort);
+    }
+  }
+  std::uint64_t actual = 0;
+  for (const auto& c : cells) actual += c;
+  EXPECT_EQ(actual, committed_sum);
+}
+
+TEST_F(FacadeEdges, TxnDescriptorSizesTrack) {
+  auto& desc = htm::detail::tls_desc();
+  std::uint64_t x = 0, y = 0;
+  (void)htm::tx_begin();
+  EXPECT_EQ(desc.read_set_size(), 0u);
+  EXPECT_EQ(desc.write_set_size(), 0u);
+  (void)tx_load(x);
+  EXPECT_EQ(desc.read_set_size(), 1u);
+  tx_store(y, std::uint64_t{1});
+  EXPECT_EQ(desc.write_set_size(), 1u);
+  htm::tx_commit();
+  EXPECT_FALSE(htm::in_txn());
+}
+
+}  // namespace
+}  // namespace ale

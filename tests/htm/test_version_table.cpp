@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "htm/version_table.hpp"
+#include "test_util.hpp"
+
+namespace ale::htm::detail {
+namespace {
+
+TEST(VersionTable, SlotEncoding) {
+  EXPECT_FALSE(VersionTable::locked(VersionTable::pack(5, false)));
+  EXPECT_TRUE(VersionTable::locked(VersionTable::pack(5, true)));
+  EXPECT_EQ(VersionTable::version_of(VersionTable::pack(123, false)), 123u);
+  EXPECT_EQ(VersionTable::version_of(VersionTable::pack(123, true)), 123u);
+}
+
+TEST(VersionTable, SameLineSameSlot) {
+  alignas(64) char buf[128];
+  EXPECT_EQ(VersionTable::slot_index(&buf[0]),
+            VersionTable::slot_index(&buf[63]));
+}
+
+TEST(VersionTable, AdjacentLinesSpread) {
+  // Fibonacci hashing must not map a contiguous run of lines onto a tiny
+  // set of slots.
+  std::vector<char> buf(64 * 256);
+  std::set<std::size_t> slots;
+  for (int i = 0; i < 256; ++i) {
+    slots.insert(VersionTable::slot_index(&buf[64 * i]));
+  }
+  EXPECT_GT(slots.size(), 200u);
+}
+
+TEST(VersionTable, ClockMonotone) {
+  auto& t = VersionTable::instance();
+  const std::uint64_t a = t.next_write_version();
+  const std::uint64_t b = t.next_write_version();
+  EXPECT_GT(b, a);
+  EXPECT_GE(t.read_clock(), b);
+}
+
+TEST(VersionTable, ClockConcurrentUnique) {
+  auto& t = VersionTable::instance();
+  std::vector<std::uint64_t> got[4];
+  test::run_threads(4, [&](unsigned idx) {
+    for (int i = 0; i < 10000; ++i) {
+      got[idx].push_back(t.next_write_version());
+    }
+  });
+  std::set<std::uint64_t> all;
+  for (auto& v : got) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), 4u * 10000u);
+}
+
+TEST(VersionTable, SingletonStable) {
+  EXPECT_EQ(&VersionTable::instance(), &VersionTable::instance());
+}
+
+}  // namespace
+}  // namespace ale::htm::detail

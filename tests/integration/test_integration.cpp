@@ -1,0 +1,181 @@
+// Cross-module integration: env-driven configuration, multi-lock systems,
+// full pipeline (policy → engine → stats → report), teardown hygiene.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/ale.hpp"
+#include "hashmap/hashmap.hpp"
+#include "kvdb/wicked.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/install.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct IntegrationTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override {
+    set_global_policy(nullptr);
+    unsetenv("ALE_POLICY");
+  }
+};
+
+TEST_F(IntegrationTest, EnvPolicyInstall) {
+  setenv("ALE_POLICY", "static-all-7:2", 1);
+  ASSERT_TRUE(install_policy_from_env());
+  EXPECT_STREQ(global_policy().name(), "static");
+  setenv("ALE_POLICY", "adaptive", 1);
+  ASSERT_TRUE(install_policy_from_env());
+  EXPECT_STREQ(global_policy().name(), "adaptive");
+  setenv("ALE_POLICY", "garbage", 1);
+  EXPECT_FALSE(install_policy_from_env());
+  EXPECT_STREQ(global_policy().name(), "adaptive");  // unchanged
+  unsetenv("ALE_POLICY");
+  EXPECT_FALSE(install_policy_from_env());
+}
+
+TEST_F(IntegrationTest, PerLockPolicyOverride) {
+  // Global adaptive, but one lock pinned to lock-only: its critical
+  // sections must never elide while the other lock's do.
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  LockOnlyPolicy pinned;
+  TatasLock lock_a, lock_b;
+  LockMd md_a("integ.pinned");
+  LockMd md_b("integ.free");
+  md_a.set_policy(&pinned);
+  static ScopeInfo scope_a("csA");
+  static ScopeInfo scope_b("csB");
+  ExecMode mode_a = ExecMode::kHtm, mode_b = ExecMode::kLock;
+  execute_cs(lock_api<TatasLock>(), &lock_a, md_a, scope_a,
+             [&](CsExec& cs) { mode_a = cs.exec_mode(); });
+  execute_cs(lock_api<TatasLock>(), &lock_b, md_b, scope_b,
+             [&](CsExec& cs) { mode_b = cs.exec_mode(); });
+  EXPECT_EQ(mode_a, ExecMode::kLock);
+  EXPECT_EQ(mode_b, ExecMode::kHtm);
+  md_a.set_policy(nullptr);
+}
+
+TEST_F(IntegrationTest, TwoContainersShareNothing) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 4, .y = 4}));
+  AleHashMap map_a(64, "integ.mapA");
+  AleHashMap map_b(64, "integ.mapB");
+  test::run_threads(4, [&](unsigned idx) {
+    AleHashMap& mine = idx % 2 == 0 ? map_a : map_b;
+    const std::uint64_t base = idx < 2 ? 0 : 1000;
+    for (int i = 0; i < 1500; ++i) {
+      mine.insert(base + (i % 50), i);
+      if (i % 3 == 0) mine.remove(base + (i % 50));
+    }
+  });
+  // Each map holds only its own keys.
+  EXPECT_EQ(map_a.size() + map_b.size(),
+            static_cast<std::size_t>(map_a.size() + map_b.size()));
+  std::uint64_t v;
+  EXPECT_FALSE(map_a.get(99999, v));
+}
+
+TEST_F(IntegrationTest, AdaptiveHashMapConvergesAndStaysCorrect) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 100;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* ap = policy.get();
+  test::PolicyInstaller p(std::move(policy));
+  AleHashMap map(128, "integ.adaptive");
+  // Drive a read-heavy workload to convergence, checking correctness via
+  // per-thread key ownership.
+  test::run_threads(3, [&](unsigned idx) {
+    const std::uint64_t base = static_cast<std::uint64_t>(idx + 1) << 32;
+    Xoshiro256 rng(idx);
+    bool present[8] = {};
+    for (int i = 0; i < 6000; ++i) {
+      const std::uint64_t s = rng.next_below(8);
+      const std::uint64_t k = base + s;
+      std::uint64_t v = 0;
+      if (rng.next_bool(0.1)) {
+        map.insert(k, k);
+        present[s] = true;
+      } else if (rng.next_bool(0.05)) {
+        map.remove(k);
+        present[s] = false;
+      } else if (map.get(k, v) != present[s]) {
+        ADD_FAILURE() << "visibility mismatch";
+      }
+    }
+  });
+  EXPECT_TRUE(ap->converged(map.lock_md()));
+  const std::string report = report_string();
+  EXPECT_NE(report.find("integ.adaptive"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, MixedContainersUnderOnePolicy) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 3, .y = 5}));
+  AleHashMap map(64, "integ.mixed.map");
+  kvdb::ShardedDb db(kvdb::DbConfig{.num_slots = 4}, "integ.mixed.db");
+  test::run_threads(4, [&](unsigned idx) {
+    Xoshiro256 rng(idx);
+    std::string key = "k" + std::to_string(idx);
+    std::string out;
+    for (int i = 0; i < 1000; ++i) {
+      map.insert(idx * 100 + (i % 10), i);
+      db.set(key, std::to_string(i));
+      std::uint64_t v;
+      map.get(idx * 100 + (i % 10), v);
+      db.get(key, out);
+    }
+  });
+  EXPECT_EQ(db.count(), 4u);
+  EXPECT_EQ(map.size(), 40u);
+}
+
+TEST_F(IntegrationTest, LockMdLifecycleIsClean) {
+  // Construct/use/destroy many LockMds: the registry and report must stay
+  // consistent and no granule is leaked into other locks' reports.
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  for (int round = 0; round < 20; ++round) {
+    TatasLock lock;
+    LockMd md("integ.ephemeral." + std::to_string(round));
+    static ScopeInfo scope("cs");
+    for (int i = 0; i < 50; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec&) {});
+    }
+  }
+  const std::string report = report_string();
+  EXPECT_EQ(report.find("integ.ephemeral."), std::string::npos);
+}
+
+TEST_F(IntegrationTest, ProfileSwitchMidProcess) {
+  // Reconfiguring between phases (single-threaded moments) must be safe.
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 3, .y = 3}));
+  TatasLock lock;
+  LockMd md("integ.profileswitch");
+  static ScopeInfo scope("cs", true);
+  std::uint64_t counter = 0;
+  for (const char* profile : {"ideal", "rock", "haswell", "t2", "ideal"}) {
+    htm::Config c;
+    c.backend = htm::BackendKind::kEmulated;
+    c.profile = *htm::profile_by_name(profile);
+    htm::configure(c);
+    for (int i = 0; i < 300; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec& cs) -> CsBody {
+                   if (cs.in_swopt()) {
+                     (void)tx_load(counter);
+                     return CsBody::kDone;  // read-only SWOpt success
+                   }
+                   tx_store(counter, tx_load(counter) + 1);
+                   return CsBody::kDone;
+                 });
+    }
+  }
+  EXPECT_GT(counter, 0u);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+}  // namespace
+}  // namespace ale

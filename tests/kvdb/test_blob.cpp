@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "kvdb/blob.hpp"
+
+namespace ale::kvdb {
+namespace {
+
+TEST(Blob, MakeAndView) {
+  Blob* b = Blob::make("hello world");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->view(), "hello world");
+  EXPECT_EQ(b->size(), 11u);
+  Blob::destroy(b);
+}
+
+TEST(Blob, EmptyString) {
+  Blob* b = Blob::make("");
+  EXPECT_EQ(b->view(), "");
+  EXPECT_EQ(b->size(), 0u);
+  EXPECT_TRUE(b->equals(""));
+  EXPECT_FALSE(b->equals("x"));
+  Blob::destroy(b);
+}
+
+TEST(Blob, Equals) {
+  Blob* b = Blob::make("abc");
+  EXPECT_TRUE(b->equals("abc"));
+  EXPECT_FALSE(b->equals("abd"));
+  EXPECT_FALSE(b->equals("ab"));
+  EXPECT_FALSE(b->equals("abcd"));
+  Blob::destroy(b);
+}
+
+TEST(Blob, BinaryContent) {
+  const char raw[] = {'\0', '\x7f', '\n', '\0', 'x'};
+  const std::string_view sv(raw, sizeof(raw));
+  Blob* b = Blob::make(sv);
+  EXPECT_EQ(b->view(), sv);
+  EXPECT_TRUE(b->equals(sv));
+  Blob::destroy(b);
+}
+
+TEST(Blob, LargeContent) {
+  const std::string big(1 << 16, 'z');
+  Blob* b = Blob::make(big);
+  EXPECT_EQ(b->view(), big);
+  Blob::destroy(b);
+}
+
+TEST(Blob, DestroyNullIsSafe) {
+  Blob::destroy(nullptr);
+  SUCCEED();
+}
+
+TEST(Blob, RetireLinkStartsNull) {
+  Blob* b = Blob::make("x");
+  EXPECT_EQ(b->next_retired, nullptr);
+  Blob::destroy(b);
+}
+
+}  // namespace
+}  // namespace ale::kvdb

@@ -1,0 +1,162 @@
+// Concurrent stress for the ShardedDb: nesting + RW-lock + slot locks under
+// every execution mode mix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "kvdb/sharded_db.hpp"
+#include "kvdb/wicked.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale::kvdb {
+namespace {
+
+struct KvdbStress : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+// Threads own disjoint key prefixes: per-thread sequential semantics hold.
+void disjoint_stress(ShardedDb& db, unsigned threads, int ops) {
+  std::atomic<std::uint64_t> errors{0};
+  test::run_threads(threads, [&](unsigned idx) {
+    Xoshiro256 rng(idx * 131 + 17);
+    std::vector<int> val(16, -1);
+    std::string key, value, out;
+    for (int i = 0; i < ops; ++i) {
+      const std::uint64_t slot = rng.next_below(16);
+      key = "t" + std::to_string(idx) + "-" + std::to_string(slot);
+      switch (rng.next_below(4)) {
+        case 0: {
+          value = std::to_string(i);
+          const bool inserted = db.set(key, value);
+          if (inserted != (val[slot] == -1)) errors.fetch_add(1);
+          val[slot] = i;
+          break;
+        }
+        case 1:
+          if (db.remove(key) != (val[slot] != -1)) errors.fetch_add(1);
+          val[slot] = -1;
+          break;
+        case 2:
+          db.append(key, "x");
+          if (val[slot] < 0) val[slot] = -2;  // created by append
+          break;
+        default: {
+          const bool found = db.get(key, out);
+          if (found != (val[slot] != -1)) {
+            errors.fetch_add(1);
+          } else if (val[slot] >= 0 &&
+                     out.find(std::to_string(val[slot])) != 0) {
+            errors.fetch_add(1);
+          }
+          break;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+TEST_F(KvdbStress, DisjointKeysStaticAll) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 4, .y = 4}));
+  ShardedDb db(DbConfig{.num_slots = 8, .buckets_per_slot = 64});
+  disjoint_stress(db, 4, 1500);
+}
+
+TEST_F(KvdbStress, DisjointKeysNoHtmPlatform) {
+  test::use_no_htm();
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 30;
+  cfg.grouping = true;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  ShardedDb db(DbConfig{.num_slots = 8, .buckets_per_slot = 64});
+  disjoint_stress(db, 4, 1200);
+  test::use_emulated_ideal();
+}
+
+TEST_F(KvdbStress, DisjointKeysAdaptive) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 150;
+  test::PolicyInstaller p(std::make_unique<AdaptivePolicy>(cfg));
+  ShardedDb db(DbConfig{.num_slots = 8, .buckets_per_slot = 64});
+  disjoint_stress(db, 4, 1500);
+}
+
+TEST_F(KvdbStress, WickedMixedWithClears) {
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 3, .y = 5}));
+  ShardedDb db(DbConfig{.num_slots = 4, .buckets_per_slot = 64});
+  WickedConfig cfg;
+  cfg.key_range = 300;
+  cfg.clear_frac = 0.001;  // whole-DB wipes racing record ops
+  wicked_prefill(db, cfg);
+  std::atomic<std::uint64_t> ops{0};
+  test::run_threads(4, [&](unsigned idx) {
+    Xoshiro256 rng(idx + 99);
+    std::string k, v;
+    for (int i = 0; i < 2500; ++i) {
+      wicked_step(db, cfg, rng, k, v);
+      ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(ops.load(), 4u * 2500u);
+  // Post-churn audit: count() equals a by-key scan.
+  std::uint64_t live = 0;
+  std::string k, out;
+  for (std::uint64_t i = 0; i < cfg.key_range; ++i) {
+    wicked_key(i, k);
+    if (db.get(k, out)) ++live;
+  }
+  EXPECT_EQ(db.count(), live);
+}
+
+TEST_F(KvdbStress, NomutateRunsEntirelyWithoutMutation) {
+  StaticPolicyConfig pcfg;
+  pcfg.x = 2;
+  pcfg.y = 10;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(pcfg));
+  ShardedDb db(DbConfig{.num_slots = 4});
+  WickedConfig cfg;
+  cfg.key_range = 1000;
+  cfg.nomutate = true;
+  wicked_prefill(db, cfg);
+  const std::uint64_t before = db.count();
+  std::atomic<std::uint64_t> hits{0}, misses{0};
+  test::run_threads(4, [&](unsigned idx) {
+    Xoshiro256 rng(idx * 3 + 1);
+    std::string k, v;
+    for (int i = 0; i < 4000; ++i) {
+      const WickedOp op = wicked_step(db, cfg, rng, k, v);
+      (op == WickedOp::kGetHit ? hits : misses).fetch_add(1);
+    }
+  });
+  EXPECT_EQ(db.count(), before);
+  const double miss_rate =
+      static_cast<double>(misses.load()) /
+      static_cast<double>(hits.load() + misses.load());
+  EXPECT_NEAR(miss_rate, 0.42, 0.05);  // the paper's statistic
+}
+
+TEST_F(KvdbStress, ConcurrentAppendsAllLand) {
+  // Appends are the no-HTM nested CS: ensure exact growth under races.
+  test::PolicyInstaller p(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 3, .y = 3}));
+  ShardedDb db;
+  db.set("log", "");
+  constexpr unsigned kThreads = 4;
+  constexpr int kAppends = 800;
+  test::run_threads(kThreads, [&](unsigned) {
+    for (int i = 0; i < kAppends; ++i) db.append("log", "x");
+  });
+  std::string v;
+  ASSERT_TRUE(db.get("log", v));
+  EXPECT_EQ(v.size(), static_cast<std::size_t>(kThreads) * kAppends);
+}
+
+}  // namespace
+}  // namespace ale::kvdb

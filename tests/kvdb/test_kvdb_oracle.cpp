@@ -1,0 +1,127 @@
+// Property test: random kvdb operation sequences against a std::map
+// oracle, parameterized over policy × profile × db configuration.
+// Single-threaded, so every result must match the oracle exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/prng.hpp"
+#include "kvdb/sharded_db.hpp"
+#include "kvdb/wicked.hpp"
+#include "policy/install.hpp"
+#include "test_util.hpp"
+
+namespace ale::kvdb {
+namespace {
+
+struct OracleParam {
+  const char* policy_spec;
+  const char* profile;
+  bool outer_swopt;
+  bool swopt_get_copies;
+};
+
+std::string oracle_name(const ::testing::TestParamInfo<OracleParam>& info) {
+  std::string s = std::string(info.param.policy_spec) + "_" +
+                  info.param.profile +
+                  (info.param.outer_swopt ? "_osw" : "_noosw") +
+                  (info.param.swopt_get_copies ? "_copies" : "");
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class KvdbOracle : public ::testing::TestWithParam<OracleParam> {
+ protected:
+  void SetUp() override {
+    htm::Config c;
+    c.backend = htm::BackendKind::kEmulated;
+    c.profile = *htm::profile_by_name(GetParam().profile);
+    htm::configure(c);
+    auto p = make_policy(GetParam().policy_spec);
+    ASSERT_NE(p, nullptr);
+    set_global_policy(std::move(p));
+  }
+  void TearDown() override {
+    set_global_policy(nullptr);
+    test::use_emulated_ideal();
+  }
+};
+
+TEST_P(KvdbOracle, MatchesStdMap) {
+  DbConfig cfg;
+  cfg.num_slots = 4;
+  cfg.buckets_per_slot = 8;  // force chains
+  cfg.outer_swopt = GetParam().outer_swopt;
+  cfg.swopt_get_copies = GetParam().swopt_get_copies;
+  ShardedDb db(cfg, "kvdb.oracle");
+  std::map<std::string, std::string> oracle;
+  Xoshiro256 rng(0x5eed);
+  std::string key, value, out;
+
+  for (int i = 0; i < 2500; ++i) {
+    wicked_key(rng.next_below(48), key);
+    switch (rng.next_below(6)) {
+      case 0: {
+        value = "v" + std::to_string(i);
+        const bool inserted = db.set(key, value);
+        EXPECT_EQ(inserted, oracle.find(key) == oracle.end()) << i;
+        oracle[key] = value;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(db.remove(key), oracle.erase(key) > 0) << i;
+        break;
+      case 2: {
+        db.append(key, "+");
+        oracle[key] += "+";
+        break;
+      }
+      case 3: {
+        EXPECT_EQ(db.count(), oracle.size()) << i;
+        break;
+      }
+      case 4: {
+        if (i % 50 == 0) {  // occasional full scans
+          std::map<std::string, std::string> seen;
+          const std::uint64_t n =
+              db.iterate([&](std::string_view k, std::string_view v) {
+                seen[std::string(k)] = std::string(v);
+              });
+          EXPECT_EQ(n, oracle.size()) << i;
+          EXPECT_EQ(seen, oracle) << i;
+        }
+        break;
+      }
+      default: {
+        const bool found = db.get(key, out);
+        const auto it = oracle.find(key);
+        ASSERT_EQ(found, it != oracle.end()) << i << " " << key;
+        if (found) EXPECT_EQ(out, it->second) << i;
+        break;
+      }
+    }
+    if (i % 600 == 599) {
+      db.clear();
+      oracle.clear();
+    }
+  }
+  EXPECT_EQ(db.count(), oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, KvdbOracle,
+    ::testing::Values(
+        OracleParam{"lockonly", "ideal", true, false},
+        OracleParam{"static-all-5:3", "ideal", true, false},
+        OracleParam{"static-all-5:3", "rock", true, false},
+        OracleParam{"static-all-3:3", "haswell", false, false},
+        OracleParam{"static-sl-8", "t2", true, false},
+        OracleParam{"static-sl-8", "t2", true, true},
+        OracleParam{"adaptive", "ideal", true, false},
+        OracleParam{"adaptive", "rock", true, true}),
+    oracle_name);
+
+}  // namespace
+}  // namespace ale::kvdb

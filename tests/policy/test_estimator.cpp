@@ -1,0 +1,84 @@
+// Direct unit tests of the adaptive policy's expected-execution-time
+// estimator (§4.2's interpolated cost model).
+#include <gtest/gtest.h>
+
+#include "policy/adaptive_policy.hpp"
+
+namespace ale {
+namespace {
+
+TEST(EstimateBestX, EmptyHistogramGivesZero) {
+  AttemptHistogram<64> h;
+  EXPECT_EQ(estimate_best_x(h, 100, 100, 1000, 500, 10), 0u);
+}
+
+TEST(EstimateBestX, AlwaysFirstTrySuccessPicksOne) {
+  AttemptHistogram<64> h;
+  for (int i = 0; i < 100; ++i) h.record_success(1);
+  // HTM succeeds immediately and is much cheaper than the fallback.
+  EXPECT_EQ(estimate_best_x(h, 100, 100, 10000, 5000, 10), 1u);
+}
+
+TEST(EstimateBestX, HopelessHtmPicksZero) {
+  AttemptHistogram<64> h;
+  for (int i = 0; i < 100; ++i) h.record_failure();
+  // Nothing ever succeeds: every attempt is pure waste.
+  EXPECT_EQ(estimate_best_x(h, 1000, 1000, 2000, 2000, 10), 0u);
+}
+
+TEST(EstimateBestX, RetriesWorthwhileWhenFallbackExpensive) {
+  AttemptHistogram<64> h;
+  // Half succeed on attempt 3; half never succeed.
+  for (int i = 0; i < 50; ++i) h.record_success(3);
+  for (int i = 0; i < 50; ++i) h.record_failure();
+  // Cheap attempts, very expensive fallback → worth going to 3.
+  const unsigned x = estimate_best_x(h, 10, 10, 100000, 100000, 10);
+  EXPECT_EQ(x, 3u);
+}
+
+TEST(EstimateBestX, NotWorthRetryingPastLastSuccessBucket) {
+  AttemptHistogram<64> h;
+  for (int i = 0; i < 90; ++i) h.record_success(1);
+  for (int i = 0; i < 10; ++i) h.record_failure();
+  // Attempts beyond 1 only add failed-attempt cost for the 10% that will
+  // never succeed.
+  const unsigned x = estimate_best_x(h, 50, 50, 1000, 1000, 10);
+  EXPECT_EQ(x, 1u);
+}
+
+TEST(EstimateBestX, CheapFallbackDiscouragesRetries) {
+  AttemptHistogram<64> h;
+  // Succeeds eventually, but attempts cost as much as just taking the lock.
+  for (int i = 0; i < 50; ++i) h.record_success(5);
+  for (int i = 0; i < 50; ++i) h.record_failure();
+  const unsigned x = estimate_best_x(h, 1000, 1000, 1100, 1100, 10);
+  EXPECT_EQ(x, 0u);
+}
+
+TEST(EstimateBestX, InterpolationFavorsMoreAttemptsWhenLowerBoundSmall) {
+  AttemptHistogram<64> h;
+  for (int i = 0; i < 30; ++i) h.record_success(2);
+  for (int i = 0; i < 70; ++i) h.record_failure();
+  // With t_after_max_fail << t_no_htm, the model believes attempting more
+  // makes the eventual fallback cheaper, tilting toward larger x.
+  const unsigned x_cheap_tail =
+      estimate_best_x(h, 50, 50, 10000, 100, 10);
+  const unsigned x_flat_tail =
+      estimate_best_x(h, 50, 50, 10000, 10000, 10);
+  EXPECT_GE(x_cheap_tail, x_flat_tail);
+}
+
+TEST(EstimateBestX, RespectsXMaxBound) {
+  AttemptHistogram<64> h;
+  for (int i = 0; i < 100; ++i) h.record_success(40);
+  EXPECT_LE(estimate_best_x(h, 10, 10, 100000, 100000, 5), 5u);
+}
+
+TEST(EstimateBestX, ZeroXMaxGivesZero) {
+  AttemptHistogram<64> h;
+  h.record_success(1);
+  EXPECT_EQ(estimate_best_x(h, 10, 10, 100, 100, 0), 0u);
+}
+
+}  // namespace
+}  // namespace ale

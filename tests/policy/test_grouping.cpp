@@ -1,0 +1,122 @@
+// §4.2 grouping mechanism.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/ale.hpp"
+#include "policy/grouping.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct GroupingTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+TEST_F(GroupingTest, NoRetriersNoWait) {
+  LockMd md("grouping.empty");
+  const auto t0 = std::chrono::steady_clock::now();
+  grouping_wait(md);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(5));
+}
+
+TEST_F(GroupingTest, WaitsUntilRetriersDrain) {
+  // SNZI arrive/depart pair on the retrier's own thread (as the engine
+  // does); the main thread plays the conflicting execution that waits.
+  LockMd md("grouping.drain");
+  std::atomic<bool> arrived{false};
+  std::atomic<bool> departed{false};
+  std::thread retrier([&] {
+    md.swopt_retriers().arrive();
+    arrived.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    departed.store(true);
+    md.swopt_retriers().depart();
+  });
+  while (!arrived.load()) std::this_thread::yield();
+  grouping_wait(md);
+  // Either the retrier departed while we waited, or the bounded wait
+  // expired; with a 20ms hold the former is expected.
+  EXPECT_TRUE(departed.load());
+  retrier.join();
+}
+
+TEST_F(GroupingTest, BoundedWaitCannotHang) {
+  LockMd md("grouping.bounded");
+  md.swopt_retriers().arrive();  // never departs during the wait
+  grouping_wait(md);             // must return anyway
+  md.swopt_retriers().depart();
+  SUCCEED();
+}
+
+TEST_F(GroupingTest, ZeroRespectProbabilitySkipsWait) {
+  LockMd md("grouping.prob");
+  md.swopt_retriers().arrive();
+  const auto t0 = std::chrono::steady_clock::now();
+  grouping_wait(md, 0.0);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(5));
+  md.swopt_retriers().depart();
+}
+
+TEST_F(GroupingTest, EngineDepartsRetrierBeforeConflictingMode) {
+  // A SWOpt execution that failed (arrived as retrier) and then falls back
+  // to Lock mode must depart first — otherwise it would wait on itself.
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 1;
+  cfg.grouping = true;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("grouping.self");
+  static ScopeInfo scope("cs", true);
+  ExecMode final_mode = ExecMode::kSwOpt;
+  const auto t0 = std::chrono::steady_clock::now();
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) -> CsBody {
+               final_mode = cs.exec_mode();
+               if (cs.in_swopt()) return CsBody::kRetrySwOpt;
+               return CsBody::kDone;
+             });
+  EXPECT_EQ(final_mode, ExecMode::kLock);
+  // If the engine had waited for its own SNZI membership, the bounded wait
+  // (4096 backoff rounds) would take visibly long.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(200));
+  EXPECT_FALSE(md.swopt_retriers().query());
+}
+
+TEST_F(GroupingTest, ConflictingExecutionDefersToRetriers) {
+  // While a retrier exists, a Lock-mode execution under a grouping policy
+  // should be delayed until the retrier drains.
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.use_swopt = false;
+  cfg.grouping = true;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("grouping.defer");
+  static ScopeInfo scope("cs");
+  std::atomic<bool> arrived{false};
+  std::atomic<bool> drained{false};
+  std::thread retrier([&] {
+    md.swopt_retriers().arrive();
+    arrived.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    drained.store(true);
+    md.swopt_retriers().depart();
+  });
+  while (!arrived.load()) std::this_thread::yield();
+  bool observed_drained = false;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec&) { observed_drained = drained.load(); });
+  retrier.join();
+  EXPECT_TRUE(observed_drained);
+}
+
+}  // namespace
+}  // namespace ale

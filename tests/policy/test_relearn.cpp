@@ -1,0 +1,102 @@
+// §6 future-work extension: re-learning for workloads that change over
+// time (AdaptiveConfig::relearn_after).
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct RelearnTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+
+  TatasLock lock;
+
+  void drive(LockMd& md, int n, bool mutate, std::uint64_t& cell) {
+    static ScopeInfo scope("relearn.cs", /*has_swopt=*/true);
+    for (int i = 0; i < n; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec& cs) -> CsBody {
+                   if (cs.in_swopt()) {
+                     if (mutate) cs.swopt_self_abort();
+                     (void)tx_load(cell);
+                     return CsBody::kDone;
+                   }
+                   if (mutate) tx_store(cell, tx_load(cell) + 1);
+                   return CsBody::kDone;
+                 });
+    }
+  }
+};
+
+TEST_F(RelearnTest, DisabledByDefault) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 40;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+  LockMd md("relearn.off");
+  std::uint64_t cell = 0;
+  drive(md, 5000, false, cell);
+  EXPECT_TRUE(p->converged(md));
+  EXPECT_EQ(p->relearn_count_of(md), 0u);
+}
+
+TEST_F(RelearnTest, RestartsAfterThreshold) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 40;
+  cfg.relearn_after = 300;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+  LockMd md("relearn.on");
+  std::uint64_t cell = 0;
+  // Walk to convergence (~400 execs), then past the relearn threshold,
+  // then to convergence again — at least one restart must have happened.
+  drive(md, 4000, false, cell);
+  EXPECT_GE(p->relearn_count_of(md), 1u);
+}
+
+TEST_F(RelearnTest, AdaptsWhenWorkloadFlips) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 40;
+  cfg.relearn_after = 400;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+  LockMd md("relearn.flip");
+  std::uint64_t cell = 0;
+  // Phase 1: read-only workload to convergence.
+  drive(md, 1200, false, cell);
+  // Phase 2: flip to mutation-heavy; relearning kicks in and the policy
+  // keeps the counter exact throughout (correctness under re-walks).
+  std::uint64_t before = cell;
+  drive(md, 3000, true, cell);
+  EXPECT_GE(p->relearn_count_of(md), 1u);
+  EXPECT_GT(cell, before);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(RelearnTest, CounterStaysExactAcrossRestartsConcurrent) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 50;
+  cfg.relearn_after = 200;
+  test::PolicyInstaller inst(std::make_unique<AdaptivePolicy>(cfg));
+  LockMd md("relearn.concurrent");
+  static ScopeInfo scope("cs");
+  alignas(64) std::uint64_t counter = 0;
+  constexpr int kPer = 3000;
+  test::run_threads(4, [&](unsigned) {
+    for (int i = 0; i < kPer; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec&) { tx_store(counter, tx_load(counter) + 1); });
+    }
+  });
+  EXPECT_EQ(counter, 4u * kPer);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/install.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct StaticPolicyTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+
+  TatasLock lock;
+  AttemptState fresh_state(bool htm = true, bool swopt = true) {
+    AttemptState st;
+    st.htm_eligible = htm;
+    st.swopt_eligible = swopt;
+    return st;
+  }
+};
+
+TEST_F(StaticPolicyTest, ProgressionOrderHtmThenSwOptThenLock) {
+  StaticPolicy p({.x = 2, .y = 2});
+  LockMd md("static.prog");
+  GranuleMd g(md, &context_root());
+  AttemptState st = fresh_state();
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kHtm);
+  st.htm_attempts = 1;
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kHtm);
+  st.htm_attempts = 2;
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kSwOpt);
+  st.swopt_attempts = 2;
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kLock);
+}
+
+TEST_F(StaticPolicyTest, HtmOnlyConfiguration) {
+  StaticPolicy p({.x = 3, .y = 5, .use_swopt = false});
+  LockMd md("static.hl");
+  GranuleMd g(md, &context_root());
+  AttemptState st = fresh_state();
+  st.htm_attempts = 3;
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kLock);
+}
+
+TEST_F(StaticPolicyTest, SwOptOnlyConfiguration) {
+  StaticPolicy p({.x = 3, .y = 2, .use_htm = false});
+  LockMd md("static.sl");
+  GranuleMd g(md, &context_root());
+  AttemptState st = fresh_state();
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kSwOpt);
+}
+
+TEST_F(StaticPolicyTest, IneligibilityOverridesConfiguration) {
+  StaticPolicy p({.x = 3, .y = 3});
+  LockMd md("static.inel");
+  GranuleMd g(md, &context_root());
+  AttemptState st = fresh_state(/*htm=*/false, /*swopt=*/false);
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kLock);
+}
+
+TEST_F(StaticPolicyTest, LockedAbortsWeighLess) {
+  // §4: lock-acquisition aborts consume only a fraction of X.
+  StaticPolicy p({.x = 2, .y = 0, .locked_abort_weight = 0.25});
+  LockMd md("static.lighter");
+  GranuleMd g(md, &context_root());
+  AttemptState st = fresh_state(true, false);
+  st.htm_locked_aborts = 7;  // 7 * 0.25 = 1.75 < 2 → still HTM
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kHtm);
+  st.htm_locked_aborts = 8;  // 8 * 0.25 = 2.0 → budget exhausted
+  EXPECT_EQ(p.choose_mode(st, md, g), ExecMode::kLock);
+}
+
+TEST_F(StaticPolicyTest, MakePolicyParsesSpecs) {
+  auto hl = make_policy("static-hl-7");
+  ASSERT_NE(hl, nullptr);
+  auto* s = dynamic_cast<StaticPolicy*>(hl.get());
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->config().x, 7u);
+  EXPECT_FALSE(s->config().use_swopt);
+
+  auto sl = make_policy("static-sl-4");
+  ASSERT_NE(sl, nullptr);
+  s = dynamic_cast<StaticPolicy*>(sl.get());
+  EXPECT_EQ(s->config().y, 4u);
+  EXPECT_FALSE(s->config().use_htm);
+
+  auto all = make_policy("static-all-10:10");
+  ASSERT_NE(all, nullptr);
+  s = dynamic_cast<StaticPolicy*>(all.get());
+  EXPECT_EQ(s->config().x, 10u);
+  EXPECT_EQ(s->config().y, 10u);
+
+  EXPECT_NE(make_policy("adaptive"), nullptr);
+  EXPECT_NE(make_policy("lockonly"), nullptr);
+  EXPECT_EQ(make_policy("static-all-10"), nullptr);
+  EXPECT_EQ(make_policy("static-hl-x"), nullptr);
+  EXPECT_EQ(make_policy("bogus"), nullptr);
+}
+
+TEST_F(StaticPolicyTest, AdaptiveEnvKnobsApply) {
+  setenv("ALE_ADAPTIVE_PHASE_LEN", "77", 1);
+  setenv("ALE_ADAPTIVE_GROUPING", "0", 1);
+  auto p = make_policy("adaptive");
+  ASSERT_NE(p, nullptr);
+  auto* a = dynamic_cast<AdaptivePolicy*>(p.get());
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->config().phase_len, 77u);
+  EXPECT_FALSE(a->config().grouping);
+  unsetenv("ALE_ADAPTIVE_PHASE_LEN");
+  unsetenv("ALE_ADAPTIVE_GROUPING");
+}
+
+TEST_F(StaticPolicyTest, EndToEndAllProgression) {
+  test::PolicyInstaller inst(
+      std::make_unique<StaticPolicy>(StaticPolicyConfig{.x = 1, .y = 1}));
+  LockMd md("static.e2e");
+  static ScopeInfo scope("cs", true);
+  std::vector<ExecMode> modes;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) -> CsBody {
+               modes.push_back(cs.exec_mode());
+               if (cs.exec_mode() == ExecMode::kHtm) {
+                 htm::tx_abort(htm::AbortCause::kExplicit, 2);
+               }
+               if (cs.in_swopt()) return CsBody::kRetrySwOpt;
+               return CsBody::kDone;
+             });
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_EQ(modes[0], ExecMode::kHtm);
+  EXPECT_EQ(modes[1], ExecMode::kSwOpt);
+  EXPECT_EQ(modes[2], ExecMode::kLock);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,78 @@
+// Parameterized property sweep over the simulator: conservation and basic
+// shape invariants must hold for every (platform, policy, workload) cell.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace ale::sim {
+namespace {
+
+struct MatrixParam {
+  const char* platform;
+  const char* policy;
+  double mutate;
+};
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  std::string s = std::string(info.param.platform) + "_" +
+                  info.param.policy + "_m" +
+                  std::to_string(static_cast<int>(info.param.mutate * 100));
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class SimMatrix : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  SimPlatform platform() const {
+    const std::string p = GetParam().platform;
+    if (p == "rock") return rock_platform();
+    if (p == "haswell") return haswell_platform();
+    return t2_platform();
+  }
+  SimPolicy policy() const {
+    const std::string p = GetParam().policy;
+    if (p == "lock") return SimPolicy::lock_only();
+    if (p == "hl") return SimPolicy::static_hl(5);
+    if (p == "sl") return SimPolicy::static_sl(3);
+    if (p == "all") return SimPolicy::static_all(5, 3);
+    return SimPolicy::adaptive();
+  }
+};
+
+TEST_P(SimMatrix, ConservationAndSanity) {
+  const auto w = hashmap_workload(GetParam().mutate, 4096, 1024);
+  for (const unsigned threads : {1u, 4u, 16u}) {
+    const auto r = simulate(platform(), w, policy(), threads, 9, 15000);
+    EXPECT_EQ(r.ops, r.htm_success + r.swopt_success + r.lock_success);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_GT(r.virtual_cycles, 0.0);
+    if (!platform().htm) EXPECT_EQ(r.htm_success, 0u);
+  }
+}
+
+TEST_P(SimMatrix, MoreThreadsNeverBelowHalfOfSingle) {
+  // Elision and even the plain lock should not catastrophically regress
+  // from 1 thread to 4 in this moderate workload (sanity check on the model).
+  const auto w = hashmap_workload(GetParam().mutate, 4096, 1024);
+  const double t1 = simulate(platform(), w, policy(), 1, 9, 15000).throughput;
+  const double t4 = simulate(platform(), w, policy(), 4, 9, 15000).throughput;
+  EXPECT_GT(t4, t1 * 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, SimMatrix,
+    ::testing::Values(MatrixParam{"rock", "lock", 0.2},
+                      MatrixParam{"rock", "hl", 0.2},
+                      MatrixParam{"rock", "all", 0.6},
+                      MatrixParam{"haswell", "sl", 0.02},
+                      MatrixParam{"haswell", "all", 0.2},
+                      MatrixParam{"haswell", "adaptive", 0.2},
+                      MatrixParam{"t2", "lock", 0.2},
+                      MatrixParam{"t2", "sl", 0.02},
+                      MatrixParam{"t2", "adaptive", 0.3}),
+    matrix_name);
+
+}  // namespace
+}  // namespace ale::sim

@@ -1,0 +1,155 @@
+// Platform simulator: determinism, conservation, and shape sanity.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace ale::sim {
+namespace {
+
+TEST(SimModel, PlatformPresets) {
+  EXPECT_TRUE(rock_platform().htm);
+  EXPECT_TRUE(haswell_platform().htm);
+  EXPECT_FALSE(t2_platform().htm);
+  EXPECT_EQ(rock_platform().hw_threads, 16u);
+  EXPECT_EQ(haswell_platform().hw_threads, 8u);
+  EXPECT_EQ(t2_platform().hw_threads, 128u);
+  EXPECT_LT(rock_platform().htm_write_cap, haswell_platform().htm_write_cap);
+}
+
+TEST(SimModel, PolicyLabels) {
+  EXPECT_EQ(SimPolicy::lock_only().label(), "Instrumented");
+  EXPECT_EQ(SimPolicy::static_hl(5).label(), "Static-HL-5");
+  EXPECT_EQ(SimPolicy::static_sl(3).label(), "Static-SL-3");
+  EXPECT_EQ(SimPolicy::static_all(10, 10).label(), "Static-All-10:10");
+  EXPECT_EQ(SimPolicy::adaptive().label(), "Adaptive-All");
+}
+
+TEST(SimModel, WorkloadDerivation) {
+  const auto sparse = hashmap_workload(0.2, 1000, 1024);
+  const auto dense = hashmap_workload(0.2, 100000, 1024);
+  EXPECT_GT(dense.cs_cycles, sparse.cs_cycles);  // longer chains
+  const auto small_range = hashmap_workload(0.2, 16, 1024);
+  EXPECT_GT(small_range.data_conflict_prob, sparse.data_conflict_prob);
+  EXPECT_EQ(wicked_workload(true).mutate_frac, 0.0);
+  EXPECT_GT(wicked_workload(false).mutate_frac, 0.0);
+}
+
+TEST(Simulator, DeterministicForSeed) {
+  const auto w = hashmap_workload(0.2, 4096, 1024);
+  const auto r1 =
+      simulate(haswell_platform(), w, SimPolicy::static_all(5, 3), 4, 7, 20000);
+  const auto r2 =
+      simulate(haswell_platform(), w, SimPolicy::static_all(5, 3), 4, 7, 20000);
+  EXPECT_EQ(r1.ops, r2.ops);
+  EXPECT_DOUBLE_EQ(r1.virtual_cycles, r2.virtual_cycles);
+  EXPECT_EQ(r1.htm_success, r2.htm_success);
+}
+
+TEST(Simulator, ConservationOfOperations) {
+  const auto w = hashmap_workload(0.3, 4096, 1024);
+  const auto r =
+      simulate(rock_platform(), w, SimPolicy::static_all(5, 3), 8, 3, 20000);
+  EXPECT_GE(r.ops, 20000u);
+  EXPECT_EQ(r.ops, r.htm_success + r.swopt_success + r.lock_success);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(Simulator, LockOnlyUsesOnlyLock) {
+  const auto w = hashmap_workload(0.3, 4096, 1024);
+  const auto r =
+      simulate(rock_platform(), w, SimPolicy::lock_only(), 8, 3, 10000);
+  EXPECT_EQ(r.htm_success, 0u);
+  EXPECT_EQ(r.swopt_success, 0u);
+  EXPECT_EQ(r.lock_success, r.ops);
+}
+
+TEST(Simulator, NoHtmPlatformNeverCommitsHtm) {
+  const auto w = hashmap_workload(0.3, 4096, 1024);
+  const auto r =
+      simulate(t2_platform(), w, SimPolicy::static_all(5, 3), 16, 3, 10000);
+  EXPECT_EQ(r.htm_success, 0u);
+  EXPECT_GT(r.swopt_success, 0u);
+}
+
+TEST(Simulator, ThreadsClampedToPlatform) {
+  const auto w = hashmap_workload(0.1, 4096, 1024);
+  const auto r = simulate(haswell_platform(), w, SimPolicy::static_hl(5),
+                          64 /* > 8 hw */, 3, 10000);
+  EXPECT_GT(r.ops, 0u);
+}
+
+// ---- shape properties the paper's figures rely on ----
+
+double tp(const SimPlatform& p, const SimWorkload& w, const SimPolicy& pol,
+          unsigned n, std::uint64_t ops = 30000) {
+  return simulate(p, w, pol, n, 42, ops).throughput;
+}
+
+TEST(SimulatorShape, ElisionScalesLockDoesNot) {
+  const auto w = hashmap_workload(0.1, 4096, 1024);
+  const auto p = haswell_platform();
+  const double lock1 = tp(p, w, SimPolicy::lock_only(), 1);
+  const double lock8 = tp(p, w, SimPolicy::lock_only(), 8);
+  const double htm1 = tp(p, w, SimPolicy::static_hl(5), 1);
+  const double htm8 = tp(p, w, SimPolicy::static_hl(5), 8);
+  EXPECT_GT(htm8 / htm1, 3.0);          // TLE scales
+  EXPECT_LT(lock8 / lock1, htm8 / htm1);  // the lock serializes
+  EXPECT_GT(htm8, lock8 * 1.5);         // and loses at 8 threads
+}
+
+TEST(SimulatorShape, SwOptWinsReadHeavyOnT2) {
+  const auto w = hashmap_workload(0.02, 4096, 1024);  // read-heavy
+  const auto p = t2_platform();
+  const double sl32 = tp(p, w, SimPolicy::static_sl(3), 32);
+  const double lock32 = tp(p, w, SimPolicy::lock_only(), 32);
+  EXPECT_GT(sl32, lock32 * 2.0);
+}
+
+TEST(SimulatorShape, HtmToleratesMutationsBetterThanSwOpt) {
+  // Mutation-heavy workload on an HTM platform: HL must beat SL.
+  const auto w = hashmap_workload(0.8, 4096, 1024);
+  const auto p = haswell_platform();
+  const double hl8 = tp(p, w, SimPolicy::static_hl(5), 8);
+  const double sl8 = tp(p, w, SimPolicy::static_sl(3), 8);
+  EXPECT_GT(hl8, sl8);
+}
+
+TEST(SimulatorShape, RockCapacityHurtsBigFootprints) {
+  auto w = hashmap_workload(0.5, 4096, 1024);
+  w.cs_footprint_lines = 32;  // above Rock's store-queue cap, below Haswell's
+  const double rock = tp(rock_platform(), w, SimPolicy::static_hl(5), 8);
+  const double rock_lock = tp(rock_platform(), w, SimPolicy::lock_only(), 8);
+  // Every mutating transaction capacity-aborts: HL degenerates to ~Lock.
+  EXPECT_LT(rock, rock_lock * 1.6);
+}
+
+TEST(SimulatorShape, AdaptiveCompetitiveWithBestStatic) {
+  const auto p = haswell_platform();
+  for (const double mutate : {0.02, 0.5}) {
+    const auto w = hashmap_workload(mutate, 4096, 1024);
+    const double best = std::max({tp(p, w, SimPolicy::static_hl(5), 8),
+                                  tp(p, w, SimPolicy::static_sl(3), 8),
+                                  tp(p, w, SimPolicy::static_all(5, 3), 8),
+                                  tp(p, w, SimPolicy::lock_only(), 8)});
+    const double adaptive = tp(p, w, SimPolicy::adaptive(), 8);
+    EXPECT_GT(adaptive, 0.7 * best) << "mutate=" << mutate;
+  }
+}
+
+TEST(SimulatorShape, AdaptiveConvergesToSensibleProgression) {
+  // Read-heavy on T2 (no HTM): adaptive should pick a SWOpt progression.
+  const auto w = hashmap_workload(0.02, 4096, 1024);
+  const auto r =
+      simulate(t2_platform(), w, SimPolicy::adaptive(), 32, 11, 30000);
+  EXPECT_EQ(r.adaptive_final_progression, 1u);  // SWOpt+Lock
+  // Mutation-heavy on Haswell: adaptive should keep HTM in the mix.
+  const auto w2 = hashmap_workload(0.8, 4096, 1024);
+  const auto r2 =
+      simulate(haswell_platform(), w2, SimPolicy::adaptive(), 8, 11, 30000);
+  EXPECT_TRUE(r2.adaptive_final_progression == 2u ||
+              r2.adaptive_final_progression == 3u);
+  EXPECT_GE(r2.adaptive_final_x, 1u);
+}
+
+}  // namespace
+}  // namespace ale::sim

@@ -1,0 +1,145 @@
+// The structure-faithful Figure-5 simulator: determinism, accounting, and
+// the paper's qualitative claims about the wicked benchmark.
+#include <gtest/gtest.h>
+
+#include "sim/wicked_sim.hpp"
+
+namespace ale::sim {
+namespace {
+
+WickedSimConfig t2_nomutate() {
+  WickedSimConfig cfg;
+  cfg.platform = t2_platform();
+  cfg.nomutate = true;
+  return cfg;
+}
+
+TEST(WickedSim, DeterministicForSeed) {
+  const auto cfg = t2_nomutate();
+  const auto a =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticSL, 16, 7, 20000);
+  const auto b =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticSL, 16, 7, 20000);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_DOUBLE_EQ(a.virtual_cycles, b.virtual_cycles);
+  EXPECT_EQ(a.outer_swopt, b.outer_swopt);
+}
+
+TEST(WickedSim, OuterModeAccountingSumsToOps) {
+  const auto cfg = t2_nomutate();
+  const auto r =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticSL, 32, 3, 20000);
+  EXPECT_EQ(r.ops, r.outer_htm + r.outer_swopt + r.outer_lock);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(WickedSim, InstrumentedAlwaysTakesTheRwLock) {
+  const auto r = simulate_wicked(t2_nomutate(),
+                                 WickedPolicyKind::kInstrumented, 16, 3,
+                                 10000);
+  EXPECT_EQ(r.outer_htm, 0u);
+  EXPECT_EQ(r.outer_swopt, 0u);
+  EXPECT_EQ(r.outer_lock, r.ops);
+}
+
+TEST(WickedSim, NomutateSwOptShareMatchesMissRate) {
+  // The paper's 42% statistic: under Static:SWOpt, exactly the misses
+  // complete in external SWOpt.
+  const auto r = simulate_wicked(t2_nomutate(),
+                                 WickedPolicyKind::kStaticSL, 32, 3, 40000);
+  EXPECT_NEAR(r.swopt_success_share, 0.42, 0.02);
+}
+
+TEST(WickedSim, SwOptBeatsInstrumentedOnT2) {
+  const auto cfg = t2_nomutate();
+  const auto sl =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticSL, 64, 3, 30000);
+  const auto lock =
+      simulate_wicked(cfg, WickedPolicyKind::kInstrumented, 64, 3, 30000);
+  EXPECT_GT(sl.throughput, lock.throughput * 1.3);
+}
+
+TEST(WickedSim, AllBeatsSwOptWhenHtmAvailable) {
+  // §5: "using HTM for the external critical section reduces the number of
+  // acquisition trials for the RW-Lock, which reduces contention at higher
+  // thread counts" — so on an HTM platform, All > SL (hits avoid the lock).
+  WickedSimConfig cfg;
+  cfg.platform = haswell_platform();
+  cfg.nomutate = true;
+  const auto all =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticAll, 8, 3, 30000);
+  const auto sl =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticSL, 8, 3, 30000);
+  EXPECT_GT(all.throughput, sl.throughput);
+  // And the mechanism is visible in the accounting: All acquires the RW
+  // lock far less often than SL (whose hits must retry with the lock).
+  EXPECT_LT(static_cast<double>(all.outer_lock),
+            static_cast<double>(sl.outer_lock) * 0.5);
+}
+
+TEST(WickedSim, HitRateDrivesLockAcquisitions) {
+  // More hits → more SL self-aborts → more RW acquisitions.
+  auto cfg = t2_nomutate();
+  cfg.hit_rate = 0.2;
+  const auto few_hits =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticSL, 32, 3, 20000);
+  cfg.hit_rate = 0.9;
+  const auto many_hits =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticSL, 32, 3, 20000);
+  EXPECT_GT(many_hits.outer_lock, few_hits.outer_lock);
+  EXPECT_GT(few_hits.throughput, many_hits.throughput);
+}
+
+TEST(WickedSim, AdaptiveConvergesToCompetitivePolicy) {
+  for (const bool haswell : {false, true}) {
+    WickedSimConfig cfg;
+    cfg.platform = haswell ? haswell_platform() : t2_platform();
+    cfg.nomutate = true;
+    const unsigned n = haswell ? 8 : 32;
+    const auto kind = haswell ? WickedPolicyKind::kAdaptiveAll
+                              : WickedPolicyKind::kAdaptiveSL;
+    const auto adaptive = simulate_wicked(cfg, kind, n, 11, 30000);
+    double best = 0;
+    for (const auto p :
+         {WickedPolicyKind::kInstrumented, WickedPolicyKind::kStaticSL,
+          WickedPolicyKind::kStaticHL, WickedPolicyKind::kStaticAll}) {
+      if (!cfg.platform.htm && (p == WickedPolicyKind::kStaticHL ||
+                                p == WickedPolicyKind::kStaticAll)) {
+        continue;
+      }
+      best = std::max(best,
+                      simulate_wicked(cfg, p, n, 11, 30000).throughput);
+    }
+    EXPECT_GT(adaptive.throughput, best * 0.7)
+        << (haswell ? "haswell" : "t2");
+  }
+}
+
+TEST(WickedSim, InstrumentedCollapsesAtHighThreadCounts) {
+  // The trylockspin discussion's premise: the RW read lock's shared
+  // reader count becomes the bottleneck — throughput *degrades* past its
+  // peak as threads grow.
+  const auto cfg = t2_nomutate();
+  const auto t8 =
+      simulate_wicked(cfg, WickedPolicyKind::kInstrumented, 8, 3, 20000);
+  const auto t128 =
+      simulate_wicked(cfg, WickedPolicyKind::kInstrumented, 128, 3, 20000);
+  EXPECT_LT(t128.throughput, t8.throughput * 0.6);
+  // While the SWOpt-eliding policy holds up far better.
+  const auto sl128 =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticSL, 128, 3, 20000);
+  EXPECT_GT(sl128.throughput, t128.throughput * 2.0);
+}
+
+TEST(WickedSim, MixedWickedRunsAllOps) {
+  WickedSimConfig cfg;
+  cfg.platform = haswell_platform();
+  cfg.nomutate = false;
+  const auto r =
+      simulate_wicked(cfg, WickedPolicyKind::kStaticAll, 8, 3, 20000);
+  EXPECT_EQ(r.ops, r.outer_htm + r.outer_swopt + r.outer_lock);
+  EXPECT_GT(r.outer_htm, 0u);
+}
+
+}  // namespace
+}  // namespace ale::sim

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bfp_counter.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(BfpCounter, StartsAtZero) {
+  BfpCounter c;
+  EXPECT_EQ(c.read(), 0u);
+  EXPECT_TRUE(c.is_exact());
+}
+
+TEST(BfpCounter, ExactBelowThreshold) {
+  BfpCounter c(/*threshold=*/512);
+  for (int i = 0; i < 511; ++i) c.inc();
+  EXPECT_EQ(c.read(), 511u);
+  EXPECT_TRUE(c.is_exact());
+}
+
+TEST(BfpCounter, ResetClears) {
+  BfpCounter c;
+  for (int i = 0; i < 100; ++i) c.inc();
+  c.reset();
+  EXPECT_EQ(c.read(), 0u);
+}
+
+// Parameterized accuracy sweep: the projected value must track the true
+// count within a few standard errors across magnitudes.
+class BfpAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfpAccuracy, EstimateWithinBounds) {
+  const std::uint64_t n = GetParam();
+  BfpCounter c(/*threshold=*/512);
+  for (std::uint64_t i = 0; i < n; ++i) c.inc();
+  const double estimate = static_cast<double>(c.read());
+  const double truth = static_cast<double>(n);
+  // Relative standard error ≈ sqrt(2/T) ≈ 6.3%; allow 5 sigma.
+  const double tolerance = 5.0 * std::sqrt(2.0 / 512.0) * truth + 1.0;
+  EXPECT_NEAR(estimate, truth, tolerance) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, BfpAccuracy,
+                         ::testing::Values(1, 10, 511, 513, 1000, 5000,
+                                           20000, 100000, 400000));
+
+TEST(BfpCounter, MonotoneNonDecreasingReads) {
+  BfpCounter c(64);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 50000; ++i) {
+    c.inc();
+    const std::uint64_t now = c.read();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(BfpCounter, ConcurrentIncrementsStayAccurate) {
+  BfpCounter c(512);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPer = 50000;
+  test::run_threads(kThreads, [&](unsigned) {
+    for (std::uint64_t i = 0; i < kPer; ++i) c.inc();
+  });
+  const double truth = static_cast<double>(kThreads * kPer);
+  const double tolerance = 5.0 * std::sqrt(2.0 / 512.0) * truth;
+  EXPECT_NEAR(static_cast<double>(c.read()), truth, tolerance);
+}
+
+TEST(BfpCounter, TinyThresholdStillUnbiased) {
+  // Aggressive exponent growth: accuracy degrades but stays bounded.
+  BfpCounter c(4);
+  constexpr std::uint64_t kN = 200000;
+  for (std::uint64_t i = 0; i < kN; ++i) c.inc();
+  const double truth = static_cast<double>(kN);
+  EXPECT_NEAR(static_cast<double>(c.read()), truth,
+              6.0 * std::sqrt(2.0 / 4.0) * truth);
+}
+
+}  // namespace
+}  // namespace ale

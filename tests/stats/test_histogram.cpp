@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+
+namespace ale {
+namespace {
+
+TEST(AttemptHistogram, EmptyState) {
+  AttemptHistogram<64> h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_successful_attempt(), 0u);
+  EXPECT_EQ(h.failures(), 0u);
+}
+
+TEST(AttemptHistogram, RecordsBuckets) {
+  AttemptHistogram<64> h;
+  h.record_success(1);
+  h.record_success(1);
+  h.record_success(3);
+  h.record_failure();
+  EXPECT_EQ(h.successes_at(1), 2u);
+  EXPECT_EQ(h.successes_at(2), 0u);
+  EXPECT_EQ(h.successes_at(3), 1u);
+  EXPECT_EQ(h.failures(), 1u);
+  EXPECT_EQ(h.total_successes(), 3u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.max_successful_attempt(), 3u);
+}
+
+TEST(AttemptHistogram, CumulativeWithinBudget) {
+  AttemptHistogram<64> h;
+  h.record_success(1);
+  h.record_success(2);
+  h.record_success(5);
+  EXPECT_EQ(h.successes_within(0), 0u);
+  EXPECT_EQ(h.successes_within(1), 1u);
+  EXPECT_EQ(h.successes_within(2), 2u);
+  EXPECT_EQ(h.successes_within(4), 2u);
+  EXPECT_EQ(h.successes_within(5), 3u);
+  EXPECT_EQ(h.successes_within(64), 3u);
+}
+
+TEST(AttemptHistogram, ClampsOutOfRange) {
+  AttemptHistogram<8> h;
+  h.record_success(0);    // clamps up to 1
+  h.record_success(100);  // clamps down to 8
+  EXPECT_EQ(h.successes_at(1), 1u);
+  EXPECT_EQ(h.successes_at(8), 1u);
+  EXPECT_EQ(h.max_successful_attempt(), 8u);
+}
+
+TEST(AttemptHistogram, ResetClears) {
+  AttemptHistogram<64> h;
+  h.record_success(2);
+  h.record_failure();
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.failures(), 0u);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "stats/sampled_time.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(SampledTime, EmptySummaries) {
+  SampledTime st;
+  EXPECT_EQ(st.sample_count(), 0u);
+  EXPECT_EQ(st.mean_ticks(), 0.0);
+  EXPECT_EQ(st.min_ns(), 0.0);
+  EXPECT_FALSE(st.is_reliable());
+}
+
+TEST(SampledTime, RecordAccumulates) {
+  SampledTime st;
+  st.record(100);
+  st.record(300);
+  EXPECT_EQ(st.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(st.mean_ticks(), 200.0);
+}
+
+TEST(SampledTime, MinMaxTracked) {
+  SampledTime st;
+  st.record(50);
+  st.record(500);
+  st.record(5);
+  EXPECT_GE(st.max_ns(), st.min_ns());
+  EXPECT_GT(st.max_ns(), 0.0);
+}
+
+TEST(SampledTime, SamplingRateApproximatelyHonored) {
+  SampledTime st(0.03);
+  int sampled = 0;
+  constexpr int kEvents = 100000;
+  for (int i = 0; i < kEvents; ++i) {
+    if (st.maybe_start()) ++sampled;
+  }
+  // 3% ± generous slack (binomial, σ ≈ 54).
+  EXPECT_GT(sampled, 2000);
+  EXPECT_LT(sampled, 4000);
+}
+
+TEST(SampledTime, AlwaysSampleRate) {
+  SampledTime st(1.0);
+  for (int i = 0; i < 100; ++i) {
+    auto t = st.maybe_start();
+    ASSERT_TRUE(t.has_value());
+    st.record_since(*t);
+  }
+  EXPECT_EQ(st.sample_count(), 100u);
+  EXPECT_TRUE(st.is_reliable());
+}
+
+TEST(SampledTime, ResetClearsEverything) {
+  SampledTime st;
+  st.record(42);
+  st.reset();
+  EXPECT_EQ(st.sample_count(), 0u);
+  EXPECT_EQ(st.mean_ticks(), 0.0);
+}
+
+TEST(SampledTime, ConcurrentRecordsAllCounted) {
+  SampledTime st;
+  test::run_threads(4, [&](unsigned) {
+    for (int i = 0; i < 10000; ++i) st.record(10);
+  });
+  EXPECT_EQ(st.sample_count(), 40000u);
+  EXPECT_DOUBLE_EQ(st.mean_ticks(), 10.0);
+}
+
+TEST(TicksCalibration, PositiveRatio) {
+  EXPECT_GT(ticks_per_ns(), 0.0);
+  const std::uint64_t t0 = now_ticks();
+  const std::uint64_t t1 = now_ticks();
+  EXPECT_GE(t1, t0);
+}
+
+}  // namespace
+}  // namespace ale

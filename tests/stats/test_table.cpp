@@ -1,0 +1,39 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/table.hpp"
+
+namespace ale {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream ss;
+  t.print(ss);
+  EXPECT_NE(ss.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt_pct(0.5), "50.0%");
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+
+#include "sync/backoff.hpp"
+
+namespace ale {
+namespace {
+
+TEST(Backoff, StartsAtMinimum) {
+  Backoff b;
+  EXPECT_EQ(b.current_limit(), Backoff::kMinSpins);
+}
+
+TEST(Backoff, DoublesUpToCap) {
+  Backoff b;
+  for (int i = 0; i < 20; ++i) b.pause();
+  EXPECT_EQ(b.current_limit(), Backoff::kMaxSpins);
+}
+
+TEST(Backoff, ResetRestoresMinimum) {
+  Backoff b;
+  b.pause();
+  b.pause();
+  EXPECT_GT(b.current_limit(), Backoff::kMinSpins);
+  b.reset();
+  EXPECT_EQ(b.current_limit(), Backoff::kMinSpins);
+}
+
+TEST(Backoff, CustomCapRespected) {
+  Backoff b(64);
+  for (int i = 0; i < 20; ++i) b.pause();
+  EXPECT_EQ(b.current_limit(), 64u);
+}
+
+}  // namespace
+}  // namespace ale

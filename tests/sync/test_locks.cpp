@@ -1,0 +1,188 @@
+// Mutual-exclusion and predicate tests for the lock substrates.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "sync/lockapi.hpp"
+#include "sync/rwlock.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticketlock.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+// ---- generic lock battery, instantiated per lock type ----
+
+template <typename L>
+class LockTest : public ::testing::Test {};
+
+using LockTypes = ::testing::Types<TatasLock, TicketLock, TrackedMutex>;
+TYPED_TEST_SUITE(LockTest, LockTypes);
+
+TYPED_TEST(LockTest, InitiallyUnlocked) {
+  TypeParam lock;
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TYPED_TEST(LockTest, LockSetsPredicate) {
+  TypeParam lock;
+  lock.lock();
+  EXPECT_TRUE(lock.is_locked());
+  lock.unlock();
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TYPED_TEST(LockTest, TryLockSucceedsWhenFree) {
+  TypeParam lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_TRUE(lock.is_locked());
+  lock.unlock();
+}
+
+TYPED_TEST(LockTest, TryLockFailsWhenHeld) {
+  TypeParam lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TYPED_TEST(LockTest, MutualExclusionCounter) {
+  TypeParam lock;
+  long counter = 0;
+  constexpr int kPerThread = 20000;
+  constexpr unsigned kThreads = 4;
+  test::run_threads(kThreads, [&](unsigned) {
+    for (int i = 0; i < kPerThread; ++i) {
+      lock.lock();
+      counter++;  // racy unless the lock works
+      lock.unlock();
+    }
+  });
+  EXPECT_EQ(counter, static_cast<long>(kPerThread) * kThreads);
+}
+
+TYPED_TEST(LockTest, GenericLockApiRoundTrip) {
+  TypeParam lock;
+  const LockApi* api = lock_api<TypeParam>();
+  EXPECT_FALSE(api->is_locked(&lock));
+  api->acquire(&lock);
+  EXPECT_TRUE(api->is_locked(&lock));
+  EXPECT_FALSE(api->try_acquire(&lock));
+  api->release(&lock);
+  EXPECT_TRUE(api->try_acquire(&lock));
+  api->release(&lock);
+}
+
+// ---- ticket lock FIFO ----
+
+TEST(TicketLock, GrantsInFifoOrder) {
+  TicketLock lock;
+  std::vector<int> order;
+  std::atomic<int> stage{0};
+  lock.lock();
+  std::thread t1([&] {
+    stage.fetch_add(1);
+    lock.lock();
+    order.push_back(1);
+    lock.unlock();
+  });
+  while (stage.load() < 1) {
+  }
+  // t1 is (about to be) queued; give it time to take its ticket.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::thread t2([&] {
+    lock.lock();
+    order.push_back(2);
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lock.unlock();
+  t1.join();
+  t2.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+// ---- readers-writer lock ----
+
+TEST(RwSpinLock, ReadersShareWritersExclude) {
+  RwSpinLock rw;
+  rw.lock_shared();
+  EXPECT_TRUE(rw.try_lock_shared());
+  EXPECT_FALSE(rw.try_lock());
+  EXPECT_EQ(rw.reader_count(), 2u);
+  rw.unlock_shared();
+  rw.unlock_shared();
+  EXPECT_TRUE(rw.try_lock());
+  EXPECT_FALSE(rw.try_lock_shared());
+  EXPECT_FALSE(rw.try_lock());
+  rw.unlock();
+}
+
+TEST(RwSpinLock, PredicatesDistinguishReadersFromWriter) {
+  RwSpinLock rw;
+  EXPECT_FALSE(rw.is_locked());
+  EXPECT_FALSE(rw.is_write_locked());
+  rw.lock_shared();
+  EXPECT_TRUE(rw.is_locked());        // readers conflict with elided writers
+  EXPECT_FALSE(rw.is_write_locked());  // but not with elided readers
+  rw.unlock_shared();
+  rw.lock();
+  EXPECT_TRUE(rw.is_locked());
+  EXPECT_TRUE(rw.is_write_locked());
+  rw.unlock();
+}
+
+TEST(RwSpinLock, WriterCounterIntegrity) {
+  RwSpinLock rw;
+  long counter = 0;
+  std::atomic<long> reads_ok{0};
+  test::run_threads(4, [&](unsigned idx) {
+    for (int i = 0; i < 5000; ++i) {
+      if (idx % 2 == 0) {
+        rw.lock();
+        counter++;
+        rw.unlock();
+      } else {
+        rw.lock_shared_trylockspin();
+        if (counter >= 0) reads_ok.fetch_add(1, std::memory_order_relaxed);
+        rw.unlock_shared();
+      }
+    }
+  });
+  EXPECT_EQ(counter, 2 * 5000);
+  EXPECT_EQ(reads_ok.load(), 2 * 5000);
+}
+
+TEST(RwSpinLock, TrylockspinAcquires) {
+  RwSpinLock rw;
+  rw.lock_trylockspin();
+  EXPECT_TRUE(rw.is_write_locked());
+  rw.unlock();
+  rw.lock_shared_trylockspin();
+  EXPECT_EQ(rw.reader_count(), 1u);
+  rw.unlock_shared();
+}
+
+TEST(RwLockApi, ReadAndWriteViewsDiffer) {
+  RwSpinLock rw;
+  const LockApi* w = rw_write_api();
+  const LockApi* r = rw_read_api();
+  r->acquire(&rw);
+  EXPECT_TRUE(w->is_locked(&rw));   // write view sees the reader
+  EXPECT_FALSE(r->is_locked(&rw));  // read view does not
+  r->release(&rw);
+  w->acquire(&rw);
+  EXPECT_TRUE(w->is_locked(&rw));
+  EXPECT_TRUE(r->is_locked(&rw));
+  w->release(&rw);
+  EXPECT_STREQ(rw_read_trylockspin_api()->name, "rw-read-trylockspin");
+}
+
+}  // namespace
+}  // namespace ale

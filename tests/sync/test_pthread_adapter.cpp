@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "sync/pthread_adapter.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(PthreadLock, BasicProtocol) {
+  PthreadLock lock;
+  EXPECT_FALSE(lock.is_locked());
+  lock.lock();
+  EXPECT_TRUE(lock.is_locked());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.is_locked());
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(PthreadLock, MutualExclusion) {
+  PthreadLock lock;
+  long counter = 0;
+  test::run_threads(4, [&](unsigned) {
+    for (int i = 0; i < 10000; ++i) {
+      lock.lock();
+      counter++;
+      lock.unlock();
+    }
+  });
+  EXPECT_EQ(counter, 4L * 10000);
+}
+
+TEST(PthreadLock, WorksAsAleLock) {
+  test::use_emulated_ideal();
+  set_global_policy(std::make_unique<StaticPolicy>(
+      StaticPolicyConfig{.x = 3, .y = 0, .use_swopt = false}));
+  PthreadLock lock;
+  LockMd md("pthread.ale");
+  static ScopeInfo scope("cs");
+  alignas(64) std::uint64_t counter = 0;
+  ExecMode first_mode = ExecMode::kLock;
+  bool first = true;
+  test::run_threads(4, [&](unsigned) {
+    for (int i = 0; i < 3000; ++i) {
+      execute_cs(lock_api<PthreadLock>(), &lock, md, scope,
+                 [&](CsExec& cs) {
+                   if (first) {
+                     first_mode = cs.exec_mode();
+                     first = false;
+                   }
+                   tx_store(counter, tx_load(counter) + 1);
+                 });
+    }
+  });
+  EXPECT_EQ(counter, 4u * 3000u);
+  EXPECT_FALSE(lock.is_locked());
+  set_global_policy(nullptr);
+}
+
+TEST(PthreadLockRef, WrapsForeignMutex) {
+  test::use_emulated_ideal();
+  pthread_mutex_t raw = PTHREAD_MUTEX_INITIALIZER;
+  {
+    PthreadLockRef ref(&raw);
+    LockMd md("pthread.ref");
+    static ScopeInfo scope("cs");
+    std::uint64_t x = 0;
+    execute_cs(lock_api<PthreadLockRef>(), &ref, md, scope,
+               [&](CsExec&) { tx_store(x, std::uint64_t{1}); });
+    EXPECT_EQ(x, 1u);
+    EXPECT_FALSE(ref.is_locked());
+  }
+  pthread_mutex_destroy(&raw);
+}
+
+TEST(PthreadLock, ElisionLeavesMutexUntouched) {
+  // In HTM mode the pthread mutex must never be acquired.
+  test::use_emulated_ideal();
+  set_global_policy(std::make_unique<StaticPolicy>());
+  PthreadLock lock;
+  LockMd md("pthread.elide");
+  static ScopeInfo scope("cs");
+  std::uint64_t x = 0;
+  bool was_locked = true;
+  execute_cs(lock_api<PthreadLock>(), &lock, md, scope, [&](CsExec& cs) {
+    ASSERT_EQ(cs.exec_mode(), ExecMode::kHtm);
+    was_locked = lock.is_locked();
+    tx_store(x, std::uint64_t{2});
+  });
+  EXPECT_FALSE(was_locked);
+  EXPECT_EQ(x, 2u);
+  set_global_policy(nullptr);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,110 @@
+// Writer-preference and stress properties of the readers-writer lock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sync/rwlock.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(RwLockFairness, WriterEventuallyGetsInUnderReaderStream) {
+  RwSpinLock rw;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writer_done{false};
+  // A stream of readers that would starve a naive writer.
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        rw.lock_shared();
+        cpu_pause();
+        rw.unlock_shared();
+      }
+    });
+  }
+  std::thread writer([&] {
+    rw.lock();  // must not starve: the wait bit holds new readers off
+    writer_done.store(true);
+    rw.unlock();
+  });
+  // Generous bound; with writer preference this completes in microseconds.
+  for (int i = 0; i < 2000 && !writer_done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_FALSE(rw.is_locked());
+}
+
+TEST(RwLockFairness, StressMixedReadWriteInvariant) {
+  RwSpinLock rw;
+  alignas(64) std::uint64_t a = 0;
+  alignas(64) std::uint64_t b = 0;
+  std::atomic<std::uint64_t> torn{0};
+  test::run_threads(4, [&](unsigned idx) {
+    for (int i = 0; i < 8000; ++i) {
+      if (idx == 0) {
+        rw.lock();
+        a++;
+        b++;
+        rw.unlock();
+      } else {
+        rw.lock_shared();
+        const std::uint64_t ra = a;
+        const std::uint64_t rb = b;
+        if (ra != rb) torn.fetch_add(1);
+        rw.unlock_shared();
+      }
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(a, 8000u);
+  EXPECT_EQ(b, 8000u);
+}
+
+TEST(RwLockFairness, TryLockSharedFailsWhileWriterWaits) {
+  RwSpinLock rw;
+  rw.lock_shared();  // a reader in
+  std::atomic<bool> writer_started{false};
+  std::thread writer([&] {
+    writer_started.store(true);
+    rw.lock();  // blocks on the reader; sets the wait bit
+    rw.unlock();
+  });
+  while (!writer_started.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Writer preference: no new reader admission while a writer waits.
+  EXPECT_FALSE(rw.try_lock_shared());
+  rw.unlock_shared();
+  writer.join();
+  EXPECT_TRUE(rw.try_lock_shared());
+  rw.unlock_shared();
+}
+
+TEST(RwLockFairness, ManyReadersCountExactly) {
+  RwSpinLock rw;
+  constexpr unsigned kThreads = 6;
+  std::atomic<unsigned> inside{0};
+  std::atomic<unsigned> max_seen{0};
+  test::run_threads(kThreads, [&](unsigned) {
+    for (int i = 0; i < 2000; ++i) {
+      rw.lock_shared();
+      const unsigned now = inside.fetch_add(1) + 1;
+      unsigned m = max_seen.load();
+      while (m < now && !max_seen.compare_exchange_weak(m, now)) {
+      }
+      inside.fetch_sub(1);
+      rw.unlock_shared();
+    }
+  });
+  EXPECT_EQ(rw.reader_count(), 0u);
+  EXPECT_GE(max_seen.load(), 1u);
+  EXPECT_LE(max_seen.load(), kThreads);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sync/seqlock.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(SeqLock, StartsEvenAndIdle) {
+  SeqLock sl;
+  EXPECT_EQ(sl.raw(), 0u);
+  EXPECT_FALSE(sl.write_active());
+}
+
+TEST(SeqLock, WriteBracketTogglesParity) {
+  SeqLock sl;
+  sl.write_begin();
+  EXPECT_TRUE(sl.write_active());
+  sl.write_end();
+  EXPECT_FALSE(sl.write_active());
+  EXPECT_EQ(sl.raw(), 2u);
+}
+
+TEST(SeqLock, ValidateDetectsWriter) {
+  SeqLock sl;
+  const auto snap = sl.read_begin();
+  EXPECT_TRUE(sl.validate(snap));
+  sl.write_begin();
+  EXPECT_FALSE(sl.validate(snap));
+  sl.write_end();
+  EXPECT_FALSE(sl.validate(snap));  // sequence moved on permanently
+}
+
+TEST(SeqLock, ReadBeginSkipsOddWithoutWait) {
+  SeqLock sl;
+  sl.write_begin();
+  // Non-waiting read returns the odd value.
+  EXPECT_EQ(sl.read_begin(false) & 1, 1u);
+  sl.write_end();
+  EXPECT_EQ(sl.read_begin(true) & 1, 0u);
+}
+
+TEST(SeqLock, WriteGuardIsBalanced) {
+  SeqLock sl;
+  {
+    SeqLockWriteGuard g(sl);
+    EXPECT_TRUE(sl.write_active());
+  }
+  EXPECT_FALSE(sl.write_active());
+}
+
+// Readers never observe a torn pair protected by the seqlock protocol.
+TEST(SeqLock, ReadersNeverSeeTornData) {
+  SeqLock sl;
+  std::atomic<std::uint64_t> a{0}, b{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; i <= 30000; ++i) {
+      sl.write_begin();
+      a.store(i, std::memory_order_relaxed);
+      b.store(2 * i, std::memory_order_relaxed);
+      sl.write_end();
+    }
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const auto snap = sl.read_begin();
+      const std::uint64_t ra = a.load(std::memory_order_relaxed);
+      const std::uint64_t rb = b.load(std::memory_order_relaxed);
+      if (sl.validate(snap) && rb != 2 * ra) {
+        torn.fetch_add(1);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sync/snzi.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(Snzi, InitiallyZero) {
+  Snzi s;
+  EXPECT_FALSE(s.query());
+  EXPECT_EQ(s.root_surplus_for_test(), 0);
+}
+
+TEST(Snzi, ArriveSetsDepartClears) {
+  Snzi s;
+  s.arrive();
+  EXPECT_TRUE(s.query());
+  s.depart();
+  EXPECT_FALSE(s.query());
+}
+
+TEST(Snzi, NestedArrivalsFromOneThread) {
+  Snzi s;
+  for (int i = 0; i < 10; ++i) s.arrive();
+  EXPECT_TRUE(s.query());
+  for (int i = 0; i < 9; ++i) s.depart();
+  EXPECT_TRUE(s.query());
+  s.depart();
+  EXPECT_FALSE(s.query());
+}
+
+TEST(Snzi, SingleLeafDegenerateTree) {
+  Snzi s(1);
+  s.arrive();
+  s.arrive();
+  EXPECT_TRUE(s.query());
+  s.depart();
+  s.depart();
+  EXPECT_FALSE(s.query());
+}
+
+// Root surplus stays filtered: a thread's repeated arrive/depart pairs
+// leave at most one root surplus at a time.
+TEST(Snzi, RootFiltering) {
+  Snzi s(4);
+  s.arrive();
+  const auto surplus_one = s.root_surplus_for_test();
+  s.arrive();
+  // Second arrival on the same (nonzero) leaf must not touch the root.
+  EXPECT_EQ(s.root_surplus_for_test(), surplus_one);
+  s.depart();
+  s.depart();
+}
+
+// Concurrent arrive/depart storm: the indicator must read exactly zero
+// when all arrivals have departed, and nonzero while a holder exists.
+TEST(Snzi, ConcurrentBalancedStorm) {
+  Snzi s(8);
+  constexpr unsigned kThreads = 8;
+  constexpr int kIters = 20000;
+  test::run_threads(kThreads, [&](unsigned) {
+    for (int i = 0; i < kIters; ++i) {
+      s.arrive();
+      s.depart();
+    }
+  });
+  EXPECT_FALSE(s.query());
+  EXPECT_EQ(s.root_surplus_for_test(), 0);
+}
+
+// A long-lived holder keeps the indicator up through other threads' noise.
+TEST(Snzi, HolderVisibleThroughNoise) {
+  Snzi s(8);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> missed{0};
+  std::thread holder([&] {
+    s.arrive();
+    while (!stop.load()) {
+      if (!s.query()) missed.fetch_add(1);
+    }
+    s.depart();
+  });
+  test::run_threads(4, [&](unsigned) {
+    for (int i = 0; i < 10000; ++i) {
+      s.arrive();
+      s.depart();
+    }
+  });
+  stop.store(true);
+  holder.join();
+  EXPECT_EQ(missed.load(), 0u);
+  EXPECT_FALSE(s.query());
+}
+
+// Paired arrive/depart across threads where each pair overlaps: surplus
+// accounting must converge to zero.
+TEST(Snzi, OverlappingPairsConverge) {
+  Snzi s(2);  // small tree maximizes leaf contention / helping
+  test::run_threads(6, [&](unsigned) {
+    for (int i = 0; i < 5000; ++i) {
+      s.arrive();
+      if (i % 3 == 0) s.arrive();
+      s.depart();
+      if (i % 3 == 0) s.depart();
+    }
+  });
+  EXPECT_FALSE(s.query());
+  EXPECT_EQ(s.root_surplus_for_test(), 0);
+}
+
+}  // namespace
+}  // namespace ale

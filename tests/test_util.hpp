@@ -1,0 +1,49 @@
+// Shared helpers for the ALE test suite.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/policy_iface.hpp"
+#include "htm/config.hpp"
+
+namespace ale::test {
+
+// Deterministic substrate for unit tests: emulated HTM with no capacity
+// limits and no quirk injection.
+inline void use_emulated_ideal() {
+  htm::Config c;
+  c.backend = htm::BackendKind::kEmulated;
+  c.profile = htm::ideal_profile();
+  htm::configure(c);
+}
+
+inline void use_no_htm() {
+  htm::Config c;
+  c.backend = htm::BackendKind::kEmulated;
+  c.profile = htm::t2_profile();
+  htm::configure(c);
+}
+
+// Run `fn(thread_index)` on `n` threads and join them all.
+inline void run_threads(unsigned n,
+                        const std::function<void(unsigned)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads.emplace_back([i, &fn] { fn(i); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// RAII: install a policy for the duration of a test, restoring the default.
+class PolicyInstaller {
+ public:
+  explicit PolicyInstaller(std::unique_ptr<Policy> p) {
+    set_global_policy(std::move(p));
+  }
+  ~PolicyInstaller() { set_global_policy(nullptr); }
+};
+
+}  // namespace ale::test
