@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_grouping.cpp" "bench-objs/CMakeFiles/ablation_grouping.dir/ablation_grouping.cpp.o" "gcc" "bench-objs/CMakeFiles/ablation_grouping.dir/ablation_grouping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hashmap/CMakeFiles/ale_hashmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvdb/CMakeFiles/ale_kvdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/ale_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ale_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/ale_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/ale_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ale_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_grouping"
+  "../bench/ablation_grouping.pdb"
+  "CMakeFiles/ablation_grouping.dir/ablation_grouping.cpp.o"
+  "CMakeFiles/ablation_grouping.dir/ablation_grouping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_per_bucket"
+  "../bench/ablation_per_bucket.pdb"
+  "CMakeFiles/ablation_per_bucket.dir/ablation_per_bucket.cpp.o"
+  "CMakeFiles/ablation_per_bucket.dir/ablation_per_bucket.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_per_bucket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

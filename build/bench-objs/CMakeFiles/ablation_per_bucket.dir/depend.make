@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_per_bucket.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_swopt_elision"
+  "../bench/ablation_swopt_elision.pdb"
+  "CMakeFiles/ablation_swopt_elision.dir/ablation_swopt_elision.cpp.o"
+  "CMakeFiles/ablation_swopt_elision.dir/ablation_swopt_elision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_swopt_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_hashmap_rock"
+  "../bench/fig2_hashmap_rock.pdb"
+  "CMakeFiles/fig2_hashmap_rock.dir/fig2_hashmap_rock.cpp.o"
+  "CMakeFiles/fig2_hashmap_rock.dir/fig2_hashmap_rock.cpp.o.d"
+  "CMakeFiles/fig2_hashmap_rock.dir/hashmap_figure.cpp.o"
+  "CMakeFiles/fig2_hashmap_rock.dir/hashmap_figure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hashmap_rock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_hashmap_rock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+bench-objs/CMakeFiles/fig2_hashmap_rock.dir/fig2_hashmap_rock.cpp.o: \
+ /root/repo/bench/fig2_hashmap_rock.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/hashmap_figure.hpp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_hashmap_haswell"
+  "../bench/fig3_hashmap_haswell.pdb"
+  "CMakeFiles/fig3_hashmap_haswell.dir/fig3_hashmap_haswell.cpp.o"
+  "CMakeFiles/fig3_hashmap_haswell.dir/fig3_hashmap_haswell.cpp.o.d"
+  "CMakeFiles/fig3_hashmap_haswell.dir/hashmap_figure.cpp.o"
+  "CMakeFiles/fig3_hashmap_haswell.dir/hashmap_figure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hashmap_haswell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+bench-objs/CMakeFiles/fig3_hashmap_haswell.dir/fig3_hashmap_haswell.cpp.o: \
+ /root/repo/bench/fig3_hashmap_haswell.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/hashmap_figure.hpp

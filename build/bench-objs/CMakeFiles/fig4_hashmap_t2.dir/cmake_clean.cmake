@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_hashmap_t2"
+  "../bench/fig4_hashmap_t2.pdb"
+  "CMakeFiles/fig4_hashmap_t2.dir/fig4_hashmap_t2.cpp.o"
+  "CMakeFiles/fig4_hashmap_t2.dir/fig4_hashmap_t2.cpp.o.d"
+  "CMakeFiles/fig4_hashmap_t2.dir/hashmap_figure.cpp.o"
+  "CMakeFiles/fig4_hashmap_t2.dir/hashmap_figure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hashmap_t2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_hashmap_t2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+bench-objs/CMakeFiles/fig4_hashmap_t2.dir/fig4_hashmap_t2.cpp.o: \
+ /root/repo/bench/fig4_hashmap_t2.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/hashmap_figure.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_kyoto_wicked"
+  "../bench/fig5_kyoto_wicked.pdb"
+  "CMakeFiles/fig5_kyoto_wicked.dir/fig5_kyoto_wicked.cpp.o"
+  "CMakeFiles/fig5_kyoto_wicked.dir/fig5_kyoto_wicked.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_kyoto_wicked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_stats_report"
+  "../bench/table_stats_report.pdb"
+  "CMakeFiles/table_stats_report.dir/table_stats_report.cpp.o"
+  "CMakeFiles/table_stats_report.dir/table_stats_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_stats_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashmap_workload.dir/hashmap_workload.cpp.o"
+  "CMakeFiles/hashmap_workload.dir/hashmap_workload.cpp.o.d"
+  "hashmap_workload"
+  "hashmap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashmap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

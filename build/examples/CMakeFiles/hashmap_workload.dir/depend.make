@@ -1,0 +1,2 @@
+# Empty dependencies file for hashmap_workload.
+# This may be replaced when dependencies are built.

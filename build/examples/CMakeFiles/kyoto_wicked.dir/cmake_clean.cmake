@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kyoto_wicked.dir/kyoto_wicked.cpp.o"
+  "CMakeFiles/kyoto_wicked.dir/kyoto_wicked.cpp.o.d"
+  "kyoto_wicked"
+  "kyoto_wicked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kyoto_wicked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kyoto_wicked.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoped_contexts.dir/scoped_contexts.cpp.o"
+  "CMakeFiles/scoped_contexts.dir/scoped_contexts.cpp.o.d"
+  "scoped_contexts"
+  "scoped_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoped_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cpu.cpp" "src/common/CMakeFiles/ale_common.dir/cpu.cpp.o" "gcc" "src/common/CMakeFiles/ale_common.dir/cpu.cpp.o.d"
+  "/root/repo/src/common/cycles.cpp" "src/common/CMakeFiles/ale_common.dir/cycles.cpp.o" "gcc" "src/common/CMakeFiles/ale_common.dir/cycles.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "src/common/CMakeFiles/ale_common.dir/env.cpp.o" "gcc" "src/common/CMakeFiles/ale_common.dir/env.cpp.o.d"
+  "/root/repo/src/common/prng.cpp" "src/common/CMakeFiles/ale_common.dir/prng.cpp.o" "gcc" "src/common/CMakeFiles/ale_common.dir/prng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

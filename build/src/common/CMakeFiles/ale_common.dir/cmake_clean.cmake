@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_common.dir/cpu.cpp.o"
+  "CMakeFiles/ale_common.dir/cpu.cpp.o.d"
+  "CMakeFiles/ale_common.dir/cycles.cpp.o"
+  "CMakeFiles/ale_common.dir/cycles.cpp.o.d"
+  "CMakeFiles/ale_common.dir/env.cpp.o"
+  "CMakeFiles/ale_common.dir/env.cpp.o.d"
+  "CMakeFiles/ale_common.dir/prng.cpp.o"
+  "CMakeFiles/ale_common.dir/prng.cpp.o.d"
+  "libale_common.a"
+  "libale_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_core.dir/context.cpp.o"
+  "CMakeFiles/ale_core.dir/context.cpp.o.d"
+  "CMakeFiles/ale_core.dir/engine.cpp.o"
+  "CMakeFiles/ale_core.dir/engine.cpp.o.d"
+  "CMakeFiles/ale_core.dir/lockmd.cpp.o"
+  "CMakeFiles/ale_core.dir/lockmd.cpp.o.d"
+  "CMakeFiles/ale_core.dir/report.cpp.o"
+  "CMakeFiles/ale_core.dir/report.cpp.o.d"
+  "libale_core.a"
+  "libale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libale_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_hashmap.dir/hashmap.cpp.o"
+  "CMakeFiles/ale_hashmap.dir/hashmap.cpp.o.d"
+  "libale_hashmap.a"
+  "libale_hashmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

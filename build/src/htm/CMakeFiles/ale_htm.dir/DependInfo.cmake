@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/config.cpp" "src/htm/CMakeFiles/ale_htm.dir/config.cpp.o" "gcc" "src/htm/CMakeFiles/ale_htm.dir/config.cpp.o.d"
+  "/root/repo/src/htm/emulated.cpp" "src/htm/CMakeFiles/ale_htm.dir/emulated.cpp.o" "gcc" "src/htm/CMakeFiles/ale_htm.dir/emulated.cpp.o.d"
+  "/root/repo/src/htm/htm.cpp" "src/htm/CMakeFiles/ale_htm.dir/htm.cpp.o" "gcc" "src/htm/CMakeFiles/ale_htm.dir/htm.cpp.o.d"
+  "/root/repo/src/htm/rtm.cpp" "src/htm/CMakeFiles/ale_htm.dir/rtm.cpp.o" "gcc" "src/htm/CMakeFiles/ale_htm.dir/rtm.cpp.o.d"
+  "/root/repo/src/htm/version_table.cpp" "src/htm/CMakeFiles/ale_htm.dir/version_table.cpp.o" "gcc" "src/htm/CMakeFiles/ale_htm.dir/version_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/ale_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

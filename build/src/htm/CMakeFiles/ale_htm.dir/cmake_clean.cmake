@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_htm.dir/config.cpp.o"
+  "CMakeFiles/ale_htm.dir/config.cpp.o.d"
+  "CMakeFiles/ale_htm.dir/emulated.cpp.o"
+  "CMakeFiles/ale_htm.dir/emulated.cpp.o.d"
+  "CMakeFiles/ale_htm.dir/htm.cpp.o"
+  "CMakeFiles/ale_htm.dir/htm.cpp.o.d"
+  "CMakeFiles/ale_htm.dir/rtm.cpp.o"
+  "CMakeFiles/ale_htm.dir/rtm.cpp.o.d"
+  "CMakeFiles/ale_htm.dir/version_table.cpp.o"
+  "CMakeFiles/ale_htm.dir/version_table.cpp.o.d"
+  "libale_htm.a"
+  "libale_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

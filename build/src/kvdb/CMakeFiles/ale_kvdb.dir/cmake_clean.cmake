@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_kvdb.dir/sharded_db.cpp.o"
+  "CMakeFiles/ale_kvdb.dir/sharded_db.cpp.o.d"
+  "CMakeFiles/ale_kvdb.dir/wicked.cpp.o"
+  "CMakeFiles/ale_kvdb.dir/wicked.cpp.o.d"
+  "libale_kvdb.a"
+  "libale_kvdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_kvdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ale_kvdb.
+# This may be replaced when dependencies are built.

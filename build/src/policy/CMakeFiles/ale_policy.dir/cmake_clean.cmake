@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_policy.dir/adaptive_policy.cpp.o"
+  "CMakeFiles/ale_policy.dir/adaptive_policy.cpp.o.d"
+  "CMakeFiles/ale_policy.dir/install.cpp.o"
+  "CMakeFiles/ale_policy.dir/install.cpp.o.d"
+  "libale_policy.a"
+  "libale_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ale_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ale_sim.dir/wicked_sim.cpp.o"
+  "CMakeFiles/ale_sim.dir/wicked_sim.cpp.o.d"
+  "libale_sim.a"
+  "libale_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_stats.dir/stats.cpp.o"
+  "CMakeFiles/ale_stats.dir/stats.cpp.o.d"
+  "libale_stats.a"
+  "libale_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libale_stats.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_sync.dir/sync.cpp.o"
+  "CMakeFiles/ale_sync.dir/sync.cpp.o.d"
+  "libale_sync.a"
+  "libale_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

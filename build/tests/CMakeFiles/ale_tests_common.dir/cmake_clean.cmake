@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_common.dir/common/test_env_and_cacheline.cpp.o"
+  "CMakeFiles/ale_tests_common.dir/common/test_env_and_cacheline.cpp.o.d"
+  "CMakeFiles/ale_tests_common.dir/common/test_prng.cpp.o"
+  "CMakeFiles/ale_tests_common.dir/common/test_prng.cpp.o.d"
+  "ale_tests_common"
+  "ale_tests_common.pdb"
+  "ale_tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

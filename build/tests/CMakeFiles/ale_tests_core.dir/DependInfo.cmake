@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_conflict.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_conflict.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_conflict.cpp.o.d"
+  "/root/repo/tests/core/test_context.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_context.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_context.cpp.o.d"
+  "/root/repo/tests/core/test_engine.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_engine.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_engine.cpp.o.d"
+  "/root/repo/tests/core/test_engine_fuzz.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_engine_fuzz.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_engine_fuzz.cpp.o.d"
+  "/root/repo/tests/core/test_engine_matrix.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_engine_matrix.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_engine_matrix.cpp.o.d"
+  "/root/repo/tests/core/test_guidance.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_guidance.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_guidance.cpp.o.d"
+  "/root/repo/tests/core/test_macros.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_macros.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_macros.cpp.o.d"
+  "/root/repo/tests/core/test_nesting.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_nesting.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_nesting.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_report_csv.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_report_csv.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_report_csv.cpp.o.d"
+  "/root/repo/tests/core/test_scoped_cs.cpp" "tests/CMakeFiles/ale_tests_core.dir/core/test_scoped_cs.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_core.dir/core/test_scoped_cs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hashmap/CMakeFiles/ale_hashmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvdb/CMakeFiles/ale_kvdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/ale_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ale_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/ale_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/ale_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ale_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

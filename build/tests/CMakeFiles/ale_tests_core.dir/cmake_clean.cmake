@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_core.dir/core/test_conflict.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_conflict.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_context.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_context.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_engine.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_engine.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_engine_fuzz.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_engine_fuzz.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_engine_matrix.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_engine_matrix.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_guidance.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_guidance.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_macros.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_macros.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_nesting.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_nesting.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_report_csv.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_report_csv.cpp.o.d"
+  "CMakeFiles/ale_tests_core.dir/core/test_scoped_cs.cpp.o"
+  "CMakeFiles/ale_tests_core.dir/core/test_scoped_cs.cpp.o.d"
+  "ale_tests_core"
+  "ale_tests_core.pdb"
+  "ale_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_hashmap.dir/hashmap/test_hashmap.cpp.o"
+  "CMakeFiles/ale_tests_hashmap.dir/hashmap/test_hashmap.cpp.o.d"
+  "CMakeFiles/ale_tests_hashmap.dir/hashmap/test_hashmap_concurrent.cpp.o"
+  "CMakeFiles/ale_tests_hashmap.dir/hashmap/test_hashmap_concurrent.cpp.o.d"
+  "CMakeFiles/ale_tests_hashmap.dir/hashmap/test_hashmap_oracle.cpp.o"
+  "CMakeFiles/ale_tests_hashmap.dir/hashmap/test_hashmap_oracle.cpp.o.d"
+  "CMakeFiles/ale_tests_hashmap.dir/hashmap/test_per_bucket.cpp.o"
+  "CMakeFiles/ale_tests_hashmap.dir/hashmap/test_per_bucket.cpp.o.d"
+  "ale_tests_hashmap"
+  "ale_tests_hashmap.pdb"
+  "ale_tests_hashmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ale_tests_hashmap.
+# This may be replaced when dependencies are built.

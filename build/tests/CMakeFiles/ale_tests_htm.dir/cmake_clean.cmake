@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_htm.dir/htm/test_access.cpp.o"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_access.cpp.o.d"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_config.cpp.o"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_config.cpp.o.d"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_emulated.cpp.o"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_emulated.cpp.o.d"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_facade_edges.cpp.o"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_facade_edges.cpp.o.d"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_rtm_backend.cpp.o"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_rtm_backend.cpp.o.d"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_version_table.cpp.o"
+  "CMakeFiles/ale_tests_htm.dir/htm/test_version_table.cpp.o.d"
+  "ale_tests_htm"
+  "ale_tests_htm.pdb"
+  "ale_tests_htm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_integration.dir/integration/test_integration.cpp.o"
+  "CMakeFiles/ale_tests_integration.dir/integration/test_integration.cpp.o.d"
+  "ale_tests_integration"
+  "ale_tests_integration.pdb"
+  "ale_tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_blob.cpp.o"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_blob.cpp.o.d"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_iterate.cpp.o"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_iterate.cpp.o.d"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_kvdb_concurrent.cpp.o"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_kvdb_concurrent.cpp.o.d"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_kvdb_fidelity.cpp.o"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_kvdb_fidelity.cpp.o.d"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_kvdb_oracle.cpp.o"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_kvdb_oracle.cpp.o.d"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_sharded_db.cpp.o"
+  "CMakeFiles/ale_tests_kvdb.dir/kvdb/test_sharded_db.cpp.o.d"
+  "ale_tests_kvdb"
+  "ale_tests_kvdb.pdb"
+  "ale_tests_kvdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_kvdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

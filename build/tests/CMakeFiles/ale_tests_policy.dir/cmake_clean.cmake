@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_policy.dir/policy/test_adaptive.cpp.o"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_adaptive.cpp.o.d"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_estimator.cpp.o"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_estimator.cpp.o.d"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_grouping.cpp.o"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_grouping.cpp.o.d"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_relearn.cpp.o"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_relearn.cpp.o.d"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_static.cpp.o"
+  "CMakeFiles/ale_tests_policy.dir/policy/test_static.cpp.o.d"
+  "ale_tests_policy"
+  "ale_tests_policy.pdb"
+  "ale_tests_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_sim.dir/sim/test_sim_matrix.cpp.o"
+  "CMakeFiles/ale_tests_sim.dir/sim/test_sim_matrix.cpp.o.d"
+  "CMakeFiles/ale_tests_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/ale_tests_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/ale_tests_sim.dir/sim/test_wicked_sim.cpp.o"
+  "CMakeFiles/ale_tests_sim.dir/sim/test_wicked_sim.cpp.o.d"
+  "ale_tests_sim"
+  "ale_tests_sim.pdb"
+  "ale_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

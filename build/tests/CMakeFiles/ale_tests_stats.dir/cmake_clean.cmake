@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_stats.dir/stats/test_bfp.cpp.o"
+  "CMakeFiles/ale_tests_stats.dir/stats/test_bfp.cpp.o.d"
+  "CMakeFiles/ale_tests_stats.dir/stats/test_histogram.cpp.o"
+  "CMakeFiles/ale_tests_stats.dir/stats/test_histogram.cpp.o.d"
+  "CMakeFiles/ale_tests_stats.dir/stats/test_sampled_time.cpp.o"
+  "CMakeFiles/ale_tests_stats.dir/stats/test_sampled_time.cpp.o.d"
+  "CMakeFiles/ale_tests_stats.dir/stats/test_table.cpp.o"
+  "CMakeFiles/ale_tests_stats.dir/stats/test_table.cpp.o.d"
+  "ale_tests_stats"
+  "ale_tests_stats.pdb"
+  "ale_tests_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

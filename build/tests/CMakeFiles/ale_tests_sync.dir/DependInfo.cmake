@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sync/test_backoff.cpp" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_backoff.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_backoff.cpp.o.d"
+  "/root/repo/tests/sync/test_locks.cpp" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_locks.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_locks.cpp.o.d"
+  "/root/repo/tests/sync/test_pthread_adapter.cpp" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_pthread_adapter.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_pthread_adapter.cpp.o.d"
+  "/root/repo/tests/sync/test_rwlock_fairness.cpp" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_rwlock_fairness.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_rwlock_fairness.cpp.o.d"
+  "/root/repo/tests/sync/test_seqlock.cpp" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_seqlock.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_seqlock.cpp.o.d"
+  "/root/repo/tests/sync/test_snzi.cpp" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_snzi.cpp.o" "gcc" "tests/CMakeFiles/ale_tests_sync.dir/sync/test_snzi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hashmap/CMakeFiles/ale_hashmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvdb/CMakeFiles/ale_kvdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/ale_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ale_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/ale_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/ale_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ale_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

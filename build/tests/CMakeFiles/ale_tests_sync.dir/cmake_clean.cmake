@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ale_tests_sync.dir/sync/test_backoff.cpp.o"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_backoff.cpp.o.d"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_locks.cpp.o"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_locks.cpp.o.d"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_pthread_adapter.cpp.o"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_pthread_adapter.cpp.o.d"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_rwlock_fairness.cpp.o"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_rwlock_fairness.cpp.o.d"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_seqlock.cpp.o"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_seqlock.cpp.o.d"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_snzi.cpp.o"
+  "CMakeFiles/ale_tests_sync.dir/sync/test_snzi.cpp.o.d"
+  "ale_tests_sync"
+  "ale_tests_sync.pdb"
+  "ale_tests_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ale_tests_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

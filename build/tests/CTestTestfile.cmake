@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ale_tests_common[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_sync[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_stats[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_htm[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_policy[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_hashmap[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_kvdb[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/ale_tests_integration[1]_include.cmake")
