@@ -3,16 +3,27 @@
 // wicked run. "Even without using HTM or SWOpt modes, these reports provide
 // insights into application behavior" — this bench regenerates that table.
 #include <iostream>
+#include <map>
 
 #include "bench_util.hpp"
 #include "core/report.hpp"
 #include "hashmap/hashmap.hpp"
 #include "kvdb/wicked.hpp"
+#include "stats/table.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/snapshot.hpp"
 
 int main() {
   using namespace ale;
   using namespace ale::bench;
   set_profile("haswell");
+
+  // Trace mode decisions / aborts / phase transitions during both runs so
+  // the telemetry section at the end has something to show. (Exporting the
+  // same data as the text tables below is the telemetry layer's job:
+  // ALE_TELEMETRY=json:path does it for any binary; here we drain by hand.)
+  telemetry::set_trace_enabled(true);
+  telemetry::set_trace_sample_rate(0.03);
 
   std::printf("=== Statistics & profiling report (per <lock, context> "
               "granule) ===\n\n");
@@ -57,7 +68,40 @@ int main() {
     std::printf("\n--- guidance derived from the same statistics (§3.4) "
                 "---\n");
     print_guidance(std::cout);
+
+    std::printf("\n--- telemetry: decision trace summary (sampled at 3%%) "
+                "---\n");
+    const telemetry::Snapshot snap = telemetry::capture_snapshot();
+    std::map<std::string, std::uint64_t> by_kind;
+    for (const auto& e : snap.events) ++by_kind[e.kind];
+    TextTable events({"event kind", "count", "example detail"});
+    for (const auto& [kind, count] : by_kind) {
+      std::string example;
+      for (const auto& e : snap.events) {
+        if (e.kind != kind) continue;
+        example = !e.detail.empty() ? e.detail
+                  : !e.cause.empty() ? e.cause
+                                     : e.mode;
+        break;
+      }
+      events.add_row({kind, TextTable::fmt(count), example});
+    }
+    events.print(std::cout);
+    std::printf("(adaptive learning walk, from phase_transition events: ");
+    bool first = true;
+    for (const auto& e : snap.events) {
+      if (e.kind != "phase_transition" ||
+          e.lock != "report.kcdb.methodLock") {
+        continue;
+      }
+      std::printf("%s%s", first ? "" : ", ", e.detail.c_str());
+      first = false;
+    }
+    std::printf("%s)\n", first ? "none recorded" : "");
+    std::printf("(full JSON/CSV dumps: run any binary with "
+                "ALE_TELEMETRY=json:path[,interval_ms])\n");
   }
   ale::set_global_policy(nullptr);
+  telemetry::set_trace_enabled(false);
   return 0;
 }

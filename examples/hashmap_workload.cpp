@@ -4,9 +4,13 @@
 // HashMap and prints throughput plus the ALE statistics report.
 //
 //   usage: hashmap_workload [threads] [seconds] [mutate%] [key-range]
-//   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE
+//   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE,
+//          ALE_TELEMETRY (e.g. json:/tmp/ale.json,500 — see
+//          src/telemetry/telemetry.hpp)
 //
 //   $ ALE_POLICY=adaptive ALE_HTM_PROFILE=haswell ./hashmap_workload 4 2 20
+//   $ ALE_POLICY=adaptive ALE_TELEMETRY=json:/tmp/ale.json ./hashmap_workload
+//     (per-granule metrics + decision trace written to /tmp/ale.json)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +23,7 @@
 #include "hashmap/hashmap.hpp"
 #include "policy/install.hpp"
 #include "policy/static_policy.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   const unsigned threads = argc > 1 ? std::atoi(argv[1]) : 4;
@@ -26,6 +31,7 @@ int main(int argc, char** argv) {
   const double mutate = (argc > 3 ? std::atof(argv[3]) : 20.0) / 100.0;
   const std::uint64_t key_range = argc > 4 ? std::atoll(argv[4]) : 4096;
 
+  ale::telemetry::init_from_env();
   if (!ale::install_policy_from_env()) {
     ale::set_global_policy(std::make_unique<ale::StaticPolicy>(
         ale::StaticPolicyConfig{.x = 5, .y = 3}));
@@ -72,5 +78,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_ops.load()), seconds);
   std::printf("\n--- ALE report (guidance for which CSes to optimize) ---\n");
   ale::print_report(std::cout);
+  if (ale::telemetry::active()) {
+    // Flush the per-granule metrics + drained decision trace to the
+    // ALE_TELEMETRY target (the atexit hook would do it too; doing it here
+    // keeps the file complete before the report above is read).
+    ale::telemetry::shutdown();
+    std::printf("\n(telemetry dump written per ALE_TELEMETRY)\n");
+  }
   return 0;
 }

@@ -3,7 +3,7 @@
 // a randomized mixed workload, or the paper's `nomutate` variant.
 //
 //   usage: kyoto_wicked [threads] [seconds] [nomutate(0|1)] [key-range]
-//   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE
+//   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE, ALE_TELEMETRY
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -15,6 +15,7 @@
 #include "kvdb/wicked.hpp"
 #include "policy/install.hpp"
 #include "policy/static_policy.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main(int argc, char** argv) {
   const unsigned threads = argc > 1 ? std::atoi(argv[1]) : 4;
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   const bool nomutate = argc > 3 && std::atoi(argv[3]) != 0;
   const std::uint64_t key_range = argc > 4 ? std::atoll(argv[4]) : 10000;
 
+  ale::telemetry::init_from_env();
   if (!ale::install_policy_from_env()) {
     ale::set_global_policy(std::make_unique<ale::StaticPolicy>(
         ale::StaticPolicyConfig{.x = 5, .y = 5}));
@@ -71,5 +73,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\n--- ALE report ---\n");
   ale::print_report(std::cout);
+  if (ale::telemetry::active()) ale::telemetry::shutdown();
   return 0;
 }

@@ -6,6 +6,7 @@
 //
 //   $ ./quickstart
 //   $ ALE_POLICY=adaptive ALE_HTM_PROFILE=rock ./quickstart
+//   $ ALE_TELEMETRY=json:- ./quickstart     # JSON metrics dump to stdout
 #include <cstdio>
 #include <iostream>
 #include <thread>
@@ -14,8 +15,11 @@
 #include "core/ale.hpp"
 #include "policy/install.hpp"
 #include "policy/static_policy.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
+  // Telemetry: ALE_TELEMETRY env var, e.g. json:/tmp/ale.json,500.
+  ale::telemetry::init_from_env();
   // Policy: ALE_POLICY env var if set, else Static-All-5:3.
   if (!ale::install_policy_from_env()) {
     ale::set_global_policy(std::make_unique<ale::StaticPolicy>(
@@ -56,5 +60,9 @@ int main() {
               ale::htm::config().profile.name);
   std::printf("\n--- ALE report ---\n");
   ale::print_report(std::cout);
+  // Flush the ALE_TELEMETRY dump while `md` is still registered (the atexit
+  // hook would run after this stack frame is gone and report the lock as
+  // "<dead>").
+  if (ale::telemetry::active()) ale::telemetry::shutdown();
   return counter == kThreads * static_cast<std::uint64_t>(kPerThread) ? 0 : 1;
 }

@@ -5,8 +5,38 @@
 #include "common/cycles.hpp"
 #include "htm/emulated.hpp"
 #include "sync/backoff.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ale {
+
+namespace {
+
+// Decision-trace emission. Disabled (the default) costs one relaxed load;
+// enabled, high-frequency kinds are sampled like the §4.3 timings.
+inline std::uint8_t sat8(unsigned v) noexcept {
+  return v > 0xff ? std::uint8_t{0xff} : static_cast<std::uint8_t>(v);
+}
+inline std::uint32_t sat32(std::uint64_t v) noexcept {
+  return v > 0xffffffffULL ? 0xffffffffU : static_cast<std::uint32_t>(v);
+}
+
+inline void trace_engine_event(telemetry::EventKind kind, const LockMd* md,
+                               const GranuleMd* g, ExecMode mode,
+                               htm::AbortCause cause, std::uint32_t aux32,
+                               unsigned aux8) noexcept {
+  if (!telemetry::trace_enabled() || !telemetry::trace_sampled()) return;
+  telemetry::trace_emit(telemetry::TraceEvent{
+      .ticks = 0,
+      .lock = md,
+      .ctx = g != nullptr ? g->context() : nullptr,
+      .aux32 = aux32,
+      .kind = kind,
+      .mode = static_cast<std::uint8_t>(mode),
+      .cause = static_cast<std::uint8_t>(cause),
+      .aux8 = sat8(aux8)});
+}
+
+}  // namespace
 
 ThreadCtx& thread_ctx() noexcept {
   thread_local ThreadCtx ctx;
@@ -166,6 +196,9 @@ bool CsExec::arm() {
           }
           mode_ = ExecMode::kHtm;
           body_running_ = true;
+          trace_engine_event(telemetry::EventKind::kModeDecision, &md_,
+                             granule_, mode_, htm::AbortCause::kNone, 0,
+                             st_.attempt_no);
           return true;
         }
         if (bs.state == htm::BeginState::kAborted) {
@@ -186,6 +219,9 @@ bool CsExec::arm() {
         thread_ctx().swopt_lock = &md_;
         mode_ = ExecMode::kSwOpt;
         body_running_ = true;
+        trace_engine_event(telemetry::EventKind::kModeDecision, &md_,
+                           granule_, mode_, htm::AbortCause::kNone, 0,
+                           st_.attempt_no);
         return true;
       }
 
@@ -206,6 +242,9 @@ bool CsExec::arm() {
         }
         mode_ = ExecMode::kLock;
         body_running_ = true;
+        trace_engine_event(telemetry::EventKind::kModeDecision, &md_,
+                           granule_, mode_, htm::AbortCause::kNone, 0,
+                           st_.attempt_no);
         return true;
       }
     }
@@ -228,6 +267,9 @@ void CsExec::record_htm_abort(htm::AbortCause cause) {
     granule_->stats.of(ExecMode::kHtm).fail_time.record_since(*fail_sample_);
     fail_sample_.reset();
   }
+  trace_engine_event(telemetry::EventKind::kHtmAbort, &md_, granule_,
+                     ExecMode::kHtm, cause, 0,
+                     st_.htm_attempts + st_.htm_locked_aborts);
   policy_->on_htm_abort(md_, *granule_, cause);
 }
 
@@ -241,6 +283,9 @@ void CsExec::on_abort_exception(const htm::TxAbortException& e) {
       break;
     case ExecMode::kSwOpt: {
       granule_->stats.swopt_failures.inc();
+      trace_engine_event(telemetry::EventKind::kSwOptFail, &md_, granule_,
+                         ExecMode::kSwOpt, e.cause, 0,
+                         st_.swopt_attempts);
       st_.last_abort = e.cause;
       thread_ctx().swopt_lock = saved_swopt_lock_;
       if (e.cause == htm::AbortCause::kExplicit && e.user_code == 1) {
@@ -308,6 +353,9 @@ void CsExec::finish() {
   if (thread_prng().next_bool(SampledTime::kDefaultRate)) {
     mode_stats.exec_time.record(elapsed);
   }
+  trace_engine_event(telemetry::EventKind::kExecComplete, &md_, granule_,
+                     mode_, htm::AbortCause::kNone, sat32(elapsed),
+                     st_.attempt_no);
   leave_swopt_sets();
   policy_->on_execution_complete(md_, *granule_, mode_, st_, elapsed);
   done_ = true;

@@ -5,6 +5,7 @@
 
 #include "htm/config.hpp"
 #include "policy/grouping.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ale {
 
@@ -16,6 +17,20 @@ const char* to_string(Progression p) noexcept {
     case Progression::kAll: return "HTM+SWOpt+Lock";
   }
   return "?";
+}
+
+std::string adaptive_phase_name(std::uint32_t packed_phase) {
+  const std::uint32_t major = AdaptiveLockState::major_of(packed_phase);
+  const std::uint32_t sub = AdaptiveLockState::sub_of(packed_phase);
+  switch (major) {
+    case 0: return "Lock";
+    case 1: return "SL";
+    case 2: return "HL.sub" + std::to_string(sub);
+    case 3: return "All.sub" + std::to_string(sub);
+    case AdaptiveLockState::kCustom: return "Custom";
+    case AdaptiveLockState::kConverged: return "Converged";
+    default: return "phase(" + std::to_string(packed_phase) + ")";
+  }
 }
 
 unsigned estimate_best_x(const AttemptHistogram<64>& hist,
@@ -372,6 +387,15 @@ void AdaptivePolicy::maybe_advance(LockMd& md, AdaptiveLockState& ls,
 
   ls.phase.store(next, std::memory_order_release);
   ls.transition_lock.unlock();
+  // Phase transitions are rare (one per phase_len executions at most), so
+  // they are always recorded, never sampled: operators reconstruct the
+  // whole learning walk from them.
+  if (next != seen_phase && telemetry::trace_enabled()) {
+    telemetry::trace_emit(telemetry::TraceEvent{
+        .lock = &md,
+        .aux32 = (seen_phase << 16) | next,
+        .kind = telemetry::EventKind::kPhaseTransition});
+  }
 }
 
 void AdaptivePolicy::restart_learning(LockMd& md, AdaptiveLockState& ls,
@@ -397,6 +421,12 @@ void AdaptivePolicy::restart_learning(LockMd& md, AdaptiveLockState& ls,
   ls.relearn_count.fetch_add(1, std::memory_order_relaxed);
   ls.phase.store(AdaptiveLockState::pack(0, 0), std::memory_order_release);
   ls.transition_lock.unlock();
+  if (telemetry::trace_enabled()) {
+    telemetry::trace_emit(telemetry::TraceEvent{
+        .lock = &md,
+        .aux32 = seen_phase << 16,
+        .kind = telemetry::EventKind::kRelearn});
+  }
 }
 
 void AdaptivePolicy::before_potentially_conflicting(LockMd& md) {

@@ -52,6 +52,12 @@ enum class Progression : std::uint8_t {
 inline constexpr std::size_t kNumProgressions = 4;
 const char* to_string(Progression p) noexcept;
 
+/// Human-readable name for a packed phase word (major<<8 | sub) as stored
+/// in AdaptiveLockState::phase and carried by kPhaseTransition trace
+/// events: "Lock", "SL", "HL.sub0".."HL.sub2", "All.sub0".."All.sub2",
+/// "Custom", "Converged".
+std::string adaptive_phase_name(std::uint32_t packed_phase);
+
 struct AdaptiveConfig {
   // Executions of one granule that end a (sub-)phase.
   std::uint32_t phase_len = 300;

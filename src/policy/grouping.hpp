@@ -16,23 +16,34 @@
 #include "common/prng.hpp"
 #include "core/lockmd.hpp"
 #include "sync/backoff.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ale {
 
 inline constexpr unsigned kGroupingMaxWaitRounds = 4096;
 
-inline void grouping_wait(LockMd& md, double respect_probability = 1.0) {
-  if (!md.swopt_retriers().query()) return;
+// Returns the number of backoff rounds actually waited (0 when the SNZI was
+// clear or the probabilistic respect roll skipped the wait), so callers and
+// the decision trace can observe deferral behaviour.
+inline unsigned grouping_wait(LockMd& md, double respect_probability = 1.0) {
+  if (!md.swopt_retriers().query()) return 0;
   if (respect_probability < 1.0 &&
       !thread_prng().next_bool(respect_probability)) {
-    return;
+    return 0;
   }
   Backoff backoff;
-  for (unsigned round = 0;
-       round < kGroupingMaxWaitRounds && md.swopt_retriers().query();
+  unsigned round = 0;
+  for (; round < kGroupingMaxWaitRounds && md.swopt_retriers().query();
        ++round) {
     backoff.pause();
   }
+  if (round > 0 && telemetry::trace_enabled() && telemetry::trace_sampled()) {
+    telemetry::trace_emit(telemetry::TraceEvent{
+        .lock = &md,
+        .aux32 = round,
+        .kind = telemetry::EventKind::kGroupingDefer});
+  }
+  return round;
 }
 
 }  // namespace ale

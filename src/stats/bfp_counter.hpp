@@ -23,9 +23,11 @@
 
 namespace ale {
 
+/// Scalable statistical event counter: one 64-bit word, probabilistic
+/// increments, unbiased estimates. Thread-safe; increment-by-one only.
 class BfpCounter {
  public:
-  // T = 512 gives ≈ 6% relative standard error and exact counts up to 511.
+  /// T = 512 gives ≈ 6% relative standard error and exact counts up to 511.
   static constexpr std::uint64_t kDefaultThreshold = 512;
 
   explicit BfpCounter(std::uint64_t threshold = kDefaultThreshold) noexcept
@@ -34,7 +36,8 @@ class BfpCounter {
   BfpCounter(const BfpCounter&) = delete;
   BfpCounter& operator=(const BfpCounter&) = delete;
 
-  // Statistically increment by one.
+  /// Statistically increment by one (a PRNG roll skips the shared-word
+  /// CAS with probability 1 - 2^-e once in the probabilistic regime).
   void inc() noexcept {
     // `debt` is the number of logical increments one physical update is
     // worth if we commit it at the exponent we sampled against. If a CAS
@@ -70,17 +73,19 @@ class BfpCounter {
     }
   }
 
-  // Projected (estimated) count.
+  /// Projected (estimated) count: mantissa << exponent. Unbiased; relative
+  /// standard error ≈ sqrt(2/T) once probabilistic, exact below T.
   std::uint64_t read() const noexcept {
     const std::uint64_t s = state_.load(std::memory_order_relaxed);
     return mantissa_of(s) << exponent_of(s);
   }
 
-  // True while the counter is still exact (no probabilistic updates yet).
+  /// True while the counter is still exact (no probabilistic updates yet).
   bool is_exact() const noexcept {
     return exponent_of(state_.load(std::memory_order_relaxed)) == 0;
   }
 
+  /// Zero the counter (not linearizable against concurrent inc()).
   void reset() noexcept { state_.store(0, std::memory_order_relaxed); }
 
  private:

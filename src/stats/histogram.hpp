@@ -13,43 +13,51 @@
 
 namespace ale {
 
+/// Histogram of HTM attempts-to-success per execution, plus a count of
+/// executions that never succeeded. Thread-safe (relaxed atomics).
 template <std::size_t MaxAttempts = 64>
 class AttemptHistogram {
  public:
   static constexpr std::size_t kMaxAttempts = MaxAttempts;
 
-  // Record an execution that succeeded on attempt `k` (1-based).
+  /// Record an execution that succeeded on attempt `k` (1-based,
+  /// clamped to [1, MaxAttempts]).
   void record_success(std::size_t k) noexcept {
     if (k == 0) k = 1;
     if (k > MaxAttempts) k = MaxAttempts;
     buckets_[k - 1].fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Record an execution that exhausted its attempts without succeeding.
+  /// Record an execution that exhausted its attempts without succeeding.
   void record_failure() noexcept {
     failures_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Executions that succeeded exactly on attempt `k` (1-based).
   std::uint64_t successes_at(std::size_t k) const noexcept {
     if (k == 0 || k > MaxAttempts) return 0;
     return buckets_[k - 1].load(std::memory_order_relaxed);
   }
 
+  /// Executions that never succeeded in HTM.
   std::uint64_t failures() const noexcept {
     return failures_.load(std::memory_order_relaxed);
   }
 
+  /// Sum of all success buckets.
   std::uint64_t total_successes() const noexcept {
     std::uint64_t t = 0;
     for (const auto& b : buckets_) t += b.load(std::memory_order_relaxed);
     return t;
   }
 
+  /// All recorded executions, successful or not.
   std::uint64_t total() const noexcept {
     return total_successes() + failures();
   }
 
-  // Number of executions that would succeed within a budget of `x` attempts.
+  /// Number of executions that would succeed within a budget of `x`
+  /// attempts — the adaptive policy's X-learning estimator input (§4.2).
   std::uint64_t successes_within(std::size_t x) const noexcept {
     std::uint64_t t = 0;
     for (std::size_t k = 1; k <= x && k <= MaxAttempts; ++k) {
@@ -58,7 +66,7 @@ class AttemptHistogram {
     return t;
   }
 
-  // Largest attempt index with a recorded success (0 if none).
+  /// Largest attempt index with a recorded success (0 if none).
   std::size_t max_successful_attempt() const noexcept {
     for (std::size_t k = MaxAttempts; k >= 1; --k) {
       if (successes_at(k) > 0) return k;
@@ -66,6 +74,7 @@ class AttemptHistogram {
     return 0;
   }
 
+  /// Clear every bucket (used between learning phases).
   void reset() noexcept {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     failures_.store(0, std::memory_order_relaxed);

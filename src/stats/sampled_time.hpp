@@ -19,24 +19,30 @@
 
 namespace ale {
 
+/// CAS-updated summary (sum/count/min/max) of a sampled time interval.
+/// Thread-safe; all loads/updates are relaxed atomics with backoff.
 class SampledTime {
  public:
+  /// The paper's ~3% sampling rate (§4.3).
   static constexpr double kDefaultRate = 0.03;
 
   explicit SampledTime(double rate = kDefaultRate) noexcept : rate_(rate) {}
   SampledTime(const SampledTime&) = delete;
   SampledTime& operator=(const SampledTime&) = delete;
 
-  // Returns the start timestamp iff this event was selected for sampling.
+  /// Returns the start timestamp iff this event was selected for sampling
+  /// (one thread-local PRNG roll; no shared access on the skip path).
   std::optional<std::uint64_t> maybe_start() noexcept {
     if (!thread_prng().next_bool(rate_)) return std::nullopt;
     return now_ticks();
   }
 
+  /// Record the interval from a maybe_start() timestamp to now.
   void record_since(std::uint64_t start_ticks) noexcept {
     record(now_ticks() - start_ticks);
   }
 
+  /// Record one measured interval into the summary variables.
   void record(std::uint64_t elapsed_ticks) noexcept {
     cas_add(sum_ticks_, elapsed_ticks);
     cas_add(count_, 1);
@@ -44,36 +50,42 @@ class SampledTime {
     cas_min(min_ticks_, elapsed_ticks);
   }
 
+  /// Number of sampled (recorded) events, not of all events.
   std::uint64_t sample_count() const noexcept {
     return count_.load(std::memory_order_relaxed);
   }
 
-  // Mean over the sampled events, in ticks / nanoseconds. The sampling is
-  // uniform, so the sampled mean is an unbiased estimate of the event mean.
+  /// Mean over the sampled events, in ticks. The sampling is uniform, so
+  /// the sampled mean is an unbiased estimate of the event mean.
   double mean_ticks() const noexcept {
     const std::uint64_t n = count_.load(std::memory_order_relaxed);
     if (n == 0) return 0.0;
     return static_cast<double>(sum_ticks_.load(std::memory_order_relaxed)) /
            static_cast<double>(n);
   }
+  /// Mean over the sampled events, converted to nanoseconds.
   double mean_ns() const noexcept { return ticks_to_ns_safe(mean_ticks()); }
 
+  /// Largest sampled interval in nanoseconds (0 before any sample).
   double max_ns() const noexcept {
     const std::uint64_t m = max_ticks_.load(std::memory_order_relaxed);
     return ticks_to_ns_safe(static_cast<double>(m));
   }
+  /// Smallest sampled interval in nanoseconds (0 before any sample).
   double min_ns() const noexcept {
     const std::uint64_t m = min_ticks_.load(std::memory_order_relaxed);
     if (m == kNoMin) return 0.0;
     return ticks_to_ns_safe(static_cast<double>(m));
   }
 
-  // "Does not provide a reliable level of accuracy until many hundreds of
-  // events have been measured" — callers (the adaptive policy) gate on this.
+  /// "Does not provide a reliable level of accuracy until many hundreds of
+  /// events have been measured" — callers (the adaptive policy) gate on
+  /// this.
   bool is_reliable(std::uint64_t min_samples = 16) const noexcept {
     return sample_count() >= min_samples;
   }
 
+  /// Clear all summary variables (not linearizable vs concurrent record).
   void reset() noexcept {
     sum_ticks_.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);

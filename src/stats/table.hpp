@@ -12,17 +12,22 @@
 
 namespace ale {
 
+/// Column-aligned plain-text table: add rows as strings, print() computes
+/// widths. Not thread-safe; build and print from one thread.
 class TextTable {
  public:
+  /// One header cell per column; rows are padded/truncated to match.
   explicit TextTable(std::vector<std::string> headers)
       : headers_(std::move(headers)) {}
 
+  /// Append one row (cells beyond the header count are ignored).
   void add_row(std::vector<std::string> cells) {
     rows_.push_back(std::move(cells));
   }
 
   std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Render header, separator, and all rows with aligned columns.
   void print(std::ostream& os) const {
     std::vector<std::size_t> widths(headers_.size());
     for (std::size_t c = 0; c < headers_.size(); ++c) {
@@ -43,6 +48,7 @@ class TextTable {
     for (const auto& row : rows_) print_row(os, row, widths);
   }
 
+  /// Fixed-precision rendering helpers for numeric cells.
   static std::string fmt(double v, int precision = 1) {
     std::ostringstream ss;
     ss << std::fixed << std::setprecision(precision) << v;

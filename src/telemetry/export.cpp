@@ -1,0 +1,180 @@
+#include "telemetry/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace ale::telemetry {
+
+namespace {
+
+// Fixed precision keeps the output deterministic and diffable.
+std::string fmt_ns(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+const char* mode_name(std::size_t m) {
+  return ale::to_string(static_cast<ExecMode>(m));
+}
+
+const char* cause_name(std::size_t c) {
+  return htm::to_string(static_cast<htm::AbortCause>(c));
+}
+
+void write_mode_json(std::ostream& os, const ModeSnapshot& m) {
+  os << "{\"attempts\":" << m.attempts << ",\"successes\":" << m.successes
+     << ",\"exec_mean_ns\":" << fmt_ns(m.exec_mean_ns)
+     << ",\"exec_samples\":" << m.exec_samples
+     << ",\"fail_mean_ns\":" << fmt_ns(m.fail_mean_ns)
+     << ",\"fail_samples\":" << m.fail_samples << "}";
+}
+
+void write_granule_json(std::ostream& os, const GranuleSnapshot& g) {
+  os << "{\"context\":\"" << json_escape(g.context)
+     << "\",\"executions\":" << g.executions << ",\"modes\":{";
+  for (std::size_t m = 0; m < kNumExecModes; ++m) {
+    if (m != 0) os << ",";
+    os << "\"" << mode_name(m) << "\":";
+    write_mode_json(os, g.modes[m]);
+  }
+  os << "},\"abort_causes\":{";
+  bool first = true;
+  for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
+    if (g.abort_causes[c] == 0) continue;
+    if (!first) os << ",";
+    os << "\"" << cause_name(c) << "\":" << g.abort_causes[c];
+    first = false;
+  }
+  os << "},\"swopt_failures\":" << g.swopt_failures
+     << ",\"lock_wait_mean_ns\":" << fmt_ns(g.lock_wait_mean_ns)
+     << ",\"lock_wait_samples\":" << g.lock_wait_samples << "}";
+}
+
+void write_event_json(std::ostream& os, const EventRecord& e) {
+  os << "{\"ticks\":" << e.ticks << ",\"kind\":\"" << json_escape(e.kind)
+     << "\"";
+  if (!e.lock.empty()) os << ",\"lock\":\"" << json_escape(e.lock) << "\"";
+  if (!e.context.empty()) {
+    os << ",\"context\":\"" << json_escape(e.context) << "\"";
+  }
+  if (!e.mode.empty()) os << ",\"mode\":\"" << json_escape(e.mode) << "\"";
+  if (!e.cause.empty()) {
+    os << ",\"cause\":\"" << json_escape(e.cause) << "\"";
+  }
+  if (!e.detail.empty()) {
+    os << ",\"detail\":\"" << json_escape(e.detail) << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& os, const Snapshot& snap) {
+  os << "{\"version\":1,\"captured_ticks\":" << snap.captured_ticks
+     << ",\"ticks_per_ns\":" << fmt_ns(snap.ticks_per_ns)
+     << ",\"policy\":\"" << json_escape(snap.global_policy)
+     << "\",\n\"locks\":[";
+  for (std::size_t l = 0; l < snap.locks.size(); ++l) {
+    const LockSnapshot& lock = snap.locks[l];
+    if (l != 0) os << ",";
+    os << "\n{\"name\":\"" << json_escape(lock.name) << "\",\"policy\":\""
+       << json_escape(lock.policy) << "\"";
+    if (lock.has_phase) {
+      os << ",\"phase\":\"" << json_escape(lock.phase_name)
+         << "\",\"phase_word\":" << lock.phase
+         << ",\"relearn_count\":" << lock.relearn_count;
+    }
+    os << ",\"total_executions\":" << lock.total_executions
+       << ",\"granules\":[";
+    for (std::size_t g = 0; g < lock.granules.size(); ++g) {
+      if (g != 0) os << ",";
+      os << "\n";
+      write_granule_json(os, lock.granules[g]);
+    }
+    os << "]}";
+  }
+  os << "],\n\"events\":[";
+  for (std::size_t e = 0; e < snap.events.size(); ++e) {
+    if (e != 0) os << ",";
+    os << "\n";
+    write_event_json(os, snap.events[e]);
+  }
+  os << "],\n\"events_dropped\":" << snap.events_dropped << "}\n";
+}
+
+void write_csv(std::ostream& os, const Snapshot& snap) {
+  os << "lock,context,policy,phase,executions";
+  for (std::size_t m = 0; m < kNumExecModes; ++m) {
+    os << ',' << mode_name(m) << "_attempts," << mode_name(m)
+       << "_successes," << mode_name(m) << "_exec_mean_ns";
+  }
+  os << ",swopt_failures,lock_wait_mean_ns";
+  for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
+    os << ",abort_" << cause_name(c);
+  }
+  os << '\n';
+  for (const LockSnapshot& lock : snap.locks) {
+    for (const GranuleSnapshot& g : lock.granules) {
+      os << lock.name << ',' << g.context << ',' << lock.policy << ','
+         << (lock.has_phase ? lock.phase_name : std::string("-")) << ','
+         << g.executions;
+      for (std::size_t m = 0; m < kNumExecModes; ++m) {
+        os << ',' << g.modes[m].attempts << ',' << g.modes[m].successes
+           << ',' << fmt_ns(g.modes[m].exec_mean_ns);
+      }
+      os << ',' << g.swopt_failures << ',' << fmt_ns(g.lock_wait_mean_ns);
+      for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
+        os << ',' << g.abort_causes[c];
+      }
+      os << '\n';
+    }
+  }
+}
+
+void write_events_csv(std::ostream& os, const Snapshot& snap) {
+  os << "ticks,kind,lock,context,mode,cause,detail\n";
+  for (const EventRecord& e : snap.events) {
+    os << e.ticks << ',' << e.kind << ',' << e.lock << ',' << e.context
+       << ',' << e.mode << ',' << e.cause << ',' << e.detail << '\n';
+  }
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream ss;
+  write_json(ss, snap);
+  return ss.str();
+}
+
+std::string to_csv(const Snapshot& snap) {
+  std::ostringstream ss;
+  write_csv(ss, snap);
+  return ss.str();
+}
+
+}  // namespace ale::telemetry

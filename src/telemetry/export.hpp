@@ -1,0 +1,41 @@
+// JSON and CSV exporters for telemetry snapshots.
+//
+// Both formats are deterministic renderings of a Snapshot (fixed key order,
+// fixed column order, fixed float precision) so they can be golden-tested
+// and diffed across runs. The JSON document carries the full snapshot —
+// per-granule metrics *and* the resolved event trace; the CSV carries one
+// granule-metrics row per line (the same column set as
+// ale::print_report_csv, sourced from a snapshot instead of live atomics),
+// with a separate writer for events.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/snapshot.hpp"
+
+namespace ale::telemetry {
+
+/// Write the snapshot as a single JSON document. Layout:
+/// {"version":1, "policy":..., "locks":[{"name":..., "policy":...,
+///  "phase":..., "granules":[{"context":..., "executions":...,
+///  "modes":{"Lock":{...},"HTM":{...},"SWOpt":{...}},
+///  "abort_causes":{...}, ...}]}], "events":[...], "events_dropped":N}
+void write_json(std::ostream& os, const Snapshot& snap);
+
+/// Write one CSV row per granule (header row first): lock, context,
+/// executions, per-mode attempts/successes/exec_mean_ns, swopt_failures,
+/// lock_wait_mean_ns, one column per abort cause.
+void write_csv(std::ostream& os, const Snapshot& snap);
+
+/// Write one CSV row per trace event (header row first).
+void write_events_csv(std::ostream& os, const Snapshot& snap);
+
+/// Convenience wrappers for tests and tools.
+std::string to_json(const Snapshot& snap);
+std::string to_csv(const Snapshot& snap);
+
+/// Escape a string for embedding in a JSON document (exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace ale::telemetry

@@ -1,0 +1,131 @@
+#include "telemetry/snapshot.hpp"
+
+#include <string>
+#include <unordered_map>
+
+#include "core/lockmd.hpp"
+#include "policy/adaptive_policy.hpp"
+
+namespace ale::telemetry {
+
+namespace {
+
+void copy_granule(GranuleMd& g, GranuleSnapshot& out) {
+  GranuleStats& s = g.stats;
+  out.context = g.context()->path();
+  // Bounded consistency loop: if the executions estimate moved while we
+  // copied, the row mixes two instants — re-copy. Three rounds bound the
+  // cost under sustained writes; the last copy is kept regardless.
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t before = s.executions.read();
+    out.executions = before;
+    for (std::size_t m = 0; m < kNumExecModes; ++m) {
+      const ModeStats& ms = s.mode[m];
+      ModeSnapshot& mo = out.modes[m];
+      mo.attempts = ms.attempts.read();
+      mo.successes = ms.successes.read();
+      mo.exec_mean_ns = ms.exec_time.mean_ns();
+      mo.exec_samples = ms.exec_time.sample_count();
+      mo.fail_mean_ns = ms.fail_time.mean_ns();
+      mo.fail_samples = ms.fail_time.sample_count();
+    }
+    for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
+      out.abort_causes[c] = s.abort_cause[c].read();
+    }
+    out.swopt_failures = s.swopt_failures.read();
+    out.lock_wait_mean_ns = s.lock_wait.mean_ns();
+    out.lock_wait_samples = s.lock_wait.sample_count();
+    if (s.executions.read() == before) break;
+  }
+}
+
+}  // namespace
+
+Snapshot capture_snapshot(const SnapshotOptions& opts) {
+  Snapshot snap;
+  snap.captured_ticks = now_ticks();
+  snap.ticks_per_ns = ticks_per_ns();
+  snap.global_policy = global_policy().name();
+
+  for_each_lock_md([&](LockMd& md) {
+    LockSnapshot lock;
+    lock.name = md.name();
+    Policy& policy = md.policy();
+    lock.policy = policy.name();
+    if (auto* adaptive = dynamic_cast<AdaptivePolicy*>(&policy)) {
+      lock.has_phase = true;
+      lock.phase = adaptive->phase_of(md);
+      lock.phase_name = adaptive_phase_name(lock.phase);
+      lock.relearn_count = adaptive->relearn_count_of(md);
+    }
+    md.for_each_granule([&](GranuleMd& g) {
+      GranuleSnapshot gs;
+      copy_granule(g, gs);
+      lock.total_executions += gs.executions;
+      if (gs.executions >= opts.min_executions) {
+        lock.granules.push_back(std::move(gs));
+      }
+    });
+    snap.locks.push_back(std::move(lock));
+  });
+
+  if (opts.include_events) {
+    snap.events = resolve_events(drain_trace());
+    snap.events_dropped = trace_drop_count();
+  }
+  return snap;
+}
+
+std::vector<EventRecord> resolve_events(const std::vector<TraceEvent>& raw) {
+  // Lock identities are resolved against the *live* registry; a lock
+  // destroyed between emit and drain renders as "<dead>". ContextNodes are
+  // interned for process lifetime, so ctx pointers are always safe.
+  std::unordered_map<const void*, std::string> lock_names;
+  for_each_lock_md(
+      [&](LockMd& md) { lock_names.emplace(&md, md.name()); });
+
+  std::vector<EventRecord> out;
+  out.reserve(raw.size());
+  for (const TraceEvent& e : raw) {
+    EventRecord r;
+    r.ticks = e.ticks;
+    r.kind = to_string(e.kind);
+    r.aux32 = e.aux32;
+    if (e.lock != nullptr) {
+      auto it = lock_names.find(e.lock);
+      r.lock = it != lock_names.end() ? it->second : std::string("<dead>");
+    }
+    if (e.ctx != nullptr) {
+      r.context = static_cast<const ContextNode*>(e.ctx)->path();
+    }
+    switch (e.kind) {
+      case EventKind::kModeDecision:
+      case EventKind::kExecComplete:
+        r.mode = ale::to_string(static_cast<ExecMode>(e.mode));
+        r.detail = "attempt=" + std::to_string(e.aux8);
+        break;
+      case EventKind::kHtmAbort:
+        r.mode = ale::to_string(ExecMode::kHtm);
+        r.cause = htm::to_string(static_cast<htm::AbortCause>(e.cause));
+        break;
+      case EventKind::kSwOptFail:
+        r.mode = ale::to_string(ExecMode::kSwOpt);
+        r.cause = htm::to_string(static_cast<htm::AbortCause>(e.cause));
+        break;
+      case EventKind::kPhaseTransition:
+        r.detail = adaptive_phase_name(e.aux32 >> 16) + "->" +
+                   adaptive_phase_name(e.aux32 & 0xffff);
+        break;
+      case EventKind::kRelearn:
+        r.detail = "from=" + adaptive_phase_name(e.aux32 >> 16);
+        break;
+      case EventKind::kGroupingDefer:
+        r.detail = "rounds=" + std::to_string(e.aux32);
+        break;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace ale::telemetry

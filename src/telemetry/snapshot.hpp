@@ -1,0 +1,104 @@
+// Lock-free snapshots over ALE's statistics tables: the read side of
+// `ale::telemetry`.
+//
+// capture_snapshot() walks the live LockMd registry and every (lock,
+// context) granule, copying the BFP counter estimates and sampled-timing
+// summaries into plain values — a point-in-time view an exporter, dashboard
+// or test can consume without touching atomics again. Writers are never
+// blocked: the reader takes no lock a critical section ever takes (only the
+// registry mutex and each lock's granule-creation lock, both off the hot
+// path), and per-granule consistency is best-effort with bounded re-reads
+// (see capture_snapshot).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mode.hpp"
+#include "htm/abort.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ale::telemetry {
+
+/// Per-mode counters and timings of one granule (plain copies of the BFP /
+/// SampledTime estimates; see §4.3 for their error bounds).
+struct ModeSnapshot {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  double exec_mean_ns = 0.0;       ///< mean whole-execution time (sampled)
+  std::uint64_t exec_samples = 0;  ///< timing samples behind exec_mean_ns
+  double fail_mean_ns = 0.0;       ///< mean failed-attempt time (HTM only)
+  std::uint64_t fail_samples = 0;
+};
+
+/// One (lock, context) granule: everything GranuleStats holds, flattened.
+struct GranuleSnapshot {
+  std::string context;  ///< calling-context path, e.g. "<root>/get.outer"
+  std::uint64_t executions = 0;
+  std::array<ModeSnapshot, kNumExecModes> modes{};  ///< indexed by ExecMode
+  std::array<std::uint64_t, htm::kNumAbortCauses> abort_causes{};
+  std::uint64_t swopt_failures = 0;
+  double lock_wait_mean_ns = 0.0;
+  std::uint64_t lock_wait_samples = 0;
+
+  const ModeSnapshot& of(ExecMode m) const noexcept {
+    return modes[static_cast<std::size_t>(m)];
+  }
+};
+
+/// One ALE-enabled lock with all its granules, plus the resolved policy and
+/// — when the adaptive policy governs it — the current learning phase.
+struct LockSnapshot {
+  std::string name;
+  std::string policy;         ///< resolved policy name ("adaptive", ...)
+  bool has_phase = false;     ///< true when the adaptive fields are valid
+  std::uint32_t phase = 0;    ///< packed phase word (major<<8 | sub)
+  std::string phase_name;     ///< e.g. "HL.sub1", "Converged"
+  std::uint64_t relearn_count = 0;
+  std::uint64_t total_executions = 0;
+  std::vector<GranuleSnapshot> granules;
+};
+
+/// A drained TraceEvent with its identities resolved to names.
+struct EventRecord {
+  std::uint64_t ticks = 0;
+  std::string kind;
+  std::string lock;     ///< lock name, or "" when not lock-scoped
+  std::string context;  ///< context path, or "" when not granule-scoped
+  std::string mode;     ///< ExecMode name, or ""
+  std::string cause;    ///< abort cause name, or ""
+  std::string detail;   ///< kind-specific rendering (phase names, rounds)
+  std::uint32_t aux32 = 0;
+};
+
+/// The full telemetry snapshot: metrics plus (optionally) the event trace.
+struct Snapshot {
+  std::uint64_t captured_ticks = 0;
+  double ticks_per_ns = 0.0;
+  std::string global_policy;
+  std::vector<LockSnapshot> locks;
+  std::vector<EventRecord> events;
+  std::uint64_t events_dropped = 0;  ///< ring overwrites since last reset
+};
+
+struct SnapshotOptions {
+  /// Drain and resolve the decision trace into Snapshot::events.
+  bool include_events = true;
+  /// Skip granules with fewer executions than this (BFP estimate).
+  std::uint64_t min_executions = 0;
+};
+
+/// Capture a point-in-time view of every registered lock. Per granule the
+/// executions counter is re-read after copying and the copy retried (up to
+/// 3 times) if it moved, so each granule row is internally consistent
+/// whenever it is quiescent for ~a microsecond; cross-granule skew is
+/// bounded by the walk time. Never blocks writers.
+Snapshot capture_snapshot(const SnapshotOptions& opts = {});
+
+/// Resolve already-drained raw events against the live lock registry and
+/// context tree (exposed separately for tests and custom drains).
+std::vector<EventRecord> resolve_events(const std::vector<TraceEvent>& raw);
+
+}  // namespace ale::telemetry

@@ -1,0 +1,190 @@
+#include "telemetry/telemetry.hpp"
+
+#include <charconv>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/snapshot.hpp"
+
+namespace ale::telemetry {
+
+namespace {
+
+struct DumperState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool active = false;
+  bool stop = false;
+  bool thread_running = false;
+  DumpConfig config;
+  std::thread thread;
+};
+
+DumperState& state() {
+  static DumperState* s = new DumperState();  // leaked: see lockmd.cpp
+  return *s;
+}
+
+void write_dump(const DumpConfig& config) {
+  const Snapshot snap = capture_snapshot();
+  auto write_to = [&](std::ostream& os) {
+    if (config.format == DumpConfig::Format::kJson) {
+      write_json(os, snap);
+    } else {
+      write_csv(os, snap);
+    }
+  };
+  if (config.path == "-") {
+    write_to(std::cout);
+    std::cout.flush();
+    return;
+  }
+  // Write-then-rename so a concurrent reader never sees a torn file.
+  const std::string tmp = config.path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      std::cerr << "ale: telemetry: cannot write " << tmp << '\n';
+      return;
+    }
+    write_to(os);
+  }
+  if (std::rename(tmp.c_str(), config.path.c_str()) != 0) {
+    std::cerr << "ale: telemetry: cannot rename " << tmp << " to "
+              << config.path << '\n';
+  }
+}
+
+void dumper_main() {
+  DumperState& s = state();
+  std::unique_lock<std::mutex> lk(s.mutex);
+  const auto interval = std::chrono::milliseconds(s.config.interval_ms);
+  while (!s.stop) {
+    if (s.cv.wait_for(lk, interval, [&] { return s.stop; })) break;
+    const DumpConfig config = s.config;
+    lk.unlock();
+    write_dump(config);
+    lk.lock();
+  }
+}
+
+}  // namespace
+
+std::optional<DumpConfig> parse_telemetry_spec(std::string_view spec) {
+  DumpConfig config;
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const std::string_view format = spec.substr(0, colon);
+  if (format == "json") {
+    config.format = DumpConfig::Format::kJson;
+  } else if (format == "csv") {
+    config.format = DumpConfig::Format::kCsv;
+  } else {
+    return std::nullopt;
+  }
+  std::string_view rest = spec.substr(colon + 1);
+  // The optional ",interval_ms" suffix is the part after the *last* comma,
+  // and only when fully numeric — so paths containing commas still work.
+  const std::size_t comma = rest.rfind(',');
+  if (comma != std::string_view::npos) {
+    const std::string_view tail = rest.substr(comma + 1);
+    std::uint64_t interval = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tail.data(), tail.data() + tail.size(), interval);
+    if (ec == std::errc() && ptr == tail.data() + tail.size() &&
+        !tail.empty()) {
+      config.interval_ms = interval;
+      rest = rest.substr(0, comma);
+    } else if (tail.empty()) {
+      return std::nullopt;  // trailing comma with nothing after it
+    }
+    // A non-numeric tail is treated as part of the path.
+  }
+  if (rest.empty()) return std::nullopt;
+  config.path = std::string(rest);
+  return config;
+}
+
+void configure(const DumpConfig& config) {
+  DumperState& s = state();
+  {
+    std::lock_guard<std::mutex> lk(s.mutex);
+    if (s.active) return;  // first configuration wins
+    s.active = true;
+    s.config = config;
+    if (config.interval_ms > 0) {
+      s.thread_running = true;
+      s.thread = std::thread(dumper_main);
+    }
+  }
+  set_trace_enabled(true);
+  std::atexit([] { shutdown(); });
+}
+
+bool init_from_env() {
+  const auto spec = env_string("ALE_TELEMETRY");
+  if (!spec) return false;
+  const auto config = parse_telemetry_spec(*spec);
+  if (!config) {
+    std::cerr << "ale: telemetry: malformed ALE_TELEMETRY spec \"" << *spec
+              << "\" (want format:path[,interval_ms]); telemetry disabled\n";
+    return false;
+  }
+  set_trace_sample_rate(env_double("ALE_TELEMETRY_TRACE_RATE",
+                                   trace_sample_rate()));
+  set_trace_capacity(static_cast<std::size_t>(env_int(
+      "ALE_TELEMETRY_TRACE_CAP",
+      static_cast<std::int64_t>(trace_capacity()))));
+  configure(*config);
+  return true;
+}
+
+bool active() noexcept {
+  DumperState& s = state();
+  std::lock_guard<std::mutex> lk(s.mutex);
+  return s.active;
+}
+
+void dump_now() {
+  DumperState& s = state();
+  DumpConfig config;
+  {
+    std::lock_guard<std::mutex> lk(s.mutex);
+    if (!s.active) return;
+    config = s.config;
+  }
+  write_dump(config);
+}
+
+void shutdown() {
+  DumperState& s = state();
+  DumpConfig config;
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lk(s.mutex);
+    if (!s.active) return;
+    s.stop = true;
+    s.cv.notify_all();
+    if (s.thread_running) {
+      joinable = std::move(s.thread);
+      s.thread_running = false;
+    }
+    config = s.config;
+  }
+  if (joinable.joinable()) joinable.join();
+  write_dump(config);
+  {
+    std::lock_guard<std::mutex> lk(s.mutex);
+    s.active = false;
+    s.stop = false;
+  }
+  set_trace_enabled(false);
+}
+
+}  // namespace ale::telemetry

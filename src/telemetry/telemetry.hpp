@@ -1,0 +1,63 @@
+// `ale::telemetry` front door: environment-variable configuration and the
+// periodic/at-exit dump machinery.
+//
+// A host application (or an unmodified example/bench binary) opts in with:
+//
+//   ALE_TELEMETRY=json:/tmp/ale.json            # dump at shutdown()
+//   ALE_TELEMETRY=json:/tmp/ale.json,1000       # + rewrite every 1000 ms
+//   ALE_TELEMETRY=csv:-                         # CSV to stdout at shutdown
+//
+// Further knobs:
+//   ALE_TELEMETRY_TRACE_RATE  sampling rate for high-frequency trace
+//                             events (default 0.03, like §4.3's timings)
+//   ALE_TELEMETRY_TRACE_CAP   per-thread ring capacity in events
+//                             (default 4096, rounded up to a power of two)
+//
+// init_from_env() is cheap and idempotent; call it once near startup
+// (every example and figure bench in this repo does). When ALE_TELEMETRY
+// is unset it leaves tracing disabled and the instrumented hot-path sites
+// at their one-relaxed-load cost.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ale::telemetry {
+
+/// Parsed form of the ALE_TELEMETRY specification.
+struct DumpConfig {
+  enum class Format : int { kJson = 0, kCsv = 1 };
+  Format format = Format::kJson;
+  std::string path;               ///< file path, or "-" for stdout
+  std::uint64_t interval_ms = 0;  ///< 0 = dump only at shutdown/dump_now
+};
+
+/// Parse "json:path[,interval_ms]" / "csv:path[,interval_ms]".
+/// Returns nullopt on malformed specs (unknown format, empty path,
+/// non-numeric or zero-length interval) — configuration must never crash a
+/// host application, matching common/env.hpp's contract.
+std::optional<DumpConfig> parse_telemetry_spec(std::string_view spec);
+
+/// Read ALE_TELEMETRY (+ the trace knobs above). On a valid spec: enables
+/// tracing, stores the dump config, starts the periodic dumper thread when
+/// interval_ms > 0, and registers an at-exit final dump. Returns true iff
+/// telemetry was activated. Safe to call repeatedly (first valid spec
+/// wins); does nothing when ALE_TELEMETRY is unset.
+bool init_from_env();
+
+/// True after init_from_env() (or configure()) activated a dump target.
+bool active() noexcept;
+
+/// Programmatic equivalent of init_from_env() for embedding applications.
+void configure(const DumpConfig& config);
+
+/// Capture a snapshot and write it to the configured target immediately.
+/// No-op when telemetry is not active.
+void dump_now();
+
+/// Stop the periodic thread (if any) and write one final dump. Idempotent;
+/// also runs automatically at process exit once telemetry is active.
+void shutdown();
+
+}  // namespace ale::telemetry

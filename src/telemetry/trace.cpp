@@ -1,0 +1,159 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+namespace ale::telemetry {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kModeDecision: return "mode_decision";
+    case EventKind::kHtmAbort: return "htm_abort";
+    case EventKind::kSwOptFail: return "swopt_fail";
+    case EventKind::kExecComplete: return "exec_complete";
+    case EventKind::kPhaseTransition: return "phase_transition";
+    case EventKind::kRelearn: return "relearn";
+    case EventKind::kGroupingDefer: return "grouping_defer";
+  }
+  return "?";
+}
+
+namespace {
+
+std::atomic<double> g_sample_rate{0.03};
+std::atomic<std::size_t> g_capacity{4096};
+std::atomic<std::uint64_t> g_dropped{0};
+
+std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 8;
+  while (p < v && p < (std::size_t{1} << 30)) p <<= 1;
+  return p;
+}
+
+// One ring per thread. The owning thread is the only writer; drainers read
+// concurrently and use the head counter re-check below to discard slots
+// that were overwritten mid-read. Buffers outlive their threads (they stay
+// registered) so traces survive worker joins.
+struct ThreadBuf {
+  explicit ThreadBuf(std::size_t cap) : slots(cap), mask(cap - 1) {}
+  std::vector<TraceEvent> slots;
+  std::size_t mask;
+  std::atomic<std::uint64_t> head{0};  // events ever written
+  std::uint64_t tail = 0;              // drained up to (registry mutex)
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuf>> bufs;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static teardown
+  return *r;
+}
+
+ThreadBuf& tls_buf() {
+  thread_local ThreadBuf* buf = [] {
+    auto owned = std::make_unique<ThreadBuf>(
+        round_up_pow2(g_capacity.load(std::memory_order_relaxed)));
+    ThreadBuf* raw = owned.get();
+    auto& r = registry();
+    std::lock_guard<std::mutex> guard(r.mutex);
+    r.bufs.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool on) noexcept {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_sample_rate(double rate) noexcept {
+  if (rate < 0.0) rate = 0.0;
+  if (rate > 1.0) rate = 1.0;
+  g_sample_rate.store(rate, std::memory_order_relaxed);
+}
+
+double trace_sample_rate() noexcept {
+  return g_sample_rate.load(std::memory_order_relaxed);
+}
+
+bool trace_sampled() noexcept {
+  return thread_prng().next_bool(g_sample_rate.load(
+      std::memory_order_relaxed));
+}
+
+void set_trace_capacity(std::size_t events) noexcept {
+  g_capacity.store(round_up_pow2(events), std::memory_order_relaxed);
+}
+
+std::size_t trace_capacity() noexcept {
+  return g_capacity.load(std::memory_order_relaxed);
+}
+
+void trace_emit(TraceEvent e) noexcept {
+  if (e.ticks == 0) e.ticks = now_ticks();
+  ThreadBuf& buf = tls_buf();
+  const std::uint64_t h = buf.head.load(std::memory_order_relaxed);
+  buf.slots[h & buf.mask] = e;
+  // Release so a drainer that observes head > h also observes the slot.
+  buf.head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> drain_trace() {
+  std::vector<TraceEvent> out;
+  auto& r = registry();
+  std::lock_guard<std::mutex> guard(r.mutex);
+  for (auto& buf : r.bufs) {
+    const std::uint64_t cap = buf->slots.size();
+    const std::uint64_t h = buf->head.load(std::memory_order_acquire);
+    std::uint64_t lo = h > cap ? h - cap : 0;
+    if (lo > buf->tail) {
+      g_dropped.fetch_add(lo - buf->tail, std::memory_order_relaxed);
+    } else {
+      lo = buf->tail;
+    }
+    const std::size_t first = out.size();
+    for (std::uint64_t i = lo; i < h; ++i) {
+      out.push_back(buf->slots[i & buf->mask]);
+    }
+    // The owner may have kept writing while we copied; any slot it lapped
+    // holds a newer event (which a later drain will deliver) mixed into our
+    // copy. Re-read head and drop the lapped prefix of this buffer's chunk.
+    // head == h2 means the owner may be mid-write of event h2 into slot
+    // (h2 - cap) & mask right now (the slot store precedes the head bump),
+    // so that slot is suspect as well — hence the inclusive h2 - cap + 1.
+    const std::uint64_t h2 = buf->head.load(std::memory_order_acquire);
+    if (h2 >= cap && h2 - cap + 1 > lo) {
+      const std::uint64_t lapped = std::min(h2 - cap + 1, h) - lo;
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(first),
+                out.begin() + static_cast<std::ptrdiff_t>(first + lapped));
+      g_dropped.fetch_add(lapped, std::memory_order_relaxed);
+    }
+    buf->tail = h;
+  }
+  return out;
+}
+
+std::uint64_t trace_drop_count() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void reset_trace() noexcept {
+  auto& r = registry();
+  std::lock_guard<std::mutex> guard(r.mutex);
+  for (auto& buf : r.bufs) {
+    buf->tail = buf->head.load(std::memory_order_acquire);
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ale::telemetry

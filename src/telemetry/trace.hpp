@@ -1,0 +1,105 @@
+// Decision-trace ring buffers: the hot-path half of `ale::telemetry`.
+//
+// The engine and the policies emit fixed-size TraceEvents into bounded
+// per-thread ring buffers so operators can see *why* a critical section ran
+// in the mode it did — mode decisions, abort causes, SWOpt failures,
+// adaptive-policy phase transitions, grouping deferrals. High-frequency
+// events are sampled with the same ~3% PRNG-roll scheme the paper uses for
+// timings (§4.3); rare events (phase transitions) are always recorded.
+//
+// Cost model: when tracing is disabled (the default) every instrumented
+// site is one relaxed atomic load and a predictable branch. When enabled,
+// a sampled-out event adds one thread-local PRNG step; a recorded event is
+// a thread-local slot write plus a relaxed counter bump — no locks, no
+// allocation, no cross-thread contention (each thread owns its buffer).
+//
+// This header depends only on `common/` so that `ale_core` can link it
+// without a layering cycle; everything that needs lock/context *names*
+// (snapshotting, exporters) lives in the higher-level telemetry files.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cycles.hpp"
+#include "common/prng.hpp"
+
+namespace ale::telemetry {
+
+/// What a trace event records. Kept to one byte in the event layout.
+enum class EventKind : std::uint8_t {
+  kModeDecision = 0,   ///< engine armed an attempt in `mode` (sampled)
+  kHtmAbort = 1,       ///< an HTM attempt aborted with `cause` (sampled)
+  kSwOptFail = 2,      ///< a SWOpt attempt failed / self-aborted (sampled)
+  kExecComplete = 3,   ///< execution finished in `mode` (sampled);
+                       ///< aux32 = elapsed ticks (saturated)
+  kPhaseTransition = 4,///< adaptive policy advanced a learning phase
+                       ///< (always recorded); aux32 = old<<16 | new
+  kRelearn = 5,        ///< adaptive policy discarded learned state
+                       ///< (always recorded); aux32 = old phase << 16
+  kGroupingDefer = 6,  ///< §4.2 grouping/SNZI made a thread wait (sampled);
+                       ///< aux32 = backoff rounds waited
+};
+
+inline constexpr std::size_t kNumEventKinds = 7;
+
+/// Human-readable tag for an EventKind (stable; used in exports).
+const char* to_string(EventKind k) noexcept;
+
+/// One fixed-size trace record. `lock` / `ctx` are identities (a LockMd* /
+/// ContextNode*), resolved to names at snapshot time, never dereferenced by
+/// the trace layer itself.
+struct TraceEvent {
+  std::uint64_t ticks = 0;     ///< now_ticks() at emit (filled if left 0)
+  const void* lock = nullptr;  ///< the LockMd the event belongs to
+  const void* ctx = nullptr;   ///< the ContextNode, when per-granule
+  std::uint32_t aux32 = 0;     ///< kind-specific payload (see EventKind)
+  EventKind kind = EventKind::kModeDecision;
+  std::uint8_t mode = 0;       ///< ExecMode as integer, when relevant
+  std::uint8_t cause = 0;      ///< htm::AbortCause as integer, when relevant
+  std::uint8_t aux8 = 0;       ///< kind-specific small payload (attempt no.)
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// Master switch, read on every instrumented hot-path site (relaxed load).
+/// Enabled by telemetry::init_from_env() or explicitly by tests/tools.
+inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on) noexcept;
+
+/// Sampling rate for high-frequency event kinds (default 0.03, mirroring
+/// the paper's 3% timing sampling). Rate 1.0 records every event.
+void set_trace_sample_rate(double rate) noexcept;
+double trace_sample_rate() noexcept;
+
+/// One PRNG roll against the sample rate. Call only when trace_enabled().
+bool trace_sampled() noexcept;
+
+/// Ring capacity (events per thread) used for buffers created after the
+/// call; rounded up to a power of two, min 8. Default 4096.
+void set_trace_capacity(std::size_t events) noexcept;
+std::size_t trace_capacity() noexcept;
+
+/// Append an event to this thread's ring (oldest events are overwritten).
+/// Callers are expected to gate on trace_enabled() / trace_sampled().
+/// If `e.ticks` is 0 it is stamped with now_ticks().
+void trace_emit(TraceEvent e) noexcept;
+
+/// Drain every thread's pending events (including threads that have since
+/// exited), oldest first per thread. Consuming: a second drain returns only
+/// events emitted in between. Events overwritten before they were drained
+/// are lost by design (the buffers are bounded); drop_count() counts them.
+std::vector<TraceEvent> drain_trace();
+
+/// Total events overwritten before being drained, across all threads.
+std::uint64_t trace_drop_count() noexcept;
+
+/// Discard all pending events and reset drop accounting (for tests).
+void reset_trace() noexcept;
+
+}  // namespace ale::telemetry

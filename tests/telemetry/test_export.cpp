@@ -1,0 +1,143 @@
+// Exporters: golden JSON/CSV renderings of a synthetic snapshot, plus
+// json_escape. The formats are deterministic by contract (fixed key and
+// column order, %.1f floats) so exact string comparison is the right test.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/export.hpp"
+
+namespace ale::telemetry {
+namespace {
+
+Snapshot make_snapshot() {
+  Snapshot snap;
+  snap.captured_ticks = 123;
+  snap.ticks_per_ns = 2.5;
+  snap.global_policy = "adaptive";
+
+  LockSnapshot lock;
+  lock.name = "L";
+  lock.policy = "adaptive";
+  lock.has_phase = true;
+  lock.phase = (2u << 8) | 1u;  // HL.sub1
+  lock.phase_name = "HL.sub1";
+  lock.relearn_count = 1;
+  lock.total_executions = 10;
+
+  GranuleSnapshot g;
+  g.context = "a/b";
+  g.executions = 10;
+  g.modes[0] = ModeSnapshot{.attempts = 4,
+                            .successes = 3,
+                            .exec_mean_ns = 1.5,
+                            .exec_samples = 2,
+                            .fail_mean_ns = 0.0,
+                            .fail_samples = 0};
+  g.abort_causes[1] = 7;  // conflict
+  g.abort_causes[2] = 1;  // capacity
+  g.swopt_failures = 2;
+  g.lock_wait_mean_ns = 3.5;
+  g.lock_wait_samples = 4;
+  lock.granules.push_back(g);
+  snap.locks.push_back(lock);
+
+  EventRecord e;
+  e.ticks = 5;
+  e.kind = "phase_transition";
+  e.lock = "L";
+  e.detail = "SL->HL.sub0";
+  snap.events.push_back(e);
+  snap.events_dropped = 9;
+  return snap;
+}
+
+TEST(ExportTest, EmptySnapshotJsonGolden) {
+  EXPECT_EQ(to_json(Snapshot{}),
+            "{\"version\":1,\"captured_ticks\":0,\"ticks_per_ns\":0.0,"
+            "\"policy\":\"\",\n"
+            "\"locks\":[],\n"
+            "\"events\":[],\n"
+            "\"events_dropped\":0}\n");
+}
+
+TEST(ExportTest, PopulatedSnapshotJsonGolden) {
+  const std::string expected =
+      "{\"version\":1,\"captured_ticks\":123,\"ticks_per_ns\":2.5,"
+      "\"policy\":\"adaptive\",\n"
+      "\"locks\":[\n"
+      "{\"name\":\"L\",\"policy\":\"adaptive\",\"phase\":\"HL.sub1\","
+      "\"phase_word\":513,\"relearn_count\":1,\"total_executions\":10,"
+      "\"granules\":[\n"
+      "{\"context\":\"a/b\",\"executions\":10,\"modes\":{"
+      "\"Lock\":{\"attempts\":4,\"successes\":3,\"exec_mean_ns\":1.5,"
+      "\"exec_samples\":2,\"fail_mean_ns\":0.0,\"fail_samples\":0},"
+      "\"HTM\":{\"attempts\":0,\"successes\":0,\"exec_mean_ns\":0.0,"
+      "\"exec_samples\":0,\"fail_mean_ns\":0.0,\"fail_samples\":0},"
+      "\"SWOpt\":{\"attempts\":0,\"successes\":0,\"exec_mean_ns\":0.0,"
+      "\"exec_samples\":0,\"fail_mean_ns\":0.0,\"fail_samples\":0}},"
+      "\"abort_causes\":{\"conflict\":7,\"capacity\":1},"
+      "\"swopt_failures\":2,\"lock_wait_mean_ns\":3.5,"
+      "\"lock_wait_samples\":4}]}],\n"
+      "\"events\":[\n"
+      "{\"ticks\":5,\"kind\":\"phase_transition\",\"lock\":\"L\","
+      "\"detail\":\"SL->HL.sub0\"}],\n"
+      "\"events_dropped\":9}\n";
+  EXPECT_EQ(to_json(make_snapshot()), expected);
+}
+
+TEST(ExportTest, PopulatedSnapshotCsvGolden) {
+  const std::string expected =
+      "lock,context,policy,phase,executions"
+      ",Lock_attempts,Lock_successes,Lock_exec_mean_ns"
+      ",HTM_attempts,HTM_successes,HTM_exec_mean_ns"
+      ",SWOpt_attempts,SWOpt_successes,SWOpt_exec_mean_ns"
+      ",swopt_failures,lock_wait_mean_ns"
+      ",abort_none,abort_conflict,abort_capacity,abort_locked"
+      ",abort_explicit,abort_environmental,abort_nested,abort_unavailable"
+      ",abort_other\n"
+      "L,a/b,adaptive,HL.sub1,10,4,3,1.5,0,0,0.0,0,0,0.0,2,3.5,"
+      "0,7,1,0,0,0,0,0,0\n";
+  EXPECT_EQ(to_csv(make_snapshot()), expected);
+}
+
+TEST(ExportTest, CsvRendersDashForPhaselessLocks) {
+  Snapshot snap = make_snapshot();
+  snap.locks[0].has_phase = false;
+  const std::string csv = to_csv(snap);
+  EXPECT_NE(csv.find("L,a/b,adaptive,-,10,"), std::string::npos);
+}
+
+TEST(ExportTest, EventsCsvGolden) {
+  std::ostringstream ss;
+  write_events_csv(ss, make_snapshot());
+  EXPECT_EQ(ss.str(),
+            "ticks,kind,lock,context,mode,cause,detail\n"
+            "5,phase_transition,L,,,,SL->HL.sub0\n");
+}
+
+TEST(ExportTest, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(ExportTest, JsonOmitsEmptyEventFields) {
+  Snapshot snap;
+  EventRecord e;
+  e.ticks = 1;
+  e.kind = "htm_abort";
+  e.mode = "HTM";
+  e.cause = "capacity";
+  snap.events.push_back(e);
+  const std::string json = to_json(snap);
+  EXPECT_NE(json.find("{\"ticks\":1,\"kind\":\"htm_abort\","
+                      "\"mode\":\"HTM\",\"cause\":\"capacity\"}"),
+            std::string::npos)
+      << "lock/context/detail keys must be absent when empty, got: " << json;
+}
+
+}  // namespace
+}  // namespace ale::telemetry

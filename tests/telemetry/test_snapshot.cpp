@@ -1,0 +1,250 @@
+// Snapshot capture: point-in-time copies of the granule tables, adaptive
+// phase reporting, min_executions filtering, and event resolution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/ale.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "telemetry/snapshot.hpp"
+#include "test_util.hpp"
+
+namespace ale::telemetry {
+namespace {
+
+struct SnapshotTest : ::testing::Test {
+  void SetUp() override {
+    test::use_emulated_ideal();
+    reset_trace();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    reset_trace();
+    set_global_policy(nullptr);
+  }
+
+  TatasLock lock;
+
+  void drive(LockMd& md, int n, std::uint64_t& cell) {
+    static ScopeInfo scope("snapshot.cs", /*has_swopt=*/true);
+    for (int i = 0; i < n; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec& cs) -> CsBody {
+                   if (cs.in_swopt()) {
+                     (void)tx_load(cell);
+                     return CsBody::kDone;
+                   }
+                   tx_store(cell, tx_load(cell) + 1);
+                   return CsBody::kDone;
+                 });
+    }
+  }
+
+  const LockSnapshot* find_lock(const Snapshot& snap, const std::string& n) {
+    for (const LockSnapshot& l : snap.locks) {
+      if (l.name == n) return &l;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(SnapshotTest, CapturesRegisteredLockAndGranuleMetrics) {
+  LockMd md("snap.basic");
+  std::uint64_t cell = 0;
+  drive(md, 2000, cell);
+
+  const Snapshot snap = capture_snapshot();
+  EXPECT_NE(snap.captured_ticks, 0u);
+  EXPECT_GT(snap.ticks_per_ns, 0.0);
+  EXPECT_FALSE(snap.global_policy.empty());
+
+  const LockSnapshot* l = find_lock(snap, "snap.basic");
+  ASSERT_NE(l, nullptr);
+  ASSERT_EQ(l->granules.size(), 1u);
+  const GranuleSnapshot& g = l->granules[0];
+  EXPECT_EQ(g.context, "snapshot.cs");
+  // BFP estimates carry ~6% relative error; accept a generous band.
+  EXPECT_GT(g.executions, 1500u);
+  EXPECT_LT(g.executions, 2500u);
+  EXPECT_EQ(l->total_executions, g.executions);
+  std::uint64_t attempts = 0;
+  for (const ModeSnapshot& m : g.modes) attempts += m.attempts;
+  EXPECT_GT(attempts, 0u) << "some mode must have recorded attempts";
+}
+
+TEST_F(SnapshotTest, MinExecutionsFiltersQuietGranules) {
+  LockMd busy("snap.busy");
+  LockMd quiet("snap.quiet");
+  std::uint64_t cell = 0;
+  drive(busy, 5000, cell);
+  drive(quiet, 10, cell);
+
+  SnapshotOptions opts;
+  opts.min_executions = 1000;
+  opts.include_events = false;
+  const Snapshot snap = capture_snapshot(opts);
+  const LockSnapshot* b = find_lock(snap, "snap.busy");
+  const LockSnapshot* q = find_lock(snap, "snap.quiet");
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(b->granules.size(), 1u);
+  EXPECT_TRUE(q->granules.empty()) << "quiet granule should be filtered";
+  EXPECT_GT(q->total_executions, 0u)
+      << "totals still count filtered granules";
+  EXPECT_TRUE(snap.events.empty());
+}
+
+TEST_F(SnapshotTest, AdaptivePhaseFieldsFilledForAdaptiveLocks) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 50;
+  test::PolicyInstaller inst(std::make_unique<AdaptivePolicy>(cfg));
+  LockMd md("snap.adaptive");
+  std::uint64_t cell = 0;
+  drive(md, 1000, cell);  // enough to converge with 50-exec phases
+
+  const Snapshot snap = capture_snapshot();
+  const LockSnapshot* l = find_lock(snap, "snap.adaptive");
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->policy, "adaptive");
+  EXPECT_TRUE(l->has_phase);
+  EXPECT_EQ(l->phase_name, "Converged");
+  EXPECT_EQ(l->phase >> 8, 5u);  // AdaptiveLockState major 5 = Converged
+}
+
+TEST_F(SnapshotTest, StaticPolicyLocksHaveNoPhase) {
+  LockMd md("snap.static");
+  std::uint64_t cell = 0;
+  drive(md, 100, cell);
+  const Snapshot snap = capture_snapshot();
+  const LockSnapshot* l = find_lock(snap, "snap.static");
+  ASSERT_NE(l, nullptr);
+  EXPECT_FALSE(l->has_phase);
+}
+
+// The headline property: a snapshot taken while writer threads hammer the
+// granule never blocks them and always yields internally sane rows. BFP
+// estimates are monotone in the underlying counters, so successive
+// snapshots of the same granule must never go backwards.
+TEST_F(SnapshotTest, ConsistentUnderConcurrentWriters) {
+  LockMd md("snap.concurrent");
+  std::atomic<bool> stop{false};
+  std::uint64_t cells[4] = {};
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        drive(md, 100, cells[t]);
+      }
+    });
+  }
+
+  std::uint64_t prev_execs = 0;
+  std::uint64_t prev_attempts = 0;
+  // 50 busy snapshots (i.e. ones that observed work); bail out after 2000
+  // rounds so a slow machine fails loudly instead of hanging.
+  int busy_rounds = 0;
+  for (int round = 0; round < 2000 && busy_rounds < 50; ++round) {
+    SnapshotOptions opts;
+    opts.include_events = false;
+    const Snapshot snap = capture_snapshot(opts);
+    const LockSnapshot* l = find_lock(snap, "snap.concurrent");
+    ASSERT_NE(l, nullptr);
+    if (l->granules.empty() || l->granules[0].executions == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;  // writers not warmed up yet
+    }
+    ++busy_rounds;
+    const GranuleSnapshot& g = l->granules[0];
+    EXPECT_GE(g.executions, prev_execs) << "executions must be monotone";
+    prev_execs = g.executions;
+    std::uint64_t attempts = 0;
+    for (const ModeSnapshot& m : g.modes) attempts += m.attempts;
+    EXPECT_GE(attempts, prev_attempts) << "attempts must be monotone";
+    prev_attempts = attempts;
+  }
+  EXPECT_EQ(busy_rounds, 50);
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  EXPECT_GT(prev_execs, 0u);
+}
+
+TEST_F(SnapshotTest, ResolveEventsMapsIdentitiesAndDetails) {
+  LockMd md("snap.resolve");
+  std::uint64_t cell = 0;
+  drive(md, 1, cell);  // materialize the granule / context
+
+  std::vector<TraceEvent> raw;
+  raw.push_back(TraceEvent{.ticks = 11,
+                           .lock = &md,
+                           .aux32 = 5,
+                           .kind = EventKind::kModeDecision,
+                           .mode = 2,
+                           .aux8 = 4});
+  raw.push_back(TraceEvent{.ticks = 12,
+                           .lock = &md,
+                           .kind = EventKind::kHtmAbort,
+                           .cause = 1});
+  // (1 << 8) -> (2 << 8): SL to HL.sub0.
+  raw.push_back(TraceEvent{.ticks = 13,
+                           .lock = &md,
+                           .aux32 = (256u << 16) | 512u,
+                           .kind = EventKind::kPhaseTransition});
+  raw.push_back(TraceEvent{.ticks = 14,
+                           .lock = &md,
+                           .aux32 = 1280u << 16,
+                           .kind = EventKind::kRelearn});
+  raw.push_back(TraceEvent{.ticks = 15,
+                           .lock = &md,
+                           .aux32 = 3,
+                           .kind = EventKind::kGroupingDefer});
+  int bogus = 0;
+  raw.push_back(TraceEvent{.ticks = 16,
+                           .lock = &bogus,
+                           .kind = EventKind::kSwOptFail,
+                           .cause = 1});
+
+  const auto events = resolve_events(raw);
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].kind, "mode_decision");
+  EXPECT_EQ(events[0].lock, "snap.resolve");
+  EXPECT_EQ(events[0].mode, "SWOpt");
+  EXPECT_EQ(events[0].detail, "attempt=4");
+  EXPECT_EQ(events[1].kind, "htm_abort");
+  EXPECT_EQ(events[1].mode, "HTM");
+  EXPECT_EQ(events[1].cause, "conflict");
+  EXPECT_EQ(events[2].kind, "phase_transition");
+  EXPECT_EQ(events[2].detail, "SL->HL.sub0");
+  EXPECT_EQ(events[3].kind, "relearn");
+  EXPECT_EQ(events[3].detail, "from=Converged");
+  EXPECT_EQ(events[4].kind, "grouping_defer");
+  EXPECT_EQ(events[4].detail, "rounds=3");
+  EXPECT_EQ(events[5].lock, "<dead>")
+      << "unregistered lock pointers render as <dead>";
+  EXPECT_EQ(events[5].cause, "conflict");
+}
+
+TEST_F(SnapshotTest, EngineEmitsDecisionEventsWhenTracingEnabled) {
+  set_trace_enabled(true);
+  set_trace_sample_rate(1.0);
+  LockMd md("snap.engine");
+  std::uint64_t cell = 0;
+  drive(md, 200, cell);
+  set_trace_sample_rate(0.03);
+
+  const Snapshot snap = capture_snapshot();
+  std::uint64_t decisions = 0;
+  std::uint64_t completes = 0;
+  for (const EventRecord& e : snap.events) {
+    if (e.lock != "snap.engine") continue;
+    EXPECT_EQ(e.context, "snapshot.cs");
+    if (e.kind == "mode_decision") ++decisions;
+    if (e.kind == "exec_complete") ++completes;
+  }
+  EXPECT_GT(decisions, 150u) << "rate 1.0 traces (nearly) every decision";
+  EXPECT_GT(completes, 150u);
+}
+
+}  // namespace
+}  // namespace ale::telemetry
