@@ -9,6 +9,7 @@
 
 #include <atomic>
 
+#include "bench_util.hpp"
 #include "common/cacheline.hpp"
 #include "stats/bfp_counter.hpp"
 #include "stats/sampled_time.hpp"
@@ -58,4 +59,13 @@ BENCHMARK(BM_AlwaysTimedCas)->Threads(1)->Threads(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same run-seed banner as the report-style benches: the stats machinery
+// under test draws from thread_prng(), so ALE_SEED pins its streams too.
+int main(int argc, char** argv) {
+  ale::bench::print_run_seed();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,7 +23,9 @@ int main() {
   using namespace ale::bench;
 
   std::printf("=== Ablation: grouping mechanism (SNZI-deferred conflicting "
-              "executions) ===\n\n");
+              "executions) ===\n");
+  print_run_seed();
+  std::printf("\n");
 
   // ---- SIM: where concurrency actually overlaps ----
   {

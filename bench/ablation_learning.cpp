@@ -10,12 +10,14 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "sim/simulator.hpp"
 
 int main() {
   using namespace ale::sim;
 
   std::printf("=== Ablation: learned X vs static X sweep (SIM) ===\n");
+  ale::bench::print_run_seed();
 
   struct Case {
     const char* label;

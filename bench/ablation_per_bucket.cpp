@@ -20,7 +20,9 @@ int main() {
   set_profile("t2");
 
   std::printf("=== Ablation: per-bucket conflict indicators (§3.2 "
-              "extension) ===\n\n");
+              "extension) ===\n");
+  print_run_seed();
+  std::printf("\n");
   std::printf("  %-22s%14s%16s%16s\n", "config", "ops/s (4thr)",
               "swopt fails", "swopt succ");
 

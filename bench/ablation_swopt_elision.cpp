@@ -19,7 +19,9 @@ int main() {
   set_profile("ideal");  // no quirk noise: isolate indicator conflicts
 
   std::printf("=== Ablation: eliding conflict indication when no SWOpt runs "
-              "(COULD_SWOPT_BE_RUNNING) ===\n\n");
+              "(COULD_SWOPT_BE_RUNNING) ===\n");
+  print_run_seed();
+  std::printf("\n");
 
   StaticPolicyConfig pcfg;
   pcfg.x = 8;

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <thread>
@@ -43,6 +44,17 @@ inline std::vector<PolicyRow> standard_policy_rows(bool htm_platform) {
   }
   rows.push_back({"Adaptive", "adaptive", sim::SimPolicy::adaptive()});
   return rows;
+}
+
+// Every report header names the run seed, so any figure can be re-run with
+// identical per-thread PRNG streams via ALE_SEED=<value>. (The SIM blocks
+// use their own fixed simulator seed and are deterministic regardless.)
+inline void print_run_seed() {
+  std::printf("  run seed: 0x%016llx%s\n",
+              static_cast<unsigned long long>(run_seed()),
+              std::getenv("ALE_SEED") != nullptr
+                  ? " (from ALE_SEED)"
+                  : " (default; set ALE_SEED to vary)");
 }
 
 inline std::vector<unsigned> pow2_threads(unsigned max) {
@@ -79,7 +91,9 @@ inline double timed_run(unsigned threads, double seconds,
   workers.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      Xoshiro256 rng(t * 7919 + 1);
+      // Per-worker stream derived from the run seed (ALE_SEED), keeping the
+      // historical t*7919+1 walk as the salt so streams stay distinct.
+      Xoshiro256 rng(derive_seed(t * 7919 + 1));
       std::uint64_t n = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         op(t, rng);

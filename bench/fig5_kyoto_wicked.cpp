@@ -57,6 +57,7 @@ int main() {
 
   std::printf("=== Figure 5: Kyoto Cabinet wicked benchmark on %s ===\n",
               platform.name.c_str());
+  print_run_seed();
 
   // SIM block: the structure-faithful two-level model (RW method lock +
   // slot locks, hit/miss self-abort dynamics) across the platform's full

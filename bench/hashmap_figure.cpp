@@ -59,6 +59,7 @@ void run_hashmap_figure(const char* figure_id, const char* platform_name) {
               "===\n",
               figure_id, platform.name.c_str(), platform.hw_threads,
               platform.htm ? "yes" : "no");
+  print_run_seed();
 
   for (const double mutate : {0.02, 0.20, 0.60}) {
     std::printf("\n--- %.0f%% mutating operations, %llu keys ---\n",

@@ -1,0 +1,162 @@
+// Adversarial stress runner: drives the HashMap and kvdb workloads through
+// the ale::inject fault plane, one scripted scenario at a time — abort
+// storm, flaky commits, invalidation storm, lock convoy, full mode
+// starvation — and reports how the engine and the Adaptive policy coped:
+// throughput, per-mode success mix, injected-fault counts, and the policy
+// phase reached. A scenario "passes" when the run completes (liveness) and
+// the sabotaged mode recorded zero successes.
+//
+// All scenarios are deterministic per thread: re-run with the same ALE_SEED
+// (printed below) to reproduce a report. ALE_INJECT is ignored here — each
+// scenario installs its own spec and the baseline must run clean.
+#include <cinttypes>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "hashmap/hashmap.hpp"
+#include "inject/inject.hpp"
+#include "kvdb/wicked.hpp"
+#include "policy/adaptive_policy.hpp"
+
+namespace {
+
+using namespace ale;
+using namespace ale::bench;
+
+struct Scenario {
+  const char* name;
+  const char* spec;           // ALE_INJECT-grammar clause list ("" = off)
+  ExecMode sabotaged;         // mode that must record zero successes
+  bool has_sabotaged_mode;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"baseline (no faults)", "", ExecMode::kLock, false},
+    {"abort storm (HTM begin always dies)", "htm.begin", ExecMode::kHtm,
+     true},
+    {"flaky commits (30% commit conflicts)", "htm.commit:p=0.3,seed=11",
+     ExecMode::kLock, false},
+    {"capacity squeeze (8-line budget)", "htm.capacity:x=8", ExecMode::kLock,
+     false},
+    {"invalidation storm (SWOpt never validates)", "swopt.invalidate",
+     ExecMode::kSwOpt, true},
+    {"lock convoy (stretched hold times)", "lock.hold:every=10,x=30000",
+     ExecMode::kLock, false},
+    {"mode starvation (HTM and SWOpt both dead)",
+     "htm.begin;swopt.invalidate;sync.backoff:every=11,x=256",
+     ExecMode::kLock, false},
+};
+
+std::uint64_t successes(LockMd& md, ExecMode m) {
+  std::uint64_t total = 0;
+  md.for_each_granule(
+      [&](GranuleMd& g) { total += g.stats.of(m).successes.read(); });
+  return total;
+}
+
+void print_mode_mix(LockMd& md) {
+  std::printf("    successes  htm=%-10" PRIu64 " swopt=%-10" PRIu64
+              " lock=%-10" PRIu64 "\n",
+              successes(md, ExecMode::kHtm), successes(md, ExecMode::kSwOpt),
+              successes(md, ExecMode::kLock));
+}
+
+void print_fired() {
+  std::printf("    injected  ");
+  for (std::size_t i = 0; i < inject::kNumPoints; ++i) {
+    const auto p = static_cast<inject::Point>(i);
+    if (inject::fired_count(p) > 0) {
+      std::printf(" %s=%" PRIu64, inject::to_string(p),
+                  inject::fired_count(p));
+    }
+  }
+  std::printf("\n");
+}
+
+bool check_sabotage(const Scenario& s, LockMd& md) {
+  if (!s.has_sabotaged_mode) return true;
+  const std::uint64_t n = successes(md, s.sabotaged);
+  if (n != 0) {
+    std::printf("    !! sabotaged mode %s recorded %" PRIu64
+                " successes\n",
+                to_string(s.sabotaged), n);
+    return false;
+  }
+  return true;
+}
+
+bool run_hashmap(const Scenario& s, AdaptivePolicy* policy) {
+  AleHashMap map(1024, std::string("stress.tblLock.") + s.spec);
+  for (std::uint64_t k = 0; k < 4096; k += 2) map.insert(k, k);
+  const double rate = timed_run(4, 0.4, [&](unsigned, Xoshiro256& rng) {
+    const std::uint64_t k = rng.next_below(4096);
+    std::uint64_t v = 0;
+    const double roll = rng.next_double();
+    if (roll < 0.15) {
+      map.insert(k, k);
+    } else if (roll < 0.30) {
+      map.remove(k);
+    } else {
+      map.get(k, v);
+    }
+  });
+  std::printf("  hashmap  %10.0f ops/s   phase=%s\n", rate,
+              adaptive_phase_name(policy->phase_of(map.lock_md())).c_str());
+  print_mode_mix(map.lock_md());
+  print_fired();
+  return check_sabotage(s, map.lock_md());
+}
+
+bool run_wicked(const Scenario& s) {
+  kvdb::ShardedDb db(kvdb::DbConfig{},
+                     std::string("stress.kcdb.") + s.spec);
+  kvdb::WickedConfig cfg;
+  cfg.key_range = 4000;
+  kvdb::wicked_prefill(db, cfg);
+  std::string key, val;
+  const double rate = timed_run(4, 0.4, [&](unsigned, Xoshiro256& rng) {
+    thread_local std::string k, v;
+    (void)kvdb::wicked_step(db, cfg, rng, k, v);
+  });
+  std::printf("  wicked   %10.0f ops/s   count=%" PRIu64 "\n", rate,
+              db.count());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  set_profile("haswell");
+  std::printf("=== Adversarial stress: scripted fault scenarios ===\n");
+  print_run_seed();
+
+  bool all_ok = true;
+  for (const Scenario& s : kScenarios) {
+    std::printf("\n--- %s%s%s ---\n", s.name, *s.spec ? "  ALE_INJECT=" : "",
+                s.spec);
+    inject::reset();
+    if (*s.spec != '\0' && !inject::configure(s.spec)) {
+      std::printf("  !! scenario spec failed to parse\n");
+      all_ok = false;
+      continue;
+    }
+    // Fresh Adaptive policy per scenario with short phases, so the walk
+    // completes inside the timed window and the report shows where the
+    // policy landed under this adversity.
+    AdaptiveConfig cfg;
+    cfg.phase_len = 100;
+    auto policy = std::make_unique<AdaptivePolicy>(cfg);
+    AdaptivePolicy* p = policy.get();
+    set_global_policy(std::move(policy));
+
+    all_ok &= run_hashmap(s, p);
+    all_ok &= run_wicked(s);
+    set_global_policy(nullptr);
+  }
+  inject::reset();
+
+  std::printf("\n%s\n", all_ok ? "ALL SCENARIOS OK (liveness + sabotage "
+                                 "accounting held)"
+                               : "SCENARIO FAILURES — see !! lines above");
+  return all_ok ? 0 : 1;
+}

@@ -26,7 +26,9 @@ int main() {
   telemetry::set_trace_sample_rate(0.03);
 
   std::printf("=== Statistics & profiling report (per <lock, context> "
-              "granule) ===\n\n");
+              "granule) ===\n");
+  print_run_seed();
+  std::printf("\n");
 
   // HashMap under the All policy: every mode shows up in the table.
   install_policy_spec("static-all-5:3");

@@ -31,6 +31,15 @@ double env_double(std::string_view name, double def) {
   return parsed;
 }
 
+std::uint64_t env_uint64(std::string_view name, std::uint64_t def) {
+  auto v = env_string(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 0);
+  if (end == v->c_str() || (end != nullptr && *end != '\0')) return def;
+  return static_cast<std::uint64_t>(parsed);
+}
+
 bool env_bool(std::string_view name, bool def) {
   auto v = env_string(name);
   if (!v) return def;
@@ -40,6 +49,64 @@ bool env_bool(std::string_view name, bool def) {
   if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
   if (s == "0" || s == "false" || s == "no" || s == "off") return false;
   return def;
+}
+
+namespace {
+
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string> SpecClause::param(std::string_view key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<SpecClause> parse_spec_clauses(std::string_view spec) {
+  std::vector<SpecClause> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t semi = spec.find(';', pos);
+    if (semi == std::string_view::npos) semi = spec.size();
+    const std::string_view raw = trimmed(spec.substr(pos, semi - pos));
+    pos = semi + 1;
+    if (raw.empty()) continue;
+
+    SpecClause clause;
+    const std::size_t colon = raw.find(':');
+    clause.head = std::string(trimmed(raw.substr(0, colon)));
+    if (colon != std::string_view::npos) {
+      std::string_view rest = raw.substr(colon + 1);
+      std::size_t p = 0;
+      while (p <= rest.size()) {
+        std::size_t comma = rest.find(',', p);
+        if (comma == std::string_view::npos) comma = rest.size();
+        const std::string_view item = trimmed(rest.substr(p, comma - p));
+        p = comma + 1;
+        if (item.empty()) continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos) {
+          clause.params.emplace_back(std::string(item), std::string());
+        } else {
+          clause.params.emplace_back(
+              std::string(trimmed(item.substr(0, eq))),
+              std::string(trimmed(item.substr(eq + 1))));
+        }
+      }
+    }
+    out.push_back(std::move(clause));
+  }
+  return out;
 }
 
 }  // namespace ale

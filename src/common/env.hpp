@@ -11,6 +11,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ale {
 
@@ -22,5 +24,31 @@ std::optional<std::string> env_string(std::string_view name);
 std::int64_t env_int(std::string_view name, std::int64_t def);
 double env_double(std::string_view name, double def);
 bool env_bool(std::string_view name, bool def);
+
+// Unsigned 64-bit lookup; accepts decimal or 0x-prefixed hex (base-0
+// parsing), so full-width seeds round-trip.
+std::uint64_t env_uint64(std::string_view name, std::uint64_t def);
+
+// ---- structured specification values ----
+//
+// Several ALE_* variables carry clause lists rather than scalars
+// (ALE_TELEMETRY, ALE_INJECT). The shared surface grammar is:
+//
+//   spec   := clause (';' clause)*
+//   clause := head [':' param (',' param)*]
+//   param  := key ['=' value]
+//
+// Whitespace around tokens is ignored; empty clauses are skipped. The
+// parser is purely lexical — each consumer validates heads/keys itself and
+// must tolerate anything here (configuration never crashes a host).
+struct SpecClause {
+  std::string head;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  // Convenience lookup: value of `key`, or nullopt when absent.
+  std::optional<std::string> param(std::string_view key) const;
+};
+
+std::vector<SpecClause> parse_spec_clauses(std::string_view spec);
 
 }  // namespace ale

@@ -1,17 +1,59 @@
 #include "common/prng.hpp"
 
 #include <atomic>
+#include <mutex>
+
+#include "common/env.hpp"
 
 namespace ale {
 
 namespace {
-std::atomic<std::uint64_t> g_thread_seed{0x5eed5eed5eed5eedULL};
+
+// Historical base of the per-thread seed sequence; kept as the default so
+// runs without ALE_SEED are bit-identical to builds that predate run seeds.
+constexpr std::uint64_t kDefaultRunSeed = 0x5eed5eed5eed5eedULL;
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+std::atomic<std::uint64_t> g_run_seed{kDefaultRunSeed};
+std::once_flag g_seed_env_once;
+std::atomic<std::uint64_t> g_thread_counter{0};
+
+std::uint64_t run_seed_impl() noexcept {
+  std::call_once(g_seed_env_once, [] {
+    g_run_seed.store(env_uint64("ALE_SEED", kDefaultRunSeed),
+                     std::memory_order_relaxed);
+  });
+  return g_run_seed.load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
+std::uint64_t run_seed() noexcept { return run_seed_impl(); }
+
+void set_run_seed(std::uint64_t seed) noexcept {
+  std::call_once(g_seed_env_once, [] {});  // consume the env-read slot
+  g_run_seed.store(seed, std::memory_order_relaxed);
+}
+
+std::uint64_t derive_seed(std::uint64_t salt) noexcept {
+  SplitMix64 sm(run_seed_impl() ^ (salt * kGolden));
+  return sm.next();
+}
+
+std::uint64_t derive_seed(std::uint64_t salt_a,
+                          std::uint64_t salt_b) noexcept {
+  SplitMix64 sm(run_seed_impl() ^ (salt_a * kGolden) ^
+                (salt_b * 0xbf58476d1ce4e5b9ULL));
+  return sm.next();
+}
+
 Xoshiro256& thread_prng() noexcept {
+  // Seed sequence: run_seed + n*golden for the n-th thread to touch the
+  // PRNG — identical to the historical fetch_add walk when ALE_SEED is
+  // unset.
   thread_local Xoshiro256 prng(
-      g_thread_seed.fetch_add(0x9e3779b97f4a7c15ULL,
-                              std::memory_order_relaxed));
+      run_seed_impl() +
+      g_thread_counter.fetch_add(1, std::memory_order_relaxed) * kGolden);
   return prng;
 }
 

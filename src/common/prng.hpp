@@ -73,4 +73,25 @@ class Xoshiro256 {
 // shared, so no synchronization is needed.
 Xoshiro256& thread_prng() noexcept;
 
+// ---- run-seed reproducibility ----
+//
+// Every source of pseudo-randomness in an ALE process (per-thread PRNGs,
+// bench workload generators, the stress runner, fault injection) derives
+// from one run seed so an entire run can be replayed: set ALE_SEED (decimal
+// or 0x-hex) and re-run the same binary. When ALE_SEED is unset the
+// historical default seed is used, so unseeded runs behave exactly as
+// before this knob existed. Report headers print the value via
+// run_seed() so it can be copied into a reproduction.
+std::uint64_t run_seed() noexcept;
+
+// Programmatic override (stress/test harnesses). Only affects PRNGs created
+// after the call — call it before spawning worker threads.
+void set_run_seed(std::uint64_t seed) noexcept;
+
+// Derive an independent stream seed from the run seed: mixes `salt` (and
+// optionally more salts) through SplitMix64 so distinct consumers get
+// decorrelated, deterministic streams.
+std::uint64_t derive_seed(std::uint64_t salt) noexcept;
+std::uint64_t derive_seed(std::uint64_t salt_a, std::uint64_t salt_b) noexcept;
+
 }  // namespace ale

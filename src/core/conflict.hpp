@@ -21,6 +21,7 @@
 #include "common/cpu.hpp"
 #include "htm/access.hpp"
 #include "htm/htm.hpp"
+#include "inject/inject.hpp"
 #include "sync/backoff.hpp"
 
 namespace ale {
@@ -49,8 +50,12 @@ class ConflictIndicator {
     }
   }
 
-  // `v != GetVer(false)` from Figure 1.
+  // `v != GetVer(false)` from Figure 1. The swopt.invalidate injection
+  // point forces a positive answer — exactly what a SWOpt path observes
+  // when a conflicting region begins mid-validation — so persistent SWOpt
+  // invalidation can be scripted without a writer storm.
   bool changed_since(std::uint64_t snapshot) const {
+    if (inject::should_fire(inject::Point::kSwOptInvalidate)) return true;
     return tx_load(ver_) != snapshot;
   }
 

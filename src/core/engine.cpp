@@ -4,6 +4,7 @@
 
 #include "common/cycles.hpp"
 #include "htm/emulated.hpp"
+#include "inject/inject.hpp"
 #include "sync/backoff.hpp"
 #include "telemetry/trace.hpp"
 
@@ -333,6 +334,10 @@ void CsExec::finish() {
       break;
     case ExecMode::kLock:
       if (lock_acquired_) {
+        // Injected hold-time stretch: keep the lock for extra spins before
+        // releasing, manufacturing a convoy (waiters pile up behind a
+        // healthy-but-slow holder rather than a crashed one).
+        inject::maybe_stall(inject::Point::kLockHold, 20000);
         api_->release(lock_);
         lock_acquired_ = false;
       }

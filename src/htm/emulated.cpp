@@ -64,6 +64,13 @@ void TxDesc::commit() {
   if (!active_) return;
 
   maybe_quirk(profile_->abort_prob_per_commit);
+  // Injected commit-conflict: the transaction loses its validation race
+  // just before publishing, the costliest point to abort (all work wasted).
+  // x= prices the abort in pause-spins (default free).
+  if (inject::should_fire(inject::Point::kHtmCommit)) {
+    inject::stall(inject::magnitude(inject::Point::kHtmCommit, 0));
+    abort_now(AbortCause::kConflict);
+  }
 
   auto& table = VersionTable::instance();
 

@@ -41,6 +41,7 @@
 #include "htm/abort.hpp"
 #include "htm/profile.hpp"
 #include "htm/version_table.hpp"
+#include "inject/inject.hpp"
 #include "sync/lockapi.hpp"
 
 namespace ale::htm::detail {
@@ -100,6 +101,12 @@ class TxDesc {
     track_line(read_lines_, &loc, profile_->read_cap_lines);
     ++stats_reads_;
     maybe_quirk(profile_->abort_prob_per_access);
+    // Injected read-conflict: as if a concurrent writer hit this line.
+    // x= prices the abort in pause-spins (default free).
+    if (inject::should_fire(inject::Point::kHtmRead)) {
+      inject::stall(inject::magnitude(inject::Point::kHtmRead, 0));
+      abort_now(AbortCause::kConflict);
+    }
     return value;
   }
 
@@ -171,6 +178,14 @@ class TxDesc {
                   std::uint32_t cap) {
     lines.insert(cache_line_of(addr));
     if (lines.size() > cap) abort_now(AbortCause::kCapacity);
+    // Injected capacity squeeze: the htm.capacity point caps the set at its
+    // x= magnitude (default 0 lines: the first tracked line qualifies);
+    // p/every gate each over-budget access, so a squeeze can be made flaky.
+    if (inject::enabled() &&
+        lines.size() > inject::magnitude(inject::Point::kHtmCapacity, 0) &&
+        inject::should_fire(inject::Point::kHtmCapacity)) {
+      abort_now(AbortCause::kCapacity);
+    }
   }
 
   void maybe_quirk(double probability) {

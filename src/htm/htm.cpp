@@ -2,6 +2,7 @@
 
 #include "htm/emulated.hpp"
 #include "htm/rtm.hpp"
+#include "inject/inject.hpp"
 
 namespace ale::htm {
 
@@ -28,6 +29,16 @@ BeginStatus tx_begin() {
       if (!c.profile.htm_available) {
         return BeginStatus{BeginState::kUnavailable,
                            AbortCause::kUnavailable, 0};
+      }
+      // Injected begin-abort: delivered like an RTM abort-at-begin (the
+      // transaction never starts), modelling an environmental kill between
+      // tx-begin and the first instruction. x= prices the doomed attempt in
+      // pause-spins (default free) so storms are visible to time-measuring
+      // policies.
+      if (inject::should_fire(inject::Point::kHtmBegin)) {
+        inject::stall(inject::magnitude(inject::Point::kHtmBegin, 0));
+        return BeginStatus{BeginState::kAborted,
+                           AbortCause::kEnvironmental, 0};
       }
       detail::tls_desc().begin(&c.profile);
       return BeginStatus{BeginState::kStarted, AbortCause::kNone, 0};

@@ -1,0 +1,373 @@
+#include "inject/inject.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/cpu.hpp"
+#include "common/env.hpp"
+#include "common/prng.hpp"
+// Header-only, dependency-free taxonomy shared with the HTM backends: a
+// fired injection records which abort cause it delivers in the trace.
+#include "htm/abort.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ale::inject {
+
+const char* to_string(Point p) noexcept {
+  switch (p) {
+    case Point::kHtmBegin: return "htm.begin";
+    case Point::kHtmRead: return "htm.read";
+    case Point::kHtmCommit: return "htm.commit";
+    case Point::kHtmCapacity: return "htm.capacity";
+    case Point::kSwOptInvalidate: return "swopt.invalidate";
+    case Point::kLockHold: return "lock.hold";
+    case Point::kBackoff: return "sync.backoff";
+    case Point::kPolicyPhase: return "policy.phase";
+    case Point::kPolicyRelearn: return "policy.relearn";
+  }
+  return "?";
+}
+
+std::optional<Point> point_by_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    const Point p = static_cast<Point>(i);
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// The abort cause a fired point delivers (recorded in the trace so a
+// drained ring shows "injection N fired, engine saw cause C" pairs).
+htm::AbortCause cause_of(Point p) noexcept {
+  switch (p) {
+    case Point::kHtmBegin: return htm::AbortCause::kEnvironmental;
+    case Point::kHtmRead: return htm::AbortCause::kConflict;
+    case Point::kHtmCommit: return htm::AbortCause::kConflict;
+    case Point::kHtmCapacity: return htm::AbortCause::kCapacity;
+    case Point::kSwOptInvalidate: return htm::AbortCause::kConflict;
+    default: return htm::AbortCause::kNone;
+  }
+}
+
+struct PointSpec {
+  bool active = false;
+  double probability = 1.0;      // used when every == 0
+  std::uint64_t every = 0;       // fire every N-th evaluation
+  std::uint64_t seed = 0;        // clause seed (seed_set gates)
+  bool seed_set = false;
+  std::uint64_t thread_mask = 0;  // bit i = inject thread index i (< 64)
+  bool filtered = false;
+  std::uint64_t after = 0;   // dormant evaluations before the window opens
+  std::uint64_t window = 0;  // armed evaluations (0 = forever)
+  std::uint64_t count = 0;   // max fires per thread (0 = unlimited)
+  std::uint64_t x = 0;       // point-specific magnitude
+  bool x_set = false;
+};
+
+// Immutable configuration snapshot. Snapshots are leaked on reconfigure
+// (the same pattern as the trace registry): an evaluation racing a
+// reconfigure may finish against the old snapshot, which stays valid
+// forever, so no hot-path reference counting is needed.
+struct InjectConfig {
+  std::uint64_t generation = 0;
+  std::array<PointSpec, kNumPoints> points{};
+  std::string summary;
+};
+
+std::atomic<InjectConfig*> g_config{nullptr};
+std::atomic<std::uint64_t> g_generation{0};
+
+struct PointCounters {
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<std::uint64_t> evals{0};
+};
+std::array<PointCounters, kNumPoints> g_counters;
+
+std::atomic<std::uint32_t> g_thread_counter{0};
+constexpr std::uint32_t kThreadIndexUnset = 0xffffffffu;
+thread_local std::uint32_t t_thread_index = kThreadIndexUnset;
+
+struct ThreadPointState {
+  std::uint64_t evals = 0;
+  std::uint64_t fired = 0;
+  Xoshiro256 prng{0};
+};
+
+struct ThreadState {
+  std::uint64_t generation = 0;  // 0 = never synced (generations start at 1)
+  std::array<ThreadPointState, kNumPoints> pts{};
+};
+
+ThreadState& tls_state() noexcept {
+  thread_local ThreadState state;
+  return state;
+}
+
+void sync_thread_state(ThreadState& ts, const InjectConfig& cfg) noexcept {
+  const std::uint32_t tid = thread_index();
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    ThreadPointState& tp = ts.pts[i];
+    tp.evals = 0;
+    tp.fired = 0;
+    const PointSpec& ps = cfg.points[i];
+    // Per-(thread, point) stream: deterministic for a given run seed /
+    // clause seed and inject thread index, independent of interleaving.
+    const std::uint64_t stream =
+        ps.seed_set
+            ? SplitMix64(ps.seed ^ (i * 0x9e3779b97f4a7c15ULL) ^
+                         (static_cast<std::uint64_t>(tid) *
+                          0xbf58476d1ce4e5b9ULL))
+                  .next()
+            : derive_seed(0x1213d0 + i, tid);
+    tp.prng = Xoshiro256(stream);
+  }
+  ts.generation = cfg.generation;
+}
+
+std::uint64_t parse_u64(const std::string& v, std::uint64_t def) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v.c_str(), &end, 0);
+  if (end == v.c_str() || (end != nullptr && *end != '\0')) return def;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double parse_double(const std::string& v, double def) {
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || (end != nullptr && *end != '\0')) return def;
+  return parsed;
+}
+
+// threads=0+3+17 → bitmask. Indices ≥ 64 are rejected with a warning (the
+// filter is a 64-bit mask; harnesses pin indices below that).
+std::uint64_t parse_thread_list(const std::string& v) {
+  std::uint64_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= v.size()) {
+    std::size_t plus = v.find('+', pos);
+    if (plus == std::string::npos) plus = v.size();
+    const std::string item = v.substr(pos, plus - pos);
+    pos = plus + 1;
+    if (item.empty()) continue;
+    const std::uint64_t idx = parse_u64(item, 64);
+    if (idx >= 64) {
+      std::fprintf(stderr,
+                   "[ale.inject] threads= index '%s' out of range (0..63), "
+                   "ignored\n",
+                   item.c_str());
+      continue;
+    }
+    mask |= std::uint64_t{1} << idx;
+  }
+  return mask;
+}
+
+void install(InjectConfig* cfg, bool any_active) {
+  cfg->generation = g_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (auto& c : g_counters) {
+    c.fired.store(0, std::memory_order_relaxed);
+    c.evals.store(0, std::memory_order_relaxed);
+  }
+  g_config.store(cfg, std::memory_order_release);  // old snapshot leaks
+  detail::g_enabled.store(any_active, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace detail {
+
+bool should_fire_slow(Point p) noexcept {
+  const InjectConfig* cfg = g_config.load(std::memory_order_acquire);
+  if (cfg == nullptr) return false;
+  const std::size_t i = static_cast<std::size_t>(p);
+  const PointSpec& ps = cfg->points[i];
+  if (!ps.active) return false;
+
+  ThreadState& ts = tls_state();
+  if (ts.generation != cfg->generation) sync_thread_state(ts, *cfg);
+  if (ps.filtered &&
+      (thread_index() >= 64 ||
+       ((ps.thread_mask >> thread_index()) & 1) == 0)) {
+    return false;
+  }
+
+  ThreadPointState& tp = ts.pts[i];
+  const std::uint64_t n = tp.evals++;
+  g_counters[i].evals.fetch_add(1, std::memory_order_relaxed);
+  if (n < ps.after) return false;
+  if (ps.window != 0 && n >= ps.after + ps.window) return false;
+  if (ps.count != 0 && tp.fired >= ps.count) return false;
+
+  // `n` is 0-based; "every=N" means the N-th, 2N-th, ... evaluation inside
+  // the armed window fires (so every=1 is every evaluation, and a schedule
+  // never fires on the first evaluation unless N == 1).
+  const bool fire = ps.every != 0
+                        ? ((n - ps.after + 1) % ps.every) == 0
+                        : tp.prng.next_bool(ps.probability);
+  if (!fire) return false;
+
+  tp.fired++;
+  const std::uint64_t ordinal =
+      g_counters[i].fired.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (telemetry::trace_enabled()) {
+    // Always recorded, never sampled: injected faults are rare, scripted
+    // events that tests correlate with the engine's reactions.
+    telemetry::trace_emit(telemetry::TraceEvent{
+        .aux32 = ordinal > 0xffffffffULL
+                     ? 0xffffffffU
+                     : static_cast<std::uint32_t>(ordinal),
+        .kind = telemetry::EventKind::kInjectFired,
+        .cause = static_cast<std::uint8_t>(cause_of(p)),
+        .aux8 = static_cast<std::uint8_t>(p)});
+  }
+  return true;
+}
+
+std::uint64_t magnitude_slow(Point p, std::uint64_t def) noexcept {
+  const InjectConfig* cfg = g_config.load(std::memory_order_acquire);
+  if (cfg == nullptr) return def;
+  const PointSpec& ps = cfg->points[static_cast<std::size_t>(p)];
+  return (ps.active && ps.x_set) ? ps.x : def;
+}
+
+}  // namespace detail
+
+void stall(std::uint64_t spins) noexcept {
+  for (std::uint64_t i = 0; i < spins; ++i) cpu_pause();
+}
+
+void maybe_stall(Point p, std::uint64_t def_spins) noexcept {
+  if (!should_fire(p)) return;
+  stall(magnitude(p, def_spins));
+}
+
+std::uint64_t perturb_spins(Point p, std::uint64_t def_spins) noexcept {
+  return should_fire(p) ? magnitude(p, def_spins) : 0;
+}
+
+bool configure(std::string_view spec) {
+  auto* cfg = new InjectConfig();
+  bool any_active = false;
+  std::string summary;
+
+  for (const SpecClause& clause : parse_spec_clauses(spec)) {
+    const auto point = point_by_name(clause.head);
+    if (!point) {
+      std::fprintf(stderr,
+                   "[ale.inject] unknown injection point '%s', clause "
+                   "ignored\n",
+                   clause.head.c_str());
+      continue;
+    }
+    PointSpec ps;
+    ps.active = true;
+    for (const auto& [key, value] : clause.params) {
+      if (key == "p") {
+        ps.probability = parse_double(value, 1.0);
+        if (ps.probability < 0.0) ps.probability = 0.0;
+        if (ps.probability > 1.0) ps.probability = 1.0;
+      } else if (key == "every") {
+        ps.every = parse_u64(value, 0);
+      } else if (key == "seed") {
+        ps.seed = parse_u64(value, 0);
+        ps.seed_set = true;
+      } else if (key == "threads") {
+        ps.thread_mask = parse_thread_list(value);
+        ps.filtered = true;
+      } else if (key == "after") {
+        ps.after = parse_u64(value, 0);
+      } else if (key == "for") {
+        ps.window = parse_u64(value, 0);
+      } else if (key == "count") {
+        ps.count = parse_u64(value, 0);
+      } else if (key == "x") {
+        ps.x = parse_u64(value, 0);
+        ps.x_set = true;
+      } else {
+        std::fprintf(stderr,
+                     "[ale.inject] unknown param '%s' for point '%s', "
+                     "ignored\n",
+                     key.c_str(), clause.head.c_str());
+      }
+    }
+    cfg->points[static_cast<std::size_t>(*point)] = ps;
+    any_active = true;
+    if (!summary.empty()) summary += "; ";
+    summary += to_string(*point);
+    if (ps.every != 0) {
+      summary += ":every=" + std::to_string(ps.every);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, ":p=%g", ps.probability);
+      summary += buf;
+    }
+    if (ps.x_set) summary += ",x=" + std::to_string(ps.x);
+  }
+
+  cfg->summary = any_active ? summary : "off";
+  install(cfg, any_active);
+  return any_active;
+}
+
+bool configure_from_env() {
+  const auto spec = env_string("ALE_INJECT");
+  if (!spec) return false;
+  return configure(*spec);
+}
+
+void reset() noexcept {
+  install(new InjectConfig(), false);
+}
+
+bool point_active(Point p) noexcept {
+  const InjectConfig* cfg = g_config.load(std::memory_order_acquire);
+  return cfg != nullptr &&
+         cfg->points[static_cast<std::size_t>(p)].active;
+}
+
+std::uint64_t fired_count(Point p) noexcept {
+  return g_counters[static_cast<std::size_t>(p)].fired.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t eval_count(Point p) noexcept {
+  return g_counters[static_cast<std::size_t>(p)].evals.load(
+      std::memory_order_relaxed);
+}
+
+std::string describe() {
+  const InjectConfig* cfg = g_config.load(std::memory_order_acquire);
+  if (cfg == nullptr || !enabled()) return "off";
+  return cfg->summary;
+}
+
+std::uint32_t thread_index() noexcept {
+  if (t_thread_index == kThreadIndexUnset) {
+    t_thread_index = g_thread_counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_index;
+}
+
+void set_thread_index(std::uint32_t index) noexcept {
+  t_thread_index = index;
+  // A pinned index invalidates any state derived from the auto index.
+  tls_state().generation = 0;
+}
+
+namespace {
+// Honour ALE_INJECT in any binary that links the engine, before main().
+// Last in this TU so every namespace-scope object above is initialized.
+const bool g_env_init = [] {
+  configure_from_env();
+  return true;
+}();
+}  // namespace
+
+}  // namespace ale::inject

@@ -1,0 +1,161 @@
+// `ale::inject` — deterministic fault injection and adversarial stress.
+//
+// The ALE design is judged by how it behaves under adversity: HTM abort
+// storms, persistent SWOpt invalidation, lock convoys, policies that must
+// demote and re-learn. Those conditions normally arise only incidentally
+// from workload shape, so the engine's fallback guarantees are never
+// exercised under controlled, reproducible hostility. This subsystem makes
+// adversity *injectable*: named injection points are compiled into the
+// emulated-HTM backend, the conflict indicator, the sync layer, and the
+// adaptive policy, and a per-point specification decides when they fire.
+//
+// Cost model (same discipline as `ale::telemetry`'s trace layer): when
+// injection is disabled — the default — every instrumented site is one
+// relaxed atomic load and a predictable branch. No thread-local state is
+// touched, no PRNG advances, nothing allocates. Enabled, a point evaluation
+// is a thread-local counter walk plus (for probabilistic clauses) one PRNG
+// step.
+//
+// Configuration comes from the ALE_INJECT environment variable (parsed via
+// common/env's clause grammar) or inject::configure():
+//
+//   ALE_INJECT = clause (';' clause)*
+//   clause     = point [':' param (',' param)*]
+//   param      = p=<prob>        fire with probability p (default 1.0)
+//              | every=<N>       fire every N-th evaluation instead of p
+//              | seed=<u64>      clause PRNG seed (default: derived from
+//                                the process run seed, see common/prng)
+//              | threads=<a+b+c> only on these inject thread indices
+//              | after=<N>       stay dormant for the first N evaluations
+//              | for=<N>         stay armed for N evaluations, then disarm
+//                                (a duration window; 0 = forever)
+//              | count=<N>       fire at most N times per thread
+//              | x=<u64>         point-specific magnitude (spins, lines)
+//
+//   e.g. ALE_INJECT="htm.commit:p=0.5,seed=7;lock.hold:every=100,x=20000"
+//
+// Counters, windows and PRNG streams are per (thread, point), so firing
+// schedules are deterministic per thread regardless of interleaving. Every
+// fired injection is recorded in the telemetry decision-trace ring
+// (EventKind::kInjectFired, always recorded, never sampled) so tests can
+// assert causality between injected faults and engine reactions.
+//
+// This header depends only on `common/` headers so every layer (htm, sync,
+// core, policy) can instrument itself without dependency cycles.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ale::inject {
+
+/// The injection-point catalog. Names (for ALE_INJECT and reports) are in
+/// to_string()/point_by_name(); docs/fault-injection.md documents each
+/// point's site and effect.
+enum class Point : std::uint8_t {
+  kHtmBegin = 0,      ///< emulated tx_begin: deliver an environmental abort
+  kHtmRead = 1,       ///< emulated TxDesc::read: deliver a conflict abort
+  kHtmCommit = 2,     ///< emulated TxDesc::commit: conflict abort pre-commit
+  kHtmCapacity = 3,   ///< squeeze capacity to x cache lines (capacity abort)
+  kSwOptInvalidate = 4,  ///< ConflictIndicator::changed_since reports true
+  kLockHold = 5,      ///< stretch lock hold time by x pause-spins pre-release
+  kBackoff = 6,       ///< add x pause-spins to a Backoff::pause round
+  kPolicyPhase = 7,   ///< nudge the adaptive policy to advance its phase now
+  kPolicyRelearn = 8, ///< nudge the adaptive policy to discard learned state
+};
+
+inline constexpr std::size_t kNumPoints = 9;
+
+const char* to_string(Point p) noexcept;
+std::optional<Point> point_by_name(std::string_view name) noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+
+// Slow path behind enabled(): evaluates the point's clause for this thread
+// (counters, window, filter, PRNG), records the firing in stats and the
+// telemetry trace. Returns true when the fault should be delivered.
+bool should_fire_slow(Point p) noexcept;
+
+// Magnitude (x=) of the point's clause; `def` when inactive or unset.
+std::uint64_t magnitude_slow(Point p, std::uint64_t def) noexcept;
+}  // namespace detail
+
+/// Master switch, read on every instrumented hot-path site (relaxed load).
+/// True iff a parsed configuration with at least one active point is
+/// installed.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// One point evaluation. The single call instrumented sites make; disabled
+/// cost is the enabled() load only.
+inline bool should_fire(Point p) noexcept {
+  return enabled() && detail::should_fire_slow(p);
+}
+
+/// The point's x= magnitude, or `def` when injection is off or the point's
+/// clause does not set one. Cheap when disabled (one relaxed load).
+inline std::uint64_t magnitude(Point p, std::uint64_t def) noexcept {
+  return enabled() ? detail::magnitude_slow(p, def) : def;
+}
+
+/// Busy-spin for `spins` pause iterations. Abort-delivery points use this
+/// to price a doomed attempt at its clause's x= magnitude: a real HTM abort
+/// costs cycles, and a storm that is free in time is invisible to policies
+/// that learn from measured execution times.
+void stall(std::uint64_t spins) noexcept;
+
+/// Evaluate `p`; when it fires, busy-spin for its magnitude (default
+/// `def_spins`) pause iterations. Used for the hold-time stretch point.
+void maybe_stall(Point p, std::uint64_t def_spins) noexcept;
+
+/// Evaluate `p`; returns the extra spins to add to a backoff round when it
+/// fires, 0 otherwise. Call only when enabled() (hot-path contract).
+std::uint64_t perturb_spins(Point p, std::uint64_t def_spins) noexcept;
+
+// ---- configuration ----
+
+/// Parse and install `spec`. An empty/blank spec disables injection.
+/// Unknown points or malformed params are reported on stderr and skipped —
+/// configuration never crashes a host application. Returns true iff at
+/// least one point is now active. Not thread-safe against concurrent
+/// evaluations of the *same* reconfiguration, but installing a new config
+/// while worker threads run is safe (threads switch atomically to the new
+/// generation).
+bool configure(std::string_view spec);
+
+/// configure() from the ALE_INJECT environment variable. Called once
+/// automatically before main() in any binary that links the engine, so
+/// unmodified binaries honour ALE_INJECT. Does nothing when unset.
+bool configure_from_env();
+
+/// Disable injection and clear the fired/evaluated counters.
+void reset() noexcept;
+
+// ---- introspection (tests, stress reports) ----
+
+/// True iff the current configuration has a clause for `p`.
+bool point_active(Point p) noexcept;
+
+/// Process-wide number of times `p` fired / was evaluated since the last
+/// reset()/configure().
+std::uint64_t fired_count(Point p) noexcept;
+std::uint64_t eval_count(Point p) noexcept;
+
+/// Human-readable one-line summary of the active configuration ("off" when
+/// disabled) for report headers.
+std::string describe();
+
+// ---- thread identity for threads= filters ----
+
+/// The calling thread's injection index: assigned 0,1,2,... in order of
+/// first use, or whatever set_thread_index() pinned. Harnesses that need
+/// exact thread targeting pin indices before the workload starts.
+std::uint32_t thread_index() noexcept;
+void set_thread_index(std::uint32_t index) noexcept;
+
+}  // namespace ale::inject

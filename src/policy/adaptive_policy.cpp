@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "htm/config.hpp"
+#include "inject/inject.hpp"
 #include "policy/grouping.hpp"
 #include "telemetry/trace.hpp"
 
@@ -120,13 +121,16 @@ ExecMode AdaptivePolicy::choose_mode(const AttemptState& st, LockMd& md,
         static_cast<Progression>(gs.final_prog.load()),
         gs.final_x.load(std::memory_order_relaxed), st);
   }
-  // Converged on a uniform progression.
+  // Converged on a uniform progression. A granule that never learned an X
+  // gets the default budget; a learned 0 stands — it means the granule
+  // measured HTM as worthless and the progression degenerates to its
+  // non-HTM tail.
   const auto best = static_cast<Progression>(ls.best_uniform.load());
   std::uint32_t x =
       gs.x_for[static_cast<std::size_t>(best)].load(std::memory_order_relaxed);
-  if (x == 0 &&
-      (best == Progression::kHL || best == Progression::kAll)) {
-    x = kDefaultX;
+  if (x == AdaptiveGranuleState::kXUnset) {
+    x = (best == Progression::kHL || best == Progression::kAll) ? kDefaultX
+                                                                : 0;
   }
   return choose_for_progression(best, x, st);
 }
@@ -142,6 +146,26 @@ void AdaptivePolicy::on_execution_complete(LockMd& md, GranuleMd& g,
   const std::uint32_t ph = ls.phase.load(std::memory_order_acquire);
   const std::uint32_t major = AdaptiveLockState::major_of(ph);
   const std::uint32_t sub = AdaptiveLockState::sub_of(ph);
+
+  // Injected policy nudges. policy.phase forces a transition as if
+  // phase_len had been reached; policy.relearn discards the learned
+  // configuration. Both go through the same transition_lock-guarded entry
+  // points as the organic walk, so a nudge that races a real transition is
+  // simply dropped.
+  if (inject::enabled()) {
+    bool nudged = false;
+    if (inject::should_fire(inject::Point::kPolicyPhase)) {
+      maybe_advance(md, ls, ph);
+      nudged = true;
+    }
+    if (inject::should_fire(inject::Point::kPolicyRelearn)) {
+      restart_learning(md, ls, ph);
+      nudged = true;
+    }
+    // The snapshot above is stale after a nudge; drop this execution's
+    // sample instead of attributing it to whichever phase we left.
+    if (nudged) return;
+  }
 
   if (major == AdaptiveLockState::kConverged) {
     // §6 extension: periodically discard the learned configuration so a
@@ -317,7 +341,9 @@ void AdaptivePolicy::begin_custom(LockMd& md, AdaptiveLockState& ls) {
     }
     gs.final_prog.store(gbest, std::memory_order_relaxed);
     std::uint32_t x = gs.x_for[gbest].load(std::memory_order_relaxed);
-    if (x == 0 && is_htm_major(gbest)) x = kDefaultX;
+    if (x == AdaptiveGranuleState::kXUnset) {
+      x = is_htm_major(gbest) ? kDefaultX : 0;
+    }
     gs.final_x.store(x, std::memory_order_relaxed);
   });
   ls.custom_time.reset();
@@ -415,7 +441,9 @@ void AdaptivePolicy::restart_learning(LockMd& md, AdaptiveLockState& ls,
     gs.fallback_time.reset();
     gs.htm_succ_exec_time.reset();
     for (auto& acc : gs.prog_time) acc.reset();
-    for (auto& x : gs.x_for) x.store(0, std::memory_order_relaxed);
+    for (auto& x : gs.x_for) {
+      x.store(AdaptiveGranuleState::kXUnset, std::memory_order_relaxed);
+    }
     gs.x_current.store(0, std::memory_order_relaxed);
   });
   ls.relearn_count.fetch_add(1, std::memory_order_relaxed);
@@ -457,6 +485,22 @@ Progression AdaptivePolicy::final_progression_of(LockMd& md, GranuleMd& g) {
 }
 std::uint32_t AdaptivePolicy::final_x_of(GranuleMd& g) {
   return granule_state(g).final_x.load(std::memory_order_relaxed);
+}
+std::uint32_t AdaptivePolicy::effective_x_of(LockMd& md, GranuleMd& g) {
+  // Mirrors choose_mode()'s converged-path X resolution exactly.
+  AdaptiveLockState& ls = lock_state(md);
+  AdaptiveGranuleState& gs = granule_state(g);
+  if (ls.use_custom.load()) {
+    return gs.final_x.load(std::memory_order_relaxed);
+  }
+  const auto best = static_cast<Progression>(ls.best_uniform.load());
+  std::uint32_t x =
+      gs.x_for[static_cast<std::size_t>(best)].load(std::memory_order_relaxed);
+  if (x == AdaptiveGranuleState::kXUnset) {
+    x = (best == Progression::kHL || best == Progression::kAll) ? kDefaultX
+                                                                : 0;
+  }
+  return x;
 }
 std::uint64_t AdaptivePolicy::relearn_count_of(LockMd& md) {
   return lock_state(md).relearn_count.load(std::memory_order_relaxed);

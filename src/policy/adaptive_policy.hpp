@@ -34,6 +34,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 
 #include "core/lockmd.hpp"
 #include "core/policy_iface.hpp"
@@ -113,13 +114,24 @@ struct MeanAccumulator {
 
 class AdaptiveGranuleState final : public PolicyGranuleState {
  public:
+  // Sentinel for "no X was ever learned for this progression". Distinct
+  // from a learned 0, which is a real verdict: HTM is worthless here and
+  // must not be attempted (the convergence chooser only substitutes a
+  // default budget for kXUnset).
+  static constexpr std::uint32_t kXUnset =
+      std::numeric_limits<std::uint32_t>::max();
+
+  AdaptiveGranuleState() {
+    for (auto& x : x_for) x.store(kXUnset, std::memory_order_relaxed);
+  }
+
   std::atomic<std::uint32_t> phase_execs{0};
   AttemptHistogram<64> hist;
   // Attempt budget in force for the current phase. Starts at the discovery
   // cap so granules that first appear mid-HTM-phase still try HTM (it is
   // ignored in the Lock/SL phases).
   std::atomic<std::uint32_t> x_current{40};
-  // Learned X per progression (HL, All).
+  // Learned X per progression (HL, All); kXUnset until finalized.
   std::array<std::atomic<std::uint32_t>, kNumProgressions> x_for{};
   // Measured mean execution time per progression (sub2 / single-sub
   // phases), plus the fallback-time sample (executions that exhausted HTM).
@@ -190,6 +202,9 @@ class AdaptivePolicy final : public Policy {
   bool converged(LockMd& md);
   Progression final_progression_of(LockMd& md, GranuleMd& g);
   std::uint32_t final_x_of(GranuleMd& g);
+  // The X budget the converged chooser resolves for this granule (custom or
+  // uniform path, default substitution included).
+  std::uint32_t effective_x_of(LockMd& md, GranuleMd& g);
   std::uint64_t relearn_count_of(LockMd& md);
 
  private:

@@ -10,6 +10,7 @@
 
 #include "common/cpu.hpp"
 #include "common/prng.hpp"
+#include "inject/inject.hpp"
 
 namespace ale {
 
@@ -28,7 +29,13 @@ class Backoff {
   // transaction) may need our core to make progress.
   void pause() noexcept {
     const std::uint64_t jitter = thread_prng().next_below(limit_);
-    const std::uint64_t spins = limit_ / 2 + jitter;
+    std::uint64_t spins = limit_ / 2 + jitter;
+    // Injected backoff perturbation: lengthen this round by the point's x=
+    // magnitude, de-pacing retry loops (every spin loop in the library
+    // funnels through here).
+    if (inject::enabled()) {
+      spins += inject::perturb_spins(inject::Point::kBackoff, kMaxSpins);
+    }
     for (std::uint64_t i = 0; i < spins; ++i) cpu_pause();
     if (limit_ < max_spins_) {
       limit_ *= 2;

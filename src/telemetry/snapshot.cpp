@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/lockmd.hpp"
+#include "inject/inject.hpp"
 #include "policy/adaptive_policy.hpp"
 
 namespace ale::telemetry {
@@ -121,6 +122,13 @@ std::vector<EventRecord> resolve_events(const std::vector<TraceEvent>& raw) {
         break;
       case EventKind::kGroupingDefer:
         r.detail = "rounds=" + std::to_string(e.aux32);
+        break;
+      case EventKind::kInjectFired:
+        r.cause = htm::to_string(static_cast<htm::AbortCause>(e.cause));
+        r.detail =
+            std::string("point=") +
+            inject::to_string(static_cast<inject::Point>(e.aux8)) +
+            " fire=" + std::to_string(e.aux32);
         break;
     }
     out.push_back(std::move(r));

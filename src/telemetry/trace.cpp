@@ -19,6 +19,7 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kPhaseTransition: return "phase_transition";
     case EventKind::kRelearn: return "relearn";
     case EventKind::kGroupingDefer: return "grouping_defer";
+    case EventKind::kInjectFired: return "inject_fired";
   }
   return "?";
 }
@@ -39,9 +40,47 @@ std::size_t round_up_pow2(std::size_t v) noexcept {
 // concurrently and use the head counter re-check below to discard slots
 // that were overwritten mid-read. Buffers outlive their threads (they stay
 // registered) so traces survive worker joins.
+//
+// Slots are stored as four relaxed atomic words (a TraceEvent is exactly
+// 32 bytes) so the owner's overwrite racing a drainer's copy is defined
+// behaviour: a torn copy mixes words from two events, and the head
+// re-check in drain_trace() discards every slot that could have torn.
+// Ordering comes from the release store of head after the word stores.
+struct PackedSlot {
+  std::atomic<std::uint64_t> w0{0}, w1{0}, w2{0}, w3{0};
+
+  void store(const TraceEvent& e) noexcept {
+    w0.store(e.ticks, std::memory_order_relaxed);
+    w1.store(reinterpret_cast<std::uint64_t>(e.lock),
+             std::memory_order_relaxed);
+    w2.store(reinterpret_cast<std::uint64_t>(e.ctx),
+             std::memory_order_relaxed);
+    w3.store(static_cast<std::uint64_t>(e.aux32) |
+                 (static_cast<std::uint64_t>(e.kind) << 32) |
+                 (static_cast<std::uint64_t>(e.mode) << 40) |
+                 (static_cast<std::uint64_t>(e.cause) << 48) |
+                 (static_cast<std::uint64_t>(e.aux8) << 56),
+             std::memory_order_relaxed);
+  }
+
+  TraceEvent load() const noexcept {
+    TraceEvent e;
+    e.ticks = w0.load(std::memory_order_relaxed);
+    e.lock = reinterpret_cast<const void*>(w1.load(std::memory_order_relaxed));
+    e.ctx = reinterpret_cast<const void*>(w2.load(std::memory_order_relaxed));
+    const std::uint64_t packed = w3.load(std::memory_order_relaxed);
+    e.aux32 = static_cast<std::uint32_t>(packed);
+    e.kind = static_cast<EventKind>((packed >> 32) & 0xff);
+    e.mode = static_cast<std::uint8_t>((packed >> 40) & 0xff);
+    e.cause = static_cast<std::uint8_t>((packed >> 48) & 0xff);
+    e.aux8 = static_cast<std::uint8_t>(packed >> 56);
+    return e;
+  }
+};
+
 struct ThreadBuf {
   explicit ThreadBuf(std::size_t cap) : slots(cap), mask(cap - 1) {}
-  std::vector<TraceEvent> slots;
+  std::vector<PackedSlot> slots;
   std::size_t mask;
   std::atomic<std::uint64_t> head{0};  // events ever written
   std::uint64_t tail = 0;              // drained up to (registry mutex)
@@ -103,7 +142,7 @@ void trace_emit(TraceEvent e) noexcept {
   if (e.ticks == 0) e.ticks = now_ticks();
   ThreadBuf& buf = tls_buf();
   const std::uint64_t h = buf.head.load(std::memory_order_relaxed);
-  buf.slots[h & buf.mask] = e;
+  buf.slots[h & buf.mask].store(e);
   // Release so a drainer that observes head > h also observes the slot.
   buf.head.store(h + 1, std::memory_order_release);
 }
@@ -123,7 +162,7 @@ std::vector<TraceEvent> drain_trace() {
     }
     const std::size_t first = out.size();
     for (std::uint64_t i = lo; i < h; ++i) {
-      out.push_back(buf->slots[i & buf->mask]);
+      out.push_back(buf->slots[i & buf->mask].load());
     }
     // The owner may have kept writing while we copied; any slot it lapped
     // holds a newer event (which a later drain will deliver) mixed into our

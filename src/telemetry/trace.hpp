@@ -40,9 +40,12 @@ enum class EventKind : std::uint8_t {
                        ///< (always recorded); aux32 = old phase << 16
   kGroupingDefer = 6,  ///< §4.2 grouping/SNZI made a thread wait (sampled);
                        ///< aux32 = backoff rounds waited
+  kInjectFired = 7,    ///< ale::inject fired a fault (always recorded);
+                       ///< aux8 = inject::Point id, aux32 = fire ordinal,
+                       ///< cause = htm::AbortCause delivered (when any)
 };
 
-inline constexpr std::size_t kNumEventKinds = 7;
+inline constexpr std::size_t kNumEventKinds = 8;
 
 /// Human-readable tag for an EventKind (stable; used in exports).
 const char* to_string(EventKind k) noexcept;

@@ -60,6 +60,53 @@ TEST(Env, BoolParsing) {
   EXPECT_TRUE(env_bool("ALE_TEST_BOOL", true));
 }
 
+TEST(Env, Uint64ParsingDecimalAndHex) {
+  EnvGuard g("ALE_TEST_U64");
+  EXPECT_EQ(env_uint64("ALE_TEST_U64", 9), 9u);
+  g.set("42");
+  EXPECT_EQ(env_uint64("ALE_TEST_U64", 9), 42u);
+  g.set("0x5eed5eed5eed5eed");
+  EXPECT_EQ(env_uint64("ALE_TEST_U64", 9), 0x5eed5eed5eed5eedULL);
+  g.set("18446744073709551615");  // full width round-trips
+  EXPECT_EQ(env_uint64("ALE_TEST_U64", 9), ~0ULL);
+  g.set("junk");
+  EXPECT_EQ(env_uint64("ALE_TEST_U64", 9), 9u);
+  g.set("12tail");
+  EXPECT_EQ(env_uint64("ALE_TEST_U64", 9), 9u);
+}
+
+TEST(SpecClauses, BasicGrammar) {
+  const auto clauses =
+      parse_spec_clauses("htm.commit:p=0.5,seed=7;lock.hold:every=100");
+  ASSERT_EQ(clauses.size(), 2u);
+  EXPECT_EQ(clauses[0].head, "htm.commit");
+  ASSERT_EQ(clauses[0].params.size(), 2u);
+  EXPECT_EQ(clauses[0].params[0].first, "p");
+  EXPECT_EQ(clauses[0].params[0].second, "0.5");
+  EXPECT_EQ(clauses[0].param("seed").value(), "7");
+  EXPECT_FALSE(clauses[0].param("missing").has_value());
+  EXPECT_EQ(clauses[1].head, "lock.hold");
+  EXPECT_EQ(clauses[1].param("every").value(), "100");
+}
+
+TEST(SpecClauses, WhitespaceEmptiesAndValuelessParams) {
+  const auto clauses = parse_spec_clauses("  a : flag , k = v ;; b ;");
+  ASSERT_EQ(clauses.size(), 2u);
+  EXPECT_EQ(clauses[0].head, "a");
+  ASSERT_EQ(clauses[0].params.size(), 2u);
+  EXPECT_EQ(clauses[0].params[0].first, "flag");
+  EXPECT_EQ(clauses[0].params[0].second, "");
+  EXPECT_EQ(clauses[0].param("k").value(), "v");
+  EXPECT_EQ(clauses[1].head, "b");
+  EXPECT_TRUE(clauses[1].params.empty());
+}
+
+TEST(SpecClauses, EmptySpecYieldsNothing) {
+  EXPECT_TRUE(parse_spec_clauses("").empty());
+  EXPECT_TRUE(parse_spec_clauses("   ").empty());
+  EXPECT_TRUE(parse_spec_clauses(";;;").empty());
+}
+
 TEST(CacheLine, LineIndexing) {
   alignas(kCacheLineSize) char buf[3 * kCacheLineSize];
   EXPECT_EQ(cache_line_of(&buf[0]), cache_line_of(&buf[63]));

@@ -1,0 +1,86 @@
+// ale::inject configuration: spec parsing, introspection, reset semantics,
+// and the disabled-by-default contract.
+#include <gtest/gtest.h>
+
+#include "inject/inject.hpp"
+
+namespace ale::inject {
+namespace {
+
+struct InjectConfigTest : ::testing::Test {
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(InjectConfigTest, DisabledByDefault) {
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(describe(), "off");
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    EXPECT_FALSE(point_active(static_cast<Point>(i))) << i;
+    EXPECT_FALSE(should_fire(static_cast<Point>(i))) << i;
+  }
+}
+
+TEST_F(InjectConfigTest, PointNamesRoundTrip) {
+  for (std::size_t i = 0; i < kNumPoints; ++i) {
+    const Point p = static_cast<Point>(i);
+    const auto back = point_by_name(to_string(p));
+    ASSERT_TRUE(back.has_value()) << to_string(p);
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(point_by_name("no.such.point").has_value());
+  EXPECT_FALSE(point_by_name("").has_value());
+}
+
+TEST_F(InjectConfigTest, ConfigureActivatesNamedPointsOnly) {
+  ASSERT_TRUE(configure("htm.commit:p=0.5;lock.hold:every=10,x=500"));
+  EXPECT_TRUE(enabled());
+  EXPECT_TRUE(point_active(Point::kHtmCommit));
+  EXPECT_TRUE(point_active(Point::kLockHold));
+  EXPECT_FALSE(point_active(Point::kHtmBegin));
+  EXPECT_FALSE(point_active(Point::kBackoff));
+}
+
+TEST_F(InjectConfigTest, EmptySpecDisables) {
+  ASSERT_TRUE(configure("htm.begin"));
+  EXPECT_FALSE(configure(""));
+  EXPECT_FALSE(enabled());
+  EXPECT_FALSE(configure("   "));
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(InjectConfigTest, UnknownPointsAreSkippedNotFatal) {
+  // One valid clause among garbage still activates.
+  EXPECT_TRUE(configure("bogus.point:p=1;htm.read"));
+  EXPECT_TRUE(point_active(Point::kHtmRead));
+  // Nothing valid → disabled.
+  EXPECT_FALSE(configure("total.nonsense"));
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(InjectConfigTest, DescribeNamesActivePoints) {
+  ASSERT_TRUE(configure("swopt.invalidate:p=0.25"));
+  const std::string d = describe();
+  EXPECT_NE(d.find("swopt.invalidate"), std::string::npos) << d;
+  EXPECT_EQ(describe().find("htm.begin"), std::string::npos);
+}
+
+TEST_F(InjectConfigTest, ResetClearsCountersAndDisables) {
+  ASSERT_TRUE(configure("htm.begin"));
+  (void)should_fire(Point::kHtmBegin);
+  EXPECT_GE(eval_count(Point::kHtmBegin), 1u);
+  reset();
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(eval_count(Point::kHtmBegin), 0u);
+  EXPECT_EQ(fired_count(Point::kHtmBegin), 0u);
+}
+
+TEST_F(InjectConfigTest, ReconfigureReplacesPreviousConfig) {
+  ASSERT_TRUE(configure("htm.begin"));
+  ASSERT_TRUE(configure("htm.read"));
+  EXPECT_FALSE(point_active(Point::kHtmBegin));
+  EXPECT_TRUE(point_active(Point::kHtmRead));
+}
+
+}  // namespace
+}  // namespace ale::inject

@@ -1,0 +1,123 @@
+// ale::inject firing semantics: deterministic schedules (every=, count=,
+// after=, for=), probabilistic clauses under a fixed seed, thread filters,
+// and magnitudes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "inject/inject.hpp"
+#include "test_util.hpp"
+
+namespace ale::inject {
+namespace {
+
+struct InjectFireTest : ::testing::Test {
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(InjectFireTest, EveryNthFiresOnSchedule) {
+  ASSERT_TRUE(configure("htm.begin:every=3"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(should_fire(Point::kHtmBegin));
+  // Fires on evaluations 3, 6, 9 (1-based) of this thread.
+  const std::vector<bool> want = {false, false, true, false, false,
+                                  true,  false, false, true};
+  EXPECT_EQ(fired, want);
+  EXPECT_EQ(fired_count(Point::kHtmBegin), 3u);
+  EXPECT_EQ(eval_count(Point::kHtmBegin), 9u);
+}
+
+TEST_F(InjectFireTest, ProbabilityOneAlwaysFires) {
+  ASSERT_TRUE(configure("htm.read"));  // default p=1
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(should_fire(Point::kHtmRead));
+}
+
+TEST_F(InjectFireTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(configure("htm.read:p=0"));
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(should_fire(Point::kHtmRead));
+  EXPECT_EQ(eval_count(Point::kHtmRead), 50u);
+}
+
+TEST_F(InjectFireTest, SeededProbabilisticScheduleIsReproducible) {
+  auto collect = [] {
+    std::vector<bool> v;
+    for (int i = 0; i < 200; ++i) v.push_back(should_fire(Point::kHtmCommit));
+    return v;
+  };
+  ASSERT_TRUE(configure("htm.commit:p=0.5,seed=7"));
+  const auto first = collect();
+  ASSERT_TRUE(configure("htm.commit:p=0.5,seed=7"));
+  EXPECT_EQ(first, collect());
+  ASSERT_TRUE(configure("htm.commit:p=0.5,seed=8"));
+  EXPECT_NE(first, collect());
+
+  int hits = 0;
+  for (const bool b : first) hits += b ? 1 : 0;
+  EXPECT_GT(hits, 60);  // crude sanity for p=0.5 over 200 trials
+  EXPECT_LT(hits, 140);
+}
+
+TEST_F(InjectFireTest, CountCapsFiringsPerThread) {
+  ASSERT_TRUE(configure("htm.begin:count=2"));
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) fired += should_fire(Point::kHtmBegin) ? 1 : 0;
+  EXPECT_EQ(fired, 2);
+}
+
+TEST_F(InjectFireTest, AfterAndForBoundTheArmedWindow) {
+  // Dormant for 5 evaluations, armed for the next 3, then disarmed.
+  ASSERT_TRUE(configure("htm.begin:after=5,for=3"));
+  std::vector<bool> fired;
+  for (int i = 0; i < 12; ++i) fired.push_back(should_fire(Point::kHtmBegin));
+  const std::vector<bool> want = {false, false, false, false, false,
+                                  true,  true,  true,  false, false,
+                                  false, false};
+  EXPECT_EQ(fired, want);
+}
+
+TEST_F(InjectFireTest, ThreadFilterTargetsPinnedIndices) {
+  ASSERT_TRUE(configure("htm.begin:threads=1+3"));
+  bool fired_by[4] = {};
+  test::run_threads(4, [&](unsigned idx) {
+    set_thread_index(idx);
+    fired_by[idx] = should_fire(Point::kHtmBegin);
+  });
+  EXPECT_FALSE(fired_by[0]);
+  EXPECT_TRUE(fired_by[1]);
+  EXPECT_FALSE(fired_by[2]);
+  EXPECT_TRUE(fired_by[3]);
+}
+
+TEST_F(InjectFireTest, PerThreadSchedulesAreIndependent) {
+  ASSERT_TRUE(configure("htm.begin:every=4"));
+  // Each thread owns its own counters: every thread sees the same schedule.
+  test::run_threads(3, [&](unsigned idx) {
+    set_thread_index(idx);
+    int fired = 0;
+    for (int i = 0; i < 8; ++i) fired += should_fire(Point::kHtmBegin) ? 1 : 0;
+    EXPECT_EQ(fired, 2) << "thread " << idx;
+  });
+  EXPECT_EQ(fired_count(Point::kHtmBegin), 6u);
+  EXPECT_EQ(eval_count(Point::kHtmBegin), 24u);
+}
+
+TEST_F(InjectFireTest, MagnitudeReportsXOrDefault) {
+  EXPECT_EQ(magnitude(Point::kLockHold, 123), 123u);  // disabled → default
+  ASSERT_TRUE(configure("lock.hold:x=777"));
+  EXPECT_EQ(magnitude(Point::kLockHold, 123), 777u);
+  // Active clause without x= → default.
+  ASSERT_TRUE(configure("lock.hold:every=2"));
+  EXPECT_EQ(magnitude(Point::kLockHold, 123), 123u);
+  // Inactive point while another is active → default.
+  EXPECT_EQ(magnitude(Point::kBackoff, 9), 9u);
+}
+
+TEST_F(InjectFireTest, PerturbSpinsZeroWhenNotFiring) {
+  ASSERT_TRUE(configure("sync.backoff:every=2,x=64"));
+  EXPECT_EQ(perturb_spins(Point::kBackoff, 32), 0u);   // eval 1: no fire
+  EXPECT_EQ(perturb_spins(Point::kBackoff, 32), 64u);  // eval 2: fires
+}
+
+}  // namespace
+}  // namespace ale::inject

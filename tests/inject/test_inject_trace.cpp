@@ -1,0 +1,134 @@
+// Injection ↔ telemetry causality: every fired injection lands in the
+// decision-trace ring as kInjectFired (never sampled away), carrying the
+// point id, the fire ordinal, and the abort cause it delivers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ale.hpp"
+#include "htm/abort.hpp"
+#include "inject/inject.hpp"
+#include "policy/install.hpp"
+#include "telemetry/snapshot.hpp"
+#include "telemetry/trace.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct InjectTraceTest : ::testing::Test {
+  void SetUp() override {
+    inject::reset();
+    telemetry::reset_trace();
+    telemetry::set_trace_enabled(true);
+    telemetry::set_trace_sample_rate(1.0);
+  }
+  void TearDown() override {
+    telemetry::set_trace_enabled(false);
+    telemetry::reset_trace();
+    inject::reset();
+    set_global_policy(nullptr);
+  }
+
+  static std::vector<telemetry::TraceEvent> inject_events() {
+    std::vector<telemetry::TraceEvent> out;
+    for (const auto& e : telemetry::drain_trace()) {
+      if (e.kind == telemetry::EventKind::kInjectFired) out.push_back(e);
+    }
+    return out;
+  }
+};
+
+TEST_F(InjectTraceTest, FiringsAreRecordedWithPointAndOrdinal) {
+  ASSERT_TRUE(inject::configure("htm.begin:every=2"));
+  for (int i = 0; i < 10; ++i) (void)inject::should_fire(inject::Point::kHtmBegin);
+
+  const auto events = inject_events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    EXPECT_EQ(static_cast<inject::Point>(events[k].aux8),
+              inject::Point::kHtmBegin);
+    EXPECT_EQ(events[k].aux32, k + 1);  // process-wide fire ordinal
+    EXPECT_EQ(static_cast<htm::AbortCause>(events[k].cause),
+              htm::AbortCause::kEnvironmental);
+  }
+}
+
+TEST_F(InjectTraceTest, CauseMatchesPointSemantics) {
+  ASSERT_TRUE(inject::configure("htm.commit;htm.capacity;swopt.invalidate"));
+  (void)inject::should_fire(inject::Point::kHtmCommit);
+  (void)inject::should_fire(inject::Point::kHtmCapacity);
+  (void)inject::should_fire(inject::Point::kSwOptInvalidate);
+
+  const auto events = inject_events();
+  ASSERT_EQ(events.size(), 3u);
+  auto cause_of = [&](inject::Point p) -> htm::AbortCause {
+    for (const auto& e : events) {
+      if (static_cast<inject::Point>(e.aux8) == p) {
+        return static_cast<htm::AbortCause>(e.cause);
+      }
+    }
+    return htm::AbortCause::kNone;
+  };
+  EXPECT_EQ(cause_of(inject::Point::kHtmCommit), htm::AbortCause::kConflict);
+  EXPECT_EQ(cause_of(inject::Point::kHtmCapacity), htm::AbortCause::kCapacity);
+  EXPECT_EQ(cause_of(inject::Point::kSwOptInvalidate),
+            htm::AbortCause::kConflict);
+}
+
+TEST_F(InjectTraceTest, ResolvedRecordsRenderPointNames) {
+  ASSERT_TRUE(inject::configure("lock.hold:x=1"));
+  test::use_emulated_ideal();
+  test::PolicyInstaller inst(make_policy("lockonly"));
+  TatasLock lock;
+  LockMd md("inject.trace.render");
+  static ScopeInfo scope("cs");
+  std::uint64_t cell = 0;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+
+  bool saw = false;
+  for (const auto& r : telemetry::resolve_events(telemetry::drain_trace())) {
+    if (r.kind == "inject_fired") {
+      saw = true;
+      EXPECT_NE(r.detail.find("point=lock.hold"), std::string::npos)
+          << r.detail;
+      EXPECT_NE(r.detail.find("fire="), std::string::npos) << r.detail;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(InjectTraceTest, EngineAbortFollowsInjectedBeginFault) {
+  // Causality through the engine: an injected begin-abort must surface as
+  // an HtmAbort event after the kInjectFired record in the same thread.
+  ASSERT_TRUE(inject::configure("htm.begin:count=1"));
+  test::use_emulated_ideal();
+  test::PolicyInstaller inst(make_policy("static-hl-3"));
+  TatasLock lock;
+  LockMd md("inject.trace.causal");
+  static ScopeInfo scope("cs");
+  std::uint64_t cell = 0;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+  EXPECT_EQ(cell, 1u);
+
+  const auto raw = telemetry::drain_trace();
+  int inject_at = -1, abort_at = -1;
+  for (int i = 0; i < static_cast<int>(raw.size()); ++i) {
+    if (raw[i].kind == telemetry::EventKind::kInjectFired && inject_at < 0) {
+      inject_at = i;
+    }
+    if (raw[i].kind == telemetry::EventKind::kHtmAbort && abort_at < 0) {
+      abort_at = i;
+      EXPECT_EQ(static_cast<htm::AbortCause>(raw[i].cause),
+                htm::AbortCause::kEnvironmental);
+    }
+  }
+  ASSERT_GE(inject_at, 0);
+  ASSERT_GE(abort_at, 0);
+  EXPECT_LT(inject_at, abort_at);
+}
+
+}  // namespace
+}  // namespace ale

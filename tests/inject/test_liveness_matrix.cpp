@@ -1,0 +1,185 @@
+// Forced-failure liveness matrix: with elision paths scripted to always
+// fail — HTM always aborts, SWOpt always invalidates, or both — every
+// critical section must still complete (via the Lock fallback), the
+// counter must stay exact, no lock may leak, and the statistics must show
+// zero successes on the sabotaged path. Exercised flat and nested, across
+// the policies that use each path.
+//
+// Each iteration runs two critical sections: a *writer* (increments the
+// counter; its SWOpt body defers to a pessimistic mode, the library's rule
+// for mutating sections) and a *reader* (optimistic snapshot/validate
+// against a ConflictIndicator — the paper's Figure 1 SWOpt shape — which
+// is exactly where swopt.invalidate strikes).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ale.hpp"
+#include "inject/inject.hpp"
+#include "policy/install.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct MatrixParam {
+  const char* label;        // names the sabotage for test output
+  const char* inject_spec;  // ALE_INJECT-grammar spec
+  const char* policy_spec;  // which elision paths the policy uses
+  bool htm_sabotaged;
+  bool swopt_sabotaged;
+  bool nested;
+};
+
+std::string param_name(const ::testing::TestParamInfo<MatrixParam>& info) {
+  std::string s = std::string(info.param.label) + "_" +
+                  info.param.policy_spec +
+                  (info.param.nested ? "_nested" : "_flat");
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class ForcedFailureMatrix : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  void SetUp() override {
+    test::use_emulated_ideal();
+    ASSERT_TRUE(inject::configure(GetParam().inject_spec));
+    auto p = make_policy(GetParam().policy_spec);
+    ASSERT_NE(p, nullptr);
+    set_global_policy(std::move(p));
+  }
+  void TearDown() override {
+    set_global_policy(nullptr);
+    inject::reset();
+  }
+};
+
+TEST_P(ForcedFailureMatrix, EveryExecutionCompletesViaFallback) {
+  TatasLock outer_lock, inner_lock;
+  const std::string tag = std::string(GetParam().label) + "." +
+                          GetParam().policy_spec +
+                          (GetParam().nested ? ".nested" : ".flat");
+  LockMd outer_md("liveness.outer." + tag);
+  LockMd inner_md("liveness.inner." + tag);
+  static ScopeInfo writer_scope("writer", /*has_swopt=*/true);
+  static ScopeInfo reader_scope("reader", /*has_swopt=*/true);
+  static ScopeInfo inner_scope("inner", /*has_swopt=*/true);
+  ConflictIndicator indicator;
+
+  alignas(64) std::uint64_t counter = 0;
+  const bool nested = GetParam().nested;
+  constexpr int kPer = 300;
+  test::run_threads(3, [&](unsigned) {
+    std::uint64_t sink = 0;
+    for (int i = 0; i < kPer; ++i) {
+      // Writer: the increment must land exactly once per iteration no
+      // matter how many sabotaged attempts preceded the one that stuck.
+      execute_cs(lock_api<TatasLock>(), &outer_lock, outer_md, writer_scope,
+                 [&](CsExec& outer) -> CsBody {
+                   if (outer.in_swopt()) {
+                     (void)tx_load(counter);
+                     outer.swopt_self_abort();
+                   }
+                   ConflictingAction<LockMd> guard(indicator, outer_md);
+                   if (!nested) {
+                     tx_store(counter, tx_load(counter) + 1);
+                     return CsBody::kDone;
+                   }
+                   execute_cs(lock_api<TatasLock>(), &inner_lock, inner_md,
+                              inner_scope, [&](CsExec& inner) -> CsBody {
+                                if (inner.in_swopt()) inner.swopt_self_abort();
+                                tx_store(counter, tx_load(counter) + 1);
+                                return CsBody::kDone;
+                              });
+                   return CsBody::kDone;
+                 });
+      // Reader: Figure 1 SWOpt shape — snapshot, read, validate. Injected
+      // invalidation makes validation fail every time, forcing the policy
+      // through its SWOpt retry budget into the Lock fallback.
+      execute_cs(lock_api<TatasLock>(), &outer_lock, outer_md, reader_scope,
+                 [&](CsExec& reader) -> CsBody {
+                   if (reader.in_swopt()) {
+                     const std::uint64_t snap = indicator.get_ver(true);
+                     const std::uint64_t v = tx_load(counter);
+                     if (indicator.changed_since(snap)) reader.swopt_failed();
+                     sink += v;
+                     return CsBody::kDone;
+                   }
+                   sink += tx_load(counter);
+                   return CsBody::kDone;
+                 });
+    }
+    // Keep the reader's accumulation observable so it cannot be elided.
+    EXPECT_GE(sink, 0u);
+  });
+
+  // Liveness + exactness: all writer executions completed, exactly once.
+  EXPECT_EQ(counter, 3u * kPer);
+  EXPECT_FALSE(outer_lock.is_locked());
+  EXPECT_FALSE(inner_lock.is_locked());
+
+  // The sabotaged path never succeeded; the Lock fallback carried load.
+  auto check_md = [&](LockMd& md, bool expect_lock_successes) {
+    std::uint64_t htm_succ = 0, swopt_succ = 0, lock_succ = 0;
+    md.for_each_granule([&](GranuleMd& g) {
+      htm_succ += g.stats.of(ExecMode::kHtm).successes.read();
+      swopt_succ += g.stats.of(ExecMode::kSwOpt).successes.read();
+      lock_succ += g.stats.of(ExecMode::kLock).successes.read();
+    });
+    if (GetParam().htm_sabotaged) EXPECT_EQ(htm_succ, 0u);
+    if (GetParam().swopt_sabotaged) EXPECT_EQ(swopt_succ, 0u);
+    if (expect_lock_successes) EXPECT_GT(lock_succ, 0u);
+  };
+  check_md(outer_md, /*expect_lock_successes=*/true);
+  // A nested CS inside an HTM-mode outer runs in the outer's transaction
+  // and records nothing, so only its sabotaged-path zeros are asserted.
+  if (nested) check_md(inner_md, /*expect_lock_successes=*/false);
+
+  // The sabotage actually ran (the matrix is not vacuous).
+  if (GetParam().htm_sabotaged) {
+    EXPECT_GT(inject::fired_count(inject::Point::kHtmBegin), 0u);
+  }
+  if (GetParam().swopt_sabotaged) {
+    EXPECT_GT(inject::fired_count(inject::Point::kSwOptInvalidate), 0u);
+  }
+}
+
+constexpr const char* kHtmStorm = "htm.begin";
+constexpr const char* kSwOptStorm = "swopt.invalidate";
+constexpr const char* kBothStorm = "htm.begin;swopt.invalidate";
+// For an HTM-first policy (static-all) a pure SWOpt storm is unreachable —
+// healthy HTM absorbs everything — so pair it with flaky HTM begins to
+// push executions down to the SWOpt attempts (and past them to Lock).
+constexpr const char* kSwOptStormFlakyHtm =
+    "swopt.invalidate;htm.begin:p=0.7,seed=5";
+
+INSTANTIATE_TEST_SUITE_P(
+    Sabotage, ForcedFailureMatrix,
+    ::testing::Values(
+        // HTM always aborts at begin.
+        MatrixParam{"htmfail", kHtmStorm, "static-hl-3", true, false, false},
+        MatrixParam{"htmfail", kHtmStorm, "static-hl-3", true, false, true},
+        MatrixParam{"htmfail", kHtmStorm, "static-all-3:2", true, false,
+                    false},
+        MatrixParam{"htmfail", kHtmStorm, "adaptive", true, false, false},
+        // SWOpt always invalidates.
+        MatrixParam{"swoptfail", kSwOptStorm, "static-sl-3", false, true,
+                    false},
+        MatrixParam{"swoptfail", kSwOptStorm, "static-sl-3", false, true,
+                    true},
+        MatrixParam{"swoptfail", kSwOptStormFlakyHtm, "static-all-3:2",
+                    false, true, false},
+        MatrixParam{"swoptfail", kSwOptStorm, "adaptive", false, true, false},
+        // Both elision paths dead: pure Lock survival.
+        MatrixParam{"bothfail", kBothStorm, "static-all-3:2", true, true,
+                    false},
+        MatrixParam{"bothfail", kBothStorm, "static-all-3:2", true, true,
+                    true},
+        MatrixParam{"bothfail", kBothStorm, "adaptive", true, true, false},
+        MatrixParam{"bothfail", kBothStorm, "adaptive", true, true, true}),
+    param_name);
+
+}  // namespace
+}  // namespace ale

@@ -79,12 +79,12 @@ TEST_F(AdaptiveTest, LearnsSmallXWhenHtmAlwaysSucceedsFirstTry) {
     const Progression prog = p->final_progression_of(md, g);
     if (prog == Progression::kHL || prog == Progression::kAll) {
       const auto x = p->final_x_of(g);
-      EXPECT_GE(x, 1u);
-      // First-try success → tiny learned X. x may also be the kDefaultX
-      // fallback (5) when the estimator judged HTM not worth attempting
-      // for this granule while the lock-level uniform choice kept an HTM
-      // progression; anything beyond that would mean the histogram/cost
-      // model failed.
+      // First-try success → tiny learned X. A learned 0 is legitimate (the
+      // estimator may find the uncontended lock path outright cheaper than
+      // emulated-HTM overhead and abandon HTM); x may also be the kDefaultX
+      // fallback (5) when this granule never went through HTM learning
+      // while the lock-level uniform choice kept an HTM progression.
+      // Anything beyond that would mean the histogram/cost model failed.
       EXPECT_LE(x, 5u);
     }
   });

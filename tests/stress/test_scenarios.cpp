@@ -1,0 +1,313 @@
+// Scripted-adversity stress scenarios (tests/stress): drive real workloads
+// (AleHashMap, ShardedDb wicked) through the ale::inject fault plane and
+// assert the engine's survival guarantees:
+//  * liveness — every critical section eventually completes (via Lock),
+//  * exactness — data-structure answers stay correct under any storm,
+//  * statistics sanity — sabotaged paths record zero successes,
+//  * adaptation — the Adaptive policy demotes a path that never succeeds
+//    and can discard + re-learn its configuration (§4.2), asserted through
+//    both introspection and the telemetry decision trace.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ale.hpp"
+#include "hashmap/hashmap.hpp"
+#include "inject/inject.hpp"
+#include "kvdb/wicked.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/install.hpp"
+#include "telemetry/trace.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct StressTest : ::testing::Test {
+  void SetUp() override {
+    test::use_emulated_ideal();
+    inject::reset();
+    telemetry::reset_trace();
+    telemetry::set_trace_enabled(true);
+    telemetry::set_trace_sample_rate(1.0);
+  }
+  void TearDown() override {
+    set_global_policy(nullptr);
+    telemetry::set_trace_enabled(false);
+    telemetry::reset_trace();
+    telemetry::set_trace_capacity(4096);
+    inject::reset();
+  }
+
+  static AdaptiveConfig small_phases(std::uint32_t len = 60) {
+    AdaptiveConfig cfg;
+    cfg.phase_len = len;
+    return cfg;
+  }
+
+  // Partitioned hashmap storm: each thread owns a disjoint key range and
+  // tracks expected presence, so every return value is checkable even under
+  // maximal adversity. Presence state lives with the caller: re-hammering
+  // the same map must pass the same `state` (probing the map to rebuild it
+  // would flood one granule with get-executions and skew policy learning).
+  using HammerState = std::vector<std::vector<bool>>;
+  static constexpr std::uint64_t kHammerRange = 512;
+
+  static void hammer_hashmap(AleHashMap& map, unsigned threads, int iters,
+                             HammerState& state) {
+    constexpr std::uint64_t kRange = kHammerRange;
+    if (state.size() < threads) {
+      state.resize(threads, std::vector<bool>(kRange, false));
+    }
+    test::run_threads(threads, [&](unsigned t) {
+      inject::set_thread_index(t);
+      std::vector<bool>& present = state[t];
+      Xoshiro256 rng(derive_seed(0x57a11, t));
+      for (int i = 0; i < iters; ++i) {
+        const std::uint64_t k = t * kRange + rng.next_below(kRange);
+        const std::uint64_t slot = k % kRange;
+        switch (i % 3) {
+          case 0: {
+            const bool fresh = map.insert(k, k * 3);
+            EXPECT_EQ(fresh, !present[slot]) << "key " << k;
+            present[slot] = true;
+            break;
+          }
+          case 1: {
+            AleHashMap::Value v = 0;
+            const bool found = map.get(k, v);
+            EXPECT_EQ(found, static_cast<bool>(present[slot])) << "key " << k;
+            if (found) EXPECT_EQ(v, k * 3);
+            break;
+          }
+          case 2: {
+            const bool removed = map.remove(k);
+            EXPECT_EQ(removed, static_cast<bool>(present[slot]))
+                << "key " << k;
+            present[slot] = false;
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  static std::uint64_t mode_successes(LockMd& md, ExecMode m) {
+    std::uint64_t total = 0;
+    md.for_each_granule(
+        [&](GranuleMd& g) { total += g.stats.of(m).successes.read(); });
+    return total;
+  }
+};
+
+// The acceptance scenario: under an HTM abort storm the Adaptive policy
+// must walk its phases, measure HTM as worthless, and abandon it — after
+// convergence no HTM mode decision appears in the decision trace.
+TEST_F(StressTest, AbortStormAdaptiveAbandonsHtm) {
+  // Large rings for this scenario: the storm emits bursts of kInjectFired
+  // and the assertions reach back to phase transitions from early in the
+  // learning window. (Applies to buffers of threads spawned below.)
+  telemetry::set_trace_capacity(1u << 17);
+  // x=2000 prices each doomed begin at ~2000 pause-spins: dominating the
+  // lock path's cost so the learner *measures* HTM-bearing progressions as
+  // strictly worse instead of tying on noise, and concludes X = 0.
+  ASSERT_TRUE(inject::configure("htm.begin:x=2000"));
+  auto policy = std::make_unique<AdaptivePolicy>(small_phases());
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  AleHashMap map(256, "stress.abortstorm");
+  HammerState st;
+  hammer_hashmap(map, 4, 900, st);
+
+  ASSERT_TRUE(p->converged(map.lock_md()));
+  // Every granule's converged choice abandoned HTM: the learner measured
+  // the priced storm and concluded X = 0 everywhere.
+  map.lock_md().for_each_granule([&](GranuleMd& g) {
+    EXPECT_EQ(p->effective_x_of(map.lock_md(), g), 0u)
+        << g.context()->path();
+  });
+  EXPECT_EQ(mode_successes(map.lock_md(), ExecMode::kHtm), 0u);
+  EXPECT_GT(inject::fired_count(inject::Point::kHtmBegin), 0u);
+
+  // Learning-window trace: injected faults and phase transitions both
+  // visible — the storm demonstrably drove the walk.
+  bool saw_inject = false, saw_transition = false;
+  for (const auto& e : telemetry::drain_trace()) {
+    saw_inject |= e.kind == telemetry::EventKind::kInjectFired;
+    saw_transition |= e.kind == telemetry::EventKind::kPhaseTransition;
+  }
+  EXPECT_TRUE(saw_inject);
+  EXPECT_TRUE(saw_transition);
+
+  // Post-convergence window: HTM is abandoned — the converged policy never
+  // even decides to try it, so no HTM decision, abort, or injected begin
+  // fault can appear.
+  hammer_hashmap(map, 4, 400, st);
+  for (const auto& e : telemetry::drain_trace()) {
+    if (e.kind == telemetry::EventKind::kModeDecision) {
+      EXPECT_NE(static_cast<ExecMode>(e.mode), ExecMode::kHtm);
+    }
+    EXPECT_NE(e.kind, telemetry::EventKind::kHtmAbort);
+    if (e.kind == telemetry::EventKind::kInjectFired) {
+      EXPECT_NE(static_cast<inject::Point>(e.aux8), inject::Point::kHtmBegin);
+    }
+  }
+  EXPECT_EQ(mode_successes(map.lock_md(), ExecMode::kHtm), 0u);
+}
+
+// Persistent SWOpt invalidation: optimistic gets never validate, yet every
+// operation still answers correctly and SWOpt records zero successes.
+TEST_F(StressTest, InvalidationStormSwOptNeverSucceeds) {
+  ASSERT_TRUE(inject::configure("swopt.invalidate"));
+  test::PolicyInstaller inst(make_policy("static-sl-3"));
+
+  AleHashMap map(256, "stress.invstorm");
+  HammerState st;
+  hammer_hashmap(map, 4, 600, st);
+
+  EXPECT_EQ(mode_successes(map.lock_md(), ExecMode::kSwOpt), 0u);
+  EXPECT_GT(mode_successes(map.lock_md(), ExecMode::kLock), 0u);
+  EXPECT_GT(inject::fired_count(inject::Point::kSwOptInvalidate), 0u);
+}
+
+// Lock convoy: a stretched hold time piles waiters behind every release;
+// the engine must stay live and exact, and no lock may leak.
+TEST_F(StressTest, LockConvoyAllExecutionsComplete) {
+  ASSERT_TRUE(inject::configure("lock.hold:every=25,x=20000"));
+  test::PolicyInstaller inst(make_policy("lockonly"));
+
+  TatasLock lock;
+  LockMd md("stress.convoy");
+  static ScopeInfo scope("cs");
+  alignas(64) std::uint64_t counter = 0;
+  constexpr int kPer = 400;
+  test::run_threads(4, [&](unsigned t) {
+    inject::set_thread_index(t);
+    for (int i = 0; i < kPer; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec&) { tx_store(counter, tx_load(counter) + 1); });
+    }
+  });
+
+  EXPECT_EQ(counter, 4u * kPer);
+  EXPECT_FALSE(lock.is_locked());
+  EXPECT_GT(inject::fired_count(inject::Point::kLockHold), 0u);
+}
+
+// Mode starvation: both elision paths dead, backoff perturbed on top. The
+// Lock fallback alone must carry a correct execution.
+TEST_F(StressTest, ModeStarvationLockCarriesEverything) {
+  ASSERT_TRUE(inject::configure(
+      "htm.begin;swopt.invalidate;sync.backoff:every=9,x=256"));
+  test::PolicyInstaller inst(make_policy("static-all-3:2"));
+
+  AleHashMap map(256, "stress.starve");
+  HammerState st;
+  hammer_hashmap(map, 3, 500, st);
+
+  EXPECT_EQ(mode_successes(map.lock_md(), ExecMode::kHtm), 0u);
+  EXPECT_EQ(mode_successes(map.lock_md(), ExecMode::kSwOpt), 0u);
+  EXPECT_GT(mode_successes(map.lock_md(), ExecMode::kLock), 0u);
+}
+
+// kvdb under a flaky storm (probabilistic aborts + invalidations + backoff
+// jitter): the wicked operation mix must run to completion with the DB
+// still answering.
+TEST_F(StressTest, WickedStormKvdbSurvivesAdversity) {
+  ASSERT_TRUE(inject::configure(
+      "htm.begin:p=0.5,seed=3;swopt.invalidate:p=0.5,seed=4;"
+      "sync.backoff:every=7,x=128"));
+  test::PolicyInstaller inst(
+      std::make_unique<AdaptivePolicy>(small_phases(40)));
+
+  kvdb::ShardedDb db({}, "stress.wicked");
+  kvdb::WickedConfig cfg;
+  cfg.key_range = 2000;
+  kvdb::wicked_prefill(db, cfg);
+
+  test::run_threads(3, [&](unsigned t) {
+    inject::set_thread_index(t);
+    Xoshiro256 rng(derive_seed(0x3cced, t));
+    std::string key, val;
+    for (int i = 0; i < 1500; ++i) {
+      (void)kvdb::wicked_step(db, cfg, rng, key, val);
+    }
+  });
+
+  // Liveness proven by arrival; the DB must still be coherent enough to
+  // answer a full count (itself a whole-DB critical section).
+  EXPECT_LE(db.count(), cfg.key_range);
+  EXPECT_GT(inject::fired_count(inject::Point::kHtmBegin), 0u);
+}
+
+// policy.phase nudges force transitions long before phase_len would: a
+// policy configured to effectively never advance on its own still walks to
+// convergence when nudged.
+TEST_F(StressTest, PhaseNudgeForcesEarlyConvergence) {
+  ASSERT_TRUE(inject::configure("policy.phase:every=3"));
+  auto policy =
+      std::make_unique<AdaptivePolicy>(small_phases(1000000));  // organic: never
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  TatasLock lock;
+  LockMd md("stress.nudge.phase");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  std::uint64_t cell = 0;
+  for (int i = 0; i < 400; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+               [&](CsExec& cs) -> CsBody {
+                 if (cs.in_swopt()) {
+                   (void)tx_load(cell);
+                   return CsBody::kDone;
+                 }
+                 tx_store(cell, tx_load(cell) + 1);
+                 return CsBody::kDone;
+               });
+  }
+  EXPECT_TRUE(p->converged(md));
+}
+
+// policy.relearn discards a converged configuration; with the nudge gone,
+// the policy re-learns and converges again (§4.2's re-learning loop).
+TEST_F(StressTest, RelearnNudgeDiscardsAndRelearns) {
+  auto policy = std::make_unique<AdaptivePolicy>(small_phases(50));
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  TatasLock lock;
+  LockMd md("stress.nudge.relearn");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  std::uint64_t cell = 0;
+  auto drive = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec& cs) -> CsBody {
+                   if (cs.in_swopt()) {
+                     (void)tx_load(cell);
+                     return CsBody::kDone;
+                   }
+                   tx_store(cell, tx_load(cell) + 1);
+                   return CsBody::kDone;
+                 });
+    }
+  };
+
+  drive(1200);
+  ASSERT_TRUE(p->converged(md));
+  EXPECT_EQ(p->relearn_count_of(md), 0u);
+
+  ASSERT_TRUE(inject::configure("policy.relearn:count=1"));
+  drive(5);
+  EXPECT_GE(p->relearn_count_of(md), 1u);
+  EXPECT_FALSE(p->converged(md));
+
+  inject::reset();
+  drive(1200);
+  EXPECT_TRUE(p->converged(md));
+}
+
+}  // namespace
+}  // namespace ale
