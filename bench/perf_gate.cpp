@@ -1,0 +1,262 @@
+// perf_gate — the hot-path regression gate.
+//
+// Measures (a) single-thread uncontended critical-section latency and
+// (b) contended throughput at 1/4/8 threads, for the three execution
+// regimes (lock-only, static elision, adaptive), plus the converged
+// adaptive path with the fast path toggled OFF and ON — the A/B that
+// quantifies the hot-path overhaul (granule cache + AttemptPlan).
+//
+// Emits BENCH_perf-style JSON with the run seed in the header. Absolute
+// numbers vary wildly across hosts/runners, so the CI gate checks only the
+// "gated" block of *ratios* (dimensionless, lower is better) against a
+// committed baseline with a tolerance.
+//
+//   usage: perf_gate [--out FILE] [--baseline FILE] [--tolerance 0.15]
+//                    [--iters N] [--seconds S]
+//   exit:  0 = ok (or no baseline), 1 = regression beyond tolerance
+//
+// CI runs it with a fixed ALE_SEED so per-thread PRNG streams (sampling
+// decisions included) are reproducible.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/ale.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/static_policy.hpp"
+
+namespace {
+
+using namespace ale;
+
+ElidableLock<>& gate_lock() {
+  static ElidableLock<> lock("perf_gate.lock");
+  return lock;
+}
+alignas(64) std::uint64_t g_cell = 0;
+
+ScopeInfo& cs_scope() {
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  return scope;
+}
+
+void run_one_cs() {
+  gate_lock().elide(cs_scope(), [](CsExec& cs) -> CsBody {
+    if (cs.in_swopt()) {
+      (void)tx_load(g_cell);
+      return CsBody::kDone;
+    }
+    tx_store(g_cell, tx_load(g_cell) + 1);
+    return CsBody::kDone;
+  });
+}
+
+// Best-of-3 single-thread latency in ns/op.
+double uncontended_ns(std::uint64_t iters) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) run_one_cs();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(iters);
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+double contended_ops(unsigned threads, double seconds) {
+  return bench::timed_run(threads, seconds,
+                          [](unsigned, Xoshiro256&) { run_one_cs(); });
+}
+
+// Drive until the adaptive policy converges for the gate scope (bounded).
+bool warm_to_convergence(AdaptivePolicy& p, LockMd& md) {
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 200; ++i) run_one_cs();
+    if (p.converged(md)) return true;
+  }
+  return p.converged(md);
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+// Minimal scan for  "key": <number>  in a JSON file (the gate's own output
+// format; no nested objects share key names).
+bool scan_number(const std::string& text, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_perf.json";
+  std::string baseline_path;
+  double tolerance = 0.15;
+  std::uint64_t iters = 200000;
+  double seconds = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--out") out_path = next();
+    else if (a == "--baseline") baseline_path = next();
+    else if (a == "--tolerance") tolerance = std::atof(next());
+    else if (a == "--iters") iters = std::strtoull(next(), nullptr, 10);
+    else if (a == "--seconds") seconds = std::atof(next());
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  bench::set_profile("ideal");
+  std::printf("perf_gate: hot-path regression harness\n");
+  bench::print_run_seed();
+
+  // Ordered so the JSON (and diffs of it) stay stable.
+  std::map<std::string, double> metrics;
+
+  // --- uncontended single-thread latency, per regime ---
+  bench::install_policy_spec("lockonly");
+  metrics["uncontended_ns.lockonly"] = uncontended_ns(iters);
+
+  bench::install_policy_spec("static-all-5:3");
+  metrics["uncontended_ns.static_all_5_3"] = uncontended_ns(iters);
+
+  // Adaptive: converge once, then A/B the fast path in the same process on
+  // the same learned state.
+  AdaptiveConfig acfg;
+  acfg.phase_len = 200;
+  auto adaptive = std::make_unique<AdaptivePolicy>(acfg);
+  AdaptivePolicy* ap = adaptive.get();
+  set_global_policy(std::move(adaptive));
+  if (!warm_to_convergence(*ap, gate_lock().md())) {
+    std::fprintf(stderr, "perf_gate: adaptive policy failed to converge\n");
+    return 2;
+  }
+  set_fast_path_enabled(false);
+  metrics["uncontended_ns.adaptive_fastpath_off"] = uncontended_ns(iters);
+  set_fast_path_enabled(true);
+  metrics["uncontended_ns.adaptive_fastpath_on"] = uncontended_ns(iters);
+
+  // --- contended throughput (informational; host-dependent) ---
+  for (const unsigned t : {1u, 4u, 8u}) {
+    bench::install_policy_spec("lockonly");
+    metrics["contended_ops.t" + std::to_string(t) + ".lockonly"] =
+        contended_ops(t, seconds);
+    bench::install_policy_spec("static-all-5:3");
+    metrics["contended_ops.t" + std::to_string(t) + ".static_all_5_3"] =
+        contended_ops(t, seconds);
+    auto ad = std::make_unique<AdaptivePolicy>(acfg);
+    AdaptivePolicy* adp = ad.get();
+    set_global_policy(std::move(ad));
+    (void)warm_to_convergence(*adp, gate_lock().md());
+    metrics["contended_ops.t" + std::to_string(t) + ".adaptive"] =
+        contended_ops(t, seconds);
+  }
+  set_global_policy(nullptr);
+
+  // --- gated ratios (dimensionless; lower is better) ---
+  std::map<std::string, double> gated;
+  const double lockonly_ns = metrics["uncontended_ns.lockonly"];
+  const double on_ns = metrics["uncontended_ns.adaptive_fastpath_on"];
+  const double off_ns = metrics["uncontended_ns.adaptive_fastpath_off"];
+  gated["ratio_uncontended_adaptive_on_vs_lockonly"] = on_ns / lockonly_ns;
+  gated["ratio_uncontended_adaptive_on_vs_off"] = on_ns / off_ns;
+  gated["ratio_uncontended_static_vs_lockonly"] =
+      metrics["uncontended_ns.static_all_5_3"] / lockonly_ns;
+
+  // --- report ---
+  std::printf("\n  %-46s %14s\n", "metric", "value");
+  for (const auto& [k, v] : metrics) {
+    std::printf("  %-46s %14.1f\n", k.c_str(), v);
+  }
+  for (const auto& [k, v] : gated) {
+    std::printf("  %-46s %14.4f\n", k.c_str(), v);
+  }
+
+  // --- JSON ---
+  std::ostringstream js;
+  js << "{\n";
+  char seed_buf[32];
+  std::snprintf(seed_buf, sizeof seed_buf, "0x%016llx",
+                static_cast<unsigned long long>(run_seed()));
+  js << "  \"bench\": \"perf_gate\",\n";
+  js << "  \"run_seed\": \"" << seed_buf << "\",\n";
+  js << "  \"profile\": \"ideal\",\n";
+  js << "  \"iters\": " << iters << ",\n";
+  js << "  \"metrics\": {\n";
+  {
+    std::size_t n = 0;
+    for (const auto& [k, v] : metrics) {
+      js << "    \"" << k << "\": " << fmt(v)
+         << (++n < metrics.size() ? "," : "") << "\n";
+    }
+  }
+  js << "  },\n";
+  js << "  \"gated\": {\n";
+  {
+    std::size_t n = 0;
+    for (const auto& [k, v] : gated) {
+      js << "    \"" << k << "\": " << fmt(v)
+         << (++n < gated.size() ? "," : "") << "\n";
+    }
+  }
+  js << "  }\n}\n";
+  {
+    std::ofstream f(out_path);
+    f << js.str();
+  }
+  std::printf("\n  wrote %s\n", out_path.c_str());
+
+  // --- gate against the baseline ---
+  if (baseline_path.empty()) return 0;
+  std::ifstream bf(baseline_path);
+  if (!bf) {
+    std::fprintf(stderr, "perf_gate: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << bf.rdbuf();
+  const std::string base = buf.str();
+  bool ok = true;
+  for (const auto& [k, now] : gated) {
+    double was = 0.0;
+    if (!scan_number(base, k, &was)) {
+      std::printf("  gate: %-44s (no baseline; skipped)\n", k.c_str());
+      continue;
+    }
+    const double limit = was * (1.0 + tolerance);
+    const bool pass = now <= limit;
+    std::printf("  gate: %-44s now %.4f vs base %.4f (limit %.4f) %s\n",
+                k.c_str(), now, was, limit, pass ? "OK" : "REGRESSION");
+    ok = ok && pass;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "perf_gate: regression beyond %.0f%% tolerance\n",
+                 tolerance * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -26,30 +26,27 @@ constexpr std::size_t kAccountsPerBranch = 64;
 constexpr std::uint64_t kInitialBalance = 1000;
 
 struct Branch {
-  ale::TatasLock lock;
-  ale::LockMd md;
+  ale::ElidableLock<> lock{"bank.branch"};
   alignas(64) std::uint64_t accounts[kAccountsPerBranch];
 
-  Branch() : md("bank.branch") {
+  Branch() {
     for (auto& a : accounts) a = kInitialBalance;
   }
 };
 
 Branch g_branches[kBranches];
 
-// Deposit/withdraw inside one branch.
+// Deposit/withdraw inside one branch. No explicit ScopeInfo: elide() mints
+// one per call site ("bank_transfer.cpp:NN"), so this CS and the ones in
+// transfer()/audit() adapt independently (§3.4).
 void deposit(std::size_t branch, std::size_t account, std::int64_t delta) {
-  static ale::ScopeInfo scope("deposit");
   Branch& b = g_branches[branch];
-  ale::execute_cs(ale::lock_api<ale::TatasLock>(), &b.lock, b.md, scope,
-                  [&](ale::CsExec&) {
-                    auto& cell = b.accounts[account];
-                    ale::tx_store(
-                        cell, static_cast<std::uint64_t>(
-                                  static_cast<std::int64_t>(
-                                      ale::tx_load(cell)) +
-                                  delta));
-                  });
+  b.lock.elide([&](ale::CsExec&) {
+    auto& cell = b.accounts[account];
+    ale::tx_store(cell, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(ale::tx_load(cell)) +
+                            delta));
+  });
 }
 
 // Transfer across branches: nested critical sections, ordered by branch
@@ -62,20 +59,16 @@ void transfer(std::size_t from_b, std::size_t from_a, std::size_t to_b,
   const std::size_t second = std::max(from_b, to_b);
   Branch& b1 = g_branches[first];
   Branch& b2 = g_branches[second];
-  ale::execute_cs(
-      ale::lock_api<ale::TatasLock>(), &b1.lock, b1.md, outer,
-      [&](ale::CsExec&) {
-        ale::execute_cs(
-            ale::lock_api<ale::TatasLock>(), &b2.lock, b2.md, inner,
-            [&](ale::CsExec&) {
-              auto& src = g_branches[from_b].accounts[from_a];
-              auto& dst = g_branches[to_b].accounts[to_a];
-              const std::uint64_t balance = ale::tx_load(src);
-              const std::uint64_t take = std::min(balance, amount);
-              ale::tx_store(src, balance - take);
-              ale::tx_store(dst, ale::tx_load(dst) + take);
-            });
-      });
+  b1.lock.elide(outer, [&](ale::CsExec&) {
+    b2.lock.elide(inner, [&](ale::CsExec&) {
+      auto& src = g_branches[from_b].accounts[from_a];
+      auto& dst = g_branches[to_b].accounts[to_a];
+      const std::uint64_t balance = ale::tx_load(src);
+      const std::uint64_t take = std::min(balance, amount);
+      ale::tx_store(src, balance - take);
+      ale::tx_store(dst, ale::tx_load(dst) + take);
+    });
+  });
 }
 
 // Audit: total money is invariant. Reads every branch under its lock.
@@ -86,13 +79,12 @@ std::uint64_t audit() {
     // Per-attempt subtotal: the body may re-execute after an HTM abort, so
     // it must not accumulate into `total` directly.
     std::uint64_t branch_total = 0;
-    ale::execute_cs(ale::lock_api<ale::TatasLock>(), &b.lock, b.md, scope,
-                    [&](ale::CsExec&) {
-                      branch_total = 0;
-                      for (const auto& a : b.accounts) {
-                        branch_total += ale::tx_load(a);
-                      }
-                    });
+    ale::execute_cs(b.lock, scope, [&](ale::CsExec&) {
+      branch_total = 0;
+      for (const auto& a : b.accounts) {
+        branch_total += ale::tx_load(a);
+      }
+    });
     total += branch_total;
   }
   return total;
@@ -144,6 +136,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(expected),
               total == expected ? "BALANCED" : "MONEY LEAKED!");
   std::printf("\n--- per-branch / per-context report ---\n");
-  ale::print_lock_report(std::cout, g_branches[0].md);
+  ale::print_lock_report(std::cout, g_branches[0].lock.md());
   return total == expected ? 0 : 1;
 }

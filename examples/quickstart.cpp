@@ -26,14 +26,16 @@ int main() {
         ale::StaticPolicyConfig{.x = 5, .y = 3}));
   }
 
-  // 1. A lock and its ALE metadata ("label").
-  ale::TatasLock lock;
-  ale::LockMd md("quickstart.lock");
+  // 1. An ALE-enabled lock: lock + metadata ("label") in one object.
+  ale::ElidableLock<> lock("quickstart.lock");
 
   // 2. Shared data, accessed via tx_load/tx_store inside critical sections.
   alignas(64) std::uint64_t counter = 0;
 
-  // 3. A critical-section scope (one per source-level CS).
+  // 3. Critical sections via elide(): the scope (§3.4) is minted from the
+  //    call site automatically; name it explicitly with the
+  //    elide(ScopeInfo, body) overload when reports should say more than
+  //    "quickstart.cpp:NN".
   static ale::ScopeInfo scope("increment");
 
   constexpr unsigned kThreads = 4;
@@ -42,10 +44,9 @@ int main() {
   for (unsigned t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < kPerThread; ++i) {
-        ale::execute_cs(ale::lock_api<ale::TatasLock>(), &lock, md, scope,
-                        [&](ale::CsExec&) {
-                          ale::tx_store(counter, ale::tx_load(counter) + 1);
-                        });
+        lock.elide(scope, [&](ale::CsExec&) {
+          ale::tx_store(counter, ale::tx_load(counter) + 1);
+        });
       }
     });
   }
@@ -60,9 +61,9 @@ int main() {
               ale::htm::config().profile.name);
   std::printf("\n--- ALE report ---\n");
   ale::print_report(std::cout);
-  // Flush the ALE_TELEMETRY dump while `md` is still registered (the atexit
-  // hook would run after this stack frame is gone and report the lock as
-  // "<dead>").
+  // Flush the ALE_TELEMETRY dump while the lock's metadata is still
+  // registered (the atexit hook would run after this stack frame is gone
+  // and report the lock as "<dead>").
   if (ale::telemetry::active()) ale::telemetry::shutdown();
   return counter == kThreads * static_cast<std::uint64_t>(kPerThread) ? 0 : 1;
 }

@@ -3,29 +3,28 @@
 // Reproduction of "Adaptive Integration of Hardware and Software Lock
 // Elision Techniques" (Dice, Kogan, Lev, Merrifield, Moir — SPAA 2014).
 //
-// Quickstart (RAII/lambda API):
+// Quickstart (front-door API):
 //
-//   ale::TatasLock lock;
-//   ale::LockMd md("myLock");                       // the lock's "label"
-//   static ale::ScopeInfo scope("update", /*has_swopt=*/false);
+//   ale::ElidableLock<> lock("myLock");
 //
-//   ale::execute_cs(ale::lock_api<ale::TatasLock>(), &lock, md, scope,
-//                   [&](ale::CsExec& cs) {
-//                     ale::tx_store(counter, ale::tx_load(counter) + 1);
-//                   });
+//   lock.elide([&](ale::CsExec& cs) {
+//     ale::tx_store(counter, ale::tx_load(counter) + 1);
+//   });
 //
 // All shared data touched inside the critical section goes through
 // ale::tx_load / ale::tx_store (see htm/access.hpp for why). Choose the
 // execution policy with ale::set_global_policy (policies live in policy/).
-// The macro API from the paper (ALE_BEGIN_CS et al.) is in core/macros.hpp.
+// The raw-parts execute_cs(api, lock, md, scope, body) overload remains in
+// core/execute_cs.hpp for exotic setups; the macro API from the paper
+// (ALE_BEGIN_CS et al.) is in core/macros.hpp. See docs/api.md for the
+// full reference.
 #pragma once
-
-#include <type_traits>
-#include <utility>
 
 #include "core/conflict.hpp"
 #include "core/context.hpp"
+#include "core/elidable_lock.hpp"
 #include "core/engine.hpp"
+#include "core/execute_cs.hpp"
 #include "core/granule.hpp"
 #include "core/lockmd.hpp"
 #include "core/macros.hpp"
@@ -37,31 +36,3 @@
 #include "htm/access.hpp"
 #include "htm/config.hpp"
 #include "sync/lockapi.hpp"
-
-namespace ale {
-
-// Execute one critical section under ALE. `body` is invoked once per
-// attempt with the CsExec (query cs.exec_mode() to select the SWOpt path);
-// it may return void or CsBody.
-template <typename Body>
-void execute_cs(const LockApi* api, void* lock, LockMd& md,
-                const ScopeInfo& scope, Body&& body) {
-  CsExec cs(api, lock, md, scope);
-  while (cs.arm()) {
-    try {
-      if constexpr (std::is_void_v<std::invoke_result_t<Body&, CsExec&>>) {
-        body(cs);
-        cs.finish();
-      } else {
-        if (body(cs) == CsBody::kRetrySwOpt) {
-          cs.swopt_failed();  // throws; handled below
-        }
-        cs.finish();
-      }
-    } catch (const htm::TxAbortException& abort) {
-      cs.on_abort_exception(abort);
-    }
-  }
-}
-
-}  // namespace ale

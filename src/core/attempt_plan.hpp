@@ -1,0 +1,82 @@
+// AttemptPlan — a converged policy decision baked into one 64-bit word.
+//
+// The paper's whole premise is that adaptation must be nearly free on the
+// hot path (§3.2 spends BFP counters and ~3% sampling purely to keep the
+// per-attempt overhead negligible). Once a policy has finished learning and
+// settled on a final decision for a granule, re-deriving that decision
+// through virtual dispatch on every attempt is pure waste: the answer is a
+// constant. A policy therefore *publishes* an AttemptPlan on the granule —
+// "make up to X HTM attempts, then up to Y SWOpt attempts, then take the
+// lock" — and the engine reads it with a single relaxed load per execution
+// and drives the whole attempt loop from the word, with no policy calls.
+//
+// Publishing a plan is a contract. While a granule carries a valid plan the
+// engine will NOT call choose_mode / on_htm_abort / on_swopt_fail for its
+// executions; it maintains the §4.2 grouping SNZI itself (arrive on first
+// SWOpt failure, depart on completion, wait before conflicting attempts)
+// when the grouping bit is set; and it delivers on_execution_complete only
+// when the notify bit is set (policies that still count executions — e.g.
+// for §6-style relearning — set it). Granule statistics demote to the §4.3
+// sample rate: ~3% of plan-driven executions record full, weighted stats;
+// the rest touch no shared statistics at all. A policy that changes its
+// mind (relearn, phase nudge, reinstall) must clear the plan first; the
+// engine snapshots the word once per execution, so one in-flight execution
+// may still complete under the old plan — which is exactly the staleness a
+// per-attempt policy call would also have had.
+#pragma once
+
+#include <cstdint>
+
+namespace ale {
+
+struct AttemptPlan {
+  // Word layout (bit 63 = valid; an all-zero word is "no plan"):
+  //   bits  0..15  x        — HTM attempt budget
+  //   bits 16..31  y        — SWOpt attempt budget
+  //   bit  32      htm      — the progression includes HTM
+  //   bit  33      swopt    — the progression includes SWOpt
+  //   bit  34      grouping — engine performs the §4.2 grouping protocol
+  //   bit  35      notify   — deliver on_execution_complete every execution
+  //   bits 40..47  locked-abort weight, fixed-point /256 (§4's "much
+  //                lighter" accounting of lock-acquisition aborts)
+  static constexpr std::uint64_t kInvalid = 0;
+  static constexpr std::uint64_t kValidBit = 1ULL << 63;
+
+  std::uint64_t word = kInvalid;
+
+  static constexpr AttemptPlan make(bool htm, bool swopt, std::uint32_t x,
+                                    std::uint32_t y, bool grouping,
+                                    unsigned locked_abort_weight256,
+                                    bool notify) noexcept {
+    std::uint64_t w = kValidBit;
+    w |= std::uint64_t{x > 0xffff ? 0xffffu : x};
+    w |= std::uint64_t{y > 0xffff ? 0xffffu : y} << 16;
+    if (htm) w |= 1ULL << 32;
+    if (swopt) w |= 1ULL << 33;
+    if (grouping) w |= 1ULL << 34;
+    if (notify) w |= 1ULL << 35;
+    w |= std::uint64_t{locked_abort_weight256 > 0xff
+                           ? 0xffu
+                           : locked_abort_weight256} << 40;
+    return AttemptPlan{w};
+  }
+
+  constexpr bool valid() const noexcept { return (word & kValidBit) != 0; }
+  constexpr unsigned x() const noexcept {
+    return static_cast<unsigned>(word & 0xffff);
+  }
+  constexpr unsigned y() const noexcept {
+    return static_cast<unsigned>((word >> 16) & 0xffff);
+  }
+  constexpr bool htm() const noexcept { return (word & (1ULL << 32)) != 0; }
+  constexpr bool swopt() const noexcept { return (word & (1ULL << 33)) != 0; }
+  constexpr bool grouping() const noexcept {
+    return (word & (1ULL << 34)) != 0;
+  }
+  constexpr bool notify() const noexcept { return (word & (1ULL << 35)) != 0; }
+  constexpr unsigned locked_abort_weight256() const noexcept {
+    return static_cast<unsigned>((word >> 40) & 0xff);
+  }
+};
+
+}  // namespace ale

@@ -1,0 +1,133 @@
+// ElidableLock — the front-door API.
+//
+// The raw execute_cs form makes the caller carry four things to every
+// critical section: the LockApi, the lock pointer, the LockMd "label", and
+// a ScopeInfo static. ElidableLock<LockT> bundles the first three — the
+// paper's "each ALE-enabled lock has associated metadata" (§3.1) rendered
+// as one object — and can derive the fourth from the call site:
+//
+//   ale::ElidableLock<> account("accountLock");
+//
+//   account.elide([&](ale::CsExec& cs) {
+//     ale::tx_store(balance, ale::tx_load(balance) + amount);
+//   });
+//
+// The no-scope elide()/execute_cs() forms mint one ScopeInfo per call site
+// (per §3.4, distinct sites are distinct scopes and adapt independently):
+// the lambda's closure type is unique to its source location, so a
+// function-local static inside the template instantiation is per-call-site,
+// and std::source_location names it "file.cpp:line" for reports. Pass an
+// explicit ScopeInfo instead to name the scope, to prohibit HTM, or when
+// one body type is shared by several call sites that should be one scope
+// (only then does the derivation collapse sites together).
+//
+// SWOpt eligibility of the derived scope is inferred from the body's type:
+// a CsBody-returning body has a way to report SWOpt validation failure
+// (CsBody::kRetrySwOpt), so it declares a SWOpt path; a void body does not.
+#pragma once
+
+#include <source_location>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "core/execute_cs.hpp"
+#include "sync/lockapi.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ale {
+
+namespace detail {
+
+// Owns the "file.cpp:line" label storage a call-site ScopeInfo points at.
+// Constructed once per call site as a function-local static (ScopeInfo
+// itself stores only the const char*).
+class CallSiteScope {
+ public:
+  CallSiteScope(const std::source_location& loc, bool has_swopt)
+      : label_(make_label(loc)),
+        scope_(label_.c_str(), has_swopt, /*allow_htm=*/true) {}
+
+  CallSiteScope(const CallSiteScope&) = delete;
+  CallSiteScope& operator=(const CallSiteScope&) = delete;
+
+  const ScopeInfo& scope() const noexcept { return scope_; }
+
+ private:
+  static std::string make_label(const std::source_location& loc) {
+    std::string_view file = loc.file_name();
+    const auto slash = file.find_last_of("/\\");
+    if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+    return std::string(file) + ":" + std::to_string(loc.line());
+  }
+
+  std::string label_;
+  ScopeInfo scope_;
+};
+
+// A body that returns CsBody can report kRetrySwOpt, hence has a SWOpt path.
+template <typename Body>
+inline constexpr bool body_declares_swopt =
+    !std::is_void_v<std::invoke_result_t<Body&, CsExec&>>;
+
+}  // namespace detail
+
+/// An ALE-enabled lock: the lock object, its LockMd metadata, and its
+/// LockApi in one bundle. LockT needs the generic lock_api<L> surface
+/// (lock/unlock/try_lock/is_locked/subscription_word) — TatasLock (the
+/// default), TicketLock, and TrackedMutex all qualify.
+template <typename LockT = TatasLock>
+class ElidableLock {
+ public:
+  /// `name` is the lock's label in reports and telemetry.
+  explicit ElidableLock(std::string name) : md_(std::move(name)) {}
+
+  ElidableLock(const ElidableLock&) = delete;
+  ElidableLock& operator=(const ElidableLock&) = delete;
+
+  /// Execute `body` as a critical section of this lock under `scope`.
+  template <typename Body>
+  void elide(const ScopeInfo& scope, Body&& body) {
+    execute_cs(lock_api<LockT>(), &lock_, md_, scope,
+               std::forward<Body>(body));
+  }
+
+  /// Same, with the scope minted from the call site (see file comment).
+  template <typename Body>
+  void elide(Body&& body,
+             const std::source_location loc = std::source_location::current()) {
+    static const detail::CallSiteScope site(loc,
+                                            detail::body_declares_swopt<Body>);
+    elide(site.scope(), std::forward<Body>(body));
+  }
+
+  /// The raw pieces, for composing with the macro API or foreign code.
+  LockT& raw_lock() noexcept { return lock_; }
+  const LockApi* api() const noexcept { return lock_api<LockT>(); }
+  void* lock_ptr() noexcept { return &lock_; }
+  LockMd& md() noexcept { return md_; }
+  const std::string& name() const noexcept { return md_.name(); }
+
+ private:
+  LockT lock_;
+  LockMd md_;
+};
+
+/// execute_cs over an ElidableLock with an explicit scope.
+template <typename LockT, typename Body>
+void execute_cs(ElidableLock<LockT>& lock, const ScopeInfo& scope,
+                Body&& body) {
+  lock.elide(scope, std::forward<Body>(body));
+}
+
+/// execute_cs over an ElidableLock with the scope defaulted from the call
+/// site (one ScopeInfo per call site; label "file.cpp:line").
+template <typename LockT, typename Body>
+void execute_cs(ElidableLock<LockT>& lock, Body&& body,
+                const std::source_location loc =
+                    std::source_location::current()) {
+  lock.elide(std::forward<Body>(body), loc);
+}
+
+}  // namespace ale

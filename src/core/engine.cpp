@@ -1,14 +1,51 @@
 #include "core/engine.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <stdexcept>
 
 #include "common/cycles.hpp"
+#include "common/env.hpp"
+#include "core/grouping_wait.hpp"
 #include "htm/emulated.hpp"
 #include "inject/inject.hpp"
 #include "sync/backoff.hpp"
 #include "telemetry/trace.hpp"
 
 namespace ale {
+
+namespace {
+
+// Plan-driven executions record full statistics on a 1-in-32 sample
+// (~3%, §4.3) with weight 32, so counter estimates stay unbiased while the
+// other 31/32 executions touch no shared statistics at all.
+constexpr double kPlanSampleRate = 1.0 / 32.0;
+constexpr unsigned kPlanSampleWeight = 32;
+
+std::atomic<std::uint64_t> g_granule_cache_generation{0};
+
+std::atomic<bool>& fast_path_flag() noexcept {
+  static std::atomic<bool> flag{env_bool("ALE_FAST_PATH", true)};
+  return flag;
+}
+
+}  // namespace
+
+std::uint64_t granule_cache_generation() noexcept {
+  return g_granule_cache_generation.load(std::memory_order_relaxed);
+}
+
+void bump_granule_cache_generation() noexcept {
+  g_granule_cache_generation.fetch_add(1, std::memory_order_seq_cst);
+}
+
+bool fast_path_enabled() noexcept {
+  return fast_path_flag().load(std::memory_order_relaxed);
+}
+
+void set_fast_path_enabled(bool enabled) noexcept {
+  fast_path_flag().store(enabled, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -74,7 +111,7 @@ CsExec::CsExec(const LockApi* api, void* lock, LockMd& md,
   ThreadCtx& tc = thread_ctx();
   saved_ctx_ = tc.context();
   tc.ctx = saved_ctx_->child(&scope_);
-  granule_ = &md.granule_for(tc.ctx);
+  granule_ = resolve_granule(tc);
   policy_ = &md.policy();
   tc.frames.push_back(this);
 
@@ -86,8 +123,78 @@ CsExec::CsExec(const LockApi* api, void* lock, LockMd& md,
   st_.swopt_eligible = scope_.has_swopt && !already_held_ &&
                        (tc.swopt_lock == nullptr || tc.swopt_lock == &md_);
 
-  exec_start_ticks_ = now_ticks();
-  granule_->stats.executions.inc();
+  plan_ = granule_->attempt_plan();
+  // A plan published before fault injection was enabled lacks the notify
+  // bit, yet inject's policy nudges ride on on_execution_complete — so such
+  // a plan is ignored while injection is on (one relaxed load when off).
+  if (plan_.valid() && fast_path_enabled() &&
+      (plan_.notify() || !inject::enabled())) {
+    plan_active_ = true;
+    if (thread_prng().next_bool(kPlanSampleRate)) {
+      stats_weight_ = kPlanSampleWeight;
+    } else {
+      stats_on_ = false;  // this execution touches no shared statistics
+    }
+  }
+  if (stats_on_) {
+    exec_start_ticks_ = now_ticks();
+    granule_->stats.executions.inc_many(stats_weight_);
+  }
+}
+
+GranuleMd* CsExec::resolve_granule(ThreadCtx& tc) {
+  if (!fast_path_enabled()) return &md_.granule_for(tc.ctx);
+  GranuleCache& gc = tc.granule_cache;
+  const std::uint64_t gen = granule_cache_generation();
+  if (gen != gc.generation) {
+    gc.clear();
+    gc.generation = gen;
+  }
+  if (GranuleMd* cached = gc.lookup(&md_, tc.ctx)) return cached;
+  GranuleMd* g = &md_.granule_for(tc.ctx);
+  gc.insert(&md_, tc.ctx, g);
+  return g;
+}
+
+ExecMode CsExec::plan_choose() const noexcept {
+  // The policies' X/Y budget walk, replayed from the plan word in integer
+  // arithmetic (weights are /256 fixed-point, §4's lighter accounting of
+  // lock-acquisition aborts).
+  const unsigned effective_htm256 =
+      st_.htm_attempts * 256 +
+      st_.htm_locked_aborts * plan_.locked_abort_weight256();
+  if (plan_.htm() && st_.htm_eligible && effective_htm256 < plan_.x() * 256) {
+    return ExecMode::kHtm;
+  }
+  if (plan_.swopt() && st_.swopt_eligible &&
+      st_.swopt_attempts < plan_.y()) {
+    return ExecMode::kSwOpt;
+  }
+  return ExecMode::kLock;
+}
+
+void CsExec::before_conflicting() {
+  if (plan_active_) {
+    if (plan_.grouping()) grouping_wait(md_);
+  } else {
+    policy_->before_potentially_conflicting(md_);
+  }
+}
+
+void CsExec::swopt_retry_begin() {
+  if (plan_active_) {
+    if (plan_.grouping()) md_.swopt_retriers().arrive();
+  } else {
+    policy_->on_swopt_retry_begin(md_);
+  }
+}
+
+void CsExec::swopt_retry_end() {
+  if (plan_active_) {
+    if (plan_.grouping()) md_.swopt_retriers().depart();
+  } else {
+    policy_->on_swopt_retry_end(md_);
+  }
 }
 
 CsExec::~CsExec() {
@@ -118,7 +225,7 @@ void CsExec::cleanup_abandoned() noexcept {
 
 void CsExec::leave_swopt_sets() noexcept {
   if (swopt_retry_arrived_) {
-    policy_->on_swopt_retry_end(md_);
+    swopt_retry_end();
     swopt_retry_arrived_ = false;
   }
   if (swopt_present_arrived_) {
@@ -163,25 +270,33 @@ bool CsExec::arm() {
 
   for (;;) {
     st_.attempt_no++;
-    const ExecMode m = sanitize(policy_->choose_mode(st_, md_, *granule_));
+    const ExecMode m = sanitize(plan_active_
+                                    ? plan_choose()
+                                    : policy_->choose_mode(st_, md_, *granule_));
 
     switch (m) {
       case ExecMode::kHtm: {
         // Leaving SWOpt-retrier membership before a potentially
         // conflicting attempt; otherwise grouping would wait on ourselves.
         if (swopt_retry_arrived_) {
-          policy_->on_swopt_retry_end(md_);
+          swopt_retry_end();
           swopt_retry_arrived_ = false;
         }
         // §3.3 nesting pattern: a CS nested inside this thread's own SWOpt
         // execution of the same lock must not defer to SWOpt retriers (it
         // would be waiting for itself); grouping is skipped in that case.
-        if (thread_ctx().swopt_lock != &md_) {
-          policy_->before_potentially_conflicting(md_);
-        }
+        if (thread_ctx().swopt_lock != &md_) before_conflicting();
         if (!already_held_) wait_until_lock_free();
-        fail_sample_ = granule_->stats.of(ExecMode::kHtm).fail_time
-                           .maybe_start();
+        fail_sample_.reset();
+        if (stats_on_) {
+          // Plan-driven sampled executions time every failed attempt (the
+          // execution itself is the 1/rate sample); otherwise the
+          // SampledTime's own ~3% roll decides.
+          fail_sample_ = plan_active_
+                             ? std::optional<std::uint64_t>(now_ticks())
+                             : granule_->stats.of(ExecMode::kHtm)
+                                   .fail_time.maybe_start();
+        }
         const htm::BeginStatus bs = htm::tx_begin();
         // NOTE: with the RTM backend, a hardware abort during the body
         // resumes here with bs.state == kAborted (rollback revives this
@@ -212,7 +327,9 @@ bool CsExec::arm() {
 
       case ExecMode::kSwOpt: {
         st_.swopt_attempts++;
-        granule_->stats.of(ExecMode::kSwOpt).attempts.inc();
+        if (stats_on_) {
+          granule_->stats.of(ExecMode::kSwOpt).attempts.inc_many(stats_weight_);
+        }
         if (!swopt_present_arrived_) {
           md_.swopt_present_arrive();
           swopt_present_arrived_ = true;
@@ -228,15 +345,20 @@ bool CsExec::arm() {
 
       case ExecMode::kLock: {
         if (swopt_retry_arrived_) {
-          policy_->on_swopt_retry_end(md_);
+          swopt_retry_end();
           swopt_retry_arrived_ = false;
         }
-        granule_->stats.of(ExecMode::kLock).attempts.inc();
+        if (stats_on_) {
+          granule_->stats.of(ExecMode::kLock).attempts.inc_many(stats_weight_);
+        }
         if (!already_held_) {
-          if (thread_ctx().swopt_lock != &md_) {
-            policy_->before_potentially_conflicting(md_);
+          if (thread_ctx().swopt_lock != &md_) before_conflicting();
+          std::optional<std::uint64_t> wait_sample;
+          if (stats_on_) {
+            wait_sample = plan_active_
+                              ? std::optional<std::uint64_t>(now_ticks())
+                              : granule_->stats.lock_wait.maybe_start();
           }
-          const auto wait_sample = granule_->stats.lock_wait.maybe_start();
           api_->acquire(lock_);
           lock_acquired_ = true;
           if (wait_sample) granule_->stats.lock_wait.record_since(*wait_sample);
@@ -262,16 +384,20 @@ void CsExec::record_htm_abort(htm::AbortCause cause) {
   } else {
     st_.htm_attempts++;
   }
-  granule_->stats.of(ExecMode::kHtm).attempts.inc();
-  granule_->stats.abort_cause[static_cast<std::size_t>(cause)].inc();
-  if (fail_sample_) {
-    granule_->stats.of(ExecMode::kHtm).fail_time.record_since(*fail_sample_);
-    fail_sample_.reset();
+  if (stats_on_) {
+    granule_->stats.of(ExecMode::kHtm).attempts.inc_many(stats_weight_);
+    granule_->stats.abort_cause[static_cast<std::size_t>(cause)]
+        .inc_many(stats_weight_);
+    if (fail_sample_) {
+      granule_->stats.of(ExecMode::kHtm).fail_time.record_since(*fail_sample_);
+    }
   }
+  fail_sample_.reset();
   trace_engine_event(telemetry::EventKind::kHtmAbort, &md_, granule_,
                      ExecMode::kHtm, cause, 0,
                      st_.htm_attempts + st_.htm_locked_aborts);
-  policy_->on_htm_abort(md_, *granule_, cause);
+  // Plan contract: no policy learning callbacks while a plan is published.
+  if (!plan_active_) policy_->on_htm_abort(md_, *granule_, cause);
 }
 
 void CsExec::on_abort_exception(const htm::TxAbortException& e) {
@@ -283,7 +409,7 @@ void CsExec::on_abort_exception(const htm::TxAbortException& e) {
       record_htm_abort(e.cause);
       break;
     case ExecMode::kSwOpt: {
-      granule_->stats.swopt_failures.inc();
+      if (stats_on_) granule_->stats.swopt_failures.inc_many(stats_weight_);
       trace_engine_event(telemetry::EventKind::kSwOptFail, &md_, granule_,
                          ExecMode::kSwOpt, e.cause, 0,
                          st_.swopt_attempts);
@@ -294,10 +420,12 @@ void CsExec::on_abort_exception(const htm::TxAbortException& e) {
         swopt_given_up_ = true;
       }
       if (!swopt_retry_arrived_ && !swopt_given_up_) {
-        policy_->on_swopt_retry_begin(md_);
+        swopt_retry_begin();
         swopt_retry_arrived_ = true;
       }
-      policy_->on_swopt_fail(md_, *granule_);
+      // Plan contract: no policy learning callbacks while a plan is
+      // published (grouping SNZI membership is handled inline above).
+      if (!plan_active_) policy_->on_swopt_fail(md_, *granule_);
       break;
     }
     case ExecMode::kLock:
@@ -309,7 +437,14 @@ void CsExec::on_abort_exception(const htm::TxAbortException& e) {
 }
 
 void CsExec::swopt_failed() {
-  assert(mode_ == ExecMode::kSwOpt);
+  if (mode_ != ExecMode::kSwOpt) {
+    // Enforced contract (see engine.hpp): kRetrySwOpt / swopt_failed() is
+    // only legal from a SWOpt validation failure. Bodies must guard with
+    // in_swopt() / GET_EXEC_MODE before reporting one.
+    throw std::logic_error(
+        "ale: CsBody::kRetrySwOpt / CsExec::swopt_failed() called while not "
+        "in SWOpt mode; guard the retry with cs.in_swopt()");
+  }
   throw htm::TxAbortException{htm::AbortCause::kConflict, 0};
 }
 
@@ -348,21 +483,33 @@ void CsExec::finish() {
   }
 
   body_running_ = false;
-  const std::uint64_t elapsed = now_ticks() - exec_start_ticks_;
-  auto& mode_stats = granule_->stats.of(mode_);
-  mode_stats.successes.inc();
-  if (mode_ == ExecMode::kHtm) {
-    st_.htm_attempts++;  // the successful attempt
-    mode_stats.attempts.inc();
-  }
-  if (thread_prng().next_bool(SampledTime::kDefaultRate)) {
-    mode_stats.exec_time.record(elapsed);
+  std::uint64_t elapsed = 0;
+  if (stats_on_) {
+    elapsed = now_ticks() - exec_start_ticks_;
+    auto& mode_stats = granule_->stats.of(mode_);
+    mode_stats.successes.inc_many(stats_weight_);
+    if (mode_ == ExecMode::kHtm) {
+      st_.htm_attempts++;  // the successful attempt
+      mode_stats.attempts.inc_many(stats_weight_);
+    }
+    // Plan-driven sampled executions record their timing unconditionally
+    // (the execution itself is the ~3% sample); otherwise SampledTime's
+    // own roll decides.
+    if (plan_active_ || thread_prng().next_bool(SampledTime::kDefaultRate)) {
+      mode_stats.exec_time.record(elapsed);
+    }
+  } else if (mode_ == ExecMode::kHtm) {
+    st_.htm_attempts++;
   }
   trace_engine_event(telemetry::EventKind::kExecComplete, &md_, granule_,
                      mode_, htm::AbortCause::kNone, sat32(elapsed),
                      st_.attempt_no);
   leave_swopt_sets();
-  policy_->on_execution_complete(md_, *granule_, mode_, st_, elapsed);
+  // Plan contract: the notify bit keeps the completion callback (relearn
+  // counting, fault-injection nudges) even on plan-driven executions.
+  if (!plan_active_ || plan_.notify()) {
+    policy_->on_execution_complete(md_, *granule_, mode_, st_, elapsed);
+  }
   done_ = true;
 }
 

@@ -38,11 +38,20 @@
 // same obligation plain locks impose. Elided modes use try-acquisition
 // (emulated commit) or hardware subscription and cannot deadlock, but the
 // fallback always can if the program's nesting order is cyclic.
+// Hot path (converged fast path): the constructor resolves the granule
+// through the per-thread GranuleCache (core/thread_ctx.hpp) and snapshots
+// the granule's AttemptPlan with one relaxed load. When the plan is valid,
+// arm()/finish() drive the whole execution from the plan word — no virtual
+// policy calls, grouping handled inline, and statistics demoted to the
+// §4.3 ~3% sample rate (sampled executions record with weight 1/rate so
+// counter estimates stay unbiased). See core/attempt_plan.hpp for the
+// contract.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
+#include "core/attempt_plan.hpp"
 #include "core/granule.hpp"
 #include "core/lockmd.hpp"
 #include "core/policy_iface.hpp"
@@ -84,6 +93,14 @@ class CsExec {
 
   // SWOpt path detected interference: record and retry under policy
   // control (§3.2's "after notifying the library of the failed attempt").
+  //
+  // Contract (enforced, not folklore): this always throws, and it is only
+  // legal while exec_mode() == kSwOpt — i.e. from a SWOpt validation
+  // failure. Returning CsBody::kRetrySwOpt from a body that is NOT in
+  // SWOpt mode funnels here and throws std::logic_error: a conflict abort
+  // manufactured in Lock mode would otherwise escape the retry loop as a
+  // spurious TxAbortException after releasing the lock, which is never
+  // what the body meant.
   [[noreturn]] void swopt_failed();
 
   // §3.3 self-abort idiom: give up on SWOpt for this execution entirely
@@ -106,6 +123,19 @@ class CsExec {
   ExecMode sanitize(ExecMode m) const noexcept;
   void wait_until_lock_free() const noexcept;
 
+  // Granule resolution through the per-thread cache (falls back to the
+  // lock's hash table on miss or when the fast path is disabled).
+  GranuleMd* resolve_granule(ThreadCtx& tc);
+
+  // Plan-driven mode choice (mirrors the policies' X/Y budget walk).
+  ExecMode plan_choose() const noexcept;
+
+  // Policy-hook dispatchers: plan-driven executions handle grouping inline
+  // per the AttemptPlan contract; otherwise the virtual hook is called.
+  void before_conflicting();
+  void swopt_retry_begin();
+  void swopt_retry_end();
+
   const LockApi* api_;
   void* lock_;
   LockMd& md_;
@@ -117,6 +147,14 @@ class CsExec {
   LockMd* saved_swopt_lock_ = nullptr;
   ExecMode mode_ = ExecMode::kLock;
   AttemptState st_;
+
+  // Snapshot of the granule's plan at entry (immutable for this execution,
+  // so SNZI arrive/depart pairing stays consistent even if the plan is
+  // cleared concurrently).
+  AttemptPlan plan_;
+  bool plan_active_ = false;   // plan valid and fast path enabled
+  bool stats_on_ = true;       // false: plan-driven, unsampled — no stats
+  unsigned stats_weight_ = 1;  // 1/rate on sampled plan-driven executions
 
   std::uint64_t exec_start_ticks_ = 0;
   std::optional<std::uint64_t> fail_sample_;  // sampled failed-attempt timer

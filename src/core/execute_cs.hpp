@@ -1,0 +1,52 @@
+// execute_cs — the lambda/RAII form of the critical-section protocol.
+//
+// This is the raw-parts overload: the caller supplies the LockApi, the lock
+// pointer, the LockMd "label", and an explicit ScopeInfo. Most code should
+// prefer ale::ElidableLock (core/elidable_lock.hpp), which bundles the
+// first three and can default the scope from the call site; this form
+// remains the composition point for exotic setups (read/write views of one
+// RwSpinLock, locks owned by foreign code, one LockMd shared by several
+// lock instances).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "core/context.hpp"
+#include "core/engine.hpp"
+#include "core/lockmd.hpp"
+#include "sync/lockapi.hpp"
+
+namespace ale {
+
+// Execute one critical section under ALE. `body` is invoked once per
+// attempt with the CsExec (query cs.exec_mode() to select the SWOpt path);
+// it may return void or CsBody.
+//
+// A CsBody-returning body reports SWOpt validation failure by returning
+// CsBody::kRetrySwOpt, which funnels into cs.swopt_failed(). That call is
+// [[noreturn]] — it throws the retry abort — and it is only legal while
+// cs.in_swopt(); returning kRetrySwOpt from any other mode throws
+// std::logic_error (see CsExec::swopt_failed in core/engine.hpp).
+template <typename Body>
+void execute_cs(const LockApi* api, void* lock, LockMd& md,
+                const ScopeInfo& scope, Body&& body) {
+  CsExec cs(api, lock, md, scope);
+  while (cs.arm()) {
+    try {
+      if constexpr (std::is_void_v<std::invoke_result_t<Body&, CsExec&>>) {
+        body(cs);
+        cs.finish();
+      } else {
+        if (body(cs) == CsBody::kRetrySwOpt) {
+          cs.swopt_failed();  // [[noreturn]]: throws; handled below
+        }
+        cs.finish();
+      }
+    } catch (const htm::TxAbortException& abort) {
+      cs.on_abort_exception(abort);
+    }
+  }
+}
+
+}  // namespace ale

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <memory>
 
+#include "core/attempt_plan.hpp"
 #include "core/context.hpp"
 #include "core/mode.hpp"
 #include "core/policy_iface.hpp"
@@ -55,6 +56,20 @@ class GranuleMd {
 
   GranuleStats stats;
 
+  // Converged fast-path plan (core/attempt_plan.hpp). The engine reads it
+  // with one relaxed load per execution; the word is self-contained, so no
+  // ordering beyond the store-release on publication is needed. Policies
+  // publish after convergence and must clear before changing their mind.
+  AttemptPlan attempt_plan() const noexcept {
+    return AttemptPlan{plan_word_.load(std::memory_order_relaxed)};
+  }
+  void publish_attempt_plan(AttemptPlan plan) noexcept {
+    plan_word_.store(plan.word, std::memory_order_release);
+  }
+  void clear_attempt_plan() noexcept {
+    plan_word_.store(AttemptPlan::kInvalid, std::memory_order_release);
+  }
+
   // Policy-owned per-granule state, created lazily by the installed policy.
   PolicyGranuleState* policy_state(Policy& policy) {
     PolicyGranuleState* s = policy_state_.load(std::memory_order_acquire);
@@ -73,6 +88,7 @@ class GranuleMd {
  private:
   LockMd& lock_;
   const ContextNode* ctx_;
+  std::atomic<std::uint64_t> plan_word_{AttemptPlan::kInvalid};
   std::atomic<PolicyGranuleState*> policy_state_{nullptr};
 };
 

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "core/thread_ctx.hpp"
+
 namespace ale {
 
 namespace {
@@ -34,6 +36,19 @@ LockMd::~LockMd() {
     delete slot.load(std::memory_order_acquire);
   }
   delete policy_state_.load(std::memory_order_acquire);
+  // A later LockMd could be allocated at this address; invalidate every
+  // per-thread granule cache so no thread serves a freed (or recycled)
+  // GranuleMd* for this lock pointer. Threads observe the bump through the
+  // same publication that hands them the new lock (see thread_ctx.hpp).
+  bump_granule_cache_generation();
+}
+
+void LockMd::set_policy(Policy* p) {
+  policy_override_.store(p, std::memory_order_release);
+  // Plans baked from the old policy's decisions are now stale; clear them
+  // and invalidate the per-thread caches so in-flight threads re-resolve.
+  for_each_granule([](GranuleMd& g) { g.clear_attempt_plan(); });
+  bump_granule_cache_generation();
 }
 
 GranuleMd& LockMd::granule_for(const ContextNode* ctx) {
@@ -129,6 +144,13 @@ Policy& global_policy() noexcept { return *global_policy_slot(); }
 void set_global_policy(std::unique_ptr<Policy> policy) {
   if (policy == nullptr) policy = std::make_unique<LockOnlyPolicy>();
   global_policy_slot() = std::move(policy);
+  // Every lock resolving to the global policy may hold plans baked from the
+  // old policy's decisions: clear them all and invalidate the per-thread
+  // granule caches (core/attempt_plan.hpp contract).
+  for_each_lock_md([](LockMd& md) {
+    md.for_each_granule([](GranuleMd& g) { g.clear_attempt_plan(); });
+  });
+  bump_granule_cache_generation();
 }
 
 }  // namespace ale

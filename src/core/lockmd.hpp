@@ -66,9 +66,10 @@ class LockMd {
     return p != nullptr ? *p : global_policy();
   }
   // Caller keeps ownership; pass nullptr to revert to the global policy.
-  void set_policy(Policy* p) noexcept {
-    policy_override_.store(p, std::memory_order_release);
-  }
+  // Also clears any published AttemptPlans for this lock and bumps the
+  // per-thread granule-cache generation so executions re-consult the new
+  // policy (core/attempt_plan.hpp contract).
+  void set_policy(Policy* p);
 
   PolicyLockState* policy_state(Policy& policy);
 

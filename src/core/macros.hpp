@@ -45,6 +45,16 @@
   }
 
 // Paper-shaped variants. `md` is the lock's ale::LockMd (the "label").
+// The full matrix of §4.1's "unless the programmer explicitly prohibits one
+// or both" elision kinds (each with a _NAMED form that names the scope):
+//
+//                       HTM allowed                HTM prohibited
+//   no SWOpt path       ALE_BEGIN_CS               ALE_BEGIN_CS_NO_HTM
+//   SWOpt path exists   ALE_BEGIN_CS_SWOPT         ALE_BEGIN_CS_SWOPT_NO_HTM
+//
+// (Prohibiting both SWOpt and HTM is just ALE_BEGIN_CS_NO_HTM: the section
+// always runs under the lock, but still participates in statistics,
+// context tracking, and grouping.)
 #define ALE_BEGIN_CS(api, lockp, md) \
   ALE_DETAIL_BEGIN_CS(api, lockp, md, #md, false, true)
 #define ALE_BEGIN_CS_SWOPT(api, lockp, md) \
@@ -53,10 +63,18 @@
   ALE_DETAIL_BEGIN_CS(api, lockp, md, name, false, true)
 #define ALE_BEGIN_CS_SWOPT_NAMED(api, lockp, md, name) \
   ALE_DETAIL_BEGIN_CS(api, lockp, md, name, true, true)
-// Programmer prohibits HTM at this site (§4.1's "unless the programmer
-// explicitly prohibits one or both").
+// Programmer prohibits HTM at this site.
 #define ALE_BEGIN_CS_NO_HTM(api, lockp, md) \
   ALE_DETAIL_BEGIN_CS(api, lockp, md, #md, false, false)
+#define ALE_BEGIN_CS_NO_HTM_NAMED(api, lockp, md, name) \
+  ALE_DETAIL_BEGIN_CS(api, lockp, md, name, false, false)
+// SWOpt path exists AND HTM is prohibited — e.g. a section whose SWOpt
+// validation is sound but whose body performs an HTM-unfriendly operation
+// (syscall, huge write set) that would abort every transaction anyway.
+#define ALE_BEGIN_CS_SWOPT_NO_HTM(api, lockp, md) \
+  ALE_DETAIL_BEGIN_CS(api, lockp, md, #md, true, false)
+#define ALE_BEGIN_CS_SWOPT_NO_HTM_NAMED(api, lockp, md, name) \
+  ALE_DETAIL_BEGIN_CS(api, lockp, md, name, true, false)
 
 #define ALE_GET_EXEC_MODE() (ALE_CS_VAR.exec_mode())
 #define ALE_SWOPT_FAILED() (ALE_CS_VAR.swopt_failed())

@@ -4,6 +4,8 @@
 // and SWOpt ownership (used by the §4.1 nesting restrictions).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "core/context.hpp"
@@ -11,7 +13,65 @@
 namespace ale {
 
 class CsExec;
+class GranuleMd;
 class LockMd;
+
+// Per-thread memo of (LockMd, context) → GranuleMd resolutions. In steady
+// state every critical-section entry would otherwise walk the lock's
+// granule hash table; a thread typically touches the same few (lock,
+// context) pairs over and over, so a tiny direct-mapped cache answers
+// almost every lookup with two pointer compares and no shared memory.
+//
+// Invalidation is epoch-based: anything that could make a cached GranuleMd*
+// stale (destroying a LockMd — the only event that frees granules — or
+// reinstalling a policy, globally or per lock) bumps the process-wide
+// generation; each thread compares its cached generation against the global
+// one (one relaxed atomic load) on entry and drops the whole cache on
+// mismatch. Visibility is guaranteed without stronger ordering because a
+// thread can only reach a *new* LockMd through some synchronizing
+// publication of it, which carries the preceding generation bump along.
+struct GranuleCache {
+  static constexpr std::size_t kSlots = 16;  // power of two (direct-mapped)
+
+  struct Entry {
+    const LockMd* lock = nullptr;
+    const ContextNode* ctx = nullptr;
+    GranuleMd* granule = nullptr;
+  };
+
+  std::uint64_t generation = 0;
+  std::array<Entry, kSlots> entries{};
+
+  static std::size_t slot_of(const LockMd* lock,
+                             const ContextNode* ctx) noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(lock);
+    const auto b = reinterpret_cast<std::uintptr_t>(ctx);
+    const std::uint64_t h = (a * 0x9e3779b97f4a7c15ULL) ^
+                            (b * 0xda942042e4dd58b5ULL);
+    return static_cast<std::size_t>(h >> 32) & (kSlots - 1);
+  }
+
+  GranuleMd* lookup(const LockMd* lock, const ContextNode* ctx) noexcept {
+    const Entry& e = entries[slot_of(lock, ctx)];
+    return (e.lock == lock && e.ctx == ctx) ? e.granule : nullptr;
+  }
+  void insert(const LockMd* lock, const ContextNode* ctx,
+              GranuleMd* granule) noexcept {
+    entries[slot_of(lock, ctx)] = Entry{lock, ctx, granule};
+  }
+  void clear() noexcept { entries.fill(Entry{}); }
+};
+
+// The global invalidation epoch the per-thread caches compare against.
+std::uint64_t granule_cache_generation() noexcept;
+void bump_granule_cache_generation() noexcept;
+
+// Hot-path overhaul kill switch: when off, the engine resolves granules
+// through the hash table and ignores published AttemptPlans, reproducing
+// the pre-overhaul per-attempt costs. Initialized from ALE_FAST_PATH
+// (default on); settable at runtime for A/B measurement (bench/perf_gate).
+bool fast_path_enabled() noexcept;
+void set_fast_path_enabled(bool enabled) noexcept;
 
 struct ThreadCtx {
   // Frames of in-flight ALE critical sections, innermost last. A critical
@@ -24,6 +84,9 @@ struct ThreadCtx {
   // The lock for which this thread is currently executing a SWOpt path,
   // if any (§4.1: SWOpt is ineligible for a different lock's CS).
   LockMd* swopt_lock = nullptr;
+
+  // Memoized granule resolutions (see GranuleCache above).
+  GranuleCache granule_cache;
 
   ContextNode* context() {
     if (ctx == nullptr) ctx = &context_root();

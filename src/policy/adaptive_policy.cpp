@@ -117,9 +117,14 @@ ExecMode AdaptivePolicy::choose_mode(const AttemptState& st, LockMd& md,
         gs.x_current.load(std::memory_order_relaxed), st);
   }
   if (major == AdaptiveLockState::kCustom || ls.use_custom.load()) {
-    return choose_for_progression(
-        static_cast<Progression>(gs.final_prog.load()),
-        gs.final_x.load(std::memory_order_relaxed), st);
+    const auto prog = static_cast<Progression>(gs.final_prog.load());
+    const std::uint32_t x = gs.final_x.load(std::memory_order_relaxed);
+    // Publish only once converged — the Custom phase is still measuring and
+    // needs every execution routed through on_execution_complete.
+    if (major == AdaptiveLockState::kConverged) {
+      maybe_publish_plan(g, prog, x);
+    }
+    return choose_for_progression(prog, x, st);
   }
   // Converged on a uniform progression. A granule that never learned an X
   // gets the default budget; a learned 0 stands — it means the granule
@@ -132,7 +137,23 @@ ExecMode AdaptivePolicy::choose_mode(const AttemptState& st, LockMd& md,
     x = (best == Progression::kHL || best == Progression::kAll) ? kDefaultX
                                                                 : 0;
   }
+  maybe_publish_plan(g, best, x);
   return choose_for_progression(best, x, st);
+}
+
+void AdaptivePolicy::maybe_publish_plan(GranuleMd& g, Progression prog,
+                                        std::uint32_t x) {
+  if (g.attempt_plan().valid()) return;  // already published
+  // Probabilistic grouping respect keeps a per-attempt PRNG decision inside
+  // the policy; such configurations stay on the virtual path.
+  if (cfg_.grouping && cfg_.grouping_respect_probability < 1.0) return;
+  const bool htm_in = prog == Progression::kHL || prog == Progression::kAll;
+  const bool swopt_in = prog == Progression::kSL || prog == Progression::kAll;
+  const bool notify = cfg_.relearn_after > 0 || inject::enabled();
+  const auto weight256 = static_cast<unsigned>(
+      cfg_.locked_abort_weight * 256.0 + 0.5);
+  g.publish_attempt_plan(AttemptPlan::make(htm_in, swopt_in, x, cfg_.y_large,
+                                           cfg_.grouping, weight256, notify));
 }
 
 void AdaptivePolicy::on_htm_abort(LockMd&, GranuleMd&, htm::AbortCause) {}
@@ -165,6 +186,14 @@ void AdaptivePolicy::on_execution_complete(LockMd& md, GranuleMd& g,
     // The snapshot above is stale after a nudge; drop this execution's
     // sample instead of attributing it to whichever phase we left.
     if (nudged) return;
+  }
+
+  // Self-heal a publish/restart race: a thread that read the converged
+  // phase just before restart_learning() cleared the plans may republish a
+  // stale plan afterwards. Any plan observed while not converged is stale
+  // by definition — retract it (one relaxed load on the learning path).
+  if (major != AdaptiveLockState::kConverged && g.attempt_plan().valid()) {
+    g.clear_attempt_plan();
   }
 
   if (major == AdaptiveLockState::kConverged) {
@@ -435,6 +464,9 @@ void AdaptivePolicy::restart_learning(LockMd& md, AdaptiveLockState& ls,
   ls.custom_time.reset();
   ls.use_custom.store(false, std::memory_order_relaxed);
   md.for_each_granule([&](GranuleMd& g) {
+    // Learning restarts: retract the converged fast-path plan first so the
+    // engine routes every execution back through choose_mode.
+    g.clear_attempt_plan();
     AdaptiveGranuleState& gs = granule_state(g);
     gs.phase_execs.store(0, std::memory_order_relaxed);
     gs.hist.reset();

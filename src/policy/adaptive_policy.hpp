@@ -217,6 +217,11 @@ class AdaptivePolicy final : public Policy {
 
   ExecMode choose_for_progression(Progression prog, std::uint32_t x,
                                   const AttemptState& st) const;
+  // Converged fast path: lazily bake the (progression, X) decision into the
+  // granule's AttemptPlan so the engine can skip this policy entirely
+  // (core/attempt_plan.hpp). No-op when a plan is already published or when
+  // the configuration needs per-attempt policy involvement.
+  void maybe_publish_plan(GranuleMd& g, Progression prog, std::uint32_t x);
   std::uint32_t first_major() const;
   std::uint32_t next_major(std::uint32_t major) const;
   void maybe_advance(LockMd& md, AdaptiveLockState& ls,

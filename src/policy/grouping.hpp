@@ -1,49 +1,7 @@
-// The grouping mechanism (§4.2): "we employ a grouping mechanism that
-// attempts to run executions of SWOpt paths associated with the same lock
-// concurrently, while delaying the execution of critical sections that may
-// conflict with them. The grouping mechanism uses a scalable non-zero
-// indicator (SNZI) to track whether any threads executing SWOpt are
-// retrying. If so, executions that potentially conflict with SWOpt
-// executions wait for the SNZI to indicate that all such SWOpt executions
-// have completed."
-//
-// The wait is bounded (a misbehaving nest cannot stall the process) and can
-// be respected probabilistically — the paper sketches that as future work;
-// we expose the probability as a knob with the deterministic behaviour
-// (p = 1.0) as the default.
+// The grouping mechanism (§4.2). The wait loop itself lives in
+// core/grouping_wait.hpp so the engine's converged fast path can perform it
+// without a virtual policy call; this header remains the policy-side entry
+// point (policies include policy/, not core internals).
 #pragma once
 
-#include "common/prng.hpp"
-#include "core/lockmd.hpp"
-#include "sync/backoff.hpp"
-#include "telemetry/trace.hpp"
-
-namespace ale {
-
-inline constexpr unsigned kGroupingMaxWaitRounds = 4096;
-
-// Returns the number of backoff rounds actually waited (0 when the SNZI was
-// clear or the probabilistic respect roll skipped the wait), so callers and
-// the decision trace can observe deferral behaviour.
-inline unsigned grouping_wait(LockMd& md, double respect_probability = 1.0) {
-  if (!md.swopt_retriers().query()) return 0;
-  if (respect_probability < 1.0 &&
-      !thread_prng().next_bool(respect_probability)) {
-    return 0;
-  }
-  Backoff backoff;
-  unsigned round = 0;
-  for (; round < kGroupingMaxWaitRounds && md.swopt_retriers().query();
-       ++round) {
-    backoff.pause();
-  }
-  if (round > 0 && telemetry::trace_enabled() && telemetry::trace_sampled()) {
-    telemetry::trace_emit(telemetry::TraceEvent{
-        .lock = &md,
-        .aux32 = round,
-        .kind = telemetry::EventKind::kGroupingDefer});
-  }
-  return round;
-}
-
-}  // namespace ale
+#include "core/grouping_wait.hpp"

@@ -1,0 +1,112 @@
+// ElidableLock, the front-door API (core/elidable_lock.hpp): bundled
+// lock+metadata, explicit- and call-site-scoped elide(), the execute_cs
+// overloads over it, and the enforced kRetrySwOpt contract.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "sync/ticketlock.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct ElidableLockTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+};
+
+TEST_F(ElidableLockTest, ElideWithExplicitScope) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  ElidableLock<> lock("elidable.basic");
+  static ScopeInfo scope("increment");
+  std::uint64_t cell = 0;
+  for (int i = 0; i < 100; ++i) {
+    lock.elide(scope, [&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+  }
+  EXPECT_EQ(cell, 100u);
+  EXPECT_FALSE(lock.raw_lock().is_locked());
+  EXPECT_EQ(lock.name(), "elidable.basic");
+}
+
+TEST_F(ElidableLockTest, CallSiteScopesAreDistinctGranules) {
+  ElidableLock<> lock("elidable.sites");
+  std::uint64_t cell = 0;
+  lock.elide([&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+  lock.elide([&](CsExec&) { tx_store(cell, tx_load(cell) + 2); });
+  EXPECT_EQ(cell, 3u);
+
+  // Two call sites → two scopes → two granules, each labelled file:line.
+  int granules = 0;
+  bool labels_ok = true;
+  lock.md().for_each_granule([&](GranuleMd& g) {
+    ++granules;
+    const std::string label = g.context()->scope()->label;
+    if (label.find("test_elidable_lock.cpp:") == std::string::npos) {
+      labels_ok = false;
+    }
+  });
+  EXPECT_EQ(granules, 2);
+  EXPECT_TRUE(labels_ok);
+}
+
+TEST_F(ElidableLockTest, CsBodyReturningBodyInfersSwOptScope) {
+  // No HTM, SWOpt allowed: a CsBody-returning body must be offered SWOpt.
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 3;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  ElidableLock<> lock("elidable.swopt");
+  int swopt_seen = 0;
+  std::uint64_t cell = 0;
+  lock.elide([&](CsExec& cs) -> CsBody {
+    if (cs.in_swopt()) {
+      ++swopt_seen;
+      (void)tx_load(cell);
+      return CsBody::kDone;
+    }
+    tx_store(cell, tx_load(cell) + 1);
+    return CsBody::kDone;
+  });
+  EXPECT_EQ(swopt_seen, 1);  // SWOpt path taken on the first attempt
+}
+
+TEST_F(ElidableLockTest, ExecuteCsOverloads) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  ElidableLock<> lock("elidable.execute_cs");
+  static ScopeInfo scope("named");
+  std::uint64_t cell = 0;
+  execute_cs(lock, scope, [&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+  execute_cs(lock, [&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+  EXPECT_EQ(cell, 2u);
+}
+
+TEST_F(ElidableLockTest, WorksWithTicketLock) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  ElidableLock<TicketLock> lock("elidable.ticket");
+  alignas(64) std::uint64_t cell = 0;
+  test::run_threads(4, [&](unsigned) {
+    for (int i = 0; i < 2000; ++i) {
+      lock.elide([&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+    }
+  });
+  EXPECT_EQ(cell, 8000u);
+}
+
+// The enforced contract: kRetrySwOpt outside SWOpt mode is a logic error,
+// not a silent spurious abort (see CsExec::swopt_failed).
+TEST_F(ElidableLockTest, RetrySwOptOutsideSwOptModeThrowsLogicError) {
+  // LockOnly policy: the body always runs in Lock mode.
+  test::PolicyInstaller p(std::make_unique<LockOnlyPolicy>());
+  ElidableLock<> lock("elidable.contract");
+  EXPECT_THROW(
+      lock.elide([&](CsExec&) -> CsBody { return CsBody::kRetrySwOpt; }),
+      std::logic_error);
+  // The abandoned-frame cleanup must have released the lock.
+  EXPECT_FALSE(lock.raw_lock().is_locked());
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,147 @@
+// The per-thread granule cache (core/thread_ctx.hpp): steady-state attempts
+// must resolve the same GranuleMd the lock's hash table would, and every
+// event that could make a cached pointer stale — policy reinstall (global
+// or per lock) and LockMd destruction — must invalidate it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct GranuleCacheTest : ::testing::Test {
+  void SetUp() override {
+    test::use_emulated_ideal();
+    set_fast_path_enabled(true);
+  }
+  void TearDown() override {
+    set_global_policy(nullptr);
+    set_fast_path_enabled(true);
+  }
+};
+
+// The engine's cached resolution must agree with the direct table lookup.
+TEST_F(GranuleCacheTest, CachedResolutionMatchesDirectLookup) {
+  TatasLock lock;
+  LockMd md("cache.match");
+  static ScopeInfo scope("cs");
+  std::uint64_t cell = 0;
+  GranuleMd* seen = nullptr;
+  for (int i = 0; i < 100; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+      seen = cs.granule();
+      tx_store(cell, tx_load(cell) + 1);
+    });
+  }
+  ASSERT_NE(seen, nullptr);
+  ContextNode* node = context_root().child(&scope);
+  EXPECT_EQ(seen, &md.granule_for(node));
+  EXPECT_EQ(cell, 100u);
+}
+
+TEST_F(GranuleCacheTest, GenerationBumpsOnInvalidationEvents) {
+  const std::uint64_t g0 = granule_cache_generation();
+
+  set_global_policy(std::make_unique<LockOnlyPolicy>());
+  const std::uint64_t g1 = granule_cache_generation();
+  EXPECT_GT(g1, g0);
+
+  StaticPolicy local;
+  {
+    LockMd md("cache.gen");
+    md.set_policy(&local);
+    const std::uint64_t g2 = granule_cache_generation();
+    EXPECT_GT(g2, g1);
+    md.set_policy(nullptr);
+    EXPECT_GT(granule_cache_generation(), g2);
+  }
+  // LockMd destruction frees its granules: must invalidate too.
+  EXPECT_GT(granule_cache_generation(), g1 + 2);
+}
+
+// Destroying a LockMd and creating another that is used at the *same* call
+// site (same context) must never serve the old lock's granule.
+TEST_F(GranuleCacheTest, LockMdRecycleNeverServesStaleGranule) {
+  TatasLock lock;
+  static ScopeInfo scope("cs.recycle");
+  std::uint64_t cell = 0;
+  auto run_once = [&](LockMd& md) {
+    GranuleMd* seen = nullptr;
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+      seen = cs.granule();
+      tx_store(cell, tx_load(cell) + 1);
+    });
+    return seen;
+  };
+
+  auto md1 = std::make_unique<LockMd>("cache.recycle.a");
+  (void)run_once(*md1);
+  md1.reset();  // frees granules, bumps the generation
+
+  auto md2 = std::make_unique<LockMd>("cache.recycle.b");
+  GranuleMd* resolved = run_once(*md2);
+  ContextNode* node = context_root().child(&scope);
+  EXPECT_EQ(resolved, &md2->granule_for(node));
+}
+
+// Policy reinstall mid-run, many threads: no execution may ever observe a
+// granule the current table would not serve, and the counter must stay
+// exact. Exercised under -DALE_SANITIZE=thread in CI.
+TEST_F(GranuleCacheTest, ConcurrentPolicyReinstallServesFreshGranules) {
+  TatasLock lock;
+  LockMd md("cache.concurrent");
+  static ScopeInfo scope("cs.concurrent");
+  StaticPolicy a{StaticPolicyConfig{.x = 3, .y = 0}};
+  StaticPolicy b{StaticPolicyConfig{.x = 0, .y = 0, .use_htm = false}};
+  alignas(64) std::uint64_t cell = 0;
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 4000;
+  std::atomic<bool> stop{false};
+
+  std::thread toggler([&] {
+    int round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      switch (round++ % 3) {
+        case 0: md.set_policy(&a); break;
+        case 1: md.set_policy(&b); break;
+        default: md.set_policy(nullptr); break;
+      }
+    }
+    md.set_policy(nullptr);
+  });
+
+  test::run_threads(kThreads, [&](unsigned) {
+    for (int i = 0; i < kPerThread; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope, [&](CsExec& cs) {
+        // The granule the engine resolved must be one this lock owns.
+        EXPECT_EQ(&cs.granule()->lock_md(), &md);
+        tx_store(cell, tx_load(cell) + 1);
+      });
+    }
+  });
+  stop.store(true);
+  toggler.join();
+  EXPECT_EQ(cell, kThreads * static_cast<std::uint64_t>(kPerThread));
+}
+
+// The kill switch routes everything through the hash table again.
+TEST_F(GranuleCacheTest, FastPathDisableStillCorrect) {
+  set_fast_path_enabled(false);
+  TatasLock lock;
+  LockMd md("cache.disabled");
+  static ScopeInfo scope("cs.disabled");
+  std::uint64_t cell = 0;
+  for (int i = 0; i < 50; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+               [&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+  }
+  EXPECT_EQ(cell, 50u);
+}
+
+}  // namespace
+}  // namespace ale

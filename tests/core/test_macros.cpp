@@ -147,5 +147,60 @@ TEST_F(MacroTest, NoHtmVariantProhibitsHtm) {
   EXPECT_EQ(seen, ExecMode::kLock);
 }
 
+// §4.1's full matrix: SWOpt allowed while HTM is prohibited. The section
+// must go straight to SWOpt — never HTM — and retry under the Y budget.
+TEST_F(MacroTest, SwOptNoHtmVariantUsesSwOptNeverHtm) {
+  StaticPolicyConfig cfg;
+  cfg.y = 3;  // use_htm stays true: the *scope* must do the prohibiting
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("macro.swopt_nohtm");
+  int swopt_tries = 0;
+  ExecMode final_mode = ExecMode::kHtm;
+  ALE_BEGIN_CS_SWOPT_NO_HTM(lock_api<TatasLock>(), &lock, md);
+  EXPECT_NE(ALE_GET_EXEC_MODE(), ExecMode::kHtm);
+  final_mode = ALE_GET_EXEC_MODE();
+  if (ALE_GET_EXEC_MODE() == ExecMode::kSwOpt) {
+    ++swopt_tries;
+    ALE_SWOPT_FAILED();
+  }
+  ALE_END_CS();
+  EXPECT_EQ(swopt_tries, 3);  // the whole Y budget, then the lock
+  EXPECT_EQ(final_mode, ExecMode::kLock);
+}
+
+TEST_F(MacroTest, SwOptNoHtmNamedVariantSeparatesScopes) {
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  TatasLock lock;
+  LockMd md("macro.swopt_nohtm_named");
+  for (int i = 0; i < 2; ++i) {
+    if (i == 0) {
+      ALE_BEGIN_CS_SWOPT_NO_HTM_NAMED(lock_api<TatasLock>(), &lock, md,
+                                      "siteA");
+      ALE_END_CS();
+    } else {
+      ALE_BEGIN_CS_SWOPT_NO_HTM_NAMED(lock_api<TatasLock>(), &lock, md,
+                                      "siteB");
+      ALE_END_CS();
+    }
+  }
+  int granules = 0;
+  md.for_each_granule([&](GranuleMd&) { ++granules; });
+  EXPECT_EQ(granules, 2);
+}
+
+TEST_F(MacroTest, NoHtmNamedVariant) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  TatasLock lock;
+  LockMd md("macro.nohtm_named");
+  ExecMode seen = ExecMode::kHtm;
+  ALE_BEGIN_CS_NO_HTM_NAMED(lock_api<TatasLock>(), &lock, md, "pinned");
+  seen = ALE_GET_EXEC_MODE();
+  ALE_END_CS();
+  EXPECT_EQ(seen, ExecMode::kLock);
+}
+
 }  // namespace
 }  // namespace ale

