@@ -93,8 +93,9 @@ int main() {
 
     std::uint64_t fails = 0, succ = 0;
     map.lock_md().for_each_granule([&](GranuleMd& g) {
-      fails += g.stats.swopt_failures.read();
-      succ += g.stats.of(ExecMode::kSwOpt).successes.read();
+      const GranuleTotals t = g.stats.fold();
+      fails += t.swopt_failures;
+      succ += t.of(ExecMode::kSwOpt).successes;
     });
     std::printf("  %-16s%14.0f%18.4f\n",
                 grouping ? "grouping ON" : "grouping OFF", rate,

@@ -54,8 +54,9 @@ int main() {
 
     std::uint64_t fails = 0, succ = 0;
     map.lock_md().for_each_granule([&](GranuleMd& g) {
-      fails += g.stats.swopt_failures.read();
-      succ += g.stats.of(ExecMode::kSwOpt).successes.read();
+      const GranuleTotals t = g.stats.fold();
+      fails += t.swopt_failures;
+      succ += t.of(ExecMode::kSwOpt).successes;
     });
     std::printf("  %-22s%14.0f%16llu%16llu\n",
                 per_bucket ? "per-bucket indicators" : "single tblVer",

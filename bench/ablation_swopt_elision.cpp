@@ -60,9 +60,10 @@ int main() {
 
     std::uint64_t succ = 0, aborts = 0;
     md.for_each_granule([&](GranuleMd& g) {
-      succ += g.stats.of(ExecMode::kHtm).successes.read();
+      const GranuleTotals t = g.stats.fold();
+      succ += t.of(ExecMode::kHtm).successes;
       for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
-        aborts += g.stats.abort_cause[c].read();
+        aborts += t.abort_cause[c];
       }
     });
     std::printf("  %-22s%14.0f%14llu%14llu\n",

@@ -38,8 +38,9 @@ double real_wicked_run(const std::string& policy_spec, unsigned threads,
     std::uint64_t swopt = 0, total = 0;
     db.method_lock_md().for_each_granule([&](GranuleMd& g) {
       if (g.context()->path().find("get.outer") == std::string::npos) return;
-      swopt += g.stats.of(ExecMode::kSwOpt).successes.read();
-      total += g.stats.executions.read();
+      const GranuleTotals t = g.stats.fold();
+      swopt += t.of(ExecMode::kSwOpt).successes;
+      total += t.executions;
     });
     *swopt_share_out =
         total > 0 ? static_cast<double>(swopt) / static_cast<double>(total)

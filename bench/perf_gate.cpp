@@ -1,15 +1,17 @@
 // perf_gate — the hot-path regression gate.
 //
 // Measures (a) single-thread uncontended critical-section latency and
-// (b) contended throughput at 1/4/8 threads, for the three execution
-// regimes (lock-only, static elision, adaptive), plus the converged
-// adaptive path with the fast path toggled OFF and ON — the A/B that
-// quantifies the hot-path overhaul (granule cache + AttemptPlan).
+// (b) a contended throughput scaling curve at 1/2/4/8 threads, for the
+// three execution regimes (lock-only, static elision, adaptive), plus the
+// converged adaptive path with the fast path toggled OFF and ON — the A/B
+// that quantifies the hot-path overhaul (granule cache + AttemptPlan).
 //
 // Emits BENCH_perf-style JSON with the run seed in the header. Absolute
 // numbers vary wildly across hosts/runners, so the CI gate checks only the
-// "gated" block of *ratios* (dimensionless, lower is better) against a
-// committed baseline with a tolerance.
+// "gated" block of *ratios* (dimensionless) against a committed baseline
+// with a tolerance. Latency ratios are lower-is-better; "scaling."-prefixed
+// ratios (t8 throughput over t1 — the contended-path scalability signal)
+// are higher-is-better, and the gate flips direction accordingly.
 //
 //   usage: perf_gate [--out FILE] [--baseline FILE] [--tolerance 0.15]
 //                    [--iters N] [--seconds S]
@@ -158,8 +160,9 @@ int main(int argc, char** argv) {
   set_fast_path_enabled(true);
   metrics["uncontended_ns.adaptive_fastpath_on"] = uncontended_ns(iters);
 
-  // --- contended throughput (informational; host-dependent) ---
-  for (const unsigned t : {1u, 4u, 8u}) {
+  // --- contended throughput scaling curve (absolute ops are
+  // informational/host-dependent; the t8/t1 ratios below are gated) ---
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
     bench::install_policy_spec("lockonly");
     metrics["contended_ops.t" + std::to_string(t) + ".lockonly"] =
         contended_ops(t, seconds);
@@ -184,6 +187,15 @@ int main(int argc, char** argv) {
   gated["ratio_uncontended_adaptive_on_vs_off"] = on_ns / off_ns;
   gated["ratio_uncontended_static_vs_lockonly"] =
       metrics["uncontended_ns.static_all_5_3"] / lockonly_ns;
+  // Scaling ratios: contended throughput retained going from 1 to 8
+  // threads. Higher is better — the gate direction flips on the prefix.
+  for (const char* pol : {"lockonly", "static_all_5_3", "adaptive"}) {
+    const double t1 = metrics[std::string("contended_ops.t1.") + pol];
+    const double t8 = metrics[std::string("contended_ops.t8.") + pol];
+    if (t1 > 0.0) {
+      gated[std::string("scaling.t8_over_t1.") + pol] = t8 / t1;
+    }
+  }
 
   // --- report ---
   std::printf("\n  %-46s %14s\n", "metric", "value");
@@ -246,8 +258,12 @@ int main(int argc, char** argv) {
       std::printf("  gate: %-44s (no baseline; skipped)\n", k.c_str());
       continue;
     }
-    const double limit = was * (1.0 + tolerance);
-    const bool pass = now <= limit;
+    // "scaling." ratios are throughput retention (higher is better); the
+    // latency ratios are overhead (lower is better).
+    const bool higher_is_better = k.rfind("scaling.", 0) == 0;
+    const double limit = higher_is_better ? was * (1.0 - tolerance)
+                                          : was * (1.0 + tolerance);
+    const bool pass = higher_is_better ? now >= limit : now <= limit;
     std::printf("  gate: %-44s now %.4f vs base %.4f (limit %.4f) %s\n",
                 k.c_str(), now, was, limit, pass ? "OK" : "REGRESSION");
     ok = ok && pass;

@@ -50,7 +50,7 @@ constexpr Scenario kScenarios[] = {
 std::uint64_t successes(LockMd& md, ExecMode m) {
   std::uint64_t total = 0;
   md.for_each_granule(
-      [&](GranuleMd& g) { total += g.stats.of(m).successes.read(); });
+      [&](GranuleMd& g) { total += g.stats.fold().of(m).successes; });
   return total;
 }
 

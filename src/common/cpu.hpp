@@ -22,6 +22,12 @@ inline void cpu_pause() noexcept {
 #endif
 }
 
+// Canonical spin-wait relaxation used by every retry/backoff loop in the
+// library (sync/, stats/, core/). An alias of cpu_pause() today; kept as a
+// distinct name so the spin-wait idiom is greppable and the hint can grow
+// (e.g. TPAUSE/WFE) without touching every loop.
+inline void cpu_relax() noexcept { cpu_pause(); }
+
 // Runtime check for Intel RTM (Restricted Transactional Memory) support.
 // CPUID.07H:EBX.RTM[bit 11]. Returns false on non-x86 builds.
 bool cpu_has_rtm() noexcept;

@@ -138,7 +138,7 @@ CsExec::CsExec(const LockApi* api, void* lock, LockMd& md,
   }
   if (stats_on_) {
     exec_start_ticks_ = now_ticks();
-    granule_->stats.executions.inc_many(stats_weight_);
+    pending_.executions = stats_weight_;
   }
 }
 
@@ -207,7 +207,11 @@ CsExec::~CsExec() {
 
 void CsExec::cleanup_abandoned() noexcept {
   // A non-transactional exception escaped the body: unwind whatever this
-  // frame owns so the exception can propagate safely.
+  // frame owns so the exception can propagate safely. Deltas gathered so
+  // far (the execution began, attempts happened) still count.
+  if (stats_on_ && granule_ != nullptr) {
+    thread_ctx().stat_deltas.commit(granule_, pending_);
+  }
   if (mode_ == ExecMode::kLock && lock_acquired_) {
     api_->release(lock_);
     lock_acquired_ = false;
@@ -247,7 +251,10 @@ void CsExec::wait_until_lock_free() const noexcept {
   // transaction while the lock is held would abort immediately and waste
   // the attempt. Bounded so a long-held lock cannot stall us forever (the
   // subscription check turns any residue into a kLockedByOther abort).
+  // The SWOpt-retrier surplus is the one waiter census the granule keeps;
+  // it scales the spin windows so a deep retry queue spreads its probes.
   Backoff backoff;
+  backoff.set_waiters(md_.swopt_retriers().approx_surplus());
   for (int i = 0; i < 64 && api_->is_locked(lock_); ++i) backoff.pause();
 }
 
@@ -294,8 +301,8 @@ bool CsExec::arm() {
           // SampledTime's own ~3% roll decides.
           fail_sample_ = plan_active_
                              ? std::optional<std::uint64_t>(now_ticks())
-                             : granule_->stats.of(ExecMode::kHtm)
-                                   .fail_time.maybe_start();
+                             : granule_->stats.fail_time(ExecMode::kHtm)
+                                   .maybe_start();
         }
         const htm::BeginStatus bs = htm::tx_begin();
         // NOTE: with the RTM backend, a hardware abort during the body
@@ -327,9 +334,7 @@ bool CsExec::arm() {
 
       case ExecMode::kSwOpt: {
         st_.swopt_attempts++;
-        if (stats_on_) {
-          granule_->stats.of(ExecMode::kSwOpt).attempts.inc_many(stats_weight_);
-        }
+        if (stats_on_) pending_.attempt(ExecMode::kSwOpt) += stats_weight_;
         if (!swopt_present_arrived_) {
           md_.swopt_present_arrive();
           swopt_present_arrived_ = true;
@@ -348,20 +353,20 @@ bool CsExec::arm() {
           swopt_retry_end();
           swopt_retry_arrived_ = false;
         }
-        if (stats_on_) {
-          granule_->stats.of(ExecMode::kLock).attempts.inc_many(stats_weight_);
-        }
+        if (stats_on_) pending_.attempt(ExecMode::kLock) += stats_weight_;
         if (!already_held_) {
           if (thread_ctx().swopt_lock != &md_) before_conflicting();
           std::optional<std::uint64_t> wait_sample;
           if (stats_on_) {
             wait_sample = plan_active_
                               ? std::optional<std::uint64_t>(now_ticks())
-                              : granule_->stats.lock_wait.maybe_start();
+                              : granule_->stats.lock_wait().maybe_start();
           }
           api_->acquire(lock_);
           lock_acquired_ = true;
-          if (wait_sample) granule_->stats.lock_wait.record_since(*wait_sample);
+          if (wait_sample) {
+            granule_->stats.lock_wait().record_since(*wait_sample);
+          }
         }
         mode_ = ExecMode::kLock;
         body_running_ = true;
@@ -385,11 +390,10 @@ void CsExec::record_htm_abort(htm::AbortCause cause) {
     st_.htm_attempts++;
   }
   if (stats_on_) {
-    granule_->stats.of(ExecMode::kHtm).attempts.inc_many(stats_weight_);
-    granule_->stats.abort_cause[static_cast<std::size_t>(cause)]
-        .inc_many(stats_weight_);
+    pending_.attempt(ExecMode::kHtm) += stats_weight_;
+    pending_.abort_cause[static_cast<std::size_t>(cause)] += stats_weight_;
     if (fail_sample_) {
-      granule_->stats.of(ExecMode::kHtm).fail_time.record_since(*fail_sample_);
+      granule_->stats.fail_time(ExecMode::kHtm).record_since(*fail_sample_);
     }
   }
   fail_sample_.reset();
@@ -409,7 +413,7 @@ void CsExec::on_abort_exception(const htm::TxAbortException& e) {
       record_htm_abort(e.cause);
       break;
     case ExecMode::kSwOpt: {
-      if (stats_on_) granule_->stats.swopt_failures.inc_many(stats_weight_);
+      if (stats_on_) pending_.swopt_failures += stats_weight_;
       trace_engine_event(telemetry::EventKind::kSwOptFail, &md_, granule_,
                          ExecMode::kSwOpt, e.cause, 0,
                          st_.swopt_attempts);
@@ -486,18 +490,21 @@ void CsExec::finish() {
   std::uint64_t elapsed = 0;
   if (stats_on_) {
     elapsed = now_ticks() - exec_start_ticks_;
-    auto& mode_stats = granule_->stats.of(mode_);
-    mode_stats.successes.inc_many(stats_weight_);
+    pending_.success(mode_) += stats_weight_;
     if (mode_ == ExecMode::kHtm) {
       st_.htm_attempts++;  // the successful attempt
-      mode_stats.attempts.inc_many(stats_weight_);
+      pending_.attempt(ExecMode::kHtm) += stats_weight_;
     }
     // Plan-driven sampled executions record their timing unconditionally
     // (the execution itself is the ~3% sample); otherwise SampledTime's
     // own roll decides.
     if (plan_active_ || thread_prng().next_bool(SampledTime::kDefaultRate)) {
-      mode_stats.exec_time.record(elapsed);
+      granule_->stats.exec_time(mode_).record(elapsed);
     }
+    // Commit the whole execution's counter deltas in one buffered write,
+    // before the completion callback so a policy-triggered phase
+    // transition (which quiesces) observes this execution.
+    thread_ctx().stat_deltas.commit(granule_, pending_);
   } else if (mode_ == ExecMode::kHtm) {
     st_.htm_attempts++;
   }

@@ -55,6 +55,7 @@
 #include "core/granule.hpp"
 #include "core/lockmd.hpp"
 #include "core/policy_iface.hpp"
+#include "core/stat_delta.hpp"
 #include "core/thread_ctx.hpp"
 #include "htm/htm.hpp"
 #include "sync/lockapi.hpp"
@@ -155,6 +156,13 @@ class CsExec {
   bool plan_active_ = false;   // plan valid and fast path enabled
   bool stats_on_ = true;       // false: plan-driven, unsampled — no stats
   unsigned stats_weight_ = 1;  // 1/rate on sampled plan-driven executions
+
+  // Counter deltas for this execution, committed once to the thread's
+  // StatDeltaBuffer when the execution completes (or is abandoned) —
+  // counters see at most one buffered write per execution instead of one
+  // atomic RMW per event. Sampled timings still write directly: they are
+  // already rate-limited.
+  StatDeltaCounts pending_;
 
   std::uint64_t exec_start_ticks_ = 0;
   std::optional<std::uint64_t> fail_sample_;  // sampled failed-attempt timer

@@ -3,12 +3,20 @@
 // used to record information and statistics about these executions" (§4).
 //
 // Counters are BFP statistical counters and timings are ~3%-sampled CAS
-// summaries, per §4.3, so granule updates stay cheap and scalable.
+// summaries, per §4.3, so granule updates stay cheap and scalable. On top
+// of that, the hot counters are *striped* across min(ncpu, 8)
+// cacheline-aligned slots (stats/striped_counter.hpp): writers touch only
+// their own stripe, readers sum every stripe through fold(), so the
+// projected totals — and everything the policy learns from them — are the
+// same as with a single shared counter, without the all-threads-on-one-line
+// CAS storm that made contended throughput scale negatively.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 
+#include "common/cacheline.hpp"
 #include "core/attempt_plan.hpp"
 #include "core/context.hpp"
 #include "core/mode.hpp"
@@ -16,29 +24,112 @@
 #include "htm/abort.hpp"
 #include "stats/bfp_counter.hpp"
 #include "stats/sampled_time.hpp"
+#include "stats/striped_counter.hpp"
 
 namespace ale {
 
-struct ModeStats {
-  BfpCounter attempts;
-  BfpCounter successes;
-  SampledTime exec_time;  // whole-execution time when this mode won
-  SampledTime fail_time;  // time burnt by failed attempts in this mode
+// ---- folded (reader-side) projections ----
+
+struct ModeTotals {
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
 };
 
-struct GranuleStats {
+// A point-in-time sum over all stripes. Plain integers: cheap to copy,
+// no atomics, safe to reason about in tests and reports.
+struct GranuleTotals {
+  std::uint64_t executions = 0;
+  ModeTotals mode[kNumExecModes];
+  std::uint64_t abort_cause[htm::kNumAbortCauses] = {};
+  std::uint64_t swopt_failures = 0;
+
+  ModeTotals& of(ExecMode m) noexcept {
+    return mode[static_cast<std::size_t>(m)];
+  }
+  const ModeTotals& of(ExecMode m) const noexcept {
+    return mode[static_cast<std::size_t>(m)];
+  }
+};
+
+// ---- writer-side striped state ----
+
+struct ModeCounters {
+  BfpCounter attempts;
+  BfpCounter successes;
+};
+
+// One stripe's worth of hot counters. alignas keeps each stripe on its own
+// cacheline set so writers on different stripes never collide.
+struct alignas(kCacheLineSize) GranuleCounterStripe {
   BfpCounter executions;
-  ModeStats mode[kNumExecModes];
+  ModeCounters mode[kNumExecModes];
   BfpCounter abort_cause[htm::kNumAbortCauses];
   BfpCounter swopt_failures;
-  SampledTime lock_wait;
 
-  ModeStats& of(ExecMode m) noexcept {
+  ModeCounters& of(ExecMode m) noexcept {
     return mode[static_cast<std::size_t>(m)];
   }
-  const ModeStats& of(ExecMode m) const noexcept {
-    return mode[static_cast<std::size_t>(m)];
+};
+
+// Sampled timings stay unstriped: they are already rate-limited to ~3% of
+// events (§4.3), so their CAS traffic is negligible; a private aligned
+// block keeps them off the counter stripes and the read-mostly header.
+struct alignas(kCacheLineSize) GranuleTimings {
+  SampledTime exec_time[kNumExecModes];  // whole-execution time per winner
+  SampledTime fail_time[kNumExecModes];  // time burnt by failed attempts
+  SampledTime lock_wait;
+};
+
+/// Striped per-granule statistics. Writers update their stripe() (or let
+/// the engine's delta buffer do it in batches); readers call fold().
+class GranuleStats {
+ public:
+  /// The calling thread's counter stripe.
+  GranuleCounterStripe& stripe() noexcept {
+    return stripes_[my_stat_stripe()];
   }
+  /// A specific stripe (tests and the delta flusher).
+  GranuleCounterStripe& stripe_at(unsigned i) noexcept { return stripes_[i]; }
+
+  /// Sum of all stripes' projected counts. Not a linearizable snapshot
+  /// under concurrent writers — same contract a single BFP counter already
+  /// had — but exact whenever writers are quiescent and every stripe is
+  /// still below its threshold.
+  GranuleTotals fold() const noexcept {
+    GranuleTotals t;
+    for (unsigned i = 0; i < kMaxStatStripes; ++i) {
+      const GranuleCounterStripe& s = stripes_[i];
+      t.executions += s.executions.read();
+      for (unsigned m = 0; m < kNumExecModes; ++m) {
+        t.mode[m].attempts += s.mode[m].attempts.read();
+        t.mode[m].successes += s.mode[m].successes.read();
+      }
+      for (unsigned c = 0; c < htm::kNumAbortCauses; ++c) {
+        t.abort_cause[c] += s.abort_cause[c].read();
+      }
+      t.swopt_failures += s.swopt_failures.read();
+    }
+    return t;
+  }
+
+  SampledTime& exec_time(ExecMode m) noexcept {
+    return timings_.exec_time[static_cast<std::size_t>(m)];
+  }
+  const SampledTime& exec_time(ExecMode m) const noexcept {
+    return timings_.exec_time[static_cast<std::size_t>(m)];
+  }
+  SampledTime& fail_time(ExecMode m) noexcept {
+    return timings_.fail_time[static_cast<std::size_t>(m)];
+  }
+  const SampledTime& fail_time(ExecMode m) const noexcept {
+    return timings_.fail_time[static_cast<std::size_t>(m)];
+  }
+  SampledTime& lock_wait() noexcept { return timings_.lock_wait; }
+  const SampledTime& lock_wait() const noexcept { return timings_.lock_wait; }
+
+ private:
+  GranuleCounterStripe stripes_[kMaxStatStripes];
+  GranuleTimings timings_;
 };
 
 class GranuleMd {
@@ -53,8 +144,6 @@ class GranuleMd {
 
   LockMd& lock_md() noexcept { return lock_; }
   const ContextNode* context() const noexcept { return ctx_; }
-
-  GranuleStats stats;
 
   // Converged fast-path plan (core/attempt_plan.hpp). The engine reads it
   // with one relaxed load per execution; the word is self-contained, so no
@@ -86,10 +175,18 @@ class GranuleMd {
   }
 
  private:
+  // Read-mostly header: identity, plan word, policy state. Grouped on its
+  // own leading cachelines so the engine's per-execution plan load never
+  // shares a line with counter CAS traffic (the stats block below is
+  // cacheline-aligned, which also pads out this header).
   LockMd& lock_;
   const ContextNode* ctx_;
   std::atomic<std::uint64_t> plan_word_{AttemptPlan::kInvalid};
   std::atomic<PolicyGranuleState*> policy_state_{nullptr};
+
+ public:
+  // Striped hot counters and sampled timings (cacheline-aligned blocks).
+  GranuleStats stats;
 };
 
 }  // namespace ale

@@ -37,9 +37,16 @@ inline unsigned grouping_wait(LockMd& md, double respect_probability = 1.0) {
     return 0;
   }
   Backoff backoff;
+  backoff.set_waiters(md.swopt_retriers().approx_surplus());
   unsigned round = 0;
   for (; round < kGroupingMaxWaitRounds && md.swopt_retriers().query();
        ++round) {
+    // Re-census the retriers every few rounds: the SNZI surplus scales the
+    // pause windows (sync/backoff.hpp), so the wait adapts as the SWOpt
+    // group drains or grows instead of walking a fixed exponential ladder.
+    if ((round & 7u) == 0 && round != 0) {
+      backoff.set_waiters(md.swopt_retriers().approx_surplus());
+    }
     backoff.pause();
   }
   if (round > 0 && telemetry::trace_enabled() && telemetry::trace_sampled()) {

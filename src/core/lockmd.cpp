@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "core/stat_delta.hpp"
 #include "core/thread_ctx.hpp"
 
 namespace ale {
@@ -32,6 +33,10 @@ LockMd::~LockMd() {
     std::lock_guard<std::mutex> guard(r.mutex);
     std::erase(r.locks, this);
   }
+  // Drain every thread's buffered stat deltas before freeing granules: a
+  // buffer may still hold a GranuleMd* from this lock (executions in
+  // flight on a dying lock are already UB; parked deltas are not).
+  quiesce_statistics();
   for (auto& slot : table_) {
     delete slot.load(std::memory_order_acquire);
   }
@@ -102,6 +107,11 @@ PolicyLockState* LockMd::policy_state(Policy& policy) {
 }
 
 void LockMd::for_each_granule(const std::function<void(GranuleMd&)>& fn) {
+  // Every consumer of granule statistics (reports, telemetry snapshots,
+  // policy phase transitions, tests) iterates through here, so this is the
+  // chokepoint that makes buffered deltas visible: after the quiesce,
+  // fold() totals include all completed executions.
+  quiesce_statistics();
   for (auto& slot : table_) {
     GranuleMd* g = slot.load(std::memory_order_acquire);
     if (g != nullptr) fn(*g);
@@ -117,7 +127,7 @@ void LockMd::for_each_granule(const std::function<void(GranuleMd&)>& fn) {
 std::uint64_t LockMd::total_executions() {
   std::uint64_t total = 0;
   for_each_granule(
-      [&total](GranuleMd& g) { total += g.stats.executions.read(); });
+      [&total](GranuleMd& g) { total += g.stats.fold().executions; });
   return total;
 }
 

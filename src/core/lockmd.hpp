@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cacheline.hpp"
 #include "core/granule.hpp"
 #include "core/policy_iface.hpp"
 #include "htm/access.hpp"
@@ -87,10 +88,14 @@ class LockMd {
   TatasLock create_lock_;
   std::vector<std::unique_ptr<GranuleMd>> overflow_;  // beyond kTableSize
 
-  std::uint64_t swopt_present_count_ = 0;  // accessed via tx accessors
+  // The presence count is the lock's hottest word: every SWOpt execution
+  // RMWs it and every HTM conflict-indication elision tx_loads it. Own
+  // cacheline, so that traffic never collides with the read-mostly table
+  // or the policy fields (the SNZI below pads its own root internally).
+  alignas(kCacheLineSize) std::uint64_t swopt_present_count_ = 0;
   Snzi swopt_retriers_;
 
-  std::atomic<Policy*> policy_override_{nullptr};
+  alignas(kCacheLineSize) std::atomic<Policy*> policy_override_{nullptr};
   std::atomic<PolicyLockState*> policy_state_{nullptr};
 };
 

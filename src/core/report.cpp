@@ -12,19 +12,18 @@ namespace {
 void add_granule_rows(TextTable& table, LockMd& lock, GranuleMd& g,
                       const ReportOptions& opts) {
   GranuleStats& s = g.stats;
-  const std::uint64_t execs = s.executions.read();
-  if (execs < opts.min_executions) return;
+  const GranuleTotals t = s.fold();
+  if (t.executions < opts.min_executions) return;
 
   auto mode_cell = [&](ExecMode m) {
-    const ModeStats& ms = s.of(m);
-    const std::uint64_t att = ms.attempts.read();
-    const std::uint64_t suc = ms.successes.read();
+    const std::uint64_t att = t.of(m).attempts;
+    const std::uint64_t suc = t.of(m).successes;
     if (att == 0 && suc == 0) return std::string("-");
     std::string cell =
         TextTable::fmt(suc) + "/" + TextTable::fmt(att);
-    if (opts.per_mode_times && ms.exec_time.sample_count() > 0) {
-      cell += " (" + TextTable::fmt(ms.exec_time.mean_ns() / 1000.0, 2) +
-              "us)";
+    if (opts.per_mode_times && s.exec_time(m).sample_count() > 0) {
+      cell += " (" +
+              TextTable::fmt(s.exec_time(m).mean_ns() / 1000.0, 2) + "us)";
     }
     return cell;
   };
@@ -34,7 +33,7 @@ void add_granule_rows(TextTable& table, LockMd& lock, GranuleMd& g,
     std::ostringstream ab;
     bool any = false;
     for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
-      const std::uint64_t n = s.abort_cause[c].read();
+      const std::uint64_t n = t.abort_cause[c];
       if (n == 0) continue;
       if (any) ab << " ";
       ab << htm::to_string(static_cast<htm::AbortCause>(c)) << ":" << n;
@@ -43,10 +42,10 @@ void add_granule_rows(TextTable& table, LockMd& lock, GranuleMd& g,
     if (any) aborts = ab.str();
   }
 
-  table.add_row({lock.name(), g.context()->path(), TextTable::fmt(execs),
-                 mode_cell(ExecMode::kHtm), mode_cell(ExecMode::kSwOpt),
-                 mode_cell(ExecMode::kLock),
-                 TextTable::fmt(s.swopt_failures.read()), aborts});
+  table.add_row({lock.name(), g.context()->path(),
+                 TextTable::fmt(t.executions), mode_cell(ExecMode::kHtm),
+                 mode_cell(ExecMode::kSwOpt), mode_cell(ExecMode::kLock),
+                 TextTable::fmt(t.swopt_failures), aborts});
 }
 
 TextTable make_table() {
@@ -94,17 +93,16 @@ void print_report_csv(std::ostream& os) {
   for_each_lock_md([&](LockMd& lock) {
     lock.for_each_granule([&](GranuleMd& g) {
       GranuleStats& s = g.stats;
-      os << lock.name() << ',' << g.context()->path() << ','
-         << s.executions.read();
+      const GranuleTotals t = s.fold();
+      os << lock.name() << ',' << g.context()->path() << ',' << t.executions;
       for (const ExecMode m :
            {ExecMode::kHtm, ExecMode::kSwOpt, ExecMode::kLock}) {
-        const ModeStats& ms = s.of(m);
-        os << ',' << ms.attempts.read() << ',' << ms.successes.read() << ','
-           << ms.exec_time.mean_ns();
+        os << ',' << t.of(m).attempts << ',' << t.of(m).successes << ','
+           << s.exec_time(m).mean_ns();
       }
-      os << ',' << s.swopt_failures.read() << ',' << s.lock_wait.mean_ns();
+      os << ',' << t.swopt_failures << ',' << s.lock_wait().mean_ns();
       for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
-        os << ',' << s.abort_cause[c].read();
+        os << ',' << t.abort_cause[c];
       }
       os << '\n';
     });
@@ -116,7 +114,8 @@ namespace {
 void analyze_granule(LockMd& lock, GranuleMd& g, std::uint64_t min_execs,
                      std::vector<GuidanceEntry>& out) {
   GranuleStats& s = g.stats;
-  const std::uint64_t execs = s.executions.read();
+  const GranuleTotals t = s.fold();
+  const std::uint64_t execs = t.executions;
   if (execs < min_execs) return;
 
   auto emit = [&](std::string advice) {
@@ -124,21 +123,18 @@ void analyze_granule(LockMd& lock, GranuleMd& g, std::uint64_t min_execs,
                                 std::move(advice)});
   };
 
-  const std::uint64_t htm_att = s.of(ExecMode::kHtm).attempts.read();
-  const std::uint64_t htm_suc = s.of(ExecMode::kHtm).successes.read();
-  const std::uint64_t sw_att = s.of(ExecMode::kSwOpt).attempts.read();
-  const std::uint64_t sw_suc = s.of(ExecMode::kSwOpt).successes.read();
-  const std::uint64_t lock_suc = s.of(ExecMode::kLock).successes.read();
+  const std::uint64_t htm_att = t.of(ExecMode::kHtm).attempts;
+  const std::uint64_t htm_suc = t.of(ExecMode::kHtm).successes;
+  const std::uint64_t sw_att = t.of(ExecMode::kSwOpt).attempts;
+  const std::uint64_t sw_suc = t.of(ExecMode::kSwOpt).successes;
+  const std::uint64_t lock_suc = t.of(ExecMode::kLock).successes;
   const double lock_share =
       static_cast<double>(lock_suc) / static_cast<double>(execs);
 
   const std::uint64_t capacity_aborts =
-      s.abort_cause[static_cast<std::size_t>(htm::AbortCause::kCapacity)]
-          .read();
+      t.abort_cause[static_cast<std::size_t>(htm::AbortCause::kCapacity)];
   const std::uint64_t locked_aborts =
-      s.abort_cause[static_cast<std::size_t>(
-                        htm::AbortCause::kLockedByOther)]
-          .read();
+      t.abort_cause[static_cast<std::size_t>(htm::AbortCause::kLockedByOther)];
 
   // Capacity-bound critical section: HTM is attempted but dies on size.
   if (htm_att > 0 && capacity_aborts * 2 > htm_att) {
@@ -153,7 +149,7 @@ void analyze_granule(LockMd& lock, GranuleMd& g, std::uint64_t min_execs,
          "their elision fails");
   }
   // SWOpt path thrashes.
-  if (sw_suc > 0 && s.swopt_failures.read() > sw_suc) {
+  if (sw_suc > 0 && t.swopt_failures > sw_suc) {
     emit("the SWOpt path retries more often than it succeeds: conflicting "
          "actions are too frequent or too long — consider finer-grained "
          "conflict indicators (per-bucket versions, §3.2) or grouping "
@@ -168,10 +164,10 @@ void analyze_granule(LockMd& lock, GranuleMd& g, std::uint64_t min_execs,
   constexpr double kContendedWaitFloorNs = 2000.0;
   if (!has_swopt_path && lock_share > 0.9 &&
       (htm_att == 0 || htm_suc * 10 < htm_att) &&
-      s.lock_wait.sample_count() > 0 &&
-      s.lock_wait.mean_ns() > kContendedWaitFloorNs &&
-      s.lock_wait.mean_ns() >
-          s.of(ExecMode::kLock).exec_time.mean_ns() * 0.5) {
+      s.lock_wait().sample_count() > 0 &&
+      s.lock_wait().mean_ns() > kContendedWaitFloorNs &&
+      s.lock_wait().mean_ns() >
+          s.exec_time(ExecMode::kLock).mean_ns() * 0.5) {
     emit("this critical section serializes on a contended lock and HTM is "
          "not helping: a good candidate for adding a SWOpt path (§3.2)");
   }

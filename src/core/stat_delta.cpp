@@ -1,0 +1,129 @@
+#include "core/stat_delta.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "common/env.hpp"
+#include "core/granule.hpp"
+
+namespace ale {
+
+namespace {
+
+// Registry of live buffers. Leaked (never destroyed) so thread_local
+// destructors running at process exit can still unregister safely —
+// the same pattern the LockMd registry uses.
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<StatDeltaBuffer*> buffers;
+};
+
+BufferRegistry& buffer_registry() {
+  static BufferRegistry* r = new BufferRegistry;
+  return *r;
+}
+
+// Apply one slot's deltas to the flushing thread's stripe. Which stripe
+// receives them is irrelevant to fold(); inc_many keeps the projected
+// counts distributed exactly as n individual increments would have.
+void apply_deltas(GranuleMd& g, const StatDeltaCounts& d) noexcept {
+  GranuleCounterStripe& s = g.stats.stripe();
+  if (d.executions != 0) s.executions.inc_many(d.executions);
+  for (unsigned m = 0; m < kNumExecModes; ++m) {
+    if (d.attempts[m] != 0) s.mode[m].attempts.inc_many(d.attempts[m]);
+    if (d.successes[m] != 0) s.mode[m].successes.inc_many(d.successes[m]);
+  }
+  for (unsigned c = 0; c < htm::kNumAbortCauses; ++c) {
+    if (d.abort_cause[c] != 0) s.abort_cause[c].inc_many(d.abort_cause[c]);
+  }
+  if (d.swopt_failures != 0) s.swopt_failures.inc_many(d.swopt_failures);
+}
+
+}  // namespace
+
+StatDeltaBuffer::StatDeltaBuffer() {
+  BufferRegistry& r = buffer_registry();
+  std::lock_guard<std::mutex> g(r.mu);
+  r.buffers.push_back(this);
+}
+
+StatDeltaBuffer::~StatDeltaBuffer() {
+  // Unregister first: once we are off the list no quiescer can reach this
+  // buffer, so the final flush below cannot race with a remote drain.
+  BufferRegistry& r = buffer_registry();
+  {
+    std::lock_guard<std::mutex> g(r.mu);
+    for (auto it = r.buffers.begin(); it != r.buffers.end(); ++it) {
+      if (*it == this) {
+        r.buffers.erase(it);
+        break;
+      }
+    }
+  }
+  flush();
+}
+
+std::uint32_t StatDeltaBuffer::flush_interval() noexcept {
+  static const std::uint32_t interval = [] {
+    std::int64_t v = env_int("ALE_STAT_FLUSH", 64);
+    if (v < 1) v = 1;
+    if (v > (1 << 20)) v = 1 << 20;
+    return static_cast<std::uint32_t>(v);
+  }();
+  return interval;
+}
+
+void StatDeltaBuffer::commit(GranuleMd* granule,
+                             const StatDeltaCounts& d) noexcept {
+  if (granule == nullptr || d.empty()) return;
+  lock_.lock();
+  unsigned slot = kSlots;
+  for (unsigned i = 0; i < kSlots; ++i) {
+    if (granule_[i] == granule) {
+      slot = i;
+      break;
+    }
+    if (slot == kSlots && granule_[i] == nullptr) slot = i;
+  }
+  if (slot == kSlots) {
+    // Buffer full of other granules: the working set moved on, drain
+    // everything so no granule's deltas linger behind the new hot set.
+    flush_locked();
+    slot = 0;
+  }
+  granule_[slot] = granule;
+  counts_[slot].merge(d);
+  pending_execs_ += d.executions;
+  if (pending_execs_ >= flush_interval()) flush_locked();
+  lock_.unlock();
+}
+
+void StatDeltaBuffer::flush() noexcept {
+  lock_.lock();
+  flush_locked();
+  lock_.unlock();
+}
+
+void StatDeltaBuffer::flush_locked() noexcept {
+  for (unsigned i = 0; i < kSlots; ++i) {
+    if (granule_[i] == nullptr) continue;
+    apply_deltas(*granule_[i], counts_[i]);
+    granule_[i] = nullptr;
+    counts_[i] = StatDeltaCounts{};
+  }
+  pending_execs_ = 0;
+}
+
+void quiesce_statistics() noexcept {
+  BufferRegistry& r = buffer_registry();
+  // Hold the registry mutex across the whole walk: a buffer can neither
+  // unregister nor be destroyed while we drain it.
+  std::lock_guard<std::mutex> g(r.mu);
+  for (StatDeltaBuffer* b : r.buffers) {
+    b->lock_.lock();
+    b->flush_locked();
+    b->lock_.unlock();
+  }
+}
+
+}  // namespace ale

@@ -1,0 +1,118 @@
+// Epoch-flushed thread-local statistics deltas.
+//
+// Striping (stats/striped_counter.hpp) removes cross-thread cacheline
+// collisions on granule counters, but every execution still pays atomic
+// RMWs on its own stripe. This layer batches those updates: the engine
+// accumulates plain-integer deltas per (granule, counter) in a small
+// thread-local buffer and flushes them into the striped BFP counters every
+// ALE_STAT_FLUSH logical executions (default 64) or whenever the buffer has
+// to evict a slot for a new granule. Deltas are applied with
+// BfpCounter::inc_many, so the projected counts keep the exact
+// distribution n individual increments would have had — batching changes
+// *when* counts become visible, never what they converge to.
+//
+// Staleness is bounded by a quiescence hook: quiesce_statistics() remotely
+// drains every live thread's buffer (each buffer carries its own spinlock;
+// the registry mutex is held across the walk so buffers cannot unregister
+// mid-drain). AdaptivePolicy phase transitions, telemetry snapshots, and
+// stats reports run it before reading, so learning inputs and exports are
+// never stale, and LockMd teardown runs it before freeing granules so no
+// buffered GranuleMd* can dangle.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mode.hpp"
+#include "htm/abort.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ale {
+
+class GranuleMd;
+
+// Plain-integer deltas for one granule, mirroring GranuleCounterStripe.
+// `executions` carries the engine's stats weight (a plan-sampled execution
+// contributes kPlanSampleWeight), so flush thresholds and projected counts
+// stay in logical-execution units.
+struct StatDeltaCounts {
+  std::uint32_t executions = 0;
+  std::uint32_t attempts[kNumExecModes] = {};
+  std::uint32_t successes[kNumExecModes] = {};
+  std::uint32_t abort_cause[htm::kNumAbortCauses] = {};
+  std::uint32_t swopt_failures = 0;
+
+  std::uint32_t& attempt(ExecMode m) noexcept {
+    return attempts[static_cast<std::size_t>(m)];
+  }
+  std::uint32_t& success(ExecMode m) noexcept {
+    return successes[static_cast<std::size_t>(m)];
+  }
+
+  void merge(const StatDeltaCounts& o) noexcept {
+    executions += o.executions;
+    for (unsigned m = 0; m < kNumExecModes; ++m) {
+      attempts[m] += o.attempts[m];
+      successes[m] += o.successes[m];
+    }
+    for (unsigned c = 0; c < htm::kNumAbortCauses; ++c) {
+      abort_cause[c] += o.abort_cause[c];
+    }
+    swopt_failures += o.swopt_failures;
+  }
+
+  bool empty() const noexcept { return executions == 0 && !any_nonexec(); }
+
+ private:
+  bool any_nonexec() const noexcept {
+    for (unsigned m = 0; m < kNumExecModes; ++m) {
+      if (attempts[m] != 0 || successes[m] != 0) return true;
+    }
+    for (unsigned c = 0; c < htm::kNumAbortCauses; ++c) {
+      if (abort_cause[c] != 0) return true;
+    }
+    return swopt_failures != 0;
+  }
+};
+
+/// Per-thread delta buffer: a few granule slots, flushed on threshold,
+/// eviction, destruction, or remote quiescence. Lives in ThreadCtx; the
+/// constructor registers the buffer in a process-wide registry and the
+/// destructor unregisters it *before* the final flush, so a concurrent
+/// quiescer can never touch a dying buffer.
+class StatDeltaBuffer {
+ public:
+  static constexpr unsigned kSlots = 4;
+
+  StatDeltaBuffer();
+  ~StatDeltaBuffer();
+  StatDeltaBuffer(const StatDeltaBuffer&) = delete;
+  StatDeltaBuffer& operator=(const StatDeltaBuffer&) = delete;
+
+  /// Fold one execution's deltas into the buffer; flushes everything if the
+  /// buffered logical executions reach flush_interval() or no slot is free.
+  void commit(GranuleMd* granule, const StatDeltaCounts& d) noexcept;
+
+  /// Drain this buffer into the striped counters now.
+  void flush() noexcept;
+
+  /// Logical executions buffered before an automatic flush. ALE_STAT_FLUSH,
+  /// default 64, clamped to [1, 2^20]; 1 disables batching.
+  static std::uint32_t flush_interval() noexcept;
+
+ private:
+  friend void quiesce_statistics() noexcept;
+
+  void flush_locked() noexcept;
+
+  TatasLock lock_;  // serializes owner commits against remote quiescence
+  GranuleMd* granule_[kSlots] = {};
+  StatDeltaCounts counts_[kSlots];
+  std::uint32_t pending_execs_ = 0;
+};
+
+/// Force every live thread's buffered deltas into the striped counters.
+/// After it returns, fold() totals include all executions that completed
+/// before the call (lock ordering: registry mutex, then each buffer lock).
+void quiesce_statistics() noexcept;
+
+}  // namespace ale

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/context.hpp"
+#include "core/stat_delta.hpp"
 
 namespace ale {
 
@@ -87,6 +88,9 @@ struct ThreadCtx {
 
   // Memoized granule resolutions (see GranuleCache above).
   GranuleCache granule_cache;
+
+  // Buffered statistics deltas, flushed in batches (core/stat_delta.hpp).
+  StatDeltaBuffer stat_deltas;
 
   ContextNode* context() {
     if (ctx == nullptr) ctx = &context_root();

@@ -285,8 +285,8 @@ void AdaptivePolicy::finalize_sub1(LockMd& md, AdaptiveLockState& ls,
     AdaptiveGranuleState& gs = granule_state(g);
     const std::uint32_t x1 = gs.x_current.load(std::memory_order_relaxed);
 
-    double t_fail = g.stats.of(ExecMode::kHtm).fail_time.mean_ticks();
-    if (!g.stats.of(ExecMode::kHtm).fail_time.is_reliable(4)) {
+    double t_fail = g.stats.fail_time(ExecMode::kHtm).mean_ticks();
+    if (!g.stats.fail_time(ExecMode::kHtm).is_reliable(4)) {
       t_fail = 500.0;  // conservative prior, ~sub-microsecond attempts
     }
 

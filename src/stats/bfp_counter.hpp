@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 
 #include "common/prng.hpp"
@@ -39,16 +40,77 @@ class BfpCounter {
   /// Statistically increment by one (a PRNG roll skips the shared-word
   /// CAS with probability 1 - 2^-e once in the probabilistic regime).
   void inc() noexcept {
-    // `debt` is the number of logical increments one physical update is
-    // worth if we commit it at the exponent we sampled against. If a CAS
-    // fails and the exponent has advanced meanwhile, we re-roll with the
-    // ratio so the update stays unbiased.
     std::uint64_t s = state_.load(std::memory_order_relaxed);
-    std::uint64_t sampled_exp = exponent_of(s);
+    const std::uint64_t sampled_exp = exponent_of(s);
     if (sampled_exp > 0 &&
         !thread_prng().next_bool(update_probability(sampled_exp))) {
       return;  // This increment is represented statistically.
     }
+    force_update(s, sampled_exp);
+  }
+
+  /// `n` statistical increments in one call, equivalent in distribution to
+  /// n inc() calls but far cheaper for large n. Below the threshold the
+  /// whole batch lands in one exact CAS; once probabilistic, the number of
+  /// physical updates among n trials is Binomial(n, 2^-e), which we realise
+  /// by geometric-skip sampling (one log per physical update instead of one
+  /// PRNG roll per trial). Used by the engine's delta flush and by the
+  /// converged fast path's 1/rate weighting, so estimates stay unbiased
+  /// while most executions touch no shared statistics at all.
+  void inc_many(std::uint64_t n) noexcept {
+    while (n > 0) {
+      std::uint64_t s = state_.load(std::memory_order_relaxed);
+      const std::uint64_t e = exponent_of(s);
+      if (e == 0) {
+        // Exact regime: add everything that fits below the threshold with
+        // a single CAS; the increment that reaches it goes through inc()
+        // so the halving logic stays in one place.
+        const std::uint64_t m = mantissa_of(s);
+        const std::uint64_t room = threshold_ - 1 - m;
+        const std::uint64_t take = n < room ? n : room;
+        if (take == 0) {
+          inc();
+          --n;
+          continue;
+        }
+        if (state_.compare_exchange_weak(s, pack(m + take, 0),
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+          n -= take;
+        }
+        continue;
+      }
+      // Probabilistic regime: skip ~ Geometric(p) trials land no update.
+      const double p = update_probability(e);
+      const double u = 1.0 - thread_prng().next_double();  // (0, 1]
+      const double skip = std::floor(std::log(u) / std::log1p(-p));
+      if (skip >= static_cast<double>(n)) return;
+      n -= static_cast<std::uint64_t>(skip) + 1;
+      force_update(s, e);
+    }
+  }
+
+  /// Projected (estimated) count: mantissa << exponent. Unbiased; relative
+  /// standard error ≈ sqrt(2/T) once probabilistic, exact below T.
+  std::uint64_t read() const noexcept {
+    const std::uint64_t s = state_.load(std::memory_order_relaxed);
+    return mantissa_of(s) << exponent_of(s);
+  }
+
+  /// True while the counter is still exact (no probabilistic updates yet).
+  bool is_exact() const noexcept {
+    return exponent_of(state_.load(std::memory_order_relaxed)) == 0;
+  }
+
+  /// Zero the counter (not linearizable against concurrent inc()).
+  void reset() noexcept { state_.store(0, std::memory_order_relaxed); }
+
+ private:
+  // Commit one physical update sampled against `sampled_exp`, starting from
+  // observed state `s`. If a CAS fails and the exponent has advanced
+  // meanwhile, re-roll with the probability ratio so the expected
+  // contribution of the update stays exactly one logical increment.
+  void force_update(std::uint64_t s, std::uint64_t sampled_exp) noexcept {
     Backoff backoff;
     for (;;) {
       const std::uint64_t e = exponent_of(s);
@@ -73,32 +135,6 @@ class BfpCounter {
     }
   }
 
-  /// `n` statistical increments in one call. The BFP algorithm only
-  /// supports increment-by-one, so this is a loop of inc() — O(n) PRNG
-  /// rolls, but no more CAS traffic than n separate calls. Used by the
-  /// engine's converged fast path, which counts 1/rate events on each
-  /// ~3%-sampled execution so estimates stay unbiased while ~97% of
-  /// executions touch no statistics at all.
-  void inc_many(unsigned n) noexcept {
-    for (unsigned i = 0; i < n; ++i) inc();
-  }
-
-  /// Projected (estimated) count: mantissa << exponent. Unbiased; relative
-  /// standard error ≈ sqrt(2/T) once probabilistic, exact below T.
-  std::uint64_t read() const noexcept {
-    const std::uint64_t s = state_.load(std::memory_order_relaxed);
-    return mantissa_of(s) << exponent_of(s);
-  }
-
-  /// True while the counter is still exact (no probabilistic updates yet).
-  bool is_exact() const noexcept {
-    return exponent_of(state_.load(std::memory_order_relaxed)) == 0;
-  }
-
-  /// Zero the counter (not linearizable against concurrent inc()).
-  void reset() noexcept { state_.store(0, std::memory_order_relaxed); }
-
- private:
   static constexpr unsigned kExpBits = 8;
   static constexpr std::uint64_t kExpMask = (1ULL << kExpBits) - 1;
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/cpu.hpp"
 #include "common/cycles.hpp"
 #include "common/prng.hpp"
 #include "sync/backoff.hpp"
@@ -116,6 +117,7 @@ class SampledTime {
     while (cur < x && !v.compare_exchange_weak(cur, x,
                                                std::memory_order_relaxed,
                                                std::memory_order_relaxed)) {
+      cpu_relax();
     }
   }
   static void cas_min(std::atomic<std::uint64_t>& v,
@@ -124,6 +126,7 @@ class SampledTime {
     while (cur > x && !v.compare_exchange_weak(cur, x,
                                                std::memory_order_relaxed,
                                                std::memory_order_relaxed)) {
+      cpu_relax();
     }
   }
 

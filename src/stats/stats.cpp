@@ -1,9 +1,46 @@
-// Header-only module; this TU anchors the static library.
+// Mostly header-only module; this TU anchors the static library and hosts
+// the process-wide stripe-slot assignment for striped granule counters.
 #include "stats/bfp_counter.hpp"
 #include "stats/histogram.hpp"
 #include "stats/sampled_time.hpp"
+#include "stats/striped_counter.hpp"
 #include "stats/table.hpp"
 
+#include <atomic>
+#include <thread>
+
+#include "common/env.hpp"
+
 namespace ale {
+
 template class AttemptHistogram<64>;
+
+namespace {
+
+unsigned compute_stripe_count() noexcept {
+  unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) ncpu = 1;
+  if (ncpu > kMaxStatStripes) ncpu = kMaxStatStripes;
+  std::int64_t n = env_int("ALE_STAT_STRIPES", static_cast<std::int64_t>(ncpu));
+  if (n < 1) n = 1;
+  if (n > static_cast<std::int64_t>(kMaxStatStripes)) n = kMaxStatStripes;
+  return static_cast<unsigned>(n);
+}
+
+std::atomic<unsigned> g_next_stripe{0};
+
+}  // namespace
+
+unsigned stat_stripe_count() noexcept {
+  static const unsigned count = compute_stripe_count();
+  return count;
+}
+
+unsigned my_stat_stripe() noexcept {
+  thread_local const unsigned slot =
+      g_next_stripe.fetch_add(1, std::memory_order_relaxed) %
+      stat_stripe_count();
+  return slot;
+}
+
 }  // namespace ale

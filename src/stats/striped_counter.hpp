@@ -1,0 +1,33 @@
+// Statistics striping — the contended-path half of §4.3's "cheap enough to
+// leave on under load" requirement.
+//
+// PR 3 made the uncontended path nearly free, but every statistics update
+// still funneled through one shared cacheline set per granule, so adaptive
+// throughput scaled *negatively* with threads. Following the cacheline
+// discipline of Dice-Lev-Moir statistical counters (and Brown's observation
+// that fallback-path cacheline behaviour dominates scaling once the fast
+// path is cheap), each granule's hot counters are striped across
+// min(ncpu, kMaxStatStripes) cacheline-aligned slots indexed by a stable
+// per-thread stripe id. Writers touch only their own stripe; readers sum
+// all stripes through a fold() accessor (core/granule.hpp), so projected
+// totals — and everything learned from them — are unchanged.
+#pragma once
+
+namespace ale {
+
+// Upper bound on stripe slots; the per-granule stripe arrays are sized to
+// this at compile time so fold() can sum a fixed range (unused slots read
+// as zero).
+inline constexpr unsigned kMaxStatStripes = 8;
+
+// Number of stripe slots in use: min(hardware threads, kMaxStatStripes),
+// overridable with ALE_STAT_STRIPES (clamped to [1, kMaxStatStripes]).
+// Computed once per process.
+unsigned stat_stripe_count() noexcept;
+
+// This thread's stripe slot, stable for the thread's lifetime and always
+// < stat_stripe_count(). Assigned round-robin in first-touch order so
+// concurrent writers spread across slots.
+unsigned my_stat_stripe() noexcept;
+
+}  // namespace ale

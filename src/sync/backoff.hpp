@@ -1,8 +1,17 @@
-// Bounded exponential backoff with jitter.
+// Bounded exponential backoff with jitter, optionally waiter-aware.
 //
 // Used by every spin loop in the library (lock acquisition, CAS retry for
 // sampled statistics per §4.3, HTM retry pacing). Jitter desynchronizes
-// threads that fail together.
+// threads that fail together; it is drawn from the thread's ALE_SEED-derived
+// PRNG, so stress runs with a fixed seed replay the same pacing.
+//
+// Contended-path refinement: a spin loop that can see how many other
+// threads are waiting (the SWOpt grouping SNZI, §4.2) feeds that estimate
+// in through set_waiters(), and the spin window scales with it — a lone
+// waiter re-probes quickly while a deep queue spreads its probes out —
+// instead of every thread walking the same fixed exponential ladder.
+// Tunables come from ALE_BACKOFF ("min=4,max=4096,waiter_scale=1,
+// waiter_cap=64,ceiling=65536"), parsed once per process.
 #pragma once
 
 #include <cstdint>
@@ -14,29 +23,58 @@
 
 namespace ale {
 
+// Process-wide backoff tunables; defaults preserve the historical behaviour
+// exactly (waiters unset → classic bounded exponential backoff).
+struct BackoffConfig {
+  std::uint32_t min_spins = 4;        // initial spin bound
+  std::uint32_t max_spins = 4096;     // exponential-walk saturation bound
+  std::uint32_t waiter_scale = 1;     // window multiplier per observed waiter
+  std::uint32_t waiter_cap = 64;      // clamp on the waiter estimate
+  std::uint32_t ceiling = 1u << 16;   // hard cap on any single spin window
+};
+
+// Parsed from ALE_BACKOFF once per process (malformed keys fall back to
+// defaults; configuration never crashes a host application).
+const BackoffConfig& backoff_config() noexcept;
+
 class Backoff {
  public:
   static constexpr std::uint32_t kMinSpins = 4;
   static constexpr std::uint32_t kMaxSpins = 4096;
 
-  constexpr Backoff() noexcept = default;
+  Backoff() noexcept {
+    const BackoffConfig& cfg = backoff_config();
+    min_spins_ = cfg.min_spins;
+    limit_ = cfg.min_spins;
+    max_spins_ = cfg.max_spins;
+  }
   constexpr explicit Backoff(std::uint32_t max_spins) noexcept
       : max_spins_(max_spins) {}
 
-  // Spin for the current bound (with ±50% jitter), then double the bound.
+  /// Feed in an estimate of how many other threads are waiting on the same
+  /// resource (e.g. the SWOpt grouping SNZI's surplus). The next pause()
+  /// windows scale by 1 + waiters·waiter_scale, capped by the config
+  /// ceiling. Clamped to waiter_cap; 0 restores classic behaviour.
+  void set_waiters(std::uint32_t waiters) noexcept {
+    const std::uint32_t cap = backoff_config().waiter_cap;
+    waiters_ = waiters < cap ? waiters : cap;
+  }
+
+  // Spin for the current window (with ±50% jitter), then double the bound.
   // Once saturated, also yield the CPU: on an oversubscribed host the
   // thread we are waiting for (lock owner, ticket holder, committing
   // transaction) may need our core to make progress.
   void pause() noexcept {
-    const std::uint64_t jitter = thread_prng().next_below(limit_);
-    std::uint64_t spins = limit_ / 2 + jitter;
+    const std::uint64_t window = current_window();
+    const std::uint64_t jitter = thread_prng().next_below(window);
+    std::uint64_t spins = window / 2 + jitter;
     // Injected backoff perturbation: lengthen this round by the point's x=
     // magnitude, de-pacing retry loops (every spin loop in the library
     // funnels through here).
     if (inject::enabled()) {
       spins += inject::perturb_spins(inject::Point::kBackoff, kMaxSpins);
     }
-    for (std::uint64_t i = 0; i < spins; ++i) cpu_pause();
+    for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
     if (limit_ < max_spins_) {
       limit_ *= 2;
     } else {
@@ -44,13 +82,27 @@ class Backoff {
     }
   }
 
-  constexpr void reset() noexcept { limit_ = kMinSpins; }
+  constexpr void reset() noexcept { limit_ = min_spins_; }
 
   constexpr std::uint32_t current_limit() const noexcept { return limit_; }
 
+  /// The waiter-scaled spin window pause() draws its jitter over.
+  std::uint64_t current_window() const noexcept {
+    const BackoffConfig& cfg = backoff_config();
+    std::uint64_t w =
+        static_cast<std::uint64_t>(limit_) *
+        (1 + static_cast<std::uint64_t>(waiters_) * cfg.waiter_scale);
+    if (w > cfg.ceiling) w = cfg.ceiling;
+    return w != 0 ? w : 1;
+  }
+
+  constexpr std::uint32_t waiters() const noexcept { return waiters_; }
+
  private:
   std::uint32_t limit_ = kMinSpins;
+  std::uint32_t min_spins_ = kMinSpins;
   std::uint32_t max_spins_ = kMaxSpins;
+  std::uint32_t waiters_ = 0;
 };
 
 }  // namespace ale

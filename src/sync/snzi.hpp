@@ -50,6 +50,15 @@ class Snzi {
     return root_.value.load(std::memory_order_acquire);
   }
 
+  // Waiter estimate for backoff scaling: the root surplus is a lower bound
+  // on the number of arrived-but-not-departed threads (leaf filtering can
+  // briefly hide an arriver mid-handshake, and a transient undo can dip the
+  // root negative — clamp to zero). Same single-word read as query().
+  std::uint32_t approx_surplus() const noexcept {
+    const std::int64_t s = root_.value.load(std::memory_order_relaxed);
+    return s > 0 ? static_cast<std::uint32_t>(s) : 0u;
+  }
+
  private:
   // Node word layout: low 32 bits = surplus in HALF units (½ == 1, 1 == 2),
   // high 32 bits = version (bumped on each 0 → ½ transition).

@@ -1,5 +1,6 @@
-// The sync substrates are header-only; this TU anchors the static library
-// and pins vtable-free template instantiations used across the project.
+// The sync substrates are mostly header-only; this TU anchors the static
+// library, pins vtable-free template instantiations used across the
+// project, and hosts the once-per-process ALE_BACKOFF parse.
 #include "sync/backoff.hpp"
 #include "sync/lockapi.hpp"
 #include "sync/rwlock.hpp"
@@ -8,10 +9,73 @@
 #include "sync/spinlock.hpp"
 #include "sync/ticketlock.hpp"
 
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/env.hpp"
+
 namespace ale {
 
 template const LockApi* lock_api<TatasLock>() noexcept;
 template const LockApi* lock_api<TicketLock>() noexcept;
 template const LockApi* lock_api<TrackedMutex>() noexcept;
+
+namespace {
+
+// ALE_BACKOFF grammar: comma/semicolon-separated key=value pairs, e.g.
+// "min=8,max=8192,waiter_scale=2". Unknown keys and malformed values are
+// ignored (configuration never crashes a host application).
+BackoffConfig parse_backoff_config() {
+  BackoffConfig cfg;
+  const auto spec = env_string("ALE_BACKOFF");
+  if (!spec) return cfg;
+  std::string_view rest = *spec;
+  auto apply = [&cfg](std::string_view tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos) return;
+    auto trim = [](std::string_view s) {
+      while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+      while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+      return s;
+    };
+    const std::string_view key = trim(tok.substr(0, eq));
+    const std::string val(trim(tok.substr(eq + 1)));
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(val.c_str(), &end, 0);
+    if (end == val.c_str() || *end != '\0') return;
+    const std::uint32_t v = parsed > 0xffffffffULL
+                                ? 0xffffffffu
+                                : static_cast<std::uint32_t>(parsed);
+    if (key == "min") {
+      cfg.min_spins = v != 0 ? v : 1;
+    } else if (key == "max") {
+      cfg.max_spins = v != 0 ? v : 1;
+    } else if (key == "waiter_scale") {
+      cfg.waiter_scale = v;
+    } else if (key == "waiter_cap") {
+      cfg.waiter_cap = v;
+    } else if (key == "ceiling") {
+      cfg.ceiling = v != 0 ? v : 1;
+    }
+  };
+  while (!rest.empty()) {
+    const auto sep = rest.find_first_of(",;");
+    apply(rest.substr(0, sep));
+    if (sep == std::string_view::npos) break;
+    rest.remove_prefix(sep + 1);
+  }
+  if (cfg.max_spins < cfg.min_spins) cfg.max_spins = cfg.min_spins;
+  return cfg;
+}
+
+}  // namespace
+
+const BackoffConfig& backoff_config() noexcept {
+  static const BackoffConfig cfg = parse_backoff_config();
+  return cfg;
+}
 
 }  // namespace ale

@@ -17,26 +17,28 @@ void copy_granule(GranuleMd& g, GranuleSnapshot& out) {
   // Bounded consistency loop: if the executions estimate moved while we
   // copied, the row mixes two instants — re-copy. Three rounds bound the
   // cost under sustained writes; the last copy is kept regardless.
+  // (for_each_granule already quiesced buffered deltas, so in quiescent
+  // tests these folds are the exact per-granule totals.)
   for (int round = 0; round < 3; ++round) {
-    const std::uint64_t before = s.executions.read();
-    out.executions = before;
+    const GranuleTotals t = s.fold();
+    out.executions = t.executions;
     for (std::size_t m = 0; m < kNumExecModes; ++m) {
-      const ModeStats& ms = s.mode[m];
+      const ExecMode mode = static_cast<ExecMode>(m);
       ModeSnapshot& mo = out.modes[m];
-      mo.attempts = ms.attempts.read();
-      mo.successes = ms.successes.read();
-      mo.exec_mean_ns = ms.exec_time.mean_ns();
-      mo.exec_samples = ms.exec_time.sample_count();
-      mo.fail_mean_ns = ms.fail_time.mean_ns();
-      mo.fail_samples = ms.fail_time.sample_count();
+      mo.attempts = t.mode[m].attempts;
+      mo.successes = t.mode[m].successes;
+      mo.exec_mean_ns = s.exec_time(mode).mean_ns();
+      mo.exec_samples = s.exec_time(mode).sample_count();
+      mo.fail_mean_ns = s.fail_time(mode).mean_ns();
+      mo.fail_samples = s.fail_time(mode).sample_count();
     }
     for (std::size_t c = 0; c < htm::kNumAbortCauses; ++c) {
-      out.abort_causes[c] = s.abort_cause[c].read();
+      out.abort_causes[c] = t.abort_cause[c];
     }
-    out.swopt_failures = s.swopt_failures.read();
-    out.lock_wait_mean_ns = s.lock_wait.mean_ns();
-    out.lock_wait_samples = s.lock_wait.sample_count();
-    if (s.executions.read() == before) break;
+    out.swopt_failures = t.swopt_failures;
+    out.lock_wait_mean_ns = s.lock_wait().mean_ns();
+    out.lock_wait_samples = s.lock_wait().sample_count();
+    if (s.fold().executions == t.executions) break;
   }
 }
 

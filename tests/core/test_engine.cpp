@@ -180,7 +180,7 @@ TEST_F(EngineTest, StatsRecordExecutionsAndModes) {
   bool found = false;
   md.for_each_granule([&](GranuleMd& g) {
     found = true;
-    EXPECT_EQ(g.stats.of(ExecMode::kHtm).successes.read(), 200u);
+    EXPECT_EQ(g.stats.fold().of(ExecMode::kHtm).successes, 200u);
   });
   EXPECT_TRUE(found);
 }

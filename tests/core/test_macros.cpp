@@ -91,7 +91,7 @@ TEST_F(MacroTest, NamedScopesSeparateStatistics) {
   std::uint64_t execs = 0;
   md.for_each_granule([&](GranuleMd& g) {
     ++granules;
-    execs += g.stats.executions.read();
+    execs += g.stats.fold().executions;
   });
   EXPECT_EQ(granules, 2);
   EXPECT_EQ(execs, 3u);

@@ -1,0 +1,204 @@
+// Epoch-flushed thread-local stat deltas (core/stat_delta.hpp): deltas are
+// invisible while buffered, exact after a quiesce, auto-flushed on
+// threshold and slot eviction, and every statistics consumer that iterates
+// through LockMd::for_each_granule sees fully flushed totals.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/ale.hpp"
+#include "core/stat_delta.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct StatDeltaTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { set_global_policy(nullptr); }
+
+  TatasLock lock;
+
+  void drive(LockMd& md, const ScopeInfo& scope, int n, std::uint64_t& cell) {
+    for (int i = 0; i < n; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec& cs) -> CsBody {
+                   if (cs.in_swopt()) {
+                     (void)tx_load(cell);
+                     return CsBody::kDone;
+                   }
+                   tx_store(cell, tx_load(cell) + 1);
+                   return CsBody::kDone;
+                 });
+    }
+  }
+
+  GranuleMd* only_granule(LockMd& md) {
+    GranuleMd* g = nullptr;
+    md.for_each_granule([&](GranuleMd& gr) { g = &gr; });
+    return g;
+  }
+};
+
+// Deltas below the flush threshold stay buffered (fold() lags), and a
+// quiesce makes the totals exact.
+TEST_F(StatDeltaTest, BufferLagsUntilQuiesced) {
+  test::PolicyInstaller inst(std::make_unique<LockOnlyPolicy>());
+  LockMd md("statdelta.lag");
+  static ScopeInfo scope("cs", /*has_swopt=*/false);
+  std::uint64_t cell = 0;
+
+  drive(md, scope, 1, cell);
+  GranuleMd* g = only_granule(md);
+  ASSERT_NE(g, nullptr);  // for_each_granule above also quiesced
+
+  quiesce_statistics();
+  const std::uint64_t base = g->stats.fold().executions;
+
+  const int kBelowThreshold =
+      static_cast<int>(StatDeltaBuffer::flush_interval()) - 2;
+  ASSERT_GT(kBelowThreshold, 0);
+  drive(md, scope, kBelowThreshold, cell);
+  // No quiesce yet: everything since `base` is still parked in this
+  // thread's buffer.
+  EXPECT_EQ(g->stats.fold().executions, base);
+
+  quiesce_statistics();
+  EXPECT_EQ(g->stats.fold().executions,
+            base + static_cast<std::uint64_t>(kBelowThreshold));
+}
+
+// Reaching the flush interval drains the buffer without any quiesce.
+TEST_F(StatDeltaTest, ThresholdTriggersAutoFlush) {
+  test::PolicyInstaller inst(std::make_unique<LockOnlyPolicy>());
+  LockMd md("statdelta.threshold");
+  static ScopeInfo scope("cs", /*has_swopt=*/false);
+  std::uint64_t cell = 0;
+
+  drive(md, scope, 1, cell);
+  GranuleMd* g = only_granule(md);
+  ASSERT_NE(g, nullptr);
+  quiesce_statistics();
+  const std::uint64_t base = g->stats.fold().executions;
+
+  const int kOverThreshold =
+      static_cast<int>(StatDeltaBuffer::flush_interval()) + 8;
+  drive(md, scope, kOverThreshold, cell);
+  // At least one automatic flush must have happened.
+  EXPECT_GT(g->stats.fold().executions, base);
+}
+
+// A buffer juggling more granules than it has slots evicts-by-flushing, so
+// early granules' deltas become visible when the working set moves on.
+TEST_F(StatDeltaTest, SlotEvictionFlushes) {
+  static_assert(StatDeltaBuffer::kSlots == 4);
+  test::PolicyInstaller inst(std::make_unique<LockOnlyPolicy>());
+  LockMd md("statdelta.evict");
+  quiesce_statistics();
+
+  // Distinct granules via distinct explicit scopes (one granule per call
+  // context). kSlots + 1 of them forces an eviction cycle.
+  static ScopeInfo scopes[] = {
+      ScopeInfo("s0", false), ScopeInfo("s1", false), ScopeInfo("s2", false),
+      ScopeInfo("s3", false), ScopeInfo("s4", false)};
+  std::uint64_t cell = 0;
+  for (const ScopeInfo& s : scopes) drive(md, s, 1, cell);
+
+  // Filling the fifth slot flushed the whole buffer and re-buffered only
+  // the newest granule: the first four must be visible with no quiesce
+  // (granule_for bypasses the for_each_granule chokepoint), the fifth
+  // still parked in the buffer.
+  for (unsigned i = 0; i < StatDeltaBuffer::kSlots; ++i) {
+    GranuleMd& g = md.granule_for(context_root().child(&scopes[i]));
+    EXPECT_EQ(g.stats.fold().executions, 1u) << "scope s" << i;
+  }
+  GranuleMd& last = md.granule_for(context_root().child(&scopes[4]));
+  EXPECT_EQ(last.stats.fold().executions, 0u);
+  quiesce_statistics();
+  EXPECT_EQ(last.stats.fold().executions, 1u);
+}
+
+// The chokepoint: every consumer reading through for_each_granule (reports,
+// snapshots, policy transitions) sees exact totals with no explicit
+// quiesce, because the iteration itself force-flushes.
+TEST_F(StatDeltaTest, ForEachGranuleSeesExactTotals) {
+  test::PolicyInstaller inst(std::make_unique<LockOnlyPolicy>());
+  LockMd md("statdelta.foreach");
+  static ScopeInfo scope("cs", /*has_swopt=*/false);
+  std::uint64_t cell = 0;
+  constexpr int kN = 37;  // below the flush interval: purely buffered
+  quiesce_statistics();
+  drive(md, scope, kN, cell);
+
+  std::uint64_t execs = 0, lock_succ = 0;
+  md.for_each_granule([&](GranuleMd& g) {
+    const GranuleTotals t = g.stats.fold();
+    execs += t.executions;
+    lock_succ += t.of(ExecMode::kLock).successes;
+  });
+  EXPECT_EQ(execs, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(lock_succ, static_cast<std::uint64_t>(kN));
+}
+
+// AdaptivePolicy phase transitions walk for_each_granule and therefore
+// learn from flushed totals: after exactly phase_len executions the policy
+// must have advanced out of the measure-Lock phase — impossible if the
+// transition had read stale (buffered) statistics.
+TEST_F(StatDeltaTest, AdaptiveTransitionSeesFlushedTotals) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 50;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  LockMd md("statdelta.adaptive");
+  static ScopeInfo scope("cs", /*has_swopt=*/true);
+  std::uint64_t cell = 0;
+  drive(md, scope, 2000, cell);
+  EXPECT_TRUE(p->converged(md));
+
+  // And the learning inputs the transition read were complete: totals are
+  // exact across the whole run (every execution counted, none lost in a
+  // buffer during the phase walk; post-convergence plan sampling keeps
+  // counts unbiased but no longer exact, so bound instead of equate).
+  std::uint64_t execs = 0;
+  md.for_each_granule(
+      [&](GranuleMd& g) { execs += g.stats.fold().executions; });
+  EXPECT_GT(execs, 1000u);
+}
+
+// 8 threads hammering commits against a shared granule while the main
+// thread quiesces concurrently — the TSan case for the buffer registry,
+// per-buffer locks, and remote drain.
+TEST_F(StatDeltaTest, ConcurrentCommitAndQuiesce) {
+  test::PolicyInstaller inst(std::make_unique<LockOnlyPolicy>());
+  LockMd md("statdelta.hammer");
+  static ScopeInfo scope("cs", /*has_swopt=*/false);
+  constexpr unsigned kThreads = 8;
+  // 8·63 = 504 < 512: even if every delta drains onto one stripe (the
+  // quiescer applies remote deltas to its own stripe), each counter stays
+  // in the exact BFP regime, so the final fold must be exact.
+  constexpr int kPer = 63;
+
+  std::atomic<bool> stop{false};
+  std::thread quiescer([&] {
+    while (!stop.load(std::memory_order_relaxed)) quiesce_statistics();
+  });
+  test::run_threads(kThreads, [&](unsigned) {
+    std::uint64_t local = 0;
+    drive(md, scope, kPer, local);
+  });
+  stop.store(true, std::memory_order_relaxed);
+  quiescer.join();
+
+  // Worker threads exited, so their buffers flushed on destruction.
+  std::uint64_t execs = 0;
+  md.for_each_granule(
+      [&](GranuleMd& g) { execs += g.stats.fold().executions; });
+  EXPECT_EQ(execs, static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+}  // namespace
+}  // namespace ale

@@ -100,7 +100,7 @@ TEST_F(PerBucketTest, RemoteMutationDoesNotInvalidateReader) {
     mutator.join();
     std::uint64_t fails = 0;
     map.lock_md().for_each_granule(
-        [&](GranuleMd& g) { fails += g.stats.swopt_failures.read(); });
+        [&](GranuleMd& g) { fails += g.stats.fold().swopt_failures; });
     return fails;
   };
 

@@ -124,9 +124,10 @@ TEST_P(ForcedFailureMatrix, EveryExecutionCompletesViaFallback) {
   auto check_md = [&](LockMd& md, bool expect_lock_successes) {
     std::uint64_t htm_succ = 0, swopt_succ = 0, lock_succ = 0;
     md.for_each_granule([&](GranuleMd& g) {
-      htm_succ += g.stats.of(ExecMode::kHtm).successes.read();
-      swopt_succ += g.stats.of(ExecMode::kSwOpt).successes.read();
-      lock_succ += g.stats.of(ExecMode::kLock).successes.read();
+      const GranuleTotals t = g.stats.fold();
+      htm_succ += t.of(ExecMode::kHtm).successes;
+      swopt_succ += t.of(ExecMode::kSwOpt).successes;
+      lock_succ += t.of(ExecMode::kLock).successes;
     });
     if (GetParam().htm_sabotaged) EXPECT_EQ(htm_succ, 0u);
     if (GetParam().swopt_sabotaged) EXPECT_EQ(swopt_succ, 0u);

@@ -26,7 +26,7 @@ struct KvdbFidelity : ::testing::Test {
     std::uint64_t n = 0;
     db.method_lock_md().for_each_granule([&](GranuleMd& g) {
       if (g.context()->path().find("get.outer") == std::string::npos) return;
-      n += g.stats.of(ExecMode::kSwOpt).successes.read();
+      n += g.stats.fold().of(ExecMode::kSwOpt).successes;
     });
     return n;
   }

@@ -103,7 +103,7 @@ TEST_F(ShardedDbTest, SwOptGetCopiesExtension) {
   std::uint64_t swopt_succ = 0;
   for (std::size_t i = 0; i < db.num_slots(); ++i) {
     db.slot_lock_md(i).for_each_granule([&](GranuleMd& g) {
-      swopt_succ += g.stats.of(ExecMode::kSwOpt).successes.read();
+      swopt_succ += g.stats.fold().of(ExecMode::kSwOpt).successes;
     });
   }
   EXPECT_GE(swopt_succ, 1u);

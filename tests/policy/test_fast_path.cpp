@@ -91,10 +91,12 @@ TEST_F(FastPathTest, WeightedSamplingKeepsCountsUnbiased) {
   GranuleMd* g = granule_of(md, scope);
   ASSERT_TRUE(g->attempt_plan().valid());
 
-  const std::uint64_t before = g->stats.executions.read();
+  quiesce_statistics();
+  const std::uint64_t before = g->stats.fold().executions;
   constexpr int kN = 20000;
   drive(md, scope, kN, cell);
-  const std::uint64_t grown = g->stats.executions.read() - before;
+  quiesce_statistics();
+  const std::uint64_t grown = g->stats.fold().executions - before;
   // 1/32 of executions each count 32: unbiased, but noisier than exact
   // counting (BFP error stacks on top). Wide band.
   EXPECT_GT(grown, kN / 2);

@@ -1,0 +1,142 @@
+// Striped granule counters: fold() must project exactly what a single
+// serial counter would have (exact below the BFP threshold, unbiased
+// above), regardless of which stripes the increments landed on. The
+// multithreaded cases double as the TSan hammer for the striped layout.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/granule.hpp"
+#include "stats/striped_counter.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+TEST(StripedCounter, StripeCountBounded) {
+  const unsigned n = stat_stripe_count();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, kMaxStatStripes);
+}
+
+TEST(StripedCounter, MyStripeStableAndInRange) {
+  const unsigned mine = my_stat_stripe();
+  EXPECT_LT(mine, stat_stripe_count());
+  EXPECT_EQ(my_stat_stripe(), mine);  // stable for the thread's lifetime
+}
+
+TEST(StripedCounter, FoldStartsAtZero) {
+  GranuleStats s;
+  const GranuleTotals t = s.fold();
+  EXPECT_EQ(t.executions, 0u);
+  for (unsigned m = 0; m < kNumExecModes; ++m) {
+    EXPECT_EQ(t.mode[m].attempts, 0u);
+    EXPECT_EQ(t.mode[m].successes, 0u);
+  }
+  for (unsigned c = 0; c < htm::kNumAbortCauses; ++c) {
+    EXPECT_EQ(t.abort_cause[c], 0u);
+  }
+  EXPECT_EQ(t.swopt_failures, 0u);
+}
+
+// Serial oracle: spread known exact quantities across every stripe slot and
+// check fold() against plain integer arithmetic. Totals per counter stay
+// below the BFP threshold, so every read is exact, not statistical.
+TEST(StripedCounter, FoldMatchesSerialOracleExactly) {
+  GranuleStats s;
+  std::uint64_t want_execs = 0, want_att = 0, want_succ = 0, want_fail = 0;
+  for (unsigned i = 0; i < kMaxStatStripes; ++i) {
+    GranuleCounterStripe& st = s.stripe_at(i);
+    for (unsigned k = 0; k < i + 1; ++k) st.executions.inc();
+    want_execs += i + 1;
+    st.of(ExecMode::kHtm).attempts.inc_many(2 * i + 1);  // inc_many weights
+    want_att += 2 * i + 1;
+    st.of(ExecMode::kHtm).successes.inc_many(i);
+    want_succ += i;
+    if (i % 2 == 0) {
+      st.swopt_failures.inc();
+      want_fail += 1;
+    }
+  }
+  const GranuleTotals t = s.fold();
+  EXPECT_EQ(t.executions, want_execs);
+  EXPECT_EQ(t.of(ExecMode::kHtm).attempts, want_att);
+  EXPECT_EQ(t.of(ExecMode::kHtm).successes, want_succ);
+  EXPECT_EQ(t.swopt_failures, want_fail);
+}
+
+// Writer-facing stripe(): increments land on this thread's slot and are
+// visible through fold() like any other stripe's.
+TEST(StripedCounter, ThreadStripeFeedsFold) {
+  GranuleStats s;
+  s.stripe().executions.inc_many(17);
+  EXPECT_EQ(s.fold().executions, 17u);
+}
+
+// 8-thread hammer (the TSan case): concurrent inc() on whichever stripe
+// each thread owns plus concurrent fold() readers. With per-thread totals
+// this small every stripe stays in the exact regime, so the final fold is
+// exact even though threads may share stripes.
+TEST(StripedCounter, ConcurrentHammerFoldsExactBelowThreshold) {
+  GranuleStats s;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPer = 63;  // 8·63 = 504 < 512 even on one stripe
+  test::run_threads(kThreads, [&](unsigned) {
+    for (std::uint64_t i = 0; i < kPer; ++i) {
+      s.stripe().executions.inc();
+      (void)s.fold().executions;  // concurrent reader on the shared stripes
+    }
+  });
+  EXPECT_EQ(s.fold().executions, kThreads * kPer);
+}
+
+// Above the threshold the stripes go probabilistic; the folded estimate
+// must stay unbiased within the usual BFP error band.
+TEST(StripedCounter, ConcurrentHammerStaysAccurateAboveThreshold) {
+  GranuleStats s;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPer = 50000;
+  test::run_threads(kThreads, [&](unsigned) {
+    for (std::uint64_t i = 0; i < kPer; ++i) {
+      s.stripe().of(ExecMode::kLock).attempts.inc();
+    }
+  });
+  const double truth = static_cast<double>(kThreads * kPer);
+  // Stripes are independent estimators; summing them cannot be worse than
+  // one counter absorbing everything. Keep the single-counter 5σ band.
+  const double tolerance = 5.0 * std::sqrt(2.0 / 512.0) * truth;
+  EXPECT_NEAR(static_cast<double>(s.fold().of(ExecMode::kLock).attempts),
+              truth, tolerance);
+}
+
+// Bulk inc_many must agree with n serial inc() calls exactly while the
+// counter is below threshold, including when a batch lands in pieces.
+TEST(StripedCounter, IncManyExactBelowThreshold) {
+  BfpCounter c(/*threshold=*/512);
+  c.inc_many(200);
+  c.inc_many(311);
+  EXPECT_EQ(c.read(), 511u);
+  EXPECT_TRUE(c.is_exact());
+}
+
+TEST(StripedCounter, IncManyUnbiasedAcrossThreshold) {
+  BfpCounter c(/*threshold=*/512);
+  constexpr std::uint64_t kN = 400000;
+  c.inc_many(kN);  // exercises the geometric-skip fast path heavily
+  const double truth = static_cast<double>(kN);
+  EXPECT_NEAR(static_cast<double>(c.read()), truth,
+              5.0 * std::sqrt(2.0 / 512.0) * truth);
+}
+
+TEST(StripedCounter, IncManyManySmallBatchesUnbiased) {
+  BfpCounter c(/*threshold=*/512);
+  constexpr std::uint64_t kBatches = 20000;
+  constexpr std::uint64_t kWeight = 32;  // the engine's plan-sample weight
+  for (std::uint64_t i = 0; i < kBatches; ++i) c.inc_many(kWeight);
+  const double truth = static_cast<double>(kBatches * kWeight);
+  EXPECT_NEAR(static_cast<double>(c.read()), truth,
+              5.0 * std::sqrt(2.0 / 512.0) * truth);
+}
+
+}  // namespace
+}  // namespace ale

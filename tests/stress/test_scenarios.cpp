@@ -96,7 +96,7 @@ struct StressTest : ::testing::Test {
   static std::uint64_t mode_successes(LockMd& md, ExecMode m) {
     std::uint64_t total = 0;
     md.for_each_granule(
-        [&](GranuleMd& g) { total += g.stats.of(m).successes.read(); });
+        [&](GranuleMd& g) { total += g.stats.fold().of(m).successes; });
     return total;
   }
 };

@@ -31,5 +31,47 @@ TEST(Backoff, CustomCapRespected) {
   EXPECT_EQ(b.current_limit(), 64u);
 }
 
+// Waiter-aware window scaling (ALE_BACKOFF unset → defaults: waiter_scale=1,
+// waiter_cap=64, ceiling=65536).
+
+TEST(Backoff, WindowEqualsLimitWithoutWaiters) {
+  Backoff b;
+  EXPECT_EQ(b.current_window(), b.current_limit());
+  b.pause();
+  EXPECT_EQ(b.current_window(), b.current_limit());
+}
+
+TEST(Backoff, WaitersScaleWindow) {
+  Backoff b;
+  b.set_waiters(3);
+  // window = limit · (1 + waiters·scale) with the default scale of 1.
+  EXPECT_EQ(b.current_window(),
+            static_cast<std::uint64_t>(b.current_limit()) * 4);
+  b.set_waiters(0);
+  EXPECT_EQ(b.current_window(), b.current_limit());
+}
+
+TEST(Backoff, WaiterEstimateClampedToCap) {
+  Backoff b;
+  b.set_waiters(1000000);
+  EXPECT_EQ(b.waiters(), backoff_config().waiter_cap);
+}
+
+TEST(Backoff, WindowCappedByCeiling) {
+  Backoff b;
+  for (int i = 0; i < 20; ++i) b.pause();  // limit at kMaxSpins
+  b.set_waiters(64);
+  EXPECT_EQ(b.current_window(),
+            static_cast<std::uint64_t>(backoff_config().ceiling));
+}
+
+TEST(Backoff, WaitersDoNotAffectLimitWalk) {
+  // Scaling changes the spin *window*, not the exponential limit walk.
+  Backoff b;
+  b.set_waiters(8);
+  for (int i = 0; i < 20; ++i) b.pause();
+  EXPECT_EQ(b.current_limit(), Backoff::kMaxSpins);
+}
+
 }  // namespace
 }  // namespace ale

@@ -55,6 +55,21 @@ TEST(Snzi, RootFiltering) {
   s.depart();
 }
 
+// approx_surplus: the waiter estimate backing waiter-aware backoff. It is
+// the root surplus clamped at zero — a lower bound on live arrivals (leaf
+// filtering hides same-leaf nesting), never negative, zero at rest.
+TEST(Snzi, ApproxSurplusTracksArrivals) {
+  Snzi s(4);
+  EXPECT_EQ(s.approx_surplus(), 0u);
+  s.arrive();
+  EXPECT_EQ(s.approx_surplus(), 1u);
+  s.arrive();  // same leaf: filtered at the root, estimate stays ≥ 1
+  EXPECT_GE(s.approx_surplus(), 1u);
+  s.depart();
+  s.depart();
+  EXPECT_EQ(s.approx_surplus(), 0u);
+}
+
 // Concurrent arrive/depart storm: the indicator must read exactly zero
 // when all arrivals have departed, and nonzero while a holder exists.
 TEST(Snzi, ConcurrentBalancedStorm) {
