@@ -1,0 +1,247 @@
+// check_explorer — the CI / command-line face of ale::check.
+//
+// Runs the canonical exploration scenarios (src/check/scenarios.hpp) for a
+// configurable schedule budget and exits nonzero if any schedule produced a
+// linearizability or invariant violation. Every violation prints a
+// one-line repro (ALE_SEED=... ALE_CHECK_SCHEDULE=... <this command>), so a
+// CI failure is replayable locally with copy-paste.
+//
+//   ./bench/check_explorer                            # full clean sweep
+//   ./bench/check_explorer --schedules=10000          # CI-sized sweep
+//   ./bench/check_explorer --scenario=hashmap --mode=swopt --seed=0x2a
+//   ./bench/check_explorer --strategy=exhaustive --schedules=100000
+//   ./bench/check_explorer --mutate=swopt.blind --expect-violation
+//
+// --mutate installs an inject mutation point (swopt.blind / htm.lazysub)
+// and, with --expect-violation, inverts the exit status: success means the
+// explorer CAUGHT the planted bug — the mutation self-test CI runs this.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#ifdef __linux__
+#include <sys/personality.h>
+#include <unistd.h>
+#endif
+
+#include "check/explore.hpp"
+#include "check/scenarios.hpp"
+#include "common/prng.hpp"
+#include "htm/htm.hpp"
+#include "inject/inject.hpp"
+
+namespace {
+
+using namespace ale;
+using namespace ale::check;
+using scenarios::MapScenarioOptions;
+using scenarios::ModePin;
+
+struct Cli {
+  std::string scenario = "all";   // all | hashmap | kvdb | counter
+  std::string mode = "all";       // all | lock | swopt | htm
+  std::string mutate;             // "" | swopt.blind | htm.lazysub | ...
+  Strategy strategy = Strategy::kRandom;
+  std::uint64_t schedules = 256;
+  std::uint64_t seed = 0;         // 0 → ALE_SEED-derived run seed
+  bool expect_violation = false;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* bad) {
+  if (bad != nullptr) std::fprintf(stderr, "unknown argument: %s\n", bad);
+  std::fprintf(
+      stderr,
+      "usage: %s [--scenario=all|hashmap|kvdb|counter]\n"
+      "          [--mode=all|lock|swopt|htm] [--strategy=random|pct|"
+      "exhaustive]\n"
+      "          [--schedules=N] [--seed=S] [--mutate=POINT]"
+      " [--expect-violation]\n",
+      argv0);
+  std::exit(2);
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 0);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+Cli parse(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return std::strncmp(a, prefix, n) == 0 ? a + n : nullptr;
+    };
+    if (const char* v = val("--scenario=")) {
+      cli.scenario = v;
+    } else if (const char* v = val("--mode=")) {
+      cli.mode = v;
+    } else if (const char* v = val("--mutate=")) {
+      cli.mutate = v;
+    } else if (const char* v = val("--strategy=")) {
+      const auto s = strategy_by_name(v);
+      if (!s) usage(argv[0], a);
+      cli.strategy = *s;
+    } else if (const char* v = val("--schedules=")) {
+      if (!parse_u64(v, cli.schedules)) usage(argv[0], a);
+    } else if (const char* v = val("--seed=")) {
+      if (!parse_u64(v, cli.seed)) usage(argv[0], a);
+    } else if (std::strcmp(a, "--expect-violation") == 0) {
+      cli.expect_violation = true;
+    } else {
+      usage(argv[0], a);
+    }
+  }
+  return cli;
+}
+
+// The repro hint must re-fix an explicit --seed: the repro line's ALE_SEED
+// carries the process run seed (engine-internal streams), and the
+// exploration base seed is a separate knob.
+std::string seed_arg(const Cli& cli) {
+  if (cli.seed == 0) return "";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " --seed=0x%" PRIx64, cli.seed);
+  return buf;
+}
+
+std::vector<ModePin> pins_for(const std::string& mode) {
+  if (mode == "lock") return {ModePin::kLockOnly};
+  if (mode == "swopt") return {ModePin::kSwOptOnly};
+  if (mode == "htm") return {ModePin::kHtmOnly};
+  return {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly};
+}
+
+struct Job {
+  std::string name;
+  std::string hint;  // repro command suffix
+  ScenarioFn fn;
+};
+
+std::vector<Job> build_jobs(const Cli& cli) {
+  std::vector<Job> jobs;
+  const bool all = cli.scenario == "all";
+  for (const char* which : {"hashmap", "kvdb"}) {
+    if (!all && cli.scenario != which) continue;
+    for (const ModePin pin : pins_for(cli.mode)) {
+      MapScenarioOptions mo;
+      mo.pin = pin;
+      const std::string name =
+          std::string(which) + "/" + scenarios::to_string(pin);
+      const std::string hint = std::string("./bench/check_explorer") +
+                               " --scenario=" + which +
+                               " --mode=" + scenarios::to_string(pin) +
+                               seed_arg(cli);
+      const bool is_map = std::strcmp(which, "hashmap") == 0;
+      jobs.push_back({name, hint, [mo, is_map](ScheduleCtx& ctx) {
+                        return is_map ? scenarios::hashmap_schedule(ctx, mo)
+                                      : scenarios::kvdb_schedule(ctx, mo);
+                      }});
+    }
+  }
+  if (all || cli.scenario == "counter") {
+    jobs.push_back({"counter",
+                    "./bench/check_explorer --scenario=counter" +
+                        seed_arg(cli),
+                    [](ScheduleCtx& ctx) {
+                      return scenarios::counter_schedule(ctx, 3, 2);
+                    }});
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "no scenario matches --scenario=%s\n",
+                 cli.scenario.c_str());
+    std::exit(2);
+  }
+  return jobs;
+}
+
+// Schedule indices must be stable across processes for the one-line repro
+// to mean anything, but parts of the engine hash addresses (the emulated
+// version table, stripe selection), so ASLR shifts which index exposes a
+// bug. Re-exec once with address randomization off; if that fails, carry
+// on randomized — the sweep is still valid, only cross-process index
+// stability is lost.
+void ensure_stable_addresses(char** argv) {
+#ifdef __linux__
+  if (std::getenv("ALE_CHECK_NO_REEXEC") != nullptr) return;
+  const int persona = personality(0xffffffff);
+  if (persona == -1 || (persona & ADDR_NO_RANDOMIZE) != 0) return;
+  personality(persona | ADDR_NO_RANDOMIZE);
+  setenv("ALE_CHECK_NO_REEXEC", "1", 1);  // belt-and-braces against loops
+  execv("/proc/self/exe", argv);
+#endif
+  (void)argv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ensure_stable_addresses(argv);
+  const Cli cli = parse(argc, argv);
+
+  // Deterministic emulated backend: exploration must not depend on whether
+  // this machine has real TSX (and real HTM cannot be single-stepped by a
+  // userspace scheduler anyway).
+  htm::Config hc;
+  hc.backend = htm::BackendKind::kEmulated;
+  hc.profile = htm::ideal_profile();
+  htm::configure(hc);
+
+  inject::reset();
+  if (!cli.mutate.empty() && !inject::configure(cli.mutate.c_str())) {
+    std::fprintf(stderr, "bad --mutate spec: %s\n", cli.mutate.c_str());
+    return 2;
+  }
+
+  const std::uint64_t seed = cli.seed != 0 ? cli.seed : run_seed();
+  std::printf("check_explorer: strategy=%s schedules=%" PRIu64
+              " seed=0x%" PRIx64 "%s%s\n",
+              to_string(cli.strategy), cli.schedules, seed,
+              cli.mutate.empty() ? "" : " mutate=",
+              cli.mutate.c_str());
+
+  bool any_violation = false;
+  std::uint64_t total_schedules = 0;
+  for (const Job& job : build_jobs(cli)) {
+    ExploreOptions opts;
+    opts.name = job.name;
+    opts.repro_hint = job.hint +
+                      (cli.mutate.empty() ? "" : " --mutate=" + cli.mutate);
+    opts.strategy = cli.strategy;
+    opts.schedules = cli.schedules;
+    opts.seed = seed;
+    const ExploreResult r = explore(opts, job.fn);
+    total_schedules += r.schedules_run;
+    std::printf("  %-16s %8" PRIu64 " schedules  %10" PRIu64 " steps  %s%s\n",
+                job.name.c_str(), r.schedules_run, r.total_steps,
+                r.ok() ? "clean" : "VIOLATION",
+                r.space_exhausted ? " (space exhausted)" : "");
+    if (!r.ok()) {
+      any_violation = true;
+      // Details + repro already went to stderr via explore(); with
+      // --expect-violation one catch is enough — stop burning budget.
+      if (cli.expect_violation) break;
+    }
+  }
+  std::printf("check_explorer: %" PRIu64 " schedules total, %s\n",
+              total_schedules,
+              any_violation ? "violations found" : "all clean");
+
+  if (cli.expect_violation) {
+    if (!any_violation) {
+      std::fprintf(stderr,
+                   "expected the planted mutation to be caught, but every "
+                   "schedule came back clean\n");
+      return 1;
+    }
+    std::printf("planted mutation caught — self-test passed\n");
+    return 0;
+  }
+  return any_violation ? 1 : 0;
+}

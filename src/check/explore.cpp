@@ -1,0 +1,128 @@
+#include "check/explore.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/cycles.hpp"
+#include "common/env.hpp"
+#include "common/prng.hpp"
+
+namespace ale::check {
+
+namespace {
+
+// RAII: the explorer runs under virtual time by default so time-learning
+// code sees deterministic costs; restored on exit.
+struct ScopedVirtualTime {
+  explicit ScopedVirtualTime(bool on) : prev(virtual_time_enabled()) {
+    if (on) set_virtual_time_enabled(true);
+  }
+  ~ScopedVirtualTime() { set_virtual_time_enabled(prev); }
+  bool prev;
+};
+
+// The repro's ALE_SEED is the *process run seed*, not the exploration's
+// base seed: engine-internal PRNG streams (backoff jitter, sampling) also
+// derive from the run seed and equally shape every interleaving, so the
+// replaying process must pin it. A harness that fixed an explicit base
+// seed (opts.seed != 0) must also re-fix it on replay — the repro hint is
+// expected to carry that (bench/check_explorer appends --seed).
+std::string make_repro(const ExploreOptions& opts, std::uint64_t schedule) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "ALE_SEED=0x%" PRIx64 " ALE_CHECK_SCHEDULE=%" PRIu64 " %s",
+                run_seed(), schedule,
+                opts.repro_hint.empty() ? opts.name.c_str()
+                                        : opts.repro_hint.c_str());
+  return buf;
+}
+
+}  // namespace
+
+RunStats ScheduleCtx::run_threads(std::vector<std::function<void()>> bodies) {
+  last_ = run_schedule(opts_, std::move(bodies), dfs_);
+  return last_;
+}
+
+ExploreResult explore(const ExploreOptions& opts_in, const ScenarioFn& fn) {
+  ExploreOptions opts = opts_in;
+  opts.schedules = env_uint64("ALE_CHECK_SCHEDULES", opts.schedules);
+  const std::uint64_t replay =
+      env_uint64("ALE_CHECK_SCHEDULE", ~std::uint64_t{0});
+  const bool replaying = replay != ~std::uint64_t{0};
+
+  // The base seed ties the whole exploration to the process run seed, so
+  // ALE_SEED alone pins every schedule in the sweep.
+  const std::uint64_t base_seed =
+      opts.seed != 0 ? opts.seed : derive_seed(0xa1ec4ecULL);
+
+  ExploreResult result;
+  ScopedVirtualTime vt(opts.virtual_time);
+  DfsState dfs;
+
+  const bool exhaustive = opts.strategy == Strategy::kExhaustive;
+  // Replay re-runs the whole prefix 0..k for every strategy, not just the
+  // schedule at k: kExhaustive needs it to rebuild the DFS prefix, and the
+  // randomized strategies need it because schedule k's outcome depends on
+  // in-process state the earlier schedules left behind (lazily built
+  // context/granule structures, allocator history feeding address-hashed
+  // caches). Schedules 0..k-1 were clean in the original sweep — a sweep
+  // stops at its first violation — so the deterministic re-run reaches k
+  // with identical state and the prefix costs no more than the original
+  // hunt did.
+  std::uint64_t k = 0;
+  const std::uint64_t end = replaying ? replay + 1 : opts.schedules;
+  for (; k < end; ++k) {
+    ScheduleCtx ctx;
+    ctx.index_ = k;
+    ctx.opts_.strategy = opts.strategy;
+    // kExhaustive enumerates via the DFS prefix under one fixed seed;
+    // randomized strategies re-derive a seed per schedule index so a
+    // single index replays without iterating its predecessors.
+    ctx.opts_.seed = opts.strategy == Strategy::kExhaustive
+                         ? base_seed
+                         : derive_seed(base_seed, k);
+    ctx.opts_.pct_change_points = opts.pct_change_points;
+    ctx.opts_.pct_expected_steps = opts.pct_expected_steps;
+    ctx.opts_.preemption_bound = opts.preemption_bound;
+    ctx.opts_.max_steps = opts.max_steps;
+    ctx.dfs_ = opts.strategy == Strategy::kExhaustive ? &dfs : nullptr;
+
+    std::optional<std::string> violation = fn(ctx);
+    result.schedules_run++;
+    result.total_steps += ctx.last_.steps;
+    if (ctx.last_.budget_exhausted) result.budget_exhausted_runs++;
+    if (!violation && ctx.last_.body_exception) {
+      violation = "uncaught exception in controlled thread: " +
+                  ctx.last_.exception_what;
+    }
+
+    if (violation) {
+      Violation v;
+      v.schedule = k;
+      v.seed = ctx.opts_.seed;
+      v.detail = *violation;
+      v.repro = make_repro(opts, k);
+      if (!opts.quiet) {
+        std::fprintf(stderr,
+                     "[ale.check] %s: violation at schedule %" PRIu64
+                     " (strategy=%s): %s\n",
+                     opts.name.c_str(), k, to_string(opts.strategy),
+                     v.detail.c_str());
+        std::fprintf(stderr, "[ale.check] repro: %s\n", v.repro.c_str());
+      }
+      result.violations.push_back(std::move(v));
+      if (opts.stop_on_violation) break;
+    }
+
+    if (exhaustive) {
+      if (!dfs.advance()) {
+        result.space_exhausted = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ale::check

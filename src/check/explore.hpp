@@ -1,0 +1,99 @@
+// The ale::check explorer: drive a scenario through many controlled
+// schedules, collect violations, and print replayable one-line repros.
+//
+// A scenario is a callable that sets up fresh shared state, runs its thread
+// bodies via ScheduleCtx::run_threads() (which serializes them under the
+// strategy's schedule), checks whatever it checks (linearizability,
+// invariants), and returns a violation description or nullopt.
+//
+// Reproducing a failure: every violation prints
+//
+//   [ale.check] repro: ALE_SEED=0x<seed> ALE_CHECK_SCHEDULE=<k> <hint>
+//
+// Re-running the same harness with those two environment variables set
+// replays exactly schedule k (the per-schedule seed is derived from the run
+// seed and k, and ALE_CHECK_SCHEDULE narrows the loop to that one
+// schedule). Environment overrides honoured by explore():
+//
+//   ALE_CHECK_SCHEDULE=<k>   replay up to schedule k (the clean prefix
+//                            0..k-1 re-runs too: schedule k's outcome
+//                            depends on the in-process state it built)
+//   ALE_CHECK_SCHEDULES=<n>  override the schedule budget
+//
+// Caveat: parts of the engine hash object addresses (the emulated
+// backend's version table, the per-thread granule cache), so address-space
+// layout randomization can shift *which* schedule index exposes a bug
+// between processes — schedules stay deterministic within a process and
+// across processes with identical layouts. bench/check_explorer therefore
+// re-execs itself with ASLR disabled (personality ADDR_NO_RANDOMIZE), and
+// the canonical scenarios keep engine-hashed state on the heap (stack
+// addresses shift with the argv/env block even without ASLR). Replaying a
+// repro line through any other harness needs `setarch $(uname -m) -R`.
+// See docs/testing.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/scheduler.hpp"
+
+namespace ale::check {
+
+struct ExploreOptions {
+  std::string name = "explore";      // shown in violation reports
+  std::string repro_hint;            // appended to the repro line
+  std::uint64_t schedules = 256;
+  Strategy strategy = Strategy::kRandom;
+  std::uint64_t seed = 0;            // 0 → derived from the ALE_SEED run seed
+  std::uint32_t pct_change_points = 3;
+  std::uint64_t pct_expected_steps = 4096;
+  std::uint32_t preemption_bound = 2;
+  std::uint64_t max_steps = 1u << 20;
+  bool virtual_time = true;   // deterministic timing for learning policies
+  bool stop_on_violation = true;
+  bool quiet = false;         // suppress the stderr violation print
+};
+
+struct Violation {
+  std::uint64_t schedule = 0;
+  std::uint64_t seed = 0;  // the derived per-schedule scheduler seed
+  std::string detail;
+  std::string repro;  // the one-line repro command prefix
+};
+
+struct ExploreResult {
+  std::uint64_t schedules_run = 0;
+  std::uint64_t total_steps = 0;
+  std::uint64_t budget_exhausted_runs = 0;
+  bool space_exhausted = false;  // kExhaustive enumerated the whole tree
+  std::vector<Violation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+// Handed to the scenario for each schedule.
+class ScheduleCtx {
+ public:
+  std::uint64_t index() const noexcept { return index_; }
+  std::uint64_t seed() const noexcept { return opts_.seed; }
+
+  // Serialize `bodies` under this schedule (see run_schedule()).
+  RunStats run_threads(std::vector<std::function<void()>> bodies);
+
+ private:
+  friend ExploreResult explore(const ExploreOptions&,
+                               const std::function<std::optional<std::string>(
+                                   ScheduleCtx&)>&);
+  std::uint64_t index_ = 0;
+  SchedulerOptions opts_;
+  DfsState* dfs_ = nullptr;
+  RunStats last_;
+};
+
+using ScenarioFn = std::function<std::optional<std::string>(ScheduleCtx&)>;
+
+ExploreResult explore(const ExploreOptions& opts, const ScenarioFn& fn);
+
+}  // namespace ale::check

@@ -1,0 +1,86 @@
+// Invocation/response histories for linearizability checking.
+//
+// Each controlled thread records its operations into a private lane (no
+// locks on the recording path); invocation and response take stamps from
+// one global atomic counter, so the real-time order the checker needs —
+// "A's response precedes B's invocation" — is exactly "A.response <
+// B.invoke". merged() flattens the lanes after the threads have joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ale::check {
+
+enum class OpKind : std::uint8_t { kGet = 0, kInsert, kRemove, kSet };
+
+inline const char* to_string(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kGet: return "get";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kRemove: return "remove";
+    case OpKind::kSet: return "set";
+  }
+  return "?";
+}
+
+struct Op {
+  std::uint32_t thread = 0;
+  OpKind kind = OpKind::kGet;
+  std::uint64_t key = 0;
+  std::uint64_t arg = 0;  // insert/set value
+  bool ok = false;        // returned bool (get: present; insert: fresh; ...)
+  std::uint64_t out = 0;  // get: value read (valid when ok)
+  std::uint64_t invoke = 0;
+  std::uint64_t response = 0;
+};
+
+// One line per op, e.g. "t1 insert(7,42)=fresh [5,9]".
+std::string format_op(const Op& op);
+
+class History {
+ public:
+  explicit History(unsigned threads) : lanes_(threads) {
+    for (auto& l : lanes_) l.reserve(64);
+  }
+  History(const History&) = delete;
+  History& operator=(const History&) = delete;
+
+  // Recording path (call from the owning thread only).
+  std::size_t invoke(unsigned thread, OpKind kind, std::uint64_t key,
+                     std::uint64_t arg = 0) {
+    auto& lane = lanes_[thread];
+    Op op;
+    op.thread = thread;
+    op.kind = kind;
+    op.key = key;
+    op.arg = arg;
+    op.invoke = clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    lane.push_back(op);
+    return lane.size() - 1;
+  }
+  void respond(unsigned thread, std::size_t idx, bool ok,
+               std::uint64_t out = 0) {
+    Op& op = lanes_[thread][idx];
+    op.ok = ok;
+    op.out = out;
+    op.response = clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  // After all recording threads have joined.
+  std::vector<Op> merged() const {
+    std::vector<Op> out;
+    for (const auto& lane : lanes_) {
+      out.insert(out.end(), lane.begin(), lane.end());
+    }
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::vector<Op>> lanes_;
+};
+
+}  // namespace ale::check

@@ -1,0 +1,154 @@
+#include "check/linearize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <tuple>
+
+namespace ale::check {
+
+std::string format_op(const Op& op) {
+  char buf[128];
+  const char* verdict;
+  char value[32];
+  value[0] = '\0';
+  switch (op.kind) {
+    case OpKind::kGet:
+      verdict = op.ok ? "hit" : "miss";
+      if (op.ok) std::snprintf(value, sizeof value, "->%llu",
+                               static_cast<unsigned long long>(op.out));
+      break;
+    case OpKind::kInsert:
+    case OpKind::kSet:
+      verdict = op.ok ? "fresh" : "overwrote";
+      std::snprintf(value, sizeof value, ",%llu",
+                    static_cast<unsigned long long>(op.arg));
+      break;
+    case OpKind::kRemove:
+      verdict = op.ok ? "removed" : "absent";
+      break;
+    default:
+      verdict = "?";
+      break;
+  }
+  std::snprintf(buf, sizeof buf, "t%u %s(%llu%s)=%s%s [%llu,%llu]",
+                op.thread, to_string(op.kind),
+                static_cast<unsigned long long>(op.key),
+                op.kind == OpKind::kInsert || op.kind == OpKind::kSet
+                    ? value
+                    : "",
+                verdict,
+                op.kind == OpKind::kGet ? value : "",
+                static_cast<unsigned long long>(op.invoke),
+                static_cast<unsigned long long>(op.response));
+  return buf;
+}
+
+namespace {
+
+using State = std::optional<std::uint64_t>;
+
+// Sequential map spec: may `op` linearize in `state`, and if so what does
+// the state become? (insert and set share overwrite semantics: the return
+// value reports whether the key was new.)
+bool step(const Op& op, State& state) {
+  switch (op.kind) {
+    case OpKind::kGet:
+      if (op.ok) return state.has_value() && *state == op.out;
+      return !state.has_value();
+    case OpKind::kInsert:
+    case OpKind::kSet: {
+      if (op.ok != !state.has_value()) return false;
+      state = op.arg;
+      return true;
+    }
+    case OpKind::kRemove: {
+      if (op.ok != state.has_value()) return false;
+      state.reset();
+      return true;
+    }
+  }
+  return false;
+}
+
+enum class Verdict { kOk, kFail, kAbort };
+
+struct KeySearch {
+  const std::vector<Op>& ops;  // one key, sorted by invoke
+  std::size_t max_states;
+  // Exact memo of failed (linearized-set, state) pairs — no hashing, so a
+  // collision can never fake a visited state into a false violation.
+  std::set<std::tuple<std::uint64_t, bool, std::uint64_t>> failed;
+
+  Verdict dfs(std::uint64_t mask, State state) {
+    const std::uint64_t full = ops.size() == 64
+                                   ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << ops.size()) - 1;
+    if (mask == full) return Verdict::kOk;
+    const auto memo_key = std::make_tuple(mask, state.has_value(),
+                                          state.value_or(0));
+    if (failed.count(memo_key) != 0) return Verdict::kFail;
+    if (failed.size() >= max_states) return Verdict::kAbort;
+
+    // Minimal pending response: only ops invoked before it may go next.
+    std::uint64_t min_response = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if ((mask >> i) & 1) continue;
+      min_response = std::min(min_response, ops[i].response);
+    }
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if ((mask >> i) & 1) continue;
+      if (ops[i].invoke > min_response) continue;
+      State next = state;
+      if (!step(ops[i], next)) continue;
+      const Verdict v = dfs(mask | (std::uint64_t{1} << i), next);
+      if (v != Verdict::kFail) return v;
+    }
+    failed.insert(memo_key);
+    return Verdict::kFail;
+  }
+};
+
+}  // namespace
+
+LinearizeResult check_map_history(
+    const std::vector<Op>& history,
+    const std::map<std::uint64_t, std::uint64_t>& initial,
+    const LinearizeOptions& opts) {
+  LinearizeResult result;
+
+  // Per-key decomposition (locality): each op touches one key.
+  std::map<std::uint64_t, std::vector<Op>> by_key;
+  for (const Op& op : history) by_key[op.key].push_back(op);
+
+  for (auto& [key, ops] : by_key) {
+    std::sort(ops.begin(), ops.end(),
+              [](const Op& a, const Op& b) { return a.invoke < b.invoke; });
+    if (ops.size() > 64) {
+      result.aborted = true;
+      continue;  // mask is a u64; scenarios keep per-key op counts small
+    }
+    State state;
+    if (auto it = initial.find(key); it != initial.end()) state = it->second;
+
+    KeySearch search{ops, opts.max_states, {}};
+    const Verdict v = search.dfs(0, state);
+    if (v == Verdict::kAbort) {
+      result.aborted = true;
+    } else if (v == Verdict::kFail) {
+      result.ok = false;
+      std::string& ex = result.explanation;
+      ex = "key " + std::to_string(key) + " has no linearization (initial ";
+      ex += state.has_value() ? std::to_string(*state) : std::string("absent");
+      ex += "):";
+      for (const Op& op : ops) {
+        ex += "\n    ";
+        ex += format_op(op);
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ale::check

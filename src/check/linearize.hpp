@@ -1,0 +1,48 @@
+// Linearizability checking of map histories against a sequential oracle.
+//
+// check_map_history() decides whether a recorded history of single-key map
+// operations (get / insert / remove / set) is linearizable with respect to
+// the obvious sequential map specification. The search is Wing–Gong style
+// [Wing & Gong, JPDC'93]: repeatedly pick a *minimal* pending operation
+// (one whose invocation precedes every pending response — only those may
+// linearize next), apply it to the model, and backtrack on contradiction.
+//
+// Two standard reductions keep the search small:
+//  * per-key decomposition — every operation here touches exactly one key,
+//    and linearizability is compositional (Herlihy & Wing's locality), so
+//    each key's subhistory is checked independently;
+//  * memoization on (linearized-set, model-state) — two search paths that
+//    linearized the same set of ops onto the same model value are
+//    equivalent, so failed states are cached (the Wing–Gong "small window"
+//    effect: ops far apart in real time never interleave in the search).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/history.hpp"
+
+namespace ale::check {
+
+struct LinearizeOptions {
+  // Backtracking-state budget per key; exceeding it reports aborted=true
+  // (never a spurious violation).
+  std::size_t max_states = 1u << 20;
+};
+
+struct LinearizeResult {
+  bool ok = true;
+  bool aborted = false;       // state budget exceeded; verdict unknown
+  std::string explanation;    // on !ok: the offending key's subhistory
+};
+
+// `initial` is the map contents before the concurrent phase began.
+LinearizeResult check_map_history(
+    const std::vector<Op>& history,
+    const std::map<std::uint64_t, std::uint64_t>& initial,
+    const LinearizeOptions& opts = {});
+
+}  // namespace ale::check

@@ -1,0 +1,286 @@
+#include "check/scenarios.hpp"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/linearize.hpp"
+#include "core/execute_cs.hpp"
+#include "core/lockmd.hpp"
+#include "core/policy_iface.hpp"
+#include "hashmap/hashmap.hpp"
+#include "htm/access.hpp"
+#include "kvdb/sharded_db.hpp"
+#include "policy/install.hpp"
+#include "sync/lockapi.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ale::check::scenarios {
+
+const char* to_string(ModePin pin) noexcept {
+  switch (pin) {
+    case ModePin::kLockOnly: return "lock";
+    case ModePin::kSwOptOnly: return "swopt";
+    case ModePin::kHtmOnly: return "htm";
+  }
+  return "?";
+}
+
+const char* policy_spec(ModePin pin) noexcept {
+  switch (pin) {
+    case ModePin::kLockOnly: return "lockonly";
+    case ModePin::kSwOptOnly: return "static-sl-8";
+    case ModePin::kHtmOnly: return "static-hl-8";
+  }
+  return "lockonly";
+}
+
+namespace {
+
+// RAII pin: install the mode's policy, restore the library default after.
+struct ScopedPolicy {
+  explicit ScopedPolicy(const char* spec) {
+    set_global_policy(make_policy(spec));
+  }
+  ~ScopedPolicy() { set_global_policy(nullptr); }
+};
+
+// Mirror of AleHashMap's bucket function (hashmap.hpp) so the workload can
+// pick keys that share one bucket chain — where the retire-list hazard
+// lives. If the map's hash ever changes this stays correct, merely less
+// collision-targeted.
+std::uint64_t bucket_of(std::uint64_t key, unsigned shift) noexcept {
+  return (key * 0x9e3779b97f4a7c15ULL) >> shift;
+}
+
+// sentinel + two distinct churn keys, all in one bucket of a 4-bucket map.
+struct ChainKeys {
+  std::uint64_t sentinel;
+  std::uint64_t churn_a;
+  std::uint64_t churn_b;
+};
+
+ChainKeys colliding_keys() {
+  constexpr unsigned kShift = 62;  // 4 buckets
+  ChainKeys k{1, 0, 0};
+  const std::uint64_t target = bucket_of(k.sentinel, kShift);
+  std::uint64_t next = k.sentinel + 1;
+  for (std::uint64_t* out : {&k.churn_a, &k.churn_b}) {
+    while (bucket_of(next, kShift) != target) ++next;
+    *out = next++;
+  }
+  return k;
+}
+
+// Mirror of ShardedDb::hash_of (sharded_db.cpp: FNV-1a + finalizer) and its
+// slot/bucket mapping, for the same reason as bucket_of above: the kvdb
+// scenario needs churn keys that land in the sentinel's slot *and* bucket,
+// or the reader's chain is never perturbed and the retire-list hazard
+// stays unreachable. A random key only collides 1-in-(slots*buckets).
+std::uint64_t kvdb_hash(std::string_view key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+ChainKeys colliding_kvdb_keys(std::size_t num_slots,
+                              std::size_t buckets_per_slot) {
+  const auto place = [&](std::uint64_t key) {
+    const std::uint64_t h = kvdb_hash(std::to_string(key));
+    return std::make_pair(h % num_slots, (h >> 16) % buckets_per_slot);
+  };
+  ChainKeys k{0, 0, 0};
+  const auto target = place(k.sentinel);
+  std::uint64_t next = k.sentinel + 1;
+  for (std::uint64_t* out : {&k.churn_a, &k.churn_b}) {
+    while (place(next) != target) ++next;
+    *out = next++;
+  }
+  return k;
+}
+
+}  // namespace
+
+std::optional<std::string> hashmap_schedule(ScheduleCtx& ctx,
+                                            const MapScenarioOptions& o) {
+  ScopedPolicy pin(policy_spec(o.pin));
+  // Heap-allocated: the engine hashes the addresses of lock metadata (the
+  // granule cache), and main-stack addresses shift with the size of the
+  // process's argv/env block — heap addresses don't (given a fixed layout),
+  // which cross-process schedule replay depends on.
+  const auto map_owner = std::make_unique<AleHashMap>(4, "check.map");
+  AleHashMap& map = *map_owner;
+  const ChainKeys keys = colliding_keys();
+  constexpr std::uint64_t kSentinelValue = 111;
+  map.insert(keys.sentinel, kSentinelValue);
+
+  History hist(3);
+  const unsigned ops = o.ops_per_thread;
+
+  std::vector<std::function<void()>> bodies;
+  // Reader: hammers the always-present sentinel through the bucket chain
+  // the other threads churn ahead of it (link_front puts new nodes before
+  // the sentinel).
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::uint64_t out = 0;
+      const std::size_t op =
+          hist.invoke(0, OpKind::kGet, keys.sentinel);
+      const bool ok = map.get(keys.sentinel, out);
+      hist.respond(0, op, ok, out);
+    }
+  });
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::size_t op = hist.invoke(1, OpKind::kInsert, keys.churn_a, 100 + i);
+      hist.respond(1, op, map.insert(keys.churn_a, 100 + i));
+      op = hist.invoke(1, OpKind::kRemove, keys.churn_a);
+      hist.respond(1, op, map.remove(keys.churn_a));
+    }
+  });
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::uint64_t out = 0;
+      std::size_t op = hist.invoke(2, OpKind::kGet, keys.churn_a);
+      // Sequenced before respond(): `out` must be written before it is read
+      // as an argument (argument evaluation order is unspecified).
+      const bool ok = map.get(keys.churn_a, out);
+      hist.respond(2, op, ok, out);
+      op = hist.invoke(2, OpKind::kInsert, keys.churn_b, 200 + i);
+      hist.respond(2, op, map.insert(keys.churn_b, 200 + i));
+      op = hist.invoke(2, OpKind::kRemove, keys.churn_b);
+      hist.respond(2, op, map.remove(keys.churn_b));
+    }
+  });
+  ctx.run_threads(std::move(bodies));
+
+  const LinearizeResult lin = check_map_history(
+      hist.merged(), {{keys.sentinel, kSentinelValue}});
+  if (!lin.ok) {
+    return "hashmap(" + std::string(to_string(o.pin)) + "): " +
+           lin.explanation;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> kvdb_schedule(ScheduleCtx& ctx,
+                                         const MapScenarioOptions& o) {
+  ScopedPolicy pin(policy_spec(o.pin));
+  kvdb::DbConfig cfg;
+  cfg.num_slots = 2;
+  cfg.buckets_per_slot = 4;
+  // Heap-allocated for replay stability (see hashmap_schedule).
+  const auto db_owner = std::make_unique<kvdb::ShardedDb>(cfg, "check.db");
+  kvdb::ShardedDb& db = *db_owner;
+
+  // Numeric keys/values so the history uses the map checker unchanged.
+  const auto key_str = [](std::uint64_t k) { return std::to_string(k); };
+  const auto val_str = [](std::uint64_t v) { return std::to_string(v); };
+  const auto parse = [](const std::string& s) {
+    return static_cast<std::uint64_t>(std::strtoull(s.c_str(), nullptr, 10));
+  };
+
+  // Same-chain keys (see colliding_kvdb_keys): the churn threads must
+  // unlink nodes *ahead of* the sentinel in its own bucket chain for the
+  // validated-search hazard to be reachable at all.
+  const ChainKeys keys =
+      colliding_kvdb_keys(cfg.num_slots, cfg.buckets_per_slot);
+  const std::uint64_t kSentinel = keys.sentinel;
+  const std::uint64_t kChurnA = keys.churn_a;
+  const std::uint64_t kChurnB = keys.churn_b;
+  constexpr std::uint64_t kSentinelValue = 7;
+  db.set(key_str(kSentinel), val_str(kSentinelValue));
+
+  History hist(3);
+  const unsigned ops = o.ops_per_thread;
+
+  std::vector<std::function<void()>> bodies;
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::string out;
+      const std::size_t op = hist.invoke(0, OpKind::kGet, kSentinel);
+      const bool ok = db.get(key_str(kSentinel), out);
+      hist.respond(0, op, ok, ok ? parse(out) : 0);
+    }
+  });
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::size_t op = hist.invoke(1, OpKind::kSet, kChurnA, 100 + i);
+      hist.respond(1, op, db.set(key_str(kChurnA), val_str(100 + i)));
+      op = hist.invoke(1, OpKind::kRemove, kChurnA);
+      hist.respond(1, op, db.remove(key_str(kChurnA)));
+    }
+  });
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::string out;
+      std::size_t op = hist.invoke(2, OpKind::kGet, kChurnA);
+      const bool ok = db.get(key_str(kChurnA), out);
+      hist.respond(2, op, ok, ok ? parse(out) : 0);
+      op = hist.invoke(2, OpKind::kSet, kChurnB, 200 + i);
+      hist.respond(2, op, db.set(key_str(kChurnB), val_str(200 + i)));
+      op = hist.invoke(2, OpKind::kRemove, kChurnB);
+      hist.respond(2, op, db.remove(key_str(kChurnB)));
+    }
+  });
+  ctx.run_threads(std::move(bodies));
+
+  const LinearizeResult lin =
+      check_map_history(hist.merged(), {{kSentinel, kSentinelValue}});
+  if (!lin.ok) {
+    return "kvdb(" + std::string(to_string(o.pin)) + "): " + lin.explanation;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> counter_schedule(ScheduleCtx& ctx,
+                                            unsigned threads, unsigned incs) {
+  ScopedPolicy pin("static-hl-8");
+  // Distinct use sites: thread 0's scope prohibits HTM (always Lock mode),
+  // the others elide HTM-first — the mix lazy subscription breaks.
+  static ScopeInfo lock_scope("check.counter.lock", /*has_swopt=*/false,
+                              /*allow_htm=*/false);
+  static ScopeInfo htm_scope("check.counter.htm", /*has_swopt=*/false,
+                             /*allow_htm=*/true);
+
+  // Heap-allocated for replay stability (see hashmap_schedule).
+  auto lock = std::make_unique<TatasLock>();
+  const auto md_owner = std::make_unique<LockMd>("check.counter");
+  LockMd& md = *md_owner;
+  std::uint64_t counter = 0;
+
+  std::vector<std::function<void()>> bodies;
+  for (unsigned t = 0; t < threads; ++t) {
+    const ScopeInfo& scope = t == 0 ? lock_scope : htm_scope;
+    bodies.push_back([&, &scope = scope] {
+      for (unsigned i = 0; i < incs; ++i) {
+        execute_cs(lock_api<TatasLock>(), lock.get(), md, scope,
+                   [&](CsExec&) {
+                     const std::uint64_t v = tx_load(counter);
+                     tx_store(counter, v + 1);
+                   });
+      }
+    });
+  }
+  ctx.run_threads(std::move(bodies));
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(threads) * incs;
+  if (counter != expected) {
+    return "counter: lost update — expected " + std::to_string(expected) +
+           " increments, counted " + std::to_string(counter);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ale::check::scenarios

@@ -1,0 +1,57 @@
+// Canonical exploration scenarios for the elision engine's data structures.
+//
+// Shared between tests/check and bench/check_explorer so the CI sweep and
+// the unit suite search exactly the same workloads. Each scenario builds
+// fresh shared state per schedule, pins the engine to one execution mode
+// (HTM-only / SWOpt-only / Lock-only — the ISSUE's per-mode checking), runs
+// a small fixed op script per thread under the controlled scheduler, and
+// checks the recorded history (or a counter invariant) afterwards.
+//
+// The workloads are deliberately adversarial for this codebase:
+//  * hashmap: a permanently present sentinel key sharing its bucket chain
+//    with churned keys — a reader that follows a retired node's reused
+//    next pointer without revalidating misses the sentinel (the exact
+//    hazard the conflict indicator guards; see hashmap.cpp's
+//    unlink_and_retire), which is a non-linearizable "miss".
+//  * kvdb: the same shape through ShardedDb's nested (method lock → slot
+//    lock) critical sections.
+//  * counter: lock-mode and HTM-mode increments of one counter; a skipped
+//    lock subscription (the lazy-subscription bug) loses updates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/explore.hpp"
+
+namespace ale::check::scenarios {
+
+enum class ModePin : std::uint8_t { kLockOnly = 0, kSwOptOnly, kHtmOnly };
+
+const char* to_string(ModePin pin) noexcept;
+
+// The ALE_POLICY-style spec string a pin installs ("lockonly",
+// "static-sl-8", "static-hl-8").
+const char* policy_spec(ModePin pin) noexcept;
+
+struct MapScenarioOptions {
+  ModePin pin = ModePin::kLockOnly;
+  unsigned ops_per_thread = 4;  // three threads run fixed scripts of this size
+};
+
+// Linearizability-checked hashmap workload (3 threads).
+std::optional<std::string> hashmap_schedule(ScheduleCtx& ctx,
+                                            const MapScenarioOptions& o);
+
+// Linearizability-checked ShardedDb workload (3 threads).
+std::optional<std::string> kvdb_schedule(ScheduleCtx& ctx,
+                                         const MapScenarioOptions& o);
+
+// Lost-update invariant: `threads` threads each increment a shared counter
+// `incs` times inside a critical section; thread 0's scope prohibits HTM
+// (Lock mode), the rest run HTM-first. Final count must be threads*incs.
+std::optional<std::string> counter_schedule(ScheduleCtx& ctx,
+                                            unsigned threads, unsigned incs);
+
+}  // namespace ale::check::scenarios

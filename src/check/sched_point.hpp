@@ -1,0 +1,79 @@
+// Scheduling points — the preemption hooks ale::check drives.
+//
+// Deterministic schedule exploration needs the library to *offer* control at
+// the places where interleavings matter: transactional accesses, conflict
+// validations, lock transfers, mode transitions, and every spin-wait. Each
+// such site calls one of two hooks:
+//
+//   preempt(sp)     "another thread may run here" — the scheduler may
+//                   transfer control, or leave the caller running. These are
+//                   the choice points schedule exploration branches on.
+//   yield_spin(sp)  "I cannot make progress until another thread acts" —
+//                   inside a spin loop (Backoff::pause, the SNZI depart
+//                   handshake). Under a controlled run the scheduler MUST
+//                   move control elsewhere or the run would livelock; these
+//                   are not exploration choice points.
+//
+// Cost discipline (same as ale::inject): when no ale::check scheduler is
+// running — always, outside the test harness — each hook is a single
+// relaxed atomic load and a predictable branch. Threads not registered with
+// the active scheduler (the main thread, detached helpers) fall through the
+// slow path as no-ops, so hooks are safe to hit from anywhere.
+//
+// This header depends on nothing but <atomic>, so every layer (sync, htm,
+// core) can instrument itself without dependency cycles; the slow paths
+// live in src/check/scheduler.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ale::check {
+
+/// Catalog of scheduling-point sites (for repro traces and diagnostics).
+enum class Sp : std::uint8_t {
+  kHtmBegin = 0,     ///< htm::tx_begin (emulated), before the tx starts
+  kHtmRead,          ///< emulated TxDesc::read entry
+  kHtmWrite,         ///< emulated TxDesc::write entry
+  kHtmCommit,        ///< emulated TxDesc::commit entry
+  kHtmSubscribe,     ///< emulated TxDesc::subscribe_lock entry
+  kSwOptValidate,    ///< ConflictIndicator::changed_since
+  kSwOptSnapshot,    ///< ConflictIndicator::get_ver
+  kTxLoad,           ///< non-transactional tx_load
+  kTxStore,          ///< non-transactional tx_store entry
+  kLockAcquire,      ///< engine: Lock mode, just after acquiring
+  kLockRelease,      ///< engine: Lock mode, just before releasing
+  kModeTransition,   ///< engine: top of the arm() attempt loop
+  kSpinWait,         ///< a spin-wait round (Backoff::pause, SNZI depart)
+};
+
+inline constexpr std::size_t kNumSchedPoints = 13;
+
+const char* to_string(Sp sp) noexcept;
+
+namespace detail {
+extern std::atomic<bool> g_sched_active;
+void preempt_slow(Sp sp) noexcept;
+void yield_spin_slow(Sp sp) noexcept;
+}  // namespace detail
+
+/// True while a Scheduler run is in progress somewhere in the process.
+inline bool scheduler_active() noexcept {
+  return detail::g_sched_active.load(std::memory_order_relaxed);
+}
+
+/// Preemption choice point. No-op (one relaxed load) when no scheduler is
+/// running or the calling thread is not controlled by it.
+inline void preempt(Sp sp) noexcept {
+  if (scheduler_active()) detail::preempt_slow(sp);
+}
+
+/// Spin-wait progress hook: under a controlled run, transfers control to
+/// another runnable thread so the awaited condition can change. No-op when
+/// uncontrolled (the caller keeps spinning for real).
+inline void yield_spin(Sp sp) noexcept {
+  if (scheduler_active()) detail::yield_spin_slow(sp);
+}
+
+}  // namespace ale::check

@@ -1,0 +1,399 @@
+#include "check/scheduler.hpp"
+
+#include <cassert>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "check/sched_point.hpp"
+#include "common/prng.hpp"
+#include "inject/inject.hpp"
+
+namespace ale::check {
+
+const char* to_string(Sp sp) noexcept {
+  switch (sp) {
+    case Sp::kHtmBegin: return "htm.begin";
+    case Sp::kHtmRead: return "htm.read";
+    case Sp::kHtmWrite: return "htm.write";
+    case Sp::kHtmCommit: return "htm.commit";
+    case Sp::kHtmSubscribe: return "htm.subscribe";
+    case Sp::kSwOptValidate: return "swopt.validate";
+    case Sp::kSwOptSnapshot: return "swopt.snapshot";
+    case Sp::kTxLoad: return "tx.load";
+    case Sp::kTxStore: return "tx.store";
+    case Sp::kLockAcquire: return "lock.acquire";
+    case Sp::kLockRelease: return "lock.release";
+    case Sp::kModeTransition: return "engine.mode";
+    case Sp::kSpinWait: return "spin.wait";
+  }
+  return "?";
+}
+
+const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kRandom: return "random";
+    case Strategy::kPct: return "pct";
+    case Strategy::kExhaustive: return "exhaustive";
+  }
+  return "?";
+}
+
+std::optional<Strategy> strategy_by_name(std::string_view name) noexcept {
+  if (name == "random") return Strategy::kRandom;
+  if (name == "pct") return Strategy::kPct;
+  if (name == "exhaustive") return Strategy::kExhaustive;
+  return std::nullopt;
+}
+
+namespace detail {
+std::atomic<bool> g_sched_active{false};
+}  // namespace detail
+
+namespace {
+
+struct ThreadRec {
+  std::uint32_t index = 0;
+  bool granted = false;
+  bool finished = false;
+  bool started = false;
+  std::condition_variable cv;
+};
+
+// The single process-wide controller. One run at a time (g_run_gate); all
+// mutable state below is guarded by mu_ during a run.
+class Controller {
+ public:
+  RunStats run(const SchedulerOptions& opts,
+               std::vector<std::function<void()>> bodies, DfsState* dfs);
+  void preempt_point(Sp sp) noexcept;
+  void yield_point(Sp sp) noexcept;
+
+ private:
+  friend void worker_trampoline(Controller*, ThreadRec*,
+                                std::function<void()>);
+
+  static constexpr std::uint32_t kNoThread = 0xffffffffu;
+
+  std::vector<std::uint32_t> runnable_locked(bool include_current) const {
+    std::vector<std::uint32_t> out;
+    // kExhaustive choice-list order contract: the currently running thread
+    // first (option 0 == "continue"), then the rest by ascending index.
+    if (include_current && current_ != kNoThread &&
+        !recs_[current_]->finished) {
+      out.push_back(current_);
+    }
+    for (const auto& r : recs_) {
+      if (!r->finished && r->index != current_) out.push_back(r->index);
+    }
+    return out;
+  }
+
+  bool consume_step_locked() {
+    if (free_run_) return false;
+    if (++stats_.steps > opts_.max_steps) {
+      enter_free_run_locked();
+      return false;
+    }
+    return true;
+  }
+
+  void enter_free_run_locked() {
+    free_run_ = true;
+    stats_.budget_exhausted = true;
+    for (auto& r : recs_) {
+      r->granted = true;
+      r->cv.notify_all();
+    }
+  }
+
+  // Transfer control to `next` and block the caller until re-granted.
+  void hand_off_locked(std::unique_lock<std::mutex>& lk, ThreadRec& me,
+                       std::uint32_t next) {
+    if (next == me.index) return;
+    stats_.switches++;
+    current_ = next;
+    recs_[next]->granted = true;
+    recs_[next]->cv.notify_one();
+    me.granted = false;
+    me.cv.wait(lk, [&] { return me.granted || free_run_; });
+  }
+
+  // kPct helpers: the runnable thread with the highest priority wins.
+  std::uint32_t pct_best_locked(const std::vector<std::uint32_t>& ts) const {
+    std::uint32_t best = ts.front();
+    for (std::uint32_t t : ts) {
+      if (priority_[t] > priority_[best]) best = t;
+    }
+    return best;
+  }
+  void pct_demote_locked(std::uint32_t t) { priority_[t] = next_low_--; }
+
+  // kExhaustive: one recorded/replayed choice over `options` alternatives.
+  std::uint32_t dfs_choose_locked(std::uint32_t options) {
+    std::uint32_t ch = 0;
+    if (dfs_cursor_ < dfs_->prefix.size()) {
+      ch = dfs_->prefix[dfs_cursor_].chosen;
+      if (ch >= options) ch = 0;  // tolerate environment divergence
+    } else {
+      dfs_->prefix.push_back(DfsChoice{0, options});
+    }
+    dfs_cursor_++;
+    return ch;
+  }
+
+  // A forced pick (run start, thread finish): strategy decides, but it is
+  // never an involuntary preemption.
+  std::uint32_t forced_pick_locked(const std::vector<std::uint32_t>& ts) {
+    if (ts.size() == 1) return ts.front();
+    switch (opts_.strategy) {
+      case Strategy::kRandom:
+        return ts[prng_.next_below(ts.size())];
+      case Strategy::kPct:
+        return pct_best_locked(ts);
+      case Strategy::kExhaustive:
+        return ts[dfs_choose_locked(static_cast<std::uint32_t>(ts.size()))];
+    }
+    return ts.front();
+  }
+
+  void on_worker_ready(ThreadRec* rec);
+  void on_worker_finished(ThreadRec* rec, const char* error_what);
+
+  std::mutex mu_;
+  std::condition_variable main_cv_;
+  std::vector<std::unique_ptr<ThreadRec>> recs_;
+  SchedulerOptions opts_;
+  RunStats stats_;
+  Xoshiro256 prng_{1};
+  std::uint32_t current_ = 0;
+  std::uint32_t ready_ = 0;
+  std::uint32_t alive_ = 0;
+  bool launched_ = false;
+  bool free_run_ = false;
+
+  // kPct state.
+  std::vector<std::int64_t> priority_;
+  std::int64_t next_low_ = 0;
+  std::vector<std::uint64_t> change_steps_;
+
+  // kExhaustive state.
+  DfsState* dfs_ = nullptr;
+  std::size_t dfs_cursor_ = 0;
+  std::uint32_t preemptions_used_ = 0;
+};
+
+Controller g_controller;
+std::mutex g_run_gate;
+thread_local ThreadRec* t_rec = nullptr;
+
+void worker_trampoline(Controller* c, ThreadRec* rec,
+                       std::function<void()> body) {
+  t_rec = rec;
+  // Deterministic inject thread identity per schedule, so threads= filters
+  // and per-(thread,point) injection streams replay with the schedule.
+  inject::set_thread_index(rec->index);
+  c->on_worker_ready(rec);
+  // Copy the message inside the catch: the what() pointer dies with the
+  // exception object when the handler exits.
+  std::string error_what;
+  bool failed = false;
+  try {
+    body();
+  } catch (const std::exception& e) {
+    failed = true;
+    error_what = e.what();
+  } catch (...) {
+    failed = true;
+    error_what = "non-std exception";
+  }
+  t_rec = nullptr;
+  c->on_worker_finished(rec, failed ? error_what.c_str() : nullptr);
+}
+
+void Controller::on_worker_ready(ThreadRec* rec) {
+  std::unique_lock<std::mutex> lk(mu_);
+  rec->started = true;
+  ready_++;
+  main_cv_.notify_all();
+  rec->cv.wait(lk, [&] { return rec->granted || free_run_; });
+}
+
+void Controller::on_worker_finished(ThreadRec* rec, const char* error_what) {
+  std::unique_lock<std::mutex> lk(mu_);
+  rec->finished = true;
+  alive_--;
+  if (error_what != nullptr && !stats_.body_exception) {
+    stats_.body_exception = true;
+    stats_.exception_what = error_what;
+  }
+  if (!free_run_ && alive_ > 0 && current_ == rec->index) {
+    const auto ts = runnable_locked(/*include_current=*/false);
+    const std::uint32_t next = forced_pick_locked(ts);
+    stats_.switches++;
+    current_ = next;
+    recs_[next]->granted = true;
+    recs_[next]->cv.notify_one();
+  }
+  if (alive_ == 0) main_cv_.notify_all();
+}
+
+void Controller::preempt_point(Sp /*sp*/) noexcept {
+  ThreadRec* rec = t_rec;
+  if (rec == nullptr) return;  // not a thread of the active run
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!consume_step_locked()) return;
+
+  const auto ts = runnable_locked(/*include_current=*/true);
+  if (ts.size() <= 1) return;
+
+  std::uint32_t next = rec->index;
+  switch (opts_.strategy) {
+    case Strategy::kRandom:
+      next = ts[prng_.next_below(ts.size())];
+      break;
+    case Strategy::kPct: {
+      for (std::uint64_t cs : change_steps_) {
+        if (cs == stats_.steps) {
+          pct_demote_locked(rec->index);
+          break;
+        }
+      }
+      next = pct_best_locked(ts);
+      break;
+    }
+    case Strategy::kExhaustive: {
+      if (preemptions_used_ >= opts_.preemption_bound) break;  // keep running
+      const std::uint32_t ch =
+          dfs_choose_locked(static_cast<std::uint32_t>(ts.size()));
+      if (ch != 0) preemptions_used_++;
+      next = ts[ch];
+      break;
+    }
+  }
+  hand_off_locked(lk, *rec, next);
+}
+
+void Controller::yield_point(Sp /*sp*/) noexcept {
+  ThreadRec* rec = t_rec;
+  if (rec == nullptr) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!consume_step_locked()) return;
+
+  const auto others = runnable_locked(/*include_current=*/false);
+  if (others.empty()) return;  // sole runnable thread: keep spinning
+
+  std::uint32_t next = others.front();
+  switch (opts_.strategy) {
+    case Strategy::kRandom:
+      next = others[prng_.next_below(others.size())];
+      break;
+    case Strategy::kPct:
+      // A voluntary yield means "I can't progress": drop our priority so
+      // the scheduler stops coming back to us until someone acts.
+      pct_demote_locked(rec->index);
+      next = pct_best_locked(others);
+      break;
+    case Strategy::kExhaustive: {
+      // Deterministic round-robin (not a recorded choice point: a blocked
+      // thread branching would multiply the tree without adding coverage).
+      for (std::uint32_t t : others) {
+        if (t > rec->index) {
+          next = t;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  hand_off_locked(lk, *rec, next);
+}
+
+RunStats Controller::run(const SchedulerOptions& opts,
+                         std::vector<std::function<void()>> bodies,
+                         DfsState* dfs) {
+  const auto n = static_cast<std::uint32_t>(bodies.size());
+  assert(n > 0);
+  assert(opts.strategy != Strategy::kExhaustive || dfs != nullptr);
+
+  opts_ = opts;
+  stats_ = RunStats{};
+  prng_ = Xoshiro256(opts.seed != 0 ? opts.seed : 1);
+  free_run_ = false;
+  ready_ = 0;
+  alive_ = n;
+  current_ = kNoThread;  // nobody runs until the initial pick
+  dfs_ = dfs;
+  dfs_cursor_ = 0;
+  preemptions_used_ = 0;
+
+  recs_.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    recs_.push_back(std::make_unique<ThreadRec>());
+    recs_.back()->index = i;
+  }
+
+  if (opts.strategy == Strategy::kPct) {
+    // Random priority permutation via Fisher–Yates; change points sampled
+    // uniformly over the expected schedule length.
+    priority_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) priority_[i] = i + 1;
+    for (std::uint32_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::uint32_t>(prng_.next_below(i));
+      std::swap(priority_[i - 1], priority_[j]);
+    }
+    next_low_ = 0;
+    change_steps_.clear();
+    const std::uint64_t k =
+        opts.pct_expected_steps != 0 ? opts.pct_expected_steps : 1;
+    for (std::uint32_t i = 0; i < opts.pct_change_points; ++i) {
+      change_steps_.push_back(1 + prng_.next_below(k));
+    }
+  }
+
+  detail::g_sched_active.store(true, std::memory_order_relaxed);
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    threads.emplace_back(worker_trampoline, this, recs_[i].get(),
+                         std::move(bodies[i]));
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    main_cv_.wait(lk, [&] { return ready_ == n; });
+    // Initial pick: a forced (non-preemptive) strategy choice.
+    const auto ts = runnable_locked(/*include_current=*/false);
+    current_ = forced_pick_locked(ts);
+    recs_[current_]->granted = true;
+    recs_[current_]->cv.notify_one();
+    main_cv_.wait(lk, [&] { return alive_ == 0; });
+  }
+
+  for (auto& t : threads) t.join();
+  detail::g_sched_active.store(false, std::memory_order_relaxed);
+  recs_.clear();
+  return stats_;
+}
+
+}  // namespace
+
+namespace detail {
+
+void preempt_slow(Sp sp) noexcept { g_controller.preempt_point(sp); }
+void yield_spin_slow(Sp sp) noexcept { g_controller.yield_point(sp); }
+
+}  // namespace detail
+
+RunStats run_schedule(const SchedulerOptions& opts,
+                      std::vector<std::function<void()>> bodies,
+                      DfsState* dfs) {
+  std::lock_guard<std::mutex> gate(g_run_gate);
+  return g_controller.run(opts, std::move(bodies), dfs);
+}
+
+}  // namespace ale::check

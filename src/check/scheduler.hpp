@@ -1,0 +1,111 @@
+// ale::check scheduler — cooperative serialized execution of N threads
+// under a deterministic schedule.
+//
+// run_schedule() spawns the given thread bodies, then serializes them: at
+// any instant exactly one controlled thread runs, and control only moves at
+// scheduling points (check/sched_point.hpp). Which thread runs next is
+// decided by a strategy:
+//
+//   kRandom      uniform choice among runnable threads at every preemption
+//                point, from a per-schedule PRNG — cheap, surprisingly
+//                effective for shallow races.
+//   kPct         probabilistic concurrency testing [Burckhardt et al.,
+//                ASPLOS'10]: threads get random priorities, the highest
+//                runnable priority always runs, and d randomly placed
+//                change points demote the running thread. Finds any bug of
+//                depth d with probability ≥ 1/(n·k^(d-1)) per schedule.
+//   kExhaustive  preemption-bounded depth-first enumeration [Musuvathi &
+//                Qadeer, PLDI'07]: replays a recorded choice prefix and
+//                branches on the first unexplored choice, bounding the
+//                number of *involuntary* switches per schedule. DfsState
+//                carries the frontier from one schedule to the next.
+//
+// All strategies derive every random decision from SchedulerOptions::seed,
+// so a (seed, schedule-index) pair replays the same interleaving — the
+// foundation of the one-line repro the explorer prints.
+//
+// Liveness: spin loops funnel through yield_spin (Backoff::pause, the SNZI
+// depart handshake), which forces a switch to another runnable thread, so
+// serialization cannot livelock on a spinning waiter. A hook-evaluation
+// budget (max_steps) backstops genuine livelocks and schedule-space
+// explosions: when exhausted, the run degrades to free-running threads
+// (every thread released, hooks become no-ops) and reports it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ale::check {
+
+enum class Strategy : std::uint8_t { kRandom = 0, kPct = 1, kExhaustive = 2 };
+
+const char* to_string(Strategy s) noexcept;
+std::optional<Strategy> strategy_by_name(std::string_view name) noexcept;
+
+struct SchedulerOptions {
+  Strategy strategy = Strategy::kRandom;
+  std::uint64_t seed = 1;
+
+  // kPct: number of priority-change points (the bug-depth parameter d-1)
+  // and the step-count estimate their positions are sampled over.
+  std::uint32_t pct_change_points = 3;
+  std::uint64_t pct_expected_steps = 4096;
+
+  // kExhaustive: maximum involuntary context switches per schedule.
+  std::uint32_t preemption_bound = 2;
+
+  // Hook-evaluation budget; exhausting it releases all threads to run
+  // freely (see header comment).
+  std::uint64_t max_steps = 1u << 20;
+};
+
+struct RunStats {
+  std::uint64_t steps = 0;     // scheduling-point evaluations
+  std::uint64_t switches = 0;  // actual control transfers
+  bool budget_exhausted = false;
+  bool body_exception = false;  // a thread body threw (caught + recorded)
+  std::string exception_what;
+};
+
+// One recorded branching decision of a kExhaustive schedule.
+struct DfsChoice {
+  std::uint32_t chosen = 0;   // index into that point's runnable-option list
+  std::uint32_t options = 1;  // how many options the point offered
+};
+
+// The DFS frontier kExhaustive carries across schedules: a prefix of
+// choices to replay. advance() backtracks to the next unexplored branch.
+struct DfsState {
+  std::vector<DfsChoice> prefix;
+  bool exhausted = false;  // the bounded tree is fully explored
+
+  // Move to the next schedule in DFS order; false (and exhausted=true)
+  // when the whole bounded space has been enumerated.
+  bool advance() {
+    while (!prefix.empty() &&
+           prefix.back().chosen + 1 >= prefix.back().options) {
+      prefix.pop_back();
+    }
+    if (prefix.empty()) {
+      exhausted = true;
+      return false;
+    }
+    prefix.back().chosen++;
+    return true;
+  }
+};
+
+// Run `bodies` (one per thread) to completion under a controlled schedule.
+// Blocks the calling thread; the caller's own code runs no scheduling
+// points meanwhile. Only one run may be in flight per process at a time
+// (enforced with an internal lock). `dfs` is required for kExhaustive and
+// ignored otherwise.
+RunStats run_schedule(const SchedulerOptions& opts,
+                      std::vector<std::function<void()>> bodies,
+                      DfsState* dfs = nullptr);
+
+}  // namespace ale::check

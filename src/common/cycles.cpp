@@ -5,25 +5,34 @@
 
 namespace ale {
 
+namespace detail {
+std::atomic<bool> g_virtual_time{false};
+thread_local std::uint64_t t_virtual_ticks = 0;
+}  // namespace detail
+
+void set_virtual_time_enabled(bool on) noexcept {
+  detail::g_virtual_time.store(on, std::memory_order_relaxed);
+}
+
 namespace {
 
 double calibrate() {
 #if defined(__x86_64__)
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
-  const std::uint64_t c0 = now_ticks();
+  const std::uint64_t c0 = raw_ticks();
   // Busy-wait ~2ms: long enough for a stable ratio, short enough to be
   // invisible at startup.
   while (clock::now() - t0 < std::chrono::milliseconds(2)) {
   }
-  const std::uint64_t c1 = now_ticks();
+  const std::uint64_t c1 = raw_ticks();
   const auto t1 = clock::now();
   const double ns =
       std::chrono::duration<double, std::nano>(t1 - t0).count();
   const double ratio = static_cast<double>(c1 - c0) / ns;
   return ratio > 0 ? ratio : 1.0;
 #else
-  return 1.0;  // now_ticks() already returns nanoseconds.
+  return 1.0;  // raw_ticks() already returns nanoseconds.
 #endif
 }
 

@@ -5,8 +5,23 @@
 // (invariant TSC on every CPU from the last decade); elsewhere we fall back
 // to std::chrono::steady_clock. cycles_per_ns() is calibrated once at
 // startup so reports can print nanoseconds.
+//
+// Virtual time (ale::check, deterministic stress tests): when enabled,
+// now_ticks() returns a *per-thread* virtual tick counter instead of the
+// hardware clock. The counter is advanced by the spin-wait primitives
+// (inject::stall, Backoff::pause) in units of the spins the calling thread
+// would have burned, so everything that *learns from measured durations* —
+// the adaptive policy's X/Y budgets above all — sees costs that depend only
+// on that thread's logical behaviour, never on host load, TSan slowdown, or
+// preemption. (A process-global counter would not be enough: a thread
+// descheduled mid-measurement would absorb every tick the *other* threads
+// advanced meanwhile, so measured windows would again depend on OS
+// interleaving.) Cross-thread timestamp ordering is meaningless in this
+// mode; nothing in the engine compares virtual stamps across threads. The
+// disabled cost is one relaxed load on the now_ticks() fast path.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -16,14 +31,45 @@
 
 namespace ale {
 
-// Raw timestamp in "ticks" (TSC cycles on x86, nanoseconds otherwise).
-inline std::uint64_t now_ticks() noexcept {
+namespace detail {
+extern std::atomic<bool> g_virtual_time;
+extern thread_local std::uint64_t t_virtual_ticks;
+}  // namespace detail
+
+inline bool virtual_time_enabled() noexcept {
+  return detail::g_virtual_time.load(std::memory_order_relaxed);
+}
+
+/// Switch now_ticks() between the hardware clock and the virtual counter.
+/// Each thread's counter is never reset — it only moves forward — so deltas
+/// taken within one thread stay non-negative within each domain.
+void set_virtual_time_enabled(bool on) noexcept;
+
+/// Advance the calling thread's virtual counter by `ticks` (1 tick ≈ 1
+/// pause-spin) and return the new value. Harmless when virtual time is
+/// disabled (now_ticks() simply ignores the counter then).
+inline std::uint64_t advance_virtual_time(std::uint64_t ticks) noexcept {
+  return detail::t_virtual_ticks += ticks;
+}
+
+// Raw hardware timestamp (TSC cycles on x86, nanoseconds otherwise). Used
+// by calibration, which must never observe the virtual counter.
+inline std::uint64_t raw_ticks() noexcept {
 #if defined(__x86_64__)
   return __rdtsc();
 #else
   return static_cast<std::uint64_t>(
       std::chrono::steady_clock::now().time_since_epoch().count());
 #endif
+}
+
+// Raw timestamp in "ticks": the virtual counter when virtual time is on,
+// the hardware clock otherwise.
+inline std::uint64_t now_ticks() noexcept {
+  if (virtual_time_enabled()) {
+    return detail::t_virtual_ticks;
+  }
+  return raw_ticks();
 }
 
 // Ticks per nanosecond, calibrated lazily (thread-safe, measured once).

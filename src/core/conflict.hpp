@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "check/sched_point.hpp"
 #include "common/cpu.hpp"
 #include "htm/access.hpp"
 #include "htm/htm.hpp"
@@ -42,6 +43,7 @@ class ConflictIndicator {
   // while waiting: on an oversubscribed host the thread inside the
   // conflicting region may need our core.
   std::uint64_t get_ver(bool wait_even) const {
+    check::preempt(check::Sp::kSwOptSnapshot);
     Backoff backoff;
     for (;;) {
       const std::uint64_t v = tx_load(ver_);
@@ -55,6 +57,11 @@ class ConflictIndicator {
   // when a conflicting region begins mid-validation — so persistent SWOpt
   // invalidation can be scripted without a writer storm.
   bool changed_since(std::uint64_t snapshot) const {
+    check::preempt(check::Sp::kSwOptValidate);
+    // Mutation self-test (ale::check): lie "nothing changed", disabling the
+    // validation the SWOpt path's correctness rests on. The explorer must
+    // catch the resulting non-linearizable read.
+    if (inject::should_fire(inject::Point::kSwOptBlind)) return false;
     if (inject::should_fire(inject::Point::kSwOptInvalidate)) return true;
     return tx_load(ver_) != snapshot;
   }

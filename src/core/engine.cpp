@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "check/sched_point.hpp"
 #include "common/cycles.hpp"
 #include "common/env.hpp"
 #include "core/grouping_wait.hpp"
@@ -276,6 +277,7 @@ bool CsExec::arm() {
   }
 
   for (;;) {
+    check::preempt(check::Sp::kModeTransition);
     st_.attempt_no++;
     const ExecMode m = sanitize(plan_active_
                                     ? plan_choose()
@@ -364,6 +366,7 @@ bool CsExec::arm() {
           }
           api_->acquire(lock_);
           lock_acquired_ = true;
+          check::preempt(check::Sp::kLockAcquire);
           if (wait_sample) {
             granule_->stats.lock_wait().record_since(*wait_sample);
           }
@@ -477,6 +480,7 @@ void CsExec::finish() {
         // releasing, manufacturing a convoy (waiters pile up behind a
         // healthy-but-slow holder rather than a crashed one).
         inject::maybe_stall(inject::Point::kLockHold, 20000);
+        check::preempt(check::Sp::kLockRelease);
         api_->release(lock_);
         lock_acquired_ = false;
       }

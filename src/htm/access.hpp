@@ -26,6 +26,7 @@
 #include <atomic>
 #include <type_traits>
 
+#include "check/sched_point.hpp"
 #include "htm/config.hpp"
 #include "htm/emulated.hpp"
 #include "htm/version_table.hpp"
@@ -41,6 +42,7 @@ template <typename T>
   // the referenced object is never written through this path.
   T& mutable_loc = const_cast<T&>(loc);
   if (desc.active()) return desc.read(mutable_loc);
+  check::preempt(check::Sp::kTxLoad);
   return std::atomic_ref<T>(mutable_loc).load(std::memory_order_acquire);
 }
 
@@ -116,6 +118,7 @@ void tx_store(T& loc, T value) {
     desc.write(loc, value);
     return;
   }
+  check::preempt(check::Sp::kTxStore);
   if (htm::config().backend == htm::BackendKind::kEmulated) {
     detail::versioned_plain_store(loc, value);
     return;

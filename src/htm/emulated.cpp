@@ -63,6 +63,7 @@ struct SlotLockSet {
 void TxDesc::commit() {
   if (!active_) return;
 
+  check::preempt(check::Sp::kHtmCommit);
   maybe_quirk(profile_->abort_prob_per_commit);
   // Injected commit-conflict: the transaction loses its validation race
   // just before publishing, the costliest point to abort (all work wasted).

@@ -37,6 +37,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "check/sched_point.hpp"
 #include "common/prng.hpp"
 #include "htm/abort.hpp"
 #include "htm/profile.hpp"
@@ -69,6 +70,12 @@ class TxDesc {
   // re-acquire it — the thread's own holding is the exclusion.
   void subscribe_lock(const LockApi* api, void* lock,
                       bool already_held_by_self) {
+    check::preempt(check::Sp::kHtmSubscribe);
+    // Mutation self-test (ale::check): skip the subscription entirely — the
+    // classic unsafe "lazy subscription". The commit then neither checks
+    // nor acquires the app lock, so a Lock-mode holder and this transaction
+    // can interleave freely; the explorer must catch the lost update.
+    if (inject::should_fire(inject::Point::kHtmLazySub)) return;
     if (!already_held_by_self && api->is_locked(lock)) {
       abort_now(AbortCause::kLockedByOther);
     }
@@ -83,6 +90,7 @@ class TxDesc {
     static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
                   "emulated HTM tracks word-sized locations; box larger "
                   "values behind a pointer");
+    check::preempt(check::Sp::kHtmRead);
     // Read-own-write: the most recent redo entry for this address wins.
     for (auto it = redo_.rbegin(); it != redo_.rend(); ++it) {
       if (it->addr == static_cast<void*>(&loc)) {
@@ -115,6 +123,7 @@ class TxDesc {
     static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
                   "emulated HTM tracks word-sized locations; box larger "
                   "values behind a pointer");
+    check::preempt(check::Sp::kHtmWrite);
     auto& table = VersionTable::instance();
     redo_.push_back(RedoEntry{&loc, to_bits(value), &apply_bits<T>,
                               &table.slot_for(&loc)});

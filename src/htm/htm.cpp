@@ -1,5 +1,6 @@
 #include "htm/htm.hpp"
 
+#include "check/sched_point.hpp"
 #include "htm/emulated.hpp"
 #include "htm/rtm.hpp"
 #include "inject/inject.hpp"
@@ -30,6 +31,7 @@ BeginStatus tx_begin() {
         return BeginStatus{BeginState::kUnavailable,
                            AbortCause::kUnavailable, 0};
       }
+      check::preempt(check::Sp::kHtmBegin);
       // Injected begin-abort: delivered like an RTM abort-at-begin (the
       // transaction never starts), modelling an environmental kill between
       // tx-begin and the first instruction. x= prices the doomed attempt in

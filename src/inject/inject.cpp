@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/cpu.hpp"
+#include "common/cycles.hpp"
 #include "common/env.hpp"
 #include "common/prng.hpp"
 // Header-only, dependency-free taxonomy shared with the HTM backends: a
@@ -25,6 +26,8 @@ const char* to_string(Point p) noexcept {
     case Point::kBackoff: return "sync.backoff";
     case Point::kPolicyPhase: return "policy.phase";
     case Point::kPolicyRelearn: return "policy.relearn";
+    case Point::kSwOptBlind: return "swopt.blind";
+    case Point::kHtmLazySub: return "htm.lazysub";
   }
   return "?";
 }
@@ -52,6 +55,7 @@ htm::AbortCause cause_of(Point p) noexcept {
     case Point::kHtmCommit: return htm::AbortCause::kConflict;
     case Point::kHtmCapacity: return htm::AbortCause::kCapacity;
     case Point::kSwOptInvalidate: return htm::AbortCause::kConflict;
+    // The mutation points suppress behaviour rather than deliver a fault.
     default: return htm::AbortCause::kNone;
   }
 }
@@ -240,6 +244,13 @@ std::uint64_t magnitude_slow(Point p, std::uint64_t def) noexcept {
 }  // namespace detail
 
 void stall(std::uint64_t spins) noexcept {
+  // Under the checker's virtual clock a stall charges ticks instead of
+  // burning real cycles: time-learning code still sees the cost, but a
+  // serialized schedule doesn't block the one runnable thread for real.
+  if (virtual_time_enabled()) {
+    advance_virtual_time(spins);
+    return;
+  }
   for (std::uint64_t i = 0; i < spins; ++i) cpu_pause();
 }
 

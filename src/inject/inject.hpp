@@ -65,9 +65,16 @@ enum class Point : std::uint8_t {
   kBackoff = 6,       ///< add x pause-spins to a Backoff::pause round
   kPolicyPhase = 7,   ///< nudge the adaptive policy to advance its phase now
   kPolicyRelearn = 8, ///< nudge the adaptive policy to discard learned state
+
+  // Mutation points: unlike the fault points above (which the engine is
+  // required to tolerate), these *break correctness invariants* on purpose.
+  // They exist solely as self-tests for ale::check — the explorer must find
+  // the resulting linearizability violation within its schedule budget.
+  kSwOptBlind = 9,    ///< ConflictIndicator::changed_since lies "unchanged"
+  kHtmLazySub = 10,   ///< emulated subscribe_lock skips the lock check
 };
 
-inline constexpr std::size_t kNumPoints = 9;
+inline constexpr std::size_t kNumPoints = 11;
 
 const char* to_string(Point p) noexcept;
 std::optional<Point> point_by_name(std::string_view name) noexcept;

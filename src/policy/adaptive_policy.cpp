@@ -40,6 +40,14 @@ unsigned estimate_best_x(const AttemptHistogram<64>& hist,
                          unsigned x_max) {
   const std::uint64_t total = hist.total();
   if (total == 0 || x_max == 0) return 0;
+  // Zero successes in the whole histogram window: every attempt is pure
+  // cost, so the budget is 0. Without this guard the interpolated fallback
+  // lower bound can "justify" attempts on its own — t_after_max_fail is
+  // measured under a different contention regime than t_no_htm (threads
+  // stalled in doomed attempts serialize their lock acquisitions), and a
+  // cheap measured tail makes hopeless attempts look like they buy a
+  // cheaper fallback.
+  if (hist.total_successes() == 0) return 0;
   t_fail_attempt = std::max(t_fail_attempt, 1.0);
   t_succ_attempt = std::max(t_succ_attempt, 1.0);
   t_no_htm = std::max(t_no_htm, 1.0);

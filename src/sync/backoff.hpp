@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <thread>
 
+#include "check/sched_point.hpp"
 #include "common/cpu.hpp"
+#include "common/cycles.hpp"
 #include "common/prng.hpp"
 #include "inject/inject.hpp"
 
@@ -73,6 +75,17 @@ class Backoff {
     // funnels through here).
     if (inject::enabled()) {
       spins += inject::perturb_spins(inject::Point::kBackoff, kMaxSpins);
+    }
+    // Under the checker's virtual clock, charge the spins as ticks instead
+    // of burning them (time-learning code still sees the cost), and hand
+    // control to another thread: every blocking wait in the library funnels
+    // through here, so this single yield point keeps serialized schedules
+    // deadlock-free.
+    if (virtual_time_enabled()) {
+      advance_virtual_time(spins);
+      if (limit_ < max_spins_) limit_ *= 2;  // same window growth as below
+      check::yield_spin(check::Sp::kSpinWait);
+      return;
     }
     for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
     if (limit_ < max_spins_) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "check/sched_point.hpp"
 #include "common/cacheline.hpp"
 #include "common/cpu.hpp"
 
@@ -149,6 +150,9 @@ class Snzi {
       const std::uint64_t c = count_of(x);
       const std::uint64_t v = version_of(x);
       if (c < kOne) {  // ½ in flight; promoter will move it to 1.
+        // The only blocking wait that bypasses Backoff::pause — it needs
+        // its own scheduling point or a serialized schedule wedges here.
+        check::yield_spin(check::Sp::kSpinWait);
         cpu_pause();
         continue;
       }

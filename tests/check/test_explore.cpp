@@ -1,0 +1,164 @@
+// Explorer end-to-end: clean scenarios across strategies and mode pins,
+// violation reporting, replay plumbing, env overrides.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "check/explore.hpp"
+#include "check/scenarios.hpp"
+#include "inject/inject.hpp"
+#include "policy/install.hpp"
+#include "test_util.hpp"
+
+namespace ale::check {
+namespace {
+
+using scenarios::MapScenarioOptions;
+using scenarios::ModePin;
+
+struct ExploreTest : ::testing::Test {
+  test::ReproOnFailure repro{"ale_tests_check"};
+  void SetUp() override {
+    test::use_emulated_ideal();
+    inject::reset();
+  }
+  void TearDown() override {
+    inject::reset();
+    set_global_policy(nullptr);
+  }
+};
+
+TEST_F(ExploreTest, CounterScenarioCleanAcrossStrategies) {
+  for (const Strategy s :
+       {Strategy::kRandom, Strategy::kPct, Strategy::kExhaustive}) {
+    ExploreOptions opts;
+    opts.name = std::string("counter/") + to_string(s);
+    opts.strategy = s;
+    opts.schedules = 25;
+    opts.seed = 17;
+    const ExploreResult r = explore(opts, [](ScheduleCtx& ctx) {
+      return scenarios::counter_schedule(ctx, 3, 2);
+    });
+    EXPECT_TRUE(r.ok()) << to_string(s) << ": "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations.front().detail);
+    EXPECT_EQ(r.schedules_run, 25u) << to_string(s);
+    EXPECT_GT(r.total_steps, 0u) << to_string(s);
+  }
+}
+
+TEST_F(ExploreTest, MapScenariosCleanUnderEveryModePin) {
+  for (const ModePin pin :
+       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly}) {
+    MapScenarioOptions mo;
+    mo.pin = pin;
+    ExploreOptions opts;
+    opts.seed = 23;
+    opts.schedules = 15;
+
+    opts.name = std::string("hashmap/") + to_string(pin);
+    ExploreResult r = explore(opts, [&](ScheduleCtx& ctx) {
+      return scenarios::hashmap_schedule(ctx, mo);
+    });
+    EXPECT_TRUE(r.ok()) << opts.name << ": "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations.front().detail);
+
+    opts.name = std::string("kvdb/") + to_string(pin);
+    r = explore(opts, [&](ScheduleCtx& ctx) {
+      return scenarios::kvdb_schedule(ctx, mo);
+    });
+    EXPECT_TRUE(r.ok()) << opts.name << ": "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations.front().detail);
+  }
+}
+
+TEST_F(ExploreTest, ViolationCarriesReplayableRepro) {
+  ExploreOptions opts;
+  opts.name = "synthetic";
+  opts.repro_hint = "./ale_check_explorer --scenario=synthetic";
+  opts.seed = 5;
+  opts.schedules = 10;
+  opts.quiet = true;
+  const ExploreResult r = explore(opts, [](ScheduleCtx& ctx) {
+    return ctx.index() == 3
+               ? std::make_optional<std::string>("synthetic violation")
+               : std::nullopt;
+  });
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].schedule, 3u);
+  EXPECT_EQ(r.violations[0].detail, "synthetic violation");
+  EXPECT_NE(r.violations[0].repro.find("ALE_SEED=0x"), std::string::npos);
+  EXPECT_NE(r.violations[0].repro.find("ALE_CHECK_SCHEDULE=3"),
+            std::string::npos);
+  EXPECT_NE(r.violations[0].repro.find("--scenario=synthetic"),
+            std::string::npos);
+  // stop_on_violation: schedules 4..9 never ran.
+  EXPECT_EQ(r.schedules_run, 4u);
+}
+
+TEST_F(ExploreTest, SameSeedSameExploration) {
+  ExploreOptions opts;
+  opts.seed = 99;
+  opts.schedules = 10;
+  auto fn = [](ScheduleCtx& ctx) {
+    return scenarios::counter_schedule(ctx, 3, 2);
+  };
+  const ExploreResult a = explore(opts, fn);
+  const ExploreResult b = explore(opts, fn);
+  EXPECT_EQ(a.total_steps, b.total_steps);
+  EXPECT_EQ(a.schedules_run, b.schedules_run);
+}
+
+TEST_F(ExploreTest, EnvOverridesNarrowTheLoop) {
+  // ALE_CHECK_SCHEDULE replays schedules 0..k (the clean prefix re-runs so
+  // schedule k sees the in-process state it saw during the sweep);
+  // ALE_CHECK_SCHEDULES overrides the budget. (setenv is test-only; the
+  // explorer reads the environment at entry.)
+  ASSERT_EQ(setenv("ALE_CHECK_SCHEDULE", "2", 1), 0);
+  ExploreOptions opts;
+  opts.seed = 7;
+  opts.schedules = 50;
+  std::vector<std::uint64_t> seen;
+  ExploreResult r = explore(opts, [&](ScheduleCtx& ctx) {
+    seen.push_back(ctx.index());
+    return scenarios::counter_schedule(ctx, 2, 1);
+  });
+  unsetenv("ALE_CHECK_SCHEDULE");
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(r.schedules_run, 3u);
+
+  ASSERT_EQ(setenv("ALE_CHECK_SCHEDULES", "4", 1), 0);
+  seen.clear();
+  r = explore(opts, [&](ScheduleCtx& ctx) {
+    seen.push_back(ctx.index());
+    return scenarios::counter_schedule(ctx, 2, 1);
+  });
+  unsetenv("ALE_CHECK_SCHEDULES");
+  EXPECT_EQ(r.schedules_run, 4u);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST_F(ExploreTest, ExhaustiveSmallSpaceTerminatesEarly) {
+  // A 2-thread, 1-op scenario has a tiny bounded tree: the exhaustive sweep
+  // must exhaust it and stop before the schedule budget.
+  ExploreOptions opts;
+  opts.strategy = Strategy::kExhaustive;
+  opts.preemption_bound = 1;
+  opts.seed = 3;
+  opts.schedules = 100000;
+  const ExploreResult r = explore(opts, [](ScheduleCtx& ctx) {
+    return scenarios::counter_schedule(ctx, 2, 1);
+  });
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.space_exhausted);
+  EXPECT_LT(r.schedules_run, 100000u);
+  EXPECT_GT(r.schedules_run, 1u);
+}
+
+}  // namespace
+}  // namespace ale::check

@@ -1,0 +1,159 @@
+// Linearizability checker unit tests: hand-built histories with known
+// verdicts. Timestamps follow the History convention (invoke < response,
+// global total order).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/linearize.hpp"
+#include "test_util.hpp"
+
+namespace ale::check {
+namespace {
+
+struct LinearizeTest : ::testing::Test {
+  test::ReproOnFailure repro{"ale_tests_check"};
+};
+
+Op op(unsigned thread, OpKind kind, std::uint64_t key, std::uint64_t arg,
+      bool ok, std::uint64_t out, std::uint64_t invoke,
+      std::uint64_t response) {
+  Op o;
+  o.thread = thread;
+  o.kind = kind;
+  o.key = key;
+  o.arg = arg;
+  o.ok = ok;
+  o.out = out;
+  o.invoke = invoke;
+  o.response = response;
+  return o;
+}
+
+TEST_F(LinearizeTest, EmptyAndSequentialHistoriesPass) {
+  EXPECT_TRUE(check_map_history({}, {}).ok);
+
+  // insert(5,1)=fresh; get(5)=1; remove(5)=removed; get(5)=miss — strictly
+  // sequential (each response precedes the next invocation).
+  std::vector<Op> h{
+      op(0, OpKind::kInsert, 5, 1, true, 0, 1, 2),
+      op(0, OpKind::kGet, 5, 0, true, 1, 3, 4),
+      op(0, OpKind::kRemove, 5, 0, true, 0, 5, 6),
+      op(0, OpKind::kGet, 5, 0, false, 0, 7, 8),
+  };
+  const auto r = check_map_history(h, {});
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.aborted);
+}
+
+TEST_F(LinearizeTest, SequentialWrongValueFails) {
+  std::vector<Op> h{
+      op(0, OpKind::kInsert, 5, 1, true, 0, 1, 2),
+      op(0, OpKind::kGet, 5, 0, true, 99, 3, 4),  // reads a value never written
+  };
+  const auto r = check_map_history(h, {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.explanation.find("key 5"), std::string::npos);
+  EXPECT_NE(r.explanation.find("get"), std::string::npos);
+}
+
+TEST_F(LinearizeTest, OverlappingGetMayLinearizeEitherSide) {
+  // get(7) overlaps an insert(7,3): both "miss" (linearized before) and
+  // "hit 3" (after) are legal.
+  for (const bool hit : {false, true}) {
+    std::vector<Op> h{
+        op(0, OpKind::kInsert, 7, 3, true, 0, 1, 10),
+        op(1, OpKind::kGet, 7, 0, hit, hit ? 3u : 0u, 2, 9),
+    };
+    EXPECT_TRUE(check_map_history(h, {}).ok) << "hit=" << hit;
+  }
+}
+
+TEST_F(LinearizeTest, PhantomMissOnAlwaysPresentKeyFails) {
+  // The sentinel pattern the hashmap scenario relies on: key 1 is present
+  // initially and never removed, so a miss can never linearize.
+  std::vector<Op> h{
+      op(0, OpKind::kGet, 1, 0, false, 0, 1, 2),
+      op(1, OpKind::kInsert, 2, 5, true, 0, 1, 3),  // other-key noise
+  };
+  const auto r = check_map_history(h, {{1, 111}});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.explanation.find("no linearization"), std::string::npos);
+}
+
+TEST_F(LinearizeTest, StaleButOverlappingReadPasses) {
+  // remove(1) completes at t=4; a get(1)=hit that *invoked* at t=3 overlaps
+  // it and may linearize before it even though it responds later.
+  std::vector<Op> h{
+      op(0, OpKind::kRemove, 1, 0, true, 0, 2, 4),
+      op(1, OpKind::kGet, 1, 0, true, 111, 3, 6),
+  };
+  EXPECT_TRUE(check_map_history(h, {{1, 111}}).ok);
+}
+
+TEST_F(LinearizeTest, NonOverlappingStaleReadFails) {
+  // Same shape but the get invokes *after* the remove responded: real-time
+  // order forces remove → get, so the hit is a violation.
+  std::vector<Op> h{
+      op(0, OpKind::kRemove, 1, 0, true, 0, 2, 4),
+      op(1, OpKind::kGet, 1, 0, true, 111, 5, 6),
+  };
+  EXPECT_FALSE(check_map_history(h, {{1, 111}}).ok);
+}
+
+TEST_F(LinearizeTest, LostUpdateStyleDoubleFreshFails) {
+  // Two inserts of one key both claiming "fresh" with no remove between:
+  // whichever goes second must have observed the key present.
+  std::vector<Op> h{
+      op(0, OpKind::kInsert, 9, 1, true, 0, 1, 3),
+      op(1, OpKind::kInsert, 9, 2, true, 0, 2, 4),
+  };
+  EXPECT_FALSE(check_map_history(h, {}).ok);
+}
+
+TEST_F(LinearizeTest, InsertReportsPresentCorrectly) {
+  // insert over an existing key must report ok=false (not fresh) but still
+  // overwrite — matching AleHashMap::insert / ShardedDb::set semantics.
+  std::vector<Op> h{
+      op(0, OpKind::kInsert, 4, 10, false, 0, 1, 2),
+      op(0, OpKind::kGet, 4, 0, true, 10, 3, 4),
+  };
+  EXPECT_TRUE(check_map_history(h, {{4, 1}}).ok);
+}
+
+TEST_F(LinearizeTest, ThreeWayRaceWithOneLegalOrderPasses) {
+  // Fully overlapping: set(3,1)=fresh, remove(3)=removed, get(3)=miss.
+  // Legal order exists (set → remove → get); the checker must find it.
+  std::vector<Op> h{
+      op(0, OpKind::kSet, 3, 1, true, 0, 1, 10),
+      op(1, OpKind::kRemove, 3, 0, true, 0, 2, 11),
+      op(2, OpKind::kGet, 3, 0, false, 0, 3, 12),
+  };
+  EXPECT_TRUE(check_map_history(h, {}).ok);
+}
+
+TEST_F(LinearizeTest, OversizedKeyHistoryAbortsNeverLies) {
+  // 65 ops on one key exceeds the 64-bit mask: the checker must abort (not
+  // crash, not report a spurious violation).
+  std::vector<Op> h;
+  std::uint64_t t = 1;
+  for (int i = 0; i < 65; ++i) {
+    const std::uint64_t inv = t++;
+    const std::uint64_t rsp = t++;
+    h.push_back(op(0, OpKind::kSet, 1, 7, i == 0, 0, inv, rsp));
+  }
+  const auto r = check_map_history(h, {});
+  EXPECT_TRUE(r.aborted);
+  EXPECT_TRUE(r.ok);  // verdict unknown, not "violated"
+}
+
+TEST_F(LinearizeTest, FormatOpIsReadable) {
+  const std::string s =
+      format_op(op(1, OpKind::kInsert, 7, 42, true, 0, 5, 9));
+  EXPECT_EQ(s, "t1 insert(7,42)=fresh [5,9]");
+  const std::string g = format_op(op(0, OpKind::kGet, 3, 0, true, 8, 1, 2));
+  EXPECT_EQ(g, "t0 get(3)=hit->8 [1,2]");
+}
+
+}  // namespace
+}  // namespace ale::check

@@ -1,0 +1,143 @@
+// Mutation self-tests: deliberately break a correctness invariant via the
+// inject mutation points and assert the explorer finds the resulting
+// violation within a bounded schedule budget — the end-to-end proof that
+// the checker can actually catch the bug class it exists for. The
+// mutation-off halves prove the detectors don't cry wolf.
+#include <gtest/gtest.h>
+
+#include "check/explore.hpp"
+#include "check/scenarios.hpp"
+#include "inject/inject.hpp"
+#include "policy/install.hpp"
+#include "test_util.hpp"
+
+namespace ale::check {
+namespace {
+
+using scenarios::MapScenarioOptions;
+using scenarios::ModePin;
+
+struct MutationTest : ::testing::Test {
+  test::ReproOnFailure repro{"ale_tests_check"};
+  void SetUp() override {
+    test::use_emulated_ideal();
+    inject::reset();
+  }
+  void TearDown() override {
+    inject::reset();
+    set_global_policy(nullptr);
+  }
+};
+
+// Budgets: generous relative to the empirically observed detection point so
+// seed rotation can't flake the test, but bounded — a detector that needs
+// more than this is broken for practical purposes.
+constexpr std::uint64_t kFindBudget = 2000;
+constexpr std::uint64_t kCleanBudget = 150;  // per pin; CI sweeps 10k+
+
+TEST_F(MutationTest, BlindValidationIsCaughtOnHashmap) {
+  // swopt.blind makes ConflictIndicator::changed_since lie "unchanged":
+  // SWOpt reads never revalidate, so a reader that was preempted onto a
+  // retired chain node misses the permanently present sentinel.
+  ASSERT_TRUE(inject::configure("swopt.blind"));
+  MapScenarioOptions mo;
+  mo.pin = ModePin::kSwOptOnly;
+  ExploreOptions opts;
+  opts.name = "mutation/swopt.blind/hashmap";
+  opts.seed = 42;
+  opts.schedules = kFindBudget;
+  opts.quiet = true;
+  const ExploreResult r = explore(opts, [&](ScheduleCtx& ctx) {
+    return scenarios::hashmap_schedule(ctx, mo);
+  });
+  ASSERT_FALSE(r.ok()) << "explorer failed to catch the blind-validation "
+                          "mutation in "
+                       << r.schedules_run << " schedules";
+  EXPECT_NE(r.violations[0].detail.find("hashmap(swopt)"),
+            std::string::npos);
+  EXPECT_NE(r.violations[0].repro.find("ALE_CHECK_SCHEDULE="),
+            std::string::npos);
+}
+
+TEST_F(MutationTest, BlindValidationIsCaughtOnKvdb) {
+  ASSERT_TRUE(inject::configure("swopt.blind"));
+  MapScenarioOptions mo;
+  mo.pin = ModePin::kSwOptOnly;
+  ExploreOptions opts;
+  opts.name = "mutation/swopt.blind/kvdb";
+  opts.seed = 42;
+  opts.schedules = kFindBudget;
+  opts.quiet = true;
+  const ExploreResult r = explore(opts, [&](ScheduleCtx& ctx) {
+    return scenarios::kvdb_schedule(ctx, mo);
+  });
+  ASSERT_FALSE(r.ok()) << "explorer failed to catch the blind-validation "
+                          "mutation in "
+                       << r.schedules_run << " schedules";
+  EXPECT_NE(r.violations[0].detail.find("kvdb(swopt)"), std::string::npos);
+}
+
+TEST_F(MutationTest, LazySubscriptionIsCaughtOnCounter) {
+  // htm.lazysub skips the lock subscription: a transaction can commit while
+  // a Lock-mode holder is mid-critical-section, losing its update — the
+  // textbook reason lazy subscription is unsafe.
+  ASSERT_TRUE(inject::configure("htm.lazysub"));
+  ExploreOptions opts;
+  opts.name = "mutation/htm.lazysub/counter";
+  opts.seed = 42;
+  opts.schedules = kFindBudget;
+  opts.quiet = true;
+  const ExploreResult r = explore(opts, [](ScheduleCtx& ctx) {
+    return scenarios::counter_schedule(ctx, 3, 2);
+  });
+  ASSERT_FALSE(r.ok()) << "explorer failed to catch the lazy-subscription "
+                          "mutation in "
+                       << r.schedules_run << " schedules";
+  EXPECT_NE(r.violations[0].detail.find("lost update"), std::string::npos);
+}
+
+TEST_F(MutationTest, MutationsOffNothingIsFlagged) {
+  // The same detectors, same seeds, mutations disabled: every pin must come
+  // back clean. (CI's check-explore job runs this sweep at 10k+ schedules;
+  // this is the smoke-sized version.)
+  for (const ModePin pin :
+       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly}) {
+    MapScenarioOptions mo;
+    mo.pin = pin;
+    ExploreOptions opts;
+    opts.seed = 42;
+    opts.schedules = kCleanBudget;
+
+    opts.name = std::string("clean/hashmap/") + to_string(pin);
+    ExploreResult r = explore(opts, [&](ScheduleCtx& ctx) {
+      return scenarios::hashmap_schedule(ctx, mo);
+    });
+    EXPECT_TRUE(r.ok()) << opts.name << ": "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations.front().detail);
+
+    opts.name = std::string("clean/kvdb/") + to_string(pin);
+    r = explore(opts, [&](ScheduleCtx& ctx) {
+      return scenarios::kvdb_schedule(ctx, mo);
+    });
+    EXPECT_TRUE(r.ok()) << opts.name << ": "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations.front().detail);
+  }
+
+  ExploreOptions opts;
+  opts.name = "clean/counter";
+  opts.seed = 42;
+  opts.schedules = kCleanBudget;
+  const ExploreResult r = explore(opts, [](ScheduleCtx& ctx) {
+    return scenarios::counter_schedule(ctx, 3, 2);
+  });
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().detail);
+}
+
+}  // namespace
+}  // namespace ale::check

@@ -1,0 +1,226 @@
+// Edge cases of the emulated HTM backend: exact capacity-abort boundaries,
+// duplicate / self-held lock subscription, state reuse across aborted
+// attempts, and version behaviour at very large clock values.
+//
+// The version clock and slot table are process-global singletons shared
+// with every other test in this binary: tests may advance the clock but
+// must never move it backwards (TL2 validation assumes monotonicity).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cacheline.hpp"
+#include "htm/access.hpp"
+#include "htm/emulated.hpp"
+#include "htm/htm.hpp"
+#include "htm/profile.hpp"
+#include "htm/version_table.hpp"
+#include "sync/spinlock.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+using htm::AbortCause;
+using htm::BeginState;
+using htm::TxAbortException;
+using htm::detail::VersionTable;
+
+class EmulatedHtmEdges : public ::testing::Test {
+ protected:
+  test::ReproOnFailure repro{"ale_tests_htm"};
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override { test::use_emulated_ideal(); }
+
+  // Ideal profile with explicit read/write line budgets.
+  static void use_caps(std::uint32_t read_lines, std::uint32_t write_lines) {
+    htm::Config c;
+    c.backend = htm::BackendKind::kEmulated;
+    c.profile = htm::ideal_profile();
+    c.profile.read_cap_lines = read_lines;
+    c.profile.write_cap_lines = write_lines;
+    htm::configure(c);
+  }
+};
+
+template <typename Fn>
+AbortCause run_txn(Fn&& fn) {
+  const auto bs = htm::tx_begin();
+  EXPECT_EQ(bs.state, BeginState::kStarted);
+  try {
+    fn();
+    htm::tx_commit();
+    return AbortCause::kNone;
+  } catch (const TxAbortException& e) {
+    return e.cause;
+  }
+}
+
+// One value per cache line, so each element consumes one line of budget.
+struct PaddedWords {
+  struct alignas(kCacheLineSize) Word {
+    std::uint64_t v = 0;
+  };
+  Word w[8];
+};
+
+TEST_F(EmulatedHtmEdges, ReadCapacityAbortsExactlyAboveTheBudget) {
+  use_caps(/*read_lines=*/4, /*write_lines=*/1u << 20);
+  PaddedWords d;
+
+  // Exactly at the cap: fine.
+  EXPECT_EQ(run_txn([&] {
+              for (int i = 0; i < 4; ++i) tx_load(d.w[i].v);
+            }),
+            AbortCause::kNone);
+
+  // One line over: the access that brings the set to cap+1 aborts.
+  EXPECT_EQ(run_txn([&] {
+              for (int i = 0; i < 5; ++i) tx_load(d.w[i].v);
+            }),
+            AbortCause::kCapacity);
+}
+
+TEST_F(EmulatedHtmEdges, WriteCapacityAbortsExactlyAboveTheBudget) {
+  use_caps(/*read_lines=*/1u << 20, /*write_lines=*/2);
+  PaddedWords d;
+
+  EXPECT_EQ(run_txn([&] {
+              tx_store(d.w[0].v, std::uint64_t{1});
+              tx_store(d.w[1].v, std::uint64_t{2});
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(d.w[0].v, 1u);
+
+  EXPECT_EQ(run_txn([&] {
+              tx_store(d.w[2].v, std::uint64_t{1});
+              tx_store(d.w[3].v, std::uint64_t{2});
+              tx_store(d.w[4].v, std::uint64_t{3});
+            }),
+            AbortCause::kCapacity);
+  // The aborted transaction's buffered writes must not have leaked.
+  EXPECT_EQ(d.w[2].v, 0u);
+  EXPECT_EQ(d.w[3].v, 0u);
+  EXPECT_EQ(d.w[4].v, 0u);
+}
+
+TEST_F(EmulatedHtmEdges, RepeatedAccessToOneLineConsumesOneLineOfBudget) {
+  use_caps(/*read_lines=*/1, /*write_lines=*/1);
+  struct alignas(kCacheLineSize) OneLine {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;  // same cache line as a
+  } d;
+
+  EXPECT_EQ(run_txn([&] {
+              for (int i = 0; i < 100; ++i) {
+                tx_store(d.a, tx_load(d.a) + 1);
+                tx_store(d.b, tx_load(d.b) + 1);
+              }
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(d.a, 100u);
+  EXPECT_EQ(d.b, 100u);
+}
+
+TEST_F(EmulatedHtmEdges, DuplicateSubscriptionIsFlattenedAndCommits) {
+  // §4.1 flattened nesting: the same lock subscribed at two nesting levels
+  // must be deduplicated — the commit acquires and releases it once (a
+  // double-release of a TatasLock would corrupt its state).
+  TatasLock lock;
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+              htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+              tx_store(x, std::uint64_t{1});
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 1u);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(EmulatedHtmEdges, SubscribingAHeldLockAbortsImmediately) {
+  TatasLock lock;
+  lock.lock();
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              tx_store(x, std::uint64_t{9});
+              htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock, false);
+            }),
+            AbortCause::kLockedByOther);
+  EXPECT_EQ(x, 0u);
+  lock.unlock();
+}
+
+TEST_F(EmulatedHtmEdges, SelfHeldSubscriptionSkipsTheCheckAndTheAcquire) {
+  // §4.1: inside an enclosing Lock-mode critical section the library "does
+  // not check whether the lock is held" — and the commit must not try to
+  // re-acquire it (try_acquire would fail forever against ourselves).
+  TatasLock lock;
+  lock.lock();
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock,
+                                     /*already_held_by_self=*/true);
+              tx_store(x, std::uint64_t{3});
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 3u);
+  // Our own holding must have survived the commit.
+  EXPECT_TRUE(lock.is_locked());
+  lock.unlock();
+}
+
+TEST_F(EmulatedHtmEdges, BeginAfterAbortStartsFromACleanSlate) {
+  std::uint64_t x = 0, y = 0;
+  EXPECT_EQ(run_txn([&] {
+              tx_store(x, std::uint64_t{99});
+              htm::tx_abort(AbortCause::kExplicit);
+            }),
+            AbortCause::kExplicit);
+  // The next attempt must not replay the aborted attempt's redo log.
+  EXPECT_EQ(run_txn([&] { tx_store(y, std::uint64_t{1}); }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 0u);
+  EXPECT_EQ(y, 1u);
+}
+
+TEST_F(EmulatedHtmEdges, SlotWordPackingRoundTripsAtExtremeVersions) {
+  // The slot word packs (version << 1) | locked: the version field is
+  // 63 bits wide and must round-trip unmangled right up to its edge.
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{1} << 32,
+        (std::uint64_t{1} << 62) - 1, (std::uint64_t{1} << 63) - 1}) {
+    for (const bool locked : {false, true}) {
+      const std::uint64_t s = VersionTable::pack(v, locked);
+      EXPECT_EQ(VersionTable::version_of(s), v) << "v=" << v;
+      EXPECT_EQ(VersionTable::locked(s), locked) << "v=" << v;
+    }
+  }
+}
+
+TEST_F(EmulatedHtmEdges, TransactionsSurviveAVeryLargeClockJump) {
+  // Simulate a long-lived process: leap the global TL2 clock forward by
+  // 2^40 ticks (never backwards — the table is shared with every other
+  // test) and check the full protocol still works: fresh snapshots, commit
+  // validation, and non-transactional version bumps all compare versions
+  // far above the slot words' previous values.
+  auto& table = VersionTable::instance();
+  const std::uint64_t before = table.read_clock();
+  table.clock().fetch_add(std::uint64_t{1} << 40,
+                          std::memory_order_acq_rel);
+
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] { tx_store(x, tx_load(x) + 1); }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 1u);
+
+  // A second transaction must observe the first one's (huge) commit
+  // version as "not newer than my snapshot" and read cleanly.
+  EXPECT_EQ(run_txn([&] { EXPECT_EQ(tx_load(x), 1u); }),
+            AbortCause::kNone);
+  EXPECT_GT(table.read_clock(), before + (std::uint64_t{1} << 40) - 1);
+}
+
+}  // namespace
+}  // namespace ale

@@ -26,6 +26,16 @@ TEST(EstimateBestX, HopelessHtmPicksZero) {
   EXPECT_EQ(estimate_best_x(h, 1000, 1000, 2000, 2000, 10), 0u);
 }
 
+TEST(EstimateBestX, NoSuccessesPicksZeroEvenWithCheapMeasuredTail) {
+  AttemptHistogram<64> h;
+  for (int i = 0; i < 100; ++i) h.record_failure();
+  // A cheap fallback lower bound must not rescue hopeless attempts: with
+  // zero successes the interpolation term is the only thing favouring
+  // x > 0, and it reflects a different contention regime, not a benefit
+  // of attempting.
+  EXPECT_EQ(estimate_best_x(h, 500, 500, 100000, 1, 4), 0u);
+}
+
 TEST(EstimateBestX, RetriesWorthwhileWhenFallbackExpensive) {
   AttemptHistogram<64> h;
   // Half succeed on attempt 3; half never succeed.

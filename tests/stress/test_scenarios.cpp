@@ -25,6 +25,15 @@ namespace ale {
 namespace {
 
 struct StressTest : ::testing::Test {
+  // Seed-pin convention (tests/test_util.hpp): all randomness comes from
+  // ALE_SEED-derived streams; on failure the fixture prints the exact
+  // replay command line.
+  test::ReproOnFailure repro{"ale_tests_stress"};
+  // Deterministic time: every injected stall (x= pricing) and backoff wait
+  // is charged in virtual ticks, not burned wall-clock spins, so cost-based
+  // assertions hold under parallel test load and sanitizers.
+  test::ScopedVirtualTime vt;
+
   void SetUp() override {
     test::use_emulated_ideal();
     inject::reset();
@@ -109,9 +118,11 @@ TEST_F(StressTest, AbortStormAdaptiveAbandonsHtm) {
   // and the assertions reach back to phase transitions from early in the
   // learning window. (Applies to buffers of threads spawned below.)
   telemetry::set_trace_capacity(1u << 17);
-  // x=2000 prices each doomed begin at ~2000 pause-spins: dominating the
-  // lock path's cost so the learner *measures* HTM-bearing progressions as
-  // strictly worse instead of tying on noise, and concludes X = 0.
+  // x=2000 prices each doomed begin at 2000 ticks — under the fixture's
+  // virtual clock this is exact, not a wall-clock spin that parallel test
+  // load could compress — dominating the lock path's cost so the learner
+  // *measures* HTM-bearing progressions as strictly worse instead of tying
+  // on noise, and concludes X = 0.
   ASSERT_TRUE(inject::configure("htm.begin:x=2000"));
   auto policy = std::make_unique<AdaptivePolicy>(small_phases());
   AdaptivePolicy* p = policy.get();

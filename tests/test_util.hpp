@@ -1,14 +1,89 @@
 // Shared helpers for the ALE test suite.
+//
+// ---- Seed pinning & repro convention ------------------------------------
+//
+// Every randomized test in this suite (tests/stress, tests/check, and any
+// test that hammers with threads) derives ALL of its randomness from the
+// process run seed — common/prng.hpp's run_seed(), settable via ALE_SEED.
+// The rules:
+//
+//  1. Draw randomness only from thread_prng() or derive_seed(salt, ...) —
+//     never from std::random_device, time, or addresses.
+//  2. On failure, print a one-line repro command so the exact run can be
+//     replayed (use ReproOnFailure in the fixture, or repro_line()
+//     directly):
+//
+//       ALE_SEED=0x1f2e3d4c ./ale_tests_stress --gtest_filter=Suite.Name
+//
+//  3. Replaying with that ALE_SEED (same build, same thread count) replays
+//     the same PRNG streams. It does NOT pin the OS interleaving — for
+//     schedule-exact replay use the ale::check explorer, whose repro lines
+//     additionally carry an ALE_CHECK_SCHEDULE index (see docs/testing.md).
+//
+// Timing-sensitive assertions (e.g. "this storm is expensive enough that
+// the learner must abandon HTM") must not depend on wall-clock spin costs,
+// which collapse under parallel test load or sanitizers: enable the virtual
+// clock (ScopedVirtualTime below) so injected stalls and backoff waits are
+// charged as deterministic ticks instead of burned cycles.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <cstdio>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cycles.hpp"
+#include "common/prng.hpp"
 #include "core/policy_iface.hpp"
 #include "htm/config.hpp"
 
 namespace ale::test {
+
+// One-line repro command for the currently running gtest test.
+inline std::string repro_line(const char* binary) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "ALE_SEED=0x%llx ./%s --gtest_filter=%s.%s",
+                static_cast<unsigned long long>(run_seed()), binary,
+                info != nullptr ? info->test_suite_name() : "?",
+                info != nullptr ? info->name() : "?");
+  return buf;
+}
+
+// Fixture member (or scoped local): when the enclosing test has failed by
+// the time this is destroyed, print the repro command line on stderr.
+class ReproOnFailure {
+ public:
+  explicit ReproOnFailure(const char* binary) : binary_(binary) {}
+  ~ReproOnFailure() {
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr, "[ale.test] repro: %s\n",
+                   repro_line(binary_).c_str());
+    }
+  }
+
+ private:
+  const char* binary_;
+};
+
+// RAII virtual clock (common/cycles.hpp): while active, now_ticks() reads a
+// per-thread tick counter advanced by the thread's own backoff waits and
+// injected stalls, so time-based learning is deterministic regardless of
+// host load, sanitizer slowdown, or where the OS preempts a thread.
+class ScopedVirtualTime {
+ public:
+  ScopedVirtualTime() : prev_(virtual_time_enabled()) {
+    set_virtual_time_enabled(true);
+  }
+  ~ScopedVirtualTime() { set_virtual_time_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
 
 // Deterministic substrate for unit tests: emulated HTM with no capacity
 // limits and no quirk injection.
