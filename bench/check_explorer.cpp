@@ -21,6 +21,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #ifdef __linux__
@@ -42,7 +43,7 @@ using scenarios::MapScenarioOptions;
 using scenarios::ModePin;
 
 struct Cli {
-  std::string scenario = "all";   // all | hashmap | kvdb | counter
+  std::string scenario = "all";   // all | hashmap | kvdb | rwlock | counter
   std::string mode = "all";       // all | lock | swopt | htm
   std::string mutate;             // "" | swopt.blind | htm.lazysub | ...
   Strategy strategy = Strategy::kRandom;
@@ -55,7 +56,7 @@ struct Cli {
   if (bad != nullptr) std::fprintf(stderr, "unknown argument: %s\n", bad);
   std::fprintf(
       stderr,
-      "usage: %s [--scenario=all|hashmap|kvdb|counter]\n"
+      "usage: %s [--scenario=all|hashmap|kvdb|rwlock|counter]\n"
       "          [--mode=all|lock|swopt|htm] [--strategy=random|pct|"
       "exhaustive]\n"
       "          [--schedules=N] [--seed=S] [--mutate=POINT]"
@@ -127,7 +128,14 @@ struct Job {
 std::vector<Job> build_jobs(const Cli& cli) {
   std::vector<Job> jobs;
   const bool all = cli.scenario == "all";
-  for (const char* which : {"hashmap", "kvdb"}) {
+  using MapFn = std::optional<std::string> (*)(ScheduleCtx&,
+                                               const MapScenarioOptions&);
+  constexpr std::pair<const char*, MapFn> kMapScenarios[] = {
+      {"hashmap", &scenarios::hashmap_schedule},
+      {"kvdb", &scenarios::kvdb_schedule},
+      {"rwlock", &scenarios::rwlock_schedule},
+  };
+  for (const auto& [which, fn] : kMapScenarios) {
     if (!all && cli.scenario != which) continue;
     for (const ModePin pin : pins_for(cli.mode)) {
       MapScenarioOptions mo;
@@ -138,10 +146,8 @@ std::vector<Job> build_jobs(const Cli& cli) {
                                " --scenario=" + which +
                                " --mode=" + scenarios::to_string(pin) +
                                seed_arg(cli);
-      const bool is_map = std::strcmp(which, "hashmap") == 0;
-      jobs.push_back({name, hint, [mo, is_map](ScheduleCtx& ctx) {
-                        return is_map ? scenarios::hashmap_schedule(ctx, mo)
-                                      : scenarios::kvdb_schedule(ctx, mo);
+      jobs.push_back({name, hint, [mo, fn](ScheduleCtx& ctx) {
+                        return fn(ctx, mo);
                       }});
     }
   }

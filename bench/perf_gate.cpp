@@ -5,6 +5,12 @@
 // three execution regimes (lock-only, static elision, adaptive), plus the
 // converged adaptive path with the fast path toggled OFF and ON — the A/B
 // that quantifies the hot-path overhaul (granule cache + AttemptPlan).
+// (c) adds the readers-writer curves: a real read-mostly (95/5) workload
+// over ElidableSharedLock at 1/2/4/8 threads, and the same mix through the
+// deterministic wicked simulator — single-core CI runners cannot show real
+// reader-side scaling (there is no parallelism to win back), so the
+// machine-independent virtual-time ratio is what gates the "elided readers
+// scale" property while the real curve gates the implementation's overhead.
 //
 // Emits BENCH_perf-style JSON with the run seed in the header. Absolute
 // numbers vary wildly across hosts/runners, so the CI gate checks only the
@@ -33,6 +39,7 @@
 #include "core/ale.hpp"
 #include "policy/adaptive_policy.hpp"
 #include "policy/static_policy.hpp"
+#include "sim/wicked_sim.hpp"
 
 namespace {
 
@@ -58,6 +65,55 @@ void run_one_cs() {
     tx_store(g_cell, tx_load(g_cell) + 1);
     return CsBody::kDone;
   });
+}
+
+// --- read-mostly (95/5) readers-writer workload over ElidableSharedLock ---
+
+ElidableSharedLock<>& rw_lock() {
+  static ElidableSharedLock<> lock("perf_gate.rwlock");
+  return lock;
+}
+alignas(64) std::uint64_t g_rw_cells[16] = {};
+
+ScopeInfo& rw_read_scope() {
+  static ScopeInfo scope("rw95.read", /*has_swopt=*/true, /*allow_htm=*/true,
+                         static_cast<std::uint8_t>(RwMode::kShared));
+  return scope;
+}
+ScopeInfo& rw_write_scope() {
+  static ScopeInfo scope("rw95.write", /*has_swopt=*/false,
+                         /*allow_htm=*/true,
+                         static_cast<std::uint8_t>(RwMode::kExclusive));
+  return scope;
+}
+
+void run_one_rw95(Xoshiro256& rng) {
+  const std::uint64_t r = rng.next();
+  const std::size_t idx = r % 16;
+  if ((r >> 32) % 100 < 5) {
+    rw_lock().elide_exclusive(rw_write_scope(), [&](CsExec&) {
+      tx_store(g_rw_cells[idx], tx_load(g_rw_cells[idx]) + 1);
+    });
+  } else {
+    rw_lock().elide_shared(rw_read_scope(), [&](CsExec&) -> CsBody {
+      (void)tx_load(g_rw_cells[idx]);
+      return CsBody::kDone;
+    });
+  }
+}
+
+double rw95_ops(unsigned threads, double seconds) {
+  return bench::timed_run(
+      threads, seconds, [](unsigned, Xoshiro256& rng) { run_one_rw95(rng); });
+}
+
+bool warm_rw_to_convergence(AdaptivePolicy& p) {
+  Xoshiro256 rng(42);
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 200; ++i) run_one_rw95(rng);
+    if (p.converged(rw_lock().md())) return true;
+  }
+  return p.converged(rw_lock().md());
 }
 
 // Best-of-3 single-thread latency in ns/op.
@@ -178,6 +234,40 @@ int main(int argc, char** argv) {
   }
   set_global_policy(nullptr);
 
+  // --- read-mostly (95/5) readers-writer scaling curve (real) ---
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    bench::install_policy_spec("lockonly");
+    metrics["rw95_ops.t" + std::to_string(t) + ".lockonly"] =
+        rw95_ops(t, seconds);
+    auto ad = std::make_unique<AdaptivePolicy>(acfg);
+    AdaptivePolicy* adp = ad.get();
+    set_global_policy(std::move(ad));
+    (void)warm_rw_to_convergence(*adp);
+    metrics["rw95_ops.t" + std::to_string(t) + ".adaptive"] =
+        rw95_ops(t, seconds);
+  }
+  set_global_policy(nullptr);
+
+  // --- read-mostly curve through the wicked simulator (deterministic) ---
+  // Virtual time, fixed seed: the ratio is machine-independent, so it can
+  // assert the property a single-core runner cannot — elided readers
+  // overlap, and 8 simulated threads beat 1.
+  {
+    sim::WickedSimConfig scfg;
+    scfg.nomutate = false;
+    scfg.mutate_frac = 0.05;  // the 95/5 mix
+    for (const unsigned t : {1u, 8u}) {
+      const auto inst = sim::simulate_wicked(
+          scfg, sim::WickedPolicyKind::kInstrumented, t, /*seed=*/42);
+      const auto all = sim::simulate_wicked(
+          scfg, sim::WickedPolicyKind::kAdaptiveAll, t, /*seed=*/42);
+      metrics["sim_rw95.t" + std::to_string(t) + ".instrumented"] =
+          inst.throughput;
+      metrics["sim_rw95.t" + std::to_string(t) + ".adaptive_all"] =
+          all.throughput;
+    }
+  }
+
   // --- gated ratios (dimensionless; lower is better) ---
   std::map<std::string, double> gated;
   const double lockonly_ns = metrics["uncontended_ns.lockonly"];
@@ -194,6 +284,24 @@ int main(int argc, char** argv) {
     const double t8 = metrics[std::string("contended_ops.t8.") + pol];
     if (t1 > 0.0) {
       gated[std::string("scaling.t8_over_t1.") + pol] = t8 / t1;
+    }
+  }
+  // Readers-writer retention: the real 95/5 curve (implementation overhead
+  // under contention on whatever host runs the gate)...
+  for (const char* pol : {"lockonly", "adaptive"}) {
+    const double t1 = metrics[std::string("rw95_ops.t1.") + pol];
+    const double t8 = metrics[std::string("rw95_ops.t8.") + pol];
+    if (t1 > 0.0) {
+      gated[std::string("scaling.rw95_t8_over_t1.") + pol] = t8 / t1;
+    }
+  }
+  // ...and the simulated one (the machine-independent scalability claim:
+  // this ratio must stay > 1.0 — elided readers overlap).
+  {
+    const double t1 = metrics["sim_rw95.t1.adaptive_all"];
+    const double t8 = metrics["sim_rw95.t8.adaptive_all"];
+    if (t1 > 0.0) {
+      gated["scaling.sim_rw95_t8_over_t1.adaptive_all"] = t8 / t1;
     }
   }
 

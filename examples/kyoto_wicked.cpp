@@ -2,6 +2,12 @@
 // a ShardedDb (method RW lock + slot locks, ALE-enabled and nested) under
 // a randomized mixed workload, or the paper's `nomutate` variant.
 //
+// The method-level readers-writer lock is an ale::ElidableSharedLock:
+// record methods elide through the shared view (trylockspin acquisition
+// per DbConfig), whole-DB methods through the exclusive view, and the
+// report at the end shows the per-mode granules under "kcdb.methodLock".
+// See examples/readers_writer.cpp for the front-door API in isolation.
+//
 //   usage: kyoto_wicked [threads] [seconds] [nomutate(0|1)] [key-range]
 //   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE, ALE_TELEMETRY
 #include <atomic>

@@ -1,0 +1,118 @@
+// ElidableSharedLock end to end: one readers-writer lock, three elision
+// modes, per-mode adaptive learning.
+//
+// A small "registers" table is guarded by one ale::ElidableSharedLock.
+// Worker threads run a read-mostly mix:
+//   ~90%  elide_shared     read one register (SWOpt-capable body)
+//   ~9%   elide_update     read, and conditionally fix up (update mode
+//                          coexists with readers; exclusivity is staged
+//                          in only when the write actually lands)
+//   ~1%   elide_exclusive  rewrite the whole table
+//
+// Each mode is a distinct call-site scope ("...#sh" / "#up" / "#ex"), so
+// under the adaptive policy (ALE_POLICY=adaptive) the read side and write
+// side converge to their own HTM budgets — visible in the final report.
+//
+//   usage: readers_writer [threads] [seconds]
+//   env:   ALE_POLICY, ALE_HTM_BACKEND, ALE_HTM_PROFILE, ALE_TELEMETRY,
+//          ALE_RW_TRYLOCKSPIN (shared-mode fallback acquisition)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/ale.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "policy/install.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+constexpr std::size_t kRegisters = 64;
+
+struct Registers {
+  ale::ElidableSharedLock<> lock{"registers"};
+  alignas(64) std::uint64_t cell[kRegisters] = {};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? std::atoi(argv[1]) : 4;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+
+  ale::telemetry::init_from_env();
+  if (!ale::install_policy_from_env()) {
+    ale::set_global_policy(
+        std::make_unique<ale::AdaptivePolicy>(ale::AdaptiveConfig{}));
+  }
+
+  Registers regs;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0}, updates{0}, writes{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ale::Xoshiro256 rng(t * 977 + 11);
+      std::uint64_t n_reads = 0, n_updates = 0, n_writes = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t r = rng.next();
+        const std::size_t i = r % kRegisters;
+        const std::uint64_t dice = (r >> 32) % 100;
+        if (dice < 90) {
+          // Shared: runs concurrently with other readers and updaters;
+          // the CsBody form makes it SWOpt-capable (the natural read path).
+          regs.lock.elide_shared([&](ale::CsExec&) -> ale::CsBody {
+            (void)ale::tx_load(regs.cell[i]);
+            return ale::CsBody::kDone;
+          });
+          ++n_reads;
+        } else if (dice < 99) {
+          // Update: reads freely alongside the reader stream; only if the
+          // fix-up is needed does exclusivity come into play.
+          regs.lock.elide_update([&](ale::CsExec&) {
+            const std::uint64_t v = ale::tx_load(regs.cell[i]);
+            if (v % 2 == 1) ale::tx_store(regs.cell[i], v + 1);
+          });
+          ++n_updates;
+        } else {
+          // Exclusive: drains everyone; writes the whole table.
+          regs.lock.elide_exclusive([&](ale::CsExec&) {
+            for (std::size_t k = 0; k < kRegisters; ++k) {
+              ale::tx_store(regs.cell[k], ale::tx_load(regs.cell[k]) + 2);
+            }
+          });
+          ++n_writes;
+        }
+      }
+      reads.fetch_add(n_reads);
+      updates.fetch_add(n_updates);
+      writes.fetch_add(n_writes);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+
+  const double total = static_cast<double>(reads.load() + updates.load() +
+                                           writes.load());
+  std::printf("readers_writer threads=%u policy=%s profile=%s%s\n", threads,
+              ale::global_policy().name(), ale::htm::config().profile.name,
+              regs.lock.trylockspin() ? " trylockspin" : "");
+  std::printf("throughput: %.0f ops/s  (reads %llu, updates %llu, "
+              "writes %llu)\n",
+              total / seconds,
+              static_cast<unsigned long long>(reads.load()),
+              static_cast<unsigned long long>(updates.load()),
+              static_cast<unsigned long long>(writes.load()));
+
+  // The report's per-granule rows show the three call-site scopes (#sh /
+  // #up / #ex) with independently learned configurations.
+  std::printf("\n--- ALE report ---\n");
+  ale::print_report(std::cout);
+  if (ale::telemetry::active()) ale::telemetry::shutdown();
+  return 0;
+}

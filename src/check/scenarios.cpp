@@ -9,6 +9,8 @@
 
 #include "check/history.hpp"
 #include "check/linearize.hpp"
+#include "core/conflict.hpp"
+#include "core/elidable_shared_lock.hpp"
 #include "core/execute_cs.hpp"
 #include "core/lockmd.hpp"
 #include "core/policy_iface.hpp"
@@ -239,6 +241,179 @@ std::optional<std::string> kvdb_schedule(ScheduleCtx& ctx,
       check_map_history(hist.merged(), {{kSentinel, kSentinelValue}});
   if (!lin.ok) {
     return "kvdb(" + std::string(to_string(o.pin)) + "): " + lin.explanation;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// The rwlock scenario's shared state: four present/value registers behind
+// one ElidableSharedLock, with a single ConflictIndicator validating the
+// SWOpt read paths. Small enough that every mode's critical section fits
+// the emulated HTM capacity; adversarial because the writer mutates the
+// same registers the shared- and update-mode readers traverse.
+struct RwRegisters {
+  explicit RwRegisters(const char* name) : lock(name) {}
+
+  static constexpr std::size_t kSlots = 4;
+  struct Slot {
+    std::uint64_t present = 0;
+    std::uint64_t value = 0;
+  };
+
+  ElidableSharedLock<> lock;
+  ConflictIndicator ind;
+  Slot slots[kSlots];
+
+  bool get_shared(std::uint64_t key, std::uint64_t& out) {
+    bool ok = false;
+    lock.elide_shared([&](CsExec& cs) -> CsBody {
+      Slot& s = slots[key];
+      if (cs.in_swopt()) {
+        const std::uint64_t v = ind.get_ver(true);
+        const std::uint64_t p = tx_load(s.present);
+        const std::uint64_t val = tx_load(s.value);
+        if (ind.changed_since(v)) return CsBody::kRetrySwOpt;
+        ok = p != 0;
+        out = val;
+        return CsBody::kDone;
+      }
+      ok = tx_load(s.present) != 0;
+      out = tx_load(s.value);
+      return CsBody::kDone;
+    });
+    return ok;
+  }
+
+  // Same read, through the update view: tolerated by concurrent readers,
+  // serialized against the writer and other updaters.
+  bool get_update(std::uint64_t key, std::uint64_t& out) {
+    bool ok = false;
+    lock.elide_update([&](CsExec& cs) -> CsBody {
+      Slot& s = slots[key];
+      if (cs.in_swopt()) {
+        const std::uint64_t v = ind.get_ver(true);
+        const std::uint64_t p = tx_load(s.present);
+        const std::uint64_t val = tx_load(s.value);
+        if (ind.changed_since(v)) return CsBody::kRetrySwOpt;
+        ok = p != 0;
+        out = val;
+        return CsBody::kDone;
+      }
+      ok = tx_load(s.present) != 0;
+      out = tx_load(s.value);
+      return CsBody::kDone;
+    });
+    return ok;
+  }
+
+  // Upsert; reports whether the key was new (the history checker's kSet
+  // contract, same as ShardedDb::set).
+  bool set_exclusive(std::uint64_t key, std::uint64_t val) {
+    bool fresh = false;
+    lock.elide_exclusive([&](CsExec&) {
+      Slot& s = slots[key];
+      fresh = tx_load(s.present) == 0;
+      ConflictingAction<LockMd> guard(ind, lock.md());
+      tx_store(s.value, val);
+      tx_store(s.present, std::uint64_t{1});
+    });
+    return fresh;
+  }
+
+  // Insert through the update view: reads first, writes only when fresh —
+  // the "read now, maybe write later" shape update mode exists for. The
+  // fallback writes under the upgraded (exclusive) lock; elided attempts
+  // tolerate concurrent shared readers.
+  bool insert_update(std::uint64_t key, std::uint64_t val) {
+    bool fresh = false;
+    lock.elide_update([&](CsExec&) {
+      Slot& s = slots[key];
+      fresh = tx_load(s.present) == 0;
+      if (fresh) {
+        ConflictingAction<LockMd> guard(ind, lock.md());
+        tx_store(s.value, val);
+        tx_store(s.present, std::uint64_t{1});
+      }
+    });
+    return fresh;
+  }
+
+  bool remove_exclusive(std::uint64_t key) {
+    bool was = false;
+    lock.elide_exclusive([&](CsExec&) {
+      Slot& s = slots[key];
+      was = tx_load(s.present) != 0;
+      if (was) {
+        ConflictingAction<LockMd> guard(ind, lock.md());
+        tx_store(s.present, std::uint64_t{0});
+      }
+    });
+    return was;
+  }
+};
+
+}  // namespace
+
+std::optional<std::string> rwlock_schedule(ScheduleCtx& ctx,
+                                           const MapScenarioOptions& o) {
+  ScopedPolicy pin(policy_spec(o.pin));
+  // Heap-allocated for replay stability (see hashmap_schedule).
+  const auto regs_owner = std::make_unique<RwRegisters>("check.rw");
+  RwRegisters& regs = *regs_owner;
+
+  constexpr std::uint64_t kSentinel = 0;
+  constexpr std::uint64_t kChurnA = 1;
+  constexpr std::uint64_t kChurnB = 2;
+  constexpr std::uint64_t kSentinelValue = 7;
+  regs.slots[kSentinel] = {1, kSentinelValue};  // pre-run, single-threaded
+
+  History hist(3);
+  const unsigned ops = o.ops_per_thread;
+
+  std::vector<std::function<void()>> bodies;
+  // Shared-mode reader: hammers the always-present sentinel the writer
+  // keeps overwriting.
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::uint64_t out = 0;
+      const std::size_t op = hist.invoke(0, OpKind::kGet, kSentinel);
+      const bool ok = regs.get_shared(kSentinel, out);
+      hist.respond(0, op, ok, out);
+    }
+  });
+  // Exclusive writer: rewrites the sentinel and churns a second register.
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::size_t op = hist.invoke(1, OpKind::kSet, kSentinel, 100 + i);
+      hist.respond(1, op, regs.set_exclusive(kSentinel, 100 + i));
+      op = hist.invoke(1, OpKind::kInsert, kChurnA, 150 + i);
+      hist.respond(1, op, regs.insert_update(kChurnA, 150 + i));
+      op = hist.invoke(1, OpKind::kRemove, kChurnA);
+      hist.respond(1, op, regs.remove_exclusive(kChurnA));
+    }
+  });
+  // Update-mode thread: reads the sentinel through the update view and
+  // toggles its own register with upgrading inserts.
+  bodies.push_back([&] {
+    for (unsigned i = 0; i < ops; ++i) {
+      std::uint64_t out = 0;
+      std::size_t op = hist.invoke(2, OpKind::kGet, kSentinel);
+      const bool ok = regs.get_update(kSentinel, out);
+      hist.respond(2, op, ok, out);
+      op = hist.invoke(2, OpKind::kInsert, kChurnB, 200 + i);
+      hist.respond(2, op, regs.insert_update(kChurnB, 200 + i));
+      op = hist.invoke(2, OpKind::kRemove, kChurnB);
+      hist.respond(2, op, regs.remove_exclusive(kChurnB));
+    }
+  });
+  ctx.run_threads(std::move(bodies));
+
+  const LinearizeResult lin =
+      check_map_history(hist.merged(), {{kSentinel, kSentinelValue}});
+  if (!lin.ok) {
+    return "rwlock(" + std::string(to_string(o.pin)) + "): " +
+           lin.explanation;
   }
   return std::nullopt;
 }

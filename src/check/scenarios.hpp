@@ -17,6 +17,10 @@
 //    lock) critical sections.
 //  * counter: lock-mode and HTM-mode increments of one counter; a skipped
 //    lock subscription (the lazy-subscription bug) loses updates.
+//  * rwlock: a register file behind ElidableSharedLock — a shared-mode
+//    reader, an update-mode thread (reads + upgrading writes), and an
+//    exclusive writer, all over one lock word; exercises the per-mode
+//    conflict predicates and the upgrade drain under every pin.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +51,12 @@ std::optional<std::string> hashmap_schedule(ScheduleCtx& ctx,
 // Linearizability-checked ShardedDb workload (3 threads).
 std::optional<std::string> kvdb_schedule(ScheduleCtx& ctx,
                                          const MapScenarioOptions& o);
+
+// Linearizability-checked readers-writer register workload (3 threads:
+// shared-mode reader / update-mode reader+writer / exclusive writer) over
+// ElidableSharedLock<RwSpinLock>.
+std::optional<std::string> rwlock_schedule(ScheduleCtx& ctx,
+                                           const MapScenarioOptions& o);
 
 // Lost-update invariant: `threads` threads each increment a shared counter
 // `incs` times inside a critical section; thread 0's scope prohibits HTM

@@ -46,9 +46,11 @@ enum class Sp : std::uint8_t {
   kLockRelease,      ///< engine: Lock mode, just before releasing
   kModeTransition,   ///< engine: top of the arm() attempt loop
   kSpinWait,         ///< a spin-wait round (Backoff::pause, SNZI depart)
+  kRwSharedAcquire,  ///< RwSpinLock shared/update acquisition entry
+  kRwUpgrade,        ///< RwSpinLock upgrade/try_upgrade entry
 };
 
-inline constexpr std::size_t kNumSchedPoints = 13;
+inline constexpr std::size_t kNumSchedPoints = 15;
 
 const char* to_string(Sp sp) noexcept;
 

@@ -29,6 +29,8 @@ const char* to_string(Sp sp) noexcept {
     case Sp::kLockRelease: return "lock.release";
     case Sp::kModeTransition: return "engine.mode";
     case Sp::kSpinWait: return "spin.wait";
+    case Sp::kRwSharedAcquire: return "rw.shared";
+    case Sp::kRwUpgrade: return "rw.upgrade";
   }
   return "?";
 }

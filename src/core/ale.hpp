@@ -23,6 +23,7 @@
 #include "core/conflict.hpp"
 #include "core/context.hpp"
 #include "core/elidable_lock.hpp"
+#include "core/elidable_shared_lock.hpp"
 #include "core/engine.hpp"
 #include "core/execute_cs.hpp"
 #include "core/granule.hpp"

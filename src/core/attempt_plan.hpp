@@ -37,6 +37,9 @@ struct AttemptPlan {
   //   bit  33      swopt    — the progression includes SWOpt
   //   bit  34      grouping — engine performs the §4.2 grouping protocol
   //   bit  35      notify   — deliver on_execution_complete every execution
+  //   bits 36..37  rw_mode  — RwMode of the granule's scope (3 = not a
+  //                readers-writer scope); diagnostic tag so a converged
+  //                plan stays attributable to its acquisition mode
   //   bits 40..47  locked-abort weight, fixed-point /256 (§4's "much
   //                lighter" accounting of lock-acquisition aborts)
   static constexpr std::uint64_t kInvalid = 0;
@@ -47,7 +50,8 @@ struct AttemptPlan {
   static constexpr AttemptPlan make(bool htm, bool swopt, std::uint32_t x,
                                     std::uint32_t y, bool grouping,
                                     unsigned locked_abort_weight256,
-                                    bool notify) noexcept {
+                                    bool notify,
+                                    unsigned rw_mode = 3) noexcept {
     std::uint64_t w = kValidBit;
     w |= std::uint64_t{x > 0xffff ? 0xffffu : x};
     w |= std::uint64_t{y > 0xffff ? 0xffffu : y} << 16;
@@ -55,6 +59,7 @@ struct AttemptPlan {
     if (swopt) w |= 1ULL << 33;
     if (grouping) w |= 1ULL << 34;
     if (notify) w |= 1ULL << 35;
+    w |= std::uint64_t{rw_mode & 0x3u} << 36;
     w |= std::uint64_t{locked_abort_weight256 > 0xff
                            ? 0xffu
                            : locked_abort_weight256} << 40;
@@ -74,6 +79,11 @@ struct AttemptPlan {
     return (word & (1ULL << 34)) != 0;
   }
   constexpr bool notify() const noexcept { return (word & (1ULL << 35)) != 0; }
+  /// RwMode of the owning scope as an integer, or 3 (kNoRwMode) when the
+  /// granule is not a readers-writer scope.
+  constexpr unsigned rw_mode() const noexcept {
+    return static_cast<unsigned>((word >> 36) & 0x3);
+  }
   constexpr unsigned locked_abort_weight256() const noexcept {
     return static_cast<unsigned>((word >> 40) & 0xff);
   }

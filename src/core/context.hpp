@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/mode.hpp"
 #include "sync/spinlock.hpp"
 
 namespace ale {
@@ -27,13 +28,20 @@ struct ScopeInfo {
   const char* label;
   bool has_swopt = false;  // a SWOpt path exists at this site
   bool allow_htm = true;   // programmer may prohibit HTM here
+  // Readers-writer acquisition mode of this scope (RwMode as integer), or
+  // kNoRwMode for scopes over plain exclusive locks. Set by
+  // ElidableSharedLock's per-mode call-site scopes; flows into published
+  // AttemptPlans so converged decisions stay attributable to a mode.
+  std::uint8_t rw_mode = kNoRwMode;
   std::uint32_t id;
 
   explicit ScopeInfo(const char* label_in, bool has_swopt_in = false,
-                     bool allow_htm_in = true) noexcept
+                     bool allow_htm_in = true,
+                     std::uint8_t rw_mode_in = kNoRwMode) noexcept
       : label(label_in),
         has_swopt(has_swopt_in),
         allow_htm(allow_htm_in),
+        rw_mode(rw_mode_in),
         id(next_id()) {}
 
  private:

@@ -45,9 +45,15 @@ namespace detail {
 // itself stores only the const char*).
 class CallSiteScope {
  public:
-  CallSiteScope(const std::source_location& loc, bool has_swopt)
-      : label_(make_label(loc)),
-        scope_(label_.c_str(), has_swopt, /*allow_htm=*/true) {}
+  // `suffix` distinguishes several scopes minted from the same call site
+  // (ElidableSharedLock appends "#sh"/"#up"/"#ex" so each acquisition mode
+  // is its own scope and adapts independently); `rw_mode` tags the scope's
+  // readers-writer mode (kNoRwMode for plain exclusive locks).
+  CallSiteScope(const std::source_location& loc, bool has_swopt,
+                const char* suffix = "",
+                std::uint8_t rw_mode = kNoRwMode)
+      : label_(make_label(loc) + suffix),
+        scope_(label_.c_str(), has_swopt, /*allow_htm=*/true, rw_mode) {}
 
   CallSiteScope(const CallSiteScope&) = delete;
   CallSiteScope& operator=(const CallSiteScope&) = delete;

@@ -1,0 +1,183 @@
+// ElidableSharedLock — the readers-writer front door.
+//
+// The paper's flagship integration (§5, Kyoto Cabinet) elides a
+// readers-writer lock: readers and writers alike run as hardware
+// transactions subscribed to the *whole* lock word, the software-optimistic
+// path is the natural read path, and only the fallback distinguishes who
+// may overlap with whom. ElidableSharedLock renders that as an API,
+// mirroring ElidableLock over sync/rwlock.hpp:
+//
+//   ale::ElidableSharedLock<> table("tableLock");
+//
+//   table.elide_shared([&](ale::CsExec& cs) {      // read path
+//     v = ale::tx_load(slot);
+//     ...
+//     return ale::CsBody::kDone;                   // SWOpt-capable
+//   });
+//   table.elide_exclusive([&](ale::CsExec& cs) {   // write path
+//     ale::tx_store(slot, v);
+//   });
+//
+// Three acquisition modes, three LockApi views of one RwSpinLock:
+//
+//   mode       fallback acquisition          conflicts with (subscription)
+//   ---------  ----------------------------  -----------------------------
+//   shared     lock_shared [or trylockspin]  writer
+//   update     lock_update + upgrade         writer, other updaters
+//   exclusive  lock                          everyone (readers too)
+//
+// HTM subscribes the whole lock word in every mode: the emulated backend
+// monitors the mode's is_locked *predicate*, but a real RTM implementation
+// value-watches the single word — splitting per-mode state across words
+// would cost the single-CAS transitions and still abort readers on any
+// write to the line. The per-mode semantics live entirely in the
+// is_locked predicate each view binds (see lockapi.hpp).
+//
+// Per-mode adaptive learning: each elide_* call site mints its *own*
+// scope ("file.cpp:line#sh" / "#up" / "#ex"), so shared, update and
+// exclusive executions of the same source line land on distinct granules
+// and converge to their own progression and HTM budget X — a read-mostly
+// site learns a different configuration than a write-heavy one, which is
+// exactly the §3.4 "distinct scopes adapt independently" machinery, not a
+// parallel mechanism. The lock itself keeps ONE LockMd: SWOpt presence
+// counts and the §4.2 grouping SNZI must be lock-wide or a shared-mode
+// SWOpt execution would be invisible to an exclusive-mode writer.
+//
+// Env tunables:
+//   ALE_RW_TRYLOCKSPIN=1  shared-mode fallback uses Kyoto Cabinet's
+//                         trylockspin acquisition (§5) instead of
+//                         lock_shared; per-lock override via constructor.
+#pragma once
+
+#include <source_location>
+#include <string>
+#include <utility>
+
+#include "common/env.hpp"
+#include "core/elidable_lock.hpp"
+#include "sync/lockapi.hpp"
+#include "sync/rwlock.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ale {
+
+/// Process-wide default for the shared-mode trylockspin acquisition,
+/// read once from ALE_RW_TRYLOCKSPIN (default: off).
+inline bool rw_trylockspin_default() {
+  static const bool v = env_bool("ALE_RW_TRYLOCKSPIN", false);
+  return v;
+}
+
+/// An ALE-enabled readers-writer lock: the lock object, its (single)
+/// LockMd metadata, and the three per-mode LockApi views in one bundle.
+/// RwLockT needs the RwSpinLock member surface (lock/lock_shared/
+/// lock_update families, upgrade, the three conflict predicates,
+/// subscription_word).
+template <typename RwLockT = RwSpinLock>
+class ElidableSharedLock {
+ public:
+  /// `name` is the lock's label in reports and telemetry. `trylockspin`
+  /// selects the shared-mode fallback acquisition (defaults to the
+  /// ALE_RW_TRYLOCKSPIN process-wide setting).
+  explicit ElidableSharedLock(std::string name,
+                              bool trylockspin = rw_trylockspin_default())
+      : md_(std::move(name)), trylockspin_(trylockspin) {}
+
+  ElidableSharedLock(const ElidableSharedLock&) = delete;
+  ElidableSharedLock& operator=(const ElidableSharedLock&) = delete;
+
+  // ---- explicit-scope forms ----
+  // The scope's rw_mode should match the elide_* member used (the
+  // call-site forms below guarantee it); the engine does not check.
+
+  template <typename Body>
+  void elide_shared(const ScopeInfo& scope, Body&& body) {
+    note_mode(RwMode::kShared);
+    execute_cs(shared_api(), &lock_, md_, scope, std::forward<Body>(body));
+  }
+
+  template <typename Body>
+  void elide_update(const ScopeInfo& scope, Body&& body) {
+    note_mode(RwMode::kUpdate);
+    execute_cs(rw_update_api<RwLockT>(), &lock_, md_, scope,
+               std::forward<Body>(body));
+  }
+
+  template <typename Body>
+  void elide_exclusive(const ScopeInfo& scope, Body&& body) {
+    note_mode(RwMode::kExclusive);
+    execute_cs(rw_exclusive_api<RwLockT>(), &lock_, md_, scope,
+               std::forward<Body>(body));
+  }
+
+  // ---- call-site-scope forms ----
+  // One ScopeInfo per (call site, mode): the label is "file.cpp:line" plus
+  // a mode suffix, so the same source line used in two modes is two scopes
+  // and per-mode statistics/learning never mix.
+
+  template <typename Body>
+  void elide_shared(Body&& body, const std::source_location loc =
+                                     std::source_location::current()) {
+    static const detail::CallSiteScope site(
+        loc, detail::body_declares_swopt<Body>, "#sh",
+        static_cast<std::uint8_t>(RwMode::kShared));
+    elide_shared(site.scope(), std::forward<Body>(body));
+  }
+
+  template <typename Body>
+  void elide_update(Body&& body, const std::source_location loc =
+                                     std::source_location::current()) {
+    static const detail::CallSiteScope site(
+        loc, detail::body_declares_swopt<Body>, "#up",
+        static_cast<std::uint8_t>(RwMode::kUpdate));
+    elide_update(site.scope(), std::forward<Body>(body));
+  }
+
+  template <typename Body>
+  void elide_exclusive(Body&& body, const std::source_location loc =
+                                        std::source_location::current()) {
+    static const detail::CallSiteScope site(
+        loc, detail::body_declares_swopt<Body>, "#ex",
+        static_cast<std::uint8_t>(RwMode::kExclusive));
+    elide_exclusive(site.scope(), std::forward<Body>(body));
+  }
+
+  // ---- raw pieces, for composing with execute_cs or foreign code ----
+
+  RwLockT& raw_lock() noexcept { return lock_; }
+  void* lock_ptr() noexcept { return &lock_; }
+  LockMd& md() noexcept { return md_; }
+  const std::string& name() const noexcept { return md_.name(); }
+  bool trylockspin() const noexcept { return trylockspin_; }
+
+  const LockApi* shared_api() const noexcept {
+    return trylockspin_ ? rw_shared_trylockspin_api<RwLockT>()
+                        : rw_shared_api<RwLockT>();
+  }
+  const LockApi* update_api() const noexcept {
+    return rw_update_api<RwLockT>();
+  }
+  const LockApi* exclusive_api() const noexcept {
+    return rw_exclusive_api<RwLockT>();
+  }
+
+ private:
+  // Sampled mode-decision trace event (EventKind::kRwModeDecision), same
+  // cost discipline as every other instrumented site: one relaxed load
+  // when tracing is off.
+  void note_mode(RwMode rw) noexcept {
+    if (!telemetry::trace_enabled()) return;
+    if (!telemetry::trace_sampled()) return;
+    telemetry::TraceEvent e;
+    e.lock = &md_;
+    e.kind = telemetry::EventKind::kRwModeDecision;
+    e.mode = static_cast<std::uint8_t>(rw);
+    telemetry::trace_emit(e);
+  }
+
+  RwLockT lock_;
+  LockMd md_;
+  bool trylockspin_;
+};
+
+}  // namespace ale

@@ -27,4 +27,30 @@ inline const char* to_string(ExecMode m) noexcept {
   return "?";
 }
 
+// The acquisition mode of a readers-writer critical section — orthogonal
+// to ExecMode (a shared CS can still run as HTM, SWOpt, or Lock; RwMode
+// says which *fallback acquisition* and which conflict predicate apply).
+// Scopes minted by ElidableSharedLock carry their RwMode so per-mode
+// statistics and learned configurations stay separate (read-mostly
+// granules converge to a different X than write-heavy ones).
+enum class RwMode : std::uint8_t {
+  kShared = 0,     // concurrent with other readers and one updater
+  kUpdate = 1,     // concurrent with readers; excludes writer/updaters
+  kExclusive = 2,  // excludes everyone
+};
+
+inline constexpr std::size_t kNumRwModes = 3;
+
+// "Not a readers-writer scope" marker for ScopeInfo/AttemptPlan encodings.
+inline constexpr std::uint8_t kNoRwMode = 3;
+
+inline const char* to_string(RwMode m) noexcept {
+  switch (m) {
+    case RwMode::kShared: return "shared";
+    case RwMode::kUpdate: return "update";
+    case RwMode::kExclusive: return "exclusive";
+  }
+  return "?";
+}
+
 }  // namespace ale

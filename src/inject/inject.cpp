@@ -28,6 +28,8 @@ const char* to_string(Point p) noexcept {
     case Point::kPolicyRelearn: return "policy.relearn";
     case Point::kSwOptBlind: return "swopt.blind";
     case Point::kHtmLazySub: return "htm.lazysub";
+    case Point::kRwUpgrade: return "rw.upgrade";
+    case Point::kRwAcquire: return "rw.acquire";
   }
   return "?";
 }

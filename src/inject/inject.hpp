@@ -72,9 +72,15 @@ enum class Point : std::uint8_t {
   // the resulting linearizability violation within its schedule budget.
   kSwOptBlind = 9,    ///< ConflictIndicator::changed_since lies "unchanged"
   kHtmLazySub = 10,   ///< emulated subscribe_lock skips the lock check
+
+  // Readers-writer lock points (fault points again, not mutations).
+  kRwUpgrade = 11,    ///< stretch RwSpinLock::upgrade's reader drain by
+                      ///< x pause-spins (widens the wait-bit window)
+  kRwAcquire = 12,    ///< stretch a slow-path RwSpinLock acquisition
+                      ///< (any mode) by x pause-spins before spinning
 };
 
-inline constexpr std::size_t kNumPoints = 11;
+inline constexpr std::size_t kNumPoints = 13;
 
 const char* to_string(Point p) noexcept;
 std::optional<Point> point_by_name(std::string_view name) noexcept;

@@ -12,14 +12,23 @@ struct Scopes {
   ScopeInfo iterate_outer, iterate_slot;
   ScopeInfo set_slot, get_slot, remove_slot, append_slot, clear_slot;
 
+  // Outer scopes carry their readers-writer mode tag: record methods run
+  // shared, whole-DB methods exclusive (see ElidableSharedLock).
   explicit Scopes(const ShardedDb::Config& cfg)
-      : set_outer("kcdb.set.outer", cfg.outer_swopt, cfg.outer_htm),
-        get_outer("kcdb.get.outer", cfg.outer_swopt, cfg.outer_htm),
-        remove_outer("kcdb.remove.outer", cfg.outer_swopt, cfg.outer_htm),
-        append_outer("kcdb.append.outer", cfg.outer_swopt, cfg.outer_htm),
-        clear_outer("kcdb.clear.outer", false, cfg.outer_htm),
-        count_outer("kcdb.count.outer", false, cfg.outer_htm),
-        iterate_outer("kcdb.iterate.outer", false, cfg.outer_htm),
+      : set_outer("kcdb.set.outer", cfg.outer_swopt, cfg.outer_htm,
+                  static_cast<std::uint8_t>(RwMode::kShared)),
+        get_outer("kcdb.get.outer", cfg.outer_swopt, cfg.outer_htm,
+                  static_cast<std::uint8_t>(RwMode::kShared)),
+        remove_outer("kcdb.remove.outer", cfg.outer_swopt, cfg.outer_htm,
+                     static_cast<std::uint8_t>(RwMode::kShared)),
+        append_outer("kcdb.append.outer", cfg.outer_swopt, cfg.outer_htm,
+                     static_cast<std::uint8_t>(RwMode::kShared)),
+        clear_outer("kcdb.clear.outer", false, cfg.outer_htm,
+                    static_cast<std::uint8_t>(RwMode::kExclusive)),
+        count_outer("kcdb.count.outer", false, cfg.outer_htm,
+                    static_cast<std::uint8_t>(RwMode::kShared)),
+        iterate_outer("kcdb.iterate.outer", false, cfg.outer_htm,
+                      static_cast<std::uint8_t>(RwMode::kShared)),
         iterate_slot("kcdb.iterate.slot", false, cfg.inner_htm),
         set_slot("kcdb.set.slot", false, cfg.inner_htm),
         get_slot("kcdb.get.slot", cfg.inner_get_swopt, cfg.inner_htm),
@@ -54,7 +63,7 @@ std::uint64_t ShardedDb::hash_of(std::string_view key) noexcept {
 }
 
 ShardedDb::ShardedDb(Config cfg, std::string name)
-    : cfg_(cfg), method_md_(name + ".methodLock") {
+    : cfg_(cfg), method_(name + ".methodLock", cfg.trylockspin) {
   if (cfg_.num_slots == 0) cfg_.num_slots = 1;
   slots_.reserve(cfg_.num_slots);
   for (std::size_t i = 0; i < cfg_.num_slots; ++i) {
@@ -150,9 +159,7 @@ void ShardedDb::retire_node(Slot& s, Node** prev_cell, Node* node) {
 template <typename Body>
 void ShardedDb::with_method_read_cs(const ScopeInfo& outer_scope,
                                     Body&& body) {
-  const LockApi* api =
-      cfg_.trylockspin ? rw_read_trylockspin_api() : rw_read_api();
-  execute_cs(api, &method_lock_, method_md_, outer_scope,
+  method_.elide_shared(outer_scope,
              [&](CsExec& cs) -> CsBody {
                if (cs.in_swopt()) {
                  // The external SWOpt path only needs to dodge whole-DB
@@ -317,9 +324,9 @@ void ShardedDb::append(std::string_view key, std::string_view suffix) {
 }
 
 void ShardedDb::clear() {
-  execute_cs(rw_write_api(), &method_lock_, method_md_,
-             scopes_->scopes.clear_outer, [&](CsExec&) {
-               ConflictingAction db_guard(db_ver_, method_md_);
+  method_.elide_exclusive(
+      scopes_->scopes.clear_outer, [&](CsExec&) {
+               ConflictingAction db_guard(db_ver_, method_.md());
                for (auto& sp : slots_) {
                  Slot& s = *sp;
                  execute_cs(
@@ -349,9 +356,7 @@ void ShardedDb::clear() {
 std::uint64_t ShardedDb::iterate(
     const std::function<void(std::string_view, std::string_view)>& fn) {
   std::uint64_t total = 0;
-  const LockApi* api =
-      cfg_.trylockspin ? rw_read_trylockspin_api() : rw_read_api();
-  execute_cs(api, &method_lock_, method_md_,
+  method_.elide_shared(
              scopes_->scopes.iterate_outer, [&](CsExec&) {
                total = 0;
                for (auto& sp : slots_) {
@@ -381,9 +386,7 @@ std::uint64_t ShardedDb::iterate(
 
 std::uint64_t ShardedDb::count() {
   std::uint64_t total = 0;
-  const LockApi* api =
-      cfg_.trylockspin ? rw_read_trylockspin_api() : rw_read_api();
-  execute_cs(api, &method_lock_, method_md_, scopes_->scopes.count_outer,
+  method_.elide_shared(scopes_->scopes.count_outer,
              [&](CsExec&) {
                total = 0;
                for (auto& sp : slots_) total += tx_load(sp->live_count);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/ale.hpp"
+#include "core/elidable_shared_lock.hpp"
 #include "kvdb/blob.hpp"
 #include "sync/rwlock.hpp"
 #include "sync/spinlock.hpp"
@@ -96,7 +97,7 @@ class ShardedDb {
       const std::function<void(std::string_view key, std::string_view value)>&
           fn);
 
-  LockMd& method_lock_md() noexcept { return method_md_; }
+  LockMd& method_lock_md() noexcept { return method_.md(); }
   LockMd& slot_lock_md(std::size_t i) noexcept { return slots_[i]->md; }
   std::size_t num_slots() const noexcept { return slots_.size(); }
 
@@ -148,8 +149,10 @@ class ShardedDb {
   void with_method_read_cs(const ScopeInfo& outer_scope, Body&& body);
 
   Config cfg_;
-  RwSpinLock method_lock_;
-  LockMd method_md_;
+  // The Kyoto method-level readers-writer lock, as the front-door bundle:
+  // record methods go through elide_shared (trylockspin per Config),
+  // whole-DB methods through elide_exclusive.
+  ElidableSharedLock<RwSpinLock> method_;
   ConflictIndicator db_ver_;  // bumped by whole-DB operations
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unique_ptr<ScopesHolder> scopes_;

@@ -160,8 +160,14 @@ void AdaptivePolicy::maybe_publish_plan(GranuleMd& g, Progression prog,
   const bool notify = cfg_.relearn_after > 0 || inject::enabled();
   const auto weight256 = static_cast<unsigned>(
       cfg_.locked_abort_weight * 256.0 + 0.5);
+  // Tag the plan with the scope's readers-writer mode so a drained plan
+  // word stays attributable to shared/update/exclusive learning.
+  const ContextNode* ctx = g.context();
+  const ScopeInfo* scope = ctx != nullptr ? ctx->scope() : nullptr;
+  const unsigned rw_mode = scope != nullptr ? scope->rw_mode : kNoRwMode;
   g.publish_attempt_plan(AttemptPlan::make(htm_in, swopt_in, x, cfg_.y_large,
-                                           cfg_.grouping, weight256, notify));
+                                           cfg_.grouping, weight256, notify,
+                                           rw_mode));
 }
 
 void AdaptivePolicy::on_htm_abort(LockMd&, GranuleMd&, htm::AbortCause) {}

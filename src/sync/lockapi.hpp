@@ -51,6 +51,106 @@ const LockApi* lock_api() noexcept {
   return &api;
 }
 
+// ---- templated readers-writer views ----
+//
+// Three LockApi views over any readers-writer lock with the RwSpinLock
+// member surface (lock/lock_shared/lock_update + try/unlock forms and the
+// is_locked/is_write_locked/is_write_or_update_locked predicates). All
+// three report the same subscription_word: HTM elides readers and writers
+// alike by monitoring the whole lock word — a reader transaction that
+// watched only "is a writer in?" by value would miss an updater's upgrade,
+// and splitting the word would cost the single-CAS state transitions.
+// The per-mode conflict semantics live in is_locked, which each view binds
+// to the predicate matching what an elided execution of that mode must not
+// overlap with.
+
+// Exclusive view: conflicts with readers, updaters and writers.
+template <class L>
+const LockApi* rw_exclusive_api() noexcept {
+  static const LockApi api{
+      [](void* l) { static_cast<L*>(l)->lock(); },
+      [](void* l) { static_cast<L*>(l)->unlock(); },
+      [](void* l) { return static_cast<L*>(l)->try_lock(); },
+      [](const void* l) { return static_cast<const L*>(l)->is_locked(); },
+      [](const void* l) {
+        return static_cast<const L*>(l)->subscription_word();
+      },
+      "rw-exclusive"};
+  return &api;
+}
+
+// Shared view: an elided reader conflicts only with a writer.
+template <class L>
+const LockApi* rw_shared_api() noexcept {
+  static const LockApi api{
+      [](void* l) { static_cast<L*>(l)->lock_shared(); },
+      [](void* l) { static_cast<L*>(l)->unlock_shared(); },
+      [](void* l) { return static_cast<L*>(l)->try_lock_shared(); },
+      [](const void* l) {
+        return static_cast<const L*>(l)->is_write_locked();
+      },
+      [](const void* l) {
+        return static_cast<const L*>(l)->subscription_word();
+      },
+      "rw-shared"};
+  return &api;
+}
+
+// Shared view with Kyoto Cabinet's trylockspin acquisition (§5).
+template <class L>
+const LockApi* rw_shared_trylockspin_api() noexcept {
+  static const LockApi api{
+      [](void* l) { static_cast<L*>(l)->lock_shared_trylockspin(); },
+      [](void* l) { static_cast<L*>(l)->unlock_shared(); },
+      [](void* l) { return static_cast<L*>(l)->try_lock_shared(); },
+      [](const void* l) {
+        return static_cast<const L*>(l)->is_write_locked();
+      },
+      [](const void* l) {
+        return static_cast<const L*>(l)->subscription_word();
+      },
+      "rw-shared-trylockspin"};
+  return &api;
+}
+
+// Update view: an elided updater conflicts with the writer and with other
+// updaters, but not with readers — that asymmetry is the whole point: an
+// update-mode critical section that *usually* doesn't write (or is elided)
+// runs concurrently with the reader stream, where an exclusive one would
+// drain it. Exclusivity is still required whenever its writes actually
+// land, so the acquire/try_acquire fallbacks stage through the update slot
+// and upgrade: win the updater slot concurrently with readers, then drain
+// them only for the write window. release therefore pairs with the
+// *upgraded* (exclusive) state.
+template <class L>
+const LockApi* rw_update_api() noexcept {
+  static const LockApi api{
+      [](void* l) {
+        auto* rw = static_cast<L*>(l);
+        rw->lock_update();
+        rw->upgrade();
+      },
+      [](void* l) { static_cast<L*>(l)->unlock(); },
+      [](void* l) {
+        auto* rw = static_cast<L*>(l);
+        if (!rw->try_lock_update()) return false;
+        if (rw->try_upgrade()) return true;
+        rw->unlock_update();
+        return false;
+      },
+      [](const void* l) {
+        return static_cast<const L*>(l)->is_write_or_update_locked();
+      },
+      [](const void* l) {
+        return static_cast<const L*>(l)->subscription_word();
+      },
+      "rw-update"};
+  return &api;
+}
+
+// ---- concrete RwSpinLock views (predating the templates; kept for the
+// raw execute_cs form and existing call sites) ----
+
 // Write view of a readers-writer lock: conflicts with readers and writers.
 inline const LockApi* rw_write_api() noexcept {
   static const LockApi api{

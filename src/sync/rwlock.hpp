@@ -1,12 +1,24 @@
-// Readers-writer spinlock with writer-preference, plus the "trylockspin"
-// acquisition pattern the paper discusses for the Kyoto Cabinet benchmark.
+// Readers-writer spinlock with writer-preference, an update (intent) mode,
+// plus the "trylockspin" acquisition pattern the paper discusses for the
+// Kyoto Cabinet benchmark.
 //
-// ALE integrates with a readers-writer lock through *two* LockAPI views of
-// the same object (see lockapi.hpp):
-//   * the write view: acquire = lock(), is_locked = is_locked() (any holder
-//     conflicts with an elided writer), and
-//   * the read view: acquire = lock_shared(), is_locked = is_write_locked()
-//     (concurrent readers do not conflict with an elided reader).
+// ALE integrates with a readers-writer lock through *multiple* LockAPI
+// views of the same object (see lockapi.hpp):
+//   * the exclusive view: acquire = lock(), is_locked = is_locked() (any
+//     holder conflicts with an elided writer),
+//   * the shared view: acquire = lock_shared(), is_locked =
+//     is_write_locked() (concurrent readers do not conflict with an elided
+//     reader), and
+//   * the update view: acquire = lock_update(), is_locked =
+//     is_write_or_update_locked() (an elided updater conflicts with the
+//     writer and with other updaters, but not with readers).
+//
+// Update mode is the classic "read now, maybe write later" intent lock: it
+// admits concurrent readers, excludes other updaters and writers, and can
+// upgrade() in place to the exclusive mode without releasing — the drain
+// protocol cannot deadlock against a waiting writer because the writer's
+// acquire CAS requires every other bit to be clear, and the update bit is
+// exactly what the upgrader holds.
 #pragma once
 
 #include <atomic>
@@ -26,6 +38,7 @@ class RwSpinLock {
 
   void lock() noexcept {
     if (try_lock()) return;
+    inject::maybe_stall(inject::Point::kRwAcquire, 0);
     Backoff backoff;
     for (;;) {
       std::uint32_t s = state_.load(std::memory_order_relaxed);
@@ -67,7 +80,9 @@ class RwSpinLock {
   // ---- reader side ----
 
   void lock_shared() noexcept {
+    check::preempt(check::Sp::kRwSharedAcquire);
     if (try_lock_shared()) return;
+    inject::maybe_stall(inject::Point::kRwAcquire, 0);
     Backoff backoff;
     for (;;) {
       std::uint32_t s = state_.load(std::memory_order_relaxed);
@@ -88,7 +103,7 @@ class RwSpinLock {
     while ((s & (kWriterHeld | kWriterWait)) == 0) {
       if (state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
-      return true;
+        return true;
       }
     }
     return false;
@@ -96,6 +111,98 @@ class RwSpinLock {
 
   void unlock_shared() noexcept {
     state_.fetch_sub(1, std::memory_order_release);
+  }
+
+  // ---- update (intent) side ----
+  //
+  // Coexists with readers; excludes writers and other updaters. Does not
+  // set the writer-wait bit while waiting: an updater only blocks on the
+  // (brief) writer/updater window, so it does not need admission
+  // preference, and leaving readers flowing keeps the common read path
+  // unaffected by a queued update.
+
+  void lock_update() noexcept {
+    check::preempt(check::Sp::kRwSharedAcquire);
+    if (try_lock_update()) return;
+    inject::maybe_stall(inject::Point::kRwAcquire, 0);
+    Backoff backoff;
+    for (;;) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if ((s & (kWriterHeld | kWriterWait | kUpdateHeld)) == 0) {
+        if (state_.compare_exchange_weak(s, s | kUpdateHeld,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      backoff.pause();
+    }
+  }
+
+  bool try_lock_update() noexcept {
+    std::uint32_t s = state_.load(std::memory_order_relaxed);
+    while ((s & (kWriterHeld | kWriterWait | kUpdateHeld)) == 0) {
+      if (state_.compare_exchange_weak(s, s | kUpdateHeld,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void unlock_update() noexcept {
+    state_.fetch_and(~kUpdateHeld, std::memory_order_release);
+  }
+
+  // Upgrade the held update lock to the exclusive lock, in place. Sets the
+  // writer-wait bit (stopping new reader admissions), drains the readers
+  // already inside, then swaps the update bit for the writer bit. Release
+  // the upgraded lock with plain unlock().
+  //
+  // Deadlock-freedom vs. a concurrently waiting writer: the writer's CAS
+  // requires state == 0 or state == kWriterWait, and our update bit keeps
+  // state non-zero for the whole drain — so the upgrader always wins the
+  // race and the writer simply keeps waiting. The CAS below drops the wait
+  // bit; waiting writers re-announce it on their next loop iteration.
+  void upgrade() noexcept {
+    check::preempt(check::Sp::kRwUpgrade);
+    inject::maybe_stall(inject::Point::kRwUpgrade, 0);
+    Backoff backoff;
+    for (;;) {
+      std::uint32_t s = state_.load(std::memory_order_relaxed);
+      if ((s & kWriterWait) == 0) {
+        state_.compare_exchange_weak(s, s | kWriterWait,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed);
+        continue;
+      }
+      if ((s & kReaderMask) == 0) {
+        if (state_.compare_exchange_weak(s, kWriterHeld,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      backoff.pause();
+    }
+  }
+
+  // Non-blocking upgrade: succeeds only when no reader is inside right now.
+  // Does not set the wait bit on failure (no side effects).
+  bool try_upgrade() noexcept {
+    check::preempt(check::Sp::kRwUpgrade);
+    std::uint32_t s = state_.load(std::memory_order_relaxed);
+    while ((s & kUpdateHeld) != 0 && (s & kReaderMask) == 0) {
+      if (state_.compare_exchange_weak(s, kWriterHeld,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
   }
 
   // ---- trylockspin (Kyoto Cabinet's acquisition idiom, §5) ----
@@ -112,16 +219,29 @@ class RwSpinLock {
 
   // ---- predicates ----
 
-  // Any holder at all (readers or writer). An elided *writer* critical
-  // section conflicts with both, so this is its subscription predicate.
+  // Any holder at all (readers, updater, or writer). An elided *exclusive*
+  // critical section conflicts with all of them, so this is its
+  // subscription predicate.
   bool is_locked() const noexcept {
     return (state_.load(std::memory_order_acquire) & ~kWriterWait) != 0;
   }
 
-  // Writer held. An elided *reader* critical section conflicts only with a
+  // Writer held. An elided *shared* critical section conflicts only with a
   // writer.
   bool is_write_locked() const noexcept {
     return (state_.load(std::memory_order_acquire) & kWriterHeld) != 0;
+  }
+
+  bool is_update_locked() const noexcept {
+    return (state_.load(std::memory_order_acquire) & kUpdateHeld) != 0;
+  }
+
+  // Writer or updater held. An elided *update* critical section conflicts
+  // with both (but not with readers), so this is its subscription
+  // predicate.
+  bool is_write_or_update_locked() const noexcept {
+    return (state_.load(std::memory_order_acquire) &
+            (kWriterHeld | kUpdateHeld)) != 0;
   }
 
   std::uint32_t reader_count() const noexcept {
@@ -133,7 +253,8 @@ class RwSpinLock {
  private:
   static constexpr std::uint32_t kWriterHeld = 1u << 31;
   static constexpr std::uint32_t kWriterWait = 1u << 30;
-  static constexpr std::uint32_t kReaderMask = kWriterWait - 1;
+  static constexpr std::uint32_t kUpdateHeld = 1u << 29;
+  static constexpr std::uint32_t kReaderMask = kUpdateHeld - 1;
 
   std::atomic<std::uint32_t> state_{0};
 };

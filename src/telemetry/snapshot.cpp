@@ -132,6 +132,9 @@ std::vector<EventRecord> resolve_events(const std::vector<TraceEvent>& raw) {
             inject::to_string(static_cast<inject::Point>(e.aux8)) +
             " fire=" + std::to_string(e.aux32);
         break;
+      case EventKind::kRwModeDecision:
+        r.mode = ale::to_string(static_cast<RwMode>(e.mode));
+        break;
     }
     out.push_back(std::move(r));
   }

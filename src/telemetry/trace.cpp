@@ -20,6 +20,7 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kRelearn: return "relearn";
     case EventKind::kGroupingDefer: return "grouping_defer";
     case EventKind::kInjectFired: return "inject_fired";
+    case EventKind::kRwModeDecision: return "rw_mode_decision";
   }
   return "?";
 }

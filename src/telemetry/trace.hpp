@@ -43,9 +43,12 @@ enum class EventKind : std::uint8_t {
   kInjectFired = 7,    ///< ale::inject fired a fault (always recorded);
                        ///< aux8 = inject::Point id, aux32 = fire ordinal,
                        ///< cause = htm::AbortCause delivered (when any)
+  kRwModeDecision = 8, ///< ElidableSharedLock routed a critical section
+                       ///< into a readers-writer acquisition mode
+                       ///< (sampled); mode = RwMode as integer
 };
 
-inline constexpr std::size_t kNumEventKinds = 8;
+inline constexpr std::size_t kNumEventKinds = 9;
 
 /// Human-readable tag for an EventKind (stable; used in exports).
 const char* to_string(EventKind k) noexcept;

@@ -77,6 +77,29 @@ TEST_F(ExploreTest, MapScenariosCleanUnderEveryModePin) {
   }
 }
 
+TEST_F(ExploreTest, RwLockScenarioCleanUnderEveryModePin) {
+  // The readers-writer register scenario: a shared-mode reader, an
+  // update-mode reader+writer and an exclusive writer over one
+  // ElidableSharedLock must linearize under every pinned execution mode.
+  for (const ModePin pin :
+       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly}) {
+    MapScenarioOptions mo;
+    mo.pin = pin;
+    ExploreOptions opts;
+    opts.seed = 31;
+    opts.schedules = 15;
+    opts.name = std::string("rwlock/") + to_string(pin);
+    const ExploreResult r = explore(opts, [&](ScheduleCtx& ctx) {
+      return scenarios::rwlock_schedule(ctx, mo);
+    });
+    EXPECT_TRUE(r.ok()) << opts.name << ": "
+                        << (r.violations.empty()
+                                ? ""
+                                : r.violations.front().detail);
+    EXPECT_GT(r.total_steps, 0u) << opts.name;
+  }
+}
+
 TEST_F(ExploreTest, ViolationCarriesReplayableRepro) {
   ExploreOptions opts;
   opts.name = "synthetic";

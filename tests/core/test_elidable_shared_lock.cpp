@@ -1,0 +1,186 @@
+// ElidableSharedLock, the readers-writer front door
+// (core/elidable_shared_lock.hpp): per-mode call-site scopes, mixed-mode
+// correctness through the engine, the trylockspin shared-acquisition knob,
+// and the sampled rw_mode_decision telemetry events.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ale.hpp"
+#include "policy/static_policy.hpp"
+#include "telemetry/trace.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct ElidableSharedLockTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override {
+    telemetry::set_trace_enabled(false);
+    telemetry::set_trace_sample_rate(0.03);
+    telemetry::reset_trace();
+    set_global_policy(nullptr);
+  }
+};
+
+TEST_F(ElidableSharedLockTest, SingleThreadAllThreeModes) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  ElidableSharedLock<> lock("rw.basic");
+  std::uint64_t cell = 0;
+  lock.elide_exclusive([&](CsExec&) { tx_store(cell, std::uint64_t{7}); });
+  std::uint64_t seen_shared = 0;
+  lock.elide_shared([&](CsExec&) { seen_shared = tx_load(cell); });
+  std::uint64_t seen_update = 0;
+  lock.elide_update([&](CsExec&) {
+    seen_update = tx_load(cell);
+    tx_store(cell, seen_update + 1);
+  });
+  EXPECT_EQ(seen_shared, 7u);
+  EXPECT_EQ(seen_update, 7u);
+  EXPECT_EQ(cell, 8u);
+  EXPECT_FALSE(lock.raw_lock().is_locked());
+  EXPECT_EQ(lock.name(), "rw.basic");
+}
+
+TEST_F(ElidableSharedLockTest, CallSiteScopesCarryModeSuffixAndTag) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  ElidableSharedLock<> lock("rw.scopes");
+  std::uint64_t cell = 0;
+  lock.elide_shared([&](CsExec&) { (void)tx_load(cell); });
+  lock.elide_update([&](CsExec&) { (void)tx_load(cell); });
+  lock.elide_exclusive([&](CsExec&) { tx_store(cell, std::uint64_t{1}); });
+
+  // One granule per (call site, mode); the label carries the mode suffix
+  // and the scope carries the machine-readable rw_mode tag.
+  int found = 0;
+  lock.md().for_each_granule([&](GranuleMd& g) {
+    const ScopeInfo* scope = g.context()->scope();
+    ASSERT_NE(scope, nullptr);
+    const std::string label = scope->label;
+    EXPECT_NE(label.find("test_elidable_shared_lock.cpp:"),
+              std::string::npos);
+    if (label.find("#sh") != std::string::npos) {
+      EXPECT_EQ(scope->rw_mode, static_cast<std::uint8_t>(RwMode::kShared));
+      ++found;
+    } else if (label.find("#up") != std::string::npos) {
+      EXPECT_EQ(scope->rw_mode, static_cast<std::uint8_t>(RwMode::kUpdate));
+      ++found;
+    } else if (label.find("#ex") != std::string::npos) {
+      EXPECT_EQ(scope->rw_mode,
+                static_cast<std::uint8_t>(RwMode::kExclusive));
+      ++found;
+    }
+  });
+  EXPECT_EQ(found, 3);
+}
+
+TEST_F(ElidableSharedLockTest, MixedModeInvariantStress) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  ElidableSharedLock<> lock("rw.stress");
+  alignas(64) std::uint64_t a = 0;
+  alignas(64) std::uint64_t b = 0;
+  std::atomic<std::uint64_t> torn{0};
+  test::run_threads(4, [&](unsigned idx) {
+    for (int i = 0; i < 3000; ++i) {
+      if (idx == 0) {
+        lock.elide_exclusive([&](CsExec&) {
+          const std::uint64_t cur = tx_load(a);
+          tx_store(a, cur + 1);
+          tx_store(b, cur + 1);
+        });
+      } else if (idx == 1) {
+        // Conditional write: only every 8th pass mutates.
+        lock.elide_update([&](CsExec&) {
+          const std::uint64_t cur = tx_load(a);
+          if (cur % 8 == 3) {
+            tx_store(a, cur + 1);
+            tx_store(b, tx_load(b) + 1);
+          }
+        });
+      } else {
+        lock.elide_shared([&](CsExec&) {
+          const std::uint64_t ra = tx_load(a);
+          const std::uint64_t rb = tx_load(b);
+          if (ra != rb) torn.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 3000u);
+  EXPECT_FALSE(lock.raw_lock().is_locked());
+}
+
+TEST_F(ElidableSharedLockTest, SharedBodyCanTakeSwOptPath) {
+  // No HTM, SWOpt allowed: a CsBody-returning shared body is offered the
+  // software-optimistic read path — the natural shared-mode execution.
+  StaticPolicyConfig cfg;
+  cfg.use_htm = false;
+  cfg.y = 3;
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>(cfg));
+  ElidableSharedLock<> lock("rw.swopt");
+  std::uint64_t cell = 0;
+  int swopt_seen = 0;
+  lock.elide_shared([&](CsExec& cs) -> CsBody {
+    if (cs.in_swopt()) {
+      ++swopt_seen;
+      (void)tx_load(cell);
+      return CsBody::kDone;
+    }
+    (void)tx_load(cell);
+    return CsBody::kDone;
+  });
+  EXPECT_EQ(swopt_seen, 1);
+}
+
+TEST_F(ElidableSharedLockTest, TrylockspinKnobSelectsSharedAcquisition) {
+  ElidableSharedLock<> plain("rw.plain", /*trylockspin=*/false);
+  ElidableSharedLock<> spin("rw.spin", /*trylockspin=*/true);
+  EXPECT_FALSE(plain.trylockspin());
+  EXPECT_TRUE(spin.trylockspin());
+  EXPECT_NE(plain.shared_api(), spin.shared_api());
+  EXPECT_STREQ(plain.shared_api()->name, "rw-shared");
+  EXPECT_STREQ(spin.shared_api()->name, "rw-shared-trylockspin");
+  // The knob only affects the shared view; update/exclusive are common.
+  EXPECT_EQ(plain.update_api(), spin.update_api());
+  EXPECT_EQ(plain.exclusive_api(), spin.exclusive_api());
+
+  // The trylockspin acquisition is functional, not just selected.
+  test::PolicyInstaller p(std::make_unique<LockOnlyPolicy>());
+  std::uint64_t cell = 0;
+  spin.elide_exclusive([&](CsExec&) { tx_store(cell, std::uint64_t{5}); });
+  std::uint64_t seen = 0;
+  spin.elide_shared([&](CsExec&) { seen = tx_load(cell); });
+  EXPECT_EQ(seen, 5u);
+  EXPECT_FALSE(spin.raw_lock().is_locked());
+}
+
+TEST_F(ElidableSharedLockTest, RwModeDecisionTraceEvents) {
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  ElidableSharedLock<> lock("rw.trace");
+  telemetry::set_trace_enabled(true);
+  telemetry::set_trace_sample_rate(1.0);  // record every decision
+  telemetry::reset_trace();
+
+  std::uint64_t cell = 0;
+  lock.elide_shared([&](CsExec&) { (void)tx_load(cell); });
+  lock.elide_shared([&](CsExec&) { (void)tx_load(cell); });
+  lock.elide_update([&](CsExec&) { (void)tx_load(cell); });
+  lock.elide_exclusive([&](CsExec&) { tx_store(cell, std::uint64_t{1}); });
+
+  unsigned by_mode[kNumRwModes] = {0, 0, 0};
+  for (const telemetry::TraceEvent& e : telemetry::drain_trace()) {
+    if (e.kind != telemetry::EventKind::kRwModeDecision) continue;
+    EXPECT_EQ(e.lock, &lock.md());
+    ASSERT_LT(e.mode, kNumRwModes);
+    ++by_mode[e.mode];
+  }
+  EXPECT_EQ(by_mode[static_cast<unsigned>(RwMode::kShared)], 2u);
+  EXPECT_EQ(by_mode[static_cast<unsigned>(RwMode::kUpdate)], 1u);
+  EXPECT_EQ(by_mode[static_cast<unsigned>(RwMode::kExclusive)], 1u);
+}
+
+}  // namespace
+}  // namespace ale

@@ -1,0 +1,105 @@
+// Per-mode adaptive learning through ElidableSharedLock: the shared and
+// exclusive call sites of one readers-writer lock are distinct scopes
+// (#sh/#ex label suffixes), so a mixed workload converges them to
+// *different* HTM budgets — the read side keeps elision, the
+// capacity-busting write side learns HTM is worthless.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ale.hpp"
+#include "inject/inject.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct RwModeLearningTest : ::testing::Test {
+  void SetUp() override {
+    // Emulated HTM with the write capacity squeezed to 4 cache lines: the
+    // exclusive path below (64 distinct lines) aborts on capacity every
+    // attempt, while the one-line read path always commits first try.
+    htm::Config c;
+    c.backend = htm::BackendKind::kEmulated;
+    c.profile = htm::ideal_profile();
+    c.profile.write_cap_lines = 4;
+    htm::configure(c);
+    // Make Lock mode measurably expensive (a 20k-spin hold stretch on
+    // every Lock-mode execution) so the cost estimator's preference for
+    // successful HTM over the fallback is deterministic — the learning
+    // signal must not depend on this machine's incidental lock timings.
+    inject::configure("lock.hold:x=20000");
+  }
+  void TearDown() override {
+    inject::reset();
+    set_global_policy(nullptr);
+    test::use_emulated_ideal();
+  }
+};
+
+TEST_F(RwModeLearningTest, ReadXDiffersFromWriteXAfterConvergence) {
+  AdaptiveConfig cfg;
+  cfg.phase_len = 50;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  ElidableSharedLock<> lock("rw.learning");
+  alignas(64) std::uint64_t cell = 0;
+  std::vector<std::uint64_t> big(512, 0);
+
+  // Read-mostly mix (~91/9): shared one-line reads, every 11th operation a
+  // capacity-busting exclusive write (64 distinct lines > the 4-line cap).
+  for (int i = 0; i < 2500; ++i) {
+    if (i % 11 == 10) {
+      lock.elide_exclusive([&](CsExec&) {
+        for (std::size_t k = 0; k < big.size(); k += 8) {
+          tx_store(big[k], tx_load(big[k]) + 1);
+        }
+      });
+    } else {
+      lock.elide_shared([&](CsExec&) { (void)tx_load(cell); });
+    }
+  }
+  ASSERT_TRUE(p->converged(lock.md()));
+
+  GranuleMd* shared_g = nullptr;
+  GranuleMd* excl_g = nullptr;
+  lock.md().for_each_granule([&](GranuleMd& g) {
+    const std::string path = g.context()->path();
+    if (path.find("#sh") != std::string::npos) shared_g = &g;
+    if (path.find("#ex") != std::string::npos) excl_g = &g;
+  });
+  ASSERT_NE(shared_g, nullptr);
+  ASSERT_NE(excl_g, nullptr);
+
+  // The scopes carry their mode, and it flows into any published plan.
+  ASSERT_NE(shared_g->context()->scope(), nullptr);
+  EXPECT_EQ(shared_g->context()->scope()->rw_mode,
+            static_cast<std::uint8_t>(RwMode::kShared));
+  EXPECT_EQ(excl_g->context()->scope()->rw_mode,
+            static_cast<std::uint8_t>(RwMode::kExclusive));
+  if (shared_g->attempt_plan().valid()) {
+    EXPECT_EQ(shared_g->attempt_plan().rw_mode(),
+              static_cast<unsigned>(RwMode::kShared));
+  }
+  if (excl_g->attempt_plan().valid()) {
+    EXPECT_EQ(excl_g->attempt_plan().rw_mode(),
+              static_cast<unsigned>(RwMode::kExclusive));
+  }
+
+  // The headline observable: read-X != write-X after convergence. The read
+  // side's HTM always commits first try and dodges the expensive lock, so
+  // its budget stays positive; the write side measured zero HTM successes,
+  // so its budget collapses to zero.
+  const std::uint32_t read_x = p->effective_x_of(lock.md(), *shared_g);
+  const std::uint32_t write_x = p->effective_x_of(lock.md(), *excl_g);
+  EXPECT_GE(read_x, 1u);
+  EXPECT_EQ(write_x, 0u);
+  EXPECT_NE(read_x, write_x);
+}
+
+}  // namespace
+}  // namespace ale
