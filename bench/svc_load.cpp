@@ -1,0 +1,395 @@
+// svc_load — the ale::svc service benchmark and tail-latency gate.
+//
+// Two blocks, following the figure benches' SIM/REAL convention
+// (bench_util.hpp):
+//
+//  * SIM  — the virtual-time service model (svc/sim_service.hpp) across
+//           1/2/4/8 workers for the lock-only and adaptive policies. The
+//           host is a single-core VM, so these deterministic curves carry
+//           the gates: svc.t8_over_t1.adaptive must exceed 1.0 (absolute)
+//           and the adaptive p999 must stay under --p999-limit x the
+//           lock-only p999 at 8 workers. Percentiles are virtual cycles.
+//  * REAL — KvService driven by real threads through the open-loop
+//           RequestStream (informational on this host; ops/s + p999 ns).
+//
+// Output: a standalone JSON (--out, perf_gate's format) and optionally
+// --merge FILE, which splices the svc.* metric/gated lines into an
+// existing BENCH_perf.json so one committed baseline carries both
+// harnesses. Baseline-relative gating (--baseline/--tolerance) treats
+// svc.t8_over_t1.* as higher-is-better and every other svc ratio as
+// lower-is-better.
+//
+// Storms: unless ALE_INJECT is set, a default storm spec is installed
+// (hot-key storms every 4096 requests, arrival bursts every 8192) and
+// re-installed before every simulator run so each run sees the identical
+// schedule; with a fixed ALE_SEED the whole report is bit-reproducible.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cycles.hpp"
+#include "common/prng.hpp"
+#include "inject/inject.hpp"
+#include "svc/kv_service.hpp"
+#include "svc/latency.hpp"
+#include "svc/sim_service.hpp"
+#include "svc/traffic.hpp"
+
+using namespace ale;
+using namespace ale::svc;
+
+namespace {
+
+constexpr const char* kDefaultStormSpec =
+    "svc.hotkey:every=4096,x=256;svc.arrival:every=8192,x=64";
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+bool scan_number(const std::string& text, const std::string& key,
+                 double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = text.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+// Re-install the storm spec so every run draws the identical per-thread
+// injection schedule (configure() resets clause counters).
+void arm_storms(const std::string& spec) {
+  if (!spec.empty()) inject::configure(spec);
+}
+
+// The real-thread arm: `threads` workers, each owning a contiguous range
+// of shards, generating open-loop traffic for its shards and draining
+// them. Returns ops served; fills `recorder` with per-request latencies.
+std::uint64_t real_run(KvService& svc, unsigned threads, double seconds,
+                       const TrafficConfig& tcfg,
+                       LatencyRecorder& recorder) {
+  std::vector<std::thread> pool;
+  std::vector<std::uint64_t> served(threads, 0);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t]() {
+      inject::set_thread_index(t);
+      RequestStream stream(tcfg, /*stream_id=*/1000 + t);
+      const std::size_t lo = svc.num_shards() * t / threads;
+      const std::size_t hi = svc.num_shards() * (t + 1) / threads;
+      std::string key, value;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto deadline =
+          t0 + std::chrono::duration<double>(seconds);
+      std::uint64_t n = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        // Generate a small open-loop wave, then drain our shards.
+        for (int i = 0; i < 32; ++i) {
+          const TrafficItem item = stream.next();
+          Request req;
+          req.kind = item.kind;
+          RequestStream::format_key(item.key, key);
+          req.key = key;
+          if (item.kind == ReqKind::kSet) {
+            stream.format_value(item.key, value);
+            req.value = value;
+          }
+          if (item.kind == ReqKind::kScan) req.scan_limit = tcfg.scan_limit;
+          req.arrival_ticks = now_ticks();
+          svc.enqueue(std::move(req));
+        }
+        for (std::size_t s = lo; s < hi; ++s) {
+          while (svc.drain_shard(s, &recorder, t) != 0) ++n;
+        }
+      }
+      // Leave no queued requests behind (they would leak into the next
+      // policy's run through the shared service).
+      for (std::size_t s = lo; s < hi; ++s) {
+        while (svc.drain_shard(s, &recorder, t) != 0) ++n;
+      }
+      served[t] = n;
+    });
+  }
+  std::uint64_t total = 0;
+  for (auto& th : pool) th.join();
+  for (const std::uint64_t n : served) total += n;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_svc.json";
+  std::string merge_path;
+  std::string baseline_path;
+  double tolerance = 0.15;
+  double p999_limit = 1.10;
+  double real_seconds = 0.15;
+  std::uint64_t requests = 30000;
+  bool skip_real = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (a == "--out") out_path = next();
+    else if (a == "--merge") merge_path = next();
+    else if (a == "--baseline") baseline_path = next();
+    else if (a == "--tolerance") tolerance = std::atof(next());
+    else if (a == "--p999-limit") p999_limit = std::atof(next());
+    else if (a == "--requests") requests = std::strtoull(next(), nullptr, 10);
+    else if (a == "--real-seconds") real_seconds = std::atof(next());
+    else if (a == "--skip-real") skip_real = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("svc_load: sharded KV service, open-loop traffic\n");
+  std::printf("  run seed: 0x%016llx%s\n",
+              static_cast<unsigned long long>(run_seed()),
+              std::getenv("ALE_SEED") != nullptr
+                  ? " (from ALE_SEED)"
+                  : " (default; set ALE_SEED to vary)");
+  const std::string storm_spec =
+      std::getenv("ALE_INJECT") != nullptr ? "" : kDefaultStormSpec;
+  if (!storm_spec.empty()) {
+    std::printf("  storms: %s\n", storm_spec.c_str());
+  } else {
+    std::printf("  storms: from ALE_INJECT\n");
+  }
+
+  std::map<std::string, double> metrics;
+  std::map<std::string, double> gated;
+  const unsigned worker_counts[] = {1, 2, 4, 8};
+  const SimSvcPolicy policies[] = {SimSvcPolicy::kLockOnly,
+                                   SimSvcPolicy::kAdaptive};
+
+  // --- SIM block: the gated scaling/tail curves ---
+  std::printf("\n  SIM (virtual time; %llu requests per cell)\n",
+              static_cast<unsigned long long>(requests));
+  std::printf("  %-9s %8s %14s %12s %12s %8s\n", "policy", "workers",
+              "ops/Mcycle", "p99 cyc", "p999 cyc", "shed");
+  SimSvcConfig scfg;
+  scfg.target_requests = requests;
+  // Offered load ~3x one worker's service capacity (~190 cycles/request
+  // at full batching), so a single worker saturates and extra workers
+  // raise served throughput — the scaling signal the ratio gate wants.
+  scfg.traffic.mean_gap_ticks = 65.0;
+  for (const SimSvcPolicy pol : policies) {
+    for (const unsigned w : worker_counts) {
+      arm_storms(storm_spec);
+      const SimSvcResult r = simulate_service(scfg, pol, w);
+      const std::string base = std::string("svc.sim.t") + std::to_string(w) +
+                               "." + to_string(pol);
+      metrics[base + ".ops_per_mcycle"] = r.ops_per_mcycle;
+      metrics[base + ".p50_cycles"] = r.p50;
+      metrics[base + ".p95_cycles"] = r.p95;
+      metrics[base + ".p99_cycles"] = r.p99;
+      metrics[base + ".p999_cycles"] = r.p999;
+      if (w == 8) {
+        metrics[base + ".shed"] = static_cast<double>(r.shed);
+        metrics[base + ".storms"] = static_cast<double>(r.storms);
+        metrics[base + ".storm_requests"] =
+            static_cast<double>(r.storm_requests);
+      }
+      std::printf("  %-9s %8u %14.2f %12.0f %12.0f %8llu\n", to_string(pol),
+                  w, r.ops_per_mcycle, r.p99, r.p999,
+                  static_cast<unsigned long long>(r.shed));
+    }
+  }
+
+  for (const SimSvcPolicy pol : policies) {
+    const std::string p = to_string(pol);
+    const double t1 = metrics["svc.sim.t1." + p + ".ops_per_mcycle"];
+    const double t8 = metrics["svc.sim.t8." + p + ".ops_per_mcycle"];
+    if (t1 > 0) gated["svc.t8_over_t1." + p] = t8 / t1;
+  }
+  {
+    const double a = metrics["svc.sim.t8.adaptive.p999_cycles"];
+    const double l = metrics["svc.sim.t8.lockonly.p999_cycles"];
+    if (l > 0) gated["svc.p999_t8.adaptive_over_lockonly"] = a / l;
+  }
+
+  // --- REAL block: informational on this host ---
+  if (!skip_real) {
+    std::printf("\n  REAL (%.2fs per cell; informational)\n", real_seconds);
+    std::printf("  %-9s %8s %14s %12s\n", "policy", "threads", "ops/s",
+                "p999 ns");
+    TrafficConfig tcfg;  // real block: closed-ish loop, gap model unused
+    const unsigned hw = std::thread::hardware_concurrency();
+    for (const char* pol : {"lockonly", "adaptive"}) {
+      const bool lockonly = std::strcmp(pol, "lockonly") == 0;
+      for (const unsigned w : worker_counts) {
+        if (hw > 0 && w > hw * 4) continue;  // pointless oversubscription
+        SvcConfig cfg;
+        cfg.name = std::string("svc.") + pol + std::to_string(w);
+        cfg.db.outer_swopt = !lockonly;
+        cfg.db.outer_htm = !lockonly;
+        cfg.db.inner_htm = !lockonly;
+        cfg.db.inner_get_swopt = !lockonly;
+        KvService service(cfg);
+        LatencyRecorder recorder(w);
+        arm_storms(storm_spec);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t ops =
+            real_run(service, w, real_seconds, tcfg, recorder);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        LatencyHistogram merged = recorder.merged();
+        const double p999_ns = ticks_to_ns(
+            static_cast<std::uint64_t>(merged.percentile(99.9)));
+        const std::string base = std::string("svc.real.t") +
+                                 std::to_string(w) + "." + pol;
+        metrics[base + ".ops_per_sec"] = secs > 0 ? ops / secs : 0;
+        metrics[base + ".p999_ns"] = p999_ns;
+        std::printf("  %-9s %8u %14.0f %12.0f\n", pol, w,
+                    secs > 0 ? ops / secs : 0.0, p999_ns);
+      }
+    }
+  }
+
+  // --- hard gates (absolute; independent of any baseline) ---
+  bool ok = true;
+  {
+    const double ratio = gated["svc.t8_over_t1.adaptive"];
+    const bool pass = ratio > 1.0;
+    std::printf("\n  gate: %-44s %.4f > 1.0 %s\n", "svc.t8_over_t1.adaptive",
+                ratio, pass ? "OK" : "FAIL");
+    ok = ok && pass;
+  }
+  {
+    const double ratio = gated["svc.p999_t8.adaptive_over_lockonly"];
+    const bool pass = ratio <= p999_limit;
+    std::printf("  gate: %-44s %.4f <= %.2f %s\n",
+                "svc.p999_t8.adaptive_over_lockonly", ratio, p999_limit,
+                pass ? "OK" : "FAIL");
+    ok = ok && pass;
+  }
+
+  // --- report table + standalone JSON ---
+  std::printf("\n  %-46s %14s\n", "metric", "value");
+  for (const auto& [k, v] : metrics) {
+    std::printf("  %-46s %14.1f\n", k.c_str(), v);
+  }
+  for (const auto& [k, v] : gated) {
+    std::printf("  %-46s %14.4f\n", k.c_str(), v);
+  }
+
+  std::ostringstream js;
+  js << "{\n";
+  char seed_buf[32];
+  std::snprintf(seed_buf, sizeof seed_buf, "0x%016llx",
+                static_cast<unsigned long long>(run_seed()));
+  js << "  \"bench\": \"svc_load\",\n";
+  js << "  \"run_seed\": \"" << seed_buf << "\",\n";
+  js << "  \"requests\": " << requests << ",\n";
+  js << "  \"metrics\": {\n";
+  {
+    std::size_t n = 0;
+    for (const auto& [k, v] : metrics) {
+      js << "    \"" << k << "\": " << fmt(v)
+         << (++n < metrics.size() ? "," : "") << "\n";
+    }
+  }
+  js << "  },\n";
+  js << "  \"gated\": {\n";
+  {
+    std::size_t n = 0;
+    for (const auto& [k, v] : gated) {
+      js << "    \"" << k << "\": " << fmt(v)
+         << (++n < gated.size() ? "," : "") << "\n";
+    }
+  }
+  js << "  }\n}\n";
+  {
+    std::ofstream f(out_path);
+    f << js.str();
+  }
+  std::printf("\n  wrote %s\n", out_path.c_str());
+
+  // Snapshot the baseline BEFORE merging: --baseline and --merge may name
+  // the same file, and the gate must compare against the committed
+  // values, not the ones this run just wrote.
+  std::string baseline_text;
+  if (!baseline_path.empty()) {
+    std::ifstream bf(baseline_path);
+    if (!bf) {
+      std::fprintf(stderr, "svc_load: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << bf.rdbuf();
+    baseline_text = buf.str();
+  }
+
+  // --- merge the svc.* lines into an existing perf_gate JSON ---
+  if (!merge_path.empty()) {
+    std::ifstream mf(merge_path);
+    if (!mf) {
+      std::fprintf(stderr, "svc_load: cannot read %s\n", merge_path.c_str());
+      return 2;
+    }
+    std::stringstream buf;
+    buf << mf.rdbuf();
+    std::istringstream in(buf.str());
+    std::ostringstream outj;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"svc.") != std::string::npos) continue;  // replace
+      outj << line << "\n";
+      // Inserting right after the object opener keeps comma placement
+      // trivial: our lines always end with a comma and at least one
+      // perf_gate line follows.
+      if (line.find("\"metrics\": {") != std::string::npos) {
+        for (const auto& [k, v] : metrics) {
+          outj << "    \"" << k << "\": " << fmt(v) << ",\n";
+        }
+      }
+      if (line.find("\"gated\": {") != std::string::npos) {
+        for (const auto& [k, v] : gated) {
+          outj << "    \"" << k << "\": " << fmt(v) << ",\n";
+        }
+      }
+    }
+    std::ofstream of(merge_path);
+    of << outj.str();
+    std::printf("  merged svc.* into %s\n", merge_path.c_str());
+  }
+
+  // --- baseline-relative gating ---
+  if (!baseline_path.empty()) {
+    const std::string& base = baseline_text;
+    for (const auto& [k, now] : gated) {
+      double was = 0.0;
+      if (!scan_number(base, k, &was)) {
+        std::printf("  gate: %-44s (no baseline; skipped)\n", k.c_str());
+        continue;
+      }
+      const bool higher_is_better = k.rfind("svc.t8_over_t1", 0) == 0;
+      const double limit = higher_is_better ? was * (1.0 - tolerance)
+                                            : was * (1.0 + tolerance);
+      const bool pass = higher_is_better ? now >= limit : now <= limit;
+      std::printf("  gate: %-44s now %.4f vs base %.4f (limit %.4f) %s\n",
+                  k.c_str(), now, was, limit, pass ? "OK" : "REGRESSION");
+      ok = ok && pass;
+    }
+  }
+
+  if (!ok) {
+    std::fprintf(stderr, "svc_load: gate failure\n");
+    return 1;
+  }
+  return 0;
+}

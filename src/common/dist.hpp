@@ -1,0 +1,104 @@
+// Workload distribution generators: Zipfian keys, Poisson arrivals.
+//
+// The service harness (src/svc) generates open-loop traffic: request
+// arrival times follow a Poisson process (exponential inter-arrival gaps)
+// and keys follow a Zipfian popularity distribution, the standard model
+// for skewed key-value traffic (YCSB's default). Both generators sit in
+// common/ next to the PRNGs they consume so every layer — the real-thread
+// harness, the deterministic service simulator, tests — draws from the
+// same deterministic streams: seed them via derive_seed() and a run is
+// replayable with ALE_SEED (see common/prng.hpp).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/prng.hpp"
+
+namespace ale {
+
+/// Zipfian rank generator over [0, n): rank 0 is the hottest item and
+/// P(rank k) ∝ 1/(k+1)^theta. Uses the Gray et al. rejection-free inverse
+/// method (the YCSB generator): O(n) setup to compute the harmonic
+/// normalizer, O(1) per draw. theta in [0, 1); theta → 0 degenerates
+/// toward uniform, the conventional "Zipfian" skew is theta = 0.99.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed)
+      : n_(n == 0 ? 1 : n), theta_(theta), rng_(seed) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// Next rank in [0, n), 0 = hottest.
+  std::uint64_t next() noexcept {
+    const double u = rng_.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+  std::uint64_t range() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+  /// The harmonic normalizer sum_{i=1..n} 1/i^theta (exposed for tests:
+  /// the expected rank-0 frequency is 1/zeta).
+  static double zeta(std::uint64_t n, double theta) noexcept {
+    double z = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return z;
+  }
+
+  /// Deterministic rank → item scrambler (splittable-hash finalizer):
+  /// spreads the popular head across the whole key space so hot keys do
+  /// not cluster in one shard/slot. Stays in [0, n).
+  static std::uint64_t scramble(std::uint64_t rank, std::uint64_t n) noexcept {
+    std::uint64_t z = rank + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return n == 0 ? 0 : z % n;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 1.0;
+  double alpha_ = 1.0;
+  double eta_ = 1.0;
+  Xoshiro256 rng_;
+};
+
+/// Poisson arrival process: next_gap() draws exponential inter-arrival
+/// gaps with the configured mean (in whatever unit the caller's clock
+/// uses — virtual cycles for the simulator, nanoseconds for the real
+/// harness). Accumulating the gaps yields Poisson-distributed arrival
+/// counts per window, the standard open-loop traffic model.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double mean_gap, std::uint64_t seed)
+      : mean_(mean_gap > 0.0 ? mean_gap : 1.0), rng_(seed) {}
+
+  /// Exponentially distributed gap, mean = mean_gap. Strictly positive.
+  double next_gap() noexcept {
+    // 1 - u is in (0, 1]; clamp the log argument away from zero.
+    const double u = rng_.next_double();
+    return -std::log(std::max(1.0 - u, 1e-12)) * mean_;
+  }
+
+  double mean_gap() const noexcept { return mean_; }
+
+ private:
+  double mean_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace ale

@@ -30,6 +30,8 @@ const char* to_string(Point p) noexcept {
     case Point::kHtmLazySub: return "htm.lazysub";
     case Point::kRwUpgrade: return "rw.upgrade";
     case Point::kRwAcquire: return "rw.acquire";
+    case Point::kSvcArrival: return "svc.arrival";
+    case Point::kSvcHotkey: return "svc.hotkey";
   }
   return "?";
 }

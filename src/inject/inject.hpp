@@ -78,9 +78,17 @@ enum class Point : std::uint8_t {
                       ///< x pause-spins (widens the wait-bit window)
   kRwAcquire = 12,    ///< stretch a slow-path RwSpinLock acquisition
                       ///< (any mode) by x pause-spins before spinning
+
+  // Service traffic points (src/svc): the open-loop generator evaluates
+  // these once per generated request, so storm/burst schedules are
+  // deterministic per (seed, generator stream) like every other clause.
+  kSvcArrival = 13,   ///< arrival burst: collapse the next x inter-arrival
+                      ///< gaps to zero (an instantaneous batch of traffic)
+  kSvcHotkey = 14,    ///< hot-key storm: the next x requests draw keys from
+                      ///< the hottest ranks only (TrafficConfig::hot_set)
 };
 
-inline constexpr std::size_t kNumPoints = 13;
+inline constexpr std::size_t kNumPoints = 15;
 
 const char* to_string(Point p) noexcept;
 std::optional<Point> point_by_name(std::string_view name) noexcept;

@@ -1,43 +1,73 @@
 #include "kvdb/sharded_db.hpp"
 
+#include <algorithm>
+#include <array>
+
 namespace ale::kvdb {
 
 namespace {
 
 // Scope bundle per ShardedDb instance: flags depend on the instance config,
-// so these cannot be function-local statics.
+// so these cannot be function-local statics. Labels are prefixed with the
+// instance name ("kcdb" historically) so multi-instance deployments — the
+// ale::svc service runs one ShardedDb per shard — get per-shard granule
+// labels in telemetry ("svc.s3.set.outer" vs "svc.s7.set.outer").
 struct Scopes {
+  // Backing storage for the ScopeInfo labels; declared (and therefore
+  // initialized) before the infos that point into it.
+  std::array<std::string, 17> names;
   ScopeInfo set_outer, get_outer, remove_outer, append_outer;
   ScopeInfo clear_outer, count_outer;
   ScopeInfo iterate_outer, iterate_slot;
   ScopeInfo set_slot, get_slot, remove_slot, append_slot, clear_slot;
+  ScopeInfo batch_outer, batch_slot;
+  ScopeInfo scan_outer, scan_slot;
 
   // Outer scopes carry their readers-writer mode tag: record methods run
   // shared, whole-DB methods exclusive (see ElidableSharedLock).
-  explicit Scopes(const ShardedDb::Config& cfg)
-      : set_outer("kcdb.set.outer", cfg.outer_swopt, cfg.outer_htm,
+  Scopes(const ShardedDb::Config& cfg, const std::string& prefix)
+      : names{prefix + ".set.outer",     prefix + ".get.outer",
+              prefix + ".remove.outer",  prefix + ".append.outer",
+              prefix + ".clear.outer",   prefix + ".count.outer",
+              prefix + ".iterate.outer", prefix + ".iterate.slot",
+              prefix + ".set.slot",      prefix + ".get.slot",
+              prefix + ".remove.slot",   prefix + ".append.slot",
+              prefix + ".clear.slot",    prefix + ".batch.outer",
+              prefix + ".batch.slot",    prefix + ".scan.outer",
+              prefix + ".scan.slot"},
+        set_outer(names[0].c_str(), cfg.outer_swopt, cfg.outer_htm,
                   static_cast<std::uint8_t>(RwMode::kShared)),
-        get_outer("kcdb.get.outer", cfg.outer_swopt, cfg.outer_htm,
+        get_outer(names[1].c_str(), cfg.outer_swopt, cfg.outer_htm,
                   static_cast<std::uint8_t>(RwMode::kShared)),
-        remove_outer("kcdb.remove.outer", cfg.outer_swopt, cfg.outer_htm,
+        remove_outer(names[2].c_str(), cfg.outer_swopt, cfg.outer_htm,
                      static_cast<std::uint8_t>(RwMode::kShared)),
-        append_outer("kcdb.append.outer", cfg.outer_swopt, cfg.outer_htm,
+        append_outer(names[3].c_str(), cfg.outer_swopt, cfg.outer_htm,
                      static_cast<std::uint8_t>(RwMode::kShared)),
-        clear_outer("kcdb.clear.outer", false, cfg.outer_htm,
+        clear_outer(names[4].c_str(), false, cfg.outer_htm,
                     static_cast<std::uint8_t>(RwMode::kExclusive)),
-        count_outer("kcdb.count.outer", false, cfg.outer_htm,
+        count_outer(names[5].c_str(), false, cfg.outer_htm,
                     static_cast<std::uint8_t>(RwMode::kShared)),
-        iterate_outer("kcdb.iterate.outer", false, cfg.outer_htm,
+        iterate_outer(names[6].c_str(), false, cfg.outer_htm,
                       static_cast<std::uint8_t>(RwMode::kShared)),
-        iterate_slot("kcdb.iterate.slot", false, cfg.inner_htm),
-        set_slot("kcdb.set.slot", false, cfg.inner_htm),
-        get_slot("kcdb.get.slot", cfg.inner_get_swopt, cfg.inner_htm),
-        remove_slot("kcdb.remove.slot", false, cfg.inner_htm),
+        iterate_slot(names[7].c_str(), false, cfg.inner_htm),
+        set_slot(names[8].c_str(), false, cfg.inner_htm),
+        get_slot(names[9].c_str(), cfg.inner_get_swopt, cfg.inner_htm),
+        remove_slot(names[10].c_str(), false, cfg.inner_htm),
         // append allocates inside the critical section; prohibiting HTM
         // here keeps aborts allocation-free (and exercises the §4.1
         // nested-no-HTM abort path under real workloads).
-        append_slot("kcdb.append.slot", false, false),
-        clear_slot("kcdb.clear.slot", false, cfg.inner_htm) {}
+        append_slot(names[11].c_str(), false, false),
+        clear_slot(names[12].c_str(), false, cfg.inner_htm),
+        batch_outer(names[13].c_str(), cfg.outer_swopt, cfg.outer_htm,
+                    static_cast<std::uint8_t>(RwMode::kShared)),
+        batch_slot(names[14].c_str(), false, cfg.inner_htm),
+        // Scans copy record strings (allocation) inside the critical
+        // section: SWOpt retries re-run cleanly, but an HTM abort could
+        // leak the copies, so both scan scopes prohibit HTM (the same
+        // discipline as append_slot).
+        scan_outer(names[15].c_str(), cfg.outer_swopt, false,
+                   static_cast<std::uint8_t>(RwMode::kShared)),
+        scan_slot(names[16].c_str(), false, false) {}
 };
 
 }  // namespace
@@ -46,7 +76,8 @@ struct Scopes {
 // instance would be overkill — we simply own it.
 struct ScopesHolder {
   Scopes scopes;
-  explicit ScopesHolder(const ShardedDb::Config& cfg) : scopes(cfg) {}
+  ScopesHolder(const ShardedDb::Config& cfg, const std::string& prefix)
+      : scopes(cfg, prefix) {}
 };
 
 std::uint64_t ShardedDb::hash_of(std::string_view key) noexcept {
@@ -71,7 +102,7 @@ ShardedDb::ShardedDb(Config cfg, std::string name)
         cfg_.buckets_per_slot == 0 ? 1 : cfg_.buckets_per_slot,
         name + ".slotLock"));
   }
-  scopes_ = std::make_unique<ScopesHolder>(cfg_);
+  scopes_ = std::make_unique<ScopesHolder>(cfg_, name);
 }
 
 ShardedDb::~ShardedDb() {
@@ -382,6 +413,162 @@ std::uint64_t ShardedDb::iterate(
                }
              });
   return total;
+}
+
+ShardedDb::BatchResult ShardedDb::apply_batch(const BatchOp* ops,
+                                              std::size_t n) {
+  BatchResult result;
+  if (ops == nullptr || n == 0) return result;
+
+  // Pre-hash and group op indices by slot, preserving batch order within
+  // each group (same-key ops must apply in batch order).
+  std::vector<std::uint64_t> hashes(n);
+  std::vector<std::vector<std::uint32_t>> groups(slots_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    hashes[i] = hash_of(ops[i].key);
+    groups[hashes[i] % slots_.size()].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+
+  // Pre-allocate everything a set might need outside every critical
+  // section (the same discipline as set()); attempt-local consumed flags
+  // decide afterwards which allocations the committed attempt kept.
+  std::vector<Blob*> kblobs(n, nullptr), vblobs(n, nullptr);
+  std::vector<Node*> fresh(n, nullptr);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].kind == BatchOp::Kind::kSet) {
+      kblobs[i] = Blob::make(ops[i].key);
+      vblobs[i] = Blob::make(ops[i].value);
+      fresh[i] = new Node();
+    }
+  }
+  std::vector<std::uint8_t> key_consumed(n, 0), val_consumed(n, 0);
+
+  with_method_read_cs(scopes_->scopes.batch_outer, [&](CsExec&) {
+    // Outer attempt start: the whole batch's tallies and flags reset.
+    result = BatchResult{};
+    std::fill(key_consumed.begin(), key_consumed.end(), 0);
+    std::fill(val_consumed.begin(), val_consumed.end(), 0);
+    for (std::size_t si = 0; si < groups.size(); ++si) {
+      if (groups[si].empty()) continue;
+      Slot& s = *slots_[si];
+      std::uint64_t applied = 0, inserted = 0, removed = 0;
+      execute_cs(
+          lock_api<TatasLock>(), &s.lock, s.md, scopes_->scopes.batch_slot,
+          [&](CsExec&) {
+            // Inner attempt start: only this group's state resets (other
+            // groups' outcomes from this outer attempt must survive).
+            applied = inserted = removed = 0;
+            for (const std::uint32_t i : groups[si]) {
+              key_consumed[i] = 0;
+              val_consumed[i] = 0;
+            }
+            for (const std::uint32_t i : groups[si]) {
+              const BatchOp& op = ops[i];
+              Node** cell = nullptr;
+              Node* node = find_in_slot(s, hashes[i], op.key, cell);
+              if (op.kind == BatchOp::Kind::kSet) {
+                if (node != nullptr) {
+                  Blob* old = tx_load(node->val);
+                  tx_store(node->val, vblobs[i]);
+                  retire_blob(s, old);
+                  val_consumed[i] = 1;
+                  ++applied;
+                  continue;
+                }
+                Node* f = fresh[i];
+                f->hash = hashes[i];
+                f->key = kblobs[i];
+                f->val = vblobs[i];
+                ConflictingAction guard(s.ver, s.md);
+                f->next = tx_load(s.buckets[bucket_of(s, hashes[i])].head);
+                tx_store(s.buckets[bucket_of(s, hashes[i])].head, f);
+                tx_store(s.live_count, tx_load(s.live_count) + 1);
+                key_consumed[i] = 1;
+                val_consumed[i] = 1;
+                ++applied;
+                ++inserted;
+              } else if (node != nullptr) {  // kRemove, key present
+                ConflictingAction guard(s.ver, s.md);
+                retire_node(s, cell, node);
+                ++applied;
+                ++removed;
+              }
+            }
+          });
+      result.applied += applied;
+      result.inserted += inserted;
+      result.removed += removed;
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].kind != BatchOp::Kind::kSet) continue;
+    if (key_consumed[i] == 0) {
+      Blob::destroy(kblobs[i]);
+      delete fresh[i];
+    }
+    if (val_consumed[i] == 0) Blob::destroy(vblobs[i]);
+  }
+  return result;
+}
+
+std::uint64_t ShardedDb::for_each_in_slot(
+    std::size_t slot_index,
+    const std::function<void(std::string_view, std::string_view)>& fn) {
+  if (slot_index >= slots_.size()) return 0;
+  std::uint64_t visited = 0;
+  with_method_read_cs(scopes_->scopes.scan_outer, [&](CsExec&) {
+    Slot& s = *slots_[slot_index];
+    std::uint64_t tally = 0;  // attempt-local
+    execute_cs(lock_api<TatasLock>(), &s.lock, s.md,
+               scopes_->scopes.scan_slot, [&](CsExec&) {
+                 tally = 0;
+                 for (Bucket& b : s.buckets) {
+                   for (Node* nd = tx_load(b.head); nd != nullptr;
+                        nd = tx_load(nd->next)) {
+                     Blob* k = tx_load(nd->key);
+                     Blob* v = tx_load(nd->val);
+                     if (k != nullptr && v != nullptr) {
+                       fn(k->view(), v->view());
+                       ++tally;
+                     }
+                   }
+                 }
+               });
+    visited = tally;
+  });
+  return visited;
+}
+
+std::uint64_t ShardedDb::snapshot_slot(
+    std::size_t slot_index, std::size_t limit,
+    std::vector<std::pair<std::string, std::string>>& out) {
+  out.clear();
+  if (slot_index >= slots_.size() || limit == 0) return 0;
+  std::vector<std::pair<std::string, std::string>> local;
+  with_method_read_cs(scopes_->scopes.scan_outer, [&](CsExec&) {
+    Slot& s = *slots_[slot_index];
+    execute_cs(lock_api<TatasLock>(), &s.lock, s.md,
+               scopes_->scopes.scan_slot, [&](CsExec&) {
+                 local.clear();
+                 for (Bucket& b : s.buckets) {
+                   if (local.size() >= limit) break;
+                   for (Node* nd = tx_load(b.head);
+                        nd != nullptr && local.size() < limit;
+                        nd = tx_load(nd->next)) {
+                     Blob* k = tx_load(nd->key);
+                     Blob* v = tx_load(nd->val);
+                     if (k != nullptr && v != nullptr) {
+                       local.emplace_back(std::string(k->view()),
+                                          std::string(v->view()));
+                     }
+                   }
+                 }
+               });
+  });
+  out = std::move(local);
+  return out.size();
 }
 
 std::uint64_t ShardedDb::count() {

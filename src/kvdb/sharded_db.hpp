@@ -97,6 +97,52 @@ class ShardedDb {
       const std::function<void(std::string_view key, std::string_view value)>&
           fn);
 
+  // ---- batch + scan entry points (the ale::svc service layer) ----
+
+  // One element of a write batch. Views must stay valid until apply_batch
+  // returns; `value` is ignored for kRemove.
+  struct BatchOp {
+    enum class Kind : std::uint8_t { kSet, kRemove };
+    Kind kind = Kind::kSet;
+    std::string_view key;
+    std::string_view value;
+  };
+  struct BatchResult {
+    std::uint64_t applied = 0;   // ops that changed the database
+    std::uint64_t inserted = 0;  // sets that created a new key
+    std::uint64_t removed = 0;   // removes that found their key
+  };
+
+  // Apply `n` ops inside ONE elided method-read critical section: ops are
+  // grouped by slot and each distinct slot runs one nested slot critical
+  // section (the batching amortizes the external acquisition across the
+  // whole group — the §4.2 grouping idea applied at the data layer). Ops
+  // on the same key apply in batch order. An empty batch returns without
+  // touching any lock.
+  BatchResult apply_batch(const BatchOp* ops, std::size_t n);
+
+  // Visit every record of one slot (method read lock + that slot's lock).
+  // Same callback discipline as iterate(). Out-of-range slot indices visit
+  // nothing. Returns records visited.
+  std::uint64_t for_each_in_slot(
+      std::size_t slot_index,
+      const std::function<void(std::string_view key, std::string_view value)>&
+          fn);
+
+  // Snapshot read path for service scans: copy up to `limit` records of
+  // one slot into `out` (replaced, not appended). Safe under elided
+  // retries — every attempt accumulates into fresh attempt-local storage
+  // and `out` is only assigned once the critical section commits. Returns
+  // the number of records copied.
+  std::uint64_t snapshot_slot(
+      std::size_t slot_index, std::size_t limit,
+      std::vector<std::pair<std::string, std::string>>& out);
+
+  /// The slot index `key` lives in (for the slot-scoped scan entry points).
+  std::size_t slot_of(std::string_view key) const noexcept {
+    return hash_of(key) % slots_.size();
+  }
+
   LockMd& method_lock_md() noexcept { return method_.md(); }
   LockMd& slot_lock_md(std::size_t i) noexcept { return slots_[i]->md; }
   std::size_t num_slots() const noexcept { return slots_.size(); }

@@ -1,0 +1,140 @@
+// ale::svc — the sharded key-value benchmark service (layer over kvdb).
+//
+// KvService fronts N independent ShardedDb instances ("shards"), each named
+// "<name>.s<i>" so every shard contributes its own granule labels to
+// telemetry. Requests route to a shard by key hash; each shard owns a
+// bounded request queue (cacheline-padded, TatasLock-protected — the queue
+// is harness plumbing, not an elision subject) that service workers drain.
+//
+// drain_shard() is where the paper's §4.2 grouping idea meets the data
+// layer: up to Config::batch_max pending writes are folded into ONE
+// ShardedDb::apply_batch call — a single elided method-read critical
+// section whose external acquisition cost is amortized across the whole
+// group. Reads (get/scan) are served individually; a scan uses the
+// snapshot_slot read path.
+//
+// Latency discipline (open-loop, coordinated-omission-free): a Request
+// carries the ticks at which it was *scheduled* to arrive; the recorder
+// receives completion_ticks - arrival_ticks, so time spent queued behind a
+// storm counts against the tail, exactly as a client would experience it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "kvdb/sharded_db.hpp"
+#include "svc/latency.hpp"
+#include "sync/spinlock.hpp"
+
+namespace ale::svc {
+
+/// Request verbs the service understands.
+enum class ReqKind : std::uint8_t { kGet = 0, kSet = 1, kRemove = 2, kScan = 3 };
+
+const char* to_string(ReqKind k) noexcept;
+
+/// One queued request. Owns its strings (the producer's buffers may be gone
+/// by the time a worker drains the queue).
+struct Request {
+  ReqKind kind = ReqKind::kGet;
+  std::string key;
+  std::string value;            ///< kSet payload
+  std::uint64_t arrival_ticks = 0;  ///< scheduled arrival (open-loop clock)
+  std::uint32_t scan_limit = 0;     ///< kScan: max records to copy
+};
+
+struct SvcConfig {
+  std::size_t num_shards = 8;
+  std::size_t slots_per_shard = 8;
+  std::size_t buckets_per_slot = 256;
+  /// Max requests one drain_shard() call pops — and therefore the max
+  /// number of writes folded into one apply_batch critical section.
+  std::size_t batch_max = 8;
+  /// Bounded queue depth per shard; enqueue() sheds beyond it.
+  std::size_t queue_capacity = 1024;
+  /// When false, drained writes apply one-by-one (set/remove) instead of
+  /// through apply_batch — the control arm for batching experiments.
+  bool batching = true;
+  /// Telemetry name prefix; shard i's db is named "<name>.s<i>".
+  std::string name = "svc";
+  /// Elision flags forwarded to every shard's ShardedDb (num_slots /
+  /// buckets_per_slot are overridden by the fields above).
+  kvdb::DbConfig db;
+};
+
+/// Monotonic service counters (process lifetime, summed over shards).
+struct SvcStats {
+  std::uint64_t enqueued = 0;  ///< requests accepted into a queue
+  std::uint64_t shed = 0;      ///< requests rejected (queue full)
+  std::uint64_t drained = 0;   ///< requests served by drain_shard
+  std::uint64_t batches = 0;   ///< apply_batch calls issued
+  std::uint64_t batch_ops = 0; ///< write ops carried by those batches
+  std::uint64_t gets = 0, sets = 0, removes = 0, scans = 0;
+};
+
+class KvService {
+ public:
+  explicit KvService(SvcConfig cfg = {});
+  ~KvService();
+  KvService(const KvService&) = delete;
+  KvService& operator=(const KvService&) = delete;
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  std::size_t shard_of(std::string_view key) const noexcept;
+
+  /// Direct (synchronous) operations — bypass the queues. Used by tests
+  /// and for preloading; they route exactly like queued requests.
+  bool set(std::string_view key, std::string_view value);
+  bool get(std::string_view key, std::string& out);
+  bool remove(std::string_view key);
+  /// Scan the slot `key` hashes to (within its shard), up to `limit`
+  /// records. Returns records copied.
+  std::uint64_t scan(std::string_view key, std::size_t limit,
+                     std::vector<std::pair<std::string, std::string>>& out);
+
+  /// Enqueue onto the owning shard's queue. False = shed (queue full).
+  bool enqueue(Request&& req);
+
+  /// Pop up to Config::batch_max requests from shard `shard` and serve
+  /// them: reads individually, writes folded into one apply_batch (when
+  /// batching is on). When `recorder` is non-null, records
+  /// now_ticks() - arrival_ticks per request under `worker`.
+  /// Returns requests served (0 = queue was empty).
+  std::size_t drain_shard(std::size_t shard, LatencyRecorder* recorder,
+                          std::size_t worker);
+
+  /// Requests currently queued on `shard`.
+  std::size_t queued(std::size_t shard) const noexcept;
+
+  /// Counters summed over all shards.
+  SvcStats stats() const noexcept;
+
+  /// The shard's underlying database (tests, verification sweeps).
+  kvdb::ShardedDb& db(std::size_t shard) noexcept {
+    return *shards_[shard]->value.db;
+  }
+  const SvcConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<kvdb::ShardedDb> db;
+    mutable TatasLock queue_lock;
+    std::deque<Request> queue;
+    // Shard-local counters; mutated under queue_lock or by the draining
+    // worker, folded together by stats().
+    std::uint64_t enqueued = 0, shed = 0, drained = 0;
+    std::uint64_t batches = 0, batch_ops = 0;
+    std::uint64_t gets = 0, sets = 0, removes = 0, scans = 0;
+  };
+
+  SvcConfig cfg_;
+  std::vector<std::unique_ptr<CacheAligned<Shard>>> shards_;
+};
+
+}  // namespace ale::svc

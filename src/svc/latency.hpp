@@ -1,0 +1,144 @@
+// Latency recording for the service harness.
+//
+// Open-loop latency (completion minus scheduled arrival) spans six orders
+// of magnitude once queueing kicks in, so a fixed-bucket linear histogram
+// cannot hold it and a sorted sample vector is too expensive on the hot
+// path. LatencyHistogram uses the log-linear scheme (HdrHistogram's
+// layout): values below 2^kSubBits get exact unit buckets; above that,
+// every power-of-two octave is split into 2^kSubBits linear sub-buckets,
+// bounding the relative quantization error at 1/2^kSubBits (~3% with the
+// default 5 sub-bits) across the whole 64-bit range.
+//
+// Recording is a single array increment — no atomics: each worker owns a
+// cacheline-padded histogram (LatencyRecorder) and the harness merges them
+// after the workers have stopped, the same single-writer discipline the
+// stats layer uses for its per-thread delta buffers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.hpp"
+
+namespace ale::svc {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;  // 32
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kSub) + (64 - kSubBits) * kSub;
+
+  void record(std::uint64_t v) noexcept {
+    ++counts_[index_of(v)];
+    ++total_;
+    if (v > max_seen_) max_seen_ = v;
+  }
+
+  void merge(const LatencyHistogram& o) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    total_ += o.total_;
+    if (o.max_seen_ > max_seen_) max_seen_ = o.max_seen_;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t max_recorded() const noexcept { return max_seen_; }
+  std::uint64_t count_at(std::size_t bucket) const noexcept {
+    return bucket < kBuckets ? counts_[bucket] : 0;
+  }
+
+  /// Percentile (p in [0, 100]) with linear interpolation inside the
+  /// winning bucket; clamped to the recorded maximum so interpolation at
+  /// the top bucket's edge cannot report a value never observed.
+  double percentile(double p) const noexcept {
+    if (total_ == 0) return 0.0;
+    if (p <= 0.0) p = 0.0;
+    if (p >= 100.0) p = 100.0;
+    // Rank of the target observation (nearest-rank, 1-based).
+    const double target = p / 100.0 * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      const std::uint64_t c = counts_[i];
+      if (c == 0) continue;
+      if (static_cast<double>(cum + c) >= target) {
+        const double frac =
+            (target - static_cast<double>(cum)) / static_cast<double>(c);
+        const double v = static_cast<double>(bucket_low(i)) +
+                         frac * static_cast<double>(bucket_width(i));
+        const double cap = static_cast<double>(max_seen_);
+        return v > cap ? cap : v;
+      }
+      cum += c;
+    }
+    return static_cast<double>(max_seen_);
+  }
+
+  void reset() noexcept {
+    counts_.assign(kBuckets, 0);
+    total_ = 0;
+    max_seen_ = 0;
+  }
+
+  /// Bucket index for a value. Exact below kSub; log-linear above.
+  static std::size_t index_of(std::uint64_t v) noexcept {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;
+    const std::uint64_t sub = (v >> shift) - kSub;  // in [0, kSub)
+    return static_cast<std::size_t>(kSub) +
+           static_cast<std::size_t>(msb - kSubBits) * kSub +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Inclusive lower bound of bucket i.
+  static std::uint64_t bucket_low(std::size_t i) noexcept {
+    if (i < kSub) return i;
+    const std::size_t region = (i - kSub) / kSub;
+    const std::uint64_t sub = (i - kSub) % kSub;
+    return (kSub + sub) << region;
+  }
+
+  /// Width of bucket i (its values are [low, low + width)).
+  static std::uint64_t bucket_width(std::size_t i) noexcept {
+    if (i < kSub) return 1;
+    return std::uint64_t{1} << ((i - kSub) / kSub);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_ = std::vector<std::uint64_t>(kBuckets, 0);
+  std::uint64_t total_ = 0;
+  std::uint64_t max_seen_ = 0;
+};
+
+/// One histogram per worker, cacheline-padded so two workers recording
+/// simultaneously never share a line; merged() is called after the workers
+/// have joined (single-threaded).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(unsigned workers)
+      : slots_(workers == 0 ? 1 : workers) {}
+
+  LatencyHistogram& of(unsigned worker) noexcept {
+    return slots_[worker % slots_.size()].value;
+  }
+
+  unsigned workers() const noexcept {
+    return static_cast<unsigned>(slots_.size());
+  }
+
+  LatencyHistogram merged() const {
+    LatencyHistogram out;
+    for (const auto& s : slots_) out.merge(s.value);
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& s : slots_) s.value.reset();
+  }
+
+ private:
+  std::vector<CacheAligned<LatencyHistogram>> slots_;
+};
+
+}  // namespace ale::svc

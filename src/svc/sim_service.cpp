@@ -1,0 +1,194 @@
+#include "svc/sim_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "svc/latency.hpp"
+
+namespace ale::svc {
+
+const char* to_string(SimSvcPolicy p) noexcept {
+  switch (p) {
+    case SimSvcPolicy::kLockOnly: return "lockonly";
+    case SimSvcPolicy::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint64_t kSimSvcSalt = 0x53696d53ULL;  // "SimS"
+
+struct PendingReq {
+  double arrival = 0;
+  ReqKind kind = ReqKind::kGet;
+};
+
+struct Worker {
+  double free_at = 0;
+  bool busy = false;
+  std::vector<PendingReq> batch;  // in flight, all complete at free_at
+};
+
+}  // namespace
+
+SimSvcResult simulate_service(const SimSvcConfig& cfg, SimSvcPolicy policy,
+                              unsigned workers) {
+  SimSvcResult res;
+  if (workers == 0) workers = 1;
+
+  RequestStream stream(cfg.traffic, /*stream_id=*/workers);
+  Xoshiro256 rng(derive_seed(
+      kSimSvcSalt,
+      (static_cast<std::uint64_t>(policy) << 32) ^ workers ^ cfg.seed_salt));
+  LatencyHistogram hist;
+
+  const std::size_t shards = cfg.num_shards == 0 ? 1 : cfg.num_shards;
+  std::vector<std::deque<PendingReq>> queues(shards);
+  std::vector<Worker> pool(workers);
+
+  auto op_cycles = [&](ReqKind k) -> double {
+    switch (k) {
+      case ReqKind::kGet: return cfg.read_cycles;
+      case ReqKind::kSet: return cfg.write_cycles;
+      case ReqKind::kRemove: return cfg.write_cycles;
+      case ReqKind::kScan: return cfg.scan_cycles;
+    }
+    return cfg.read_cycles;
+  };
+
+  auto busy_count = [&]() -> unsigned {
+    unsigned n = 0;
+    for (const Worker& w : pool) n += w.busy ? 1 : 0;
+    return n;
+  };
+
+  // Cost of serving `batch` when `active` workers (incl. this one) are
+  // busy: lock mode pays the shared reader-count contention per batch;
+  // elided mode pays begin/commit and falls back to the lock cost on a
+  // (concurrency-scaled) conflict.
+  auto batch_duration = [&](const std::vector<PendingReq>& batch,
+                            unsigned active) -> double {
+    double body = 0;
+    for (const PendingReq& r : batch) body += op_cycles(r.kind);
+    // Exponential jitter around the body cost: the heavy service tail is
+    // what makes the p999 gate meaningful.
+    body = -std::log(std::max(1.0 - rng.next_double(), 1e-12)) * body;
+
+    const double lock_outer =
+        cfg.rw_acquire_base +
+        cfg.rw_contention_per_acq * static_cast<double>(active - 1) +
+        (active > 1 ? 0.5 * cfg.slot_handoff_cycles *
+                          static_cast<double>(batch.size())
+                    : 0.0);
+    if (policy == SimSvcPolicy::kLockOnly) return lock_outer + body;
+
+    double outer = cfg.htm_begin_commit;
+    const double p_abort =
+        std::min(0.9, cfg.data_conflict_prob *
+                          static_cast<double>(active - 1) *
+                          static_cast<double>(batch.size()));
+    if (rng.next_double() < p_abort) {
+      ++res.aborts;
+      outer += cfg.htm_abort_penalty + lock_outer;
+    }
+    return outer + body;
+  };
+
+  // Start `w` on the deepest non-empty queue; false if everything is
+  // empty.
+  auto dispatch = [&](Worker& w, double now) -> bool {
+    std::size_t best = shards;
+    std::size_t best_depth = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (queues[s].size() > best_depth) {
+        best = s;
+        best_depth = queues[s].size();
+      }
+    }
+    if (best == shards) return false;
+    std::deque<PendingReq>& q = queues[best];
+    const std::size_t take = std::min(cfg.batch_max, q.size());
+    w.batch.assign(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(take));
+    q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(take));
+    w.busy = true;
+    w.free_at = now + batch_duration(w.batch, busy_count());
+    ++res.batches;
+    return true;
+  };
+
+  // ---- main event loop ----
+  double clock = 0;
+  double next_arrival = 0;
+  bool have_pending = false;
+  TrafficItem pending{};
+
+  auto pull_arrival = [&]() {
+    pending = stream.next();
+    next_arrival += static_cast<double>(pending.gap_ticks);
+    have_pending = true;
+  };
+  if (cfg.target_requests > 0) pull_arrival();
+
+  for (;;) {
+    double next_free = std::numeric_limits<double>::infinity();
+    for (const Worker& w : pool) {
+      if (w.busy) next_free = std::min(next_free, w.free_at);
+    }
+
+    if (have_pending && next_arrival <= next_free) {
+      clock = next_arrival;
+      ++res.arrivals;
+      if (pending.in_storm) ++res.storm_requests;
+      const std::size_t shard =
+          ZipfianGenerator::scramble(pending.key ^ 0x5157u, shards);
+      if (queues[shard].size() >= cfg.queue_capacity) {
+        ++res.shed;
+      } else {
+        queues[shard].push_back(PendingReq{clock, pending.kind});
+        for (Worker& w : pool) {
+          if (!w.busy) {
+            dispatch(w, clock);
+            break;
+          }
+        }
+      }
+      have_pending = false;
+      if (res.arrivals < cfg.target_requests) pull_arrival();
+      continue;
+    }
+
+    if (next_free == std::numeric_limits<double>::infinity()) break;
+
+    // A worker completes; every request of its batch finishes now.
+    clock = next_free;
+    for (Worker& w : pool) {
+      if (w.busy && w.free_at == next_free) {
+        for (const PendingReq& r : w.batch) {
+          const double lat = clock - r.arrival;
+          hist.record(lat <= 0 ? 0 : static_cast<std::uint64_t>(lat));
+          ++res.served;
+        }
+        w.batch.clear();
+        w.busy = false;
+        dispatch(w, clock);
+      }
+    }
+  }
+
+  res.storms = stream.storms_begun();
+  res.virtual_cycles = clock;
+  res.ops_per_mcycle =
+      clock > 0 ? static_cast<double>(res.served) * 1e6 / clock : 0;
+  res.p50 = hist.percentile(50.0);
+  res.p95 = hist.percentile(95.0);
+  res.p99 = hist.percentile(99.0);
+  res.p999 = hist.percentile(99.9);
+  return res;
+}
+
+}  // namespace ale::svc

@@ -1,0 +1,93 @@
+// Virtual-time model of the ale::svc service: open-loop arrivals into
+// per-shard queues, a pool of workers draining batches, and a cost model
+// for the batch critical section under two policies.
+//
+// Why a simulator gates the scaling ratio: the CI host is a single-core
+// VM (DESIGN.md §2), so real-thread curves cannot show multi-worker
+// scaling — they are reported as informational only. The simulator runs
+// the same RequestStream (same Zipf/Poisson/storm schedule, same inject
+// points, same ALE_SEED determinism) through a discrete-event queueing
+// model whose costs follow sim/model.hpp's platform numbers, producing a
+// deterministic svc.t8_over_t1 that CI can gate hard.
+//
+// Cost model per drained batch (b ops, `active` busy workers):
+//   kLockOnly  — the method read lock's shared reader-count line ping-pongs
+//                between acquirers: rw_acquire_base +
+//                rw_contention_per_acq x (active-1), plus slot-lock handoff
+//                when contended. Every op's body cost is paid under the
+//                serialized lock.
+//   kAdaptive  — the batch elides: htm_begin_commit once per batch, no
+//                shared-line writes (no contention term); with probability
+//                ~ data_conflict_prob x (active-1) x b the transaction
+//                aborts, pays htm_abort_penalty and falls back to the
+//                lock-mode cost above.
+// Latency per request = completion - scheduled arrival (open-loop,
+// coordinated-omission-free), recorded in the same log-linear histogram
+// the real harness uses; percentiles are virtual cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "svc/traffic.hpp"
+
+namespace ale::svc {
+
+enum class SimSvcPolicy : std::uint8_t { kLockOnly = 0, kAdaptive = 1 };
+
+const char* to_string(SimSvcPolicy p) noexcept;
+
+struct SimSvcConfig {
+  /// Arrival/key/mix model; mean_gap_ticks is in virtual cycles and is the
+  /// WHOLE-SERVICE arrival gap (not per worker) — pick it well below one
+  /// worker's per-request service time so a single worker saturates and
+  /// added workers raise throughput.
+  TrafficConfig traffic;
+  std::size_t num_shards = 8;
+  std::size_t batch_max = 8;
+  std::size_t queue_capacity = 1024;
+  std::uint64_t target_requests = 30000;
+
+  // Body costs, virtual cycles (exponentially jittered per batch).
+  double read_cycles = 150;
+  double write_cycles = 220;
+  double scan_cycles = 600;
+
+  // Lock-mode outer costs (sim/model.hpp lineage).
+  double rw_acquire_base = 50;
+  double rw_contention_per_acq = 45;
+  double slot_handoff_cycles = 120;
+
+  // Elided-mode outer costs.
+  double htm_begin_commit = 60;
+  double htm_abort_penalty = 80;
+  /// Per (op x concurrent worker) probability a batch transaction
+  /// conflicts and falls back to the lock path.
+  double data_conflict_prob = 0.004;
+
+  /// Extra salt folded into the simulator's PRNG stream so policy/worker
+  /// sweeps draw decorrelated service-time jitter.
+  std::uint64_t seed_salt = 0;
+};
+
+struct SimSvcResult {
+  std::uint64_t arrivals = 0;        ///< requests generated
+  std::uint64_t served = 0;          ///< requests completed
+  std::uint64_t shed = 0;            ///< rejected at a full queue
+  std::uint64_t batches = 0;         ///< drain batches executed
+  std::uint64_t aborts = 0;          ///< elided batches that fell back
+  std::uint64_t storms = 0;          ///< hot-key storms begun (svc.hotkey)
+  std::uint64_t storm_requests = 0;  ///< requests drawn under a storm
+  double virtual_cycles = 0;         ///< clock when the last batch finished
+  double ops_per_mcycle = 0;         ///< served per million virtual cycles
+  double p50 = 0, p95 = 0, p99 = 0, p999 = 0;  ///< latency, virtual cycles
+};
+
+/// Run the model with `workers` draining workers. Deterministic for a
+/// fixed (ALE_SEED, cfg, policy, workers) — including the storm schedule,
+/// which comes from the installed ale::inject configuration evaluated on
+/// the calling thread (reconfigure between runs for bit-identical
+/// schedules).
+SimSvcResult simulate_service(const SimSvcConfig& cfg, SimSvcPolicy policy,
+                              unsigned workers);
+
+}  // namespace ale::svc

@@ -1,0 +1,103 @@
+#include "svc/traffic.hpp"
+
+#include <cstdio>
+
+#include "inject/inject.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ale::svc {
+
+namespace {
+
+// Stream-seed salts: distinct consumers of the run seed must not share
+// streams (common/prng.hpp).
+constexpr std::uint64_t kZipfSalt = 0x73766320u;   // "svc "
+constexpr std::uint64_t kGapSalt = 0x73766347u;    // "svcG"
+constexpr std::uint64_t kMixSalt = 0x7376634du;    // "svcM"
+
+void emit_phase(std::uint8_t phase_mode, std::uint32_t ordinal) {
+  if (!telemetry::trace_enabled()) return;
+  telemetry::TraceEvent e;
+  e.kind = telemetry::EventKind::kSvcPhase;
+  e.mode = phase_mode;
+  e.aux32 = ordinal;
+  telemetry::trace_emit(e);
+}
+
+}  // namespace
+
+RequestStream::RequestStream(const TrafficConfig& cfg,
+                             std::uint64_t stream_id)
+    : cfg_(cfg),
+      zipf_(cfg.key_range, cfg.zipf_theta, derive_seed(kZipfSalt, stream_id)),
+      arrivals_(cfg.mean_gap_ticks, derive_seed(kGapSalt, stream_id)),
+      mix_(derive_seed(kMixSalt, stream_id)) {
+  if (cfg_.hot_set == 0) cfg_.hot_set = 1;
+  if (cfg_.hot_set > cfg_.key_range) cfg_.hot_set = cfg_.key_range;
+}
+
+TrafficItem RequestStream::next() {
+  // Evaluate both inject points exactly once per request so clause
+  // counters (every=/after=/count=) advance on a per-request clock.
+  if (inject::should_fire(inject::Point::kSvcArrival)) {
+    burst_left_ =
+        inject::magnitude(inject::Point::kSvcArrival, cfg_.default_burst_len);
+    emit_phase(/*burst begin*/ 3, static_cast<std::uint32_t>(++bursts_));
+  }
+  if (inject::should_fire(inject::Point::kSvcHotkey)) {
+    storm_left_ =
+        inject::magnitude(inject::Point::kSvcHotkey, cfg_.default_storm_len);
+    emit_phase(/*storm begin*/ 1, static_cast<std::uint32_t>(++storms_));
+  }
+
+  TrafficItem item;
+
+  if (burst_left_ > 0) {
+    --burst_left_;
+    item.gap_ticks = 0;
+  } else {
+    item.gap_ticks = static_cast<std::uint64_t>(arrivals_.next_gap());
+  }
+
+  std::uint64_t rank = zipf_.next();
+  if (storm_left_ > 0) {
+    item.in_storm = true;
+    ++storm_requests_;
+    rank %= cfg_.hot_set;  // only the hottest ranks during a storm
+    if (--storm_left_ == 0) {
+      emit_phase(/*storm end*/ 2, static_cast<std::uint32_t>(storms_));
+    }
+  }
+  item.key = ZipfianGenerator::scramble(rank, cfg_.key_range);
+
+  const double u = mix_.next_double();
+  if (u < cfg_.read_frac) {
+    item.kind = ReqKind::kGet;
+  } else if (u < cfg_.read_frac + cfg_.update_frac) {
+    item.kind = ReqKind::kSet;
+  } else if (u < cfg_.read_frac + cfg_.update_frac + cfg_.scan_frac) {
+    item.kind = ReqKind::kScan;
+  } else {
+    item.kind = ReqKind::kRemove;
+  }
+
+  ++generated_;
+  return item;
+}
+
+void RequestStream::format_key(std::uint64_t key, std::string& out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "k%08llu",
+                static_cast<unsigned long long>(key));
+  out.assign(buf);
+}
+
+void RequestStream::format_value(std::uint64_t key, std::string& out) const {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "v%llu",
+                              static_cast<unsigned long long>(key));
+  out.assign(buf, static_cast<std::size_t>(n));
+  if (out.size() < cfg_.value_len) out.resize(cfg_.value_len, '.');
+}
+
+}  // namespace ale::svc

@@ -1,0 +1,92 @@
+// Open-loop traffic generation for the ale::svc benchmark service.
+//
+// A RequestStream is one deterministic stream of requests: Poisson arrivals
+// (exponential inter-arrival gaps on a virtual-time clock the harness
+// advances), Zipfian keys (hottest rank 0), and a configurable
+// read/update/scan/remove mix. Every random draw derives from the process
+// run seed + the stream id, so two runs with the same ALE_SEED produce
+// bit-identical request sequences (common/prng.hpp).
+//
+// Adversity is injectable, not hard-coded: the stream evaluates two
+// ale::inject points once per generated request —
+//
+//   svc.arrival  — arrival burst: the next x inter-arrival gaps collapse
+//                  to zero (an instantaneous wave of traffic);
+//   svc.hotkey   — hot-key storm: the next x requests draw keys from the
+//                  hottest `hot_set` ranks only, focusing all contention
+//                  on a handful of slots.
+//
+// Both points follow the standard clause grammar (every=/after=/x=/seed=),
+// so storm schedules are deterministic per (seed, thread) and reproduce
+// bit-identically under a fixed ALE_SEED. Phase changes are announced in
+// the telemetry decision trace (EventKind::kSvcPhase, always recorded).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/dist.hpp"
+#include "svc/kv_service.hpp"
+
+namespace ale::svc {
+
+struct TrafficConfig {
+  /// Mean Poisson inter-arrival gap, in virtual-clock ticks.
+  double mean_gap_ticks = 2000.0;
+  /// Operation mix; remove share is the remainder (YCSB-flavoured).
+  double read_frac = 0.75;
+  double update_frac = 0.20;
+  double scan_frac = 0.04;
+  /// Zipfian skew over [0, key_range); 0.99 is the conventional default.
+  double zipf_theta = 0.99;
+  std::uint64_t key_range = 16384;
+  std::uint32_t scan_limit = 16;
+  /// Hot-key storms (svc.hotkey) restrict keys to the `hot_set` hottest
+  /// ranks.
+  std::uint64_t hot_set = 8;
+  /// Default storm/burst lengths when the inject clause sets no x=.
+  std::uint64_t default_storm_len = 64;
+  std::uint64_t default_burst_len = 16;
+  std::size_t value_len = 16;
+};
+
+/// One generated request, before materialization.
+struct TrafficItem {
+  ReqKind kind = ReqKind::kGet;
+  std::uint64_t key = 0;        ///< scrambled key id in [0, key_range)
+  std::uint64_t gap_ticks = 0;  ///< inter-arrival gap preceding this item
+  bool in_storm = false;        ///< drawn under an active hot-key storm
+};
+
+class RequestStream {
+ public:
+  RequestStream(const TrafficConfig& cfg, std::uint64_t stream_id);
+
+  /// The next request in the stream. Evaluates the svc.arrival and
+  /// svc.hotkey inject points exactly once each per call.
+  TrafficItem next();
+
+  /// Render `key` as the canonical fixed-width key string ("k00001234").
+  static void format_key(std::uint64_t key, std::string& out);
+  /// Render the canonical value for `key` (length cfg.value_len).
+  void format_value(std::uint64_t key, std::string& out) const;
+
+  std::uint64_t generated() const noexcept { return generated_; }
+  std::uint64_t storms_begun() const noexcept { return storms_; }
+  std::uint64_t bursts_begun() const noexcept { return bursts_; }
+  std::uint64_t storm_requests() const noexcept { return storm_requests_; }
+
+ private:
+  TrafficConfig cfg_;
+  ZipfianGenerator zipf_;
+  PoissonArrivals arrivals_;
+  Xoshiro256 mix_;
+  std::uint64_t storm_left_ = 0;
+  std::uint64_t burst_left_ = 0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t storms_ = 0;
+  std::uint64_t bursts_ = 0;
+  std::uint64_t storm_requests_ = 0;
+};
+
+}  // namespace ale::svc

@@ -21,6 +21,7 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kGroupingDefer: return "grouping_defer";
     case EventKind::kInjectFired: return "inject_fired";
     case EventKind::kRwModeDecision: return "rw_mode_decision";
+    case EventKind::kSvcPhase: return "svc_phase";
   }
   return "?";
 }

@@ -46,9 +46,12 @@ enum class EventKind : std::uint8_t {
   kRwModeDecision = 8, ///< ElidableSharedLock routed a critical section
                        ///< into a readers-writer acquisition mode
                        ///< (sampled); mode = RwMode as integer
+  kSvcPhase = 9,       ///< service traffic generator changed phase (always
+                       ///< recorded); mode = SvcPhase (1 storm begin,
+                       ///< 2 storm end, 3 burst begin), aux32 = ordinal
 };
 
-inline constexpr std::size_t kNumEventKinds = 9;
+inline constexpr std::size_t kNumEventKinds = 10;
 
 /// Human-readable tag for an EventKind (stable; used in exports).
 const char* to_string(EventKind k) noexcept;

@@ -1,0 +1,234 @@
+// KvService behaviour: routing, sync ops, queueing/shedding, batched
+// drains, per-shard telemetry naming, and latency recording.
+#include "svc/kv_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/cycles.hpp"
+
+namespace ale::svc {
+namespace {
+
+SvcConfig small_config() {
+  SvcConfig cfg;
+  cfg.num_shards = 4;
+  cfg.slots_per_shard = 4;
+  cfg.buckets_per_slot = 64;
+  cfg.batch_max = 4;
+  cfg.queue_capacity = 8;
+  return cfg;
+}
+
+TEST(KvService, SyncOpsRoundTrip) {
+  KvService svc(small_config());
+  EXPECT_TRUE(svc.set("alpha", "1"));
+  EXPECT_FALSE(svc.set("alpha", "2"));  // overwrite, not insert
+  std::string out;
+  EXPECT_TRUE(svc.get("alpha", out));
+  EXPECT_EQ(out, "2");
+  EXPECT_TRUE(svc.remove("alpha"));
+  EXPECT_FALSE(svc.get("alpha", out));
+  EXPECT_FALSE(svc.remove("alpha"));
+}
+
+TEST(KvService, RoutingIsStableAndCoversShards) {
+  KvService svc(small_config());
+  std::set<std::size_t> used;
+  for (int i = 0; i < 256; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::size_t s = svc.shard_of(key);
+    ASSERT_LT(s, svc.num_shards());
+    ASSERT_EQ(s, svc.shard_of(key));  // stable
+    used.insert(s);
+  }
+  EXPECT_EQ(used.size(), svc.num_shards());  // 256 keys hit all 4 shards
+}
+
+TEST(KvService, SyncOpsLandOnTheRoutedShard) {
+  KvService svc(small_config());
+  svc.set("routed-key", "v");
+  const std::size_t home = svc.shard_of("routed-key");
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    EXPECT_EQ(svc.db(s).count(), s == home ? 1u : 0u);
+  }
+}
+
+TEST(KvService, EnqueueDrainServesRequests) {
+  KvService svc(small_config());
+  Request r;
+  r.kind = ReqKind::kSet;
+  r.key = "queued";
+  r.value = "payload";
+  r.arrival_ticks = now_ticks();
+  ASSERT_TRUE(svc.enqueue(std::move(r)));
+  const std::size_t shard = svc.shard_of("queued");
+  EXPECT_EQ(svc.queued(shard), 1u);
+  EXPECT_EQ(svc.drain_shard(shard, nullptr, 0), 1u);
+  EXPECT_EQ(svc.queued(shard), 0u);
+  std::string out;
+  EXPECT_TRUE(svc.get("queued", out));
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(KvService, DrainBatchesWritesThroughApplyBatch) {
+  SvcConfig cfg = small_config();
+  cfg.num_shards = 1;  // everything on one shard so one drain sees all
+  cfg.batch_max = 8;
+  KvService svc(cfg);
+  for (int i = 0; i < 6; ++i) {
+    Request r;
+    r.kind = ReqKind::kSet;
+    r.key = "k" + std::to_string(i);
+    r.value = "v";
+    ASSERT_TRUE(svc.enqueue(std::move(r)));
+  }
+  EXPECT_EQ(svc.drain_shard(0, nullptr, 0), 6u);
+  const SvcStats st = svc.stats();
+  EXPECT_EQ(st.batches, 1u);    // six writes folded into ONE apply_batch
+  EXPECT_EQ(st.batch_ops, 6u);
+  EXPECT_EQ(st.sets, 6u);
+  EXPECT_EQ(svc.db(0).count(), 6u);
+}
+
+TEST(KvService, BatchingOffAppliesIndividually) {
+  SvcConfig cfg = small_config();
+  cfg.num_shards = 1;
+  cfg.batching = false;
+  KvService svc(cfg);
+  for (int i = 0; i < 4; ++i) {
+    Request r;
+    r.kind = ReqKind::kSet;
+    r.key = "k" + std::to_string(i);
+    r.value = "v";
+    ASSERT_TRUE(svc.enqueue(std::move(r)));
+  }
+  EXPECT_EQ(svc.drain_shard(0, nullptr, 0), 4u);
+  const SvcStats st = svc.stats();
+  EXPECT_EQ(st.batches, 0u);
+  EXPECT_EQ(svc.db(0).count(), 4u);
+}
+
+TEST(KvService, DrainRespectsBatchMax) {
+  SvcConfig cfg = small_config();
+  cfg.num_shards = 1;
+  cfg.batch_max = 3;
+  cfg.queue_capacity = 64;
+  KvService svc(cfg);
+  for (int i = 0; i < 7; ++i) {
+    Request r;
+    r.kind = ReqKind::kGet;
+    r.key = "k" + std::to_string(i);
+    ASSERT_TRUE(svc.enqueue(std::move(r)));
+  }
+  EXPECT_EQ(svc.drain_shard(0, nullptr, 0), 3u);
+  EXPECT_EQ(svc.drain_shard(0, nullptr, 0), 3u);
+  EXPECT_EQ(svc.drain_shard(0, nullptr, 0), 1u);
+  EXPECT_EQ(svc.drain_shard(0, nullptr, 0), 0u);
+}
+
+TEST(KvService, FullQueueSheds) {
+  SvcConfig cfg = small_config();
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 2;
+  KvService svc(cfg);
+  auto make = [](int i) {
+    Request r;
+    r.kind = ReqKind::kGet;
+    r.key = "k" + std::to_string(i);
+    return r;
+  };
+  EXPECT_TRUE(svc.enqueue(make(0)));
+  EXPECT_TRUE(svc.enqueue(make(1)));
+  EXPECT_FALSE(svc.enqueue(make(2)));  // capacity 2: shed
+  const SvcStats st = svc.stats();
+  EXPECT_EQ(st.enqueued, 2u);
+  EXPECT_EQ(st.shed, 1u);
+}
+
+TEST(KvService, ScanReturnsSlotRecords) {
+  SvcConfig cfg = small_config();
+  cfg.num_shards = 1;
+  cfg.slots_per_shard = 1;  // single slot: scans see every record
+  KvService svc(cfg);
+  for (int i = 0; i < 10; ++i) {
+    svc.set("s" + std::to_string(i), "v" + std::to_string(i));
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  EXPECT_EQ(svc.scan("s0", 100, out), 10u);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(svc.scan("s0", 3, out), 3u);  // limit honoured
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(KvService, QueuedScanServedOnDrain) {
+  SvcConfig cfg = small_config();
+  cfg.num_shards = 1;
+  KvService svc(cfg);
+  svc.set("scan-me", "v");
+  Request r;
+  r.kind = ReqKind::kScan;
+  r.key = "scan-me";
+  r.scan_limit = 4;
+  ASSERT_TRUE(svc.enqueue(std::move(r)));
+  EXPECT_EQ(svc.drain_shard(0, nullptr, 0), 1u);
+  EXPECT_EQ(svc.stats().scans, 1u);
+}
+
+TEST(KvService, DrainRecordsOpenLoopLatency) {
+  SvcConfig cfg = small_config();
+  cfg.num_shards = 1;
+  KvService svc(cfg);
+  LatencyRecorder rec(2);
+  for (int i = 0; i < 3; ++i) {
+    Request r;
+    r.kind = ReqKind::kGet;
+    r.key = "k" + std::to_string(i);
+    r.arrival_ticks = now_ticks();
+    ASSERT_TRUE(svc.enqueue(std::move(r)));
+  }
+  EXPECT_EQ(svc.drain_shard(0, &rec, 1), 3u);
+  EXPECT_EQ(rec.merged().total(), 3u);
+}
+
+TEST(KvService, ShardDbsGetPerShardNames) {
+  // The per-shard ShardedDb instances must carry distinct telemetry
+  // prefixes; the lock metadata name is the observable handle.
+  SvcConfig cfg = small_config();
+  cfg.name = "svctest";
+  KvService svc(cfg);
+  std::set<std::string> names;
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    names.insert(svc.db(s).method_lock_md().name());
+  }
+  EXPECT_EQ(names.size(), svc.num_shards());
+  EXPECT_TRUE(names.count("svctest.s0.methodLock") == 1)
+      << "got: " << *names.begin();
+}
+
+TEST(KvService, StatsAggregateAcrossShards) {
+  KvService svc(small_config());
+  for (int i = 0; i < 32; ++i) {
+    Request r;
+    r.kind = i % 2 == 0 ? ReqKind::kSet : ReqKind::kGet;
+    r.key = "k" + std::to_string(i);
+    r.value = "v";
+    svc.enqueue(std::move(r));
+  }
+  std::size_t drained = 0;
+  for (std::size_t s = 0; s < svc.num_shards(); ++s) {
+    while (svc.drain_shard(s, nullptr, 0) != 0) {
+    }
+    drained += 0;
+  }
+  const SvcStats st = svc.stats();
+  EXPECT_EQ(st.drained, st.enqueued);
+  EXPECT_EQ(st.gets + st.sets, st.drained);
+  (void)drained;
+}
+
+}  // namespace
+}  // namespace ale::svc

@@ -1,0 +1,153 @@
+// LatencyHistogram correctness: bucket geometry invariants, a 10k-sample
+// comparison against a sorted-vector oracle, percentile interpolation at
+// bucket edges, merge, and the per-worker recorder.
+#include "svc/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace ale::svc {
+namespace {
+
+using H = LatencyHistogram;
+
+TEST(LatencyHistogram, IndexGeometryRoundTrips) {
+  // Every probed value must land in a bucket whose [low, low+width) range
+  // contains it, and bucket indices must be monotone in the value.
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t v = 0; v < 200; ++v) probes.push_back(v);
+  for (unsigned shift = 8; shift < 63; ++shift) {
+    const std::uint64_t base = std::uint64_t{1} << shift;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + 1);
+    probes.push_back(base + base / 2);
+  }
+  std::size_t prev_index = 0;
+  std::sort(probes.begin(), probes.end());
+  for (const std::uint64_t v : probes) {
+    const std::size_t i = H::index_of(v);
+    ASSERT_LT(i, H::kBuckets);
+    EXPECT_LE(H::bucket_low(i), v) << "v=" << v;
+    EXPECT_LT(v, H::bucket_low(i) + H::bucket_width(i)) << "v=" << v;
+    EXPECT_GE(i, prev_index) << "v=" << v;
+    prev_index = i;
+  }
+}
+
+TEST(LatencyHistogram, ExactBelowSubBucketRange) {
+  H h;
+  for (std::uint64_t v = 0; v < H::kSub; ++v) h.record(v);
+  for (std::uint64_t v = 0; v < H::kSub; ++v) {
+    EXPECT_EQ(h.count_at(static_cast<std::size_t>(v)), 1u);
+  }
+  // Values below 2^kSubBits have unit buckets: percentiles are exact.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_NEAR(h.percentile(50.0), H::kSub / 2.0, 1.0);
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundedOn10kSampleOracle) {
+  // 10k samples spanning six orders of magnitude; every percentile the
+  // harness reports must match the sorted-vector oracle within the
+  // log-linear scheme's quantization bound (1/2^kSubBits per octave).
+  Xoshiro256 rng(4242);
+  H h;
+  std::vector<std::uint64_t> oracle;
+  oracle.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    // Log-uniform magnitude with exponential jitter: a heavy-ish tail.
+    const unsigned mag = static_cast<unsigned>(rng.next_below(20));
+    const std::uint64_t v =
+        (std::uint64_t{1} << mag) + rng.next_below(std::uint64_t{1} << mag);
+    oracle.push_back(v);
+    h.record(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  ASSERT_EQ(h.total(), oracle.size());
+  for (const double p : {10.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const std::size_t rank = std::min(
+        oracle.size() - 1,
+        static_cast<std::size_t>(p / 100.0 * oracle.size()));
+    const double exact = static_cast<double>(oracle[rank]);
+    const double approx = h.percentile(p);
+    // One sub-bucket of relative error plus one rank of discreteness.
+    EXPECT_NEAR(approx, exact, exact * (2.0 / H::kSub) + 2.0)
+        << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, PercentileInterpolatesInsideBucket) {
+  // 100 identical values in one wide bucket: p50 must interpolate within
+  // the bucket's range, never report beyond the recorded maximum.
+  H h;
+  const std::uint64_t v = (std::uint64_t{1} << 20) + 12345;
+  for (int i = 0; i < 100; ++i) h.record(v);
+  const std::size_t idx = H::index_of(v);
+  const double p50 = h.percentile(50.0);
+  EXPECT_GE(p50, static_cast<double>(H::bucket_low(idx)));
+  EXPECT_LE(p50, static_cast<double>(v));  // clamped to max_recorded
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), static_cast<double>(v));
+}
+
+TEST(LatencyHistogram, EdgeValuesAtBucketBoundaries) {
+  // Record the exact lower edge of several buckets; percentile(100) and
+  // max_recorded() must agree, and percentile(0+) must not underflow the
+  // smallest recorded bucket.
+  H h;
+  const std::uint64_t lo = H::bucket_low(H::index_of(1000));
+  const std::uint64_t hi = H::bucket_low(H::index_of(1000000));
+  h.record(lo);
+  h.record(hi);
+  EXPECT_EQ(h.max_recorded(), hi);
+  EXPECT_GE(h.percentile(1.0), static_cast<double>(H::bucket_low(
+                                   H::index_of(lo))));
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), static_cast<double>(hi));
+}
+
+TEST(LatencyHistogram, MergeIsCountPreserving) {
+  Xoshiro256 rng(7);
+  H a, b, merged_oracle;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next_below(1 << 22);
+    if (i % 2 == 0) a.record(v); else b.record(v);
+    merged_oracle.record(v);
+  }
+  H m;
+  m.merge(a);
+  m.merge(b);
+  EXPECT_EQ(m.total(), 5000u);
+  EXPECT_EQ(m.max_recorded(), merged_oracle.max_recorded());
+  for (const double p : {50.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(m.percentile(p), merged_oracle.percentile(p));
+  }
+}
+
+TEST(LatencyHistogram, EmptyHistogramReportsZero) {
+  H h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99.9), 0.0);
+}
+
+TEST(LatencyRecorder, PerWorkerSlotsMergeAndReset) {
+  LatencyRecorder rec(4);
+  EXPECT_EQ(rec.workers(), 4u);
+  for (unsigned w = 0; w < 4; ++w) {
+    rec.of(w).record(100 * (w + 1));
+  }
+  // Worker indices beyond the pool wrap instead of crashing.
+  rec.of(7).record(999);
+  H m = rec.merged();
+  EXPECT_EQ(m.total(), 5u);
+  EXPECT_EQ(m.max_recorded(), 999u);
+  rec.reset();
+  EXPECT_EQ(rec.merged().total(), 0u);
+}
+
+}  // namespace
+}  // namespace ale::svc

@@ -1,0 +1,275 @@
+// RequestStream determinism, mix shape, storm/burst injection, and the
+// virtual-time service simulator's determinism + scaling/tail behaviour.
+#include "svc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "inject/inject.hpp"
+#include "svc/sim_service.hpp"
+#include "telemetry/trace.hpp"
+
+namespace ale::svc {
+namespace {
+
+class TrafficTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    inject::reset();
+    inject::set_thread_index(0);
+  }
+  void TearDown() override { inject::reset(); }
+};
+
+std::vector<TrafficItem> draw(const TrafficConfig& cfg, std::uint64_t id,
+                              int n) {
+  RequestStream s(cfg, id);
+  std::vector<TrafficItem> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(s.next());
+  return out;
+}
+
+TEST_F(TrafficTest, SameStreamIdReproducesBitIdentically) {
+  TrafficConfig cfg;
+  const auto a = draw(cfg, 3, 2000);
+  const auto b = draw(cfg, 3, 2000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].kind, b[i].kind) << i;
+    ASSERT_EQ(a[i].key, b[i].key) << i;
+    ASSERT_EQ(a[i].gap_ticks, b[i].gap_ticks) << i;
+  }
+}
+
+TEST_F(TrafficTest, DistinctStreamIdsDecorrelate) {
+  TrafficConfig cfg;
+  const auto a = draw(cfg, 1, 200);
+  const auto b = draw(cfg, 2, 200);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key == b[i].key) ++same;
+  }
+  EXPECT_LT(same, 100);  // far from identical
+}
+
+TEST_F(TrafficTest, MixFractionsMatchConfig) {
+  TrafficConfig cfg;
+  cfg.read_frac = 0.5;
+  cfg.update_frac = 0.3;
+  cfg.scan_frac = 0.1;
+  const int n = 40000;
+  const auto items = draw(cfg, 9, n);
+  int gets = 0, sets = 0, scans = 0, removes = 0;
+  for (const TrafficItem& it : items) {
+    switch (it.kind) {
+      case ReqKind::kGet: ++gets; break;
+      case ReqKind::kSet: ++sets; break;
+      case ReqKind::kScan: ++scans; break;
+      case ReqKind::kRemove: ++removes; break;
+    }
+  }
+  EXPECT_NEAR(gets / double(n), 0.5, 0.02);
+  EXPECT_NEAR(sets / double(n), 0.3, 0.02);
+  EXPECT_NEAR(scans / double(n), 0.1, 0.01);
+  EXPECT_NEAR(removes / double(n), 0.1, 0.01);
+}
+
+TEST_F(TrafficTest, KeysStayInRangeAndGapsFollowTheMean) {
+  TrafficConfig cfg;
+  cfg.key_range = 512;
+  cfg.mean_gap_ticks = 100.0;
+  const int n = 50000;
+  const auto items = draw(cfg, 5, n);
+  double gap_sum = 0;
+  for (const TrafficItem& it : items) {
+    ASSERT_LT(it.key, 512u);
+    gap_sum += static_cast<double>(it.gap_ticks);
+  }
+  EXPECT_NEAR(gap_sum / n, 100.0, 5.0);
+}
+
+TEST_F(TrafficTest, HotkeyStormRestrictsKeysAtDeterministicPositions) {
+  ASSERT_TRUE(inject::configure("svc.hotkey:every=100,x=10"));
+  TrafficConfig cfg;
+  cfg.hot_set = 4;
+  RequestStream s(cfg, 1);
+  // The every=100 clause fires on the 100th evaluation: requests 100..109
+  // (1-based) are storm requests; everything before is not.
+  std::vector<bool> in_storm;
+  for (int i = 0; i < 300; ++i) in_storm.push_back(s.next().in_storm);
+  for (int i = 0; i < 99; ++i) ASSERT_FALSE(in_storm[i]) << i;
+  for (int i = 99; i < 109; ++i) ASSERT_TRUE(in_storm[i]) << i;
+  for (int i = 109; i < 199; ++i) ASSERT_FALSE(in_storm[i]) << i;
+  for (int i = 199; i < 209; ++i) ASSERT_TRUE(in_storm[i]) << i;
+  EXPECT_EQ(s.storms_begun(), 3u);  // fired at eval 100, 200, 300
+  EXPECT_EQ(s.storm_requests(), 21u);
+}
+
+TEST_F(TrafficTest, StormKeysComeFromTheHotSet) {
+  ASSERT_TRUE(inject::configure("svc.hotkey:every=50,x=25"));
+  TrafficConfig cfg;
+  cfg.hot_set = 4;
+  cfg.key_range = 10000;
+  // The storm draws from ranks [0, hot_set): at most hot_set distinct
+  // scrambled keys may appear in storm requests.
+  std::set<std::uint64_t> storm_keys;
+  RequestStream s(cfg, 2);
+  for (int i = 0; i < 500; ++i) {
+    const TrafficItem it = s.next();
+    if (it.in_storm) storm_keys.insert(it.key);
+  }
+  EXPECT_GT(storm_keys.size(), 0u);
+  EXPECT_LE(storm_keys.size(), 4u);
+}
+
+TEST_F(TrafficTest, StormScheduleIsBitIdenticalAcrossReconfiguredRuns) {
+  TrafficConfig cfg;
+  cfg.hot_set = 2;
+  auto run = [&]() {
+    // configure() resets clause counters, so each run sees the identical
+    // schedule — the property the CI svc-smoke job relies on.
+    inject::configure("svc.hotkey:every=64,x=16;svc.arrival:every=128,x=8");
+    RequestStream s(cfg, 7);
+    std::vector<std::uint64_t> sig;
+    for (int i = 0; i < 1000; ++i) {
+      const TrafficItem it = s.next();
+      sig.push_back(it.key ^ (it.gap_ticks << 20) ^
+                    (it.in_storm ? 1ull << 60 : 0));
+    }
+    return sig;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a, b);
+}
+
+TEST_F(TrafficTest, ArrivalBurstCollapsesGaps) {
+  ASSERT_TRUE(inject::configure("svc.arrival:every=100,x=10"));
+  TrafficConfig cfg;
+  cfg.mean_gap_ticks = 1000.0;
+  RequestStream s(cfg, 3);
+  std::vector<std::uint64_t> gaps;
+  for (int i = 0; i < 150; ++i) gaps.push_back(s.next().gap_ticks);
+  // Requests 100..109 (index 99..108) arrive with zero gap.
+  for (int i = 99; i < 109; ++i) ASSERT_EQ(gaps[i], 0u) << i;
+  // Outside the burst, zero gaps are vanishingly rare at mean 1000.
+  int zeros_outside = 0;
+  for (int i = 0; i < 99; ++i) zeros_outside += gaps[i] == 0 ? 1 : 0;
+  EXPECT_LE(zeros_outside, 2);
+  EXPECT_EQ(s.bursts_begun(), 1u);
+}
+
+TEST_F(TrafficTest, PhaseEventsLandInTheTelemetryTrace) {
+  ASSERT_TRUE(inject::configure("svc.hotkey:every=20,x=5"));
+  telemetry::set_trace_enabled(true);
+  telemetry::reset_trace();
+  TrafficConfig cfg;
+  RequestStream s(cfg, 4);
+  for (int i = 0; i < 45; ++i) s.next();  // two storms begin+end
+  telemetry::set_trace_enabled(false);
+  int begins = 0, ends = 0;
+  for (const telemetry::TraceEvent& e : telemetry::drain_trace()) {
+    if (e.kind != telemetry::EventKind::kSvcPhase) continue;
+    if (e.mode == 1) ++begins;
+    if (e.mode == 2) ++ends;
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+}
+
+TEST_F(TrafficTest, KeyFormattingIsCanonical) {
+  std::string k;
+  RequestStream::format_key(42, k);
+  EXPECT_EQ(k, "k00000042");
+  TrafficConfig cfg;
+  cfg.value_len = 12;
+  RequestStream s(cfg, 1);
+  std::string v;
+  s.format_value(42, v);
+  EXPECT_EQ(v.size(), 12u);
+  EXPECT_EQ(v.substr(0, 3), "v42");
+}
+
+// ---- the virtual-time service simulator ----
+
+class SimSvcTest : public TrafficTest {};
+
+SimSvcConfig quick_sim() {
+  SimSvcConfig cfg;
+  cfg.target_requests = 6000;
+  cfg.traffic.mean_gap_ticks = 65.0;  // ~3x one worker's capacity
+  return cfg;
+}
+
+TEST_F(SimSvcTest, DeterministicAcrossReconfiguredRuns) {
+  auto run = [&]() {
+    inject::configure("svc.hotkey:every=512,x=64");
+    return simulate_service(quick_sim(), SimSvcPolicy::kAdaptive, 4);
+  };
+  const SimSvcResult a = run();
+  const SimSvcResult b = run();
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.storms, b.storms);
+  EXPECT_EQ(a.storm_requests, b.storm_requests);
+  EXPECT_DOUBLE_EQ(a.virtual_cycles, b.virtual_cycles);
+  EXPECT_DOUBLE_EQ(a.p999, b.p999);
+}
+
+TEST_F(SimSvcTest, ServedPlusShedEqualsArrivals) {
+  const SimSvcResult r =
+      simulate_service(quick_sim(), SimSvcPolicy::kLockOnly, 2);
+  EXPECT_EQ(r.arrivals, 6000u);
+  EXPECT_EQ(r.served + r.shed, r.arrivals);
+  EXPECT_GT(r.served, 0u);
+  EXPECT_GT(r.batches, 0u);
+}
+
+TEST_F(SimSvcTest, AdaptiveThroughputScalesWithWorkers) {
+  // The offered load saturates one worker, so added workers must raise
+  // served throughput — the property the CI ratio gate enforces.
+  const SimSvcConfig cfg = quick_sim();
+  const SimSvcResult t1 =
+      simulate_service(cfg, SimSvcPolicy::kAdaptive, 1);
+  const SimSvcResult t8 =
+      simulate_service(cfg, SimSvcPolicy::kAdaptive, 8);
+  ASSERT_GT(t1.ops_per_mcycle, 0.0);
+  EXPECT_GT(t8.ops_per_mcycle / t1.ops_per_mcycle, 1.0);
+}
+
+TEST_F(SimSvcTest, AdaptiveTailNoWorseThanLockOnlyAtEightWorkers) {
+  const SimSvcConfig cfg = quick_sim();
+  const SimSvcResult lock =
+      simulate_service(cfg, SimSvcPolicy::kLockOnly, 8);
+  const SimSvcResult adpt =
+      simulate_service(cfg, SimSvcPolicy::kAdaptive, 8);
+  ASSERT_GT(lock.p999, 0.0);
+  EXPECT_LE(adpt.p999 / lock.p999, 1.10);
+  // And the elided outer section buys throughput under contention.
+  EXPECT_GE(adpt.ops_per_mcycle, lock.ops_per_mcycle * 0.95);
+}
+
+TEST_F(SimSvcTest, PercentilesAreOrdered) {
+  const SimSvcResult r =
+      simulate_service(quick_sim(), SimSvcPolicy::kAdaptive, 4);
+  EXPECT_LE(r.p50, r.p95);
+  EXPECT_LE(r.p95, r.p99);
+  EXPECT_LE(r.p99, r.p999);
+  EXPECT_GT(r.p999, 0.0);
+}
+
+TEST_F(SimSvcTest, StormsReachTheSimulator) {
+  inject::configure("svc.hotkey:every=512,x=64");
+  const SimSvcResult r =
+      simulate_service(quick_sim(), SimSvcPolicy::kAdaptive, 2);
+  EXPECT_GT(r.storms, 0u);
+  EXPECT_GT(r.storm_requests, 0u);
+}
+
+}  // namespace
+}  // namespace ale::svc
