@@ -27,6 +27,7 @@
 #include "core/engine.hpp"
 #include "core/execute_cs.hpp"
 #include "core/granule.hpp"
+#include "core/introspect.hpp"
 #include "core/lockmd.hpp"
 #include "core/macros.hpp"
 #include "core/mode.hpp"

@@ -1,0 +1,42 @@
+// CsRequest — the one descriptor every critical-section entry point lowers
+// to.
+//
+// The library has four public front doors: the raw-parts execute_cs
+// overload, ElidableLock::elide*, ElidableSharedLock::elide_*, and the
+// ALE_BEGIN_CS_* macro matrix. Historically each of them re-spelled the
+// engine's arm/try/finish/catch protocol; every extra copy was both a
+// maintenance hazard and a lost fusion opportunity (the converged fast
+// path wants ONE place to optimize). All of them now build a CsRequest —
+// (LockApi, lock, LockMd, ScopeInfo; the scope carries the readers-writer
+// mode bits) — and hand it to the single attempt loop in core/engine.hpp
+// (run_cs / drive_cs / the ALE_DETAIL_CS_ATTEMPT_LOOP_* pair, which are
+// one definition, not three).
+//
+// The struct is deliberately a flat standard-layout aggregate: lowering a
+// front door to the engine is four pointer stores, no logic. The pointed-to
+// ScopeInfo must outlive the execution (every front door uses a static, per
+// §3.4's one-ScopeInfo-per-use-site rule).
+#pragma once
+
+#include <cstdint>
+
+#include "core/context.hpp"
+
+namespace ale {
+
+struct LockApi;
+class LockMd;
+
+struct CsRequest {
+  const LockApi* api;       // acquisition/subscription vtable (function ptrs)
+  void* lock;               // the lock instance `api` operates on
+  LockMd* md;               // the lock's metadata "label" (§3.1)
+  const ScopeInfo* scope;   // per-use-site scope; carries rw_mode bits
+
+  /// Readers-writer acquisition mode of the request (RwMode as integer, or
+  /// kNoRwMode for plain exclusive locks) — forwarded from the scope so
+  /// converged AttemptPlans stay attributable to a mode.
+  constexpr unsigned rw_mode() const noexcept { return scope->rw_mode; }
+};
+
+}  // namespace ale

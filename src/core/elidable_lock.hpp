@@ -58,7 +58,7 @@ class CallSiteScope {
   CallSiteScope(const CallSiteScope&) = delete;
   CallSiteScope& operator=(const CallSiteScope&) = delete;
 
-  const ScopeInfo& scope() const noexcept { return scope_; }
+  [[nodiscard]] const ScopeInfo& scope() const noexcept { return scope_; }
 
  private:
   static std::string make_label(const std::source_location& loc) {
@@ -109,11 +109,17 @@ class ElidableLock {
   }
 
   /// The raw pieces, for composing with the macro API or foreign code.
-  LockT& raw_lock() noexcept { return lock_; }
-  const LockApi* api() const noexcept { return lock_api<LockT>(); }
-  void* lock_ptr() noexcept { return &lock_; }
-  LockMd& md() noexcept { return md_; }
-  const std::string& name() const noexcept { return md_.name(); }
+  /// ([[nodiscard]]: pure accessors — calling one and dropping the result
+  /// is always a bug.)
+  [[nodiscard]] LockT& raw_lock() noexcept { return lock_; }
+  [[nodiscard]] const LockApi* api() const noexcept {
+    return lock_api<LockT>();
+  }
+  [[nodiscard]] void* lock_ptr() noexcept { return &lock_; }
+  [[nodiscard]] LockMd& md() noexcept { return md_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return md_.name();
+  }
 
  private:
   LockT lock_;

@@ -144,20 +144,22 @@ class ElidableSharedLock {
 
   // ---- raw pieces, for composing with execute_cs or foreign code ----
 
-  RwLockT& raw_lock() noexcept { return lock_; }
-  void* lock_ptr() noexcept { return &lock_; }
-  LockMd& md() noexcept { return md_; }
-  const std::string& name() const noexcept { return md_.name(); }
-  bool trylockspin() const noexcept { return trylockspin_; }
+  [[nodiscard]] RwLockT& raw_lock() noexcept { return lock_; }
+  [[nodiscard]] void* lock_ptr() noexcept { return &lock_; }
+  [[nodiscard]] LockMd& md() noexcept { return md_; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return md_.name();
+  }
+  [[nodiscard]] bool trylockspin() const noexcept { return trylockspin_; }
 
-  const LockApi* shared_api() const noexcept {
+  [[nodiscard]] const LockApi* shared_api() const noexcept {
     return trylockspin_ ? rw_shared_trylockspin_api<RwLockT>()
                         : rw_shared_api<RwLockT>();
   }
-  const LockApi* update_api() const noexcept {
+  [[nodiscard]] const LockApi* update_api() const noexcept {
     return rw_update_api<RwLockT>();
   }
-  const LockApi* exclusive_api() const noexcept {
+  [[nodiscard]] const LockApi* exclusive_api() const noexcept {
     return rw_exclusive_api<RwLockT>();
   }
 

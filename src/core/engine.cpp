@@ -19,33 +19,54 @@ namespace {
 
 // Plan-driven executions record full statistics on a 1-in-32 sample
 // (~3%, §4.3) with weight 32, so counter estimates stay unbiased while the
-// other 31/32 executions touch no shared statistics at all.
-constexpr double kPlanSampleRate = 1.0 / 32.0;
-constexpr unsigned kPlanSampleWeight = 32;
+// other 31/32 executions touch no shared statistics at all. The sample is
+// a deterministic per-thread decimation (ThreadCtx::plan_sample_tick), not
+// a PRNG roll: exactly every 32nd plan-driven execution is sampled, which
+// is cheaper and keeps projected counts exactly (not just statistically)
+// unbiased.
+constexpr std::uint32_t kPlanSamplePeriod = 32;  // power of two
+constexpr unsigned kPlanSampleWeight = kPlanSamplePeriod;
 
-std::atomic<std::uint64_t> g_granule_cache_generation{0};
+// The fused fast-path word: (generation << 1) | enabled. Constant-
+// initialized with the enabled bit set so executions during static init
+// are well-defined; the ALE_FAST_PATH=0 override lands via the dynamic
+// initializer below (an execution racing process start at worst runs a few
+// CSes with the fast path on, which is behaviorally identical).
+constinit std::atomic<std::uint64_t> g_fast_path_word{1};
 
-std::atomic<bool>& fast_path_flag() noexcept {
-  static std::atomic<bool> flag{env_bool("ALE_FAST_PATH", true)};
-  return flag;
-}
+[[maybe_unused]] const bool g_fast_path_env_applied = [] {
+  if (!env_bool("ALE_FAST_PATH", true)) {
+    g_fast_path_word.fetch_and(~std::uint64_t{1}, std::memory_order_seq_cst);
+  }
+  return true;
+}();
 
 }  // namespace
 
+std::uint64_t fast_path_word() noexcept {
+  return g_fast_path_word.load(std::memory_order_relaxed);
+}
+
 std::uint64_t granule_cache_generation() noexcept {
-  return g_granule_cache_generation.load(std::memory_order_relaxed);
+  return fast_path_word() >> 1;
 }
 
 void bump_granule_cache_generation() noexcept {
-  g_granule_cache_generation.fetch_add(1, std::memory_order_seq_cst);
+  // += 2 leaves the enabled bit alone; seq_cst so the bump is totally
+  // ordered against the granule-freeing / policy-reinstall work it fences.
+  g_fast_path_word.fetch_add(2, std::memory_order_seq_cst);
 }
 
 bool fast_path_enabled() noexcept {
-  return fast_path_flag().load(std::memory_order_relaxed);
+  return (fast_path_word() & 1) != 0;
 }
 
 void set_fast_path_enabled(bool enabled) noexcept {
-  fast_path_flag().store(enabled, std::memory_order_relaxed);
+  if (enabled) {
+    g_fast_path_word.fetch_or(1, std::memory_order_seq_cst);
+  } else {
+    g_fast_path_word.fetch_and(~std::uint64_t{1}, std::memory_order_seq_cst);
+  }
 }
 
 namespace {
@@ -97,23 +118,47 @@ ExecMode current_exec_mode() noexcept {
   return ExecMode::kLock;
 }
 
-CsExec::CsExec(const LockApi* api, void* lock, LockMd& md,
-               const ScopeInfo& scope)
-    : api_(api), lock_(lock), md_(md), scope_(scope) {
+CsExec::CsExec(const CsRequest& req)
+    : api_(req.api), lock_(req.lock), md_(*req.md), scope_(*req.scope) {
   // §4.1: a CS nested within an HTM-mode CS runs in the same transaction;
   // "to minimize the duration of hardware transactions, and to reduce the
   // amount of data written within them, a frame is pushed onto the stack
   // only for the outermost critical section executed in HTM mode" — so we
   // skip the frame, the context push, and all statistics here.
   nested_in_htm_ = htm::in_txn();
-  already_held_ = thread_holds_lock(lock);
+  ThreadCtx& tc = thread_ctx();
+  tc_ = &tc;
+  // thread_holds_lock(), inlined against the already-resolved ThreadCtx.
+  for (const CsExec* f : tc.frames) {
+    if (f->lock_ptr() == lock_ && f->holds_lock_here()) {
+      already_held_ = true;
+      break;
+    }
+  }
   if (nested_in_htm_) return;
 
-  ThreadCtx& tc = thread_ctx();
   saved_ctx_ = tc.context();
-  tc.ctx = saved_ctx_->child(&scope_);
-  granule_ = resolve_granule(tc);
-  policy_ = &md.policy();
+
+  // Fused context+granule resolution: one tag load+compare validates the
+  // cached entry against every invalidation source at once (generation
+  // bumps and the kill switch share the fast_path_word; see
+  // core/thread_ctx.hpp). A hit skips the parent ContextNode's children
+  // spinlock AND the granule hash-table probe — the two shared-memory
+  // touches the pre-fusion entry sequence paid every time.
+  const std::uint64_t fpw = fast_path_word();
+  GranuleCache::Entry& e = tc.granule_cache.slot(&md_, &scope_);
+  if (e.tag == fpw && e.lock == &md_ && e.scope == &scope_ &&
+      e.parent == saved_ctx_) {
+    tc.ctx = e.ctx;
+    granule_ = e.granule;
+  } else {
+    tc.ctx = saved_ctx_->child(&scope_);
+    granule_ = &md_.granule_for(tc.ctx);
+    if (fpw & 1) {  // memoize only while the fast path is enabled
+      e = GranuleCache::Entry{fpw, &md_, &scope_, saved_ctx_,
+                              tc.ctx, granule_};
+    }
+  }
   tc.frames.push_back(this);
 
   saved_swopt_lock_ = tc.swopt_lock;
@@ -124,14 +169,16 @@ CsExec::CsExec(const LockApi* api, void* lock, LockMd& md,
   st_.swopt_eligible = scope_.has_swopt && !already_held_ &&
                        (tc.swopt_lock == nullptr || tc.swopt_lock == &md_);
 
+  // The plan word is ALWAYS re-read from the granule (never cached in the
+  // entry above): policies retract plans without bumping the generation, so
+  // the granule's word is the only authoritative copy.
   plan_ = granule_->attempt_plan();
   // A plan published before fault injection was enabled lacks the notify
   // bit, yet inject's policy nudges ride on on_execution_complete — so such
   // a plan is ignored while injection is on (one relaxed load when off).
-  if (plan_.valid() && fast_path_enabled() &&
-      (plan_.notify() || !inject::enabled())) {
+  if (plan_.valid() && (fpw & 1) && (plan_.notify() || !inject::enabled())) {
     plan_active_ = true;
-    if (thread_prng().next_bool(kPlanSampleRate)) {
+    if ((++tc.plan_sample_tick & (kPlanSamplePeriod - 1)) == 0) {
       stats_weight_ = kPlanSampleWeight;
     } else {
       stats_on_ = false;  // this execution touches no shared statistics
@@ -143,18 +190,17 @@ CsExec::CsExec(const LockApi* api, void* lock, LockMd& md,
   }
 }
 
-GranuleMd* CsExec::resolve_granule(ThreadCtx& tc) {
-  if (!fast_path_enabled()) return &md_.granule_for(tc.ctx);
-  GranuleCache& gc = tc.granule_cache;
-  const std::uint64_t gen = granule_cache_generation();
-  if (gen != gc.generation) {
-    gc.clear();
-    gc.generation = gen;
+void CsExec::commit_stat_deltas() noexcept {
+  if (pending_.empty()) return;
+  if (plan_active_ && stat_cpu_stripes_enabled()) {
+    // Converged path: one direct inc_many batch onto the current CPU's
+    // stripe (no buffer spinlock, no slot scan, no deferred visibility —
+    // quiesce_statistics() has nothing of ours to chase). The sampled
+    // cadence already rate-limits this to ~1/32 executions.
+    apply_stat_deltas(*granule_, pending_, current_stat_stripe());
+  } else {
+    tc_->stat_deltas.commit(granule_, pending_);
   }
-  if (GranuleMd* cached = gc.lookup(&md_, tc.ctx)) return cached;
-  GranuleMd* g = &md_.granule_for(tc.ctx);
-  gc.insert(&md_, tc.ctx, g);
-  return g;
 }
 
 ExecMode CsExec::plan_choose() const noexcept {
@@ -176,9 +222,12 @@ ExecMode CsExec::plan_choose() const noexcept {
 
 void CsExec::before_conflicting() {
   if (plan_active_) {
+    // Converged inline grouping: when the plan's grouping bit is clear
+    // (grouping idle) this is a single register bit-test — no SNZI load,
+    // no call, nothing shared touched. Only a set bit pays the §4.2 wait.
     if (plan_.grouping()) grouping_wait(md_);
   } else {
-    policy_->before_potentially_conflicting(md_);
+    policy().before_potentially_conflicting(md_);
   }
 }
 
@@ -186,7 +235,7 @@ void CsExec::swopt_retry_begin() {
   if (plan_active_) {
     if (plan_.grouping()) md_.swopt_retriers().arrive();
   } else {
-    policy_->on_swopt_retry_begin(md_);
+    policy().on_swopt_retry_begin(md_);
   }
 }
 
@@ -194,14 +243,14 @@ void CsExec::swopt_retry_end() {
   if (plan_active_) {
     if (plan_.grouping()) md_.swopt_retriers().depart();
   } else {
-    policy_->on_swopt_retry_end(md_);
+    policy().on_swopt_retry_end(md_);
   }
 }
 
 CsExec::~CsExec() {
   if (nested_in_htm_) return;
   if (!done_) cleanup_abandoned();
-  ThreadCtx& tc = thread_ctx();
+  ThreadCtx& tc = *tc_;
   if (!tc.frames.empty() && tc.frames.back() == this) tc.frames.pop_back();
   tc.ctx = saved_ctx_;
 }
@@ -210,9 +259,7 @@ void CsExec::cleanup_abandoned() noexcept {
   // A non-transactional exception escaped the body: unwind whatever this
   // frame owns so the exception can propagate safely. Deltas gathered so
   // far (the execution began, attempts happened) still count.
-  if (stats_on_ && granule_ != nullptr) {
-    thread_ctx().stat_deltas.commit(granule_, pending_);
-  }
+  if (stats_on_ && granule_ != nullptr) commit_stat_deltas();
   if (mode_ == ExecMode::kLock && lock_acquired_) {
     api_->release(lock_);
     lock_acquired_ = false;
@@ -225,7 +272,7 @@ void CsExec::cleanup_abandoned() noexcept {
     if (desc.active()) desc.cancel();
   }
   leave_swopt_sets();
-  if (mode_ == ExecMode::kSwOpt) thread_ctx().swopt_lock = saved_swopt_lock_;
+  if (mode_ == ExecMode::kSwOpt) tc_->swopt_lock = saved_swopt_lock_;
 }
 
 void CsExec::leave_swopt_sets() noexcept {
@@ -250,10 +297,13 @@ ExecMode CsExec::sanitize(ExecMode m) const noexcept {
 void CsExec::wait_until_lock_free() const noexcept {
   // §4: HTM mode "first waits for the lock to be free" — beginning a
   // transaction while the lock is held would abort immediately and waste
-  // the attempt. Bounded so a long-held lock cannot stall us forever (the
-  // subscription check turns any residue into a kLockedByOther abort).
-  // The SWOpt-retrier surplus is the one waiter census the granule keeps;
-  // it scales the spin windows so a deep retry queue spreads its probes.
+  // the attempt. The uncontended case exits on the first probe, before
+  // any Backoff/SNZI-census setup (one indirect is_locked call total).
+  if (!api_->is_locked(lock_)) return;
+  // Bounded so a long-held lock cannot stall us forever (the subscription
+  // check turns any residue into a kLockedByOther abort). The SWOpt-retrier
+  // surplus is the one waiter census the granule keeps; it scales the spin
+  // windows so a deep retry queue spreads its probes.
   Backoff backoff;
   backoff.set_waiters(md_.swopt_retriers().approx_surplus());
   for (int i = 0; i < 64 && api_->is_locked(lock_); ++i) backoff.pause();
@@ -281,7 +331,7 @@ bool CsExec::arm() {
     st_.attempt_no++;
     const ExecMode m = sanitize(plan_active_
                                     ? plan_choose()
-                                    : policy_->choose_mode(st_, md_, *granule_));
+                                    : policy().choose_mode(st_, md_, *granule_));
 
     switch (m) {
       case ExecMode::kHtm: {
@@ -294,7 +344,7 @@ bool CsExec::arm() {
         // §3.3 nesting pattern: a CS nested inside this thread's own SWOpt
         // execution of the same lock must not defer to SWOpt retriers (it
         // would be waiting for itself); grouping is skipped in that case.
-        if (thread_ctx().swopt_lock != &md_) before_conflicting();
+        if (tc_->swopt_lock != &md_) before_conflicting();
         if (!already_held_) wait_until_lock_free();
         fail_sample_.reset();
         if (stats_on_) {
@@ -341,7 +391,7 @@ bool CsExec::arm() {
           md_.swopt_present_arrive();
           swopt_present_arrived_ = true;
         }
-        thread_ctx().swopt_lock = &md_;
+        tc_->swopt_lock = &md_;
         mode_ = ExecMode::kSwOpt;
         body_running_ = true;
         trace_engine_event(telemetry::EventKind::kModeDecision, &md_,
@@ -357,7 +407,7 @@ bool CsExec::arm() {
         }
         if (stats_on_) pending_.attempt(ExecMode::kLock) += stats_weight_;
         if (!already_held_) {
-          if (thread_ctx().swopt_lock != &md_) before_conflicting();
+          if (tc_->swopt_lock != &md_) before_conflicting();
           std::optional<std::uint64_t> wait_sample;
           if (stats_on_) {
             wait_sample = plan_active_
@@ -404,7 +454,7 @@ void CsExec::record_htm_abort(htm::AbortCause cause) {
                      ExecMode::kHtm, cause, 0,
                      st_.htm_attempts + st_.htm_locked_aborts);
   // Plan contract: no policy learning callbacks while a plan is published.
-  if (!plan_active_) policy_->on_htm_abort(md_, *granule_, cause);
+  if (!plan_active_) policy().on_htm_abort(md_, *granule_, cause);
 }
 
 void CsExec::on_abort_exception(const htm::TxAbortException& e) {
@@ -421,7 +471,7 @@ void CsExec::on_abort_exception(const htm::TxAbortException& e) {
                          ExecMode::kSwOpt, e.cause, 0,
                          st_.swopt_attempts);
       st_.last_abort = e.cause;
-      thread_ctx().swopt_lock = saved_swopt_lock_;
+      tc_->swopt_lock = saved_swopt_lock_;
       if (e.cause == htm::AbortCause::kExplicit && e.user_code == 1) {
         // swopt_self_abort(): no further SWOpt attempts this execution.
         swopt_given_up_ = true;
@@ -432,7 +482,7 @@ void CsExec::on_abort_exception(const htm::TxAbortException& e) {
       }
       // Plan contract: no policy learning callbacks while a plan is
       // published (grouping SNZI membership is handled inline above).
-      if (!plan_active_) policy_->on_swopt_fail(md_, *granule_);
+      if (!plan_active_) policy().on_swopt_fail(md_, *granule_);
       break;
     }
     case ExecMode::kLock:
@@ -486,7 +536,7 @@ void CsExec::finish() {
       }
       break;
     case ExecMode::kSwOpt:
-      thread_ctx().swopt_lock = saved_swopt_lock_;
+      tc_->swopt_lock = saved_swopt_lock_;
       break;
   }
 
@@ -505,10 +555,13 @@ void CsExec::finish() {
     if (plan_active_ || thread_prng().next_bool(SampledTime::kDefaultRate)) {
       granule_->stats.exec_time(mode_).record(elapsed);
     }
-    // Commit the whole execution's counter deltas in one buffered write,
-    // before the completion callback so a policy-triggered phase
-    // transition (which quiesces) observes this execution.
-    thread_ctx().stat_deltas.commit(granule_, pending_);
+    // Commit the whole execution's counter deltas before the completion
+    // callback so a policy-triggered phase transition (which quiesces)
+    // observes this execution. Converged-path commits go straight to a
+    // per-CPU counter stripe when ALE_STAT_CPU_STRIPES is on; otherwise
+    // (and for learning-phase executions) through the thread's buffered
+    // StatDeltaBuffer.
+    commit_stat_deltas();
   } else if (mode_ == ExecMode::kHtm) {
     st_.htm_attempts++;
   }
@@ -519,7 +572,7 @@ void CsExec::finish() {
   // Plan contract: the notify bit keeps the completion callback (relearn
   // counting, fault-injection nudges) even on plan-driven executions.
   if (!plan_active_ || plan_.notify()) {
-    policy_->on_execution_complete(md_, *granule_, mode_, st_, elapsed);
+    policy().on_execution_complete(md_, *granule_, mode_, st_, elapsed);
   }
   done_ = true;
 }

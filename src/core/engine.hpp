@@ -1,11 +1,12 @@
-// The critical-section execution engine.
+// The critical-section execution engine — and the ONE attempt loop.
 //
-// One CsExec object lives on the stack per BEGIN_CS/END_CS pair (the macros
-// in core/macros.hpp and the lambda API in core/ale.hpp both expand to the
-// same arm()/finish()/on_abort_exception() protocol):
+// One CsExec object lives on the stack per critical section. Every front
+// door (execute_cs, ElidableLock, ElidableSharedLock, the macro matrix)
+// lowers to a CsRequest (core/cs_request.hpp) and then into the single
+// attempt loop defined below:
 //
 //   {
-//     CsExec cs(api, lock, md, scope);
+//     CsExec cs(request);
 //     while (cs.arm()) {            // picks a mode; true => run the body
 //       try {
 //         <body>                    // may observe cs.exec_mode()
@@ -15,6 +16,12 @@
 //       }
 //     }
 //   }
+//
+// The while/try/finish/catch text exists exactly once, as the
+// ALE_DETAIL_CS_ATTEMPT_LOOP_BEGIN/END pair at the bottom of this header;
+// drive_cs()/run_cs() (the lambda APIs) and ALE_BEGIN_CS*/ALE_END_CS (the
+// macro API) all expand it. Changing the protocol means changing that one
+// definition.
 //
 // This one structure hosts all backends:
 //  * Lock mode: arm() acquires, finish() releases.
@@ -38,20 +45,28 @@
 // same obligation plain locks impose. Elided modes use try-acquisition
 // (emulated commit) or hardware subscription and cannot deadlock, but the
 // fallback always can if the program's nesting order is cyclic.
-// Hot path (converged fast path): the constructor resolves the granule
-// through the per-thread GranuleCache (core/thread_ctx.hpp) and snapshots
-// the granule's AttemptPlan with one relaxed load. When the plan is valid,
-// arm()/finish() drive the whole execution from the plan word — no virtual
-// policy calls, grouping handled inline, and statistics demoted to the
-// §4.3 ~3% sample rate (sampled executions record with weight 1/rate so
-// counter estimates stay unbiased). See core/attempt_plan.hpp for the
-// contract.
+// Hot path (converged fast path): the constructor resolves the (context,
+// granule) pair through the per-thread GranuleCache (core/thread_ctx.hpp),
+// whose entries carry the fused fast-path tag word — generation and
+// kill-switch in one value, so validity is one load and one compare — and
+// snapshots the granule's AttemptPlan with one relaxed load (the plan word
+// is always re-read from the granule: policies may retract plans without
+// bumping the generation). When the plan is valid, arm()/finish() drive
+// the whole execution from the plan word — no virtual policy calls (the
+// policy pointer is not even resolved unless the notify bit asks for the
+// completion callback), grouping handled inline as a single plan-bit test
+// that costs nothing while grouping is idle, and statistics demoted to the
+// §4.3 ~3% sample rate via a per-thread 1-in-32 decimation counter
+// (sampled executions record with weight 32 so counter estimates stay
+// unbiased). See core/attempt_plan.hpp for the contract.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
 #include "core/attempt_plan.hpp"
+#include "core/cs_request.hpp"
 #include "core/granule.hpp"
 #include "core/lockmd.hpp"
 #include "core/policy_iface.hpp"
@@ -70,7 +85,14 @@ enum class CsBody : std::uint8_t { kDone, kRetrySwOpt };
 
 class CsExec {
  public:
-  CsExec(const LockApi* api, void* lock, LockMd& md, const ScopeInfo& scope);
+  /// The canonical constructor: every front door lowers to a CsRequest.
+  explicit CsExec(const CsRequest& req);
+
+  /// Raw-parts convenience, itself a lowering onto CsRequest (kept so the
+  /// scoped-locking idiom and existing call sites read naturally).
+  CsExec(const LockApi* api, void* lock, LockMd& md, const ScopeInfo& scope)
+      : CsExec(CsRequest{api, lock, &md, &scope}) {}
+
   ~CsExec();
   CsExec(const CsExec&) = delete;
   CsExec& operator=(const CsExec&) = delete;
@@ -89,8 +111,10 @@ class CsExec {
   void on_abort_exception(const htm::TxAbortException& e);
 
   // The paper's GET_EXEC_MODE for code holding the CsExec.
-  ExecMode exec_mode() const noexcept { return mode_; }
-  bool in_swopt() const noexcept { return mode_ == ExecMode::kSwOpt; }
+  [[nodiscard]] ExecMode exec_mode() const noexcept { return mode_; }
+  [[nodiscard]] bool in_swopt() const noexcept {
+    return mode_ == ExecMode::kSwOpt;
+  }
 
   // SWOpt path detected interference: record and retry under policy
   // control (§3.2's "after notifying the library of the failed attempt").
@@ -108,14 +132,18 @@ class CsExec {
   // (e.g. a conflicting region was reached), then retry in another mode.
   [[noreturn]] void swopt_self_abort();
 
-  LockMd& lock_md() noexcept { return md_; }
-  GranuleMd* granule() noexcept { return granule_; }
-  const void* lock_ptr() const noexcept { return lock_; }
-  bool is_nested_in_htm() const noexcept { return nested_in_htm_; }
-  bool holds_lock_here() const noexcept {
+  [[nodiscard]] LockMd& lock_md() noexcept { return md_; }
+  [[nodiscard]] GranuleMd* granule() noexcept { return granule_; }
+  [[nodiscard]] const void* lock_ptr() const noexcept { return lock_; }
+  [[nodiscard]] bool is_nested_in_htm() const noexcept {
+    return nested_in_htm_;
+  }
+  [[nodiscard]] bool holds_lock_here() const noexcept {
     return mode_ == ExecMode::kLock && lock_acquired_;
   }
-  const AttemptState& attempt_state() const noexcept { return st_; }
+  [[nodiscard]] const AttemptState& attempt_state() const noexcept {
+    return st_;
+  }
 
  private:
   void record_htm_abort(htm::AbortCause cause);
@@ -124,12 +152,21 @@ class CsExec {
   ExecMode sanitize(ExecMode m) const noexcept;
   void wait_until_lock_free() const noexcept;
 
-  // Granule resolution through the per-thread cache (falls back to the
-  // lock's hash table on miss or when the fast path is disabled).
-  GranuleMd* resolve_granule(ThreadCtx& tc);
-
   // Plan-driven mode choice (mirrors the policies' X/Y budget walk).
   ExecMode plan_choose() const noexcept;
+
+  // Commit pending_ once per execution: converged (plan-driven) executions
+  // apply straight to the current CPU's counter stripe when per-CPU stripe
+  // mode is on; everything else goes through the thread's StatDeltaBuffer.
+  void commit_stat_deltas() noexcept;
+
+  // Lazy policy resolution: plan-driven executions with the notify bit
+  // clear never touch the policy at all (no acquire load of the per-lock
+  // override, no global-policy init guard).
+  Policy& policy() noexcept {
+    if (policy_ == nullptr) policy_ = &md_.policy();
+    return *policy_;
+  }
 
   // Policy-hook dispatchers: plan-driven executions handle grouping inline
   // per the AttemptPlan contract; otherwise the virtual hook is called.
@@ -142,7 +179,8 @@ class CsExec {
   LockMd& md_;
   const ScopeInfo& scope_;
   GranuleMd* granule_ = nullptr;
-  Policy* policy_ = nullptr;
+  Policy* policy_ = nullptr;   // resolved on first use (see policy())
+  ThreadCtx* tc_ = nullptr;    // cached: TLS resolved once per execution
 
   ContextNode* saved_ctx_ = nullptr;
   LockMd* saved_swopt_lock_ = nullptr;
@@ -181,5 +219,48 @@ class CsExec {
 // The paper's GET_EXEC_MODE as a free function, for helper code (like
 // Figure 1's GetImp) that does not see the CsExec variable.
 ExecMode current_exec_mode() noexcept;
+
+// ---------------------------------------------------------------------------
+// THE attempt loop. This macro pair is the only spelling of the engine's
+// while/try/finish/catch protocol in the library: drive_cs()/run_cs() below
+// expand it for lambda bodies, and the ALE_BEGIN_CS_* matrix
+// (core/macros.hpp) expands it around inline statement bodies. Everything
+// between BEGIN and END runs once per attempt in the policy-chosen mode.
+// ---------------------------------------------------------------------------
+#define ALE_DETAIL_CS_ATTEMPT_LOOP_BEGIN(cs_var) \
+  while ((cs_var).arm()) {                       \
+    try {
+#define ALE_DETAIL_CS_ATTEMPT_LOOP_END(cs_var)           \
+      (cs_var).finish();                                 \
+    } catch (const ale::htm::TxAbortException& _ale_abort) { \
+      (cs_var).on_abort_exception(_ale_abort);           \
+    }                                                    \
+  }
+
+/// Drive an already-constructed CsExec through the attempt loop with a
+/// lambda body (void or CsBody-returning — a CsBody body reports SWOpt
+/// validation failure by returning CsBody::kRetrySwOpt, which funnels into
+/// cs.swopt_failed()). This is the engine's only body-invocation protocol;
+/// ScopedCs::run and run_cs both come here.
+template <typename Body>
+void drive_cs(CsExec& cs, Body&& body) {
+  ALE_DETAIL_CS_ATTEMPT_LOOP_BEGIN(cs)
+  if constexpr (std::is_void_v<std::invoke_result_t<Body&, CsExec&>>) {
+    body(cs);
+  } else {
+    if (body(cs) == CsBody::kRetrySwOpt) {
+      cs.swopt_failed();  // [[noreturn]]: throws; the loop's catch retries
+    }
+  }
+  ALE_DETAIL_CS_ATTEMPT_LOOP_END(cs)
+}
+
+/// Execute one critical section described by `req`. The single entry point
+/// all lambda-style front doors lower to.
+template <typename Body>
+void run_cs(const CsRequest& req, Body&& body) {
+  CsExec cs(req);
+  drive_cs(cs, static_cast<Body&&>(body));
+}
 
 }  // namespace ale

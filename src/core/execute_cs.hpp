@@ -1,15 +1,20 @@
 // execute_cs — the lambda/RAII form of the critical-section protocol.
 //
-// This is the raw-parts overload: the caller supplies the LockApi, the lock
-// pointer, the LockMd "label", and an explicit ScopeInfo. Most code should
-// prefer ale::ElidableLock (core/elidable_lock.hpp), which bundles the
-// first three and can default the scope from the call site; this form
-// remains the composition point for exotic setups (read/write views of one
-// RwSpinLock, locks owned by foreign code, one LockMd shared by several
-// lock instances).
+// This raw-parts overload is the library's STABLE COMPOSITION POINT: the
+// caller supplies the LockApi, the lock pointer, the LockMd "label", and an
+// explicit ScopeInfo, and every higher-level front door (ElidableLock,
+// ElidableSharedLock, hashmap/kvdb adapters) is expressible in terms of it.
+// Exotic setups compose here directly: read/write views of one RwSpinLock,
+// locks owned by foreign code, one LockMd shared by several lock instances.
+// Most application code should prefer ale::ElidableLock
+// (core/elidable_lock.hpp), which bundles the first three parts and can
+// default the scope from the call site.
+//
+// It is deliberately a one-line shim: the parts are packed into a CsRequest
+// and handed to run_cs — the single attempt loop in core/engine.hpp. Adding
+// behavior here would fork the protocol; add it to the engine instead.
 #pragma once
 
-#include <type_traits>
 #include <utility>
 
 #include "core/context.hpp"
@@ -31,22 +36,7 @@ namespace ale {
 template <typename Body>
 void execute_cs(const LockApi* api, void* lock, LockMd& md,
                 const ScopeInfo& scope, Body&& body) {
-  CsExec cs(api, lock, md, scope);
-  while (cs.arm()) {
-    try {
-      if constexpr (std::is_void_v<std::invoke_result_t<Body&, CsExec&>>) {
-        body(cs);
-        cs.finish();
-      } else {
-        if (body(cs) == CsBody::kRetrySwOpt) {
-          cs.swopt_failed();  // [[noreturn]]: throws; handled below
-        }
-        cs.finish();
-      }
-    } catch (const htm::TxAbortException& abort) {
-      cs.on_abort_exception(abort);
-    }
-  }
+  run_cs(CsRequest{api, lock, &md, &scope}, std::forward<Body>(body));
 }
 
 }  // namespace ale

@@ -1,0 +1,46 @@
+// Top-level introspection surface — uniform `ale::` entry points into the
+// engine's hot-path state, so tests, benchmarks, and operators never have
+// to reach into core/thread_ctx.hpp internals or downcast policies.
+//
+//   ale::set_fast_path_enabled(false);   // A/B the converged fast path
+//   ale::fast_path_enabled();
+//   ale::granule_cache_generation();     // fused-word epoch (diagnostics)
+//   ale::effective_x_of(lock);           // learned HTM budget, 0 if none
+//
+// effective_x_of goes through the virtual Policy::effective_x_of hook
+// (core/policy_iface.hpp): the adaptive policy reports the X its converged
+// chooser would grant; policies without the concept report 0. The granule
+// is resolved for the *calling thread's current context*, mirroring what an
+// execution started here would use.
+#pragma once
+
+#include <cstdint>
+
+#include "core/lockmd.hpp"
+#include "core/policy_iface.hpp"
+#include "core/thread_ctx.hpp"
+
+namespace ale {
+
+// fast_path_enabled / set_fast_path_enabled / granule_cache_generation are
+// declared in core/thread_ctx.hpp and re-exported here by inclusion; they
+// are already `ale::` top level.
+
+/// The HTM attempt budget the installed policy would grant an execution of
+/// `md` begun at the calling thread's current context position under
+/// `scope` (defaulted like ElidableLock::elide does). 0 when the policy has
+/// no learned budget (lock-only, or still learning).
+[[nodiscard]] inline std::uint32_t effective_x_of(LockMd& md,
+                                                  const ScopeInfo& scope) {
+  ThreadCtx& tc = thread_ctx();
+  ContextNode* ctx = tc.context()->child(&scope);
+  GranuleMd& g = md.granule_for(ctx);
+  return md.policy().effective_x_of(md, g);
+}
+
+/// Overload for a granule already in hand (tests that hold a GranuleMd*).
+[[nodiscard]] inline std::uint32_t effective_x_of(LockMd& md, GranuleMd& g) {
+  return md.policy().effective_x_of(md, g);
+}
+
+}  // namespace ale

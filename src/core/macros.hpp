@@ -27,21 +27,20 @@
 
 #define ALE_CS_VAR _ale_cs_exec
 
-// Core expansion shared by every BEGIN_CS variant.
+// Core expansion shared by every BEGIN_CS variant: declare the site's
+// static ScopeInfo, lower the parts to a CsRequest, and open the engine's
+// single attempt loop (ALE_DETAIL_CS_ATTEMPT_LOOP_*, core/engine.hpp — the
+// same expansion drive_cs/run_cs use, so the macro matrix carries no copy
+// of the protocol).
 #define ALE_DETAIL_BEGIN_CS(api, lockp, md, label, has_swopt, allow_htm)   \
   {                                                                        \
     static ale::ScopeInfo ALE_DETAIL_CAT(_ale_scope_, __LINE__){           \
         (label), (has_swopt), (allow_htm)};                                \
-    ale::CsExec ALE_CS_VAR((api), (lockp), (md),                           \
-                           ALE_DETAIL_CAT(_ale_scope_, __LINE__));         \
-    while (ALE_CS_VAR.arm()) {                                             \
-      try {
+    ale::CsExec ALE_CS_VAR(ale::CsRequest{                                 \
+        (api), (lockp), &(md), &ALE_DETAIL_CAT(_ale_scope_, __LINE__)});   \
+    ALE_DETAIL_CS_ATTEMPT_LOOP_BEGIN(ALE_CS_VAR)
 #define ALE_END_CS()                                                       \
-        ALE_CS_VAR.finish();                                               \
-      } catch (const ale::htm::TxAbortException& _ale_abort) {             \
-        ALE_CS_VAR.on_abort_exception(_ale_abort);                         \
-      }                                                                    \
-    }                                                                      \
+    ALE_DETAIL_CS_ATTEMPT_LOOP_END(ALE_CS_VAR)                             \
   }
 
 // Paper-shaped variants. `md` is the lock's ale::LockMd (the "label").

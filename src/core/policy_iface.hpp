@@ -78,6 +78,12 @@ class Policy {
   virtual std::unique_ptr<PolicyGranuleState> make_granule_state(GranuleMd&) {
     return nullptr;
   }
+
+  // ---- introspection (ale::effective_x_of, core/introspect.hpp) ----
+  // The HTM attempt budget X this policy would grant the granule's next
+  // execution, or 0 when the policy has no such notion (lock-only) or has
+  // not learned one yet. Overridden by policies that learn an X.
+  virtual std::uint32_t effective_x_of(LockMd&, GranuleMd&) { return 0; }
 };
 
 // Library-wide policy. The default is the core's built-in LockOnlyPolicy

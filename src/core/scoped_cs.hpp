@@ -21,7 +21,7 @@
 // body threw a non-transactional exception).
 #pragma once
 
-#include <type_traits>
+#include <utility>
 
 #include "core/engine.hpp"
 
@@ -31,29 +31,19 @@ class ScopedCs {
  public:
   ScopedCs(const LockApi* api, void* lock, LockMd& md,
            const ScopeInfo& scope)
-      : cs_(api, lock, md, scope) {}
+      : cs_(CsRequest{api, lock, &md, &scope}) {}
+
+  explicit ScopedCs(const CsRequest& req) : cs_(req) {}
 
   ScopedCs(const ScopedCs&) = delete;
   ScopedCs& operator=(const ScopedCs&) = delete;
 
   // Execute the critical section body (void or CsBody-returning, as with
   // execute_cs). Returns after the execution completed in some mode.
+  // Delegates to the engine's single attempt loop (drive_cs).
   template <typename Body>
   void run(Body&& body) {
-    while (cs_.arm()) {
-      try {
-        if constexpr (std::is_void_v<
-                          std::invoke_result_t<Body&, CsExec&>>) {
-          body(cs_);
-          cs_.finish();
-        } else {
-          if (body(cs_) == CsBody::kRetrySwOpt) cs_.swopt_failed();
-          cs_.finish();
-        }
-      } catch (const htm::TxAbortException& abort) {
-        cs_.on_abort_exception(abort);
-      }
-    }
+    drive_cs(cs_, std::forward<Body>(body));
   }
 
   CsExec& exec() noexcept { return cs_; }

@@ -23,11 +23,11 @@ BufferRegistry& buffer_registry() {
   return *r;
 }
 
-// Apply one slot's deltas to the flushing thread's stripe. Which stripe
-// receives them is irrelevant to fold(); inc_many keeps the projected
-// counts distributed exactly as n individual increments would have.
-void apply_deltas(GranuleMd& g, const StatDeltaCounts& d) noexcept {
-  GranuleCounterStripe& s = g.stats.stripe();
+}  // namespace
+
+void apply_stat_deltas(GranuleMd& g, const StatDeltaCounts& d,
+                       unsigned stripe) noexcept {
+  GranuleCounterStripe& s = g.stats.stripe_at(stripe);
   if (d.executions != 0) s.executions.inc_many(d.executions);
   for (unsigned m = 0; m < kNumExecModes; ++m) {
     if (d.attempts[m] != 0) s.mode[m].attempts.inc_many(d.attempts[m]);
@@ -38,8 +38,6 @@ void apply_deltas(GranuleMd& g, const StatDeltaCounts& d) noexcept {
   }
   if (d.swopt_failures != 0) s.swopt_failures.inc_many(d.swopt_failures);
 }
-
-}  // namespace
 
 StatDeltaBuffer::StatDeltaBuffer() {
   BufferRegistry& r = buffer_registry();
@@ -107,7 +105,7 @@ void StatDeltaBuffer::flush() noexcept {
 void StatDeltaBuffer::flush_locked() noexcept {
   for (unsigned i = 0; i < kSlots; ++i) {
     if (granule_[i] == nullptr) continue;
-    apply_deltas(*granule_[i], counts_[i]);
+    apply_stat_deltas(*granule_[i], counts_[i], my_stat_stripe());
     granule_[i] = nullptr;
     counts_[i] = StatDeltaCounts{};
   }

@@ -110,6 +110,15 @@ class StatDeltaBuffer {
   std::uint32_t pending_execs_ = 0;
 };
 
+/// Apply one execution's (or one buffered slot's) deltas directly to the
+/// given counter stripe of `g`. Which stripe receives them is irrelevant to
+/// fold(); inc_many keeps the projected counts distributed exactly as n
+/// individual increments would have. This is the converged engine path's
+/// per-CPU commit (stripe = current_stat_stripe()) and the buffer flusher's
+/// backend (stripe = my_stat_stripe()).
+void apply_stat_deltas(GranuleMd& g, const StatDeltaCounts& d,
+                       unsigned stripe) noexcept;
+
 /// Force every live thread's buffered deltas into the striped counters.
 /// After it returns, fold() totals include all executions that completed
 /// before the call (lock ordering: registry mutex, then each buffer lock).

@@ -17,61 +17,79 @@ class CsExec;
 class GranuleMd;
 class LockMd;
 
-// Per-thread memo of (LockMd, context) → GranuleMd resolutions. In steady
-// state every critical-section entry would otherwise walk the lock's
-// granule hash table; a thread typically touches the same few (lock,
-// context) pairs over and over, so a tiny direct-mapped cache answers
-// almost every lookup with two pointer compares and no shared memory.
+// Per-thread memo of (LockMd, parent context, scope) → (child context,
+// GranuleMd) resolutions. In steady state every critical-section entry
+// would otherwise take the parent ContextNode's children spinlock (an
+// atomic RMW on a shared line, per entry) and then walk the lock's granule
+// hash table; a thread typically enters the same few scopes over and over,
+// so a tiny direct-mapped cache answers both resolutions at once with one
+// tag compare and a few thread-local pointer compares — no shared-memory
+// writes at all.
 //
-// Invalidation is epoch-based: anything that could make a cached GranuleMd*
-// stale (destroying a LockMd — the only event that frees granules — or
-// reinstalling a policy, globally or per lock) bumps the process-wide
-// generation; each thread compares its cached generation against the global
-// one (one relaxed atomic load) on entry and drops the whole cache on
-// mismatch. Visibility is guaranteed without stronger ordering because a
-// thread can only reach a *new* LockMd through some synchronizing
-// publication of it, which carries the preceding generation bump along.
+// Invalidation is the fused tag word: each entry stores the process-wide
+// fast_path_word() — (generation << 1) | enabled-bit — as of fill time,
+// and is valid only while it still equals the current word. One load, one
+// compare covers every invalidation source at once:
+//  * anything that could make a cached GranuleMd* stale (destroying a
+//    LockMd — the only event that frees granules — or reinstalling a
+//    policy, globally or per lock) bumps the generation (word += 2);
+//  * disabling the fast path clears bit 0, so every entry (always tagged
+//    with bit 0 set — entries are only written while enabled) mismatches
+//    and the engine takes the uncached slow path. Re-enabling restores the
+//    old word, and entries filled before the toggle become valid again —
+//    safe, because only generation bumps ever invalidate the pointers.
+// Visibility needs no stronger ordering because a thread can only reach a
+// *new* LockMd through some synchronizing publication of it, which carries
+// the preceding generation bump along. The cached AttemptPlan is
+// deliberately NOT part of the entry: policies may retract a plan without
+// bumping the generation (restart_learning), so the engine always re-reads
+// the plan word from the granule — the granule pointer is the cacheable
+// part, the plan word is the authoritative part.
 struct GranuleCache {
   static constexpr std::size_t kSlots = 16;  // power of two (direct-mapped)
 
   struct Entry {
+    std::uint64_t tag = 0;  // fast_path_word() at fill; 0 never matches a
+                            // live word (live fills have bit 0 set)
     const LockMd* lock = nullptr;
-    const ContextNode* ctx = nullptr;
-    GranuleMd* granule = nullptr;
+    const ScopeInfo* scope = nullptr;
+    const ContextNode* parent = nullptr;
+    ContextNode* ctx = nullptr;      // parent->child(scope), resolved once
+    GranuleMd* granule = nullptr;    // lock->granule_for(ctx), resolved once
   };
 
-  std::uint64_t generation = 0;
   std::array<Entry, kSlots> entries{};
 
   static std::size_t slot_of(const LockMd* lock,
-                             const ContextNode* ctx) noexcept {
+                             const ScopeInfo* scope) noexcept {
     const auto a = reinterpret_cast<std::uintptr_t>(lock);
-    const auto b = reinterpret_cast<std::uintptr_t>(ctx);
+    const auto b = reinterpret_cast<std::uintptr_t>(scope);
     const std::uint64_t h = (a * 0x9e3779b97f4a7c15ULL) ^
                             (b * 0xda942042e4dd58b5ULL);
     return static_cast<std::size_t>(h >> 32) & (kSlots - 1);
   }
 
-  GranuleMd* lookup(const LockMd* lock, const ContextNode* ctx) noexcept {
-    const Entry& e = entries[slot_of(lock, ctx)];
-    return (e.lock == lock && e.ctx == ctx) ? e.granule : nullptr;
-  }
-  void insert(const LockMd* lock, const ContextNode* ctx,
-              GranuleMd* granule) noexcept {
-    entries[slot_of(lock, ctx)] = Entry{lock, ctx, granule};
+  Entry& slot(const LockMd* lock, const ScopeInfo* scope) noexcept {
+    return entries[slot_of(lock, scope)];
   }
   void clear() noexcept { entries.fill(Entry{}); }
 };
 
-// The global invalidation epoch the per-thread caches compare against.
-std::uint64_t granule_cache_generation() noexcept;
+// The fused fast-path word the per-thread cache entries compare against:
+// (invalidation generation << 1) | fast-path-enabled bit. One relaxed load
+// serves as both the epoch check and the kill-switch check.
+[[nodiscard]] std::uint64_t fast_path_word() noexcept;
+
+// The invalidation epoch alone (fast_path_word() >> 1).
+[[nodiscard]] std::uint64_t granule_cache_generation() noexcept;
 void bump_granule_cache_generation() noexcept;
 
-// Hot-path overhaul kill switch: when off, the engine resolves granules
-// through the hash table and ignores published AttemptPlans, reproducing
-// the pre-overhaul per-attempt costs. Initialized from ALE_FAST_PATH
-// (default on); settable at runtime for A/B measurement (bench/perf_gate).
-bool fast_path_enabled() noexcept;
+// Hot-path overhaul kill switch (bit 0 of the fused word): when off, the
+// engine resolves contexts and granules through the locked slow path and
+// ignores published AttemptPlans, reproducing the pre-overhaul per-attempt
+// costs. Initialized from ALE_FAST_PATH (default on); settable at runtime
+// for A/B measurement (bench/perf_gate).
+[[nodiscard]] bool fast_path_enabled() noexcept;
 void set_fast_path_enabled(bool enabled) noexcept;
 
 struct ThreadCtx {
@@ -88,6 +106,12 @@ struct ThreadCtx {
 
   // Memoized granule resolutions (see GranuleCache above).
   GranuleCache granule_cache;
+
+  // Plan-driven statistics decimation: every 32nd plan-driven execution is
+  // the §4.3 sample (recorded with weight 32). A plain counter replaces the
+  // PRNG roll the fast path used to pay; the deterministic 1-in-32 cadence
+  // keeps projected counts exactly unbiased.
+  std::uint32_t plan_sample_tick = 0;
 
   // Buffered statistics deltas, flushed in batches (core/stat_delta.hpp).
   StatDeltaBuffer stat_deltas;

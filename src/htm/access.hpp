@@ -57,18 +57,27 @@ void versioned_plain_store(T& loc, T value) {
   auto& table = VersionTable::instance();
   auto& slot = table.slot_for(&loc);
   std::uint64_t s = slot.load(std::memory_order_relaxed);
-  Backoff backoff;
   for (;;) {
     if (!VersionTable::locked(s)) {
+      // Fence audit: acquire (was acq_rel) — same argument as the
+      // committer's slot try_lock: locking the slot publishes nothing (the
+      // data store below has not happened); the release edge readers need
+      // is the slot store after the data store. Acquire keeps the data
+      // store ordered after observing the unlocked word.
       if (slot.compare_exchange_weak(
               s, VersionTable::pack(VersionTable::version_of(s), true),
-              std::memory_order_acq_rel, std::memory_order_relaxed)) {
+              std::memory_order_acquire, std::memory_order_relaxed)) {
         break;
       }
       continue;
     }
-    backoff.pause();  // a transaction is committing through this slot
-    s = slot.load(std::memory_order_relaxed);
+    // A transaction is committing through this slot; Backoff (and its
+    // config read) is only constructed on this contended branch.
+    Backoff backoff;
+    do {
+      backoff.pause();
+      s = slot.load(std::memory_order_relaxed);
+    } while (VersionTable::locked(s));
   }
   std::atomic_ref<T>(loc).store(value, std::memory_order_release);
   slot.store(VersionTable::pack(table.next_write_version(), false),
@@ -81,25 +90,28 @@ void versioned_plain_store(T& loc, T value) {
 template <typename T>
 T versioned_fetch_add(T& loc, T delta) {
   using htm::detail::VersionTable;
-  if (htm::config().backend != htm::BackendKind::kEmulated) {
+  if (htm::backend_cached() != htm::BackendKind::kEmulated) {
     return std::atomic_ref<T>(loc).fetch_add(delta,
                                              std::memory_order_acq_rel);
   }
   auto& table = VersionTable::instance();
   auto& slot = table.slot_for(&loc);
   std::uint64_t s = slot.load(std::memory_order_relaxed);
-  Backoff backoff;
   for (;;) {
     if (!VersionTable::locked(s)) {
+      // Fence audit: acquire (was acq_rel); see versioned_plain_store.
       if (slot.compare_exchange_weak(
               s, VersionTable::pack(VersionTable::version_of(s), true),
-              std::memory_order_acq_rel, std::memory_order_relaxed)) {
+              std::memory_order_acquire, std::memory_order_relaxed)) {
         break;
       }
       continue;
     }
-    backoff.pause();
-    s = slot.load(std::memory_order_relaxed);
+    Backoff backoff;  // contended branch only (see versioned_plain_store)
+    do {
+      backoff.pause();
+      s = slot.load(std::memory_order_relaxed);
+    } while (VersionTable::locked(s));
   }
   const T old =
       std::atomic_ref<T>(loc).fetch_add(delta, std::memory_order_acq_rel);
@@ -119,7 +131,7 @@ void tx_store(T& loc, T value) {
     return;
   }
   check::preempt(check::Sp::kTxStore);
-  if (htm::config().backend == htm::BackendKind::kEmulated) {
+  if (htm::backend_cached() == htm::BackendKind::kEmulated) {
     detail::versioned_plain_store(loc, value);
     return;
   }

@@ -1,5 +1,6 @@
 #include "htm/config.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
@@ -30,6 +31,27 @@ namespace {
 Config g_config;
 bool g_configured_explicitly = false;
 std::once_flag g_init_once;
+
+// Guard-free hot-path mirrors (see config.hpp). -1 = not yet initialized;
+// refresh_caches() stamps them whenever g_config changes.
+std::atomic<int> g_backend_cache{-1};
+std::atomic<int> g_htm_avail_cache{-1};
+
+bool compute_htm_available(const Config& c) noexcept {
+  switch (c.backend) {
+    case BackendKind::kNone: return false;
+    case BackendKind::kEmulated: return c.profile.htm_available;
+    case BackendKind::kRtm: return true;
+  }
+  return false;
+}
+
+void refresh_caches() noexcept {
+  g_backend_cache.store(static_cast<int>(g_config.backend),
+                        std::memory_order_relaxed);
+  g_htm_avail_cache.store(compute_htm_available(g_config) ? 1 : 0,
+                          std::memory_order_relaxed);
+}
 
 void init_from_env_locked() {
   Config c;
@@ -70,6 +92,7 @@ void init_from_env_locked() {
 void ensure_init() {
   std::call_once(g_init_once, [] {
     if (!g_configured_explicitly) init_from_env_locked();
+    refresh_caches();
   });
 }
 
@@ -86,12 +109,14 @@ void configure(const Config& config_in) {
   g_configured_explicitly = true;
   std::call_once(g_init_once, [] {});  // consume the env-init slot
   g_config = c;
+  refresh_caches();
 }
 
 void configure_from_env() {
   g_configured_explicitly = false;
   std::call_once(g_init_once, [] {});
   init_from_env_locked();
+  refresh_caches();
 }
 
 const Config& config() noexcept {
@@ -99,14 +124,19 @@ const Config& config() noexcept {
   return g_config;
 }
 
+BackendKind backend_cached() noexcept {
+  const int b = g_backend_cache.load(std::memory_order_relaxed);
+  if (b >= 0) return static_cast<BackendKind>(b);
+  ensure_init();
+  return static_cast<BackendKind>(
+      g_backend_cache.load(std::memory_order_relaxed));
+}
+
 bool htm_available() noexcept {
-  const Config& c = config();
-  switch (c.backend) {
-    case BackendKind::kNone: return false;
-    case BackendKind::kEmulated: return c.profile.htm_available;
-    case BackendKind::kRtm: return true;
-  }
-  return false;
+  const int a = g_htm_avail_cache.load(std::memory_order_relaxed);
+  if (a >= 0) return a != 0;
+  ensure_init();
+  return g_htm_avail_cache.load(std::memory_order_relaxed) != 0;
 }
 
 bool rtm_compiled_in() noexcept { return rtm::compiled_in(); }

@@ -36,6 +36,15 @@ void configure_from_env();
 
 const Config& config() noexcept;
 
+// Guard-free mirrors of config().backend and htm_available(), for the
+// per-transaction dispatch sites (tx_begin/commit/subscribe/in_txn and the
+// engine's eligibility check). One relaxed atomic load each: the mirrors
+// are refreshed by the same code that mutates the config, and config
+// mutation is documented as a before-threads startup action, so a relaxed
+// read can never observe a torn or stale mid-run value in a correct
+// program. First use falls through to the initializing slow path.
+BackendKind backend_cached() noexcept;
+
 // True iff transactions can be attempted at all under the current config.
 bool htm_available() noexcept;
 

@@ -7,13 +7,16 @@ namespace ale::htm::detail {
 namespace {
 
 // A committing transaction's slot locks are released on every exit path;
-// this little RAII set keeps the unwind paths honest.
+// this little RAII set keeps the unwind paths honest. The Held records live
+// in the TxDesc's persistent scratch vector (capacity survives across
+// transactions), so a commit never allocates.
 struct SlotLockSet {
-  struct Held {
-    std::atomic<std::uint64_t>* slot;
-    std::uint64_t prev;  // unlocked word we CASed away from
-  };
-  std::vector<Held> held;
+  using Held = TxDesc::SlotHeld;
+  std::vector<Held>& held;
+
+  explicit SlotLockSet(std::vector<Held>& scratch) noexcept : held(scratch) {
+    held.clear();
+  }
 
   bool owns(const std::atomic<std::uint64_t>* slot) const noexcept {
     return std::any_of(held.begin(), held.end(),
@@ -33,9 +36,16 @@ struct SlotLockSet {
     std::uint64_t s = slot->load(std::memory_order_acquire);
     for (;;) {
       if (VersionTable::locked(s)) return false;
+      // Fence audit: acquire (was acq_rel). Locking a slot publishes
+      // nothing — the redo log has not been applied yet, and the locked
+      // word itself carries no payload a reader may consume (readers abort
+      // on a locked slot). The acquire half is what matters: everything
+      // after this CAS (validation, redo application) must happen-after
+      // observing the unlocked word. The release half is provided where it
+      // is needed, by release_all_at's stores.
       if (slot->compare_exchange_weak(
               s, VersionTable::pack(VersionTable::version_of(s), true),
-              std::memory_order_acq_rel, std::memory_order_acquire)) {
+              std::memory_order_acquire, std::memory_order_relaxed)) {
         held.push_back(Held{slot, s});
         return true;
       }
@@ -44,6 +54,9 @@ struct SlotLockSet {
 
   void release_all_at(std::uint64_t version) noexcept {
     for (auto& h : held) {
+      // KEEP release (fence audit): this is the commit's publication edge —
+      // it orders the applied redo stores before the new version becomes
+      // visible, pairing with the s1 acquire in TxDesc::read.
       h.slot->store(VersionTable::pack(version, false),
                     std::memory_order_release);
     }
@@ -52,7 +65,11 @@ struct SlotLockSet {
 
   void restore_all() noexcept {  // abort path: put the old words back
     for (auto& h : held) {
-      h.slot->store(h.prev, std::memory_order_release);
+      // Fence audit: relaxed (was release). The abort path restores the
+      // pre-lock word before any redo was applied, so there are no data
+      // stores to order; concurrent readers treat both the locked word and
+      // the restored word purely as values to compare.
+      h.slot->store(h.prev, std::memory_order_relaxed);
     }
     held.clear();
   }
@@ -120,7 +137,7 @@ void TxDesc::commit() {
   }
 
   // Step 2: lock the write-set slots (try-lock; contention aborts).
-  SlotLockSet slots;
+  SlotLockSet slots(slot_scratch_);
   for (const auto& w : redo_) {
     if (!slots.try_lock(w.slot)) {
       slots.restore_all();

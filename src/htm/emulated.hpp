@@ -33,6 +33,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <type_traits>
 #include <unordered_set>
 #include <vector>
@@ -46,6 +47,46 @@
 #include "sync/lockapi.hpp"
 
 namespace ale::htm::detail {
+
+// Distinct-cacheline tracker for capacity accounting. Real critical
+// sections touch a handful of lines, so membership lives in a small inline
+// array probed linearly — no hashing, no node allocation, and clear() is a
+// store. Transactions that overflow the inline window (large read caps)
+// spill into a lazily-allocated unordered_set that is cleared, never freed,
+// between transactions, so even the spill path allocates once per thread.
+class LineSet {
+ public:
+  /// Insert a line; returns the number of distinct lines tracked.
+  std::size_t insert(std::size_t line) {
+    for (std::size_t i = 0; i < inline_count_; ++i) {
+      if (inline_[i] == line) return size_;
+    }
+    if (inline_count_ < kInline) {
+      inline_[inline_count_++] = line;
+      return ++size_;
+    }
+    if (spill_ == nullptr) {
+      spill_ = std::make_unique<std::unordered_set<std::size_t>>();
+    }
+    if (spill_->insert(line).second) ++size_;
+    return size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  void clear() noexcept {
+    inline_count_ = 0;
+    size_ = 0;
+    if (spill_ != nullptr && !spill_->empty()) spill_->clear();
+  }
+
+ private:
+  static constexpr std::size_t kInline = 16;
+  std::size_t inline_[kInline];
+  std::size_t inline_count_ = 0;
+  std::size_t size_ = 0;
+  std::unique_ptr<std::unordered_set<std::size_t>> spill_;
+};
 
 class TxDesc {
  public:
@@ -99,10 +140,23 @@ class TxDesc {
     }
     auto& table = VersionTable::instance();
     auto& slot = table.slot_for(&loc);
+    // Fence audit (seqlock read of (slot, value, slot)):
+    //  s1 KEEP acquire — synchronizes with the committer's release of the
+    //    slot at the new version (release_all_at), so a version we accept
+    //    here happens-after the redo application it stamps.
+    //  value KEEP acquire — pairs with apply_bits' release store; having
+    //    observed a committed value, the s2 load below must be able to see
+    //    the committer's slot-lock/version traffic (this acquire is what
+    //    makes the torn-read window detectable).
+    //  s2 RELAXED — it is only compared against s1; the acquire on the
+    //    value load already orders it after the data read, and acceptance
+    //    is decided by s1's (already acquired) contents. x86 TSO gives the
+    //    load-load order for free; on ARM/Power the value-load acquire
+    //    provides it.
     const std::uint64_t s1 = slot.load(std::memory_order_acquire);
     if (VersionTable::locked(s1)) abort_now(AbortCause::kConflict);
     const T value = std::atomic_ref<T>(loc).load(std::memory_order_acquire);
-    const std::uint64_t s2 = slot.load(std::memory_order_acquire);
+    const std::uint64_t s2 = slot.load(std::memory_order_relaxed);
     if (s1 != s2) abort_now(AbortCause::kConflict);
     if (VersionTable::version_of(s1) > rv_) abort_now(AbortCause::kConflict);
     reads_.push_back(ReadEntry{&slot, s1});
@@ -148,6 +202,13 @@ class TxDesc {
   std::size_t read_set_size() const noexcept { return reads_.size(); }
   std::size_t write_set_size() const noexcept { return redo_.size(); }
 
+  // One slot lock taken by a committing writer (commit()'s SlotLockSet
+  // operates on the persistent slot_scratch_ below).
+  struct SlotHeld {
+    std::atomic<std::uint64_t>* slot;
+    std::uint64_t prev;  // unlocked word we CASed away from
+  };
+
  private:
   struct ReadEntry {
     std::atomic<std::uint64_t>* slot;
@@ -179,14 +240,20 @@ class TxDesc {
   }
   template <typename T>
   static void apply_bits(void* addr, std::uint64_t bits) {
+    // KEEP release (fence audit): this store publishes the committed value;
+    // paired with the value-load acquire in read(). A reader that observes
+    // the new value must also observe every earlier committed store (and
+    // the slot states the validation protocol relies on) — demoting this to
+    // relaxed would let a torn mix of old/new committed state satisfy the
+    // seqlock check.
     std::atomic_ref<T>(*static_cast<T*>(addr))
         .store(from_bits<T>(bits), std::memory_order_release);
   }
 
-  void track_line(std::unordered_set<std::size_t>& lines, const void* addr,
-                  std::uint32_t cap) {
-    lines.insert(cache_line_of(addr));
-    if (lines.size() > cap) abort_now(AbortCause::kCapacity);
+  void track_line(LineSet& lines, const void* addr, std::uint32_t cap) {
+    if (lines.insert(cache_line_of(addr)) > cap) {
+      abort_now(AbortCause::kCapacity);
+    }
     // Injected capacity squeeze: the htm.capacity point caps the set at its
     // x= magnitude (default 0 lines: the first tracked line qualifies);
     // p/every gate each over-budget access, so a squeeze can be made flaky.
@@ -209,8 +276,11 @@ class TxDesc {
   std::vector<ReadEntry> reads_;
   std::vector<RedoEntry> redo_;
   std::vector<Subscription> subs_;
-  std::unordered_set<std::size_t> read_lines_;
-  std::unordered_set<std::size_t> write_lines_;
+  LineSet read_lines_;
+  LineSet write_lines_;
+  // commit()'s slot-lock scratch: cleared per commit, capacity kept, so the
+  // writer commit path performs no allocation in steady state.
+  std::vector<SlotHeld> slot_scratch_;
   std::uint64_t stats_reads_ = 0;
   std::uint64_t stats_writes_ = 0;
 };

@@ -59,7 +59,7 @@ BeginStatus tx_begin() {
 }
 
 void tx_commit() {
-  switch (config().backend) {
+  switch (backend_cached()) {
     case BackendKind::kEmulated:
       detail::tls_desc().commit();
       return;
@@ -72,7 +72,7 @@ void tx_commit() {
 }
 
 void tx_abort(AbortCause cause, std::uint8_t user_code) {
-  if (config().backend == BackendKind::kRtm && rtm::test()) {
+  if (backend_cached() == BackendKind::kRtm && rtm::test()) {
     if (cause == AbortCause::kLockedByOther) {
       rtm::abort_locked();
     } else {
@@ -89,7 +89,7 @@ void tx_abort(AbortCause cause, std::uint8_t user_code) {
 
 void tx_subscribe_lock(const LockApi* api, void* lock,
                        bool already_held_by_self) {
-  switch (config().backend) {
+  switch (backend_cached()) {
     case BackendKind::kEmulated:
       detail::tls_desc().subscribe_lock(api, lock, already_held_by_self);
       return;
@@ -104,7 +104,7 @@ void tx_subscribe_lock(const LockApi* api, void* lock,
 }
 
 bool in_txn() noexcept {
-  switch (config().backend) {
+  switch (backend_cached()) {
     case BackendKind::kEmulated:
       return detail::tls_desc().active();
     case BackendKind::kRtm:

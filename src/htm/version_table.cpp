@@ -2,11 +2,8 @@
 
 namespace ale::htm::detail {
 
-VersionTable& VersionTable::instance() noexcept {
-  // Leaked singleton (half a MiB): must outlive every thread's last access,
-  // including detached-thread teardown, so never destroyed.
-  static VersionTable* table = new VersionTable();
-  return *table;
-}
+// Half a MiB of zero-initialized slots in BSS; constant-initialized so no
+// guard stands between the hot paths and slot_for().
+constinit VersionTable VersionTable::g_instance;
 
 }  // namespace ale::htm::detail

@@ -23,7 +23,13 @@ class VersionTable {
   static constexpr std::size_t kLogSlots = 16;
   static constexpr std::size_t kNumSlots = std::size_t{1} << kLogSlots;
 
-  static VersionTable& instance() noexcept;
+  // The process-wide table. A constinit static member (zero-initialized
+  // atomics) rather than a guarded function-local singleton: slot_for and
+  // the clock are on the emulated begin/read/commit hot path, and the
+  // Meyers-singleton guard load per access was measurable. Never destroyed
+  // in any meaningful sense — all members are trivially destructible — so
+  // detached-thread teardown may touch it at any point.
+  static VersionTable& instance() noexcept { return g_instance; }
 
   std::atomic<std::uint64_t>& slot_for(const void* addr) noexcept {
     return slots_[slot_index(addr)];
@@ -57,7 +63,9 @@ class VersionTable {
   }
 
  private:
-  VersionTable() = default;
+  constexpr VersionTable() = default;
+
+  static VersionTable g_instance;
 
   std::atomic<std::uint64_t> slots_[kNumSlots]{};
   alignas(kCacheLineSize) std::atomic<std::uint64_t> clock_{0};

@@ -203,8 +203,9 @@ class AdaptivePolicy final : public Policy {
   Progression final_progression_of(LockMd& md, GranuleMd& g);
   std::uint32_t final_x_of(GranuleMd& g);
   // The X budget the converged chooser resolves for this granule (custom or
-  // uniform path, default substitution included).
-  std::uint32_t effective_x_of(LockMd& md, GranuleMd& g);
+  // uniform path, default substitution included). Overrides the Policy
+  // introspection hook so ale::effective_x_of works through the base.
+  std::uint32_t effective_x_of(LockMd& md, GranuleMd& g) override;
   std::uint64_t relearn_count_of(LockMd& md);
 
  private:

@@ -9,6 +9,10 @@
 #include <atomic>
 #include <thread>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "common/env.hpp"
 
 namespace ale {
@@ -29,6 +33,20 @@ unsigned compute_stripe_count() noexcept {
 
 std::atomic<unsigned> g_next_stripe{0};
 
+#if defined(__linux__)
+constexpr bool kHaveGetCpu = true;
+#else
+constexpr bool kHaveGetCpu = false;
+#endif
+
+std::atomic<bool> g_cpu_stripes{kHaveGetCpu};
+
+[[maybe_unused]] const bool g_cpu_stripes_env_applied = [] {
+  g_cpu_stripes.store(kHaveGetCpu && env_bool("ALE_STAT_CPU_STRIPES", true),
+                      std::memory_order_relaxed);
+  return true;
+}();
+
 }  // namespace
 
 unsigned stat_stripe_count() noexcept {
@@ -41,6 +59,36 @@ unsigned my_stat_stripe() noexcept {
       g_next_stripe.fetch_add(1, std::memory_order_relaxed) %
       stat_stripe_count();
   return slot;
+}
+
+bool stat_cpu_stripes_enabled() noexcept {
+  return g_cpu_stripes.load(std::memory_order_relaxed);
+}
+
+void set_stat_cpu_stripes(bool enabled) noexcept {
+  g_cpu_stripes.store(kHaveGetCpu && enabled, std::memory_order_relaxed);
+}
+
+unsigned current_stat_stripe() noexcept {
+#if defined(__linux__)
+  // sched_getcpu() is rseq-backed in modern glibc (a TLS load); the 64-call
+  // refresh keeps even syscall-path libcs off the hot path. A stale CPU id
+  // after migration only costs stripe locality, never correctness.
+  struct CpuCache {
+    unsigned stripe = 0;
+    unsigned ticks = 0;
+  };
+  thread_local CpuCache cache;
+  if ((cache.ticks++ & 63) == 0) {
+    const int cpu = sched_getcpu();
+    cache.stripe = cpu >= 0
+                       ? static_cast<unsigned>(cpu) % stat_stripe_count()
+                       : my_stat_stripe();
+  }
+  return cache.stripe;
+#else
+  return my_stat_stripe();
+#endif
 }
 
 }  // namespace ale

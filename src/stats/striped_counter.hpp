@@ -30,4 +30,25 @@ unsigned stat_stripe_count() noexcept;
 // concurrent writers spread across slots.
 unsigned my_stat_stripe() noexcept;
 
+// ---- per-CPU stripe mode (ALE_STAT_CPU_STRIPES, default on where the OS
+// supports it) ----
+//
+// Round-robin-per-thread striping spreads writers, but two threads that
+// time-share one CPU can still land on different stripes (wasted lines)
+// while two threads on different CPUs can share one (true collisions). The
+// converged engine path instead indexes stripes by the *current CPU*:
+// sched_getcpu() — which glibc serves from the kernel's rseq area, a plain
+// TLS read, no syscall — cached per thread and refreshed every 64 lookups,
+// reduced mod stat_stripe_count(). A stale cached CPU after migration is
+// harmless (counters are correct from any stripe; only locality suffers,
+// briefly). When the knob is off or the platform has no getcpu, callers
+// fall back to the StatDeltaBuffer path keyed by my_stat_stripe().
+bool stat_cpu_stripes_enabled() noexcept;
+void set_stat_cpu_stripes(bool enabled) noexcept;
+
+// The stripe slot for "this CPU, right now" (see above); equals
+// my_stat_stripe() when per-CPU mode is unsupported. Always
+// < stat_stripe_count().
+unsigned current_stat_stripe() noexcept;
+
 }  // namespace ale

@@ -1,0 +1,228 @@
+// CsRequest — the one descriptor every front door lowers to (ISSUE 8's
+// consolidated entry point). Three properties are checked here:
+//
+//  1. API parity, at compile time: every name of the macro matrix still
+//     exists and expands against the engine (a deleted variant would fail
+//     this TU's compilation), and CsRequest itself keeps the flat-aggregate
+//     shape the fused constructor decode relies on.
+//  2. Front-door equivalence: the lambda API (execute_cs), the scoped API
+//     (ScopedCs), the owning-lock API (ElidableLock::elide), and the macro
+//     API all resolve the same granule and drive the same attempt loop for
+//     the same (lock, scope) pair.
+//  3. The fused-tag cache keys on what CsRequest carries: distinct scopes —
+//     including the rw-mode bits of a readers-writer call site — get
+//     distinct granules even when they alternate on one thread.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "core/ale.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+// --- 1a. CsRequest stays a flat aggregate the hot path can decode ---
+static_assert(std::is_aggregate_v<CsRequest>,
+              "CsRequest must stay brace-constructible from raw parts");
+static_assert(std::is_trivially_copyable_v<CsRequest>,
+              "CsRequest is passed by value through the front doors");
+static_assert(std::is_trivially_destructible_v<CsRequest>,
+              "CsRequest must not acquire resources");
+
+// --- 1b. macro-matrix parity: every public name must still expand ---
+// Instantiated (not just preprocessed) so renames and signature drift in
+// the engine break this test at compile time. The bodies run too, as a
+// smoke check that each variant completes an execution.
+struct CsRequestTest : ::testing::Test {
+  void SetUp() override {
+    test::use_emulated_ideal();
+    set_fast_path_enabled(true);
+  }
+  void TearDown() override {
+    set_global_policy(nullptr);
+    set_fast_path_enabled(true);
+  }
+};
+
+TEST_F(CsRequestTest, MacroMatrixParity) {
+  TatasLock lock;
+  LockMd md("csreq.macros");
+  const LockApi* api = lock_api<TatasLock>();
+  std::uint64_t cell = 0;
+  auto bump = [&] { tx_store(cell, tx_load(cell) + 1); };
+
+  ALE_BEGIN_CS(api, &lock, md) { bump(); } ALE_END_CS();
+  ALE_BEGIN_CS_NAMED(api, &lock, md, "csreq.named") { bump(); } ALE_END_CS();
+  ALE_BEGIN_CS_NO_HTM(api, &lock, md) { bump(); } ALE_END_CS();
+  ALE_BEGIN_CS_NO_HTM_NAMED(api, &lock, md, "csreq.nohtm") {
+    bump();
+  } ALE_END_CS();
+  ALE_BEGIN_CS_SWOPT(api, &lock, md) {
+    if (ALE_GET_EXEC_MODE() != ExecMode::kSwOpt) bump();
+  } ALE_END_CS();
+  ALE_BEGIN_CS_SWOPT_NAMED(api, &lock, md, "csreq.sw") {
+    if (ALE_GET_EXEC_MODE() != ExecMode::kSwOpt) bump();
+  } ALE_END_CS();
+  ALE_BEGIN_CS_SWOPT_NO_HTM(api, &lock, md) {
+    if (ALE_GET_EXEC_MODE() != ExecMode::kSwOpt) bump();
+  } ALE_END_CS();
+  ALE_BEGIN_CS_SWOPT_NO_HTM_NAMED(api, &lock, md, "csreq.swnh") {
+    if (ALE_GET_EXEC_MODE() != ExecMode::kSwOpt) bump();
+  } ALE_END_CS();
+
+  EXPECT_EQ(cell, 8u);
+}
+
+// --- 2. all four front doors land on the same granule ---
+TEST_F(CsRequestTest, FrontDoorsResolveOneGranule) {
+  TatasLock raw;
+  LockMd md("csreq.doors");
+  const LockApi* api = lock_api<TatasLock>();
+  static ScopeInfo scope("csreq.shared_scope");
+  std::uint64_t cell = 0;
+  GranuleMd* seen[4] = {};
+
+  // execute_cs — the raw-parts stable composition point.
+  execute_cs(api, &raw, md, scope, [&](CsExec& cs) {
+    seen[0] = cs.granule();
+    tx_store(cell, tx_load(cell) + 1);
+  });
+
+  // ScopedCs over an explicit CsRequest.
+  {
+    ScopedCs sc(CsRequest{api, &raw, &md, &scope});
+    sc.run([&](CsExec& cs) {
+      seen[1] = cs.granule();
+      tx_store(cell, tx_load(cell) + 1);
+    });
+  }
+
+  // run_cs — the template every lambda door funnels through.
+  run_cs(CsRequest{api, &raw, &md, &scope}, [&](CsExec& cs) {
+    seen[2] = cs.granule();
+    tx_store(cell, tx_load(cell) + 1);
+  });
+
+  // The macro door shares the engine but names its own scope, so compare
+  // it against a direct execution of that scope instead.
+  GranuleMd* macro_granule = nullptr;
+  ALE_BEGIN_CS_NAMED(api, &raw, md, "csreq.macro_scope") {
+    macro_granule = ALE_CS_VAR.granule();
+    tx_store(cell, tx_load(cell) + 1);
+  } ALE_END_CS();
+
+  ASSERT_NE(seen[0], nullptr);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[0], seen[2]);
+  ASSERT_NE(macro_granule, nullptr);
+  EXPECT_EQ(&macro_granule->lock_md(), &md);
+  EXPECT_NE(macro_granule, seen[0]);  // distinct scope, distinct granule
+  EXPECT_EQ(cell, 4u);
+
+  // And the owning-lock door: same check through ElidableLock.
+  ElidableLock<> lk("csreq.owned");
+  static ScopeInfo owned_scope("csreq.owned_scope");
+  GranuleMd* a = nullptr;
+  GranuleMd* b = nullptr;
+  lk.elide(owned_scope, [&](CsExec& cs) { a = cs.granule(); });
+  run_cs(CsRequest{lk.api(), lk.lock_ptr(), &lk.md(), &owned_scope},
+         [&](CsExec& cs) { b = cs.granule(); });
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+// CsRequest::rw_mode forwards the scope's readers-writer intent bits.
+TEST_F(CsRequestTest, RequestCarriesRwModeBits) {
+  static ScopeInfo rd("csreq.rw.read", /*has_swopt=*/true, /*allow_htm=*/true,
+                      static_cast<std::uint8_t>(RwMode::kShared));
+  static ScopeInfo wr("csreq.rw.write", /*has_swopt=*/false,
+                      /*allow_htm=*/true,
+                      static_cast<std::uint8_t>(RwMode::kExclusive));
+  LockMd md("csreq.rw");
+  const CsRequest rreq{nullptr, nullptr, &md, &rd};
+  const CsRequest wreq{nullptr, nullptr, &md, &wr};
+  EXPECT_EQ(rreq.rw_mode(), static_cast<std::uint8_t>(RwMode::kShared));
+  EXPECT_EQ(wreq.rw_mode(), static_cast<std::uint8_t>(RwMode::kExclusive));
+}
+
+// --- 3. fused-tag cache: alternating rw-mode scopes on one thread must
+// keep their granules separate (two cache slots, no cross-serving) ---
+TEST_F(CsRequestTest, FusedCacheSeparatesRwModeScopes) {
+  ElidableSharedLock<> rw("csreq.rwlock");
+  static ScopeInfo rd("csreq.fused.read", /*has_swopt=*/true,
+                      /*allow_htm=*/true,
+                      static_cast<std::uint8_t>(RwMode::kShared));
+  static ScopeInfo wr("csreq.fused.write", /*has_swopt=*/false,
+                      /*allow_htm=*/true,
+                      static_cast<std::uint8_t>(RwMode::kExclusive));
+  std::uint64_t cell = 0;
+  GranuleMd* rg = nullptr;
+  GranuleMd* wg = nullptr;
+  for (int i = 0; i < 200; ++i) {
+    rw.elide_shared(rd, [&](CsExec& cs) -> CsBody {
+      GranuleMd* g = cs.granule();
+      if (rg == nullptr) rg = g;
+      EXPECT_EQ(g, rg);  // cache hit must serve the read scope's granule
+      (void)tx_load(cell);
+      return CsBody::kDone;
+    });
+    rw.elide_exclusive(wr, [&](CsExec& cs) {
+      GranuleMd* g = cs.granule();
+      if (wg == nullptr) wg = g;
+      EXPECT_EQ(g, wg);
+      tx_store(cell, tx_load(cell) + 1);
+    });
+  }
+  ASSERT_NE(rg, nullptr);
+  ASSERT_NE(wg, nullptr);
+  EXPECT_NE(rg, wg);
+  EXPECT_EQ(cell, 200u);
+}
+
+// A generation bump between two executions on the same thread must force a
+// re-fill that still resolves correctly (the tag word embeds the epoch, so
+// a stale entry can never be decoded as valid).
+TEST_F(CsRequestTest, GenerationBumpInvalidatesFusedTag) {
+  TatasLock raw;
+  LockMd md("csreq.bump");
+  const LockApi* api = lock_api<TatasLock>();
+  static ScopeInfo scope("csreq.bump_scope");
+  GranuleMd* before = nullptr;
+  GranuleMd* after = nullptr;
+  execute_cs(api, &raw, md, scope,
+             [&](CsExec& cs) { before = cs.granule(); });
+  const std::uint64_t g0 = granule_cache_generation();
+  bump_granule_cache_generation();
+  EXPECT_GT(granule_cache_generation(), g0);
+  execute_cs(api, &raw, md, scope,
+             [&](CsExec& cs) { after = cs.granule(); });
+  ContextNode* node = context_root().child(&scope);
+  EXPECT_EQ(before, &md.granule_for(node));
+  EXPECT_EQ(after, before);  // same table entry, re-resolved not stale
+}
+
+// Kill switch and introspection are reachable from the top level (the API
+// audit satellite): toggling must flip the fused word's low bit without
+// disturbing the epoch, and effective_x_of must answer through the
+// installed policy.
+TEST_F(CsRequestTest, TopLevelIntrospectionSurface) {
+  const std::uint64_t epoch = granule_cache_generation();
+  EXPECT_TRUE(fast_path_enabled());
+  set_fast_path_enabled(false);
+  EXPECT_FALSE(fast_path_enabled());
+  EXPECT_EQ(granule_cache_generation(), epoch);
+  set_fast_path_enabled(true);
+  EXPECT_TRUE(fast_path_enabled());
+  EXPECT_EQ(granule_cache_generation(), epoch);
+
+  // Default (lock-only) policy has no X concept: reports 0 via the base
+  // Policy::effective_x_of hook.
+  ElidableLock<> lk("csreq.introspect");
+  static ScopeInfo scope("csreq.introspect_scope");
+  lk.elide(scope, [&](CsExec&) {});
+  EXPECT_EQ(effective_x_of(lk.md(), scope), 0u);
+}
+
+}  // namespace
+}  // namespace ale

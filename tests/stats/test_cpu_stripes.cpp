@@ -1,0 +1,120 @@
+// Per-CPU stripe selection (stats/striped_counter.hpp) — the converged
+// engine path's commit target. current_stat_stripe() maps the running CPU
+// onto a counter stripe (getcpu, cached and periodically refreshed);
+// set_stat_cpu_stripes(false) — or an unsupported platform — falls back to
+// the per-thread my_stat_stripe() assignment. Correctness never depends on
+// *which* stripe receives a delta (fold() sums them all), so these tests
+// pin down the invariants that do matter: the index stays in range under
+// both modes, the fallback really is the thread stripe, and concurrent
+// mixed-mode commits through apply_stat_deltas stay exact. The hammers
+// double as the TSan exercise for the stripe-selection path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/context.hpp"
+#include "core/lockmd.hpp"
+#include "core/stat_delta.hpp"
+#include "stats/striped_counter.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+// Restore the process-global mode around each test.
+struct CpuStripesTest : ::testing::Test {
+  void SetUp() override { was_ = stat_cpu_stripes_enabled(); }
+  void TearDown() override { set_stat_cpu_stripes(was_); }
+  bool was_ = false;
+};
+
+TEST_F(CpuStripesTest, CurrentStripeInRangeBothModes) {
+  set_stat_cpu_stripes(true);
+  for (int i = 0; i < 200; ++i) {  // spans at least one refresh period
+    EXPECT_LT(current_stat_stripe(), stat_stripe_count());
+  }
+  set_stat_cpu_stripes(false);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(current_stat_stripe(), stat_stripe_count());
+  }
+}
+
+TEST_F(CpuStripesTest, DisabledModeFallsBackToThreadStripe) {
+  set_stat_cpu_stripes(false);
+  EXPECT_FALSE(stat_cpu_stripes_enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(current_stat_stripe(), my_stat_stripe());
+  }
+}
+
+TEST_F(CpuStripesTest, ToggleRoundTrips) {
+  set_stat_cpu_stripes(true);
+#if defined(__linux__)
+  EXPECT_TRUE(stat_cpu_stripes_enabled());
+#else
+  // Platforms without getcpu refuse to enable: the fallback is permanent.
+  EXPECT_FALSE(stat_cpu_stripes_enabled());
+#endif
+  set_stat_cpu_stripes(false);
+  EXPECT_FALSE(stat_cpu_stripes_enabled());
+}
+
+// Concurrent commits through apply_stat_deltas with per-CPU selection:
+// threads migrate (or not) however the scheduler likes, stripes collide
+// freely, and the folded totals must still be exact below the BFP
+// threshold. Mirrors the converged engine's commit_stat_deltas exactly.
+TEST_F(CpuStripesTest, ConcurrentCommitsFoldExactly) {
+  set_stat_cpu_stripes(true);
+  LockMd md("cpu_stripes.hammer");
+  static ScopeInfo scope("cpu_stripes.scope");
+  GranuleMd& g = md.granule_for(context_root().child(&scope));
+
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint32_t kPer = 63;  // 8·63 = 504 < 512: exact regime
+  test::run_threads(kThreads, [&](unsigned) {
+    for (std::uint32_t i = 0; i < kPer; ++i) {
+      StatDeltaCounts d;
+      d.executions = 1;
+      d.attempt(ExecMode::kHtm) = 1;
+      d.success(ExecMode::kHtm) = 1;
+      apply_stat_deltas(g, d, current_stat_stripe());
+    }
+  });
+
+  const GranuleTotals t = g.stats.fold();
+  EXPECT_EQ(t.executions, kThreads * kPer);
+  EXPECT_EQ(t.of(ExecMode::kHtm).attempts, kThreads * kPer);
+  EXPECT_EQ(t.of(ExecMode::kHtm).successes, kThreads * kPer);
+}
+
+// The same hammer racing the mode toggle: stripe selection may switch
+// between CPU-keyed and thread-keyed mid-stream, which must never lose or
+// duplicate a delta (only the landing stripe changes).
+TEST_F(CpuStripesTest, ToggleRaceLosesNothing) {
+  LockMd md("cpu_stripes.toggle");
+  static ScopeInfo scope("cpu_stripes.toggle_scope");
+  GranuleMd& g = md.granule_for(context_root().child(&scope));
+
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kPer = 100;  // 400 < 512: exact regime
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    bool on = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      set_stat_cpu_stripes(on = !on);
+    }
+  });
+  test::run_threads(kThreads, [&](unsigned) {
+    for (std::uint32_t i = 0; i < kPer; ++i) {
+      StatDeltaCounts d;
+      d.executions = 1;
+      apply_stat_deltas(g, d, current_stat_stripe());
+    }
+  });
+  stop.store(true);
+  toggler.join();
+  EXPECT_EQ(g.stats.fold().executions, kThreads * kPer);
+}
+
+}  // namespace
+}  // namespace ale
