@@ -75,6 +75,8 @@
 #include <cerrno>
 #endif
 #if defined(__unix__)
+#include <sys/resource.h>
+#include <sys/time.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #endif
@@ -85,6 +87,7 @@
 #include "policy/adaptive_policy.hpp"
 #include "policy/static_policy.hpp"
 #include "sim/wicked_sim.hpp"
+#include "sync/parking.hpp"
 
 namespace {
 
@@ -103,9 +106,14 @@ ScopeInfo& cs_scope() {
 
 // The one critical-section body every latency/throughput metric runs. The
 // hot variant takes the lock and scope by reference so tight measurement
-// loops skip the Meyers-static guards of the accessors above.
+// loops skip the Meyers-static guards of the accessors above, and enters
+// through a pre-composed request (ComposedCsRequest): the gate lock and
+// scope are process singletons, so the per-scope eligibility derivation is
+// frozen once into a function-local static instead of being repaid every
+// op — exactly the composition a real hot loop would do.
 void run_one_cs_hot(ElidableLock<>& lk, ScopeInfo& scope) {
-  lk.elide(scope, [](CsExec& cs) -> CsBody {
+  static const ComposedCsRequest req = lk.compose(scope);
+  lk.elide(req, [](CsExec& cs) -> CsBody {
     if (cs.in_swopt()) {
       (void)tx_load(g_cell);
       return CsBody::kDone;
@@ -305,6 +313,140 @@ bool warm_to_convergence(AdaptivePolicy& p, LockMd& md) {
   return p.converged(md);
 }
 
+// --- the oversubscription block: threads = 4× cores, parking vs spinning ---
+
+// The oversub workload pins its scope to Lock mode (no HTM, no SWOpt): an
+// elision-heavy workload rarely holds the fallback lock at all (measured:
+// zero parks), so it cannot show what the parking tier does when a lock
+// holder loses its timeslice mid-critical-section. This granule makes the
+// fallback path THE path.
+//
+// The holder-off-CPU window is SIMULATED (a short nanosleep while
+// holding, every kPreemptEvery-th op per thread) rather than left to
+// natural preemption, deliberately: parking's payoff is what waiters do
+// while the holder is off-CPU, and natural slice expiry mid-CS is far
+// too rare on a lightly-loaded (or single-core CI) host to measure in a
+// sub-second run — while a waiter spinning against a *runnable* holder
+// costs little anyway (its yields donate the core straight back). The
+// sleep is identical across the park run, the spin run, and the t1 run,
+// so it cancels out of every ratio; what differs is whether the other
+// 4×cores−1 threads spin out the window (yield-rotating among
+// themselves, CPU pegged) or park on the lock word (core idle until the
+// holder returns). That difference is exactly the CPU-per-op gate.
+ElidableLock<>& oversub_lock() {
+  static ElidableLock<> lock("perf_gate.oversub");
+  return lock;
+}
+alignas(64) std::uint64_t g_oversub_cells[8] = {};
+
+ScopeInfo& oversub_scope() {
+  static ScopeInfo scope("oversub.cs", /*has_swopt=*/false,
+                         /*allow_htm=*/false);
+  return scope;
+}
+
+// Every kPreemptEvery-th op, the holder loses the core for kPreemptNs
+// while still holding the lock (see the block comment above).
+constexpr unsigned kPreemptEvery = 16;
+constexpr long kPreemptNs = 1'200'000;  // ~a scheduling quantum off-CPU
+
+void run_one_oversub_cs() {
+  static const ComposedCsRequest req =
+      oversub_lock().compose(oversub_scope());
+  thread_local unsigned op_seq = 0;
+  oversub_lock().elide(req, [](CsExec&) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      tx_store(g_oversub_cells[i], tx_load(g_oversub_cells[i]) + 1);
+    }
+    if (++op_seq % kPreemptEvery == 0) {
+      timespec ts{0, kPreemptNs};
+      nanosleep(&ts, nullptr);
+    }
+  });
+}
+
+double oversub_ops(unsigned threads, double seconds) {
+  return bench::timed_run(
+      threads, seconds,
+      [](unsigned, Xoshiro256&) { run_one_oversub_cs(); });
+}
+
+bool warm_oversub_to_convergence(AdaptivePolicy& p) {
+  for (int round = 0; round < 300; ++round) {
+    for (int i = 0; i < 200; ++i) run_one_oversub_cs();
+    if (p.converged(oversub_lock().md())) return true;
+  }
+  return p.converged(oversub_lock().md());
+}
+
+// Process CPU time (user + system, all threads) in seconds; -1 when the
+// host cannot report it.
+double process_cpu_seconds() {
+#if defined(__unix__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1.0;
+  const auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+#else
+  return -1.0;
+#endif
+}
+
+// Measures the converged adaptive regime at 4× hardware concurrency, with
+// the futex parking tier enabled ("park") and force-disabled ("spin", the
+// pre-parking behaviour). Wall-clock throughput alone cannot distinguish a
+// parking win from a scheduler artifact on an oversubscribed host — the
+// CPU-time-per-op pair is the dimension that can (a parked waiter burns no
+// cycles; a spinning one burns its whole quantum). See EXPERIMENTS.md,
+// "reading the oversubscription numbers".
+void measure_oversub(std::map<std::string, double>& metrics, double seconds,
+                     const AdaptiveConfig& acfg) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const unsigned t4x = hw * 4;
+  metrics["oversub.threads"] = static_cast<double>(t4x);
+
+  auto ad = std::make_unique<AdaptivePolicy>(acfg);
+  AdaptivePolicy* adp = ad.get();
+  set_global_policy(std::move(ad));
+  (void)warm_oversub_to_convergence(*adp);
+
+  metrics["oversub.ops.t1.adaptive"] = oversub_ops(1, seconds);
+
+  const bool park_was_enabled = park_enabled();
+  set_park_enabled(true);
+  parking::reset_park_counters();
+  const double cpu_park_0 = process_cpu_seconds();
+  const double park_rate = oversub_ops(t4x, seconds);
+  const double cpu_park_1 = process_cpu_seconds();
+  metrics["oversub.ops.t4x.park"] = park_rate;
+  metrics["oversub.parks.t4x"] =
+      static_cast<double>(parking::park_count());
+  metrics["oversub.wakes.t4x"] =
+      static_cast<double>(parking::wake_count());
+
+  set_park_enabled(false);
+  const double cpu_spin_0 = process_cpu_seconds();
+  const double spin_rate = oversub_ops(t4x, seconds);
+  const double cpu_spin_1 = process_cpu_seconds();
+  set_park_enabled(park_was_enabled);
+  metrics["oversub.ops.t4x.spin"] = spin_rate;
+
+  // timed_run's rate is total/seconds, so rate × seconds is the exact op
+  // count; the rusage window brackets thread spawn/join identically for
+  // both runs.
+  if (cpu_park_0 >= 0.0 && park_rate > 0.0 && spin_rate > 0.0) {
+    metrics["oversub.cpu_ns_per_op.park"] =
+        (cpu_park_1 - cpu_park_0) / (park_rate * seconds) * 1e9;
+    metrics["oversub.cpu_ns_per_op.spin"] =
+        (cpu_spin_1 - cpu_spin_0) / (spin_rate * seconds) * 1e9;
+  }
+  set_global_policy(nullptr);
+}
+
 std::string fmt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.4f", v);
@@ -390,6 +532,11 @@ int main(int argc, char** argv) {
   double insn_budget = 0.0;   // instructions/op; 0 = report only
   int relaunch = 1;           // total layout rolls (1 = in-process only)
   std::string child_out;      // set in --uncontended-child mode
+  bool oversub_only = false;  // run just the oversubscription block
+  // Hard gate on the oversubscribed CPU-time ratio: fail when parked
+  // CPU-ns/op > R × spinning CPU-ns/op, or when parking gives up more
+  // than 10% throughput vs spinning. 0 = report only.
+  double oversub_cpu_ratio = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -404,6 +551,8 @@ int main(int argc, char** argv) {
     else if (a == "--insn-budget") insn_budget = std::atof(next());
     else if (a == "--relaunch") relaunch = std::atoi(next());
     else if (a == "--uncontended-child") child_out = next();
+    else if (a == "--oversub-only") oversub_only = true;
+    else if (a == "--oversub-cpu-ratio") oversub_cpu_ratio = std::atof(next());
     else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return 2;
@@ -427,21 +576,22 @@ int main(int argc, char** argv) {
   }
 
   bench::set_profile("ideal");
-  std::printf("perf_gate: hot-path regression harness\n");
+  std::printf("perf_gate: hot-path regression harness%s\n",
+              oversub_only ? " (oversubscription block only)" : "");
   bench::print_run_seed();
 
   // Ordered so the JSON (and diffs of it) stay stable.
   std::map<std::string, double> metrics;
 
   // --- uncontended single-thread latency, per regime (roll zero) ---
-  if (!measure_uncontended(metrics, iters, acfg)) {
+  if (!oversub_only && !measure_uncontended(metrics, iters, acfg)) {
     std::fprintf(stderr, "perf_gate: adaptive policy failed to converge\n");
     return 2;
   }
 
   // --- extra layout rolls: min-merge child re-executions ---
 #if defined(__unix__)
-  for (int roll = 1; roll < relaunch; ++roll) {
+  for (int roll = 1; !oversub_only && roll < relaunch; ++roll) {
     const std::string roll_path =
         out_path + ".roll" + std::to_string(roll);
     char iters_buf[32];
@@ -473,11 +623,11 @@ int main(int argc, char** argv) {
     }
   }
 #else
-  if (relaunch > 1) {
+  if (relaunch > 1 && !oversub_only) {
     std::printf("  note: --relaunch needs fork/exec; in-process only\n");
   }
 #endif
-  if (relaunch > 1) {
+  if (relaunch > 1 && !oversub_only) {
     std::printf("  relaunch: kept per-metric min of %d layout rolls\n",
                 relaunch);
   }
@@ -491,7 +641,8 @@ int main(int argc, char** argv) {
 
   // --- contended throughput scaling curve (absolute ops are
   // informational/host-dependent; the t8/t1 ratios below are gated) ---
-  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+  for (const unsigned t : oversub_only ? std::vector<unsigned>{}
+                                       : std::vector<unsigned>{1, 2, 4, 8}) {
     bench::install_policy_spec("lockonly");
     metrics["contended_ops.t" + std::to_string(t) + ".lockonly"] =
         contended_ops(t, seconds);
@@ -508,7 +659,8 @@ int main(int argc, char** argv) {
   set_global_policy(nullptr);
 
   // --- read-mostly (95/5) readers-writer scaling curve (real) ---
-  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+  for (const unsigned t : oversub_only ? std::vector<unsigned>{}
+                                       : std::vector<unsigned>{1, 2, 4, 8}) {
     bench::install_policy_spec("lockonly");
     metrics["rw95_ops.t" + std::to_string(t) + ".lockonly"] =
         rw95_ops(t, seconds);
@@ -525,7 +677,7 @@ int main(int argc, char** argv) {
   // Virtual time, fixed seed: the ratio is machine-independent, so it can
   // assert the property a single-core runner cannot — elided readers
   // overlap, and 8 simulated threads beat 1.
-  {
+  if (!oversub_only) {
     sim::WickedSimConfig scfg;
     scfg.nomutate = false;
     scfg.mutate_frac = 0.05;  // the 95/5 mix
@@ -541,8 +693,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- gated ratios (dimensionless; lower is better) ---
+  // --- oversubscription: 4× cores, parking on vs off (see EXPERIMENTS.md)
+  measure_oversub(metrics, seconds, acfg);
+
+  // --- gated ratios (dimensionless; lower is better unless noted) ---
   std::map<std::string, double> gated;
+  if (!oversub_only) {
   const double lockonly_ns = metrics["uncontended_ns.lockonly"];
   const double on_ns = metrics["uncontended_ns.adaptive_fastpath_on"];
   const double off_ns = metrics["uncontended_ns.adaptive_fastpath_off"];
@@ -582,6 +738,35 @@ int main(int argc, char** argv) {
     const double t8 = metrics["sim_rw95.t8.adaptive_all"];
     if (t1 > 0.0) {
       gated["scaling.sim_rw95_t8_over_t1.adaptive_all"] = t8 / t1;
+    }
+  }
+  }  // !oversub_only
+
+  // Oversubscription ratios. Throughput retention at 4× cores and the
+  // park-vs-spin throughput ratio are higher-is-better; the CPU-time ratio
+  // (the tentpole's claim: parked waiters burn far less CPU per op) is
+  // lower-is-better — the gate keys direction off the name (see below).
+  {
+    const double t1 = metrics.count("oversub.ops.t1.adaptive") != 0
+                          ? metrics["oversub.ops.t1.adaptive"]
+                          : 0.0;
+    const double park = metrics.count("oversub.ops.t4x.park") != 0
+                            ? metrics["oversub.ops.t4x.park"]
+                            : 0.0;
+    const double spin = metrics.count("oversub.ops.t4x.spin") != 0
+                            ? metrics["oversub.ops.t4x.spin"]
+                            : 0.0;
+    if (t1 > 0.0 && park > 0.0) {
+      gated["oversub.t4x_over_t1.adaptive"] = park / t1;
+    }
+    if (spin > 0.0 && park > 0.0) {
+      gated["oversub.ops_ratio.park_vs_spin"] = park / spin;
+    }
+    if (metrics.count("oversub.cpu_ns_per_op.park") != 0 &&
+        metrics["oversub.cpu_ns_per_op.spin"] > 0.0) {
+      gated["oversub.cpu_ratio.park_vs_spin"] =
+          metrics["oversub.cpu_ns_per_op.park"] /
+          metrics["oversub.cpu_ns_per_op.spin"];
     }
   }
 
@@ -658,6 +843,31 @@ int main(int argc, char** argv) {
       budgets_ok = budgets_ok && pass;
     }
   }
+  // --- oversubscription hard gate (absolute, like the budgets above) ---
+  // Parking must both (a) spend ≤ R× the CPU time per op of pure spinning
+  // and (b) keep ≥ 90% of its throughput — either alone can be gamed (a
+  // tier that sleeps forever wins on CPU; one that never parks wins on
+  // ops), together they state "same work, far less CPU".
+  if (oversub_cpu_ratio > 0.0) {
+    const auto cpu_it = gated.find("oversub.cpu_ratio.park_vs_spin");
+    const auto ops_it = gated.find("oversub.ops_ratio.park_vs_spin");
+    if (cpu_it == gated.end()) {
+      std::printf(
+          "  budget: oversub cpu ratio (no rusage on this host; skipped)\n");
+    } else {
+      const bool cpu_pass = cpu_it->second <= oversub_cpu_ratio;
+      const bool ops_pass =
+          ops_it != gated.end() && ops_it->second >= 0.9;
+      std::printf(
+          "  budget: oversub cpu/op park-vs-spin %8.4f vs max %.4f %s\n",
+          cpu_it->second, oversub_cpu_ratio, cpu_pass ? "OK" : "EXCEEDED");
+      std::printf(
+          "  budget: oversub ops   park-vs-spin %8.4f vs min 0.9000 %s\n",
+          ops_it != gated.end() ? ops_it->second : 0.0,
+          ops_pass ? "OK" : "BELOW");
+      budgets_ok = budgets_ok && cpu_pass && ops_pass;
+    }
+  }
   if (!budgets_ok) {
     std::fprintf(stderr,
                  "perf_gate: converged fast path exceeded its "
@@ -678,14 +888,28 @@ int main(int argc, char** argv) {
   const std::string base = buf.str();
   bool ok = true;
   for (const auto& [k, now] : gated) {
+    // The oversub CPU ratio sits near zero (0.05-ish), so a relative band
+    // around the baseline is an absurdly tight absolute band that host
+    // scheduling noise alone can bust — and the metric already has a hard
+    // absolute ceiling (--oversub-cpu-ratio). Gate it there, not here.
+    if (k == "oversub.cpu_ratio.park_vs_spin") {
+      std::printf(
+          "  gate: %-44s now %.4f (absolute --oversub-cpu-ratio ceiling "
+          "governs)\n",
+          k.c_str(), now);
+      continue;
+    }
     double was = 0.0;
     if (!scan_number(base, k, &was)) {
       std::printf("  gate: %-44s (no baseline; skipped)\n", k.c_str());
       continue;
     }
-    // "scaling." ratios are throughput retention (higher is better); the
-    // latency ratios are overhead (lower is better).
-    const bool higher_is_better = k.rfind("scaling.", 0) == 0;
+    // "scaling." ratios are throughput retention (higher is better), as are
+    // the oversubscription throughput ratios; the latency ratios and the
+    // oversub CPU-time ratio are overhead (lower is better).
+    const bool higher_is_better =
+        k.rfind("scaling.", 0) == 0 ||
+        (k.rfind("oversub.", 0) == 0 && k.find("cpu") == std::string::npos);
     const double limit = higher_is_better ? was * (1.0 - tolerance)
                                           : was * (1.0 + tolerance);
     const bool pass = higher_is_better ? now >= limit : now <= limit;

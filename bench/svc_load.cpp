@@ -40,6 +40,7 @@
 #include "svc/latency.hpp"
 #include "svc/sim_service.hpp"
 #include "svc/traffic.hpp"
+#include "sync/parking.hpp"
 
 using namespace ale;
 using namespace ale::svc;
@@ -255,6 +256,53 @@ int main(int argc, char** argv) {
         metrics[base + ".p999_ns"] = p999_ns;
         std::printf("  %-9s %8u %14.0f %12.0f\n", pol, w,
                     secs > 0 ? ops / secs : 0.0, p999_ns);
+      }
+    }
+
+    // Oversubscribed tail re-measure (informational): workers = 4x cores,
+    // lock-pinned drains (elision off — an elided drain almost never holds
+    // the fallback lock, so parking would have nothing to show), parking
+    // on vs off. Under oversubscription the drain-lock waiters either park
+    // (off the runqueue, leaving cores to the shard holders) or spin their
+    // quanta; the p999 gap between the two rows is the parking tier's tail
+    // effect on a service-shaped workload — see EXPERIMENTS.md "reading
+    // the oversubscription numbers" for why wall-clock tails alone can
+    // under-report it.
+    {
+      const unsigned w = (hw > 0 ? hw : 1) * 4;
+      std::printf("\n  REAL oversubscribed (%u workers = 4x cores, "
+                  "lock-pinned; informational)\n", w);
+      std::printf("  %-9s %8s %14s %12s\n", "parking", "workers", "ops/s",
+                  "p999 ns");
+      for (const bool park_on : {true, false}) {
+        SvcConfig cfg;
+        cfg.name = std::string("svc.oversub.") + (park_on ? "park" : "spin");
+        cfg.db.outer_swopt = false;
+        cfg.db.outer_htm = false;
+        cfg.db.inner_htm = false;
+        cfg.db.inner_get_swopt = false;
+        KvService service(cfg);
+        LatencyRecorder recorder(w);
+        arm_storms(storm_spec);
+        set_park_enabled(park_on);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::uint64_t ops =
+            real_run(service, w, real_seconds, tcfg, recorder);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        set_park_enabled(true);
+        LatencyHistogram merged = recorder.merged();
+        const double p999_ns = ticks_to_ns(
+            static_cast<std::uint64_t>(merged.percentile(99.9)));
+        const std::string base = std::string("svc.real.oversub.t") +
+                                 std::to_string(w) + "." +
+                                 (park_on ? "park" : "spin");
+        metrics[base + ".ops_per_sec"] = secs > 0 ? ops / secs : 0;
+        metrics[base + ".p999_ns"] = p999_ns;
+        std::printf("  %-9s %8u %14.0f %12.0f\n", park_on ? "park" : "spin",
+                    w, secs > 0 ? ops / secs : 0.0, p999_ns);
       }
     }
   }

@@ -48,9 +48,12 @@ enum class Sp : std::uint8_t {
   kSpinWait,         ///< a spin-wait round (Backoff::pause, SNZI depart)
   kRwSharedAcquire,  ///< RwSpinLock shared/update acquisition entry
   kRwUpgrade,        ///< RwSpinLock upgrade/try_upgrade entry
+  kPark,             ///< parking::park / wake — under the checker a park
+                     ///< degrades to this yield (no kernel sleep), so
+                     ///< lost-wakeup interleavings stay explorable
 };
 
-inline constexpr std::size_t kNumSchedPoints = 15;
+inline constexpr std::size_t kNumSchedPoints = 16;
 
 const char* to_string(Sp sp) noexcept;
 

@@ -31,6 +31,7 @@ const char* to_string(Sp sp) noexcept {
     case Sp::kSpinWait: return "spin.wait";
     case Sp::kRwSharedAcquire: return "rw.shared";
     case Sp::kRwUpgrade: return "rw.upgrade";
+    case Sp::kPark: return "sync.park";
   }
   return "?";
 }

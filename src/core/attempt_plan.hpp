@@ -42,6 +42,12 @@ struct AttemptPlan {
   //                plan stays attributable to its acquisition mode
   //   bits 40..47  locked-abort weight, fixed-point /256 (§4's "much
   //                lighter" accounting of lock-acquisition aborts)
+  //   bits 48..55  spin-before-park budget in 256-spin units, rounded UP
+  //                (0 = unlearned: the ALE_PARK max_spin cap applies). The
+  //                policy learns it from the granule's sampled lock-wait
+  //                time; the engine feeds it to every Backoff in the
+  //                execution so contended waits park after roughly one
+  //                typical critical-section length of spinning.
   static constexpr std::uint64_t kInvalid = 0;
   static constexpr std::uint64_t kValidBit = 1ULL << 63;
 
@@ -50,8 +56,9 @@ struct AttemptPlan {
   static constexpr AttemptPlan make(bool htm, bool swopt, std::uint32_t x,
                                     std::uint32_t y, bool grouping,
                                     unsigned locked_abort_weight256,
-                                    bool notify,
-                                    unsigned rw_mode = 3) noexcept {
+                                    bool notify, unsigned rw_mode = 3,
+                                    std::uint32_t park_spin_budget = 0)
+      noexcept {
     std::uint64_t w = kValidBit;
     w |= std::uint64_t{x > 0xffff ? 0xffffu : x};
     w |= std::uint64_t{y > 0xffff ? 0xffffu : y} << 16;
@@ -63,6 +70,10 @@ struct AttemptPlan {
     w |= std::uint64_t{locked_abort_weight256 > 0xff
                            ? 0xffu
                            : locked_abort_weight256} << 40;
+    // Round up so any non-zero learned budget survives the /256 coarsening
+    // (a 1-spin budget must not quantize to "unlearned").
+    std::uint64_t units = (std::uint64_t{park_spin_budget} + 255) / 256;
+    w |= (units > 0xff ? 0xffu : units) << 48;
     return AttemptPlan{w};
   }
 
@@ -86,6 +97,10 @@ struct AttemptPlan {
   }
   constexpr unsigned locked_abort_weight256() const noexcept {
     return static_cast<unsigned>((word >> 40) & 0xff);
+  }
+  /// Learned spin-before-park budget in spins (0 = unlearned).
+  constexpr std::uint32_t park_budget_spins() const noexcept {
+    return static_cast<std::uint32_t>((word >> 48) & 0xff) * 256;
   }
 };
 

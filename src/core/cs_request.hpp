@@ -39,4 +39,20 @@ struct CsRequest {
   constexpr unsigned rw_mode() const noexcept { return scope->rw_mode; }
 };
 
+// A CsRequest with its per-scope eligibility pre-derived. The (api, lock,
+// md, scope) tuple of a use site never changes, and neither do the two
+// facts the engine re-derives from it on every execution — "may this scope
+// use HTM on this machine" and "does this scope declare a SWOpt path".
+// A front door that runs the same critical section in a hot loop composes
+// once (ElidableLock::compose / compose_cs_request in core/engine.hpp,
+// which supplies the htm-availability probe) and hands the engine the
+// frozen answers, shaving the derivation off every entry. HTM availability
+// is probed once at compose time — it is a boot-time constant, so freezing
+// it is exact.
+struct ComposedCsRequest {
+  CsRequest req;
+  bool htm_base;    // scope->allow_htm && htm_available(), frozen
+  bool swopt_base;  // scope->has_swopt, frozen
+};
+
 }  // namespace ale

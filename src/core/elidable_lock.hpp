@@ -108,6 +108,21 @@ class ElidableLock {
     elide(site.scope(), std::forward<Body>(body));
   }
 
+  /// Freeze this lock's request for `scope` (per-scope eligibility derived
+  /// once; see ComposedCsRequest). A hot loop composes once — typically
+  /// into a local or static const — and re-enters through the overload
+  /// below. The lock and the scope must outlive every use of the result.
+  [[nodiscard]] ComposedCsRequest compose(const ScopeInfo& scope) noexcept {
+    return compose_cs_request(
+        CsRequest{lock_api<LockT>(), &lock_, &md_, &scope});
+  }
+
+  /// Execute `body` through a request composed by compose().
+  template <typename Body>
+  void elide(const ComposedCsRequest& req, Body&& body) {
+    run_cs(req, std::forward<Body>(body));
+  }
+
   /// The raw pieces, for composing with the macro API or foreign code.
   /// ([[nodiscard]]: pure accessors — calling one and dropping the result
   /// is always a bug.)

@@ -11,6 +11,7 @@
 #include "htm/emulated.hpp"
 #include "inject/inject.hpp"
 #include "sync/backoff.hpp"
+#include "sync/parking.hpp"
 #include "telemetry/trace.hpp"
 
 namespace ale {
@@ -119,6 +120,13 @@ ExecMode current_exec_mode() noexcept {
 }
 
 CsExec::CsExec(const CsRequest& req)
+    : CsExec(req, req.scope->allow_htm && htm::htm_available(),
+             req.scope->has_swopt) {}
+
+CsExec::CsExec(const ComposedCsRequest& req)
+    : CsExec(req.req, req.htm_base, req.swopt_base) {}
+
+CsExec::CsExec(const CsRequest& req, bool htm_base, bool swopt_base)
     : api_(req.api), lock_(req.lock), md_(*req.md), scope_(*req.scope) {
   // §4.1: a CS nested within an HTM-mode CS runs in the same transaction;
   // "to minimize the duration of hardware transactions, and to reduce the
@@ -163,10 +171,10 @@ CsExec::CsExec(const CsRequest& req)
 
   saved_swopt_lock_ = tc.swopt_lock;
   st_.lock_already_held = already_held_;
-  st_.htm_eligible = scope_.allow_htm && htm::htm_available();
+  st_.htm_eligible = htm_base;
   // §4.1: no SWOpt when the thread holds the lock, or when it is already in
   // SWOpt mode for a critical section of a *different* lock.
-  st_.swopt_eligible = scope_.has_swopt && !already_held_ &&
+  st_.swopt_eligible = swopt_base && !already_held_ &&
                        (tc.swopt_lock == nullptr || tc.swopt_lock == &md_);
 
   // The plan word is ALWAYS re-read from the granule (never cached in the
@@ -303,10 +311,21 @@ void CsExec::wait_until_lock_free() const noexcept {
   // Bounded so a long-held lock cannot stall us forever (the subscription
   // check turns any residue into a kLockedByOther abort). The SWOpt-retrier
   // surplus is the one waiter census the granule keeps; it scales the spin
-  // windows so a deep retry queue spreads its probes.
+  // windows so a deep queue spreads its probes — and it is what arms the
+  // park stage's surplus gate: once the plan's learned spin budget is
+  // burned, the wait blocks in the kernel instead of spinning on, via the
+  // lock's park_wait hook (one wait per round; spurious returns re-probe).
   Backoff backoff;
   backoff.set_waiters(md_.swopt_retriers().approx_surplus());
-  for (int i = 0; i < 64 && api_->is_locked(lock_); ++i) backoff.pause();
+  if (plan_active_) backoff.set_park_budget(plan_.park_budget_spins());
+  for (int i = 0; i < 64 && api_->is_locked(lock_); ++i) {
+    if (api_->park_wait != nullptr && backoff.should_park()) {
+      api_->park_wait(lock_, static_cast<std::uint32_t>(backoff.spent()));
+      backoff.note_wake();
+      continue;
+    }
+    backoff.pause();
+  }
 }
 
 bool CsExec::arm() {
@@ -414,6 +433,11 @@ bool CsExec::arm() {
                               ? std::optional<std::uint64_t>(now_ticks())
                               : granule_->stats.lock_wait().maybe_start();
           }
+          // Hand the granule's learned spin-before-park budget to the
+          // Backoff the lock's own acquire loop constructs (the lock cannot
+          // see the granule; the thread-local hint bridges the layers).
+          parking::ScopedSpinBudget park_hint(
+              plan_active_ ? plan_.park_budget_spins() : 0);
           api_->acquire(lock_);
           lock_acquired_ = true;
           check::preempt(check::Sp::kLockAcquire);

@@ -88,6 +88,10 @@ class CsExec {
   /// The canonical constructor: every front door lowers to a CsRequest.
   explicit CsExec(const CsRequest& req);
 
+  /// Pre-composed form: the per-scope eligibility facts arrive frozen (see
+  /// ComposedCsRequest in core/cs_request.hpp) instead of being re-derived.
+  explicit CsExec(const ComposedCsRequest& req);
+
   /// Raw-parts convenience, itself a lowering onto CsRequest (kept so the
   /// scoped-locking idiom and existing call sites read naturally).
   CsExec(const LockApi* api, void* lock, LockMd& md, const ScopeInfo& scope)
@@ -146,6 +150,10 @@ class CsExec {
   }
 
  private:
+  // Common initialization; the public constructors supply the per-scope
+  // eligibility facts either freshly derived or frozen at compose time.
+  CsExec(const CsRequest& req, bool htm_base, bool swopt_base);
+
   void record_htm_abort(htm::AbortCause cause);
   void leave_swopt_sets() noexcept;
   void cleanup_abandoned() noexcept;
@@ -259,6 +267,23 @@ void drive_cs(CsExec& cs, Body&& body) {
 /// all lambda-style front doors lower to.
 template <typename Body>
 void run_cs(const CsRequest& req, Body&& body) {
+  CsExec cs(req);
+  drive_cs(cs, static_cast<Body&&>(body));
+}
+
+/// Freeze a CsRequest's per-scope eligibility (HTM availability is a
+/// boot-time constant, so the probe result is exact). Compose once per use
+/// site — typically into a static — and re-enter through the
+/// ComposedCsRequest overloads.
+inline ComposedCsRequest compose_cs_request(const CsRequest& req) noexcept {
+  return ComposedCsRequest{
+      req, req.scope->allow_htm && htm::htm_available(),
+      req.scope->has_swopt};
+}
+
+/// run_cs over a pre-composed request (see ComposedCsRequest).
+template <typename Body>
+void run_cs(const ComposedCsRequest& req, Body&& body) {
   CsExec cs(req);
   drive_cs(cs, static_cast<Body&&>(body));
 }

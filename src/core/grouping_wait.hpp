@@ -27,6 +27,14 @@ namespace ale {
 
 inline constexpr unsigned kGroupingMaxWaitRounds = 4096;
 
+// Park bound for the bounded wait: parks are timed at ~a scheduling
+// quantum each and capped in number, so a wedged retrier group stalls a
+// conflicting execution for at most ~32 ms of sleep (the same order as the
+// old all-spin ladder) instead of hanging it. A healthy group drains within
+// the first park or two.
+inline constexpr std::uint64_t kGroupingParkTimeoutNs = 2'000'000;
+inline constexpr unsigned kGroupingMaxExpiredParks = 16;
+
 // Returns the number of backoff rounds actually waited (0 when the SNZI was
 // clear or the probabilistic respect roll skipped the wait), so callers and
 // the decision trace can observe deferral behaviour.
@@ -39,6 +47,7 @@ inline unsigned grouping_wait(LockMd& md, double respect_probability = 1.0) {
   Backoff backoff;
   backoff.set_waiters(md.swopt_retriers().approx_surplus());
   unsigned round = 0;
+  unsigned expired_parks = 0;
   for (; round < kGroupingMaxWaitRounds && md.swopt_retriers().query();
        ++round) {
     // Re-census the retriers every few rounds: the SNZI surplus scales the
@@ -46,6 +55,23 @@ inline unsigned grouping_wait(LockMd& md, double respect_probability = 1.0) {
     // group drains or grows instead of walking a fixed exponential ladder.
     if ((round & 7u) == 0 && round != 0) {
       backoff.set_waiters(md.swopt_retriers().approx_surplus());
+    }
+    // Park stage: once the spin budget is burned, block on the SNZI's
+    // epoch word until the retrier group drains (the 1 → 0 departer
+    // wakes). The parks are TIMED and capped: this wait is bounded by
+    // contract — a wedged retrier group must not stall conflicting
+    // executions — and an untimed sleep would turn the round bound into a
+    // hang, since rounds only advance when the sleeper returns.
+    // Exhausting the park cap ends the wait like exhausting the rounds.
+    if (backoff.should_park()) {
+      if (!md.swopt_retriers().park_until_zero_for(
+              kGroupingParkTimeoutNs,
+              static_cast<std::uint32_t>(backoff.spent())) &&
+          ++expired_parks >= kGroupingMaxExpiredParks) {
+        break;
+      }
+      backoff.note_wake();
+      continue;
     }
     backoff.pause();
   }

@@ -32,6 +32,8 @@ const char* to_string(Point p) noexcept {
     case Point::kRwAcquire: return "rw.acquire";
     case Point::kSvcArrival: return "svc.arrival";
     case Point::kSvcHotkey: return "svc.hotkey";
+    case Point::kSyncPark: return "sync.park";
+    case Point::kSyncWake: return "sync.wake";
   }
   return "?";
 }

@@ -86,9 +86,18 @@ enum class Point : std::uint8_t {
                       ///< gaps to zero (an instantaneous batch of traffic)
   kSvcHotkey = 14,    ///< hot-key storm: the next x requests draw keys from
                       ///< the hottest ranks only (TrafficConfig::hot_set)
+
+  // Futex-parking points (fault points: the parking protocol must tolerate
+  // both). sync.park widens the decide-to-sleep window and then forces a
+  // spurious return; sync.wake delays the wake syscall — neither may ever
+  // suppress a wake outright (that would be a mutation, not a fault).
+  kSyncPark = 15,     ///< stall x pause-spins between the park decision and
+                      ///< the futex wait, then return spuriously (no sleep)
+  kSyncWake = 16,     ///< stall x pause-spins before issuing a futex wake
+                      ///< (stretches the parked-waiter convoy)
 };
 
-inline constexpr std::size_t kNumPoints = 15;
+inline constexpr std::size_t kNumPoints = 17;
 
 const char* to_string(Point p) noexcept;
 std::optional<Point> point_by_name(std::string_view name) noexcept;

@@ -165,9 +165,27 @@ void AdaptivePolicy::maybe_publish_plan(GranuleMd& g, Progression prog,
   const ContextNode* ctx = g.context();
   const ScopeInfo* scope = ctx != nullptr ? ctx->scope() : nullptr;
   const unsigned rw_mode = scope != nullptr ? scope->rw_mode : kNoRwMode;
+  // Learn the spin-before-park budget from the sampled lock-wait time: a
+  // waiter should spin about one typical hand-off before blocking, so that
+  // short convoys resolve in user space while a genuinely long wait (or an
+  // oversubscribed host, where the wait inflates with scheduling delay)
+  // parks instead of burning the holder's CPU. Ticks→spins divisor: one
+  // Backoff spin is a pause-loop iteration, a handful of cycles — /16 maps
+  // the measured wait into the same unit Backoff::spent() accumulates.
+  // 0 (< min samples) keeps the plan "unlearned" and the ALE_PARK max_spin
+  // cap applies.
+  std::uint32_t park_budget = 0;
+  const auto& wait = g.stats.lock_wait();
+  if (wait.sample_count() >= 4) {
+    const double spins = wait.mean_ticks() / 16.0;
+    park_budget = spins >= 1.0
+                      ? static_cast<std::uint32_t>(
+                            spins < 65280.0 ? spins : 65280.0)
+                      : 1;
+  }
   g.publish_attempt_plan(AttemptPlan::make(htm_in, swopt_in, x, cfg_.y_large,
                                            cfg_.grouping, weight256, notify,
-                                           rw_mode));
+                                           rw_mode, park_budget));
 }
 
 void AdaptivePolicy::on_htm_abort(LockMd&, GranuleMd&, htm::AbortCause) {}

@@ -22,6 +22,7 @@
 #include "common/cycles.hpp"
 #include "common/prng.hpp"
 #include "inject/inject.hpp"
+#include "sync/parking.hpp"
 
 namespace ale {
 
@@ -43,15 +44,19 @@ class Backoff {
  public:
   static constexpr std::uint32_t kMinSpins = 4;
   static constexpr std::uint32_t kMaxSpins = 4096;
+  // spent()-accounting cost of one saturated-round yield (see pause()).
+  static constexpr std::uint32_t kYieldSpinEquivalent = 1024;
 
   Backoff() noexcept {
     const BackoffConfig& cfg = backoff_config();
     min_spins_ = cfg.min_spins;
     limit_ = cfg.min_spins;
     max_spins_ = cfg.max_spins;
+    park_budget_ = parking::thread_spin_budget();
   }
-  constexpr explicit Backoff(std::uint32_t max_spins) noexcept
-      : max_spins_(max_spins) {}
+  explicit Backoff(std::uint32_t max_spins) noexcept
+      : max_spins_(max_spins),
+        park_budget_(parking::thread_spin_budget()) {}
 
   /// Feed in an estimate of how many other threads are waiting on the same
   /// resource (e.g. the SWOpt grouping SNZI's surplus). The next pause()
@@ -83,17 +88,62 @@ class Backoff {
     // deadlock-free.
     if (virtual_time_enabled()) {
       advance_virtual_time(spins);
+      spent_ += spins;
       if (limit_ < max_spins_) limit_ *= 2;  // same window growth as below
       check::yield_spin(check::Sp::kSpinWait);
       return;
     }
     for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
+    spent_ += spins;
     if (limit_ < max_spins_) {
       limit_ *= 2;
     } else {
       std::this_thread::yield();
+      // A yield consumes wall time (a syscall, usually a pass through the
+      // other runnable threads) without executing pauses. Charge it toward
+      // the park decision at a nominal spin-equivalent: on an oversubscribed
+      // host most waiting happens in yield rounds, and counting only
+      // executed spins would starve the park tier on exactly the hosts it
+      // exists for.
+      spent_ += kYieldSpinEquivalent;
     }
   }
+
+  // ---- the park stage ----
+  //
+  // A spin loop that owns a parking protocol (the lock acquire loops, the
+  // engine's pre-HTM lock-free wait) asks should_park() each round: true
+  // once the cumulative spins burned by pause() exceed the spin budget —
+  // the granule-learned value installed by the engine (thread hint read at
+  // construction, overridable with set_park_budget), clamped to the
+  // ALE_PARK [min_spin, max_spin] range — AND the waiter estimate fed
+  // through set_waiters() reaches the surplus gate. Loops without a park
+  // protocol simply never ask.
+
+  /// Override the spin-before-park budget (0 = unlearned: use max_spin).
+  void set_park_budget(std::uint32_t spins) noexcept { park_budget_ = spins; }
+
+  /// True when the caller should stop spinning and park.
+  bool should_park() const noexcept {
+    if (!park_enabled()) return false;
+    const ParkConfig& cfg = park_config();
+    if (waiters_ < cfg.surplus_gate) return false;
+    std::uint64_t budget = park_budget_ != 0 ? park_budget_ : cfg.max_spin;
+    if (budget < cfg.min_spin) budget = cfg.min_spin;
+    if (budget > cfg.max_spin) budget = cfg.max_spin;
+    return spent_ >= budget;
+  }
+
+  /// Reset spin accounting after a (possibly spurious) wake: the thread is
+  /// freshly runnable, so it re-probes quickly and earns its next park by
+  /// burning a full budget again.
+  void note_wake() noexcept {
+    spent_ = 0;
+    limit_ = min_spins_;
+  }
+
+  /// Cumulative pause()-spins burned since construction / note_wake().
+  std::uint64_t spent() const noexcept { return spent_; }
 
   constexpr void reset() noexcept { limit_ = min_spins_; }
 
@@ -116,6 +166,8 @@ class Backoff {
   std::uint32_t min_spins_ = kMinSpins;
   std::uint32_t max_spins_ = kMaxSpins;
   std::uint32_t waiters_ = 0;
+  std::uint32_t park_budget_ = 0;  // 0 = unlearned (park_config().max_spin)
+  std::uint64_t spent_ = 0;        // cumulative spins since ctor/note_wake
 };
 
 }  // namespace ale

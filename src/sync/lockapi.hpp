@@ -16,6 +16,7 @@
 // not conflict with an elided reader.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 
 #include "sync/rwlock.hpp"
@@ -33,21 +34,37 @@ struct LockApi {
   bool (*is_locked)(const void* lock) = nullptr;
   const void* (*subscription_word)(const void* lock) = nullptr;
   const char* name = "lock";
+  // Optional parking tier: ONE blocked (futex) wait for is_locked to turn
+  // false, entered by the engine's pre-HTM wait loop once the spin budget
+  // is burned. May return spuriously — callers re-check is_locked. nullptr
+  // when the lock has no parking protocol (the engine then spins as
+  // before). spent_spins is telemetry: spins burned before parking.
+  void (*park_wait)(void* lock, std::uint32_t spent_spins) = nullptr;
 };
 
 // Generic LockApi for any lock with lock/unlock/try_lock/is_locked/
 // subscription_word members (TatasLock, TicketLock, RwSpinLock write side).
+// park_wait binds to park_until_free when the lock provides it; locks
+// without a parking protocol (TrackedMutex) get nullptr and keep spinning.
 template <class L>
 const LockApi* lock_api() noexcept {
-  static const LockApi api{
-      [](void* l) { static_cast<L*>(l)->lock(); },
-      [](void* l) { static_cast<L*>(l)->unlock(); },
-      [](void* l) { return static_cast<L*>(l)->try_lock(); },
-      [](const void* l) { return static_cast<const L*>(l)->is_locked(); },
-      [](const void* l) {
-        return static_cast<const L*>(l)->subscription_word();
-      },
-      "lock"};
+  static const LockApi api = [] {
+    LockApi a{
+        [](void* l) { static_cast<L*>(l)->lock(); },
+        [](void* l) { static_cast<L*>(l)->unlock(); },
+        [](void* l) { return static_cast<L*>(l)->try_lock(); },
+        [](const void* l) { return static_cast<const L*>(l)->is_locked(); },
+        [](const void* l) {
+          return static_cast<const L*>(l)->subscription_word();
+        },
+        "lock"};
+    if constexpr (requires(L& l) { l.park_until_free(std::uint32_t{0}); }) {
+      a.park_wait = [](void* l, std::uint32_t spent) {
+        static_cast<L*>(l)->park_until_free(spent);
+      };
+    }
+    return a;
+  }();
   return &api;
 }
 
@@ -75,7 +92,10 @@ const LockApi* rw_exclusive_api() noexcept {
       [](const void* l) {
         return static_cast<const L*>(l)->subscription_word();
       },
-      "rw-exclusive"};
+      "rw-exclusive",
+      [](void* l, std::uint32_t spent) {
+        static_cast<L*>(l)->park_until_free(spent);
+      }};
   return &api;
 }
 
@@ -92,7 +112,10 @@ const LockApi* rw_shared_api() noexcept {
       [](const void* l) {
         return static_cast<const L*>(l)->subscription_word();
       },
-      "rw-shared"};
+      "rw-shared",
+      [](void* l, std::uint32_t spent) {
+        static_cast<L*>(l)->park_until_write_free(spent);
+      }};
   return &api;
 }
 
@@ -109,7 +132,10 @@ const LockApi* rw_shared_trylockspin_api() noexcept {
       [](const void* l) {
         return static_cast<const L*>(l)->subscription_word();
       },
-      "rw-shared-trylockspin"};
+      "rw-shared-trylockspin",
+      [](void* l, std::uint32_t spent) {
+        static_cast<L*>(l)->park_until_write_free(spent);
+      }};
   return &api;
 }
 
@@ -144,7 +170,10 @@ const LockApi* rw_update_api() noexcept {
       [](const void* l) {
         return static_cast<const L*>(l)->subscription_word();
       },
-      "rw-update"};
+      "rw-update",
+      [](void* l, std::uint32_t spent) {
+        static_cast<L*>(l)->park_until_write_or_update_free(spent);
+      }};
   return &api;
 }
 
@@ -163,7 +192,10 @@ inline const LockApi* rw_write_api() noexcept {
       [](const void* l) {
         return static_cast<const RwSpinLock*>(l)->subscription_word();
       },
-      "rw-write"};
+      "rw-write",
+      [](void* l, std::uint32_t spent) {
+        static_cast<RwSpinLock*>(l)->park_until_free(spent);
+      }};
   return &api;
 }
 
@@ -179,7 +211,10 @@ inline const LockApi* rw_read_api() noexcept {
       [](const void* l) {
         return static_cast<const RwSpinLock*>(l)->subscription_word();
       },
-      "rw-read"};
+      "rw-read",
+      [](void* l, std::uint32_t spent) {
+        static_cast<RwSpinLock*>(l)->park_until_write_free(spent);
+      }};
   return &api;
 }
 
@@ -197,7 +232,10 @@ inline const LockApi* rw_read_trylockspin_api() noexcept {
       [](const void* l) {
         return static_cast<const RwSpinLock*>(l)->subscription_word();
       },
-      "rw-read-trylockspin"};
+      "rw-read-trylockspin",
+      [](void* l, std::uint32_t spent) {
+        static_cast<RwSpinLock*>(l)->park_until_write_free(spent);
+      }};
   return &api;
 }
 

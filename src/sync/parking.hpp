@@ -1,0 +1,122 @@
+// Futex parking — the sleep tier below every spin loop in the library.
+//
+// The paper's fallback path assumes waiters spin; that collapses when
+// threads ≫ cores (the oversubscribed, millions-of-users regime): a spinner
+// burns the very timeslice the lock holder needs to finish its critical
+// section. This layer adds the classic third tier — spin a budget, then
+// *park* on the lock word with futex(2) — while keeping the uncontended
+// path at literally zero extra cost: no waiter ever parked ⇒ no parked-bit
+// set ⇒ release paths never issue a syscall.
+//
+// Protocol contract (each lock implements its own variant; see
+// spinlock/ticketlock/rwlock):
+//   1. A waiter publishes a parked-waiters bit (or counter) in/next to the
+//      lock word *before* sleeping, and sleeps via park(word, expected) —
+//      the kernel atomically re-checks `word == expected`, so a release
+//      that races the publish either sees the bit (and wakes) or changes
+//      the word (and the wait returns immediately). No lost wakeups.
+//   2. Release paths issue wake_one/wake_all only when they observed the
+//      parked bit in the value they replaced.
+//   3. park() may ALWAYS return spuriously (forced by the sync.park inject
+//      point, by the condvar fallback, or by the checker); every park loop
+//      re-evaluates its wait condition from scratch after it returns.
+//
+// Spin budgets: how long to spin before the first park is a learned,
+// per-call-site-granule quantity — AdaptivePolicy measures the granule's
+// lock-wait time and publishes a budget through the packed AttemptPlan
+// word; the engine forwards it to the lock's Backoff via a thread-local
+// hint (ScopedSpinBudget) since the lock's acquire loop cannot see the
+// granule. ALE_PARK ("min_spin=/max_spin=/surplus_gate=/off") clamps and
+// gates the whole tier, mirroring ALE_BACKOFF.
+//
+// Under the ale::check scheduler or the virtual clock, park() never touches
+// the kernel: it charges virtual ticks and degrades to a yield_spin at the
+// Sp::kPark schedule point, so lost-wakeup interleavings stay explorable
+// with serialized schedules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace ale {
+
+// Process-wide parking tunables, parsed once from ALE_PARK (see
+// docs/api.md). Learned spin budgets are clamped to [min_spin, max_spin];
+// granules with no learned budget spin max_spin before the first park.
+//
+// max_spin defaults to the competitive bound: spinning longer than a park/
+// wake round trip costs (~a few µs ⇒ ~4k pause-spins) can never win — if
+// the wait ends inside the window you paid at most one round trip extra by
+// parking, and if it doesn't you burn unboundedly. Learned budgets only
+// ever shrink the window below this bound.
+struct ParkConfig {
+  bool enabled = true;             // "off" clears this
+  std::uint32_t min_spin = 128;    // floor on any spin-before-park budget
+  std::uint32_t max_spin = 4096;   // ceiling; also the unlearned default
+  std::uint32_t surplus_gate = 0;  // min. observed waiters before parking
+};
+
+// Parsed from ALE_PARK once per process. Malformed clauses are rejected
+// with a one-line stderr diagnostic (configuration never crashes a host).
+const ParkConfig& park_config() noexcept;
+
+// Test/bench override of the parsed config. Call only while no thread can
+// be parked or deciding to park (quiescent), e.g. before spawning workers.
+void set_park_config(const ParkConfig& cfg) noexcept;
+
+/// Runtime kill switch (initialized from park_config().enabled). Reading is
+/// one relaxed load; benches flip it to measure the spin-only baseline.
+/// Like set_park_config, only flip it while no waiter is parked.
+bool park_enabled() noexcept;
+void set_park_enabled(bool on) noexcept;
+
+namespace parking {
+
+/// Sleep until `word != expected` (kernel-checked atomically) or a wake /
+/// spurious event. `spent_spins` is the spin work the caller burned before
+/// deciding to park (telemetry only). Under virtual time / the checker this
+/// charges ticks and yields instead of sleeping.
+void park(const std::atomic<std::uint32_t>& word, std::uint32_t expected,
+          std::uint32_t spent_spins = 0) noexcept;
+
+/// Timed park for waits that are bounded by contract (e.g. the grouping
+/// wait, which must return even if the group it waits on is wedged).
+/// Returns false iff the timeout expired; true on any other return (wake,
+/// word change, spurious) — callers re-check their condition either way.
+/// Under virtual time / the checker this never sleeps and returns true.
+bool park_for(const std::atomic<std::uint32_t>& word, std::uint32_t expected,
+              std::uint64_t timeout_ns,
+              std::uint32_t spent_spins = 0) noexcept;
+
+/// Wake one / all waiters parked on `word`. Call only after the release
+/// store that falsifies the waiters' condition, and only when a parked-
+/// waiters bit was observed (the zero-syscall contract).
+void wake_one(const std::atomic<std::uint32_t>& word) noexcept;
+void wake_all(const std::atomic<std::uint32_t>& word) noexcept;
+
+/// The calling thread's spin-before-park budget hint, in pause-spins.
+/// 0 = no hint (Backoff falls back to park_config().max_spin). Set by the
+/// engine from the granule's AttemptPlan around blocking acquisitions.
+std::uint32_t thread_spin_budget() noexcept;
+
+/// RAII installer for the thread budget hint (restores the previous value,
+/// so nested critical sections on different granules don't leak hints).
+class ScopedSpinBudget {
+ public:
+  explicit ScopedSpinBudget(std::uint32_t spins) noexcept;
+  ~ScopedSpinBudget();
+  ScopedSpinBudget(const ScopedSpinBudget&) = delete;
+  ScopedSpinBudget& operator=(const ScopedSpinBudget&) = delete;
+
+ private:
+  std::uint32_t prev_;
+};
+
+/// Process-wide park/wake counters (telemetry and tests; relaxed).
+std::uint64_t park_count() noexcept;
+std::uint64_t wake_count() noexcept;
+void reset_park_counters() noexcept;
+
+}  // namespace parking
+}  // namespace ale

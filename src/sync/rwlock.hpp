@@ -19,12 +19,27 @@
 // protocol cannot deadlock against a waiting writer because the writer's
 // acquire CAS requires every other bit to be clear, and the update bit is
 // exactly what the upgrader holds.
+//
+// Parking tier: one kParked bit is carved out of the reader-count field.
+// It means "at least one waiter (of any mode) is parked on state_". The
+// invariants that keep it sound:
+//   * the bit is only ever set while some blocking bit/count is present, so
+//     a fully free lock is exactly 0 and the uncontended paths never see it;
+//   * every acquire condition masks the bit out, and every acquire CAS
+//     target preserves it (an acquire must never clobber someone's wake
+//     obligation);
+//   * the release paths that clear a blocking condition check the bit and,
+//     when set, clear it and wake ALL sleepers — mixed modes wait on the
+//     same word, so a single targeted wake could land on a waiter that is
+//     still blocked and walks back to sleep without re-waking others.
+//     Woken waiters that remain blocked re-set the bit when they re-park.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "sync/backoff.hpp"
+#include "sync/parking.hpp"
 
 namespace ale {
 
@@ -42,8 +57,8 @@ class RwSpinLock {
     Backoff backoff;
     for (;;) {
       std::uint32_t s = state_.load(std::memory_order_relaxed);
-      if (s == 0 || s == kWriterWait) {
-        if (state_.compare_exchange_weak(s, kWriterHeld,
+      if ((s & ~(kWriterWait | kParked)) == 0) {
+        if (state_.compare_exchange_weak(s, kWriterHeld | (s & kParked),
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
           return;
@@ -56,6 +71,13 @@ class RwSpinLock {
         state_.compare_exchange_weak(s, s | kWriterWait,
                                      std::memory_order_relaxed,
                                      std::memory_order_relaxed);
+        continue;
+      }
+      if (backoff.should_park()) {
+        try_park(kWriterHeld | kUpdateHeld | kReaderMask,
+                 static_cast<std::uint32_t>(backoff.spent()));
+        backoff.note_wake();
+        continue;
       }
       backoff.pause();
     }
@@ -63,8 +85,8 @@ class RwSpinLock {
 
   bool try_lock() noexcept {
     std::uint32_t s = state_.load(std::memory_order_relaxed);
-    while (s == 0 || s == kWriterWait) {
-      if (state_.compare_exchange_weak(s, kWriterHeld,
+    while ((s & ~(kWriterWait | kParked)) == 0) {
+      if (state_.compare_exchange_weak(s, kWriterHeld | (s & kParked),
                                        std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
         return true;
@@ -74,7 +96,11 @@ class RwSpinLock {
   }
 
   void unlock() noexcept {
-    state_.store(0, std::memory_order_release);
+    // The exchange wipes the wait bit (waiting writers re-announce on their
+    // next iteration) and reads the parked bit atomically with the release.
+    if (state_.exchange(0, std::memory_order_release) & kParked) {
+      parking::wake_all(state_);
+    }
   }
 
   // ---- reader side ----
@@ -94,6 +120,12 @@ class RwSpinLock {
         }
         continue;
       }
+      if (backoff.should_park()) {
+        try_park(kWriterHeld | kWriterWait,
+                 static_cast<std::uint32_t>(backoff.spent()));
+        backoff.note_wake();
+        continue;
+      }
       backoff.pause();
     }
   }
@@ -110,7 +142,15 @@ class RwSpinLock {
   }
 
   void unlock_shared() noexcept {
-    state_.fetch_sub(1, std::memory_order_release);
+    const std::uint32_t old = state_.fetch_sub(1, std::memory_order_release);
+    // Only the LAST departing reader can unblock anyone (a parked writer or
+    // an upgrader draining the count); earlier departures leave the bit for
+    // it. Clearing before waking is safe: wake_all follows unconditionally,
+    // and re-blocked wakeups re-set the bit.
+    if ((old & kParked) != 0 && (old & kReaderMask) == 1) {
+      state_.fetch_and(~kParked, std::memory_order_relaxed);
+      parking::wake_all(state_);
+    }
   }
 
   // ---- update (intent) side ----
@@ -136,6 +176,12 @@ class RwSpinLock {
         }
         continue;
       }
+      if (backoff.should_park()) {
+        try_park(kWriterHeld | kWriterWait | kUpdateHeld,
+                 static_cast<std::uint32_t>(backoff.spent()));
+        backoff.note_wake();
+        continue;
+      }
       backoff.pause();
     }
   }
@@ -153,7 +199,12 @@ class RwSpinLock {
   }
 
   void unlock_update() noexcept {
-    state_.fetch_and(~kUpdateHeld, std::memory_order_release);
+    const std::uint32_t old =
+        state_.fetch_and(~kUpdateHeld, std::memory_order_release);
+    if (old & kParked) {
+      state_.fetch_and(~kParked, std::memory_order_relaxed);
+      parking::wake_all(state_);
+    }
   }
 
   // Upgrade the held update lock to the exclusive lock, in place. Sets the
@@ -162,10 +213,11 @@ class RwSpinLock {
   // the upgraded lock with plain unlock().
   //
   // Deadlock-freedom vs. a concurrently waiting writer: the writer's CAS
-  // requires state == 0 or state == kWriterWait, and our update bit keeps
-  // state non-zero for the whole drain — so the upgrader always wins the
-  // race and the writer simply keeps waiting. The CAS below drops the wait
-  // bit; waiting writers re-announce it on their next loop iteration.
+  // requires every blocking bit to be clear, and our update bit keeps one
+  // set for the whole drain — so the upgrader always wins the race and the
+  // writer simply keeps waiting. The CAS below drops the wait bit; waiting
+  // writers re-announce it on their next loop iteration. No wake on
+  // success: an acquire unblocks nobody.
   void upgrade() noexcept {
     check::preempt(check::Sp::kRwUpgrade);
     inject::maybe_stall(inject::Point::kRwUpgrade, 0);
@@ -179,11 +231,16 @@ class RwSpinLock {
         continue;
       }
       if ((s & kReaderMask) == 0) {
-        if (state_.compare_exchange_weak(s, kWriterHeld,
+        if (state_.compare_exchange_weak(s, kWriterHeld | (s & kParked),
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed)) {
           return;
         }
+        continue;
+      }
+      if (backoff.should_park()) {
+        try_park(kReaderMask, static_cast<std::uint32_t>(backoff.spent()));
+        backoff.note_wake();
         continue;
       }
       backoff.pause();
@@ -196,7 +253,7 @@ class RwSpinLock {
     check::preempt(check::Sp::kRwUpgrade);
     std::uint32_t s = state_.load(std::memory_order_relaxed);
     while ((s & kUpdateHeld) != 0 && (s & kReaderMask) == 0) {
-      if (state_.compare_exchange_weak(s, kWriterHeld,
+      if (state_.compare_exchange_weak(s, kWriterHeld | (s & kParked),
                                        std::memory_order_acquire,
                                        std::memory_order_relaxed)) {
         return true;
@@ -217,13 +274,31 @@ class RwSpinLock {
     if (!try_lock_shared()) lock_shared();
   }
 
+  // ---- parked waits for the engine's pre-HTM "lock free" loops ----
+  // One parked wait each, keyed to the matching subscription predicate.
+  // All may return spuriously; callers re-check the predicate.
+
+  void park_until_free(std::uint32_t spent_spins = 0) noexcept {
+    try_park(kWriterHeld | kUpdateHeld | kReaderMask, spent_spins);
+  }
+
+  void park_until_write_free(std::uint32_t spent_spins = 0) noexcept {
+    try_park(kWriterHeld, spent_spins);
+  }
+
+  void park_until_write_or_update_free(
+      std::uint32_t spent_spins = 0) noexcept {
+    try_park(kWriterHeld | kUpdateHeld, spent_spins);
+  }
+
   // ---- predicates ----
 
   // Any holder at all (readers, updater, or writer). An elided *exclusive*
   // critical section conflicts with all of them, so this is its
   // subscription predicate.
   bool is_locked() const noexcept {
-    return (state_.load(std::memory_order_acquire) & ~kWriterWait) != 0;
+    return (state_.load(std::memory_order_acquire) &
+            ~(kWriterWait | kParked)) != 0;
   }
 
   // Writer held. An elided *shared* critical section conflicts only with a
@@ -254,7 +329,27 @@ class RwSpinLock {
   static constexpr std::uint32_t kWriterHeld = 1u << 31;
   static constexpr std::uint32_t kWriterWait = 1u << 30;
   static constexpr std::uint32_t kUpdateHeld = 1u << 29;
-  static constexpr std::uint32_t kReaderMask = kUpdateHeld - 1;
+  static constexpr std::uint32_t kParked = 1u << 28;
+  static constexpr std::uint32_t kReaderMask = kParked - 1;
+
+  // Park on state_ while any bit in blocked_mask is present. Publishes the
+  // parked bit (never while unblocked — that could strand the bit on a free
+  // lock) before sleeping; the kernel-side value re-check closes the race
+  // against a release that slips between our load and the sleep. Returns
+  // without sleeping when the CAS loses or the lock became acquirable.
+  void try_park(std::uint32_t blocked_mask,
+                std::uint32_t spent_spins) noexcept {
+    std::uint32_t s = state_.load(std::memory_order_relaxed);
+    if ((s & blocked_mask) == 0) return;
+    if ((s & kParked) == 0) {
+      if (!state_.compare_exchange_weak(s, s | kParked,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+      s |= kParked;
+    }
+    parking::park(state_, s, spent_spins);
+  }
 
   std::atomic<std::uint32_t> state_{0};
 };

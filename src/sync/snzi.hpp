@@ -23,6 +23,7 @@
 #include "check/sched_point.hpp"
 #include "common/cacheline.hpp"
 #include "common/cpu.hpp"
+#include "sync/parking.hpp"
 
 namespace ale {
 
@@ -60,6 +61,49 @@ class Snzi {
     return s > 0 ? static_cast<std::uint32_t>(s) : 0u;
   }
 
+  // One parked (futex) wait for the surplus to reach zero, used by the
+  // grouping wait once its spin budget is burned. Waiters sleep on a side
+  // epoch word, (epoch << 1) | parked-bit; the departer that drops the
+  // root to zero bumps the epoch (atomically clearing the bit) and wakes
+  // all. The parked-bit publication and the root decrement form a
+  // store-buffering pair, fenced seq_cst on both sides: either our
+  // re-check sees the zero and we never sleep, or the departer sees the
+  // bit and wakes. May return spuriously; callers re-check query().
+  void park_until_zero(std::uint32_t spent_spins = 0) noexcept {
+    std::uint32_t e = park_epoch_.load(std::memory_order_relaxed);
+    if ((e & 1u) == 0) {
+      if (!park_epoch_.compare_exchange_weak(e, e | 1u,
+                                             std::memory_order_relaxed)) {
+        return;  // epoch moved under us; caller re-evaluates
+      }
+      e |= 1u;
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // A stale bit on a zero surplus is harmless: the next 1 → 0 departer
+    // clears it with one no-sleeper wake.
+    if (!query()) return;
+    parking::park(park_epoch_, e, spent_spins);
+  }
+
+  // Timed variant for waits that are bounded by contract (the grouping
+  // wait): returns false iff the timeout expired with the group still
+  // nonzero — the caller should stop waiting. Any other return (woken,
+  // epoch moved, spurious) is true; re-check query() as usual.
+  bool park_until_zero_for(std::uint64_t timeout_ns,
+                           std::uint32_t spent_spins = 0) noexcept {
+    std::uint32_t e = park_epoch_.load(std::memory_order_relaxed);
+    if ((e & 1u) == 0) {
+      if (!park_epoch_.compare_exchange_weak(e, e | 1u,
+                                             std::memory_order_relaxed)) {
+        return true;  // epoch moved under us; caller re-evaluates
+      }
+      e |= 1u;
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!query()) return true;
+    return parking::park_for(park_epoch_, e, timeout_ns, spent_spins);
+  }
+
  private:
   // Node word layout: low 32 bits = surplus in HALF units (½ == 1, 1 == 2),
   // high 32 bits = version (bumped on each 0 → ½ transition).
@@ -91,7 +135,20 @@ class Snzi {
     root_.value.fetch_add(1, std::memory_order_acq_rel);
   }
   void root_depart() noexcept {
-    root_.value.fetch_sub(1, std::memory_order_acq_rel);
+    if (root_.value.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // We took the surplus to zero: release half of the store-buffering
+      // pair (see park_until_zero). A transient arrive-undo can land here
+      // too — its wake is spurious and the sleepers simply re-check.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      std::uint32_t e = park_epoch_.load(std::memory_order_relaxed);
+      while ((e & 1u) != 0) {
+        if (park_epoch_.compare_exchange_weak(e, e + 1u,
+                                              std::memory_order_relaxed)) {
+          parking::wake_all(park_epoch_);
+          break;
+        }
+      }
+    }
   }
 
   // Non-root Arrive from the PODC'07 paper, in half units.
@@ -168,6 +225,9 @@ class Snzi {
   unsigned num_leaves_;
   std::unique_ptr<CacheAligned<Node>[]> leaves_;
   CacheAligned<std::atomic<std::int64_t>> root_{};
+  // Futex word for park_until_zero: (epoch << 1) | parked. Separate from
+  // the root so arrive/depart traffic does not disturb sleepers' cacheline.
+  std::atomic<std::uint32_t> park_epoch_{0};
   std::atomic<unsigned> next_slot_{0};
 };
 

@@ -1,13 +1,27 @@
-// Test-and-test-and-set spinlock with exponential backoff.
+// Test-and-test-and-set spinlock with exponential backoff and a futex
+// parking tier.
 //
 // This is the default lock for ALE-enabled critical sections: it exposes the
 // three operations the paper's LockAPI requires — acquire, release, and the
 // is_locked predicate that HTM mode uses to subscribe to the lock.
+//
+// Word states (the classic three-state futex mutex):
+//   0                   free
+//   kHeldBit            held, no parked waiters
+//   kHeldBit|kParkedBit held, at least one waiter parked (or a waiter that
+//                       once parked holds it and conservatively preserves
+//                       the bit for siblings it cannot see)
+// The parked bit is only ever set while the lock is held, so "free" is
+// always exactly 0 and the uncontended acquire/release path never sees the
+// parking protocol: release is one exchange, and the futex wake happens
+// only when the replaced value carried the parked bit (zero syscalls when
+// nobody ever parked).
 #pragma once
 
 #include <atomic>
 
 #include "sync/backoff.hpp"
+#include "sync/parking.hpp"
 
 namespace ale {
 
@@ -20,29 +34,87 @@ class TatasLock {
   void lock() noexcept {
     if (try_lock()) return;
     Backoff backoff;
+    // Once this thread has parked, it acquires with the parked bit set:
+    // other waiters may still be asleep, and the bit is what obliges the
+    // eventual unlock to wake them.
+    std::uint32_t acquire_value = kHeldBit;
     for (;;) {
-      while (word_.load(std::memory_order_relaxed) != 0) backoff.pause();
-      if (word_.exchange(1, std::memory_order_acquire) == 0) return;
+      std::uint32_t w = word_.load(std::memory_order_relaxed);
+      if ((w & kHeldBit) == 0) {
+        // Free is always 0 (see file comment); CAS, not exchange, so a
+        // racing waiter's parked bit can never be clobbered.
+        if (word_.compare_exchange_weak(w, acquire_value,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+          return;
+        }
+        continue;
+      }
+      if (backoff.should_park()) {
+        if (w == kHeldBit &&
+            !word_.compare_exchange_weak(w, kHeldBit | kParkedBit,
+                                         std::memory_order_relaxed)) {
+          continue;  // word moved under us; re-evaluate
+        }
+        parking::park(word_, kHeldBit | kParkedBit,
+                      static_cast<std::uint32_t>(backoff.spent()));
+        acquire_value = kHeldBit | kParkedBit;
+        backoff.note_wake();
+        continue;
+      }
+      backoff.pause();
     }
   }
 
   bool try_lock() noexcept {
+    std::uint32_t expected = 0;
     return word_.load(std::memory_order_relaxed) == 0 &&
-           word_.exchange(1, std::memory_order_acquire) == 0;
+           word_.compare_exchange_strong(expected, kHeldBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
   }
 
-  void unlock() noexcept { word_.store(0, std::memory_order_release); }
+  void unlock() noexcept {
+    // The exchange reads the parked bit and clears it atomically with the
+    // release. Wake ALL sleepers, not one: engine-side park_until_free
+    // waiters sleep on the same word but never acquire, so a wake_one could
+    // spend the only wake on a waiter that re-checks and walks away without
+    // restoring the bit — stranding a parked acquirer forever. Woken
+    // acquirers that lose the race re-park with the bit set.
+    if (word_.exchange(0, std::memory_order_release) & kParkedBit) {
+      parking::wake_all(word_);
+    }
+  }
+
+  /// One parked wait for the lock to be released (used by the engine's
+  /// pre-HTM "wait until lock free" loop once the spin budget is burned).
+  /// May return spuriously; callers re-check is_locked().
+  void park_until_free(std::uint32_t spent_spins = 0) noexcept {
+    std::uint32_t w = word_.load(std::memory_order_relaxed);
+    if ((w & kHeldBit) == 0) return;
+    if (w == kHeldBit &&
+        !word_.compare_exchange_weak(w, kHeldBit | kParkedBit,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+    parking::park(word_, kHeldBit | kParkedBit, spent_spins);
+  }
 
   // HTM lock subscription reads this inside the transaction: any writer that
   // acquires the lock will invalidate the transaction's read of word_.
+  // (A parked-bit flip also invalidates it — a spurious conflict, priced in:
+  // parking only engages under contention, where the attempt was doomed.)
   bool is_locked() const noexcept {
-    return word_.load(std::memory_order_acquire) != 0;
+    return (word_.load(std::memory_order_acquire) & kHeldBit) != 0;
   }
 
   // Address of the lock word, for emulated-HTM read-set subscription.
   const void* subscription_word() const noexcept { return &word_; }
 
  private:
+  static constexpr std::uint32_t kHeldBit = 1;
+  static constexpr std::uint32_t kParkedBit = 2;
+
   std::atomic<std::uint32_t> word_{0};
 };
 

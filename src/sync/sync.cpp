@@ -1,19 +1,39 @@
 // The sync substrates are mostly header-only; this TU anchors the static
 // library, pins vtable-free template instantiations used across the
-// project, and hosts the once-per-process ALE_BACKOFF parse.
+// project, hosts the once-per-process ALE_BACKOFF / ALE_PARK parses, and
+// implements the futex parking primitives (sync/parking.hpp).
 #include "sync/backoff.hpp"
 #include "sync/lockapi.hpp"
+#include "sync/parking.hpp"
 #include "sync/rwlock.hpp"
 #include "sync/seqlock.hpp"
 #include "sync/snzi.hpp"
 #include "sync/spinlock.hpp"
 #include "sync/ticketlock.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <string_view>
 
+#if defined(__linux__)
+#include <cerrno>
+#include <ctime>
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#endif
+
+#include "check/sched_point.hpp"
+#include "common/cycles.hpp"
 #include "common/env.hpp"
+#include "inject/inject.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ale {
 
@@ -23,32 +43,72 @@ template const LockApi* lock_api<TrackedMutex>() noexcept;
 
 namespace {
 
-// ALE_BACKOFF grammar: comma/semicolon-separated key=value pairs, e.g.
-// "min=8,max=8192,waiter_scale=2". Unknown keys and malformed values are
-// ignored (configuration never crashes a host application).
+// ---- shared strict clause parsing (ALE_BACKOFF, ALE_PARK) ----
+//
+// Both variables carry comma/semicolon-separated key=value lists. A clause
+// that does not parse — unknown key, missing '=', non-numeric value — is
+// rejected with a one-line stderr diagnostic naming the offending clause,
+// then skipped; the remaining clauses still apply (configuration never
+// crashes or silently half-applies in a host application).
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+void reject_clause(const char* var, std::string_view clause,
+                   const char* why) noexcept {
+  std::fprintf(stderr, "[ale.sync] %s: rejected clause '%.*s' (%s)\n", var,
+               static_cast<int>(clause.size()), clause.data(), why);
+}
+
+// Parse "key=value" with a u32 value (decimal or 0x hex). Returns false —
+// after diagnosing on stderr — when the clause is malformed.
+bool parse_u32_clause(const char* var, std::string_view clause,
+                      std::string_view& key, std::uint32_t& value) noexcept {
+  const auto eq = clause.find('=');
+  if (eq == std::string_view::npos) {
+    reject_clause(var, clause, "expected key=value");
+    return false;
+  }
+  key = trim(clause.substr(0, eq));
+  const std::string val(trim(clause.substr(eq + 1)));
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(val.c_str(), &end, 0);
+  if (val.empty() || end == val.c_str() || *end != '\0') {
+    reject_clause(var, clause, "value is not a number");
+    return false;
+  }
+  value = parsed > 0xffffffffULL ? 0xffffffffu
+                                 : static_cast<std::uint32_t>(parsed);
+  return true;
+}
+
+// Split on ',' / ';' and hand every non-empty clause to `apply`.
+template <typename Fn>
+void for_each_clause(std::string_view spec, Fn&& apply) {
+  while (!spec.empty()) {
+    const auto sep = spec.find_first_of(",;");
+    const std::string_view clause = trim(spec.substr(0, sep));
+    if (!clause.empty()) apply(clause);
+    if (sep == std::string_view::npos) break;
+    spec.remove_prefix(sep + 1);
+  }
+}
+
+// ALE_BACKOFF grammar: "min=8,max=8192,waiter_scale=2,waiter_cap=64,
+// ceiling=65536".
 BackoffConfig parse_backoff_config() {
   BackoffConfig cfg;
   const auto spec = env_string("ALE_BACKOFF");
   if (!spec) return cfg;
-  std::string_view rest = *spec;
-  auto apply = [&cfg](std::string_view tok) {
-    const auto eq = tok.find('=');
-    if (eq == std::string_view::npos) return;
-    auto trim = [](std::string_view s) {
-      while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
-        s.remove_prefix(1);
-      while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
-        s.remove_suffix(1);
-      return s;
-    };
-    const std::string_view key = trim(tok.substr(0, eq));
-    const std::string val(trim(tok.substr(eq + 1)));
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(val.c_str(), &end, 0);
-    if (end == val.c_str() || *end != '\0') return;
-    const std::uint32_t v = parsed > 0xffffffffULL
-                                ? 0xffffffffu
-                                : static_cast<std::uint32_t>(parsed);
+  for_each_clause(*spec, [&cfg](std::string_view clause) {
+    std::string_view key;
+    std::uint32_t v = 0;
+    if (!parse_u32_clause("ALE_BACKOFF", clause, key, v)) return;
     if (key == "min") {
       cfg.min_spins = v != 0 ? v : 1;
     } else if (key == "max") {
@@ -59,17 +119,63 @@ BackoffConfig parse_backoff_config() {
       cfg.waiter_cap = v;
     } else if (key == "ceiling") {
       cfg.ceiling = v != 0 ? v : 1;
+    } else {
+      reject_clause("ALE_BACKOFF", clause, "unknown key");
     }
-  };
-  while (!rest.empty()) {
-    const auto sep = rest.find_first_of(",;");
-    apply(rest.substr(0, sep));
-    if (sep == std::string_view::npos) break;
-    rest.remove_prefix(sep + 1);
-  }
+  });
   if (cfg.max_spins < cfg.min_spins) cfg.max_spins = cfg.min_spins;
   return cfg;
 }
+
+// ALE_PARK grammar: "min_spin=128,max_spin=65536,surplus_gate=2" or "off".
+ParkConfig parse_park_config() {
+  ParkConfig cfg;
+  const auto spec = env_string("ALE_PARK");
+  if (!spec) return cfg;
+  for_each_clause(*spec, [&cfg](std::string_view clause) {
+    if (clause == "off") {
+      cfg.enabled = false;
+      return;
+    }
+    std::string_view key;
+    std::uint32_t v = 0;
+    if (!parse_u32_clause("ALE_PARK", clause, key, v)) return;
+    if (key == "min_spin") {
+      cfg.min_spin = v;
+    } else if (key == "max_spin") {
+      cfg.max_spin = v != 0 ? v : 1;
+    } else if (key == "surplus_gate") {
+      cfg.surplus_gate = v;
+    } else {
+      reject_clause("ALE_PARK", clause, "unknown key");
+    }
+  });
+  if (cfg.max_spin < cfg.min_spin) cfg.max_spin = cfg.min_spin;
+  return cfg;
+}
+
+// The active ParkConfig. Mutable for tests/benches (set_park_config), so it
+// lives behind a pointer swap rather than a function-local const static:
+// readers load the pointer relaxed; replacements leak the old block (same
+// snapshot discipline as inject's config — a reader racing a quiescent
+// reconfigure stays valid forever).
+std::atomic<const ParkConfig*> g_park_config{nullptr};
+
+const ParkConfig* park_config_slow() noexcept {
+  static const ParkConfig* initial = new ParkConfig(parse_park_config());
+  const ParkConfig* expected = nullptr;
+  g_park_config.compare_exchange_strong(expected, initial,
+                                        std::memory_order_acq_rel);
+  return g_park_config.load(std::memory_order_acquire);
+}
+
+std::atomic<bool> g_park_enabled_init{false};
+std::atomic<bool> g_park_enabled{true};
+
+std::atomic<std::uint64_t> g_park_count{0};
+std::atomic<std::uint64_t> g_wake_count{0};
+
+thread_local std::uint32_t t_spin_budget = 0;
 
 }  // namespace
 
@@ -78,4 +184,235 @@ const BackoffConfig& backoff_config() noexcept {
   return cfg;
 }
 
+const ParkConfig& park_config() noexcept {
+  const ParkConfig* p = g_park_config.load(std::memory_order_acquire);
+  if (p == nullptr) p = park_config_slow();
+  return *p;
+}
+
+void set_park_config(const ParkConfig& cfg) noexcept {
+  g_park_config.store(new ParkConfig(cfg), std::memory_order_release);
+  g_park_enabled.store(cfg.enabled, std::memory_order_relaxed);
+  g_park_enabled_init.store(true, std::memory_order_relaxed);
+}
+
+bool park_enabled() noexcept {
+  if (!g_park_enabled_init.load(std::memory_order_relaxed)) {
+    g_park_enabled.store(park_config().enabled, std::memory_order_relaxed);
+    g_park_enabled_init.store(true, std::memory_order_relaxed);
+  }
+  return g_park_enabled.load(std::memory_order_relaxed);
+}
+
+void set_park_enabled(bool on) noexcept {
+  g_park_enabled_init.store(true, std::memory_order_relaxed);
+  g_park_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace parking {
+
+namespace {
+
+#if defined(__linux__)
+
+void os_wait(const std::atomic<std::uint32_t>& word,
+             std::uint32_t expected) noexcept {
+  // FUTEX_WAIT re-checks *word == expected inside the kernel, atomically
+  // against any FUTEX_WAKE — this closed re-check is what makes the
+  // publish-bit-then-sleep protocol lost-wakeup-free. EINTR/EAGAIN simply
+  // return; callers re-evaluate their condition (spurious-return contract).
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word),
+          FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+}
+
+// Returns false iff the (relative) timeout expired.
+bool os_wait_for(const std::atomic<std::uint32_t>& word,
+                 std::uint32_t expected, std::uint64_t timeout_ns) noexcept {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000u);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000u);
+  const long rc =
+      syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word),
+              FUTEX_WAIT_PRIVATE, expected, &ts, nullptr, 0);
+  return !(rc == -1 && errno == ETIMEDOUT);
+}
+
+void os_wake(const std::atomic<std::uint32_t>& word, int n) noexcept {
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word),
+          FUTEX_WAKE_PRIVATE, n, nullptr, nullptr, 0);
+}
+
+#else
+
+// Portable fallback: a hashed table of (mutex, condvar) buckets. The parker
+// re-checks the word under the bucket mutex before waiting and the waker
+// takes the same mutex before notifying, so the futex atomic-recheck
+// guarantee is reproduced (at the cost of real mutexes). Distinct words
+// hashing to one bucket only cause spurious wakeups, which the contract
+// already allows.
+struct ParkBucket {
+  std::mutex m;
+  std::condition_variable cv;
+};
+
+ParkBucket& bucket_for(const void* addr) noexcept {
+  static ParkBucket buckets[64];
+  const auto h = reinterpret_cast<std::uintptr_t>(addr);
+  return buckets[(h >> 4) & 63];
+}
+
+void os_wait(const std::atomic<std::uint32_t>& word,
+             std::uint32_t expected) noexcept {
+  ParkBucket& b = bucket_for(&word);
+  std::unique_lock<std::mutex> lk(b.m);
+  if (word.load(std::memory_order_acquire) != expected) return;
+  b.cv.wait(lk);
+}
+
+bool os_wait_for(const std::atomic<std::uint32_t>& word,
+                 std::uint32_t expected, std::uint64_t timeout_ns) noexcept {
+  ParkBucket& b = bucket_for(&word);
+  std::unique_lock<std::mutex> lk(b.m);
+  if (word.load(std::memory_order_acquire) != expected) return true;
+  return b.cv.wait_for(lk, std::chrono::nanoseconds(timeout_ns)) ==
+         std::cv_status::no_timeout;
+}
+
+void os_wake(const std::atomic<std::uint32_t>& word, int) noexcept {
+  ParkBucket& b = bucket_for(&word);
+  { std::lock_guard<std::mutex> lk(b.m); }  // order against a mid-check parker
+  b.cv.notify_all();
+}
+
+#endif
+
+// Virtual cost of a park under the checker's clock: roughly what a learned
+// spin budget would have burned — enough that time-learning policies still
+// see parking as expensive relative to a short spin.
+constexpr std::uint64_t kVirtualParkTicks = 4096;
+
+inline void trace_park_event(const void* word, std::uint8_t what,
+                             std::uint32_t aux32) noexcept {
+  // Always recorded (never sampled): a park/wake is syscall-priced, so the
+  // event can never be hot, and operators reading the oversubscription
+  // numbers need every decision.
+  if (!telemetry::trace_enabled()) return;
+  telemetry::trace_emit(telemetry::TraceEvent{.ticks = 0,
+                                              .lock = word,
+                                              .ctx = nullptr,
+                                              .aux32 = aux32,
+                                              .kind =
+                                                  telemetry::EventKind::kParkDecision,
+                                              .mode = what,
+                                              .cause = 0,
+                                              .aux8 = 0});
+}
+
+}  // namespace
+
+void park(const std::atomic<std::uint32_t>& word, std::uint32_t expected,
+          std::uint32_t spent_spins) noexcept {
+  g_park_count.fetch_add(1, std::memory_order_relaxed);
+  trace_park_event(&word, 1, spent_spins);
+  // sync.park fault: stretch the decide-to-sleep window (a release racing
+  // in here must still be caught by the kernel's value re-check), then
+  // return WITHOUT sleeping — a forced spurious wakeup every park loop must
+  // tolerate.
+  if (inject::enabled() && inject::should_fire(inject::Point::kSyncPark)) {
+    inject::stall(inject::magnitude(inject::Point::kSyncPark, 2000));
+    return;
+  }
+  // Under the virtual clock / the checker there is no kernel to sleep in:
+  // charge the park as virtual time and hand control to another thread at
+  // the dedicated schedule point. The caller re-checks its condition, so
+  // this is just the spurious-return path again.
+  if (virtual_time_enabled()) {
+    advance_virtual_time(kVirtualParkTicks);
+    check::yield_spin(check::Sp::kPark);
+    return;
+  }
+  if (check::scheduler_active()) {
+    check::yield_spin(check::Sp::kPark);
+    return;
+  }
+  os_wait(word, expected);
+}
+
+bool park_for(const std::atomic<std::uint32_t>& word, std::uint32_t expected,
+              std::uint64_t timeout_ns, std::uint32_t spent_spins) noexcept {
+  g_park_count.fetch_add(1, std::memory_order_relaxed);
+  trace_park_event(&word, 1, spent_spins);
+  // Same spurious-return fault as park(); a forced spurious return is not a
+  // timeout (the caller's wait condition, not the fault layer, ends a
+  // bounded wait early).
+  if (inject::enabled() && inject::should_fire(inject::Point::kSyncPark)) {
+    inject::stall(inject::magnitude(inject::Point::kSyncPark, 2000));
+    return true;
+  }
+  // No kernel under virtual time / the checker: identical to park(), and
+  // never reports a timeout — bounded callers keep their round bound, which
+  // the serialized schedule cannot outrun.
+  if (virtual_time_enabled()) {
+    advance_virtual_time(kVirtualParkTicks);
+    check::yield_spin(check::Sp::kPark);
+    return true;
+  }
+  if (check::scheduler_active()) {
+    check::yield_spin(check::Sp::kPark);
+    return true;
+  }
+  return os_wait_for(word, expected, timeout_ns);
+}
+
+namespace {
+
+inline void wake_common(const std::atomic<std::uint32_t>& word,
+                        int n) noexcept {
+  g_wake_count.fetch_add(1, std::memory_order_relaxed);
+  trace_park_event(&word, 2, 0);
+  // sync.wake fault: delay (never suppress) the wake, stretching the
+  // parked-waiter convoy; liveness must survive arbitrarily late wakes.
+  if (inject::enabled() && inject::should_fire(inject::Point::kSyncWake)) {
+    inject::stall(inject::magnitude(inject::Point::kSyncWake, 2000));
+  }
+  check::preempt(check::Sp::kPark);
+  // No sleeper can exist under the checker / virtual clock (park() never
+  // reaches the kernel there), so skip the syscall.
+  if (virtual_time_enabled() || check::scheduler_active()) return;
+  os_wake(word, n);
+}
+
+}  // namespace
+
+void wake_one(const std::atomic<std::uint32_t>& word) noexcept {
+  wake_common(word, 1);
+}
+
+void wake_all(const std::atomic<std::uint32_t>& word) noexcept {
+  wake_common(word, 0x7fffffff);
+}
+
+std::uint32_t thread_spin_budget() noexcept { return t_spin_budget; }
+
+ScopedSpinBudget::ScopedSpinBudget(std::uint32_t spins) noexcept
+    : prev_(t_spin_budget) {
+  t_spin_budget = spins;
+}
+
+ScopedSpinBudget::~ScopedSpinBudget() { t_spin_budget = prev_; }
+
+std::uint64_t park_count() noexcept {
+  return g_park_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t wake_count() noexcept {
+  return g_wake_count.load(std::memory_order_relaxed);
+}
+
+void reset_park_counters() noexcept {
+  g_park_count.store(0, std::memory_order_relaxed);
+  g_wake_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace parking
 }  // namespace ale

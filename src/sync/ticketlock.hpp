@@ -1,15 +1,27 @@
-// FIFO ticket lock.
+// FIFO ticket lock with a futex parking tier.
 //
 // Included as an alternative LockAPI provider: the paper stresses that ALE
 // works with "any type of lock" as long as acquire/release/is_locked are
 // supplied; the ticket lock exercises that claim with a lock whose
 // is_locked is derived rather than stored.
+//
+// Parking protocol: tickets are full 32-bit counters, so there is no spare
+// bit to steal from the serving word — waiters instead register in a side
+// counter (parked_) before sleeping on serving_. The registration and the
+// release are a classic store-buffering pair, fenced seq_cst on both sides:
+//   waiter:  parked_++  ; fence ; read serving_   (sleep if not my turn)
+//   release: serving_++ ; fence ; read parked_    (wake_all if non-zero)
+// so either the waiter sees the new serving value (and does not sleep — or
+// sleeps with a stale expected value the kernel's futex re-check rejects),
+// or the release sees the registration and wakes. The uncontended release
+// pays one fence and one (thread-locally cached, zero) load — no syscall.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 #include "sync/backoff.hpp"
+#include "sync/parking.hpp"
 
 namespace ale {
 
@@ -23,7 +35,15 @@ class TicketLock {
     const std::uint32_t ticket =
         next_.fetch_add(1, std::memory_order_relaxed);
     Backoff backoff(64);  // small cap: we mostly wait on the predecessor
-    while (serving_.load(std::memory_order_acquire) != ticket) {
+    for (;;) {
+      const std::uint32_t s = serving_.load(std::memory_order_acquire);
+      if (s == ticket) return;
+      if (backoff.should_park()) {
+        park_while_not_serving(ticket,
+                               static_cast<std::uint32_t>(backoff.spent()));
+        backoff.note_wake();
+        continue;
+      }
       backoff.pause();
     }
   }
@@ -40,6 +60,25 @@ class TicketLock {
   void unlock() noexcept {
     serving_.store(serving_.load(std::memory_order_relaxed) + 1,
                    std::memory_order_release);
+    // Release half of the store-buffering pair (see file comment). Every
+    // hand-off must wake all sleepers: FIFO order means the new holder may
+    // be any parked ticket, and non-turn wakeups simply re-park.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_relaxed) != 0) {
+      parking::wake_all(serving_);
+    }
+  }
+
+  /// One parked wait for the lock to be released (engine pre-HTM wait).
+  /// May return spuriously; callers re-check is_locked().
+  void park_until_free(std::uint32_t spent_spins = 0) noexcept {
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint32_t s = serving_.load(std::memory_order_relaxed);
+    if (next_.load(std::memory_order_acquire) != s) {
+      parking::park(serving_, s, spent_spins);
+    }
+    parked_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   bool is_locked() const noexcept {
@@ -50,8 +89,20 @@ class TicketLock {
   const void* subscription_word() const noexcept { return &serving_; }
 
  private:
+  // Register in parked_, re-check the turn (the fenced Dekker edge), then
+  // sleep on serving_ at its observed value.
+  void park_while_not_serving(std::uint32_t ticket,
+                              std::uint32_t spent_spins) noexcept {
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint32_t s = serving_.load(std::memory_order_relaxed);
+    if (s != ticket) parking::park(serving_, s, spent_spins);
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   std::atomic<std::uint32_t> next_{0};
   std::atomic<std::uint32_t> serving_{0};
+  std::atomic<std::uint32_t> parked_{0};
 };
 
 }  // namespace ale

@@ -135,6 +135,18 @@ std::vector<EventRecord> resolve_events(const std::vector<TraceEvent>& raw) {
       case EventKind::kRwModeDecision:
         r.mode = ale::to_string(static_cast<RwMode>(e.mode));
         break;
+      case EventKind::kSvcPhase:
+        r.detail = std::string("phase=") +
+                   (e.mode == 1   ? "storm_begin"
+                    : e.mode == 2 ? "storm_end"
+                                  : "burst_begin") +
+                   " ordinal=" + std::to_string(e.aux32);
+        break;
+      case EventKind::kParkDecision:
+        r.detail = e.mode == 1
+                       ? "park spent=" + std::to_string(e.aux32)
+                       : std::string("wake");
+        break;
     }
     out.push_back(std::move(r));
   }

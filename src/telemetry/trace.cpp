@@ -22,6 +22,7 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kInjectFired: return "inject_fired";
     case EventKind::kRwModeDecision: return "rw_mode_decision";
     case EventKind::kSvcPhase: return "svc_phase";
+    case EventKind::kParkDecision: return "park_decision";
   }
   return "?";
 }

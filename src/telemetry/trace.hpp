@@ -49,9 +49,14 @@ enum class EventKind : std::uint8_t {
   kSvcPhase = 9,       ///< service traffic generator changed phase (always
                        ///< recorded); mode = SvcPhase (1 storm begin,
                        ///< 2 storm end, 3 burst begin), aux32 = ordinal
+  kParkDecision = 10,  ///< a waiter parked (mode = 1) or a release issued a
+                       ///< futex wake (mode = 2); always recorded — parks
+                       ///< are syscall-priced, so they are never hot.
+                       ///< lock = the parked-on word, aux32 = spins burned
+                       ///< before the park decision (0 for wakes)
 };
 
-inline constexpr std::size_t kNumEventKinds = 10;
+inline constexpr std::size_t kNumEventKinds = 11;
 
 /// Human-readable tag for an EventKind (stable; used in exports).
 const char* to_string(EventKind k) noexcept;

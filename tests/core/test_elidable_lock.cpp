@@ -31,6 +31,29 @@ TEST_F(ElidableLockTest, ElideWithExplicitScope) {
   EXPECT_EQ(lock.name(), "elidable.basic");
 }
 
+TEST_F(ElidableLockTest, ComposedRequestMatchesPerCallElide) {
+  // compose() freezes the per-scope request once; re-entering through it
+  // must land on the same granule (and produce the same results) as the
+  // equivalent per-call elide(scope, ...).
+  test::PolicyInstaller p(std::make_unique<StaticPolicy>());
+  ElidableLock<> lock("elidable.composed");
+  static ScopeInfo scope("increment");
+  std::uint64_t cell = 0;
+  const ComposedCsRequest req = lock.compose(scope);
+  for (int i = 0; i < 50; ++i) {
+    lock.elide(req, [&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+  }
+  for (int i = 0; i < 50; ++i) {
+    lock.elide(scope, [&](CsExec&) { tx_store(cell, tx_load(cell) + 1); });
+  }
+  EXPECT_EQ(cell, 100u);
+  EXPECT_FALSE(lock.raw_lock().is_locked());
+  // One scope → one granule, regardless of entry form.
+  int granules = 0;
+  lock.md().for_each_granule([&](GranuleMd&) { ++granules; });
+  EXPECT_EQ(granules, 1);
+}
+
 TEST_F(ElidableLockTest, CallSiteScopesAreDistinctGranules) {
   ElidableLock<> lock("elidable.sites");
   std::uint64_t cell = 0;

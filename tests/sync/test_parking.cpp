@@ -1,0 +1,314 @@
+// The futex parking tier (sync/parking.hpp): lost-wakeup freedom under an
+// aggressive park budget, parked-bit vs. unlock ordering, the surplus gate
+// on Backoff::should_park, SNZI park_until_zero, and the Sp::kPark schedule
+// point under the ale::check explorer.
+//
+// The hammers double as the TSan workload: run ale_tests_sync under
+// -fsanitize=thread and the publish-bit / release-store / futex-wake
+// orderings are exactly what the race detector audits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/explore.hpp"
+#include "sync/backoff.hpp"
+#include "sync/parking.hpp"
+#include "sync/rwlock.hpp"
+#include "sync/snzi.hpp"
+#include "sync/spinlock.hpp"
+#include "sync/ticketlock.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+// Every test runs with a budget of one pause round: waiters park at the
+// first opportunity, so the parking protocol — not the spin tier — carries
+// the load. Config restored on teardown (set_park_config is quiescent-only;
+// gtest runs tests serially).
+class ParkingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = park_config();
+    ParkConfig aggressive;
+    aggressive.min_spin = 1;
+    aggressive.max_spin = 1;
+    aggressive.surplus_gate = 0;
+    set_park_config(aggressive);
+    parking::reset_park_counters();
+  }
+  void TearDown() override { set_park_config(saved_); }
+
+ private:
+  ParkConfig saved_;
+};
+
+// ---- lost-wakeup hammers ----
+//
+// With a one-round budget every contended acquisition parks. The property
+// under test is liveness: a single lost wakeup deadlocks the run (ctest
+// would time out), and the count checks mutual exclusion survived the
+// park/wake churn.
+
+// The main thread holds the lock across worker startup: every worker's
+// first acquisition contends, exhausts its one-round budget, and parks.
+// On a single-core host the free-running version of this hammer can
+// serialize into uncontended quanta and never park at all; pinning the
+// first acquisition makes the park path load-bearing deterministically.
+
+TEST_F(ParkingTest, TatasLockHammerLosesNoWakeups) {
+  TatasLock lock;
+  long counter = 0;
+  constexpr int kPerThread = 20000;
+  constexpr unsigned kThreads = 4;
+  lock.lock();
+  const std::uint64_t parks_before = parking::park_count();
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        lock.lock();
+        counter++;
+        lock.unlock();
+      }
+    });
+  }
+  while (parking::park_count() == parks_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  lock.unlock();  // wakes a parked waiter; the hammer takes it from here
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, static_cast<long>(kPerThread) * kThreads);
+  EXPECT_GT(parking::park_count(), parks_before);
+}
+
+TEST_F(ParkingTest, TicketLockHammerLosesNoWakeups) {
+  TicketLock lock;
+  long counter = 0;
+  constexpr int kPerThread = 20000;
+  constexpr unsigned kThreads = 4;
+  lock.lock();
+  const std::uint64_t parks_before = parking::park_count();
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        lock.lock();
+        counter++;
+        lock.unlock();
+      }
+    });
+  }
+  while (parking::park_count() == parks_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  lock.unlock();
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, static_cast<long>(kPerThread) * kThreads);
+  EXPECT_GT(parking::park_count(), parks_before);
+}
+
+TEST_F(ParkingTest, RwLockHammerAllModesLoseNoWakeups) {
+  RwSpinLock rw;
+  long counter = 0;
+  std::atomic<long> reads_ok{0};
+  constexpr int kPerThread = 5000;
+  test::run_threads(4, [&](unsigned idx) {
+    for (int i = 0; i < kPerThread; ++i) {
+      switch (idx % 3) {
+        case 0:
+          rw.lock();
+          counter++;
+          rw.unlock();
+          break;
+        case 1:
+          rw.lock_shared();
+          if (counter >= 0) reads_ok.fetch_add(1, std::memory_order_relaxed);
+          rw.unlock_shared();
+          break;
+        default:
+          rw.lock_update();
+          if (counter >= 0) reads_ok.fetch_add(1, std::memory_order_relaxed);
+          rw.unlock_update();
+          break;
+      }
+    }
+  });
+  EXPECT_EQ(counter, 2L * kPerThread);  // idx 0 and 3 write
+  EXPECT_EQ(reads_ok.load(), 2L * kPerThread);
+}
+
+// ---- parked-bit vs. unlock ordering ----
+//
+// One waiter, guaranteed parked (poll the park counter), then one unlock.
+// The unlock must observe the parked bit the waiter published and wake it:
+// if the bit-publish / release-exchange ordering were wrong, the waiter
+// sleeps forever and the join hangs. This is the minimal deterministic form
+// of the race the hammers throw threads at.
+
+TEST_F(ParkingTest, UnlockObservesParkedBitAndWakes) {
+  TatasLock lock;
+  lock.lock();
+  const std::uint64_t parks_before = parking::park_count();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    lock.lock();  // parks after one pause round
+    acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+  // Wait until the waiter has actually parked at least once (spurious
+  // returns re-park: the counter still moves).
+  while (parking::park_count() == parks_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(acquired.load(std::memory_order_acquire));
+  lock.unlock();  // must see the parked bit and wake
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST_F(ParkingTest, EngineStyleParkUntilFreeIsWoken) {
+  // The engine's pre-HTM wait parks without ever acquiring. A spurious
+  // return is allowed; being asleep across the unlock is not.
+  TatasLock lock;
+  lock.lock();
+  const std::uint64_t parks_before = parking::park_count();
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    while (lock.is_locked()) lock.park_until_free(1);
+    EXPECT_TRUE(released.load(std::memory_order_acquire));
+  });
+  while (parking::park_count() == parks_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  released.store(true, std::memory_order_release);
+  lock.unlock();
+  waiter.join();
+}
+
+// ---- SNZI park_until_zero (the SWOpt-retry wait) ----
+
+TEST_F(ParkingTest, TimedParkReportsTimeoutOnWedgedSnzi) {
+  // The grouping wait's liveness depends on this: a group that never
+  // drains must produce `false` (timeout) rather than sleeping forever.
+  Snzi s;
+  s.arrive();  // wedged: never departs
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(s.park_until_zero_for(1'000'000));  // 1 ms
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(1));
+  s.depart();
+}
+
+TEST_F(ParkingTest, SnziParkUntilZeroWokenByLastDepart) {
+  Snzi s;
+  s.arrive();
+  const std::uint64_t parks_before = parking::park_count();
+  std::thread waiter([&] {
+    while (s.query()) s.park_until_zero(1);
+  });
+  while (parking::park_count() == parks_before) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  s.depart();  // root 1 → 0 must bump the epoch and wake
+  waiter.join();
+  EXPECT_FALSE(s.query());
+}
+
+// ---- the surplus gate and budget accounting on Backoff ----
+
+TEST_F(ParkingTest, SurplusGateBlocksParkingUntilEnoughWaiters) {
+  ParkConfig cfg;
+  cfg.min_spin = 1;
+  cfg.max_spin = 1;
+  cfg.surplus_gate = 2;
+  set_park_config(cfg);
+
+  Backoff b;
+  b.set_park_budget(1);
+  b.pause();  // spent ≥ 1: the budget side of should_park is satisfied
+  EXPECT_FALSE(b.should_park());  // 0 observed waiters < gate
+  b.set_waiters(1);
+  EXPECT_FALSE(b.should_park());
+  b.set_waiters(2);
+  EXPECT_TRUE(b.should_park());
+  b.note_wake();  // freshly runnable: must earn the next park again
+  EXPECT_FALSE(b.should_park());
+}
+
+TEST_F(ParkingTest, KillSwitchDisablesParking) {
+  Backoff b;
+  b.set_park_budget(1);
+  b.pause();
+  ASSERT_TRUE(b.should_park());
+  set_park_enabled(false);
+  EXPECT_FALSE(b.should_park());
+  set_park_enabled(true);
+  EXPECT_TRUE(b.should_park());
+}
+
+TEST_F(ParkingTest, LearnedBudgetIsClampedToConfigRange) {
+  ParkConfig cfg;
+  cfg.min_spin = 8;
+  cfg.max_spin = 64;
+  set_park_config(cfg);
+  Backoff b;
+  b.set_park_budget(1u << 20);  // learned value far above max_spin
+  b.pause();                    // one round: spent ≈ a few spins
+  std::uint64_t spent = b.spent();
+  while (spent < 64) {  // clamp means 64 spins suffice, not 2^20
+    b.pause();
+    spent = b.spent();
+  }
+  EXPECT_TRUE(b.should_park());
+}
+
+// ---- the Sp::kPark schedule point under the ale::check explorer ----
+//
+// Under serialized schedules park() never reaches the kernel: it charges
+// virtual time and yields at Sp::kPark. The scenario must stay live and
+// mutually exclusive across every explored interleaving — a park that
+// failed to yield would deadlock the serialized schedule immediately.
+
+TEST_F(ParkingTest, CheckExplorerDrivesParkSchedulePoint) {
+  check::ExploreOptions opts;
+  opts.name = "parking/tatas-counter";
+  opts.schedules = 20;
+  opts.seed = 29;
+  const check::ExploreResult r =
+      check::explore(opts, [](check::ScheduleCtx& ctx) {
+        auto lock = std::make_unique<TatasLock>();
+        auto count = std::make_unique<int>(0);
+        std::vector<std::function<void()>> bodies;
+        for (int t = 0; t < 3; ++t) {
+          bodies.push_back([&lock, &count] {
+            for (int i = 0; i < 20; ++i) {
+              lock->lock();
+              ++*count;
+              lock->unlock();
+            }
+          });
+        }
+        ctx.run_threads(std::move(bodies));
+        if (*count != 3 * 20) {
+          return std::optional<std::string>("lost increment: " +
+                                            std::to_string(*count));
+        }
+        return std::optional<std::string>();
+      });
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().detail);
+  EXPECT_EQ(r.schedules_run, 20u);
+}
+
+}  // namespace
+}  // namespace ale
