@@ -43,8 +43,9 @@ using scenarios::MapScenarioOptions;
 using scenarios::ModePin;
 
 struct Cli {
-  std::string scenario = "all";   // all | hashmap | kvdb | rwlock | counter
-  std::string mode = "all";       // all | lock | swopt | htm
+  // all | hashmap | kvdb | rwlock | counter | counter-lazy
+  std::string scenario = "all";
+  std::string mode = "all";       // all | lock | swopt | htm | htmlazy
   std::string mutate;             // "" | swopt.blind | htm.lazysub | ...
   Strategy strategy = Strategy::kRandom;
   std::uint64_t schedules = 256;
@@ -56,9 +57,10 @@ struct Cli {
   if (bad != nullptr) std::fprintf(stderr, "unknown argument: %s\n", bad);
   std::fprintf(
       stderr,
-      "usage: %s [--scenario=all|hashmap|kvdb|rwlock|counter]\n"
-      "          [--mode=all|lock|swopt|htm] [--strategy=random|pct|"
-      "exhaustive]\n"
+      "usage: %s [--scenario=all|hashmap|kvdb|rwlock|counter|"
+      "counter-lazy]\n"
+      "          [--mode=all|lock|swopt|htm|htmlazy]"
+      " [--strategy=random|pct|exhaustive]\n"
       "          [--schedules=N] [--seed=S] [--mutate=POINT]"
       " [--expect-violation]\n",
       argv0);
@@ -116,7 +118,9 @@ std::vector<ModePin> pins_for(const std::string& mode) {
   if (mode == "lock") return {ModePin::kLockOnly};
   if (mode == "swopt") return {ModePin::kSwOptOnly};
   if (mode == "htm") return {ModePin::kHtmOnly};
-  return {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly};
+  if (mode == "htmlazy") return {ModePin::kHtmLazyOnly};
+  return {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly,
+          ModePin::kHtmLazyOnly};
 }
 
 struct Job {
@@ -157,6 +161,19 @@ std::vector<Job> build_jobs(const Cli& cli) {
                         seed_arg(cli),
                     [](ScheduleCtx& ctx) {
                       return scenarios::counter_schedule(ctx, 3, 2);
+                    }});
+  }
+  if (all || cli.scenario == "counter-lazy") {
+    // Same lost-update invariant, but the HTM threads run the
+    // lazy-subscription variant — the scenario the naive-lazy mutation
+    // (--mutate=htm.lazy.nomitigate) must be caught on, and the mitigated
+    // implementation must pass exhaustively.
+    jobs.push_back({"counter-lazy",
+                    "./bench/check_explorer --scenario=counter-lazy" +
+                        seed_arg(cli),
+                    [](ScheduleCtx& ctx) {
+                      return scenarios::counter_schedule(ctx, 3, 2,
+                                                         "static-hll-8");
                     }});
   }
   if (jobs.empty()) {

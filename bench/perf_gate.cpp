@@ -84,6 +84,7 @@
 #include "bench_util.hpp"
 #include "common/cycles.hpp"
 #include "core/ale.hpp"
+#include "htm/config.hpp"
 #include "policy/adaptive_policy.hpp"
 #include "policy/static_policy.hpp"
 #include "sim/wicked_sim.hpp"
@@ -477,6 +478,34 @@ bool measure_uncontended(std::map<std::string, double>& metrics,
   set_fast_path_enabled(true);
   metrics["uncontended_ns.adaptive_fastpath_on"] = uncontended_ns(iters);
 
+  // Eager-vs-lazy subscription A/B on the SAME converged state: publish an
+  // HTM-only variant of the plan with the lazy bit forced each way and
+  // re-measure. (The variant pins execution to HTM — the gate scope's
+  // *learned* plan may prefer SWOpt here, which never subscribes and so
+  // cannot show the delta.) The difference is exactly the begin-time
+  // lock-word load + lock-free wait that lazy subscription
+  // (ExecMode::kHtmLazy) defers to commit — the paper's performance case
+  // for the fourth mode, gated below as a ratio so a mitigation that
+  // quietly re-adds the eager read cannot land.
+  if (htm::lazy_available()) {
+    GranuleMd* gate_g = nullptr;
+    gate_lock().md().for_each_granule([&](GranuleMd& g) { gate_g = &g; });
+    if (gate_g != nullptr && gate_g->attempt_plan().valid()) {
+      const AttemptPlan converged = gate_g->attempt_plan();
+      const auto htm_only = [&](bool lazy) {
+        return AttemptPlan::make(
+            /*htm=*/true, /*swopt=*/false, /*x=*/8, /*y=*/0,
+            /*grouping=*/false, converged.locked_abort_weight256(),
+            /*notify=*/false, /*rw_mode=*/3, /*park_spin_budget=*/0, lazy);
+      };
+      gate_g->publish_attempt_plan(htm_only(false));
+      metrics["uncontended_ns.htm_eager_converged"] = uncontended_ns(iters);
+      gate_g->publish_attempt_plan(htm_only(true));
+      metrics["uncontended_ns.htm_lazy_converged"] = uncontended_ns(iters);
+      gate_g->publish_attempt_plan(converged);  // learned verdict restored
+    }
+  }
+
   // Speed-of-light: cycles + instructions per converged op, while the
   // converged adaptive state is still installed.
   const double cyc_per_op = converged_cycles_per_op();
@@ -504,6 +533,8 @@ constexpr const char* kUncontendedKeys[] = {
     "uncontended_ns.static_all_5_3",
     "uncontended_ns.adaptive_fastpath_off",
     "uncontended_ns.adaptive_fastpath_on",
+    "uncontended_ns.htm_eager_converged",
+    "uncontended_ns.htm_lazy_converged",
     "converged.cycles_per_op",
     "converged.cycle_ns_per_op",
     "converged.insns_per_op",
@@ -713,6 +744,17 @@ int main(int argc, char** argv) {
   gated["ratio_uncontended_adaptive_off_vs_lockonly"] = off_ns / lockonly_ns;
   gated["ratio_uncontended_static_vs_lockonly"] =
       metrics["uncontended_ns.static_all_5_3"] / lockonly_ns;
+  // Lazy subscription's uncontended win, as a ratio on the same converged
+  // state (lower is better; < 1.0 means the deferred subscription actually
+  // sheds the begin-time lock-word read). Skipped when the backend has no
+  // lazy mode — scan_number's missing-baseline path keeps old baselines
+  // valid either way.
+  if (metrics.count("uncontended_ns.htm_lazy_converged") != 0 &&
+      metrics["uncontended_ns.htm_eager_converged"] > 0.0) {
+    gated["ratio_uncontended_lazy_vs_eager"] =
+        metrics["uncontended_ns.htm_lazy_converged"] /
+        metrics["uncontended_ns.htm_eager_converged"];
+  }
   // Scaling ratios: contended throughput retained going from 1 to 8
   // threads. Higher is better — the gate direction flips on the prefix.
   for (const char* pol : {"lockonly", "static_all_5_3", "adaptive"}) {

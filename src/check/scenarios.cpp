@@ -28,6 +28,7 @@ const char* to_string(ModePin pin) noexcept {
     case ModePin::kLockOnly: return "lock";
     case ModePin::kSwOptOnly: return "swopt";
     case ModePin::kHtmOnly: return "htm";
+    case ModePin::kHtmLazyOnly: return "htmlazy";
   }
   return "?";
 }
@@ -37,6 +38,7 @@ const char* policy_spec(ModePin pin) noexcept {
     case ModePin::kLockOnly: return "lockonly";
     case ModePin::kSwOptOnly: return "static-sl-8";
     case ModePin::kHtmOnly: return "static-hl-8";
+    case ModePin::kHtmLazyOnly: return "static-hll-8";
   }
   return "lockonly";
 }
@@ -419,8 +421,9 @@ std::optional<std::string> rwlock_schedule(ScheduleCtx& ctx,
 }
 
 std::optional<std::string> counter_schedule(ScheduleCtx& ctx,
-                                            unsigned threads, unsigned incs) {
-  ScopedPolicy pin("static-hl-8");
+                                            unsigned threads, unsigned incs,
+                                            const char* policy) {
+  ScopedPolicy pin(policy);
   // Distinct use sites: thread 0's scope prohibits HTM (always Lock mode),
   // the others elide HTM-first — the mix lazy subscription breaks.
   static ScopeInfo lock_scope("check.counter.lock", /*has_swopt=*/false,

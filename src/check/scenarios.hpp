@@ -31,12 +31,21 @@
 
 namespace ale::check::scenarios {
 
-enum class ModePin : std::uint8_t { kLockOnly = 0, kSwOptOnly, kHtmOnly };
+enum class ModePin : std::uint8_t {
+  kLockOnly = 0,
+  kSwOptOnly,
+  kHtmOnly,
+  // Lazy-subscription HTM (ExecMode::kHtmLazy): the lock word is first read
+  // at commit. Exploring the same scenarios under this pin is how the lazy
+  // mode earns its admission — the mitigated variant must pass everything
+  // the eager pin passes.
+  kHtmLazyOnly,
+};
 
 const char* to_string(ModePin pin) noexcept;
 
 // The ALE_POLICY-style spec string a pin installs ("lockonly",
-// "static-sl-8", "static-hl-8").
+// "static-sl-8", "static-hl-8", "static-hll-8").
 const char* policy_spec(ModePin pin) noexcept;
 
 struct MapScenarioOptions {
@@ -60,8 +69,12 @@ std::optional<std::string> rwlock_schedule(ScheduleCtx& ctx,
 
 // Lost-update invariant: `threads` threads each increment a shared counter
 // `incs` times inside a critical section; thread 0's scope prohibits HTM
-// (Lock mode), the rest run HTM-first. Final count must be threads*incs.
-std::optional<std::string> counter_schedule(ScheduleCtx& ctx,
-                                            unsigned threads, unsigned incs);
+// (Lock mode), the rest run HTM-first under `policy` (an ALE_POLICY spec;
+// "static-hll-8" pins the lazy-subscription variant — the Lock/HTMLazy mix
+// is exactly the interleaving the naive lazy mutation loses updates on).
+// Final count must be threads*incs.
+std::optional<std::string> counter_schedule(
+    ScheduleCtx& ctx, unsigned threads, unsigned incs,
+    const char* policy = "static-hl-8");
 
 }  // namespace ale::check::scenarios

@@ -51,9 +51,16 @@ enum class Sp : std::uint8_t {
   kPark,             ///< parking::park / wake — under the checker a park
                      ///< degrades to this yield (no kernel sleep), so
                      ///< lost-wakeup interleavings stay explorable
+  kHtmLazyDefer,     ///< emulated TxDesc::subscribe_lock_lazy: the point
+                     ///< where eager would have read the lock word and lazy
+                     ///< deliberately does not — the start of the deferred
+                     ///< subscription window the Dice et al. bug lives in
+  kHtmLazyValidate,  ///< emulated commit, just before a deferred
+                     ///< subscription is finally checked/acquired — the end
+                     ///< of that window, where an unlock/lock flip races
 };
 
-inline constexpr std::size_t kNumSchedPoints = 16;
+inline constexpr std::size_t kNumSchedPoints = 18;
 
 const char* to_string(Sp sp) noexcept;
 

@@ -32,6 +32,8 @@ const char* to_string(Sp sp) noexcept {
     case Sp::kRwSharedAcquire: return "rw.shared";
     case Sp::kRwUpgrade: return "rw.upgrade";
     case Sp::kPark: return "sync.park";
+    case Sp::kHtmLazyDefer: return "htm.lazydefer";
+    case Sp::kHtmLazyValidate: return "htm.lazyvalidate";
   }
   return "?";
 }

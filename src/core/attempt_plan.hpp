@@ -40,6 +40,11 @@ struct AttemptPlan {
   //   bits 36..37  rw_mode  — RwMode of the granule's scope (3 = not a
   //                readers-writer scope); diagnostic tag so a converged
   //                plan stays attributable to its acquisition mode
+  //   bit  38      lazy     — HTM attempts run with lazy subscription
+  //                (ExecMode::kHtmLazy): the lock word joins the read set
+  //                at commit, not begin. Policies may only set this when
+  //                htm::lazy_available() — the engine additionally demotes
+  //                to eager if the backend changed under a stale plan
   //   bits 40..47  locked-abort weight, fixed-point /256 (§4's "much
   //                lighter" accounting of lock-acquisition aborts)
   //   bits 48..55  spin-before-park budget in 256-spin units, rounded UP
@@ -57,8 +62,8 @@ struct AttemptPlan {
                                     std::uint32_t y, bool grouping,
                                     unsigned locked_abort_weight256,
                                     bool notify, unsigned rw_mode = 3,
-                                    std::uint32_t park_spin_budget = 0)
-      noexcept {
+                                    std::uint32_t park_spin_budget = 0,
+                                    bool lazy = false) noexcept {
     std::uint64_t w = kValidBit;
     w |= std::uint64_t{x > 0xffff ? 0xffffu : x};
     w |= std::uint64_t{y > 0xffff ? 0xffffu : y} << 16;
@@ -67,6 +72,7 @@ struct AttemptPlan {
     if (grouping) w |= 1ULL << 34;
     if (notify) w |= 1ULL << 35;
     w |= std::uint64_t{rw_mode & 0x3u} << 36;
+    if (lazy) w |= 1ULL << 38;
     w |= std::uint64_t{locked_abort_weight256 > 0xff
                            ? 0xffu
                            : locked_abort_weight256} << 40;
@@ -94,6 +100,13 @@ struct AttemptPlan {
   /// granule is not a readers-writer scope.
   constexpr unsigned rw_mode() const noexcept {
     return static_cast<unsigned>((word >> 36) & 0x3);
+  }
+  /// HTM attempts under this plan defer the lock subscription to commit.
+  constexpr bool lazy() const noexcept { return (word & (1ULL << 38)) != 0; }
+  /// The same plan with the lazy bit forced — perf_gate's converged A/B
+  /// republishes a learned plan both ways to isolate the subscription cost.
+  constexpr AttemptPlan with_lazy(bool lazy) const noexcept {
+    return AttemptPlan{lazy ? word | (1ULL << 38) : word & ~(1ULL << 38)};
   }
   constexpr unsigned locked_abort_weight256() const noexcept {
     return static_cast<unsigned>((word >> 40) & 0xff);

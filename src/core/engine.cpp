@@ -113,8 +113,15 @@ bool thread_holds_lock(const void* lock) noexcept {
 }
 
 ExecMode current_exec_mode() noexcept {
-  if (htm::in_txn()) return ExecMode::kHtm;
   const ThreadCtx& tc = thread_ctx();
+  if (htm::in_txn()) {
+    // The outermost HTM frame knows whether this transaction subscribed
+    // eagerly or lazily; nested CSes (which push no frame) inherit it.
+    if (!tc.frames.empty() && is_htm_mode(tc.frames.back()->exec_mode())) {
+      return tc.frames.back()->exec_mode();
+    }
+    return ExecMode::kHtm;
+  }
   if (!tc.frames.empty()) return tc.frames.back()->exec_mode();
   return ExecMode::kLock;
 }
@@ -219,7 +226,7 @@ ExecMode CsExec::plan_choose() const noexcept {
       st_.htm_attempts * 256 +
       st_.htm_locked_aborts * plan_.locked_abort_weight256();
   if (plan_.htm() && st_.htm_eligible && effective_htm256 < plan_.x() * 256) {
-    return ExecMode::kHtm;
+    return plan_.lazy() ? ExecMode::kHtmLazy : ExecMode::kHtm;
   }
   if (plan_.swopt() && st_.swopt_eligible &&
       st_.swopt_attempts < plan_.y()) {
@@ -272,7 +279,7 @@ void CsExec::cleanup_abandoned() noexcept {
     api_->release(lock_);
     lock_acquired_ = false;
   }
-  if (mode_ == ExecMode::kHtm) {
+  if (is_htm_mode(mode_)) {
     // Emulated transactions can be cancelled cleanly. (A real RTM
     // transaction cannot survive C++ unwinding anyway; the hardware will
     // have aborted it.)
@@ -295,7 +302,13 @@ void CsExec::leave_swopt_sets() noexcept {
 }
 
 ExecMode CsExec::sanitize(ExecMode m) const noexcept {
-  if (m == ExecMode::kHtm && !st_.htm_eligible) m = ExecMode::kLock;
+  // Lazy subscription is only admitted where its safety argument holds
+  // (htm::lazy_available(): the emulated backend's validated-read
+  // discipline). A stale lazy choice — plan published before a backend
+  // change, or a policy that never checked — demotes to eager, never to
+  // silent unsafety.
+  if (m == ExecMode::kHtmLazy && !htm::lazy_available()) m = ExecMode::kHtm;
+  if (is_htm_mode(m) && !st_.htm_eligible) m = ExecMode::kLock;
   if (m == ExecMode::kSwOpt && (!st_.swopt_eligible || swopt_given_up_)) {
     m = ExecMode::kLock;
   }
@@ -353,7 +366,9 @@ bool CsExec::arm() {
                                     : policy().choose_mode(st_, md_, *granule_));
 
     switch (m) {
-      case ExecMode::kHtm: {
+      case ExecMode::kHtm:
+      case ExecMode::kHtmLazy: {
+        const bool lazy = m == ExecMode::kHtmLazy;
         // Leaving SWOpt-retrier membership before a potentially
         // conflicting attempt; otherwise grouping would wait on ourselves.
         if (swopt_retry_arrived_) {
@@ -364,7 +379,12 @@ bool CsExec::arm() {
         // execution of the same lock must not defer to SWOpt retriers (it
         // would be waiting for itself); grouping is skipped in that case.
         if (tc_->swopt_lock != &md_) before_conflicting();
-        if (!already_held_) wait_until_lock_free();
+        // Lazy subscription's payoff: the begin-time lock-word probe (and
+        // any wait behind it) disappears from the attempt entirely — the
+        // lock word is first read at commit. A held lock surfaces there as
+        // a kLockedByOther abort, which the §4 lighter accounting already
+        // prices gently.
+        if (!already_held_ && !lazy) wait_until_lock_free();
         fail_sample_.reset();
         if (stats_on_) {
           // Plan-driven sampled executions time every failed attempt (the
@@ -372,8 +392,7 @@ bool CsExec::arm() {
           // SampledTime's own ~3% roll decides.
           fail_sample_ = plan_active_
                              ? std::optional<std::uint64_t>(now_ticks())
-                             : granule_->stats.fail_time(ExecMode::kHtm)
-                                   .maybe_start();
+                             : granule_->stats.fail_time(m).maybe_start();
         }
         const htm::BeginStatus bs = htm::tx_begin();
         // NOTE: with the RTM backend, a hardware abort during the body
@@ -383,20 +402,29 @@ bool CsExec::arm() {
           // arm() runs outside the macro's try-block, so an emulated
           // subscription abort (lock currently held) is caught here.
           try {
-            htm::tx_subscribe_lock(api_, lock_, already_held_);
+            if (lazy) {
+              htm::tx_subscribe_lock_lazy(api_, lock_, already_held_);
+            } else {
+              htm::tx_subscribe_lock(api_, lock_, already_held_);
+            }
           } catch (const htm::TxAbortException& e) {
-            record_htm_abort(e.cause);
+            record_htm_abort(e.cause, m);
             continue;
           }
-          mode_ = ExecMode::kHtm;
+          mode_ = m;
           body_running_ = true;
           trace_engine_event(telemetry::EventKind::kModeDecision, &md_,
                              granule_, mode_, htm::AbortCause::kNone, 0,
                              st_.attempt_no);
+          if (lazy) {
+            trace_engine_event(telemetry::EventKind::kLazySubDecision, &md_,
+                               granule_, mode_, htm::AbortCause::kNone, 0,
+                               st_.attempt_no);
+          }
           return true;
         }
         if (bs.state == htm::BeginState::kAborted) {
-          record_htm_abort(bs.cause);
+          record_htm_abort(bs.cause, m);
           continue;
         }
         st_.htm_eligible = false;  // kUnavailable: stop asking
@@ -456,8 +484,12 @@ bool CsExec::arm() {
   }
 }
 
-void CsExec::record_htm_abort(htm::AbortCause cause) {
+void CsExec::record_htm_abort(htm::AbortCause cause, ExecMode attempted) {
   st_.last_abort = cause;
+  // The X budget (st_ counters) is shared across eager and lazy attempts —
+  // both spend hardware-transaction tries against the same learned cap.
+  // Per-granule stats are striped by the attempted mode so the policy can
+  // compare the two variants' abort/latency profiles independently.
   if (cause == htm::AbortCause::kLockedByOther) {
     // §4: aborts caused by a concurrent lock acquisition are accounted "in
     // a much lighter way" to avoid cascades — tracked separately so
@@ -467,15 +499,15 @@ void CsExec::record_htm_abort(htm::AbortCause cause) {
     st_.htm_attempts++;
   }
   if (stats_on_) {
-    pending_.attempt(ExecMode::kHtm) += stats_weight_;
+    pending_.attempt(attempted) += stats_weight_;
     pending_.abort_cause[static_cast<std::size_t>(cause)] += stats_weight_;
     if (fail_sample_) {
-      granule_->stats.fail_time(ExecMode::kHtm).record_since(*fail_sample_);
+      granule_->stats.fail_time(attempted).record_since(*fail_sample_);
     }
   }
   fail_sample_.reset();
   trace_engine_event(telemetry::EventKind::kHtmAbort, &md_, granule_,
-                     ExecMode::kHtm, cause, 0,
+                     attempted, cause, 0,
                      st_.htm_attempts + st_.htm_locked_aborts);
   // Plan contract: no policy learning callbacks while a plan is published.
   if (!plan_active_) policy().on_htm_abort(md_, *granule_, cause);
@@ -487,7 +519,8 @@ void CsExec::on_abort_exception(const htm::TxAbortException& e) {
   body_running_ = false;
   switch (mode_) {
     case ExecMode::kHtm:
-      record_htm_abort(e.cause);
+    case ExecMode::kHtmLazy:
+      record_htm_abort(e.cause, mode_);
       break;
     case ExecMode::kSwOpt: {
       if (stats_on_) pending_.swopt_failures += stats_weight_;
@@ -545,6 +578,7 @@ void CsExec::finish() {
 
   switch (mode_) {
     case ExecMode::kHtm:
+    case ExecMode::kHtmLazy:
       htm::tx_commit();  // may throw; the catch re-enters arm()
       fail_sample_.reset();
       break;
@@ -569,9 +603,9 @@ void CsExec::finish() {
   if (stats_on_) {
     elapsed = now_ticks() - exec_start_ticks_;
     pending_.success(mode_) += stats_weight_;
-    if (mode_ == ExecMode::kHtm) {
+    if (is_htm_mode(mode_)) {
       st_.htm_attempts++;  // the successful attempt
-      pending_.attempt(ExecMode::kHtm) += stats_weight_;
+      pending_.attempt(mode_) += stats_weight_;
     }
     // Plan-driven sampled executions record their timing unconditionally
     // (the execution itself is the ~3% sample); otherwise SampledTime's
@@ -586,7 +620,7 @@ void CsExec::finish() {
     // (and for learning-phase executions) through the thread's buffered
     // StatDeltaBuffer.
     commit_stat_deltas();
-  } else if (mode_ == ExecMode::kHtm) {
+  } else if (is_htm_mode(mode_)) {
     st_.htm_attempts++;
   }
   trace_engine_event(telemetry::EventKind::kExecComplete, &md_, granule_,

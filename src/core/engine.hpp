@@ -154,7 +154,7 @@ class CsExec {
   // eligibility facts either freshly derived or frozen at compose time.
   CsExec(const CsRequest& req, bool htm_base, bool swopt_base);
 
-  void record_htm_abort(htm::AbortCause cause);
+  void record_htm_abort(htm::AbortCause cause, ExecMode attempted);
   void leave_swopt_sets() noexcept;
   void cleanup_abandoned() noexcept;
   ExecMode sanitize(ExecMode m) const noexcept;

@@ -1,9 +1,18 @@
-// The three execution modes a critical section can run in (§1):
-//   HTM   — transactional lock elision: hardware (or emulated) transaction
-//           subscribed to the lock,
-//   SWOpt — programmer-supplied software-optimistic path, validated against
-//           a conflict indicator,
-//   Lock  — acquire the lock (always succeeds; the fallback).
+// The execution modes a critical section can run in (§1):
+//   HTM     — transactional lock elision: hardware (or emulated) transaction
+//             subscribed to the lock at begin (eager subscription),
+//   SWOpt   — programmer-supplied software-optimistic path, validated
+//             against a conflict indicator,
+//   Lock    — acquire the lock (always succeeds; the fallback),
+//   HTMLazy — HTM elision with the lock-word subscription deferred to
+//             commit (Dice/Harris/Kogan/Lev/Moir's lazy subscription),
+//             admitted only on backends whose transactions obey the
+//             validated-read discipline — every transactional read is
+//             checked against the version table before use, so a doomed
+//             zombie transaction can never branch, dereference, or store
+//             on inconsistent data. Only the emulated backend qualifies;
+//             plain RTM does not (the published safety argument lives in
+//             ale::check — see docs/testing.md).
 #pragma once
 
 #include <cstdint>
@@ -14,17 +23,26 @@ enum class ExecMode : std::uint8_t {
   kLock = 0,
   kHtm = 1,
   kSwOpt = 2,
+  kHtmLazy = 3,
 };
 
-inline constexpr std::size_t kNumExecModes = 3;
+inline constexpr std::size_t kNumExecModes = 4;
 
 inline const char* to_string(ExecMode m) noexcept {
   switch (m) {
     case ExecMode::kLock: return "Lock";
     case ExecMode::kHtm: return "HTM";
     case ExecMode::kSwOpt: return "SWOpt";
+    case ExecMode::kHtmLazy: return "HTMLazy";
   }
   return "?";
+}
+
+/// True for both hardware-transaction modes (eager and lazy subscription).
+/// The two share the X attempt budget and the transactional machinery;
+/// they differ only in when the lock word joins the read set.
+inline constexpr bool is_htm_mode(ExecMode m) noexcept {
+  return m == ExecMode::kHtm || m == ExecMode::kHtmLazy;
 }
 
 // The acquisition mode of a readers-writer critical section — orthogonal

@@ -44,14 +44,15 @@ void add_granule_rows(TextTable& table, LockMd& lock, GranuleMd& g,
 
   table.add_row({lock.name(), g.context()->path(),
                  TextTable::fmt(t.executions), mode_cell(ExecMode::kHtm),
-                 mode_cell(ExecMode::kSwOpt), mode_cell(ExecMode::kLock),
+                 mode_cell(ExecMode::kHtmLazy), mode_cell(ExecMode::kSwOpt),
+                 mode_cell(ExecMode::kLock),
                  TextTable::fmt(t.swopt_failures), aborts});
 }
 
 TextTable make_table() {
   return TextTable({"lock", "context", "execs", "HTM succ/att",
-                    "SWOpt succ/att", "Lock succ/att", "swopt-fails",
-                    "aborts"});
+                    "HTMLazy succ/att", "SWOpt succ/att", "Lock succ/att",
+                    "swopt-fails", "aborts"});
 }
 
 }  // namespace
@@ -81,7 +82,7 @@ std::string report_string(const ReportOptions& opts) {
 
 void print_report_csv(std::ostream& os) {
   os << "lock,context,executions";
-  for (const char* m : {"htm", "swopt", "lock"}) {
+  for (const char* m : {"htm", "htm_lazy", "swopt", "lock"}) {
     os << ',' << m << "_attempts," << m << "_successes," << m
        << "_exec_mean_ns";
   }
@@ -96,7 +97,8 @@ void print_report_csv(std::ostream& os) {
       const GranuleTotals t = s.fold();
       os << lock.name() << ',' << g.context()->path() << ',' << t.executions;
       for (const ExecMode m :
-           {ExecMode::kHtm, ExecMode::kSwOpt, ExecMode::kLock}) {
+           {ExecMode::kHtm, ExecMode::kHtmLazy, ExecMode::kSwOpt,
+            ExecMode::kLock}) {
         os << ',' << t.of(m).attempts << ',' << t.of(m).successes << ','
            << s.exec_time(m).mean_ns();
       }
@@ -123,8 +125,12 @@ void analyze_granule(LockMd& lock, GranuleMd& g, std::uint64_t min_execs,
                                 std::move(advice)});
   };
 
-  const std::uint64_t htm_att = t.of(ExecMode::kHtm).attempts;
-  const std::uint64_t htm_suc = t.of(ExecMode::kHtm).successes;
+  // Guidance treats eager and lazy transactional attempts as one HTM pool:
+  // both spend the same X budget and fail for the same structural reasons.
+  const std::uint64_t htm_att = t.of(ExecMode::kHtm).attempts +
+                                t.of(ExecMode::kHtmLazy).attempts;
+  const std::uint64_t htm_suc = t.of(ExecMode::kHtm).successes +
+                                t.of(ExecMode::kHtmLazy).successes;
   const std::uint64_t sw_att = t.of(ExecMode::kSwOpt).attempts;
   const std::uint64_t sw_suc = t.of(ExecMode::kSwOpt).successes;
   const std::uint64_t lock_suc = t.of(ExecMode::kLock).successes;

@@ -48,6 +48,17 @@ BackendKind backend_cached() noexcept;
 // True iff transactions can be attempted at all under the current config.
 bool htm_available() noexcept;
 
+// True iff the lazy-subscription mode (ExecMode::kHtmLazy) may run.
+// Deferring the lock subscription to commit is only safe on a backend
+// whose transactions obey the validated-read discipline — the emulated
+// TL2 engine does; plain RTM does not (the Dice et al. hardware
+// extensions don't exist on shipping silicon), so the engine and policies
+// demote lazy to eager everywhere else. Same guard-free cost as the
+// mirrors above: two relaxed loads.
+inline bool lazy_available() noexcept {
+  return backend_cached() == BackendKind::kEmulated && htm_available();
+}
+
 // Whether this build contains the real RTM backend.
 bool rtm_compiled_in() noexcept;
 

@@ -97,10 +97,23 @@ void TxDesc::commit() {
     // against lock holders is needed beyond the version checks (a holder's
     // writes bump slot versions, so any overlap fails validation).
     for (const auto& sub : subs_) {
+      if (sub.deferred) {
+        // The deferred subscription finally reads the lock word — the end
+        // of the lazy window, where an unlock/lock flip races this check.
+        check::preempt(check::Sp::kHtmLazyValidate);
+        if (inject::should_fire(inject::Point::kHtmLazySubFail)) {
+          inject::stall(
+              inject::magnitude(inject::Point::kHtmLazySubFail, 0));
+          abort_now(AbortCause::kLockedByOther);
+        }
+      }
       if (!sub.already_held_by_self && sub.api->is_locked(sub.lock)) {
         abort_now(AbortCause::kLockedByOther);
       }
     }
+    // lazy_naive_ (mutation): reads were taken unvalidated and unrecorded,
+    // so this loop is vacuous — the commit checks only the lock word, the
+    // exact omission that makes naive lazy subscription unsafe.
     for (const auto& r : reads_) {
       if (r.slot->load(std::memory_order_acquire) != r.observed) {
         abort_now(AbortCause::kConflict);
@@ -125,6 +138,19 @@ void TxDesc::commit() {
     }
   };
   for (const auto& sub : subs_) {
+    if (sub.deferred) {
+      // Deferred (lazy) subscription: the first and only time this
+      // transaction touches the lock word. kHtmLazyValidate lets the
+      // explorer interleave a Lock-mode holder right up against the
+      // acquisition; htm.lazy.subfail delivers a deterministic
+      // kLockedByOther here to price lazy commits in learning tests.
+      check::preempt(check::Sp::kHtmLazyValidate);
+      if (inject::should_fire(inject::Point::kHtmLazySubFail)) {
+        release_app_locks();
+        inject::stall(inject::magnitude(inject::Point::kHtmLazySubFail, 0));
+        abort_now(AbortCause::kLockedByOther);
+      }
+    }
     if (sub.already_held_by_self) {
       ++acquired;  // exclusion already guaranteed by our own holding
       continue;
@@ -147,7 +173,9 @@ void TxDesc::commit() {
   }
 
   // Step 3: validate the read set. A slot we locked ourselves validates
-  // against its pre-lock word.
+  // against its pre-lock word. Under the naive-lazy mutation the reads were
+  // never recorded, so a zombie's stale view sails through — the planted
+  // Dice et al. bug the explorer must catch.
   for (const auto& r : reads_) {
     const std::uint64_t now = slots.owns(r.slot)
                                   ? slots.prev_of(r.slot)

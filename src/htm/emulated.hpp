@@ -13,6 +13,9 @@
 //  * write: append to a redo log (program order preserved; reads see own
 //           writes by scanning the log backwards).
 //  * subscribe_lock: abort if held now; re-checked / acquired at commit.
+//  * subscribe_lock_lazy: record the lock WITHOUT reading it; checked /
+//           acquired only at commit (ExecMode::kHtmLazy — the member
+//           comment carries the safety argument and its mitigations).
 //  * commit (writer): try_acquire subscribed app locks (this serializes the
 //           redo application against Lock-mode holders, standing in for the
 //           atomicity a real HTM gets from hardware) → lock write-set slots
@@ -102,6 +105,8 @@ class TxDesc {
     read_lines_.clear();
     write_lines_.clear();
     stats_reads_ = stats_writes_ = 0;
+    lazy_deferred_ = false;
+    lazy_naive_ = false;
     active_ = true;
   }
 
@@ -117,6 +122,10 @@ class TxDesc {
     // nor acquires the app lock, so a Lock-mode holder and this transaction
     // can interleave freely; the explorer must catch the lost update.
     if (inject::should_fire(inject::Point::kHtmLazySub)) return;
+    // htm.eagersub prices the begin-time subscription read (the very read
+    // kHtmLazy exists to skip) so learning tests can make the eager-vs-lazy
+    // cost gap deterministic instead of relying on host timing.
+    inject::maybe_stall(inject::Point::kHtmEagerSub, 0);
     if (!already_held_by_self && api->is_locked(lock)) {
       abort_now(AbortCause::kLockedByOther);
     }
@@ -124,6 +133,40 @@ class TxDesc {
       if (s.lock == lock) return;  // flattened nesting: already subscribed
     }
     subs_.push_back(Subscription{api, lock, already_held_by_self});
+  }
+
+  // Lazy subscription (ExecMode::kHtmLazy): record the lock but do NOT read
+  // its word — neither here nor anywhere before commit. The lock word only
+  // joins the transaction's footprint at commit time (the deferred
+  // validation in commit()), which is the entire performance case: the
+  // uncontended fast path sheds one shared-line load plus the engine's
+  // begin-time lock-free wait. Safety does not come from this read — it
+  // comes from the validated-read discipline (every read() is checked
+  // against the version table before its value is used, so a transaction
+  // serialized against a Lock-mode holder can never observe the holder's
+  // partial writes without aborting) plus the abort-on-escape check in
+  // write(). That argument is machine-checked by ale::check, not assumed:
+  // the kHtmLazyDefer/kHtmLazyValidate schedule points below bracket the
+  // deferred-subscription window so exploration can drive a racing
+  // Lock-mode holder through every interleaving of it.
+  void subscribe_lock_lazy(const LockApi* api, void* lock,
+                           bool already_held_by_self) {
+    check::preempt(check::Sp::kHtmLazyDefer);
+    // Mutation self-test: drop the mitigations for this transaction — reads
+    // skip validation and commit skips read-set validation, leaving only
+    // the commit-time lock check. That is precisely the naive lazy
+    // subscription Dice/Harris/Kogan/Lev/Moir prove unsafe (a zombie
+    // transaction commits over a holder's in-flight update); the explorer
+    // must find the lost update.
+    if (inject::should_fire(inject::Point::kHtmLazyNoMitigate)) {
+      lazy_naive_ = true;
+    }
+    lazy_deferred_ = true;
+    for (const auto& s : subs_) {
+      if (s.lock == lock) return;  // flattened nesting: already subscribed
+    }
+    subs_.push_back(
+        Subscription{api, lock, already_held_by_self, /*deferred=*/true});
   }
 
   template <typename T>
@@ -137,6 +180,17 @@ class TxDesc {
       if (it->addr == static_cast<void*>(&loc)) {
         return from_bits<T>(it->bits);
       }
+    }
+    // Naive-lazy mutation (htm.lazy.nomitigate): the validated-read
+    // discipline is dropped — the value is consumed with no slot check and
+    // no read-set entry, so commit has nothing to validate. Only reachable
+    // under the ale::check mutation self-test.
+    if (lazy_naive_) {
+      const T value =
+          std::atomic_ref<T>(loc).load(std::memory_order_acquire);
+      track_line(read_lines_, &loc, profile_->read_cap_lines);
+      ++stats_reads_;
+      return value;
     }
     auto& table = VersionTable::instance();
     auto& slot = table.slot_for(&loc);
@@ -178,6 +232,24 @@ class TxDesc {
                   "emulated HTM tracks word-sized locations; box larger "
                   "values behind a pointer");
     check::preempt(check::Sp::kHtmWrite);
+    // Abort-on-escape (lazy subscription's second mitigation): a doomed
+    // zombie transaction must never issue a store derived from inconsistent
+    // reads — even into the redo log, since a later commit applies it. The
+    // validated-read discipline already guarantees each read was consistent
+    // *when taken*; this re-validates the whole read set at every escape
+    // point (store issue) so a transaction invalidated since cannot extend
+    // its effects. Gated on the exploration scheduler: under ale::check the
+    // discipline is exercised on every interleaving, while production runs
+    // pay nothing (commit-time validation subsumes it for atomicity — this
+    // check exists to kill zombies *early*, which only schedule exploration
+    // can observe).
+    if (lazy_deferred_ && !lazy_naive_ && check::scheduler_active()) {
+      for (const auto& r : reads_) {
+        if (r.slot->load(std::memory_order_acquire) != r.observed) {
+          abort_now(AbortCause::kConflict);
+        }
+      }
+    }
     auto& table = VersionTable::instance();
     redo_.push_back(RedoEntry{&loc, to_bits(value), &apply_bits<T>,
                               &table.slot_for(&loc)});
@@ -224,6 +296,10 @@ class TxDesc {
     const LockApi* api;
     void* lock;
     bool already_held_by_self;
+    // Lazily subscribed: the lock word was never read at subscribe time;
+    // commit() performs the deferred check/acquisition (and the checker's
+    // kHtmLazyValidate point fires there).
+    bool deferred = false;
   };
 
   template <typename T>
@@ -283,6 +359,11 @@ class TxDesc {
   std::vector<SlotHeld> slot_scratch_;
   std::uint64_t stats_reads_ = 0;
   std::uint64_t stats_writes_ = 0;
+  // Lazy-subscription state (reset every begin()): lazy_deferred_ is set
+  // when any subscription was taken lazily; lazy_naive_ marks this
+  // transaction as running the htm.lazy.nomitigate mutation (checker-only).
+  bool lazy_deferred_ = false;
+  bool lazy_naive_ = false;
 };
 
 TxDesc& tls_desc() noexcept;

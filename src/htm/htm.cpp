@@ -103,6 +103,24 @@ void tx_subscribe_lock(const LockApi* api, void* lock,
   }
 }
 
+void tx_subscribe_lock_lazy(const LockApi* api, void* lock,
+                            bool already_held_by_self) {
+  switch (backend_cached()) {
+    case BackendKind::kEmulated:
+      detail::tls_desc().subscribe_lock_lazy(api, lock,
+                                             already_held_by_self);
+      return;
+    case BackendKind::kRtm:
+      // No validated-read discipline on raw RTM: deferring the
+      // subscription would admit the exact zombie transactions the Dice et
+      // al. paper proves possible. Degrade to eager.
+      if (!already_held_by_self && api->is_locked(lock)) rtm::abort_locked();
+      return;
+    case BackendKind::kNone:
+      return;
+  }
+}
+
 bool in_txn() noexcept {
   switch (backend_cached()) {
     case BackendKind::kEmulated:

@@ -46,6 +46,14 @@ void tx_commit();
 void tx_subscribe_lock(const LockApi* api, void* lock,
                        bool already_held_by_self);
 
+// Lazy subscription (ExecMode::kHtmLazy): record `lock` without reading
+// its word; the check/acquisition happens at commit. Only meaningful when
+// lazy_available() (the emulated backend's validated-read discipline is
+// the safety argument — see emulated.hpp); on other backends this degrades
+// to the eager tx_subscribe_lock so callers never get silent unsafety.
+void tx_subscribe_lock_lazy(const LockApi* api, void* lock,
+                            bool already_held_by_self);
+
 bool in_txn() noexcept;
 
 // Map an RTM abort-status word to the shared taxonomy.

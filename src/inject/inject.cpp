@@ -34,6 +34,9 @@ const char* to_string(Point p) noexcept {
     case Point::kSvcHotkey: return "svc.hotkey";
     case Point::kSyncPark: return "sync.park";
     case Point::kSyncWake: return "sync.wake";
+    case Point::kHtmLazyNoMitigate: return "htm.lazy.nomitigate";
+    case Point::kHtmLazySubFail: return "htm.lazy.subfail";
+    case Point::kHtmEagerSub: return "htm.eagersub";
   }
   return "?";
 }
@@ -61,6 +64,7 @@ htm::AbortCause cause_of(Point p) noexcept {
     case Point::kHtmCommit: return htm::AbortCause::kConflict;
     case Point::kHtmCapacity: return htm::AbortCause::kCapacity;
     case Point::kSwOptInvalidate: return htm::AbortCause::kConflict;
+    case Point::kHtmLazySubFail: return htm::AbortCause::kLockedByOther;
     // The mutation points suppress behaviour rather than deliver a fault.
     default: return htm::AbortCause::kNone;
   }

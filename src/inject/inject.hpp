@@ -95,9 +95,24 @@ enum class Point : std::uint8_t {
                       ///< the futex wait, then return spuriously (no sleep)
   kSyncWake = 16,     ///< stall x pause-spins before issuing a futex wake
                       ///< (stretches the parked-waiter convoy)
+
+  // Lazy-subscription points (ExecMode::kHtmLazy).
+  kHtmLazyNoMitigate = 17,  ///< **mutation point**: lazy transactions drop
+                            ///< the validated-read discipline AND the
+                            ///< commit-time read-set validation — the naive
+                            ///< lazy subscription of Dice et al., whose
+                            ///< zombie transactions the explorer must catch
+  kHtmLazySubFail = 18,     ///< fault: the deferred subscription check at
+                            ///< commit reports the lock held (kLockedByOther
+                            ///< abort) — prices lazy commits for
+                            ///< deterministic A/B learning tests
+  kHtmEagerSub = 19,        ///< fault: stall x pause-spins (default 0) in
+                            ///< the *eager* begin-time subscription read —
+                            ///< prices eager mode so learning tests can make
+                            ///< lazy win deterministically
 };
 
-inline constexpr std::size_t kNumPoints = 17;
+inline constexpr std::size_t kNumPoints = 20;
 
 const char* to_string(Point p) noexcept;
 std::optional<Point> point_by_name(std::string_view name) noexcept;

@@ -120,19 +120,27 @@ ExecMode AdaptivePolicy::choose_mode(const AttemptState& st, LockMd& md,
   const std::uint32_t major = AdaptiveLockState::major_of(ph);
 
   if (major < kNumProgressions) {  // learning phases
-    return choose_for_progression(
+    const ExecMode m = choose_for_progression(
         static_cast<Progression>(major),
         gs.x_current.load(std::memory_order_relaxed), st);
+    // sub3 is the lazy-subscription A/B: same learned X, but every
+    // transactional attempt defers the lock-word read to commit.
+    if (m == ExecMode::kHtm && AdaptiveLockState::sub_of(ph) == 3) {
+      return ExecMode::kHtmLazy;
+    }
+    return m;
   }
   if (major == AdaptiveLockState::kCustom || ls.use_custom.load()) {
     const auto prog = static_cast<Progression>(gs.final_prog.load());
     const std::uint32_t x = gs.final_x.load(std::memory_order_relaxed);
+    const bool lazy = gs.final_lazy.load(std::memory_order_relaxed);
     // Publish only once converged — the Custom phase is still measuring and
     // needs every execution routed through on_execution_complete.
     if (major == AdaptiveLockState::kConverged) {
-      maybe_publish_plan(g, prog, x);
+      maybe_publish_plan(g, prog, x, lazy);
     }
-    return choose_for_progression(prog, x, st);
+    const ExecMode m = choose_for_progression(prog, x, st);
+    return m == ExecMode::kHtm && lazy ? ExecMode::kHtmLazy : m;
   }
   // Converged on a uniform progression. A granule that never learned an X
   // gets the default budget; a learned 0 stands — it means the granule
@@ -145,12 +153,15 @@ ExecMode AdaptivePolicy::choose_mode(const AttemptState& st, LockMd& md,
     x = (best == Progression::kHL || best == Progression::kAll) ? kDefaultX
                                                                 : 0;
   }
-  maybe_publish_plan(g, best, x);
-  return choose_for_progression(best, x, st);
+  const bool lazy = gs.lazy_for[static_cast<std::size_t>(best)].load(
+      std::memory_order_relaxed);
+  maybe_publish_plan(g, best, x, lazy);
+  const ExecMode m = choose_for_progression(best, x, st);
+  return m == ExecMode::kHtm && lazy ? ExecMode::kHtmLazy : m;
 }
 
 void AdaptivePolicy::maybe_publish_plan(GranuleMd& g, Progression prog,
-                                        std::uint32_t x) {
+                                        std::uint32_t x, bool lazy) {
   if (g.attempt_plan().valid()) return;  // already published
   // Probabilistic grouping respect keeps a per-attempt PRNG decision inside
   // the policy; such configurations stay on the virtual path.
@@ -183,9 +194,14 @@ void AdaptivePolicy::maybe_publish_plan(GranuleMd& g, Progression prog,
                             spins < 65280.0 ? spins : 65280.0)
                       : 1;
   }
+  // The plan's lazy bit is double-guarded: the sub3 verdict only exists
+  // where lazy_available() held during learning, and plan_choose's lazy
+  // route is re-sanitized by the engine anyway. Belt and braces here keeps
+  // a serialized/stale plan word honest.
   g.publish_attempt_plan(AttemptPlan::make(htm_in, swopt_in, x, cfg_.y_large,
                                            cfg_.grouping, weight256, notify,
-                                           rw_mode, park_budget));
+                                           rw_mode, park_budget,
+                                           lazy && htm::lazy_available()));
 }
 
 void AdaptivePolicy::on_htm_abort(LockMd&, GranuleMd&, htm::AbortCause) {}
@@ -242,11 +258,15 @@ void AdaptivePolicy::on_execution_complete(LockMd& md, GranuleMd& g,
   if (major < kNumProgressions) {
     const bool htm_major = is_htm_major(major);
     // Measurement windows: single-sub phases measure immediately; HTM
-    // phases measure in sub2 only (after X has been learned).
+    // phases measure their eager baseline in sub2 only (after X has been
+    // learned) and the lazy variant in sub3. The lock-level progression
+    // mean deliberately excludes sub3 — lazy-vs-eager is a per-granule
+    // refinement of a progression, not a separate progression.
     if (!htm_major || sub == 2) {
       gs.prog_time[major].add(elapsed_ticks);
       ls.lock_prog_time[major].add(elapsed_ticks);
     }
+    if (htm_major && sub == 3) gs.lazy_time.add(elapsed_ticks);
     if (htm_major) {
       if (final_mode == ExecMode::kHtm) {
         if (sub <= 1) gs.hist.record_success(st.htm_attempts);
@@ -373,6 +393,20 @@ void AdaptivePolicy::finalize_sub1(LockMd& md, AdaptiveLockState& ls,
   });
 }
 
+void AdaptivePolicy::finalize_sub3(LockMd& md, Progression prog) {
+  md.for_each_granule([&](GranuleMd& g) {
+    AdaptiveGranuleState& gs = granule_state(g);
+    // Lazy must *measurably* beat eager at the same X to be admitted;
+    // ties and thin samples keep the eager default. (The safety argument
+    // is the backend's; this gate is purely about profit.)
+    const auto p = static_cast<std::size_t>(prog);
+    const bool wins = gs.lazy_time.n() >= kMinMeasured &&
+                      gs.prog_time[p].n() >= kMinMeasured &&
+                      gs.lazy_time.mean() < gs.prog_time[p].mean();
+    gs.lazy_for[p].store(wins, std::memory_order_relaxed);
+  });
+}
+
 void AdaptivePolicy::begin_custom(LockMd& md, AdaptiveLockState& ls) {
   // Lock-level best uniform progression.
   double best_mean = std::numeric_limits<double>::infinity();
@@ -406,6 +440,9 @@ void AdaptivePolicy::begin_custom(LockMd& md, AdaptiveLockState& ls) {
       x = is_htm_major(gbest) ? kDefaultX : 0;
     }
     gs.final_x.store(x, std::memory_order_relaxed);
+    gs.final_lazy.store(
+        gs.lazy_for[gbest].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   });
   ls.custom_time.reset();
 }
@@ -442,7 +479,19 @@ void AdaptivePolicy::maybe_advance(LockMd& md, AdaptiveLockState& ls,
     finalize_sub1(md, ls, static_cast<Progression>(major));
     reset_phase_counters(md, std::numeric_limits<std::uint32_t>::max());
     next = AdaptiveLockState::pack(major, 2);
+  } else if (is_htm_major(major) && sub == 2 && htm::lazy_available()) {
+    // Lazy-subscription A/B: rerun the measurement window in kHtmLazy at
+    // the same learned X. Skipped entirely on backends without the
+    // validated-read safety argument (the verdict defaults to eager).
+    md.for_each_granule([&](GranuleMd& g) {
+      granule_state(g).lazy_time.reset();
+    });
+    reset_phase_counters(md, std::numeric_limits<std::uint32_t>::max());
+    next = AdaptiveLockState::pack(major, 3);
   } else if (major < kNumProgressions) {
+    if (is_htm_major(major) && sub == 3) {
+      finalize_sub3(md, static_cast<Progression>(major));
+    }
     const std::uint32_t nm = next_major(major);
     if (nm == AdaptiveLockState::kCustom) {
       begin_custom(md, ls);
@@ -504,10 +553,13 @@ void AdaptivePolicy::restart_learning(LockMd& md, AdaptiveLockState& ls,
     gs.hist.reset();
     gs.fallback_time.reset();
     gs.htm_succ_exec_time.reset();
+    gs.lazy_time.reset();
     for (auto& acc : gs.prog_time) acc.reset();
     for (auto& x : gs.x_for) {
       x.store(AdaptiveGranuleState::kXUnset, std::memory_order_relaxed);
     }
+    for (auto& l : gs.lazy_for) l.store(false, std::memory_order_relaxed);
+    gs.final_lazy.store(false, std::memory_order_relaxed);
     gs.x_current.store(0, std::memory_order_relaxed);
   });
   ls.relearn_count.fetch_add(1, std::memory_order_relaxed);
@@ -565,6 +617,15 @@ std::uint32_t AdaptivePolicy::effective_x_of(LockMd& md, GranuleMd& g) {
                                                                 : 0;
   }
   return x;
+}
+bool AdaptivePolicy::lazy_of(LockMd& md, GranuleMd& g) {
+  AdaptiveLockState& ls = lock_state(md);
+  AdaptiveGranuleState& gs = granule_state(g);
+  if (ls.use_custom.load()) {
+    return gs.final_lazy.load(std::memory_order_relaxed);
+  }
+  const auto best = static_cast<std::size_t>(ls.best_uniform.load());
+  return gs.lazy_for[best].load(std::memory_order_relaxed);
 }
 std::uint64_t AdaptivePolicy::relearn_count_of(LockMd& md) {
   return lock_state(md).relearn_count.load(std::memory_order_relaxed);

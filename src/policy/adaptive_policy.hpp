@@ -21,6 +21,15 @@
 //                       cost model).
 //   sub2 (measurement): run with the learned X and measure the
 //                       progression's average execution time.
+//   sub3 (lazy A/B)   : only when htm::lazy_available() — rerun with the
+//                       same learned X but lazy lock subscription
+//                       (ExecMode::kHtmLazy: the lock word is first read
+//                       at commit) and measure again; at the end each
+//                       granule keeps lazy for this progression iff its
+//                       measured mean beat sub2's eager mean. Lazy mostly
+//                       wins on short critical sections, where the
+//                       begin-time subscription load is a visible share
+//                       of the total; the measurement decides per granule.
 //
 // The custom phase runs each granule with its own best progression; the
 // lock keeps those per-granule choices only if the measured custom average
@@ -55,7 +64,7 @@ const char* to_string(Progression p) noexcept;
 
 /// Human-readable name for a packed phase word (major<<8 | sub) as stored
 /// in AdaptiveLockState::phase and carried by kPhaseTransition trace
-/// events: "Lock", "SL", "HL.sub0".."HL.sub2", "All.sub0".."All.sub2",
+/// events: "Lock", "SL", "HL.sub0".."HL.sub3", "All.sub0".."All.sub3",
 /// "Custom", "Converged".
 std::string adaptive_phase_name(std::uint32_t packed_phase);
 
@@ -139,10 +148,15 @@ class AdaptiveGranuleState final : public PolicyGranuleState {
   MeanAccumulator fallback_time;
   MeanAccumulator htm_fail_attempt_time;  // learning-phase exact timing
   MeanAccumulator htm_succ_exec_time;
+  // sub3 scratch: mean execution time with lazy subscription at the learned
+  // X (reset on each sub3 entry), and the per-progression verdict.
+  MeanAccumulator lazy_time;
+  std::array<std::atomic<bool>, kNumProgressions> lazy_for{};
   // Final per-granule choice (valid from the custom phase on).
   std::atomic<std::uint8_t> final_prog{
       static_cast<std::uint8_t>(Progression::kLockOnly)};
   std::atomic<std::uint32_t> final_x{0};
+  std::atomic<bool> final_lazy{false};
 };
 
 class AdaptiveLockState final : public PolicyLockState {
@@ -206,6 +220,9 @@ class AdaptivePolicy final : public Policy {
   // uniform path, default substitution included). Overrides the Policy
   // introspection hook so ale::effective_x_of works through the base.
   std::uint32_t effective_x_of(LockMd& md, GranuleMd& g) override;
+  // Whether the converged chooser routes this granule's transactional
+  // attempts through lazy subscription (mirrors choose_mode exactly).
+  bool lazy_of(LockMd& md, GranuleMd& g);
   std::uint64_t relearn_count_of(LockMd& md);
 
  private:
@@ -222,13 +239,15 @@ class AdaptivePolicy final : public Policy {
   // granule's AttemptPlan so the engine can skip this policy entirely
   // (core/attempt_plan.hpp). No-op when a plan is already published or when
   // the configuration needs per-attempt policy involvement.
-  void maybe_publish_plan(GranuleMd& g, Progression prog, std::uint32_t x);
+  void maybe_publish_plan(GranuleMd& g, Progression prog, std::uint32_t x,
+                          bool lazy);
   std::uint32_t first_major() const;
   std::uint32_t next_major(std::uint32_t major) const;
   void maybe_advance(LockMd& md, AdaptiveLockState& ls,
                      std::uint32_t seen_phase);
   void finalize_sub0(LockMd& md);
   void finalize_sub1(LockMd& md, AdaptiveLockState& ls, Progression prog);
+  void finalize_sub3(LockMd& md, Progression prog);
   void begin_custom(LockMd& md, AdaptiveLockState& ls);
   void begin_converged(LockMd& md, AdaptiveLockState& ls);
   void reset_phase_counters(LockMd& md, std::uint32_t new_x_mode);

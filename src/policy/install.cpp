@@ -34,6 +34,17 @@ std::unique_ptr<Policy> make_policy(std::string_view spec) {
   if (spec.starts_with("static-")) {
     spec.remove_prefix(7);
     StaticPolicyConfig cfg;
+    if (spec.starts_with("hll-")) {
+      // Lazy-subscription HTMLock: same budget shape as static-hl-N but
+      // every transactional attempt defers the lock-word read to commit.
+      const auto x = parse_uint(spec.substr(4));
+      if (!x) return nullptr;
+      cfg.use_swopt = false;
+      cfg.x = *x;
+      cfg.y = 0;
+      cfg.lazy = true;
+      return std::make_unique<StaticPolicy>(cfg);
+    }
     if (spec.starts_with("hl-")) {
       const auto x = parse_uint(spec.substr(3));
       if (!x) return nullptr;

@@ -6,6 +6,9 @@
 //
 // The paper's experiment names map onto configurations of this class:
 //   Static-HL-k     → {x=k, y=0, use_swopt=false}        ("HTMLock")
+//   Static-HLL-k    → {x=k, y=0, use_swopt=false, lazy=true}
+//                     (lazy-subscription HTMLock; engine demotes to eager
+//                      wherever htm::lazy_available() is false)
 //   Static-SL-k     → {x=0, y=k, use_htm=false}          ("SWOPTLock")
 //   Static-All-X:Y  → {x=X, y=Y}
 #pragma once
@@ -21,6 +24,11 @@ struct StaticPolicyConfig {
   unsigned y = 3;  // max SWOpt attempts
   bool use_htm = true;
   bool use_swopt = true;
+  // Transactional attempts request lazy subscription (ExecMode::kHtmLazy):
+  // the lock word is first read at commit instead of at begin. The engine's
+  // sanitize() demotes to eager kHtm when the backend lacks the
+  // validated-read safety argument, so setting this is always safe.
+  bool lazy = false;
   // §4: lock-acquisition aborts consume only this fraction of the X budget
   // ("accounted in a much lighter way").
   double locked_abort_weight = 0.25;
@@ -42,7 +50,7 @@ class StaticPolicy final : public Policy {
         st.htm_attempts + st.htm_locked_aborts * cfg_.locked_abort_weight;
     if (cfg_.use_htm && st.htm_eligible &&
         effective_htm < static_cast<double>(cfg_.x)) {
-      return ExecMode::kHtm;
+      return cfg_.lazy ? ExecMode::kHtmLazy : ExecMode::kHtm;
     }
     if (cfg_.use_swopt && st.swopt_eligible && st.swopt_attempts < cfg_.y) {
       return ExecMode::kSwOpt;

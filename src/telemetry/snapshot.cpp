@@ -108,7 +108,8 @@ std::vector<EventRecord> resolve_events(const std::vector<TraceEvent>& raw) {
         r.detail = "attempt=" + std::to_string(e.aux8);
         break;
       case EventKind::kHtmAbort:
-        r.mode = ale::to_string(ExecMode::kHtm);
+        // e.mode distinguishes eager (kHtm) from lazy (kHtmLazy) attempts.
+        r.mode = ale::to_string(static_cast<ExecMode>(e.mode));
         r.cause = htm::to_string(static_cast<htm::AbortCause>(e.cause));
         break;
       case EventKind::kSwOptFail:
@@ -146,6 +147,11 @@ std::vector<EventRecord> resolve_events(const std::vector<TraceEvent>& raw) {
         r.detail = e.mode == 1
                        ? "park spent=" + std::to_string(e.aux32)
                        : std::string("wake");
+        break;
+      case EventKind::kLazySubDecision:
+        r.mode = ale::to_string(static_cast<ExecMode>(e.mode));
+        r.detail = "subscription deferred to commit attempt=" +
+                   std::to_string(e.aux8);
         break;
     }
     out.push_back(std::move(r));

@@ -23,6 +23,7 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kRwModeDecision: return "rw_mode_decision";
     case EventKind::kSvcPhase: return "svc_phase";
     case EventKind::kParkDecision: return "park_decision";
+    case EventKind::kLazySubDecision: return "lazy_sub_decision";
   }
   return "?";
 }

@@ -54,9 +54,13 @@ enum class EventKind : std::uint8_t {
                        ///< are syscall-priced, so they are never hot.
                        ///< lock = the parked-on word, aux32 = spins burned
                        ///< before the park decision (0 for wakes)
+  kLazySubDecision = 11, ///< engine armed a lazy-subscription transaction
+                       ///< (ExecMode::kHtmLazy): the lock word will not be
+                       ///< read until commit (sampled alongside the
+                       ///< kModeDecision for the same attempt)
 };
 
-inline constexpr std::size_t kNumEventKinds = 11;
+inline constexpr std::size_t kNumEventKinds = 12;
 
 /// Human-readable tag for an EventKind (stable; used in exports).
 const char* to_string(EventKind k) noexcept;

@@ -50,7 +50,8 @@ TEST_F(ExploreTest, CounterScenarioCleanAcrossStrategies) {
 
 TEST_F(ExploreTest, MapScenariosCleanUnderEveryModePin) {
   for (const ModePin pin :
-       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly}) {
+       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly,
+        ModePin::kHtmLazyOnly}) {
     MapScenarioOptions mo;
     mo.pin = pin;
     ExploreOptions opts;
@@ -82,7 +83,8 @@ TEST_F(ExploreTest, RwLockScenarioCleanUnderEveryModePin) {
   // update-mode reader+writer and an exclusive writer over one
   // ElidableSharedLock must linearize under every pinned execution mode.
   for (const ModePin pin :
-       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly}) {
+       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly,
+        ModePin::kHtmLazyOnly}) {
     MapScenarioOptions mo;
     mo.pin = pin;
     ExploreOptions opts;

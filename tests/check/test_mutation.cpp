@@ -96,12 +96,38 @@ TEST_F(MutationTest, LazySubscriptionIsCaughtOnCounter) {
   EXPECT_NE(r.violations[0].detail.find("lost update"), std::string::npos);
 }
 
+TEST_F(MutationTest, NaiveLazySubscriptionIsCaughtOnCounter) {
+  // htm.lazy.nomitigate strips the mitigations off the *real* lazy mode
+  // (ExecMode::kHtmLazy): reads bypass the validated-read discipline and go
+  // unrecorded, so commit-time read validation is vacuous and only the
+  // deferred lock-word check remains — exactly the zombie-transaction
+  // protocol Dice et al. prove unsafe. A lazy transaction that read the
+  // counter while a Lock-mode holder was mid-increment commits a stale
+  // value over the holder's update.
+  ASSERT_TRUE(inject::configure("htm.lazy.nomitigate"));
+  ExploreOptions opts;
+  opts.name = "mutation/htm.lazy.nomitigate/counter-lazy";
+  opts.seed = 42;
+  opts.schedules = kFindBudget;
+  opts.quiet = true;
+  const ExploreResult r = explore(opts, [](ScheduleCtx& ctx) {
+    return scenarios::counter_schedule(ctx, 3, 2, "static-hll-8");
+  });
+  ASSERT_FALSE(r.ok()) << "explorer failed to catch the naive-lazy "
+                          "mutation in "
+                       << r.schedules_run << " schedules";
+  EXPECT_NE(r.violations[0].detail.find("lost update"), std::string::npos);
+  EXPECT_NE(r.violations[0].repro.find("ALE_CHECK_SCHEDULE="),
+            std::string::npos);
+}
+
 TEST_F(MutationTest, MutationsOffNothingIsFlagged) {
   // The same detectors, same seeds, mutations disabled: every pin must come
   // back clean. (CI's check-explore job runs this sweep at 10k+ schedules;
   // this is the smoke-sized version.)
   for (const ModePin pin :
-       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly}) {
+       {ModePin::kLockOnly, ModePin::kSwOptOnly, ModePin::kHtmOnly,
+        ModePin::kHtmLazyOnly}) {
     MapScenarioOptions mo;
     mo.pin = pin;
     ExploreOptions opts;
@@ -131,8 +157,19 @@ TEST_F(MutationTest, MutationsOffNothingIsFlagged) {
   opts.name = "clean/counter";
   opts.seed = 42;
   opts.schedules = kCleanBudget;
-  const ExploreResult r = explore(opts, [](ScheduleCtx& ctx) {
+  ExploreResult r = explore(opts, [](ScheduleCtx& ctx) {
     return scenarios::counter_schedule(ctx, 3, 2);
+  });
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().detail);
+
+  // The mitigated lazy-subscription mode, mutations off: the same counter
+  // invariant the naive variant loses must hold on every explored
+  // schedule — this is the machine-checked half of the safety argument.
+  opts.name = "clean/counter-lazy";
+  r = explore(opts, [](ScheduleCtx& ctx) {
+    return scenarios::counter_schedule(ctx, 3, 2, "static-hll-8");
   });
   EXPECT_TRUE(r.ok()) << (r.violations.empty()
                               ? ""

@@ -16,6 +16,8 @@
 #include "htm/htm.hpp"
 #include "htm/profile.hpp"
 #include "htm/version_table.hpp"
+#include "sync/lockapi.hpp"
+#include "sync/rwlock.hpp"
 #include "sync/spinlock.hpp"
 #include "test_util.hpp"
 
@@ -220,6 +222,135 @@ TEST_F(EmulatedHtmEdges, TransactionsSurviveAVeryLargeClockJump) {
   EXPECT_EQ(run_txn([&] { EXPECT_EQ(tx_load(x), 1u); }),
             AbortCause::kNone);
   EXPECT_GT(table.read_clock(), before + (std::uint64_t{1} << 40) - 1);
+}
+
+// ---- lazy subscription (ExecMode::kHtmLazy) edges -----------------------
+//
+// The deferred window runs from subscribe_lock_lazy to commit: the lock
+// word is read exactly once, at commit. These tests pin the boundary
+// behaviour of that window against racing lock transitions, the
+// readers-writer subscription word, and version-clock motion.
+
+TEST_F(EmulatedHtmEdges, LazySubscriptionOfAHeldLockCommitsOnceItIsFree) {
+  // The defining difference from eager subscription: a holder present at
+  // subscribe time is invisible — only the commit-time state matters, so a
+  // holder that leaves during the deferred window costs nothing.
+  TatasLock lock;
+  lock.lock();
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock_lazy(lock_api<TatasLock>(), &lock,
+                                          /*already_held_by_self=*/false);
+              tx_store(x, std::uint64_t{7});
+              lock.unlock();  // the racing holder releases before commit
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 7u);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(EmulatedHtmEdges, LazySubscriptionAbortsWhenTheLockFlipsToHeld) {
+  // The converse flip: free at subscribe, locked by the time commit reads
+  // the word — the deferred check must observe the new holder and abort
+  // without leaking the buffered write.
+  TatasLock lock;
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock_lazy(lock_api<TatasLock>(), &lock,
+                                          /*already_held_by_self=*/false);
+              tx_store(x, std::uint64_t{5});
+              lock.lock();  // a holder arrives inside the deferred window
+            }),
+            AbortCause::kLockedByOther);
+  EXPECT_EQ(x, 0u);
+  lock.unlock();
+}
+
+TEST_F(EmulatedHtmEdges, SelfHeldLazySubscriptionSkipsTheCommitAcquire) {
+  // §4.1 applies to the deferred check too: already_held_by_self means the
+  // commit neither checks nor re-acquires — our own holding survives.
+  TatasLock lock;
+  lock.lock();
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock_lazy(lock_api<TatasLock>(), &lock,
+                                          /*already_held_by_self=*/true);
+              tx_store(x, std::uint64_t{3});
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 3u);
+  EXPECT_TRUE(lock.is_locked());
+  lock.unlock();
+}
+
+TEST_F(EmulatedHtmEdges, MixedEagerAndLazySubscriptionIsDeduplicated) {
+  // Nesting can subscribe the same lock eagerly (inner HTM frame) and
+  // lazily (outer kHtmLazy frame); the flattened transaction must hold one
+  // subscription and acquire/release the lock exactly once at commit.
+  TatasLock lock;
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock(lock_api<TatasLock>(), &lock,
+                                     /*already_held_by_self=*/false);
+              htm::tx_subscribe_lock_lazy(lock_api<TatasLock>(), &lock,
+                                          /*already_held_by_self=*/false);
+              tx_store(x, std::uint64_t{1});
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 1u);
+  EXPECT_FALSE(lock.is_locked());
+}
+
+TEST_F(EmulatedHtmEdges, LazySubscriptionHonoursTheRwUpdateView) {
+  // The update view's is_locked is is_write_or_update_locked: an updater
+  // holding the word across the whole deferred window must fail the
+  // commit-time acquisition, and one that leaves inside the window must
+  // cost nothing — same flip semantics as the exclusive word, but through
+  // the readers-writer subscription surface.
+  RwSpinLock rw;
+  rw.lock_update();
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock_lazy(rw_update_api<RwSpinLock>(), &rw,
+                                          /*already_held_by_self=*/false);
+              tx_store(x, std::uint64_t{4});
+            }),
+            AbortCause::kLockedByOther);
+  EXPECT_EQ(x, 0u);
+
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock_lazy(rw_update_api<RwSpinLock>(), &rw,
+                                          /*already_held_by_self=*/false);
+              tx_store(x, std::uint64_t{4});
+              rw.unlock_update();  // the updater leaves before commit
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 4u);
+  EXPECT_FALSE(rw.is_locked());
+}
+
+TEST_F(EmulatedHtmEdges, LazyWindowSurvivesAVeryLargeClockJump) {
+  // A 2^40 clock leap strictly inside the deferred window: the jump itself
+  // invalidates nothing (no slot moved), so read validation, the deferred
+  // lock check and the commit's version bump must all still line up.
+  auto& table = VersionTable::instance();
+  TatasLock lock;
+  std::uint64_t x = 0;
+  EXPECT_EQ(run_txn([&] {
+              htm::tx_subscribe_lock_lazy(lock_api<TatasLock>(), &lock,
+                                          /*already_held_by_self=*/false);
+              const std::uint64_t v = tx_load(x);
+              table.clock().fetch_add(std::uint64_t{1} << 40,
+                                      std::memory_order_acq_rel);
+              tx_store(x, v + 1);
+            }),
+            AbortCause::kNone);
+  EXPECT_EQ(x, 1u);
+  EXPECT_FALSE(lock.is_locked());
+
+  // And the committed value reads back cleanly under the jumped clock.
+  EXPECT_EQ(run_txn([&] { EXPECT_EQ(tx_load(x), 1u); }),
+            AbortCause::kNone);
 }
 
 }  // namespace

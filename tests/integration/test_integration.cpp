@@ -2,7 +2,12 @@
 // full pipeline (policy → engine → stats → report), teardown hygiene.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/ale.hpp"
 #include "hashmap/hashmap.hpp"
@@ -130,6 +135,81 @@ TEST_F(IntegrationTest, MixedContainersUnderOnePolicy) {
   });
   EXPECT_EQ(db.count(), 4u);
   EXPECT_EQ(map.size(), 40u);
+}
+
+// ---- differential cross-mode oracle ------------------------------------
+//
+// The same seeded operation sequence, replayed once per execution-mode pin
+// (Lock baseline, eager HTM, lazy HTM, SWOpt): every pin must produce a
+// bit-identical final map state and identical per-thread observation
+// histories. Threads own disjoint key ranges, so the outcome is fully
+// determined by the op sequence and any divergence is an elision
+// correctness bug, not an interleaving artifact. This is the cheap
+// always-on complement to the ale::check explorer: the explorer proves the
+// lazy protocol safe on adversarial interleavings, this proves all four
+// modes compute the same function on a production-shaped workload.
+
+struct OracleOutcome {
+  std::array<std::uint64_t, 2> observed{};  // per-thread get() history hash
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> state;  // sorted k,v
+};
+
+OracleOutcome run_oracle_workload(const char* spec) {
+  OracleOutcome out;
+  auto policy = make_policy(spec);
+  if (!policy) {
+    ADD_FAILURE() << "make_policy failed for " << spec;
+    return out;
+  }
+  test::PolicyInstaller inst(std::move(policy));
+  AleHashMap map(128, std::string("integ.oracle.") + spec);
+  test::run_threads(2, [&](unsigned idx) {
+    const std::uint64_t base = static_cast<std::uint64_t>(idx + 1) << 32;
+    Xoshiro256 rng(0x0a11ce + idx);  // fixed seed: one sequence per thread
+    std::uint64_t history = 0;
+    for (std::uint32_t i = 0; i < 4000; ++i) {
+      const std::uint64_t slot = rng.next_below(16);
+      const std::uint64_t key = base + slot;
+      const std::uint64_t op = rng.next_below(100);
+      if (op < 30) {
+        map.insert(key, key * 1000003u + i);
+      } else if (op < 45) {
+        map.remove(key);
+      } else {
+        std::uint64_t v = 0;
+        const bool hit = map.get(key, v);
+        // FNV-style fold: the full observation history must match, not
+        // just the final state — a stale read that later self-corrects
+        // still perturbs this hash.
+        history = history * 1099511628211ull + (hit ? v + 1 : 0);
+      }
+    }
+    out.observed[idx] = history;
+  });
+  for (unsigned idx = 0; idx < 2; ++idx) {
+    for (std::uint64_t slot = 0; slot < 16; ++slot) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(idx + 1) << 32) + slot;
+      std::uint64_t v = 0;
+      if (map.get(key, v)) out.state.emplace_back(key, v);
+    }
+  }
+  return out;
+}
+
+TEST_F(IntegrationTest, CrossModeDifferentialOracle) {
+  const OracleOutcome reference = run_oracle_workload("lockonly");
+  EXPECT_FALSE(reference.state.empty());
+  for (const char* spec : {"static-hl-8", "static-hll-8", "static-sl-8"}) {
+    const OracleOutcome got = run_oracle_workload(spec);
+    EXPECT_EQ(got.state, reference.state)
+        << spec << ": final map state diverged from the Lock baseline";
+    for (unsigned idx = 0; idx < 2; ++idx) {
+      EXPECT_EQ(got.observed[idx], reference.observed[idx])
+          << spec << ": thread " << idx
+          << " observed a different get() history than the Lock baseline";
+    }
+  }
 }
 
 TEST_F(IntegrationTest, LockMdLifecycleIsClean) {

@@ -1,0 +1,168 @@
+// Lazy-subscription (ExecMode::kHtmLazy) learning: the adaptive policy's
+// HL/All sub3 phases A/B-test lazy against eager subscription at the
+// learned X and admit lazy only on a measured win. Host timing never
+// decides these tests — the cost gap is priced deterministically with the
+// inject points (htm.eagersub stretches the eager begin-time subscription
+// read that lazy exists to skip; htm.lazy.subfail makes every lazy commit
+// abort), the same flake-guard recipe as test_rw_mode_learning.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "core/ale.hpp"
+#include "inject/inject.hpp"
+#include "policy/adaptive_policy.hpp"
+#include "test_util.hpp"
+
+namespace ale {
+namespace {
+
+struct LazyLearningTest : ::testing::Test {
+  void SetUp() override { test::use_emulated_ideal(); }
+  void TearDown() override {
+    inject::reset();
+    set_global_policy(nullptr);
+    test::use_emulated_ideal();
+  }
+
+  // Short-CS single-threaded workload: one cache line, one increment — the
+  // shape where the paper's lazy variant pays off (the subscription read
+  // dominates the transaction's footprint).
+  static void drive(AdaptivePolicy* p, LockMd& md, TatasLock& lock,
+                    ScopeInfo& scope, std::uint64_t& cell, int n) {
+    for (int i = 0; i < n; ++i) {
+      execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+                 [&](CsExec&) -> CsBody {
+                   tx_store(cell, tx_load(cell) + 1);
+                   return CsBody::kDone;
+                 });
+    }
+    (void)p;
+  }
+
+  static GranuleMd* granule_of(LockMd& md) {
+    GranuleMd* g = nullptr;
+    md.for_each_granule([&](GranuleMd& gm) { g = &gm; });
+    return g;
+  }
+};
+
+TEST_F(LazyLearningTest, PricedEagerSubscriptionTeachesLazy) {
+  // Every eager HTM subscription pays a 20k-spin stall; lazy skips it.
+  // Lock mode is priced higher still (40k per hold) so the HTM progression
+  // deterministically beats the Lock progression and the sub3 verdict is
+  // what decides the final mode. After the A/B the policy must admit lazy
+  // for this granule and the plan must route attempts to kHtmLazy.
+  ASSERT_TRUE(
+      inject::configure("lock.hold:x=40000;htm.eagersub:x=20000"));
+  AdaptiveConfig cfg;
+  cfg.phase_len = 50;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  TatasLock lock;
+  LockMd md("lazy.learn.win");
+  static ScopeInfo scope("cs");
+  alignas(64) std::uint64_t cell = 0;
+  drive(p, md, lock, scope, cell, 1500);
+  ASSERT_TRUE(p->converged(md));
+
+  GranuleMd* g = granule_of(md);
+  ASSERT_NE(g, nullptr);
+  EXPECT_GE(p->effective_x_of(md, *g), 1u)
+      << "HTM should stay selected — it always commits here";
+  EXPECT_TRUE(p->lazy_of(md, *g))
+      << "priced eager subscription must make lazy the measured winner";
+  if (g->attempt_plan().valid()) {
+    EXPECT_TRUE(g->attempt_plan().lazy());
+  }
+
+  // The converged chooser acts on the verdict: transactional executions
+  // now run in kHtmLazy.
+  ExecMode seen = ExecMode::kLock;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) -> CsBody {
+               seen = cs.exec_mode();
+               tx_store(cell, tx_load(cell) + 1);
+               return CsBody::kDone;
+             });
+  EXPECT_EQ(seen, ExecMode::kHtmLazy);
+}
+
+TEST_F(LazyLearningTest, FailingLazyCommitsKeepEagerSubscription) {
+  // The mirror image: htm.lazy.subfail aborts every lazy commit attempt
+  // (with a 20k-spin price on the wasted work) while eager commits are
+  // free, so the sub3 measurement must come out against lazy and the
+  // granule stays on eager kHtm. Lock is priced so HTM still wins the
+  // progression race and the A/B verdict is what's under test.
+  ASSERT_TRUE(
+      inject::configure("lock.hold:x=20000;htm.lazy.subfail:x=20000"));
+  AdaptiveConfig cfg;
+  cfg.phase_len = 50;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  TatasLock lock;
+  LockMd md("lazy.learn.lose");
+  static ScopeInfo scope("cs");
+  alignas(64) std::uint64_t cell = 0;
+  drive(p, md, lock, scope, cell, 1500);
+  ASSERT_TRUE(p->converged(md));
+
+  GranuleMd* g = granule_of(md);
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(p->lazy_of(md, *g))
+      << "lazy lost the A/B — eager subscription must be kept";
+  if (g->attempt_plan().valid()) {
+    EXPECT_FALSE(g->attempt_plan().lazy());
+  }
+
+  ExecMode seen = ExecMode::kLock;
+  execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+             [&](CsExec& cs) -> CsBody {
+               seen = cs.exec_mode();
+               tx_store(cell, tx_load(cell) + 1);
+               return CsBody::kDone;
+             });
+  EXPECT_EQ(seen, ExecMode::kHtm);
+}
+
+TEST_F(LazyLearningTest, LazyNeverAdmittedWhenUnavailable) {
+  // Without a backend carrying the validated-read safety argument,
+  // lazy_available() is false: the sub3 phases are skipped entirely and
+  // the chooser must never emit kHtmLazy, even with eager priced sky-high.
+  htm::Config c;
+  c.backend = htm::BackendKind::kNone;
+  htm::configure(c);
+  ASSERT_FALSE(htm::lazy_available());
+  ASSERT_TRUE(inject::configure("htm.eagersub:x=20000"));
+  AdaptiveConfig cfg;
+  cfg.phase_len = 50;
+  auto policy = std::make_unique<AdaptivePolicy>(cfg);
+  AdaptivePolicy* p = policy.get();
+  test::PolicyInstaller inst(std::move(policy));
+
+  TatasLock lock;
+  LockMd md("lazy.learn.unavailable");
+  static ScopeInfo scope("cs");
+  alignas(64) std::uint64_t cell = 0;
+  for (int i = 0; i < 1500; ++i) {
+    execute_cs(lock_api<TatasLock>(), &lock, md, scope,
+               [&](CsExec& cs) -> CsBody {
+                 if (cs.exec_mode() == ExecMode::kHtmLazy) {
+                   ADD_FAILURE() << "kHtmLazy chosen without lazy_available";
+                 }
+                 tx_store(cell, tx_load(cell) + 1);
+                 return CsBody::kDone;
+               });
+  }
+  GranuleMd* g = granule_of(md);
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(p->lazy_of(md, *g));
+}
+
+}  // namespace
+}  // namespace ale

@@ -75,6 +75,8 @@ TEST(ExportTest, PopulatedSnapshotJsonGolden) {
       "\"HTM\":{\"attempts\":0,\"successes\":0,\"exec_mean_ns\":0.0,"
       "\"exec_samples\":0,\"fail_mean_ns\":0.0,\"fail_samples\":0},"
       "\"SWOpt\":{\"attempts\":0,\"successes\":0,\"exec_mean_ns\":0.0,"
+      "\"exec_samples\":0,\"fail_mean_ns\":0.0,\"fail_samples\":0},"
+      "\"HTMLazy\":{\"attempts\":0,\"successes\":0,\"exec_mean_ns\":0.0,"
       "\"exec_samples\":0,\"fail_mean_ns\":0.0,\"fail_samples\":0}},"
       "\"abort_causes\":{\"conflict\":7,\"capacity\":1},"
       "\"swopt_failures\":2,\"lock_wait_mean_ns\":3.5,"
@@ -92,11 +94,12 @@ TEST(ExportTest, PopulatedSnapshotCsvGolden) {
       ",Lock_attempts,Lock_successes,Lock_exec_mean_ns"
       ",HTM_attempts,HTM_successes,HTM_exec_mean_ns"
       ",SWOpt_attempts,SWOpt_successes,SWOpt_exec_mean_ns"
+      ",HTMLazy_attempts,HTMLazy_successes,HTMLazy_exec_mean_ns"
       ",swopt_failures,lock_wait_mean_ns"
       ",abort_none,abort_conflict,abort_capacity,abort_locked"
       ",abort_explicit,abort_environmental,abort_nested,abort_unavailable"
       ",abort_other\n"
-      "L,a/b,adaptive,HL.sub1,10,4,3,1.5,0,0,0.0,0,0,0.0,2,3.5,"
+      "L,a/b,adaptive,HL.sub1,10,4,3,1.5,0,0,0.0,0,0,0.0,0,0,0.0,2,3.5,"
       "0,7,1,0,0,0,0,0,0\n";
   EXPECT_EQ(to_csv(make_snapshot()), expected);
 }

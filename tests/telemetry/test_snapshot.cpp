@@ -182,9 +182,11 @@ TEST_F(SnapshotTest, ResolveEventsMapsIdentitiesAndDetails) {
                            .kind = EventKind::kModeDecision,
                            .mode = 2,
                            .aux8 = 4});
+  // kHtmAbort events carry the attempted mode (eager vs lazy HTM).
   raw.push_back(TraceEvent{.ticks = 12,
                            .lock = &md,
                            .kind = EventKind::kHtmAbort,
+                           .mode = 1,  // ExecMode::kHtm
                            .cause = 1});
   // (1 << 8) -> (2 << 8): SL to HL.sub0.
   raw.push_back(TraceEvent{.ticks = 13,
